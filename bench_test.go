@@ -1,0 +1,382 @@
+// Benchmarks regenerating every table and figure of the paper, the
+// ablations motivated by its observations, and throughput benches for the
+// substrates. Run:
+//
+//	go test -bench=. -benchmem .
+//
+// Fraction metrics are attached via b.ReportMetric (pass/op, cex/op,
+// error/op are the Pass/CEX/Error fractions of the corresponding run).
+package assertionbench_test
+
+import (
+	"sync"
+	"testing"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/mine"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+// The experiment is shared across benchmarks: building it mines the ICL
+// examples once, and the LLM design-context cache warms up progressively.
+var (
+	expOnce sync.Once
+	exp     *eval.Experiment
+	expErr  error
+)
+
+func experiment(b *testing.B) *eval.Experiment {
+	b.Helper()
+	expOnce.Do(func() {
+		exp, expErr = eval.NewExperiment(eval.ExperimentOptions{})
+	})
+	if expErr != nil {
+		b.Fatal(expErr)
+	}
+	return exp
+}
+
+func reportRun(b *testing.B, r eval.RunResult) {
+	b.ReportMetric(r.Metrics.Pass(), "pass/op")
+	b.ReportMetric(r.Metrics.CEX(), "cex/op")
+	b.ReportMetric(r.Metrics.Error(), "error/op")
+}
+
+// --- paper tables and figures ---
+
+// BenchmarkTableI regenerates Table I (representative design details).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corpus := bench.TestCorpus()
+		if s := eval.TableI(corpus); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (LoC per test design).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corpus := bench.TestCorpus()
+		if s := eval.Figure3(corpus); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// benchCOTS runs one (model, k) cell of the Fig. 6 grid.
+func benchCOTS(b *testing.B, p llm.Profile, shots int) {
+	e := experiment(b)
+	var last eval.RunResult
+	for i := 0; i < b.N; i++ {
+		r, err := e.RunCOTS(p, shots)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportRun(b, last)
+}
+
+// BenchmarkFigure6 regenerates Figure 6: each sub-benchmark is one
+// (model, k-shot) bar group of Fig. 6a-d.
+func BenchmarkFigure6(b *testing.B) {
+	for _, p := range llm.COTSProfiles() {
+		p := p
+		for _, k := range []int{1, 5} {
+			k := k
+			b.Run(p.Name+"/"+shotName(k), func(b *testing.B) { benchCOTS(b, p, k) })
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (cross-model comparison at fixed
+// k): the full COTS grid in one measurement.
+func BenchmarkFigure7(b *testing.B) {
+	e := experiment(b)
+	for i := 0; i < b.N; i++ {
+		runs, err := e.RunAllCOTS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := eval.Figure7(runs); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: AssertionLLM (fine-tuned
+// CodeLLaMa 2 and LLaMa3-70B) on the held-out quarter, per k.
+func BenchmarkFigure9(b *testing.B) {
+	bases := []llm.Profile{llm.CodeLlama2(), llm.Llama3()}
+	for _, p := range bases {
+		p := p
+		for _, k := range []int{1, 5} {
+			k := k
+			b.Run("AssertionLLM_"+p.Name+"/"+shotName(k), func(b *testing.B) {
+				e := experiment(b)
+				var last eval.RunResult
+				for i := 0; i < b.N; i++ {
+					r, _, err := e.FinetunedRun(p, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				reportRun(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkObservations regenerates the Observation 1-6 statistics from a
+// full COTS + fine-tuned pass.
+func BenchmarkObservations(b *testing.B) {
+	e := experiment(b)
+	for i := 0; i < b.N; i++ {
+		cots, err := e.RunAllCOTS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft, err := e.RunAllFinetuned()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := eval.Observations(cots, ft); len(s) == 0 {
+			b.Fatal("empty observations")
+		}
+	}
+}
+
+func shotName(k int) string {
+	if k == 1 {
+		return "1shot"
+	}
+	return "5shot"
+}
+
+// --- ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationCorrector measures stage 3 of Fig. 4: the same model
+// with and without the syntax corrector.
+func BenchmarkAblationCorrector(b *testing.B) {
+	e := experiment(b)
+	model := llm.New(llm.GPT35())
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "corrector_on"
+		if !on {
+			name = "corrector_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last eval.RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := eval.Run(model, e.ICL, e.Corpus, eval.RunOptions{
+					Shots: 1, UseCorrector: on,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRun(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationGrounding removes the design-behaviour grounding
+// channel (the CDFG/COI-derived pool of Observation 4) from GPT-4o.
+func BenchmarkAblationGrounding(b *testing.B) {
+	e := experiment(b)
+	for _, grounded := range []bool{true, false} {
+		grounded := grounded
+		name := "with_artifacts"
+		if !grounded {
+			name = "without_artifacts"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := llm.GPT4o()
+			if !grounded {
+				p.K1.Grounding = 0
+				p.K5.Grounding = 0
+			}
+			var last eval.RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := e.RunCOTS(p, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRun(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationDecoding compares greedy decoding against the paper's
+// temperature-1.0 / top-p 0.95 sampling.
+func BenchmarkAblationDecoding(b *testing.B) {
+	e := experiment(b)
+	for _, greedy := range []bool{false, true} {
+		greedy := greedy
+		name := "sampled_t1.0"
+		if greedy {
+			name = "greedy"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := llm.GPT4o()
+			if greedy {
+				p.Temperature = 0
+				p.TopP = 1
+			}
+			var last eval.RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := e.RunCOTS(p, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRun(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationICLDiversity tests Observation 2: five diverse
+// in-context examples vs the same example repeated five times.
+func BenchmarkAblationICLDiversity(b *testing.B) {
+	e := experiment(b)
+	model := llm.New(llm.GPT4o())
+	repeated := []llm.Example{e.ICL[0], e.ICL[0], e.ICL[0], e.ICL[0], e.ICL[0]}
+	for _, diverse := range []bool{true, false} {
+		diverse := diverse
+		name := "diverse_ices"
+		icl := e.ICL
+		if !diverse {
+			name = "repeated_ice"
+			icl = repeated
+		}
+		b.Run(name, func(b *testing.B) {
+			var last eval.RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := eval.Run(model, icl, e.Corpus, eval.RunOptions{
+					Shots: 5, UseCorrector: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRun(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationFinetuneEpochs sweeps the fine-tuning epoch count.
+func BenchmarkAblationFinetuneEpochs(b *testing.B) {
+	e := experiment(b)
+	corpus, _, err := e.FinetuneSplit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, epochs := range []int{1, 5, 20} {
+		epochs := epochs
+		b.Run(shotEpochs(epochs), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				_, report := llm.Finetune(llm.New(llm.CodeLlama2()), corpus, llm.FinetuneOptions{Epochs: epochs})
+				gain = report.Gain
+			}
+			b.ReportMetric(gain, "gain/op")
+		})
+	}
+}
+
+func shotEpochs(n int) string {
+	switch n {
+	case 1:
+		return "epochs_1"
+	case 5:
+		return "epochs_5"
+	default:
+		return "epochs_20"
+	}
+}
+
+// --- substrate throughput benches ---
+
+// BenchmarkParseElaborate measures front-end throughput on the largest
+// corpus design.
+func BenchmarkParseElaborate(b *testing.B) {
+	corpus := bench.TestCorpus()
+	var biggest bench.Design
+	for _, d := range corpus {
+		if d.LoC > biggest.LoC {
+			biggest = d
+		}
+	}
+	b.SetBytes(int64(len(biggest.Source)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verilog.ElaborateSource(biggest.Source, biggest.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSteps measures cycle throughput on the CAN CRC.
+func BenchmarkSimulatorSteps(b *testing.B) {
+	nl, err := verilog.ElaborateSource(bench.TestCorpus()[23].Source, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(nl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkFPVProve measures exhaustive model checking of a true property.
+func BenchmarkFPVProve(b *testing.B) {
+	nl, err := verilog.ElaborateSource(bench.TrainArbiter, "arb2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := fpv.VerifySource(nl, "rst == 1 |=> gnt_ == 0", fpv.Options{})
+		if r.Status != fpv.StatusProven {
+			b.Fatalf("unexpected status %v", r.Status)
+		}
+	}
+}
+
+// BenchmarkMineGoldMine measures the decision-tree miner end to end.
+func BenchmarkMineGoldMine(b *testing.B) {
+	nl, err := verilog.ElaborateSource(bench.TrainArbiter, "arb2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := mine.GoldMine(nl, mine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures one 5-shot generation call (prompt build +
+// decode), excluding verification.
+func BenchmarkGenerate(b *testing.B) {
+	e := experiment(b)
+	model := llm.New(llm.GPT4o())
+	design := e.Corpus[0]
+	prompt := llm.BuildPrompt(e.ICL, design.Source, model.Profile.ContextWindow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Generate(prompt, llm.GenOptions{Shots: 5, Seed: int64(i)})
+	}
+}

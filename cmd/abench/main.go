@@ -1,0 +1,100 @@
+// Command abench runs the AssertionBench COTS evaluation (the paper's
+// Fig. 4 pipeline) for one or all models and prints the Pass/CEX/Error
+// metrics per k-shot setting.
+//
+// Usage:
+//
+//	abench                      # all four COTS models, 1- and 5-shot
+//	abench -model gpt4o         # one model
+//	abench -designs 20 -seed 7  # quick subset
+//	abench -per-design          # per-design verdict breakdown
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/eval"
+	"assertionbench/internal/llm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("abench: ")
+	model := flag.String("model", "", "restrict to one model: gpt3.5|gpt4o|codellama|llama3")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	designs := flag.Int("designs", 0, "limit test designs (0 = all 100)")
+	perDesign := flag.Bool("per-design", false, "print per-design verdicts")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := llm.COTSProfiles()
+	if *model != "" {
+		var filtered []llm.Profile
+		for _, p := range profiles {
+			if matches(p.Name, *model) {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) == 0 {
+			log.Fatalf("unknown model %q", *model)
+		}
+		profiles = filtered
+	}
+	type jsonRow struct {
+		Model   string       `json:"model"`
+		Shots   int          `json:"shots"`
+		Metrics eval.Metrics `json:"metrics"`
+	}
+	var rows []jsonRow
+	for _, p := range profiles {
+		for _, k := range []int{1, 5} {
+			r, err := e.RunCOTS(p, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *asJSON {
+				rows = append(rows, jsonRow{Model: p.Name, Shots: k, Metrics: r.Metrics})
+				continue
+			}
+			fmt.Printf("%-14s %d-shot: %v\n", p.Name, k, r.Metrics)
+			if *perDesign {
+				for _, d := range r.Designs {
+					var m eval.Metrics
+					for _, v := range d.Verdicts {
+						m.Add(v)
+					}
+					fmt.Printf("    %-28s %v\n", d.Design, m)
+				}
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func matches(profileName, arg string) bool {
+	switch arg {
+	case "gpt3.5", "gpt-3.5":
+		return profileName == "GPT-3.5"
+	case "gpt4o", "gpt-4o":
+		return profileName == "GPT-4o"
+	case "codellama", "codellama2":
+		return profileName == "CodeLLaMa 2"
+	case "llama3", "llama3-70b":
+		return profileName == "LLaMa3-70B"
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+// Command acov measures the coverage / goodness of an assertion set on a
+// design (paper Sec. X, directions i and ii): signal coverage, antecedent
+// activation coverage, and state coverage.
+//
+// Usage:
+//
+//	acov design.v 'rst == 1 |=> count == 0' ...
+//	acov -f assertions.sva [-verified] design.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/coverage"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("acov: ")
+	file := flag.String("f", "", "file of assertions (one per line)")
+	verified := flag.Bool("verified", false, "measure only FPV-proven assertions")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: acov [-f assertions.sva] [-verified] design.v [assertion ...]")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := verilog.ElaborateSource(string(src), "")
+	if err != nil {
+		log.Fatalf("design does not elaborate: %v", err)
+	}
+	assertions := flag.Args()[1:]
+	if *file != "" {
+		text, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assertions = append(assertions, sva.SplitAssertions(string(text))...)
+	}
+	if len(assertions) == 0 {
+		log.Fatal("no assertions given")
+	}
+	opt := coverage.Options{Seed: *seed}
+	var rep coverage.Report
+	if *verified {
+		rep, err = coverage.MeasureVerified(nl, assertions, fpv.Options{}, opt)
+	} else {
+		rep, err = coverage.Measure(nl, assertions, opt)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("covered signals: %v\n", rep.CoveredSignals)
+	fmt.Printf("missed signals:  %v\n", rep.MissedSignals)
+	fmt.Printf("states visited:  %d\n", rep.StatesVisited)
+	for _, pa := range rep.PerAssertion {
+		fmt.Printf("  %4d activations  %s\n", pa.Activations, pa.Assertion)
+	}
+}

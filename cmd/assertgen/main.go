@@ -1,0 +1,56 @@
+// Command assertgen generates assertions for a Verilog design with one of
+// the simulated COTS models, mirroring the paper's Fig. 4 pipeline up to
+// and including the syntax corrector.
+//
+// Usage:
+//
+//	assertgen -model gpt4o -shots 5 [-seed N] [-raw] design.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("assertgen: ")
+	model := flag.String("model", "gpt4o", "model: gpt3.5|gpt4o|codellama|llama3")
+	shots := flag.Int("shots", 1, "in-context examples (1..5)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	raw := flag.Bool("raw", false, "print the raw model output instead of corrected assertions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: assertgen [-model M] [-shots K] design.v")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := core.ParseModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shots < 1 || *shots > 5 {
+		log.Fatal("shots must be in 1..5")
+	}
+	b, err := core.LoadBenchmark(core.Options{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := core.Generate(id, string(src), b, *shots, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *raw {
+		fmt.Println(gen.Raw)
+		return
+	}
+	for _, a := range gen.Corrected {
+		fmt.Println(a)
+	}
+}

@@ -1,0 +1,67 @@
+// Command figures regenerates every table and figure of the paper as
+// text: Table I, Figure 3 (corpus sizes), Figures 6/7 (COTS evaluation),
+// Figure 9 (AssertionLLM), and the Observation 1-6 headline statistics.
+//
+// Usage:
+//
+//	figures [-seed N] [-designs N] [-only table1|fig3|fig6|fig7|fig9|obs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	designs := flag.Int("designs", 0, "limit the number of test designs (0 = all 100)")
+	only := flag.String("only", "", "emit a single artifact: table1|fig3|fig6|fig7|fig9|obs")
+	flag.Parse()
+
+	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	needCOTS := *only == "" || *only == "fig6" || *only == "fig7" || *only == "obs"
+	needFT := *only == "" || *only == "fig9" || *only == "obs"
+
+	var cots, ft []eval.RunResult
+	if needCOTS {
+		if cots, err = e.RunAllCOTS(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if needFT {
+		if ft, err = e.RunAllFinetuned(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	emit := func(name, text string) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Println(text)
+	}
+	emit("table1", eval.TableI(e.Corpus))
+	emit("fig3", eval.Figure3(e.Corpus))
+	emit("fig6", eval.Figure6(cots))
+	emit("fig7", eval.Figure7(cots))
+	emit("fig9", eval.Figure9(ft))
+	emit("obs", eval.Observations(cots, ft))
+	if *only != "" {
+		switch *only {
+		case "table1", "fig3", "fig6", "fig7", "fig9", "obs":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command fpv formally verifies SVA assertions against a Verilog design —
+// the repository's JasperGold stand-in.
+//
+// Usage:
+//
+//	fpv design.v 'req == 1 |-> gnt == 1' ...
+//	fpv -f assertions.sva design.v
+//	fpv -cex design.v 'en == 1 |=> count == 0'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpv: ")
+	file := flag.String("f", "", "file of assertions (one per line)")
+	showCEX := flag.Bool("cex", false, "print counter-example traces")
+	vcd := flag.String("vcd", "", "write the first counter-example as a VCD waveform to this file")
+	states := flag.Int("states", 0, "max product states (0 = default)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := verilog.ElaborateSource(string(src), "")
+	if err != nil {
+		log.Fatalf("design does not elaborate: %v", err)
+	}
+	assertions := flag.Args()[1:]
+	if *file != "" {
+		text, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assertions = append(assertions, sva.SplitAssertions(string(text))...)
+	}
+	if len(assertions) == 0 {
+		log.Fatal("no assertions given")
+	}
+	opt := fpv.Options{MaxProductStates: *states}
+	pass, cex, errs := 0, 0, 0
+	for _, a := range assertions {
+		r := fpv.VerifySource(nl, a, opt)
+		detail := ""
+		switch {
+		case r.Status == fpv.StatusError:
+			errs++
+			detail = r.Err.Error()
+		case r.Status == fpv.StatusCEX:
+			cex++
+			detail = fmt.Sprintf("violation at cycle %d", r.CEX.ViolationCycle)
+		default:
+			pass++
+			detail = fmt.Sprintf("states=%d exhaustive=%v", r.States, r.Exhaustive)
+		}
+		fmt.Printf("%-12s %-60s %s\n", r.Status, a, detail)
+		if *showCEX && r.CEX != nil {
+			fmt.Print(r.CEX.Format(nl))
+		}
+		if *vcd != "" && r.CEX != nil {
+			f, err := os.Create(*vcd)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr := sim.TraceFromSamples(nl, r.CEX.Sampled)
+			if err := sim.WriteVCD(f, tr, nl.Name); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote counter-example waveform to %s\n", *vcd)
+			*vcd = "" // only the first CEX
+		}
+	}
+	fmt.Printf("\n%d pass, %d cex, %d error\n", pass, cex, errs)
+	if cex > 0 || errs > 0 {
+		os.Exit(1)
+	}
+}

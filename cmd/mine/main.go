@@ -1,0 +1,94 @@
+// Command mine runs the GOLDMINE-style and HARM-style assertion miners on
+// a Verilog design and prints ranked, formally verified assertions.
+//
+// Usage:
+//
+//	mine [-miner goldmine|harm|both] [-max N] design.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench/internal/mine"
+	"assertionbench/internal/verilog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mine: ")
+	which := flag.String("miner", "both", "miner: goldmine|harm|security|both")
+	max := flag.Int("max", 16, "max assertions to print")
+	seed := flag.Int64("seed", 1, "trace seed")
+	taintGuard := flag.String("taint", "", "run the information-flow check guarded by this signal (e.g. locked)")
+	lockedVal := flag.Uint64("locked", 1, "guard value meaning 'locked' for -taint")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: mine [-miner M] design.v")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := verilog.ElaborateSource(string(src), "")
+	if err != nil {
+		log.Fatalf("design does not elaborate: %v", err)
+	}
+	if *taintGuard != "" {
+		leaks, err := mine.TaintCheck(nl, *taintGuard, *lockedVal, 32, 48, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(leaks) == 0 {
+			fmt.Println("no information-flow violations found")
+		}
+		for _, l := range leaks {
+			fmt.Println(l)
+		}
+		return
+	}
+	opt := mine.Options{Seed: *seed, MaxAssertions: *max}
+	var mined []mine.Mined
+	if *which == "security" {
+		sm, err := mine.Security(nl, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mined = append(mined, sm...)
+	}
+	if *which == "goldmine" || *which == "both" {
+		gm, err := mine.GoldMine(nl, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mined = append(mined, gm...)
+	}
+	if *which == "harm" || *which == "both" {
+		hm, err := mine.Harm(nl, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mined = append(mined, hm...)
+	}
+	mine.Rank(mined)
+	seen := map[string]bool{}
+	n := 0
+	for _, m := range mined {
+		s := m.Assertion.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		fmt.Printf("rank=%.4f support=%-4d cx=%-3d %s  [%s]\n",
+			m.Rank, m.Support, m.Complexity, s, m.Result.Status)
+		n++
+		if n >= *max {
+			break
+		}
+	}
+	if n == 0 {
+		fmt.Println("no proven assertions mined")
+	}
+}

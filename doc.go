@@ -1,0 +1,16 @@
+// Package assertionbench is a from-scratch Go reproduction of "Are LLMs
+// Ready for Practical Adoption for Assertion Generation?" (Pulavarthi,
+// Nandal, Dan, Pal — DATE 2025): the AssertionBench benchmark, the
+// evaluation pipeline for COTS LLMs, and the fine-tuned AssertionLLM —
+// including every substrate the paper depends on (Verilog front end,
+// cycle-accurate simulator, SVA subset, formal property verification
+// engine, GOLDMINE/HARM-style assertion miners, and a simulated LLM
+// substrate with calibrated per-model error channels).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitution arguments, and EXPERIMENTS.md for
+// paper-vs-measured results of every table and figure. The root-level
+// benchmarks (bench_test.go) regenerate each of them:
+//
+//	go test -bench=BenchmarkFigure6 -benchmem .
+package assertionbench

@@ -1,0 +1,56 @@
+// corpus_report prints the AssertionBench corpus statistics: Table I and
+// the Figure 3 size distribution, plus the category/type split the paper
+// describes in Sec. III.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/eval"
+)
+
+func main() {
+	corpus := bench.TestCorpus()
+	train := bench.TrainDesigns()
+
+	fmt.Print(eval.TableI(corpus))
+	fmt.Println()
+
+	// Category and type split.
+	byCat := map[string]int{}
+	seq, comb := 0, 0
+	totalLoC := 0
+	for _, d := range corpus {
+		byCat[d.Category]++
+		if d.Sequential {
+			seq++
+		} else {
+			comb++
+		}
+		totalLoC += d.LoC
+	}
+	fmt.Printf("test corpus: %d designs (%d sequential, %d combinational), %d total LoC\n",
+		len(corpus), seq, comb, totalLoC)
+	var cats []string
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf("  %-10s %d designs\n", c, byCat[c])
+	}
+
+	fmt.Printf("\ntraining set: %d designs\n", len(train))
+	for _, d := range train {
+		kind := "combinational"
+		if d.Sequential {
+			kind = "sequential"
+		}
+		fmt.Printf("  %-12s %3d LoC  %-13s %s\n", d.Name, d.LoC, kind, d.Functionality)
+	}
+
+	fmt.Println()
+	fmt.Print(eval.Figure3(corpus))
+}

@@ -1,0 +1,70 @@
+// security_audit exercises the paper's future-work direction (iii): it
+// mines security assertions for the lock-gated benchmark designs, proves
+// them with the FPV engine, runs the two-trace information-flow (taint)
+// check, and shows how the deliberately leaky variant is caught by the
+// flow check even though trace-level mining alone would miss the
+// one-bit leak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/coverage"
+	"assertionbench/internal/mine"
+	"assertionbench/internal/verilog"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	for _, d := range bench.SecurityDesigns() {
+		fmt.Printf("=== %s: %s ===\n", d.Name, d.Functionality)
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mined, err := mine.Security(nl, mine.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("security assertions (all FPV-proven): %d\n", len(mined))
+		var texts []string
+		for _, m := range mined {
+			fmt.Printf("  %-50s support=%d\n", m.Assertion, m.Support)
+			texts = append(texts, m.Assertion.String())
+		}
+		if len(texts) > 0 {
+			rep, err := coverage.Measure(nl, texts, coverage.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("coverage of the mined set: %v\n", rep)
+		}
+
+		// Information-flow check, guarded by the design's lock if any.
+		guard := ""
+		if nl.NetIndex("locked") >= 0 {
+			guard = "locked"
+		}
+		if guard != "" {
+			leaks, err := mine.TaintCheck(nl, guard, 1, 32, 48, 1)
+			if err != nil {
+				fmt.Printf("taint check skipped: %v\n", err)
+			} else if len(leaks) == 0 {
+				fmt.Println("taint check: no information flow while locked")
+			} else {
+				for _, l := range leaks {
+					fmt.Printf("taint check: LEAK — %v\n", l)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how access_ctrl_leaky passes most single-trace template checks")
+	fmt.Println("but is flagged by the two-trace flow analysis: hyperproperties need")
+	fmt.Println("more than trace-consistent assertions — the motivation the paper's")
+	fmt.Println("security direction builds on.")
+}

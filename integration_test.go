@@ -1,0 +1,164 @@
+package assertionbench_test
+
+import (
+	"strings"
+	"testing"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/core"
+	"assertionbench/internal/coverage"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/mine"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+// TestFullLoopOnArbiter drives the complete Fig. 4 loop on the paper's
+// Fig. 1 arbiter: benchmark load, k-shot generation, correction, FPV.
+func TestFullLoopOnArbiter(t *testing.T) {
+	b, err := core.LoadBenchmark(core.Options{MaxDesigns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shots := range []int{1, 5} {
+		gen, err := core.Generate(core.GPT4o, bench.TrainArbiter, b, shots, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gen.Corrected) == 0 {
+			t.Fatalf("%d-shot generation produced nothing", shots)
+		}
+		results, err := core.Verify(bench.TrainArbiter, gen.Corrected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Status == fpv.StatusCEX && r.CEX == nil {
+				t.Errorf("CEX verdict without trace for %q", gen.Corrected[i])
+			}
+		}
+	}
+}
+
+// TestMinedAssertionsCoverAndExport checks miners -> coverage -> VCD
+// interop on a corpus design.
+func TestMinedAssertionsCoverAndExport(t *testing.T) {
+	var fifo bench.Design
+	for _, d := range bench.TestCorpus() {
+		if d.Name == "fifo_mem" {
+			fifo = d
+		}
+	}
+	nl, err := verilog.ElaborateSource(fifo.Source, fifo.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := mine.Harm(nl, mine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("no mined assertions")
+	}
+	var texts []string
+	for _, m := range mined {
+		texts = append(texts, m.Assertion.String())
+	}
+	rep, err := coverage.Measure(nl, texts, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goodness() <= 0 {
+		t.Errorf("mined set has zero goodness: %v", rep)
+	}
+	// Export a trace of the design as VCD.
+	tr, err := sim.RandomTrace(nl, 16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sim.WriteVCD(&sb, tr, fifo.Name); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "$enddefinitions") {
+		t.Error("VCD export incomplete")
+	}
+}
+
+// TestSecurityFlowEndToEnd: security designs -> security miner ->
+// verified assertions -> taint cross-check.
+func TestSecurityFlowEndToEnd(t *testing.T) {
+	for _, d := range bench.SecurityDesigns() {
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mined, err := mine.Security(nl, mine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mined {
+			// Everything the security miner emits must re-verify.
+			r := fpv.Verify(nl, m.Assertion, fpv.Options{})
+			if !r.Status.IsPass() {
+				t.Errorf("%s: %q fails re-verification (%v)", d.Name, m.Assertion, r.Status)
+			}
+		}
+	}
+}
+
+// TestRangedDelayThroughTheStack: the ##[m:n] extension must flow from
+// text through correction, verification and coverage.
+func TestRangedDelayThroughTheStack(t *testing.T) {
+	src := bench.TestCorpus()[21].Source // counter.v
+	nl, err := verilog.ElaborateSource(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := "rst == 1 |-> ##[1:2] count == 0"
+	r := fpv.VerifySource(nl, prop, fpv.Options{})
+	if r.Status != fpv.StatusProven {
+		t.Fatalf("ranged reset property: %v, want proven", r.Status)
+	}
+	rep, err := coverage.Measure(nl, []string{prop}, coverage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions != 1 || rep.ActivationCoverage <= 0 {
+		t.Errorf("ranged assertion not measured: %v", rep)
+	}
+}
+
+// TestCorpusDesignsVerifySomething: every design in the corpus must admit
+// at least one trivially-true assertion through the full stack (guards
+// against corpus designs the FPV substrate cannot handle at all).
+func TestCorpusDesignsVerifySomething(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus sweep")
+	}
+	for _, d := range bench.TestCorpus() {
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		// Pick the first non-clock top-level net and assert a tautology.
+		var sig string
+		for _, n := range nl.Nets {
+			if !n.IsClock && !strings.Contains(n.Name, ".") {
+				sig = n.Name
+				break
+			}
+		}
+		if sig == "" {
+			t.Fatalf("%s: no usable signal", d.Name)
+		}
+		prop := sig + " == " + sig + " |-> 1"
+		r := fpv.VerifySource(nl, prop, fpv.Options{
+			MaxProductStates: 500, MaxInputBits: 6, MaxInputSamples: 4,
+			RandomRuns: 2, RandomDepth: 8,
+		})
+		if !r.Status.IsPass() {
+			t.Errorf("%s: tautology verdict %v", d.Name, r.Status)
+		}
+	}
+}

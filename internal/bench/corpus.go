@@ -1,0 +1,403 @@
+// Package bench assembles AssertionBench (paper Sec. III): five training
+// designs with formally verified assertions for 1-shot/5-shot in-context
+// learning, and a 100-design test corpus spanning the paper's hardware
+// categories with code sizes from ~10 to ~1150 lines. The OpenCores
+// originals are proprietary-licensed downloads; the corpus here is
+// procedurally generated to the same category mix, size distribution and
+// sequential/combinational split (see DESIGN.md's substitution table).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Design is one benchmark entry.
+type Design struct {
+	// Name is the module name; FileName the corpus file name.
+	Name     string
+	FileName string
+	Source   string
+	// Sequential distinguishes clocked designs from pure combinational
+	// ones (Table I's "Design Type").
+	Sequential bool
+	// Category groups designs by hardware function.
+	Category string
+	// Functionality is the Table I description.
+	Functionality string
+	// LoC is the cloc-style line count (no blanks, no comments).
+	LoC int
+}
+
+// CountLoC counts lines of code the way cloc does for Verilog: blank
+// lines and comment-only lines are excluded.
+func CountLoC(src string) int {
+	count := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if inBlock {
+			if i := strings.Index(s, "*/"); i >= 0 {
+				s = strings.TrimSpace(s[i+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		for {
+			i := strings.Index(s, "/*")
+			if i < 0 {
+				break
+			}
+			j := strings.Index(s[i+2:], "*/")
+			if j < 0 {
+				s = strings.TrimSpace(s[:i])
+				inBlock = true
+				break
+			}
+			s = strings.TrimSpace(s[:i] + s[i+2+j+2:])
+		}
+		if s != "" {
+			count++
+		}
+	}
+	return count
+}
+
+// --- training set (paper Sec. III: Arbiter, Half Adder, Full Adder,
+// T-flip-flop, Full Subtractor) ---
+
+// TrainArbiter is the paper's Fig. 1 two-port arbiter (the 're2' typo in
+// the figure corrected to req2).
+const TrainArbiter = `// 2-port arbiter (paper Fig. 1)
+module arb2(clk, rst, req1, req2, gnt1, gnt2);
+input clk, rst, req1, req2;
+output gnt1, gnt2;
+reg gnt_, gnt1, gnt2;
+always @(posedge clk or posedge rst)
+  if (rst)
+    gnt_ <= 0;
+  else
+    gnt_ <= gnt1;
+always @(*)
+  if (gnt_)
+    begin
+      gnt1 = req1 & req2;
+      gnt2 = req2;
+    end
+  else
+    begin
+      gnt1 = req1;
+      gnt2 = req2 & ~req1;
+    end
+endmodule
+`
+
+// TrainHalfAdder is the training half adder.
+const TrainHalfAdder = `// half adder
+module half_adder(a, b, sum, carry);
+input a, b;
+output sum, carry;
+assign sum = a ^ b;
+assign carry = a & b;
+endmodule
+`
+
+// TrainFullAdder is the training full adder.
+const TrainFullAdder = `// full adder
+module full_adder(a, b, cin, sum, cout);
+input a, b, cin;
+output sum, cout;
+assign sum = a ^ b ^ cin;
+assign cout = (a & b) | (b & cin) | (a & cin);
+endmodule
+`
+
+// TrainTFF is the training T-flip-flop.
+const TrainTFF = `// T flip-flop
+module t_ff(clk, rst, t, q);
+input clk, rst, t;
+output q;
+reg q;
+always @(posedge clk or posedge rst)
+  if (rst)
+    q <= 0;
+  else if (t)
+    q <= ~q;
+endmodule
+`
+
+// TrainFullSubtractor is the training full subtractor.
+const TrainFullSubtractor = `// full subtractor
+module full_sub(a, b, bin, diff, bout);
+input a, b, bin;
+output diff, bout;
+assign diff = a ^ b ^ bin;
+assign bout = (~a & b) | (~(a ^ b) & bin);
+endmodule
+`
+
+// TrainDesigns returns the five ICL training designs.
+func TrainDesigns() []Design {
+	entries := []struct {
+		name, file, src, fn string
+		seq                 bool
+	}{
+		{"arb2", "arbiter.v", TrainArbiter, "Two-port bus arbiter", true},
+		{"half_adder", "half_adder.v", TrainHalfAdder, "Half adder", false},
+		{"full_adder", "full_adder.v", TrainFullAdder, "Full adder", false},
+		{"t_ff", "t_ff.v", TrainTFF, "T flip-flop", true},
+		{"full_sub", "full_subtractor.v", TrainFullSubtractor, "Full subtractor", false},
+	}
+	out := make([]Design, len(entries))
+	for i, e := range entries {
+		out[i] = Design{
+			Name: e.name, FileName: e.file, Source: e.src,
+			Sequential: e.seq, Category: "training",
+			Functionality: e.fn, LoC: CountLoC(e.src),
+		}
+	}
+	return out
+}
+
+// --- test corpus ---
+
+type corpusEntry struct {
+	file string
+	seq  bool
+	cat  string
+	fn   string
+	gen  func(name string) string
+}
+
+// testEntries defines the 100-design test corpus. Names follow the
+// paper's Fig. 3 / Table I files; parameters set the size distribution.
+func testEntries() []corpusEntry {
+	e := []corpusEntry{
+		// --- the paper's named designs, sized to their Table I scale ---
+		{"ca_prng.v", true, "rng", "A compact pattern generator", func(n string) string { return genPRNG(n, 10, 1024) }},
+		{"cavlc_read_total_coeffs.v", true, "codec", "Video encoder for generic audio visual (coeff decode)", func(n string) string { return genLookupReg(n, 1000, 10, 13) }},
+		{"cavlc_read_total_zeros.v", false, "codec", "Video encoder for generic audio visual (zeros decode)", func(n string) string { return genLookup(n, 560, 10, 10) }},
+		{"ge_1000baseX_rx.v", true, "comm", "Physical Coding Sublayer (PCS) receiver", func(n string) string { return genFSM(n, 24) }},
+		{"MAC_tx_Ctrl.v", true, "comm", "An Ethernet MAC transmit controller", func(n string) string { return genFSM(n, 20) }},
+		{"fht_1d_x8.v", false, "dsp", "1-D fast Hartley transform stage", func(n string) string { return genSummer8(n) }},
+		{"mtx_trps_8x8_dpsram.v", true, "dsp", "8x8 matrix transpose register bank", func(n string) string { return genRegBank(n, 16, 8) }},
+		{"bitNegator.v", false, "datapath", "Bitwise negation unit", func(n string) string { return genBitOps(n, 8) }},
+		{"inputReg.v", true, "datapath", "Input capture register bank", func(n string) string { return genRegBank(n, 4, 8) }},
+		{"tcReset.v", true, "infra", "Reset conditioning for a two's complementer", func(n string) string { return genResetSync(n, 3) }},
+		{"key_expander.v", true, "crypto", "Block-cipher key expansion pipeline", func(n string) string { return genKeyExpand(n, 16, 10) }},
+		{"PSGBusArb.v", true, "arbiter", "Sound-generator bus arbiter", func(n string) string { return genPriorityArb(n, 6) }},
+		{"PSGOutputSummer.v", true, "dsp", "Sound-generator output summer", func(n string) string { return genSummer(n, 6, 8) }},
+		{"crc_control_unit.v", true, "crc", "CRC engine control unit", func(n string) string { return genCRC(n, 16, 0x1021) }},
+		{"qadd.v", false, "datapath", "Fixed-point saturating adder", func(n string) string { return genSatAdd(n, 12) }},
+		{"node.v", true, "noc", "Network-on-chip handshake node", func(n string) string { return genHandshake(n, 8) }},
+		{"clean_rst.v", true, "infra", "Reset synchronizer", func(n string) string { return genResetSync(n, 2) }},
+		{"eth_l3_checksum.v", true, "comm", "Ethernet layer-3 checksum", func(n string) string { return genChecksum(n, 16) }},
+		{"eth_clockgen.v", true, "infra", "Ethernet MII clock generator", func(n string) string { return genClockGen(n, 8) }},
+		{"flow_ctrl.v", true, "comm", "Ethernet flow control", func(n string) string { return genHandshake(n, 4) }},
+		{"reg_int_sim.v", true, "datapath", "Interrupt register block", func(n string) string { return genRegBank(n, 8, 4) }},
+		{"counter.v", true, "counter", "Enabled binary counter", func(n string) string { return genCounter(n, 4, false) }},
+		{"rxStateMachine.v", true, "comm", "UART receive state machine", func(n string) string { return genFSM(n, 10) }},
+		{"can_crc.v", true, "crc", "CAN bus CRC-15", func(n string) string { return genCRC(n, 15, 0x4599) }},
+		{"can_register_asyn_syn.v", true, "datapath", "CAN register with async reset", func(n string) string { return genRegBank(n, 2, 8) }},
+		{"eth_fifo.v", true, "fifo", "Ethernet MAC FIFO control", func(n string) string { return genFifoCtrl(n, 4) }},
+		{"phasecomparator.v", true, "dsp", "PLL phase comparator", func(n string) string { return genPhaseComp(n) }},
+		{"fifo_mem.v", true, "fifo", "Synchronous FIFO occupancy tracker", func(n string) string { return genFifoCtrl(n, 3) }},
+	}
+	// --- parameter sweeps filling out the 100 designs ---
+	for _, w := range []int{2, 3, 6, 8, 10, 12, 16} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("counter_%d.v", w), true, "counter",
+			fmt.Sprintf("%d-bit enabled counter", w),
+			func(n string) string { return genCounter(n, w, w%2 == 0) }})
+	}
+	for _, d := range []int{4, 8, 16, 32} {
+		d := d
+		e = append(e, corpusEntry{
+			fmt.Sprintf("shift_reg_%d.v", d), true, "datapath",
+			fmt.Sprintf("%d-stage shift register", d),
+			func(n string) string { return genShiftReg(n, d) }})
+	}
+	for _, w := range []int{4, 6, 8, 12, 16, 24} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("lfsr_%d.v", w), true, "rng",
+			fmt.Sprintf("%d-bit LFSR random generator", w),
+			func(n string) string { return genLFSR(n, w, []int{w - 1, w / 2, 0}) }})
+	}
+	for _, w := range []int{3, 5, 8} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("gray_counter_%d.v", w), true, "counter",
+			fmt.Sprintf("%d-bit gray-code counter", w),
+			func(n string) string { return genGray(n, w) }})
+	}
+	for _, p := range []int{2, 5, 6} {
+		p := p
+		e = append(e, corpusEntry{
+			fmt.Sprintf("sync_fifo_%d.v", 1<<uint(p)), true, "fifo",
+			fmt.Sprintf("Depth-%d FIFO controller", 1<<uint(p)),
+			func(n string) string { return genFifoCtrl(n, p) }})
+	}
+	for _, s := range []int{4, 6, 8, 12, 16, 32, 40, 48} {
+		s := s
+		e = append(e, corpusEntry{
+			fmt.Sprintf("fsm_ctrl_%d.v", s), true, "fsm",
+			fmt.Sprintf("%d-state sequence controller", s),
+			func(n string) string { return genFSM(n, s) }})
+	}
+	for _, w := range []int{5, 8, 24, 32} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("crc_%d.v", w), true, "crc",
+			fmt.Sprintf("CRC-%d generator", w),
+			func(n string) string { return genCRC(n, w, 0xc599^uint64(w)) }})
+	}
+	for _, w := range []int{8, 24} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("checksum_%d.v", w), true, "comm",
+			fmt.Sprintf("%d-bit checksum accumulator", w),
+			func(n string) string { return genChecksum(n, w) }})
+	}
+	for _, c := range []struct{ w, ops int }{{4, 4}, {8, 8}, {8, 12}, {16, 6}} {
+		c := c
+		e = append(e, corpusEntry{
+			fmt.Sprintf("alu_%dx%d.v", c.w, c.ops), false, "datapath",
+			fmt.Sprintf("%d-bit %d-op ALU", c.w, c.ops),
+			func(n string) string { return genALU(n, c.w, c.ops) }})
+	}
+	for _, w := range []int{8, 16, 32} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("parity_%d.v", w), false, "datapath",
+			fmt.Sprintf("%d-bit parity/reduction", w),
+			func(n string) string { return genParity(n, w) }})
+	}
+	for _, p := range []int{3, 4, 8} {
+		p := p
+		e = append(e, corpusEntry{
+			fmt.Sprintf("prio_arb_%d.v", p), true, "arbiter",
+			fmt.Sprintf("%d-port priority arbiter", p),
+			func(n string) string { return genPriorityArb(n, p) }})
+	}
+	for _, c := range []int{3, 4} {
+		c := c
+		e = append(e, corpusEntry{
+			fmt.Sprintf("mixer_%d.v", c), true, "dsp",
+			fmt.Sprintf("%d-channel mixer", c),
+			func(n string) string { return genSummer(n, c, 6) }})
+	}
+	for _, s := range []int{4} {
+		s := s
+		e = append(e, corpusEntry{
+			fmt.Sprintf("rst_sync_%d.v", s), true, "infra",
+			fmt.Sprintf("%d-stage reset synchronizer", s),
+			func(n string) string { return genResetSync(n, s) }})
+	}
+	for _, w := range []int{4, 12} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("clk_div_%d.v", w), true, "infra",
+			fmt.Sprintf("%d-bit clock divider", w),
+			func(n string) string { return genClockGen(n, w) }})
+	}
+	for _, c := range []struct{ n, w int }{{4, 4}, {8, 8}, {16, 8}, {32, 4}} {
+		c := c
+		e = append(e, corpusEntry{
+			fmt.Sprintf("regbank_%dx%d.v", c.n, c.w), true, "datapath",
+			fmt.Sprintf("%dx%d register bank", c.n, c.w),
+			func(n string) string { return genRegBank(n, c.n, c.w) }})
+	}
+	for _, c := range []struct{ entries, in, out int }{{40, 6, 8}, {120, 7, 10}, {250, 8, 12}, {520, 10, 12}} {
+		c := c
+		e = append(e, corpusEntry{
+			fmt.Sprintf("decode_rom_%d.v", c.entries), false, "codec",
+			fmt.Sprintf("%d-entry decode table", c.entries),
+			func(n string) string { return genLookup(n, c.entries, c.in, c.out) }})
+	}
+	for _, w := range []int{4, 16} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("bitops_%d.v", w), false, "datapath",
+			fmt.Sprintf("%d-bit bit manipulation", w),
+			func(n string) string { return genBitOps(n, w) }})
+	}
+	for _, w := range []int{2, 16} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("hs_node_%d.v", w), true, "noc",
+			fmt.Sprintf("%d-bit handshake pipeline node", w),
+			func(n string) string { return genHandshake(n, w) }})
+	}
+	e = append(e,
+		corpusEntry{"edge_detect.v", true, "infra", "Signal edge detector", genEdgeDetect},
+		corpusEntry{"edge_detect2.v", true, "infra", "Edge detector (variant)", genEdgeDetect},
+		corpusEntry{"debounce_4.v", true, "infra", "4-bit debouncer", func(n string) string { return genDebounce(n, 4) }},
+		corpusEntry{"debounce_8.v", true, "infra", "8-bit debouncer", func(n string) string { return genDebounce(n, 8) }},
+	)
+	for _, w := range []int{4, 8, 16} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("watchdog_%d.v", w), true, "infra",
+			fmt.Sprintf("%d-bit watchdog timer", w),
+			func(n string) string { return genTimer(n, w) }})
+	}
+	for _, w := range []int{4, 8, 10, 16} {
+		w := w
+		e = append(e, corpusEntry{
+			fmt.Sprintf("uart_tx_%d.v", w), true, "comm",
+			fmt.Sprintf("%d-bit serializer", w),
+			func(n string) string { return genSerializer(n, w) }})
+	}
+	for _, r := range []int{6, 20} {
+		r := r
+		e = append(e, corpusEntry{
+			fmt.Sprintf("key_sched_%d.v", r), true, "crypto",
+			fmt.Sprintf("%d-round key schedule", r),
+			func(n string) string { return genKeyExpand(n, 12, r) }})
+	}
+	e = append(e, corpusEntry{"qadd_wide.v", false, "datapath", "16-bit saturating adder",
+		func(n string) string { return genSatAdd(n, 16) }})
+	return e
+}
+
+// genSummer8 is the fixed 8-input transform stage used by fht_1d_x8.v.
+func genSummer8(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: 8-input butterfly stage\n", name)
+	fmt.Fprintf(&sb, "module %s(x0, x1, x2, x3, s01, s23, d01, d23, total);\n", name)
+	sb.WriteString("input [7:0] x0, x1, x2, x3;\n")
+	sb.WriteString("output [8:0] s01, s23, d01, d23;\n")
+	sb.WriteString("output [9:0] total;\n")
+	sb.WriteString("assign s01 = x0 + x1;\n")
+	sb.WriteString("assign s23 = x2 + x3;\n")
+	sb.WriteString("assign d01 = x0 - x1;\n")
+	sb.WriteString("assign d23 = x2 - x3;\n")
+	sb.WriteString("assign total = s01 + s23;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// TestCorpus generates the 100-design test set.
+func TestCorpus() []Design {
+	entries := testEntries()
+	if len(entries) > 100 {
+		entries = entries[:100]
+	}
+	out := make([]Design, 0, len(entries))
+	for _, ce := range entries {
+		name := strings.TrimSuffix(ce.file, ".v")
+		src := ce.gen(name)
+		out = append(out, Design{
+			Name: name, FileName: ce.file, Source: src,
+			Sequential: ce.seq, Category: ce.cat,
+			Functionality: ce.fn, LoC: CountLoC(src),
+		})
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+func TestTrainDesignsElaborate(t *testing.T) {
+	train := TrainDesigns()
+	if len(train) != 5 {
+		t.Fatalf("got %d training designs, want 5", len(train))
+	}
+	seqCount := 0
+	for _, d := range train {
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Errorf("train design %s: %v", d.Name, err)
+			continue
+		}
+		if nl.IsSequential() != d.Sequential {
+			t.Errorf("%s: sequential flag %v, netlist says %v", d.Name, d.Sequential, nl.IsSequential())
+		}
+		if d.Sequential {
+			seqCount++
+		}
+	}
+	// Paper Sec. III: arbiter and T flip-flop are sequential, rest comb.
+	if seqCount != 2 {
+		t.Errorf("sequential training designs = %d, want 2", seqCount)
+	}
+}
+
+func TestCorpusHas100ElaboratingDesigns(t *testing.T) {
+	corpus := TestCorpus()
+	if len(corpus) != 100 {
+		t.Fatalf("corpus has %d designs, want exactly 100", len(corpus))
+	}
+	names := map[string]bool{}
+	for _, d := range corpus {
+		if names[d.Name] {
+			t.Errorf("duplicate design name %s", d.Name)
+		}
+		names[d.Name] = true
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Errorf("design %s does not elaborate: %v", d.Name, err)
+			continue
+		}
+		if nl.IsSequential() != d.Sequential {
+			t.Errorf("%s: metadata says sequential=%v, netlist says %v", d.Name, d.Sequential, nl.IsSequential())
+		}
+		// Every design must be simulatable.
+		s := sim.New(nl)
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+	}
+}
+
+func TestCorpusMatchesPaperScale(t *testing.T) {
+	corpus := TestCorpus()
+	locs := make([]int, len(corpus))
+	seq := 0
+	for i, d := range corpus {
+		locs[i] = d.LoC
+		if d.LoC != CountLoC(d.Source) {
+			t.Errorf("%s: stale LoC metadata", d.Name)
+		}
+		if d.Sequential {
+			seq++
+		}
+	}
+	sort.Ints(locs)
+	// Paper Sec. III: sizes from 10 to 1150 lines.
+	if locs[0] < 5 || locs[0] > 20 {
+		t.Errorf("smallest design is %d LoC, want around 10", locs[0])
+	}
+	if locs[len(locs)-1] < 900 || locs[len(locs)-1] > 1300 {
+		t.Errorf("largest design is %d LoC, want around 1150", locs[len(locs)-1])
+	}
+	if seq < 60 || seq > 90 {
+		t.Errorf("%d sequential designs; expected a sequential-heavy mix", seq)
+	}
+	// The named Table I designs must be present.
+	names := map[string]bool{}
+	for _, d := range corpus {
+		names[d.FileName] = true
+	}
+	for _, want := range []string{
+		"ca_prng.v", "cavlc_read_total_coeffs.v", "cavlc_read_total_zeros.v",
+		"ge_1000baseX_rx.v", "MAC_tx_Ctrl.v", "fifo_mem.v", "can_crc.v",
+		"counter.v", "eth_fifo.v", "phasecomparator.v",
+	} {
+		if !names[want] {
+			t.Errorf("corpus missing paper design %s", want)
+		}
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	src := `
+// comment only
+module m(a); // trailing
+
+/* block
+   comment */
+input a; /* inline */ wire b;
+endmodule
+`
+	if got := CountLoC(src); got != 3 {
+		t.Errorf("CountLoC = %d, want 3", got)
+	}
+}
+
+func TestBuildICLExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining in short mode")
+	}
+	icl, err := BuildICL(ICLOptions{FPV: fpv.Options{MaxProductStates: 20000, RandomRuns: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(icl) != 5 {
+		t.Fatalf("got %d examples, want 5", len(icl))
+	}
+	total := 0
+	for _, ex := range icl {
+		if len(ex.Assertions) < 2 {
+			t.Errorf("example %s has %d assertions, want >= 2 (paper minimum)", ex.Name, len(ex.Assertions))
+		}
+		if len(ex.Assertions) > 10 {
+			t.Errorf("example %s has %d assertions, want <= 10", ex.Name, len(ex.Assertions))
+		}
+		total += len(ex.Assertions)
+		// Every example assertion must be proven on its own design.
+		nl, err := verilog.ElaborateSource(ex.Source, ex.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, as := range ex.Assertions {
+			r := fpv.VerifySource(nl, strings.TrimSuffix(as, ";"), fpv.Options{})
+			if !r.Status.IsPass() {
+				t.Errorf("%s: ICL assertion %q is not proven (%v)", ex.Name, as, r.Status)
+			}
+		}
+	}
+	if total < 10 {
+		t.Errorf("only %d assertions across examples; paper averages 4.8/design", total)
+	}
+}

@@ -1,0 +1,642 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file contains the procedural Verilog generators behind the test
+// corpus. Each family mirrors a hardware category from the paper's test
+// set (communication controllers, CRC units, RNGs, FSMs, FIFOs/flow
+// control, datapath blocks, ...). Every generated design parses,
+// elaborates, and simulates under internal/verilog — the generators are
+// covered by tests that elaborate all 100 designs.
+
+// genCounter: enabled up-counter with synchronous clear and optional load.
+func genCounter(name string, width int, hasLoad bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit enabled counter\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, en, ", name)
+	if hasLoad {
+		sb.WriteString("load, din, ")
+	}
+	sb.WriteString("count, tc);\n")
+	sb.WriteString("input clk, rst, en;\n")
+	if hasLoad {
+		sb.WriteString("input load;\n")
+		fmt.Fprintf(&sb, "input [%d:0] din;\n", width-1)
+	}
+	fmt.Fprintf(&sb, "output [%d:0] count;\n", width-1)
+	sb.WriteString("output tc;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] count;\n", width-1)
+	fmt.Fprintf(&sb, "assign tc = count == %d'h%x;\n", width, (uint64(1)<<uint(width))-1)
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    count <= 0;\n")
+	if hasLoad {
+		sb.WriteString("  else if (load)\n    count <= din;\n")
+	}
+	sb.WriteString("  else if (en)\n    count <= count + 1;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genShiftReg: serial-in shift register with parallel tap outputs.
+func genShiftReg(name string, depth int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-deep shift register\n", name, depth)
+	fmt.Fprintf(&sb, "module %s(clk, rst, d, q, taps);\n", name)
+	sb.WriteString("input clk, rst, d;\noutput q;\n")
+	fmt.Fprintf(&sb, "output [%d:0] taps;\n", depth-1)
+	fmt.Fprintf(&sb, "reg [%d:0] sr;\n", depth-1)
+	sb.WriteString("assign taps = sr;\n")
+	fmt.Fprintf(&sb, "assign q = sr[%d];\n", depth-1)
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    sr <= 0;\n")
+	fmt.Fprintf(&sb, "  else\n    sr <= {sr[%d:0], d};\n", depth-2)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genLFSR: Fibonacci LFSR pattern generator (the corpus "RNG" category).
+func genLFSR(name string, width int, taps []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit LFSR pattern generator\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, en, lfsr, bit_out);\n", name)
+	sb.WriteString("input clk, rst, en;\n")
+	fmt.Fprintf(&sb, "output [%d:0] lfsr;\n", width-1)
+	sb.WriteString("output bit_out;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] lfsr;\n", width-1)
+	sb.WriteString("wire fb;\n")
+	terms := make([]string, len(taps))
+	for i, t := range taps {
+		terms[i] = fmt.Sprintf("lfsr[%d]", t)
+	}
+	fmt.Fprintf(&sb, "assign fb = %s;\n", strings.Join(terms, " ^ "))
+	sb.WriteString("assign bit_out = lfsr[0];\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	fmt.Fprintf(&sb, "  if (rst)\n    lfsr <= %d'h1;\n", width)
+	fmt.Fprintf(&sb, "  else if (en)\n    lfsr <= {lfsr[%d:0], fb};\n", width-2)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genGray: gray-code counter with binary shadow.
+func genGray(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit gray-code counter\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, en, gray, bin);\n", name)
+	sb.WriteString("input clk, rst, en;\n")
+	fmt.Fprintf(&sb, "output [%d:0] gray, bin;\n", width-1)
+	fmt.Fprintf(&sb, "reg [%d:0] bin;\n", width-1)
+	sb.WriteString("assign gray = bin ^ (bin >> 1);\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    bin <= 0;\n")
+	sb.WriteString("  else if (en)\n    bin <= bin + 1;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genFifoCtrl: FIFO pointer/occupancy controller (flow-control category).
+func genFifoCtrl(name string, ptrWidth int) string {
+	depth := 1 << uint(ptrWidth)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: FIFO occupancy controller, depth %d\n", name, depth)
+	fmt.Fprintf(&sb, "module %s(clk, rst, w_en, r_en, full, empty, count);\n", name)
+	sb.WriteString("input clk, rst, w_en, r_en;\noutput full, empty;\n")
+	fmt.Fprintf(&sb, "output [%d:0] count;\n", ptrWidth)
+	fmt.Fprintf(&sb, "reg [%d:0] count;\n", ptrWidth)
+	fmt.Fprintf(&sb, "reg [%d:0] wptr, rptr;\n", ptrWidth-1)
+	fmt.Fprintf(&sb, "assign full = count == %d'd%d;\n", ptrWidth+1, depth)
+	sb.WriteString("assign empty = count == 0;\n")
+	sb.WriteString("wire do_w, do_r;\n")
+	sb.WriteString("assign do_w = w_en & ~full;\n")
+	sb.WriteString("assign do_r = r_en & ~empty;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    wptr <= 0;\n    rptr <= 0;\n    count <= 0;\n  end\n")
+	sb.WriteString("  else begin\n")
+	sb.WriteString("    if (do_w)\n      wptr <= wptr + 1;\n")
+	sb.WriteString("    if (do_r)\n      rptr <= rptr + 1;\n")
+	sb.WriteString("    if (do_w & ~do_r)\n      count <= count + 1;\n")
+	sb.WriteString("    else if (do_r & ~do_w)\n      count <= count - 1;\n")
+	sb.WriteString("  end\nendmodule\n")
+	return sb.String()
+}
+
+// genFSM: a linear/branching state machine of n states with start/abort
+// control (state-machine and controller categories).
+func genFSM(name string, states int) string {
+	w := 1
+	for (1 << uint(w)) < states {
+		w++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-state control FSM\n", name, states)
+	fmt.Fprintf(&sb, "module %s(clk, rst, start, advance, abort, state, busy, done);\n", name)
+	sb.WriteString("input clk, rst, start, advance, abort;\n")
+	fmt.Fprintf(&sb, "output [%d:0] state;\n", w-1)
+	sb.WriteString("output busy, done;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] state, next;\n", w-1)
+	sb.WriteString("assign busy = state != 0;\n")
+	fmt.Fprintf(&sb, "assign done = state == %d'd%d;\n", w, states-1)
+	sb.WriteString("always @(*)\n")
+	sb.WriteString("  case (state)\n")
+	fmt.Fprintf(&sb, "    %d'd0: next = start ? %d'd1 : %d'd0;\n", w, w, w)
+	for s := 1; s < states-1; s++ {
+		fmt.Fprintf(&sb, "    %d'd%d: next = abort ? %d'd0 : (advance ? %d'd%d : %d'd%d);\n",
+			w, s, w, w, s+1, w, s)
+	}
+	fmt.Fprintf(&sb, "    %d'd%d: next = %d'd0;\n", w, states-1, w)
+	fmt.Fprintf(&sb, "    default: next = %d'd0;\n", w)
+	sb.WriteString("  endcase\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    state <= 0;\n  else\n    state <= next;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genCRC: serial CRC with programmable-polynomial feedback (CRC category).
+func genCRC(name string, width int, poly uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit serial CRC, poly %#x\n", name, width, poly)
+	fmt.Fprintf(&sb, "module %s(clk, rst, din, d_en, clear, crc, crc_ok);\n", name)
+	sb.WriteString("input clk, rst, din, d_en, clear;\n")
+	fmt.Fprintf(&sb, "output [%d:0] crc;\n", width-1)
+	sb.WriteString("output crc_ok;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] crc;\n", width-1)
+	sb.WriteString("wire fb;\n")
+	fmt.Fprintf(&sb, "assign fb = crc[%d] ^ din;\n", width-1)
+	sb.WriteString("assign crc_ok = crc == 0;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    crc <= 0;\n")
+	sb.WriteString("  else if (clear)\n    crc <= 0;\n")
+	sb.WriteString("  else if (d_en)\n")
+	fmt.Fprintf(&sb, "    crc <= {crc[%d:0], 1'b0} ^ (fb ? %d'h%x : %d'h0);\n",
+		width-2, width, poly&((uint64(1)<<uint(width))-1), width)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genChecksum: accumulate-and-fold checksum (network checksum category).
+func genChecksum(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit ones-accumulate checksum\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, data, valid, clear, sum, sum_zero);\n", name)
+	sb.WriteString("input clk, rst, valid, clear;\n")
+	fmt.Fprintf(&sb, "input [%d:0] data;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] sum;\n", width-1)
+	sb.WriteString("output sum_zero;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] sum;\n", width-1)
+	sb.WriteString("assign sum_zero = sum == 0;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    sum <= 0;\n")
+	sb.WriteString("  else if (clear)\n    sum <= 0;\n")
+	sb.WriteString("  else if (valid)\n    sum <= sum + data;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genALU: combinational ALU over a case-selected operation set.
+func genALU(name string, width, nops int) string {
+	ops := []string{"a + b", "a - b", "a & b", "a | b", "a ^ b", "~a",
+		"a >> 1", "a << 1", "(a > b) ? a : b", "(a < b) ? a : b", "a", "b"}
+	if nops > len(ops) {
+		nops = len(ops)
+	}
+	selW := 1
+	for (1 << uint(selW)) < nops {
+		selW++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit ALU with %d ops\n", name, width, nops)
+	fmt.Fprintf(&sb, "module %s(op, a, b, y, zero);\n", name)
+	fmt.Fprintf(&sb, "input [%d:0] op;\n", selW-1)
+	fmt.Fprintf(&sb, "input [%d:0] a, b;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] y;\n", width-1)
+	sb.WriteString("output zero;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] y;\n", width-1)
+	sb.WriteString("assign zero = y == 0;\n")
+	sb.WriteString("always @(*)\n  case (op)\n")
+	for i := 0; i < nops; i++ {
+		fmt.Fprintf(&sb, "    %d'd%d: y = %s;\n", selW, i, ops[i])
+	}
+	sb.WriteString("    default: y = 0;\n  endcase\nendmodule\n")
+	return sb.String()
+}
+
+// genSatAdd: saturating fixed-point adder (the corpus qadd.v).
+func genSatAdd(name string, width int) string {
+	var sb strings.Builder
+	max := (uint64(1) << uint(width)) - 1
+	fmt.Fprintf(&sb, "// %s: %d-bit saturating adder\n", name, width)
+	fmt.Fprintf(&sb, "module %s(a, b, sum, sat);\n", name)
+	fmt.Fprintf(&sb, "input [%d:0] a, b;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] sum;\n", width-1)
+	sb.WriteString("output sat;\n")
+	fmt.Fprintf(&sb, "wire [%d:0] raw;\n", width)
+	sb.WriteString("assign raw = a + b;\n")
+	fmt.Fprintf(&sb, "assign sat = raw[%d];\n", width)
+	fmt.Fprintf(&sb, "assign sum = sat ? %d'h%x : raw[%d:0];\n", width, max, width-1)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genParity: wide parity/reduction block (combinational).
+func genParity(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit parity and reductions\n", name, width)
+	fmt.Fprintf(&sb, "module %s(d, even, odd, all_ones, any_one);\n", name)
+	fmt.Fprintf(&sb, "input [%d:0] d;\n", width-1)
+	sb.WriteString("output even, odd, all_ones, any_one;\n")
+	sb.WriteString("reg odd;\ninteger i;\n")
+	sb.WriteString("always @(*) begin\n  odd = 0;\n")
+	fmt.Fprintf(&sb, "  for (i = 0; i < %d; i = i + 1)\n    odd = odd ^ d[i];\nend\n", width)
+	sb.WriteString("assign even = ~odd;\n")
+	sb.WriteString("assign all_ones = &d;\n")
+	sb.WriteString("assign any_one = |d;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genPriorityArb: combinational priority arbiter with registered last
+// grant (bus-arbiter category).
+func genPriorityArb(name string, ports int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-port priority arbiter\n", name, ports)
+	fmt.Fprintf(&sb, "module %s(clk, rst, req, gnt, active);\n", name)
+	sb.WriteString("input clk, rst;\n")
+	fmt.Fprintf(&sb, "input [%d:0] req;\n", ports-1)
+	fmt.Fprintf(&sb, "output [%d:0] gnt;\n", ports-1)
+	sb.WriteString("output active;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] gnt_q;\n", ports-1)
+	fmt.Fprintf(&sb, "reg [%d:0] pri;\n", ports-1)
+	sb.WriteString("assign gnt = gnt_q;\n")
+	sb.WriteString("assign active = |gnt_q;\n")
+	sb.WriteString("always @(*) begin\n")
+	sb.WriteString("  pri = 0;\n")
+	for i := 0; i < ports; i++ {
+		if i == 0 {
+			fmt.Fprintf(&sb, "  if (req[0])\n    pri = %d'd1;\n", ports)
+		} else {
+			cond := make([]string, i)
+			for j := 0; j < i; j++ {
+				cond[j] = fmt.Sprintf("~req[%d]", j)
+			}
+			fmt.Fprintf(&sb, "  else if (req[%d] & %s)\n    pri = %d'd%d;\n",
+				i, strings.Join(cond, " & "), ports, 1<<uint(i))
+		}
+	}
+	sb.WriteString("end\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    gnt_q <= 0;\n  else\n    gnt_q <= pri;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genSummer: registered adder tree over n channels (audio-summer
+// category).
+func genSummer(name string, channels, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-channel output summer\n", name, channels)
+	fmt.Fprintf(&sb, "module %s(clk, rst, en, ", name)
+	for i := 0; i < channels; i++ {
+		fmt.Fprintf(&sb, "ch%d, ", i)
+	}
+	sb.WriteString("out);\n")
+	sb.WriteString("input clk, rst, en;\n")
+	for i := 0; i < channels; i++ {
+		fmt.Fprintf(&sb, "input [%d:0] ch%d;\n", width-1, i)
+	}
+	fmt.Fprintf(&sb, "output [%d:0] out;\n", width+3)
+	fmt.Fprintf(&sb, "reg [%d:0] out;\n", width+3)
+	terms := make([]string, channels)
+	for i := 0; i < channels; i++ {
+		terms[i] = fmt.Sprintf("ch%d", i)
+	}
+	fmt.Fprintf(&sb, "wire [%d:0] total;\n", width+3)
+	fmt.Fprintf(&sb, "assign total = %s;\n", strings.Join(terms, " + "))
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    out <= 0;\n  else if (en)\n    out <= total;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genResetSync: reset synchronizer chain (clean_rst / tcReset category).
+func genResetSync(name string, stages int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-stage reset synchronizer\n", name, stages)
+	fmt.Fprintf(&sb, "module %s(clk, rst_in, rst_out);\n", name)
+	sb.WriteString("input clk, rst_in;\noutput rst_out;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] sync;\n", stages-1)
+	fmt.Fprintf(&sb, "assign rst_out = sync[%d];\n", stages-1)
+	sb.WriteString("always @(posedge clk)\n")
+	fmt.Fprintf(&sb, "  sync <= {sync[%d:0], rst_in};\n", stages-2)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genClockGen: clock divider with programmable terminal count.
+func genClockGen(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: clock enable generator, %d-bit divider\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, divisor, tick);\n", name)
+	sb.WriteString("input clk, rst;\n")
+	fmt.Fprintf(&sb, "input [%d:0] divisor;\n", width-1)
+	sb.WriteString("output tick;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] cnt;\n", width-1)
+	sb.WriteString("reg tick;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    cnt <= 0;\n    tick <= 0;\n  end\n")
+	sb.WriteString("  else if (cnt >= divisor) begin\n    cnt <= 0;\n    tick <= 1;\n  end\n")
+	sb.WriteString("  else begin\n    cnt <= cnt + 1;\n    tick <= 0;\n  end\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genRegBank: explicitly unrolled register bank with write select.
+func genRegBank(name string, regs, width int) string {
+	selW := 1
+	for (1 << uint(selW)) < regs {
+		selW++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d x %d-bit register bank\n", name, regs, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, we, sel, din, dout);\n", name)
+	sb.WriteString("input clk, rst, we;\n")
+	fmt.Fprintf(&sb, "input [%d:0] sel;\n", selW-1)
+	fmt.Fprintf(&sb, "input [%d:0] din;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] dout;\n", width-1)
+	fmt.Fprintf(&sb, "reg [%d:0] dout;\n", width-1)
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&sb, "reg [%d:0] r%d;\n", width-1, i)
+	}
+	sb.WriteString("always @(*)\n  case (sel)\n")
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&sb, "    %d'd%d: dout = r%d;\n", selW, i, i)
+	}
+	sb.WriteString("    default: dout = 0;\n  endcase\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n")
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&sb, "    r%d <= 0;\n", i)
+	}
+	sb.WriteString("  end\n  else if (we)\n    case (sel)\n")
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&sb, "      %d'd%d: r%d <= din;\n", selW, i, i)
+	}
+	sb.WriteString("      default: r0 <= r0;\n    endcase\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genLookup: large combinational decode table (the video-codec lookup
+// category — where the corpus's thousand-line files come from).
+func genLookup(name string, entries, inW, outW int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-entry decode table\n", name, entries)
+	fmt.Fprintf(&sb, "module %s(code, value, valid);\n", name)
+	fmt.Fprintf(&sb, "input [%d:0] code;\n", inW-1)
+	fmt.Fprintf(&sb, "output [%d:0] value;\n", outW-1)
+	sb.WriteString("output valid;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] value;\n", outW-1)
+	sb.WriteString("reg valid;\n")
+	sb.WriteString("always @(*) begin\n  valid = 1;\n  case (code)\n")
+	mask := (uint64(1) << uint(outW)) - 1
+	for i := 0; i < entries; i++ {
+		// A deterministic pseudo-random but reproducible table.
+		v := (uint64(i)*2654435761 + 12345) & mask
+		fmt.Fprintf(&sb, "    %d'd%d: value = %d'h%x;\n", inW, i, outW, v)
+	}
+	sb.WriteString("    default: begin\n      value = 0;\n      valid = 0;\n    end\n")
+	sb.WriteString("  endcase\nend\nendmodule\n")
+	return sb.String()
+}
+
+// genLookupReg: decode table with a registered output stage (the
+// sequential lookup variant of Table I).
+func genLookupReg(name string, entries, inW, outW int) string {
+	comb := genLookup(name+"_tbl", entries, inW, outW)
+	var sb strings.Builder
+	sb.WriteString(comb)
+	fmt.Fprintf(&sb, "// %s: registered decode stage\n", name)
+	fmt.Fprintf(&sb, "module %s(clk, rst, code, value_q, valid_q);\n", name)
+	sb.WriteString("input clk, rst;\n")
+	fmt.Fprintf(&sb, "input [%d:0] code;\n", inW-1)
+	fmt.Fprintf(&sb, "output [%d:0] value_q;\n", outW-1)
+	sb.WriteString("output valid_q;\n")
+	fmt.Fprintf(&sb, "wire [%d:0] value;\n", outW-1)
+	sb.WriteString("wire valid;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] value_q;\n", outW-1)
+	sb.WriteString("reg valid_q;\n")
+	fmt.Fprintf(&sb, "%s_tbl tbl (.code(code), .value(value), .valid(valid));\n", name)
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    value_q <= 0;\n    valid_q <= 0;\n  end\n")
+	sb.WriteString("  else begin\n    value_q <= value;\n    valid_q <= valid;\n  end\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genBitOps: small combinational bit-manipulation block.
+func genBitOps(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: bitwise negator and swizzles\n", name)
+	fmt.Fprintf(&sb, "module %s(a, b, neg_a, nand_ab, xor_ab, msb_or);\n", name)
+	fmt.Fprintf(&sb, "input [%d:0] a, b;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] neg_a, nand_ab, xor_ab;\n", width-1)
+	sb.WriteString("output msb_or;\n")
+	sb.WriteString("assign neg_a = ~a;\n")
+	sb.WriteString("assign nand_ab = ~(a & b);\n")
+	sb.WriteString("assign xor_ab = a ^ b;\n")
+	fmt.Fprintf(&sb, "assign msb_or = a[%d] | b[%d];\n", width-1, width-1)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genHandshake: ready/valid pipeline node (flow-control category).
+func genHandshake(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: ready/valid handshake node\n", name)
+	fmt.Fprintf(&sb, "module %s(clk, rst, in_valid, out_ready, in_data, in_ready, out_valid, out_data);\n", name)
+	sb.WriteString("input clk, rst, in_valid, out_ready;\n")
+	fmt.Fprintf(&sb, "input [%d:0] in_data;\n", width-1)
+	sb.WriteString("output in_ready, out_valid;\n")
+	fmt.Fprintf(&sb, "output [%d:0] out_data;\n", width-1)
+	sb.WriteString("reg out_valid;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] out_data;\n", width-1)
+	sb.WriteString("assign in_ready = ~out_valid | out_ready;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    out_valid <= 0;\n    out_data <= 0;\n  end\n")
+	sb.WriteString("  else if (in_valid & in_ready) begin\n    out_valid <= 1;\n    out_data <= in_data;\n  end\n")
+	sb.WriteString("  else if (out_ready)\n    out_valid <= 0;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genEdgeDetect: rising/falling edge detector.
+func genEdgeDetect(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: edge detector\n", name)
+	fmt.Fprintf(&sb, "module %s(clk, rst, sig, rose, fell, level);\n", name)
+	sb.WriteString("input clk, rst, sig;\noutput rose, fell, level;\n")
+	sb.WriteString("reg prev;\n")
+	sb.WriteString("assign rose = sig & ~prev;\n")
+	sb.WriteString("assign fell = ~sig & prev;\n")
+	sb.WriteString("assign level = prev;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    prev <= 0;\n  else\n    prev <= sig;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genDebounce: counter-based debouncer.
+func genDebounce(name string, cntW int) string {
+	var sb strings.Builder
+	limit := (uint64(1) << uint(cntW)) - 1
+	fmt.Fprintf(&sb, "// %s: %d-bit debouncer\n", name, cntW)
+	fmt.Fprintf(&sb, "module %s(clk, rst, noisy, clean);\n", name)
+	sb.WriteString("input clk, rst, noisy;\noutput clean;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] cnt;\n", cntW-1)
+	sb.WriteString("reg clean;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    cnt <= 0;\n    clean <= 0;\n  end\n")
+	sb.WriteString("  else if (noisy == clean)\n    cnt <= 0;\n")
+	fmt.Fprintf(&sb, "  else if (cnt == %d'd%d) begin\n    clean <= noisy;\n    cnt <= 0;\n  end\n", cntW, limit)
+	sb.WriteString("  else\n    cnt <= cnt + 1;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genTimer: watchdog timer with expiry flag.
+func genTimer(name string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit watchdog timer\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, kick, limit, expired, timer);\n", name)
+	sb.WriteString("input clk, rst, kick;\n")
+	fmt.Fprintf(&sb, "input [%d:0] limit;\n", width-1)
+	sb.WriteString("output expired;\n")
+	fmt.Fprintf(&sb, "output [%d:0] timer;\n", width-1)
+	fmt.Fprintf(&sb, "reg [%d:0] timer;\n", width-1)
+	sb.WriteString("assign expired = timer >= limit;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst)\n    timer <= 0;\n")
+	sb.WriteString("  else if (kick)\n    timer <= 0;\n")
+	sb.WriteString("  else if (~expired)\n    timer <= timer + 1;\n")
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// genSerializer: parallel-to-serial transmitter with bit counter (UART-
+// style controller category).
+func genSerializer(name string, width int) string {
+	cntW := 1
+	for (1 << uint(cntW)) < width {
+		cntW++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-bit serializer\n", name, width)
+	fmt.Fprintf(&sb, "module %s(clk, rst, load, data, tx, busy, bitcnt);\n", name)
+	sb.WriteString("input clk, rst, load;\n")
+	fmt.Fprintf(&sb, "input [%d:0] data;\n", width-1)
+	sb.WriteString("output tx, busy;\n")
+	fmt.Fprintf(&sb, "output [%d:0] bitcnt;\n", cntW-1)
+	fmt.Fprintf(&sb, "reg [%d:0] shreg;\n", width-1)
+	fmt.Fprintf(&sb, "reg [%d:0] bitcnt;\n", cntW-1)
+	sb.WriteString("reg busy;\n")
+	sb.WriteString("assign tx = busy ? shreg[0] : 1'b1;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    shreg <= 0;\n    bitcnt <= 0;\n    busy <= 0;\n  end\n")
+	sb.WriteString("  else if (load & ~busy) begin\n    shreg <= data;\n")
+	fmt.Fprintf(&sb, "    bitcnt <= %d'd%d;\n    busy <= 1;\n  end\n", cntW, width-1)
+	sb.WriteString("  else if (busy) begin\n")
+	fmt.Fprintf(&sb, "    shreg <= {1'b0, shreg[%d:1]};\n", width-1)
+	sb.WriteString("    if (bitcnt == 0)\n      busy <= 0;\n    else\n      bitcnt <= bitcnt - 1;\n")
+	sb.WriteString("  end\nendmodule\n")
+	return sb.String()
+}
+
+// genKeyExpand: XOR/rotate round pipeline (crypto key-expander category).
+func genKeyExpand(name string, width, rounds int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-round key expander\n", name, rounds)
+	fmt.Fprintf(&sb, "module %s(clk, rst, go, key_in, key_out, rdy);\n", name)
+	sb.WriteString("input clk, rst, go;\n")
+	fmt.Fprintf(&sb, "input [%d:0] key_in;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] key_out;\n", width-1)
+	sb.WriteString("output rdy;\n")
+	for r := 0; r <= rounds; r++ {
+		fmt.Fprintf(&sb, "reg [%d:0] rk%d;\n", width-1, r)
+	}
+	fmt.Fprintf(&sb, "reg [%d:0] vld;\n", rounds)
+	fmt.Fprintf(&sb, "assign key_out = rk%d;\n", rounds)
+	fmt.Fprintf(&sb, "assign rdy = vld[%d];\n", rounds)
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n")
+	for r := 0; r <= rounds; r++ {
+		fmt.Fprintf(&sb, "    rk%d <= 0;\n", r)
+	}
+	sb.WriteString("    vld <= 0;\n  end\n")
+	sb.WriteString("  else begin\n")
+	sb.WriteString("    rk0 <= key_in;\n")
+	for r := 1; r <= rounds; r++ {
+		fmt.Fprintf(&sb, "    rk%d <= {rk%d[%d:0], rk%d[%d]} ^ %d'h%x;\n",
+			r, r-1, width-2, r-1, width-1, width, uint64(r*37+11)&((uint64(1)<<uint(width))-1))
+	}
+	fmt.Fprintf(&sb, "    vld <= {vld[%d:0], go};\n", rounds-1)
+	sb.WriteString("  end\nendmodule\n")
+	return sb.String()
+}
+
+// genPRNG: compact pattern generator — an LFSR whose state drives a large
+// nonlinear output table (the corpus's ca_prng, 1100+ lines).
+func genPRNG(name string, lfsrW, entries int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: pattern generator, %d-bit LFSR + %d-entry table\n", name, lfsrW, entries)
+	fmt.Fprintf(&sb, "module %s(clk, rst, en, pattern, prbs);\n", name)
+	sb.WriteString("input clk, rst, en;\n")
+	sb.WriteString("output [7:0] pattern;\noutput prbs;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] lfsr;\n", lfsrW-1)
+	sb.WriteString("reg [7:0] pattern;\n")
+	sb.WriteString("wire fb;\n")
+	fmt.Fprintf(&sb, "assign fb = lfsr[%d] ^ lfsr[%d];\n", lfsrW-1, lfsrW/2)
+	sb.WriteString("assign prbs = lfsr[0];\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	fmt.Fprintf(&sb, "  if (rst)\n    lfsr <= %d'h1;\n", lfsrW)
+	fmt.Fprintf(&sb, "  else if (en)\n    lfsr <= {lfsr[%d:0], fb};\n", lfsrW-2)
+	fmt.Fprintf(&sb, "always @(*)\n  case (lfsr[%d:0])\n", bitsFor(entries)-1)
+	for i := 0; i < entries; i++ {
+		v := (uint64(i)*2246822519 + 97) & 0xff
+		fmt.Fprintf(&sb, "    %d'd%d: pattern = 8'h%02x;\n", bitsFor(entries), i, v)
+	}
+	sb.WriteString("    default: pattern = 8'h00;\n  endcase\nendmodule\n")
+	return sb.String()
+}
+
+// bitsFor returns the bit width needed to index n entries.
+func bitsFor(n int) int {
+	w := 1
+	for (1 << uint(w)) < n {
+		w++
+	}
+	return w
+}
+
+// genPhaseComp: phase comparator: tracks which of two signals rose first.
+func genPhaseComp(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: phase comparator\n", name)
+	fmt.Fprintf(&sb, "module %s(clk, rst, sig_a, sig_b, lead_a, lead_b, locked);\n", name)
+	sb.WriteString("input clk, rst, sig_a, sig_b;\n")
+	sb.WriteString("output lead_a, lead_b, locked;\n")
+	sb.WriteString("reg pa, pb, lead_a, lead_b;\n")
+	sb.WriteString("wire rose_a, rose_b;\n")
+	sb.WriteString("assign rose_a = sig_a & ~pa;\n")
+	sb.WriteString("assign rose_b = sig_b & ~pb;\n")
+	sb.WriteString("assign locked = ~lead_a & ~lead_b;\n")
+	sb.WriteString("always @(posedge clk or posedge rst)\n")
+	sb.WriteString("  if (rst) begin\n    pa <= 0;\n    pb <= 0;\n    lead_a <= 0;\n    lead_b <= 0;\n  end\n")
+	sb.WriteString("  else begin\n    pa <= sig_a;\n    pb <= sig_b;\n")
+	sb.WriteString("    if (rose_a & ~rose_b) begin\n      lead_a <= 1;\n      lead_b <= 0;\n    end\n")
+	sb.WriteString("    else if (rose_b & ~rose_a) begin\n      lead_b <= 1;\n      lead_a <= 0;\n    end\n")
+	sb.WriteString("    else if (rose_a & rose_b) begin\n      lead_a <= 0;\n      lead_b <= 0;\n    end\n")
+	sb.WriteString("  end\nendmodule\n")
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package bench
+
+// Security-oriented designs exercising the paper's future-work direction
+// (iii): "model and capture likely design security vulnerabilities as
+// assertions". They are not part of the 100-design test corpus; the
+// security miner (internal/mine.Security) and the information-flow
+// checker target them.
+
+// SecAccessCtrl gates a data path behind a lock register. The unlocked
+// path leaks data_in to data_out; locked, the output must be zero.
+const SecAccessCtrl = `// access-controlled data path
+module access_ctrl(clk, rst, unlock_req, key_ok, data_in, data_out, locked);
+input clk, rst, unlock_req, key_ok;
+input [7:0] data_in;
+output [7:0] data_out;
+output locked;
+reg locked_r;
+assign locked = locked_r;
+assign data_out = locked_r ? 8'h00 : data_in;
+always @(posedge clk or posedge rst)
+  if (rst)
+    locked_r <= 1;
+  else if (unlock_req & key_ok)
+    locked_r <= 0;
+  else if (~unlock_req)
+    locked_r <= 1;
+endmodule
+`
+
+// SecAccessCtrlLeaky is the buggy variant: one output bit bypasses the
+// lock — the kind of subtle leak a security assertion must catch.
+const SecAccessCtrlLeaky = `// access-controlled data path with a leak
+module access_ctrl_leaky(clk, rst, unlock_req, key_ok, data_in, data_out, locked);
+input clk, rst, unlock_req, key_ok;
+input [7:0] data_in;
+output [7:0] data_out;
+output locked;
+reg locked_r;
+assign locked = locked_r;
+// BUG: bit 0 of the data path ignores the lock.
+assign data_out = {locked_r ? 7'h00 : data_in[7:1], data_in[0]};
+always @(posedge clk or posedge rst)
+  if (rst)
+    locked_r <= 1;
+  else if (unlock_req & key_ok)
+    locked_r <= 0;
+  else if (~unlock_req)
+    locked_r <= 1;
+endmodule
+`
+
+// SecPrivFSM is a privilege-escalation FSM: user -> supervisor requires
+// an auth handshake; any fault drops back to user.
+const SecPrivFSM = `// privilege FSM
+module priv_fsm(clk, rst, auth_req, auth_ok, fault, priv, super);
+input clk, rst, auth_req, auth_ok, fault;
+output [1:0] priv;
+output super;
+reg [1:0] priv;
+assign super = priv == 2'd2;
+always @(posedge clk or posedge rst)
+  if (rst)
+    priv <= 0;
+  else if (fault)
+    priv <= 0;
+  else
+    case (priv)
+      2'd0: priv <= auth_req ? 2'd1 : 2'd0;
+      2'd1: priv <= auth_ok ? 2'd2 : 2'd0;
+      2'd2: priv <= 2'd2;
+      default: priv <= 0;
+    endcase
+endmodule
+`
+
+// SecurityDesigns returns the security benchmark set.
+func SecurityDesigns() []Design {
+	entries := []struct {
+		name, file, src, fn string
+	}{
+		{"access_ctrl", "access_ctrl.v", SecAccessCtrl, "Lock-gated data path"},
+		{"access_ctrl_leaky", "access_ctrl_leaky.v", SecAccessCtrlLeaky, "Lock-gated data path with a deliberate leak"},
+		{"priv_fsm", "priv_fsm.v", SecPrivFSM, "Privilege-escalation FSM"},
+	}
+	out := make([]Design, len(entries))
+	for i, e := range entries {
+		out[i] = Design{
+			Name: e.name, FileName: e.file, Source: e.src,
+			Sequential: true, Category: "security",
+			Functionality: e.fn, LoC: CountLoC(e.src),
+		}
+	}
+	return out
+}

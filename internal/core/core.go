@@ -1,0 +1,221 @@
+// Package core is the public facade of the AssertionBench/AssertionLLM
+// reproduction. It wires the substrates together behind a small API:
+//
+//	b, _ := core.LoadBenchmark(core.Options{})        // designs + ICL examples
+//	gen, _ := core.Generate(core.GPT4o, design, b, 5) // k-shot generation
+//	res, _ := core.Verify(design, gen.Assertions)     // FPV verdicts
+//	runs, _ := core.EvaluateCOTS(b, core.GPT4o)       // Fig. 6 column
+//	tuned, _ := core.BuildAssertionLLM(b, core.CodeLlama2)
+//
+// Everything underneath (Verilog front end, simulator, FPV engine, miners,
+// simulated LLMs) is exposed through the internal packages for advanced
+// use; this package covers the paper's experiment surface.
+package core
+
+import (
+	"fmt"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/corrector"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/mine"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// ModelID selects one of the paper's models.
+type ModelID int
+
+// Model identifiers.
+const (
+	GPT35 ModelID = iota
+	GPT4o
+	CodeLlama2
+	Llama3
+)
+
+// Profile returns the calibrated profile for a model id.
+func (id ModelID) Profile() (llm.Profile, error) {
+	switch id {
+	case GPT35:
+		return llm.GPT35(), nil
+	case GPT4o:
+		return llm.GPT4o(), nil
+	case CodeLlama2:
+		return llm.CodeLlama2(), nil
+	case Llama3:
+		return llm.Llama3(), nil
+	}
+	return llm.Profile{}, fmt.Errorf("core: unknown model id %d", int(id))
+}
+
+// ParseModel resolves a model name used by the CLIs.
+func ParseModel(name string) (ModelID, error) {
+	switch name {
+	case "gpt3.5", "gpt-3.5", "GPT-3.5":
+		return GPT35, nil
+	case "gpt4o", "gpt-4o", "GPT-4o":
+		return GPT4o, nil
+	case "codellama", "codellama2", "CodeLLaMa 2":
+		return CodeLlama2, nil
+	case "llama3", "llama3-70b", "LLaMa3-70B":
+		return Llama3, nil
+	}
+	return 0, fmt.Errorf("core: unknown model %q (want gpt3.5|gpt4o|codellama|llama3)", name)
+}
+
+// Options configure benchmark loading.
+type Options struct {
+	// Seed drives mining and evaluation determinism. Default 1.
+	Seed int64
+	// MaxDesigns truncates the 100-design test corpus (0 = all).
+	MaxDesigns int
+}
+
+// Benchmark bundles AssertionBench: training designs with proven
+// assertions (ICL examples) and the test corpus.
+type Benchmark struct {
+	Experiment *eval.Experiment
+}
+
+// LoadBenchmark builds AssertionBench: the five train designs are mined
+// with GOLDMINE and HARM and their assertions formally verified.
+func LoadBenchmark(opt Options) (*Benchmark, error) {
+	e, err := eval.NewExperiment(eval.ExperimentOptions{
+		Seed:       opt.Seed,
+		MaxDesigns: opt.MaxDesigns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{Experiment: e}, nil
+}
+
+// Train returns the five ICL training designs.
+func (b *Benchmark) Train() []bench.Design { return b.Experiment.Train }
+
+// Corpus returns the test designs.
+func (b *Benchmark) Corpus() []bench.Design { return b.Experiment.Corpus }
+
+// Examples returns the mined in-context examples.
+func (b *Benchmark) Examples() []llm.Example { return b.Experiment.ICL }
+
+// GenResult is the outcome of one generation call.
+type GenResult struct {
+	// Raw is the model's raw text output.
+	Raw string
+	// Assertions are the candidate lines (post-split, pre-correction).
+	Assertions []string
+	// Corrected are the candidates after the syntax corrector.
+	Corrected []string
+}
+
+// Generate runs k-shot assertion generation for a design source using the
+// given COTS model, including the Fig. 4 syntax-corrector stage.
+func Generate(id ModelID, designSource string, b *Benchmark, shots int, seed int64) (GenResult, error) {
+	p, err := id.Profile()
+	if err != nil {
+		return GenResult{}, err
+	}
+	model := llm.New(p)
+	prompt := llm.BuildPrompt(b.Examples()[:shots], designSource, p.ContextWindow)
+	gen := model.Generate(prompt, llm.GenOptions{Shots: shots, Seed: seed})
+	lines := sva.SplitAssertions(gen.Text)
+	out := GenResult{Raw: gen.Text, Assertions: lines}
+	if nl, err := verilog.ElaborateSource(designSource, ""); err == nil {
+		out.Corrected, _ = corrector.New(nl).CorrectAll(lines)
+	} else {
+		out.Corrected = lines
+	}
+	return out, nil
+}
+
+// Verify formally verifies assertion texts against a design.
+func Verify(designSource string, assertions []string) ([]fpv.Result, error) {
+	nl, err := verilog.ElaborateSource(designSource, "")
+	if err != nil {
+		return nil, err
+	}
+	return fpv.VerifyAll(nl, assertions, fpv.Options{}), nil
+}
+
+// Mine runs both miners on a design and returns ranked proven assertions.
+func Mine(designSource string) ([]mine.Mined, error) {
+	nl, err := verilog.ElaborateSource(designSource, "")
+	if err != nil {
+		return nil, err
+	}
+	gm, err := mine.GoldMine(nl, mine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hm, err := mine.Harm(nl, mine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	merged := append(gm, hm...)
+	mine.Rank(merged)
+	seen := map[string]bool{}
+	out := merged[:0]
+	for _, m := range merged {
+		key := m.Assertion.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// EvaluateCOTS runs the Fig. 4 pipeline for one model at 1- and 5-shot.
+func EvaluateCOTS(b *Benchmark, id ModelID) ([]eval.RunResult, error) {
+	p, err := id.Profile()
+	if err != nil {
+		return nil, err
+	}
+	var out []eval.RunResult
+	for _, k := range []int{1, 5} {
+		r, err := b.Experiment.RunCOTS(p, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BuildAssertionLLM fine-tunes the base model on 75% of AssertionBench
+// (paper Sec. VI) and returns the tuned model plus its training report.
+func BuildAssertionLLM(b *Benchmark, id ModelID) (*llm.Model, llm.FinetuneReport, error) {
+	p, err := id.Profile()
+	if err != nil {
+		return nil, llm.FinetuneReport{}, err
+	}
+	corpus, _, err := b.Experiment.FinetuneSplit()
+	if err != nil {
+		return nil, llm.FinetuneReport{}, err
+	}
+	tuned, report := llm.Finetune(llm.New(p), corpus, llm.FinetuneOptions{Seed: b.Experiment.Opt.Seed})
+	return tuned, report, nil
+}
+
+// EvaluateFinetuned runs the Fig. 8 pipeline (no corrector) for the
+// fine-tuned variant of a base model at 1- and 5-shot on the held-out 25%.
+func EvaluateFinetuned(b *Benchmark, id ModelID) ([]eval.RunResult, error) {
+	p, err := id.Profile()
+	if err != nil {
+		return nil, err
+	}
+	var out []eval.RunResult
+	for _, k := range []int{1, 5} {
+		r, _, err := b.Experiment.FinetunedRun(p, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/fpv"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]ModelID{
+		"gpt3.5":    GPT35,
+		"gpt4o":     GPT4o,
+		"codellama": CodeLlama2,
+		"llama3":    Llama3,
+	}
+	for name, want := range cases {
+		got, err := ParseModel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseModel("claude"); err == nil {
+		t.Error("unknown model must fail")
+	}
+}
+
+func TestModelProfiles(t *testing.T) {
+	for _, id := range []ModelID{GPT35, GPT4o, CodeLlama2, Llama3} {
+		p, err := id.Profile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name == "" || p.Temperature != 1.0 || p.TopP != 0.95 || p.MaxTokens != 1024 {
+			t.Errorf("profile %v does not match the paper's Sec. IV hyperparameters: %+v", id, p)
+		}
+	}
+	if _, err := ModelID(99).Profile(); err == nil {
+		t.Error("invalid model id must fail")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	b, err := LoadBenchmark(Options{MaxDesigns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Train()) != 5 || len(b.Corpus()) != 5 || len(b.Examples()) != 5 {
+		t.Fatalf("benchmark shape: %d train, %d corpus, %d examples",
+			len(b.Train()), len(b.Corpus()), len(b.Examples()))
+	}
+
+	gen, err := Generate(GPT4o, bench.TrainArbiter, b, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Assertions) == 0 || len(gen.Corrected) != len(gen.Assertions) {
+		t.Fatalf("generation shape: %d raw, %d corrected", len(gen.Assertions), len(gen.Corrected))
+	}
+
+	results, err := Verify(bench.TrainArbiter, gen.Corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(gen.Corrected) {
+		t.Fatalf("%d results for %d assertions", len(results), len(gen.Corrected))
+	}
+
+	mined, err := Mine(bench.TrainArbiter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("mining the arbiter found nothing")
+	}
+	seen := map[string]bool{}
+	for _, m := range mined {
+		s := m.Assertion.String()
+		if seen[s] {
+			t.Errorf("Mine returned duplicate %q", s)
+		}
+		seen[s] = true
+		if !m.Result.Status.IsPass() {
+			t.Errorf("Mine returned unproven %q", s)
+		}
+	}
+}
+
+func TestVerifyRejectsBadDesign(t *testing.T) {
+	if _, err := Verify("not verilog at all", []string{"a |-> b"}); err == nil {
+		t.Fatal("unparseable design must fail")
+	}
+}
+
+func TestEvaluateCOTSSmall(t *testing.T) {
+	b, err := LoadBenchmark(Options{MaxDesigns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := EvaluateCOTS(b, GPT35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Shots != 1 || runs[1].Shots != 5 {
+		t.Fatalf("EvaluateCOTS shape wrong: %+v", runs)
+	}
+	for _, r := range runs {
+		if r.Metrics.Total() == 0 {
+			t.Error("empty metrics")
+		}
+	}
+}
+
+func TestBuildAndEvaluateAssertionLLM(t *testing.T) {
+	b, err := LoadBenchmark(Options{MaxDesigns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, report, err := BuildAssertionLLM(b, CodeLlama2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tuned.Profile.Name, "AssertionLLM") {
+		t.Errorf("tuned model named %q", tuned.Profile.Name)
+	}
+	if report.PerplexityAfter >= report.PerplexityBefore {
+		t.Errorf("perplexity did not drop: %.1f -> %.1f", report.PerplexityBefore, report.PerplexityAfter)
+	}
+	runs, err := EvaluateFinetuned(b, CodeLlama2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d finetuned runs", len(runs))
+	}
+	for _, r := range runs {
+		if !strings.HasPrefix(r.Model, "AssertionLLM") {
+			t.Errorf("run model = %q", r.Model)
+		}
+	}
+}
+
+func TestGenerateVerifyAgreesWithDirectFPV(t *testing.T) {
+	// The facade's Verify must agree with the engine called directly.
+	results, err := Verify(bench.TrainArbiter, []string{
+		"rst == 1 |=> gnt_ == 0",
+		"req2 == 0 |-> gnt2 == 0",
+		"bogus == 1 |-> gnt1 == 1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fpv.Status{fpv.StatusProven, fpv.StatusProven, fpv.StatusError}
+	for i, w := range want {
+		if results[i].Status != w {
+			t.Errorf("result %d = %v, want %v", i, results[i].Status, w)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package corrector implements stage 3 of the paper's Fig. 4 pipeline: the
+// assertion syntax corrector (played by GPT-3.5 in the paper, rule-based
+// and deterministic here). It repairs the recoverable syntax-error modes —
+// operator misspellings, unbalanced parentheses, single-# delays, stray
+// property-block keywords, identifier typos — and passes everything else
+// through unchanged for the FPV stage to flag as Error.
+package corrector
+
+import (
+	"strings"
+
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// Corrector repairs assertion candidate lines against a target design's
+// symbol table.
+type Corrector struct {
+	nl      *verilog.Netlist
+	symbols []string
+}
+
+// New builds a corrector for the design whose signals assertions should
+// reference. nl may be nil: textual repairs still run, identifier
+// resolution is skipped.
+func New(nl *verilog.Netlist) *Corrector {
+	c := &Corrector{nl: nl}
+	if nl != nil {
+		for _, n := range nl.Nets {
+			if !strings.Contains(n.Name, ".") {
+				c.symbols = append(c.symbols, n.Name)
+			}
+		}
+	}
+	return c
+}
+
+// Stats tallies what the corrector did over a batch.
+type Stats struct {
+	Lines      int
+	Repaired   int // lines modified in any way
+	Resolved   int // identifier substitutions applied
+	Unparsable int // lines still not parsing after repair
+}
+
+// CorrectAll repairs each candidate line.
+func (c *Corrector) CorrectAll(lines []string) ([]string, Stats) {
+	out := make([]string, len(lines))
+	var st Stats
+	st.Lines = len(lines)
+	for i, line := range lines {
+		fixed, resolved := c.Correct(line)
+		if fixed != line {
+			st.Repaired++
+		}
+		st.Resolved += resolved
+		if _, err := sva.Parse(fixed); err != nil {
+			st.Unparsable++
+		}
+		out[i] = fixed
+	}
+	return out, st
+}
+
+// Correct repairs one line. It returns the repaired text and the number of
+// identifier substitutions performed.
+func (c *Corrector) Correct(line string) (string, int) {
+	orig := line
+	line = strings.TrimSpace(line)
+	line = stripWrappers(line)
+	line = canonicalizeOperators(line)
+	line = balanceParens(line)
+	line, resolved := c.resolveIdentifiers(line)
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return orig, 0
+	}
+	if !strings.HasSuffix(line, ";") {
+		line += ";"
+	}
+	return line, resolved
+}
+
+// stripWrappers removes property-block and assert-directive furniture that
+// models sometimes emit around the property expression.
+func stripWrappers(line string) string {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	for _, kw := range []string{"endproperty", "endmodule", "end"} {
+		line = strings.TrimSuffix(strings.TrimSpace(line), kw)
+	}
+	ls := strings.TrimSpace(line)
+	if strings.HasPrefix(ls, "property ") {
+		// property p; <expr> endproperty -> keep the expression.
+		if i := strings.IndexByte(ls, ';'); i >= 0 {
+			ls = ls[i+1:]
+		}
+		line = ls
+	}
+	return strings.TrimSpace(line)
+}
+
+// canonicalizeOperators rewrites the recoverable operator misspellings.
+func canonicalizeOperators(line string) string {
+	// Order matters: longer wrong forms first.
+	replacements := []struct{ from, to string }{
+		{"&&&", "&&"},
+		{"|||", "||"},
+		{"|=>", "\x00NOV\x00"}, // protect the correct forms
+		{"|->", "\x00OV\x00"},
+		{"|>", "|->"},
+		{"\x00NOV\x00", "|=>"},
+		{"\x00OV\x00", "|->"},
+	}
+	for _, r := range replacements {
+		line = strings.ReplaceAll(line, r.from, r.to)
+	}
+	// Single '#' delay -> '##'.
+	var sb strings.Builder
+	for i := 0; i < len(line); i++ {
+		if line[i] == '#' {
+			if i+1 < len(line) && line[i+1] == '#' {
+				sb.WriteString("##")
+				i++
+				continue
+			}
+			sb.WriteString("##")
+			continue
+		}
+		sb.WriteByte(line[i])
+	}
+	line = sb.String()
+	// Single '=' used as equality: rewrite 'a = 1' to 'a == 1'. Protect
+	// the multi-char operators containing '='.
+	line = repairSingleEquals(line)
+	return line
+}
+
+// repairSingleEquals turns a bare '=' into '==' when it is not part of a
+// legitimate operator (==, !=, <=, >=, |=>, =>).
+func repairSingleEquals(line string) string {
+	var sb strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c != '=' {
+			sb.WriteByte(c)
+			continue
+		}
+		prev := byte(0)
+		if i > 0 {
+			prev = line[i-1]
+		}
+		next := byte(0)
+		if i+1 < len(line) {
+			next = line[i+1]
+		}
+		switch {
+		case next == '=' || next == '>': // '==', '=>'
+			sb.WriteByte(c)
+		case prev == '=' || prev == '!' || prev == '<' || prev == '>' || prev == '|':
+			sb.WriteByte(c)
+		default:
+			sb.WriteString("==")
+		}
+	}
+	return sb.String()
+}
+
+// balanceParens repairs each side of the implication operator
+// independently: a paren opened in the antecedent must close before the
+// '|->', not at the end of the line.
+func balanceParens(line string) string {
+	for _, op := range []string{"|->", "|=>"} {
+		if i := strings.Index(line, op); i >= 0 {
+			return balanceSegment(line[:i]) + op + balanceSegment(line[i+len(op):])
+		}
+	}
+	return balanceSegment(line)
+}
+
+func balanceSegment(line string) string {
+	depth := 0
+	extra := 0
+	var sb strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			if depth == 0 {
+				extra++
+				continue // drop unmatched closer
+			}
+			depth--
+		}
+		sb.WriteByte(c)
+	}
+	out := sb.String()
+	for ; depth > 0; depth-- {
+		out += ")"
+	}
+	return out
+}
+
+// resolveIdentifiers maps unknown signal names to the closest design
+// symbol within edit distance 2. Unresolvable names are left for the FPV
+// stage to report.
+func (c *Corrector) resolveIdentifiers(line string) (string, int) {
+	if c.nl == nil || len(c.symbols) == 0 {
+		return line, 0
+	}
+	a, err := sva.Parse(line)
+	if err != nil {
+		return line, 0
+	}
+	resolved := 0
+	for name := range a.Signals() {
+		if c.nl.NetIndex(name) >= 0 {
+			continue
+		}
+		best, bestDist := "", 3
+		for _, sym := range c.symbols {
+			if d := editDistance(name, sym, 2); d < bestDist {
+				best, bestDist = sym, d
+			}
+		}
+		if best != "" {
+			line = replaceIdent(line, name, best)
+			resolved++
+		}
+	}
+	return line, resolved
+}
+
+// replaceIdent substitutes whole-word occurrences of old with new.
+func replaceIdent(line, old, new string) string {
+	var sb strings.Builder
+	for i := 0; i < len(line); {
+		if strings.HasPrefix(line[i:], old) &&
+			(i == 0 || !isWordByte(line[i-1])) &&
+			(i+len(old) >= len(line) || !isWordByte(line[i+len(old)])) {
+			sb.WriteString(new)
+			i += len(old)
+			continue
+		}
+		sb.WriteByte(line[i])
+		i++
+	}
+	return sb.String()
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '$' || (c >= '0' && c <= '9') ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// editDistance is Levenshtein with an early cutoff. Returns cutoff+1 when
+// the distance exceeds cutoff.
+func editDistance(a, b string, cutoff int) int {
+	if abs(len(a)-len(b)) > cutoff {
+		return cutoff + 1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > cutoff {
+			return cutoff + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

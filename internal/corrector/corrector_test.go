@@ -1,0 +1,231 @@
+package corrector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+const counterSrc = `
+module counter(clk, rst, en, count);
+input clk, rst, en;
+output [3:0] count;
+reg [3:0] count;
+always @(posedge clk or posedge rst)
+  if (rst) count <= 4'b0;
+  else if (en) count <= count + 1;
+endmodule
+`
+
+func newCorrector(t *testing.T) *Corrector {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(counterSrc, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(nl)
+}
+
+func TestRepairsRecoverableCorruptions(t *testing.T) {
+	c := newCorrector(t)
+	cases := []struct{ broken, reason string }{
+		{"count = 0 |-> en == 1", "single equals"},
+		{"en == 1 |> count != 0", "mangled implication"},
+		{"rst == 1 |=> count == 0 endproperty", "stray endproperty"},
+		{"en == 1 #1 rst == 0 |-> count == 0", "single # delay"},
+		{"(en == 1 && rst == 0 |=> count != 9", "missing paren"},
+		{"en == 1 &&& rst == 0 |-> count == count", "tripled ampersand"},
+		{"rst == 1 |=> count == 0", "already valid"},
+	}
+	for _, tc := range cases {
+		fixed, _ := c.Correct(tc.broken)
+		if _, err := sva.Parse(fixed); err != nil {
+			t.Errorf("%s: Correct(%q) = %q still does not parse: %v", tc.reason, tc.broken, fixed, err)
+		}
+	}
+}
+
+func TestLeavesUnrecoverableBroken(t *testing.T) {
+	c := newCorrector(t)
+	cases := []string{
+		"en == 1 begin count == 0",                     // keyword splice
+		"rst == 1 count == 0",                          // implication removed
+		"public class Foo { }",                         // off-task Java
+		"Here are the assertions for the given design", // prose
+	}
+	for _, broken := range cases {
+		fixed, _ := c.Correct(broken)
+		if _, err := sva.Parse(fixed); err == nil {
+			t.Errorf("Correct(%q) = %q unexpectedly parses", broken, fixed)
+		}
+	}
+}
+
+func TestResolvesIdentifierTypos(t *testing.T) {
+	c := newCorrector(t)
+	cases := []struct{ in, wantSignal string }{
+		{"cout == 0 |-> en == 1", "count"},    // dropped char
+		{"conut == 0 |-> en == 1", "count"},   // swapped chars
+		{"count_r == 0 |-> en == 1", "count"}, // suffix
+		{"ne == 1 |=> count != 0", "en"},      // swap
+	}
+	for _, tc := range cases {
+		fixed, resolved := c.Correct(tc.in)
+		if resolved == 0 {
+			t.Errorf("Correct(%q) resolved nothing", tc.in)
+			continue
+		}
+		a, err := sva.Parse(fixed)
+		if err != nil {
+			t.Fatalf("Correct(%q) = %q does not parse: %v", tc.in, fixed, err)
+		}
+		if !a.Signals()[tc.wantSignal] {
+			t.Errorf("Correct(%q) = %q does not reference %q", tc.in, fixed, tc.wantSignal)
+		}
+	}
+}
+
+func TestLeavesForeignSignalsForFPV(t *testing.T) {
+	c := newCorrector(t)
+	// A leaked example-design signal far from any real one must survive so
+	// the FPV stage reports the semantic error.
+	fixed, resolved := c.Correct("gnt_grant_sig == 1 |-> count == 0")
+	if resolved != 0 {
+		t.Errorf("corrector invented a mapping for a foreign signal: %q", fixed)
+	}
+}
+
+// TestCorrectPreservesValidity: correcting an already-valid assertion must
+// keep it parseable and semantically identical.
+func TestCorrectPreservesValidity(t *testing.T) {
+	c := newCorrector(t)
+	valid := []string{
+		"rst == 1 |=> count == 4'h0",
+		"en == 1 && rst == 0 |=> count == $past(count) + 1",
+		"count == 4'hf |-> en == en",
+		"$rose(rst) |=> count == 0",
+		"en == 1 ##2 en == 1 |-> ##1 count != 0",
+	}
+	for _, v := range valid {
+		a1, err := sva.Parse(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, _ := c.Correct(v)
+		a2, err := sva.Parse(fixed)
+		if err != nil {
+			t.Errorf("corrector broke valid %q -> %q: %v", v, fixed, err)
+			continue
+		}
+		if a1.String() != a2.String() {
+			t.Errorf("corrector changed meaning of %q: %q vs %q", v, a1, a2)
+		}
+	}
+}
+
+// TestCorrectIdempotent: Correct(Correct(x)) == Correct(x).
+func TestCorrectIdempotent(t *testing.T) {
+	c := newCorrector(t)
+	rng := rand.New(rand.NewSource(3))
+	inputs := []string{
+		"count = 0 |-> en == 1",
+		"en == 1 |> count != 0",
+		"(en == 1 |=> count != 9",
+		"rst == 1 |=> count == 0 endproperty",
+	}
+	for i := 0; i < 40; i++ {
+		in := inputs[rng.Intn(len(inputs))]
+		once, _ := c.Correct(in)
+		twice, _ := c.Correct(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+func TestCorrectAllStats(t *testing.T) {
+	c := newCorrector(t)
+	lines := []string{
+		"rst == 1 |=> count == 0", // valid
+		"count = 0 |-> en == 1",   // repairable
+		"garbage prose line here", // unfixable
+		"cout == 0 |-> rst == 0",  // typo
+	}
+	fixed, st := c.CorrectAll(lines)
+	if len(fixed) != 4 {
+		t.Fatalf("got %d outputs", len(fixed))
+	}
+	if st.Lines != 4 {
+		t.Errorf("Lines = %d", st.Lines)
+	}
+	if st.Repaired < 2 {
+		t.Errorf("Repaired = %d, want >= 2", st.Repaired)
+	}
+	if st.Resolved != 1 {
+		t.Errorf("Resolved = %d, want 1", st.Resolved)
+	}
+	if st.Unparsable != 1 {
+		t.Errorf("Unparsable = %d, want 1", st.Unparsable)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"count", "count", 0},
+		{"count", "cout", 1},
+		{"count", "conut", 2},
+		{"count", "en", 3}, // above cutoff 2 -> reported as 3
+		{"", "ab", 2},
+	}
+	for _, tc := range cases {
+		if got := editDistance(tc.a, tc.b, 2); got != tc.d {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.d)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		return editDistance(a, b, 2) == editDistance(b, a, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceParens(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(a && b", "(a && b)"},
+		{"a && b)", "a && b"},
+		{"((a)", "((a))"},
+		{"(a)", "(a)"},
+	}
+	for _, tc := range cases {
+		if got := balanceParens(tc.in); got != tc.want {
+			t.Errorf("balanceParens(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNilNetlistCorrector(t *testing.T) {
+	c := New(nil)
+	fixed, resolved := c.Correct("a = 1 |> b == 0")
+	if resolved != 0 {
+		t.Error("nil-netlist corrector cannot resolve identifiers")
+	}
+	if _, err := sva.Parse(fixed); err != nil {
+		t.Errorf("textual repair should still work without a netlist: %q", fixed)
+	}
+}

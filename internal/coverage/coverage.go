@@ -1,0 +1,264 @@
+// Package coverage quantifies the goodness of an assertion set in terms
+// of captured design behaviour — the paper's future-work directions (i)
+// and (ii) in Sec. X: "quantify the goodness of assertion in terms of
+// captured design behavior" and "quantify the design coverage of the
+// assertions".
+//
+// Three complementary metrics are computed against a design:
+//
+//   - Signal coverage: the fraction of architecturally interesting nets
+//     (inputs, outputs, state) that the assertion set mentions at all.
+//   - Activation coverage: on randomized simulation, the fraction of
+//     cycles where at least one assertion's antecedent completes — a set
+//     whose antecedents never fire checks nothing.
+//   - State coverage: the fraction of distinct visited architectural
+//     states at which some antecedent completes.
+//
+// The scalar Goodness score combines the three; ranking assertion sets by
+// it reproduces the intuition of the assertion-ranking literature the
+// paper builds on [14].
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// Report is the coverage measurement of one assertion set on one design.
+type Report struct {
+	// Assertions is the number of assertions measured (parse failures are
+	// skipped and counted in Skipped).
+	Assertions int
+	Skipped    int
+	// SignalCoverage in [0,1]: mentioned interesting nets / all
+	// interesting nets.
+	SignalCoverage float64
+	// CoveredSignals lists the mentioned nets; MissedSignals the rest.
+	CoveredSignals []string
+	MissedSignals  []string
+	// ActivationCoverage in [0,1]: cycles with >= 1 antecedent match.
+	ActivationCoverage float64
+	// StateCoverage in [0,1]: distinct states with >= 1 antecedent match
+	// over distinct states visited.
+	StateCoverage float64
+	// StatesVisited is the number of distinct architectural states seen.
+	StatesVisited int
+	// PerAssertion holds each assertion's own activation count.
+	PerAssertion []AssertionCoverage
+}
+
+// AssertionCoverage is the contribution of a single assertion.
+type AssertionCoverage struct {
+	Assertion   string
+	Activations int
+	Signals     int
+}
+
+// Goodness is the combined scalar in [0,1].
+func (r Report) Goodness() float64 {
+	return (r.SignalCoverage + r.ActivationCoverage + r.StateCoverage) / 3
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("signals=%.2f activation=%.2f states=%.2f goodness=%.2f (%d assertions, %d skipped)",
+		r.SignalCoverage, r.ActivationCoverage, r.StateCoverage, r.Goodness(), r.Assertions, r.Skipped)
+}
+
+// Options configure measurement.
+type Options struct {
+	// TraceCycles per trace (default 256) and Traces (default 3).
+	TraceCycles int
+	Traces      int
+	// Seed drives the stimulus.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TraceCycles == 0 {
+		o.TraceCycles = 256
+	}
+	if o.Traces == 0 {
+		o.Traces = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Measure computes the coverage of assertion texts on a design.
+func Measure(nl *verilog.Netlist, assertions []string, opt Options) (Report, error) {
+	opt = opt.withDefaults()
+	var rep Report
+
+	// Interesting nets: top-level inputs, outputs and registers,
+	// excluding clocks and flattened child nets.
+	interesting := map[string]bool{}
+	for _, n := range nl.Nets {
+		if n.IsClock || strings.Contains(n.Name, ".") {
+			continue
+		}
+		if n.IsInput || n.IsOut || n.IsReg {
+			interesting[n.Name] = true
+		}
+	}
+
+	mentioned := map[string]bool{}
+	type compiled struct {
+		src string
+		a   *sva.Assertion
+	}
+	var live []compiled
+	for _, src := range assertions {
+		a, err := sva.Parse(src)
+		if err != nil {
+			rep.Skipped++
+			continue
+		}
+		if err := sva.Check(a, nl); err != nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Assertions++
+		nsigs := 0
+		for s := range a.Signals() {
+			if interesting[s] {
+				mentioned[s] = true
+				nsigs++
+			}
+		}
+		live = append(live, compiled{src: src, a: a})
+		rep.PerAssertion = append(rep.PerAssertion, AssertionCoverage{Assertion: src, Signals: nsigs})
+	}
+
+	for name := range interesting {
+		if mentioned[name] {
+			rep.CoveredSignals = append(rep.CoveredSignals, name)
+		} else {
+			rep.MissedSignals = append(rep.MissedSignals, name)
+		}
+	}
+	sort.Strings(rep.CoveredSignals)
+	sort.Strings(rep.MissedSignals)
+	if len(interesting) > 0 {
+		rep.SignalCoverage = float64(len(rep.CoveredSignals)) / float64(len(interesting))
+	}
+	if len(live) == 0 {
+		return rep, nil
+	}
+
+	// Activation and state coverage on randomized traces. An antecedent
+	// "activates" at the cycle where it completes (non-vacuity witness).
+	totalCycles := 0
+	activatedCycles := 0
+	states := map[string]bool{}
+	activatedStates := map[string]bool{}
+	for ti := 0; ti < opt.Traces; ti++ {
+		tr, err := sim.RandomTrace(nl, opt.TraceCycles, 2, opt.Seed+int64(ti)*101)
+		if err != nil {
+			return rep, err
+		}
+		totalCycles += tr.Len()
+		// Record distinct architectural states per cycle.
+		stateAt := make([]string, tr.Len())
+		for c := 0; c < tr.Len(); c++ {
+			var sb strings.Builder
+			for _, r := range nl.Regs {
+				fmt.Fprintf(&sb, "%x.", tr.Value(c, r))
+			}
+			stateAt[c] = sb.String()
+			states[stateAt[c]] = true
+		}
+		fired := make([]bool, tr.Len())
+		for li, cl := range live {
+			count := countActivations(nl, cl.a, tr, fired)
+			rep.PerAssertion[li].Activations += count
+		}
+		for c, f := range fired {
+			if f {
+				activatedCycles++
+				activatedStates[stateAt[c]] = true
+			}
+		}
+	}
+	if totalCycles > 0 {
+		rep.ActivationCoverage = float64(activatedCycles) / float64(totalCycles)
+	}
+	rep.StatesVisited = len(states)
+	if len(states) > 0 {
+		rep.StateCoverage = float64(len(activatedStates)) / float64(len(states))
+	}
+	return rep, nil
+}
+
+// countActivations marks antecedent-completion cycles in fired and
+// returns the assertion's own activation count.
+func countActivations(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace, fired []bool) int {
+	c, err := sva.Compile(a, nl)
+	if err != nil {
+		return 0
+	}
+	count := 0
+	mon := sva.NewMonitor(c)
+	zero := make([]uint64, len(nl.Nets))
+	hist := make([][]uint64, c.PastDepth+1)
+	for t := 0; t < tr.Len(); t++ {
+		hist[0] = tr.Cycles[t]
+		for k := 1; k <= c.PastDepth; k++ {
+			if t-k >= 0 {
+				hist[k] = tr.Cycles[t-k]
+			} else {
+				hist[k] = zero
+			}
+		}
+		if mon.Step(hist).AnteCompleted {
+			count++
+			fired[t] = true
+		}
+	}
+	return count
+}
+
+// CompareSets measures several assertion sets and ranks them by Goodness,
+// for set-level comparisons (e.g. miner output vs LLM output).
+func CompareSets(nl *verilog.Netlist, sets map[string][]string, opt Options) ([]SetScore, error) {
+	var out []SetScore
+	for name, set := range sets {
+		rep, err := Measure(nl, set, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SetScore{Name: name, Report: rep})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Report.Goodness() != out[j].Report.Goodness() {
+			return out[i].Report.Goodness() > out[j].Report.Goodness()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// SetScore pairs a set label with its coverage report.
+type SetScore struct {
+	Name   string
+	Report Report
+}
+
+// MeasureVerified is Measure restricted to assertions that pass FPV — the
+// goodness of the *sound* part of a generated set.
+func MeasureVerified(nl *verilog.Netlist, assertions []string, fpvOpt fpv.Options, opt Options) (Report, error) {
+	var proven []string
+	for _, src := range assertions {
+		if r := fpv.VerifySource(nl, src, fpvOpt); r.Status.IsPass() {
+			proven = append(proven, src)
+		}
+	}
+	return Measure(nl, proven, opt)
+}

@@ -1,0 +1,170 @@
+package coverage
+
+import (
+	"testing"
+
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/verilog"
+)
+
+const counterSrc = `
+module counter(clk, rst, en, count);
+input clk, rst, en;
+output [3:0] count;
+reg [3:0] count;
+always @(posedge clk or posedge rst)
+  if (rst) count <= 4'b0;
+  else if (en) count <= count + 1;
+endmodule
+`
+
+func elab(t *testing.T, src, top string) *verilog.Netlist {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(src, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestSignalCoverage(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	// Interesting nets: rst, en, count (clk is a clock). Mentioning two of
+	// three gives 2/3.
+	rep, err := Measure(nl, []string{"rst == 1 |=> count == 0"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions != 1 || rep.Skipped != 0 {
+		t.Fatalf("assertions=%d skipped=%d", rep.Assertions, rep.Skipped)
+	}
+	want := 2.0 / 3.0
+	if rep.SignalCoverage < want-0.01 || rep.SignalCoverage > want+0.01 {
+		t.Errorf("signal coverage = %.3f, want %.3f (covered %v, missed %v)",
+			rep.SignalCoverage, want, rep.CoveredSignals, rep.MissedSignals)
+	}
+	if len(rep.MissedSignals) != 1 || rep.MissedSignals[0] != "en" {
+		t.Errorf("missed = %v, want [en]", rep.MissedSignals)
+	}
+}
+
+func TestActivationCoverage(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	// A tautological antecedent fires every cycle.
+	always, err := Measure(nl, []string{"en == en |-> count == count"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.ActivationCoverage < 0.99 {
+		t.Errorf("tautological antecedent coverage = %.3f, want ~1", always.ActivationCoverage)
+	}
+	if always.StateCoverage < 0.99 {
+		t.Errorf("state coverage = %.3f, want ~1", always.StateCoverage)
+	}
+	// An unreachable antecedent never fires.
+	never, err := Measure(nl, []string{"count == 500 |-> en == 1"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.ActivationCoverage != 0 || never.StateCoverage != 0 {
+		t.Errorf("unreachable antecedent coverage = %.3f/%.3f, want 0",
+			never.ActivationCoverage, never.StateCoverage)
+	}
+}
+
+func TestRareAntecedentCoversFewerCycles(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	rare, err := Measure(nl, []string{"count == 7 |-> count != 8"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := Measure(nl, []string{"rst == 0 |-> count == count"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rare.ActivationCoverage >= common.ActivationCoverage {
+		t.Errorf("rare antecedent (%.3f) should cover fewer cycles than common (%.3f)",
+			rare.ActivationCoverage, common.ActivationCoverage)
+	}
+}
+
+func TestSkipsBrokenAssertions(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	rep, err := Measure(nl, []string{
+		"rst == 1 |=> count == 0",
+		"not an assertion at all",
+		"nosuch == 1 |-> en == 1",
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions != 1 || rep.Skipped != 2 {
+		t.Errorf("assertions=%d skipped=%d, want 1/2", rep.Assertions, rep.Skipped)
+	}
+}
+
+func TestGoodnessMonotoneInSetSize(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	small, err := Measure(nl, []string{"rst == 1 |=> count == 0"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Measure(nl, []string{
+		"rst == 1 |=> count == 0",
+		"en == 0 && rst == 0 |=> $stable(count)",
+		"en == 1 && rst == 0 && count < 15 |=> count == $past(count) + 1",
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Goodness() < small.Goodness() {
+		t.Errorf("adding assertions reduced goodness: %.3f -> %.3f", small.Goodness(), big.Goodness())
+	}
+	if big.SignalCoverage != 1 {
+		t.Errorf("the larger set mentions every interesting signal, coverage = %.3f", big.SignalCoverage)
+	}
+}
+
+func TestCompareSetsRanksByGoodness(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	scores, err := CompareSets(nl, map[string][]string{
+		"rich": {"rst == 1 |=> count == 0", "en == 0 && rst == 0 |=> $stable(count)"},
+		"poor": {"count == 500 |-> en == 1"},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 || scores[0].Name != "rich" {
+		t.Errorf("ranking wrong: %+v", scores)
+	}
+}
+
+func TestMeasureVerifiedDropsRefuted(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	rep, err := MeasureVerified(nl, []string{
+		"rst == 1 |=> count == 0", // proven
+		"en == 1 |=> count == 0",  // cex
+	}, fpv.Options{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assertions != 1 {
+		t.Errorf("verified measure kept %d assertions, want 1", rep.Assertions)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	set := []string{"rst == 1 |=> count == 0", "en == 1 |-> rst == rst"}
+	a, err := Measure(nl, set, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(nl, set, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ActivationCoverage != b.ActivationCoverage || a.StateCoverage != b.StateCoverage {
+		t.Error("coverage not deterministic for fixed seed")
+	}
+}

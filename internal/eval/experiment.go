@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+)
+
+// ExperimentOptions configure a full paper reproduction.
+type ExperimentOptions struct {
+	// Seed makes every stage deterministic. Default 1.
+	Seed int64
+	// MaxDesigns truncates the test corpus for quick runs (0 = all 100).
+	MaxDesigns int
+	// FinetuneEpochs (paper: 20).
+	FinetuneEpochs int
+	// MineFPV bounds the miners used for ICL and fine-tuning corpora.
+	MineFPV fpv.Options
+}
+
+func (o ExperimentOptions) withDefaults() ExperimentOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FinetuneEpochs == 0 {
+		o.FinetuneEpochs = 20
+	}
+	if o.MineFPV.MaxProductStates == 0 {
+		o.MineFPV = fpv.Options{
+			MaxProductStates: 1500,
+			MaxInputBits:     6,
+			MaxInputSamples:  8,
+			RandomRuns:       8,
+			RandomDepth:      32,
+			Seed:             o.Seed,
+		}
+	}
+	return o
+}
+
+// Experiment caches the benchmark artifacts across runs so the figure
+// benches don't rebuild the corpus per call.
+type Experiment struct {
+	Opt    ExperimentOptions
+	Train  []bench.Design
+	Corpus []bench.Design
+	ICL    []llm.Example
+
+	ftCorpus []llm.Example // mined 75% split for fine-tuning
+	ftEval   []bench.Design
+}
+
+// NewExperiment builds the benchmark and mines the ICL examples.
+func NewExperiment(opt ExperimentOptions) (*Experiment, error) {
+	opt = opt.withDefaults()
+	icl, err := bench.BuildICL(bench.ICLOptions{Seed: opt.Seed, FPV: opt.MineFPV})
+	if err != nil {
+		return nil, err
+	}
+	e := &Experiment{
+		Opt:    opt,
+		Train:  bench.TrainDesigns(),
+		Corpus: bench.TestCorpus(),
+		ICL:    icl,
+	}
+	if opt.MaxDesigns > 0 && opt.MaxDesigns < len(e.Corpus) {
+		e.Corpus = e.Corpus[:opt.MaxDesigns]
+	}
+	return e, nil
+}
+
+// RunCOTS evaluates one COTS profile at one shot count with the full
+// Fig. 4 pipeline (corrector on).
+func (e *Experiment) RunCOTS(profile llm.Profile, shots int) (RunResult, error) {
+	model := llm.New(profile)
+	return Run(model, e.ICL, e.Corpus, RunOptions{
+		Shots:        shots,
+		Seed:         e.Opt.Seed,
+		UseCorrector: true,
+	})
+}
+
+// RunAllCOTS produces the Fig. 6 / Fig. 7 grid: every COTS profile at 1-
+// and 5-shot.
+func (e *Experiment) RunAllCOTS() ([]RunResult, error) {
+	var out []RunResult
+	for _, p := range llm.COTSProfiles() {
+		for _, k := range []int{1, 5} {
+			r, err := e.RunCOTS(p, k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// FinetuneSplit mines the fine-tuning corpus from 75% of AssertionBench
+// and reserves 25% for evaluation (paper Sec. VI). The split and mining
+// run once and are cached.
+func (e *Experiment) FinetuneSplit() ([]llm.Example, []bench.Design, error) {
+	if e.ftCorpus != nil {
+		return e.ftCorpus, e.ftEval, nil
+	}
+	rng := rand.New(rand.NewSource(e.Opt.Seed))
+	perm := rng.Perm(len(e.Corpus))
+	cut := len(e.Corpus) * 3 / 4
+	var trainIdx, evalIdx []int
+	trainIdx = append(trainIdx, perm[:cut]...)
+	evalIdx = append(evalIdx, perm[cut:]...)
+
+	corpus := make([]llm.Example, 0, cut+len(e.Train))
+	// The five training designs always belong to the tuning corpus.
+	for _, d := range e.Train {
+		ex, err := bench.MineExample(d, bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV})
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus = append(corpus, ex)
+	}
+	for _, i := range trainIdx {
+		ex, err := bench.MineExample(e.Corpus[i], bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV, MaxAssertions: 6})
+		if err != nil {
+			return nil, nil, fmt.Errorf("mining %s: %w", e.Corpus[i].Name, err)
+		}
+		corpus = append(corpus, ex)
+	}
+	var evalSet []bench.Design
+	for _, i := range evalIdx {
+		evalSet = append(evalSet, e.Corpus[i])
+	}
+	e.ftCorpus, e.ftEval = corpus, evalSet
+	return corpus, evalSet, nil
+}
+
+// FinetunedRun builds AssertionLLM from the given base profile and
+// evaluates it on the held-out 25% with the Fig. 8 pipeline (corrector
+// removed).
+func (e *Experiment) FinetunedRun(base llm.Profile, shots int) (RunResult, llm.FinetuneReport, error) {
+	corpus, evalSet, err := e.FinetuneSplit()
+	if err != nil {
+		return RunResult{}, llm.FinetuneReport{}, err
+	}
+	baseModel := llm.New(base)
+	tuned, report := llm.Finetune(baseModel, corpus, llm.FinetuneOptions{
+		Epochs: e.Opt.FinetuneEpochs,
+		Seed:   e.Opt.Seed,
+	})
+	r, err := Run(tuned, e.ICL, evalSet, RunOptions{
+		Shots:        shots,
+		Seed:         e.Opt.Seed,
+		UseCorrector: false,
+	})
+	return r, report, err
+}
+
+// RunAllFinetuned produces the Fig. 9 grid: AssertionLLM over CodeLLaMa 2
+// and LLaMa3-70B at 1- and 5-shot.
+func (e *Experiment) RunAllFinetuned() ([]RunResult, error) {
+	var out []RunResult
+	for _, p := range []llm.Profile{llm.CodeLlama2(), llm.Llama3()} {
+		for _, k := range []int{1, 5} {
+			r, _, err := e.FinetunedRun(p, k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

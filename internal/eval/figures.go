@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"assertionbench/internal/bench"
+)
+
+// This file renders every table and figure of the paper as text. The
+// renderers take precomputed RunResults so cmd/figures and the benchmarks
+// share one evaluation pass.
+
+// TableI renders the representative-design table (paper Table I).
+func TableI(corpus []bench.Design) string {
+	named := map[string]bool{
+		"ca_prng": true, "cavlc_read_total_coeffs": true,
+		"cavlc_read_total_zeros": true, "ge_1000baseX_rx": true,
+		"MAC_tx_Ctrl": true,
+	}
+	var rows []bench.Design
+	for _, d := range corpus {
+		if named[d.Name] {
+			rows = append(rows, d)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].LoC > rows[j].LoC })
+	var sb strings.Builder
+	sb.WriteString("Table I: Details of a few representative designs in the test set\n")
+	fmt.Fprintf(&sb, "%-26s %8s  %-13s %s\n", "Verilog Design", "# Lines", "Design Type", "Design Functionality")
+	for _, d := range rows {
+		kind := "Combinational"
+		if d.Sequential {
+			kind = "Sequential"
+		}
+		fmt.Fprintf(&sb, "%-26s %8d  %-13s %s\n", d.Name, d.LoC, kind, d.Functionality)
+	}
+	return sb.String()
+}
+
+// Figure3 renders the per-design LoC series of the test set.
+func Figure3(corpus []bench.Design) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: Design details in the test set (lines of code, excluding comments and blanks)\n")
+	sorted := append([]bench.Design{}, corpus...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].LoC > sorted[j].LoC })
+	maxLoC := sorted[0].LoC
+	for _, d := range sorted {
+		bar := strings.Repeat("#", 1+d.LoC*50/maxLoC)
+		fmt.Fprintf(&sb, "%-26s %5d %s\n", d.FileName, d.LoC, bar)
+	}
+	return sb.String()
+}
+
+// metricsRow renders one Pass/CEX/Error triple.
+func metricsRow(label string, m Metrics) string {
+	return fmt.Sprintf("  %-24s pass=%5.3f  cex=%5.3f  error=%5.3f  (n=%d)\n",
+		label, m.Pass(), m.CEX(), m.Error(), m.Total())
+}
+
+// Figure6 renders the per-model 1-shot vs 5-shot comparison (Fig. 6a-d).
+// results must contain the (model, k) grid from RunAllCOTS.
+func Figure6(results []RunResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Accuracy of generated assertions per COTS LLM (1-shot vs 5-shot)\n")
+	byModel := groupByModel(results)
+	for _, name := range modelOrder(results) {
+		fmt.Fprintf(&sb, "(%s)\n", name)
+		for _, r := range byModel[name] {
+			sb.WriteString(metricsRow(fmt.Sprintf("%d-shot", r.Shots), r.Metrics))
+		}
+	}
+	return sb.String()
+}
+
+// Figure7 renders the cross-model comparison at fixed k (Fig. 7a,b).
+func Figure7(results []RunResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: Accuracy comparison between LLMs per k-shot learning\n")
+	for _, k := range []int{1, 5} {
+		fmt.Fprintf(&sb, "(%d-shot)\n", k)
+		for _, name := range modelOrder(results) {
+			for _, r := range results {
+				if r.Model == name && r.Shots == k {
+					sb.WriteString(metricsRow(name, r.Metrics))
+				}
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Figure9 renders the fine-tuned (AssertionLLM) results (Fig. 9a,b).
+func Figure9(results []RunResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: Accuracy of generated assertions, fine-tuned AssertionLLM\n")
+	byModel := groupByModel(results)
+	for _, name := range modelOrder(results) {
+		fmt.Fprintf(&sb, "(%s)\n", name)
+		for _, r := range byModel[name] {
+			sb.WriteString(metricsRow(fmt.Sprintf("%d-shot", r.Shots), r.Metrics))
+		}
+	}
+	return sb.String()
+}
+
+// Observations derives the paper's headline Observation 1-6 statistics
+// from the COTS and fine-tuned grids.
+func Observations(cots, finetuned []RunResult) string {
+	var sb strings.Builder
+	sb.WriteString("Observations (paper Sec. V / Sec. VII headline statistics)\n")
+	get := func(rs []RunResult, model string, k int) (Metrics, bool) {
+		for _, r := range rs {
+			if strings.Contains(r.Model, model) && r.Shots == k {
+				return r.Metrics, true
+			}
+		}
+		return Metrics{}, false
+	}
+	// Observation 1: 1->5 shot improvement ratios.
+	sb.WriteString("Obs 1 (valid-assertion gain, 1-shot -> 5-shot):\n")
+	for _, m := range []string{"GPT-3.5", "GPT-4o", "CodeLLaMa 2", "LLaMa3-70B"} {
+		m1, ok1 := get(cots, m, 1)
+		m5, ok5 := get(cots, m, 5)
+		if !ok1 || !ok5 {
+			continue
+		}
+		ratio := 0.0
+		if m1.Pass() > 0 {
+			ratio = m5.Pass() / m1.Pass()
+		}
+		fmt.Fprintf(&sb, "  %-14s %5.3f -> %5.3f  (%.2fx)\n", m, m1.Pass(), m5.Pass(), ratio)
+	}
+	// Observation 3: best average valid fraction.
+	sb.WriteString("Obs 3 (average valid fraction across shots):\n")
+	type avg struct {
+		name string
+		pass float64
+	}
+	var avgs []avg
+	for _, m := range []string{"GPT-3.5", "GPT-4o", "CodeLLaMa 2", "LLaMa3-70B"} {
+		m1, ok1 := get(cots, m, 1)
+		m5, ok5 := get(cots, m, 5)
+		if ok1 && ok5 {
+			avgs = append(avgs, avg{m, (m1.Pass() + m5.Pass()) / 2})
+		}
+	}
+	sort.Slice(avgs, func(i, j int) bool { return avgs[i].pass > avgs[j].pass })
+	for _, a := range avgs {
+		fmt.Fprintf(&sb, "  %-14s avg pass %5.3f\n", a.name, a.pass)
+	}
+	// Observation 4: ceilings.
+	maxPass, maxCEX, maxErr := 0.0, 0.0, 0.0
+	for _, r := range cots {
+		if r.Metrics.Pass() > maxPass {
+			maxPass = r.Metrics.Pass()
+		}
+		if r.Metrics.CEX() > maxCEX {
+			maxCEX = r.Metrics.CEX()
+		}
+		if r.Metrics.Error() > maxErr {
+			maxErr = r.Metrics.Error()
+		}
+	}
+	fmt.Fprintf(&sb, "Obs 4: max pass %.3f, max cex %.3f, max error %.3f across all COTS runs\n",
+		maxPass, maxCEX, maxErr)
+	// Observation 5: fine-tuning deltas.
+	if len(finetuned) > 0 {
+		sb.WriteString("Obs 5 (fine-tuning deltas, percentage points of Pass):\n")
+		for _, m := range []string{"CodeLLaMa 2", "LLaMa3-70B"} {
+			for _, k := range []int{1, 5} {
+				base, ok1 := get(cots, m, k)
+				ft, ok2 := get(finetuned, m, k)
+				if ok1 && ok2 {
+					fmt.Fprintf(&sb, "  %-14s %d-shot: pass %+.1fpp, cex %+.1fpp, error %+.1fpp\n",
+						m, k,
+						100*(ft.Pass()-base.Pass()),
+						100*(ft.CEX()-base.CEX()),
+						100*(ft.Error()-base.Error()))
+				}
+			}
+		}
+		maxFTErr := 0.0
+		for _, r := range finetuned {
+			if r.Metrics.Error() > maxFTErr {
+				maxFTErr = r.Metrics.Error()
+			}
+		}
+		fmt.Fprintf(&sb, "Obs 6: fine-tuned models still emit up to %.1f%% erroneous assertions\n", 100*maxFTErr)
+	}
+	return sb.String()
+}
+
+func groupByModel(results []RunResult) map[string][]RunResult {
+	out := map[string][]RunResult{}
+	for _, r := range results {
+		out[r.Model] = append(out[r.Model], r)
+	}
+	for _, rs := range out {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Shots < rs[j].Shots })
+	}
+	return out
+}
+
+func modelOrder(results []RunResult) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Model] {
+			seen[r.Model] = true
+			order = append(order, r.Model)
+		}
+	}
+	return order
+}

@@ -1,0 +1,108 @@
+// Package eval implements the paper's evaluation framework: the Fig. 4
+// pipeline (k-shot ICL -> generation -> syntax corrector -> FPV) for COTS
+// models, the Fig. 8 pipeline (fine-tune -> generation -> FPV, corrector
+// removed) for AssertionLLM, the Pass/CEX/Error metrics of Sec. IV, and
+// text renderers for every table and figure in the paper.
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"assertionbench/internal/fpv"
+)
+
+// Verdict is the paper's three-way assertion classification (Sec. IV).
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictPass: the FPV engine attests the assertion (valid or vacuous).
+	VerdictPass Verdict = iota
+	// VerdictCEX: the FPV engine produced a counter-example.
+	VerdictCEX
+	// VerdictError: the assertion is syntactically or semantically invalid
+	// even after correction.
+	VerdictError
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictCEX:
+		return "cex"
+	default:
+		return "error"
+	}
+}
+
+// Classify maps an FPV result to the paper's metric.
+func Classify(r fpv.Result) Verdict {
+	switch {
+	case r.Status == fpv.StatusError:
+		return VerdictError
+	case r.Status == fpv.StatusCEX:
+		return VerdictCEX
+	default:
+		return VerdictPass
+	}
+}
+
+// Metrics are the Pass/CEX/Error fractions over all generated assertions.
+type Metrics struct {
+	NPass  int `json:"n_pass"`
+	NCEX   int `json:"n_cex"`
+	NError int `json:"n_error"`
+}
+
+// MarshalJSON emits counts plus derived fractions for downstream tooling.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	type out struct {
+		NPass  int     `json:"n_pass"`
+		NCEX   int     `json:"n_cex"`
+		NError int     `json:"n_error"`
+		Pass   float64 `json:"pass"`
+		CEX    float64 `json:"cex"`
+		Error  float64 `json:"error"`
+	}
+	return json.Marshal(out{
+		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError,
+		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(),
+	})
+}
+
+// Add accumulates one verdict.
+func (m *Metrics) Add(v Verdict) {
+	switch v {
+	case VerdictPass:
+		m.NPass++
+	case VerdictCEX:
+		m.NCEX++
+	default:
+		m.NError++
+	}
+}
+
+// Total is the number of classified assertions.
+func (m Metrics) Total() int { return m.NPass + m.NCEX + m.NError }
+
+// Pass is the fraction of valid (incl. vacuous) assertions.
+func (m Metrics) Pass() float64 { return frac(m.NPass, m.Total()) }
+
+// CEX is the fraction of refuted assertions.
+func (m Metrics) CEX() float64 { return frac(m.NCEX, m.Total()) }
+
+// Error is the fraction of syntactically/semantically broken assertions.
+func (m Metrics) Error() float64 { return frac(m.NError, m.Total()) }
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f (n=%d)", m.Pass(), m.CEX(), m.Error(), m.Total())
+}

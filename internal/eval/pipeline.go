@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"fmt"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/corrector"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// RunOptions configure one evaluation run of one model at one shot count.
+type RunOptions struct {
+	// Shots is k for k-shot ICL (the paper evaluates 1 and 5).
+	Shots int
+	// Seed drives generation; results are deterministic per seed.
+	Seed int64
+	// UseCorrector enables stage 3 of Fig. 4 (on for COTS models, off for
+	// fine-tuned models per Fig. 8).
+	UseCorrector bool
+	// FPV bounds the verification engine per assertion.
+	FPV fpv.Options
+	// MaxDesigns truncates the corpus for quick runs (0 = all).
+	MaxDesigns int
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Shots == 0 {
+		o.Shots = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FPV.MaxProductStates == 0 {
+		// Evaluation-grade budget: bounded verdicts on the big designs,
+		// exhaustive on the control-dominated ones.
+		o.FPV = fpv.Options{
+			MaxProductStates: 3000,
+			MaxInputBits:     8,
+			MaxInputSamples:  12,
+			RandomRuns:       24,
+			RandomDepth:      48,
+			Seed:             o.Seed,
+		}
+	}
+	return o
+}
+
+// DesignOutcome records one design's generated assertions and verdicts.
+type DesignOutcome struct {
+	Design    string
+	Generated []string
+	Corrected []string
+	Verdicts  []Verdict
+	// Channel bookkeeping from the generator (for ablation analysis).
+	OffTask  int
+	Grounded int
+}
+
+// RunResult is one (model, k) evaluation over the corpus.
+type RunResult struct {
+	Model   string
+	Shots   int
+	Metrics Metrics
+	Designs []DesignOutcome
+}
+
+// Run evaluates a model on the corpus with k-shot ICL: the paper's Fig. 4
+// (with corrector) or Fig. 8 (without) pipeline.
+func Run(model *llm.Model, examples []llm.Example, corpus []bench.Design, opt RunOptions) (RunResult, error) {
+	opt = opt.withDefaults()
+	if opt.Shots > len(examples) {
+		return RunResult{}, fmt.Errorf("eval: %d-shot requested but only %d examples", opt.Shots, len(examples))
+	}
+	designs := corpus
+	if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
+		designs = designs[:opt.MaxDesigns]
+	}
+	res := RunResult{Model: model.Profile.Name, Shots: opt.Shots}
+	icl := examples[:opt.Shots]
+
+	for di, d := range designs {
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			return res, fmt.Errorf("eval: corpus design %s: %w", d.Name, err)
+		}
+		prompt := llm.BuildPrompt(icl, d.Source, model.Profile.ContextWindow)
+		gen := model.Generate(prompt, llm.GenOptions{
+			Shots: opt.Shots,
+			Seed:  opt.Seed*1000003 + int64(di)*7919 + int64(opt.Shots),
+		})
+		lines := sva.SplitAssertions(gen.Text)
+		outcome := DesignOutcome{
+			Design:    d.Name,
+			Generated: lines,
+			OffTask:   gen.OffTask,
+			Grounded:  gen.Grounded,
+		}
+		checked := lines
+		if opt.UseCorrector {
+			fixed, _ := corrector.New(nl).CorrectAll(lines)
+			outcome.Corrected = fixed
+			checked = fixed
+		}
+		for _, line := range checked {
+			r := fpv.VerifySource(nl, line, opt.FPV)
+			v := Classify(r)
+			outcome.Verdicts = append(outcome.Verdicts, v)
+			res.Metrics.Add(v)
+		}
+		res.Designs = append(res.Designs, outcome)
+	}
+	return res, nil
+}

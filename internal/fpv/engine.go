@@ -1,0 +1,331 @@
+package fpv
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// VerifyCompiled model-checks one compiled assertion against the netlist.
+func VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+	opt = opt.withDefaults()
+	eng := &engine{
+		nl:      nl,
+		c:       c,
+		mon:     sva.NewMonitor(c),
+		opt:     opt,
+		sim:     sim.New(nl),
+		zeroEnv: make([]uint64, len(nl.Nets)),
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+	}
+	exhaustive := nl.InputBits() <= opt.MaxInputBits
+	res := eng.bfs(exhaustive)
+	if res.Status == StatusCEX {
+		return res
+	}
+	if res.Exhaustive {
+		if res.NonVacuous {
+			res.Status = StatusProven
+		} else {
+			res.Status = StatusVacuous
+		}
+		return res
+	}
+	// Bounded: hunt violations along randomized deep runs before settling
+	// for a bounded pass.
+	if r := eng.randomHunt(&res); r != nil {
+		return *r
+	}
+	res.Status = StatusBoundedPass
+	return res
+}
+
+type node struct {
+	regs   []uint64
+	hist   [][]uint64 // most recent first; len <= PastDepth
+	alive  uint64
+	sat    uint64
+	parent int32
+	inVec  []uint64 // input vector that led here (nil for root)
+	depth  int32
+}
+
+type engine struct {
+	nl      *verilog.Netlist
+	c       *sva.Compiled
+	mon     *sva.Monitor
+	opt     Options
+	sim     *sim.Simulator
+	zeroEnv []uint64
+	rng     *rand.Rand
+
+	nodes []node
+}
+
+// bfs explores the product of design states and monitor states.
+func (e *engine) bfs(enumerate bool) Result {
+	res := Result{}
+	visited := map[string]struct{}{}
+	root := node{regs: make([]uint64, len(e.nl.Regs)), parent: -1}
+	e.nodes = e.nodes[:0]
+	e.nodes = append(e.nodes, root)
+	visited[e.key(&root)] = struct{}{}
+	closed := true
+
+	histBuf := make([][]uint64, e.c.PastDepth+1)
+
+	for head := 0; head < len(e.nodes); head++ {
+		if len(visited) >= e.opt.MaxProductStates {
+			closed = false
+			break
+		}
+		cur := e.nodes[head]
+		if int(cur.depth) > res.Depth {
+			res.Depth = int(cur.depth)
+		}
+		for _, inputs := range e.inputVectors(enumerate) {
+			if err := e.sim.LoadStateWithInputs(cur.regs, inputs); err != nil {
+				// Impossible by construction; treat as engine error.
+				return Result{Status: StatusError, Err: err}
+			}
+			env := e.sim.Env()
+			histBuf[0] = env
+			for k := 1; k <= e.c.PastDepth; k++ {
+				if k-1 < len(cur.hist) {
+					histBuf[k] = cur.hist[k-1]
+				} else {
+					histBuf[k] = e.zeroEnv
+				}
+			}
+			e.mon.SetState(cur.alive, cur.sat)
+			out := e.mon.Step(histBuf)
+			if out.AnteCompleted {
+				res.NonVacuous = true
+			}
+			if out.Violated {
+				res.Status = StatusCEX
+				res.States = len(visited)
+				res.CEX = e.buildCEX(head, inputs, int(cur.depth), out.ViolatedAge)
+				return res
+			}
+			alive, sat := e.mon.State()
+
+			// Snapshot the sampled env before Step mutates the live slice.
+			var envCopy []uint64
+			if e.c.PastDepth > 0 {
+				envCopy = make([]uint64, len(env))
+				copy(envCopy, env)
+			}
+			e.sim.Step()
+			child := node{
+				regs:   e.sim.CopyState(),
+				alive:  alive,
+				sat:    sat,
+				parent: int32(head),
+				inVec:  inputs,
+				depth:  cur.depth + 1,
+			}
+			if e.c.PastDepth > 0 {
+				child.hist = make([][]uint64, 0, e.c.PastDepth)
+				child.hist = append(child.hist, envCopy)
+				for k := 0; k < e.c.PastDepth-1 && k < len(cur.hist); k++ {
+					child.hist = append(child.hist, cur.hist[k])
+				}
+			}
+			k := e.key(&child)
+			if _, seen := visited[k]; !seen {
+				visited[k] = struct{}{}
+				e.nodes = append(e.nodes, child)
+			}
+		}
+	}
+	res.States = len(visited)
+	res.Exhaustive = enumerate && closed
+	return res
+}
+
+// key encodes the product state for deduplication: register values, the
+// monitor's alive mask, and (when $past is used) the history of the
+// assertion's support nets.
+func (e *engine) key(n *node) string {
+	buf := make([]byte, 0, 8*(len(n.regs)+2))
+	var tmp [8]byte
+	for _, v := range n.regs {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], n.alive)
+	buf = append(buf, tmp[:]...)
+	if e.c.Ranged {
+		binary.LittleEndian.PutUint64(tmp[:], n.sat)
+		buf = append(buf, tmp[:]...)
+	}
+	if e.c.PastDepth > 0 {
+		support := e.c.SupportNets()
+		for _, h := range n.hist {
+			for _, idx := range support {
+				binary.LittleEndian.PutUint64(tmp[:], h[idx])
+				buf = append(buf, tmp[:]...)
+			}
+		}
+	}
+	return string(buf)
+}
+
+// inputVectors yields the data-input vectors to try from one state: the
+// full enumeration when feasible, otherwise corner patterns plus random
+// samples.
+func (e *engine) inputVectors(enumerate bool) [][]uint64 {
+	widths := make([]int, len(e.nl.Inputs))
+	total := 0
+	for i, idx := range e.nl.Inputs {
+		widths[i] = e.nl.Nets[idx].Width
+		total += widths[i]
+	}
+	unpack := func(bits uint64) []uint64 {
+		vals := make([]uint64, len(widths))
+		for i, w := range widths {
+			vals[i] = bits & verilog.WidthMask(w)
+			bits >>= uint(w)
+		}
+		return vals
+	}
+	if enumerate {
+		n := 1 << uint(total)
+		out := make([][]uint64, 0, n)
+		for b := 0; b < n; b++ {
+			out = append(out, unpack(uint64(b)))
+		}
+		return out
+	}
+	out := make([][]uint64, 0, e.opt.MaxInputSamples+2)
+	out = append(out, unpack(0), unpack(^uint64(0)))
+	for i := 0; i < e.opt.MaxInputSamples; i++ {
+		out = append(out, unpack(e.rng.Uint64()))
+	}
+	return out
+}
+
+// buildCEX reconstructs the refuting stimulus from parent links and
+// re-simulates it to capture the sampled trace.
+func (e *engine) buildCEX(head int, lastInputs []uint64, depth, violatedAge int) *CEX {
+	var inputs [][]uint64
+	for i := head; i >= 0 && e.nodes[i].parent >= 0; i = int(e.nodes[i].parent) {
+		inputs = append(inputs, e.nodes[i].inVec)
+	}
+	// Reverse into chronological order and append the violating step.
+	for l, r := 0, len(inputs)-1; l < r; l, r = l+1, r-1 {
+		inputs[l], inputs[r] = inputs[r], inputs[l]
+	}
+	inputs = append(inputs, lastInputs)
+	return e.replayCEX(inputs, depth, violatedAge)
+}
+
+func (e *engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
+	cex := &CEX{
+		Inputs:         inputs,
+		ViolationCycle: depth,
+		AttemptCycle:   depth - violatedAge,
+	}
+	s := sim.New(e.nl)
+	for _, u := range inputs {
+		if err := s.SetInputs(u); err != nil {
+			break
+		}
+		s.Settle()
+		env := make([]uint64, len(s.Env()))
+		copy(env, s.Env())
+		cex.Sampled = append(cex.Sampled, env)
+		s.Step()
+	}
+	return cex
+}
+
+// randomHunt drives randomized deep runs looking for violations that the
+// truncated BFS missed. Returns a full result on violation, nil otherwise.
+func (e *engine) randomHunt(res *Result) *Result {
+	histDepth := e.c.PastDepth
+	for run := 0; run < e.opt.RandomRuns; run++ {
+		s := sim.New(e.nl)
+		e.mon.Reset()
+		var hist [][]uint64
+		var inputs [][]uint64
+		for t := 0; t < e.opt.RandomDepth; t++ {
+			u := e.randomStimulus(t)
+			inputs = append(inputs, u)
+			if err := s.SetInputs(u); err != nil {
+				break
+			}
+			s.Settle()
+			env := s.Env()
+			histBuf := make([][]uint64, histDepth+1)
+			histBuf[0] = env
+			for k := 1; k <= histDepth; k++ {
+				if k-1 < len(hist) {
+					histBuf[k] = hist[k-1]
+				} else {
+					histBuf[k] = e.zeroEnv
+				}
+			}
+			out := e.mon.Step(histBuf)
+			if out.AnteCompleted {
+				res.NonVacuous = true
+			}
+			if out.Violated {
+				full := *res
+				full.Status = StatusCEX
+				full.CEX = e.replayCEX(inputs, t, out.ViolatedAge)
+				if t > full.Depth {
+					full.Depth = t
+				}
+				return &full
+			}
+			if histDepth > 0 {
+				envCopy := make([]uint64, len(env))
+				copy(envCopy, env)
+				hist = append([][]uint64{envCopy}, hist...)
+				if len(hist) > histDepth {
+					hist = hist[:histDepth]
+				}
+			}
+			s.Step()
+			if t > res.Depth {
+				res.Depth = t
+			}
+		}
+	}
+	return nil
+}
+
+// randomStimulus biases early cycles toward asserting reset-like inputs so
+// deep FSM behaviour past reset is exercised.
+func (e *engine) randomStimulus(t int) []uint64 {
+	vals := make([]uint64, len(e.nl.Inputs))
+	for i, idx := range e.nl.Inputs {
+		n := e.nl.Nets[idx]
+		vals[i] = e.rng.Uint64() & n.Mask()
+		if isResetLike(n.Name) {
+			if t < 2 {
+				vals[i] = 1 & n.Mask()
+			} else if e.rng.Intn(16) != 0 {
+				vals[i] = 0
+			}
+		}
+	}
+	return vals
+}
+
+func isResetLike(name string) bool {
+	for i := 0; i+2 < len(name); i++ {
+		if name[i] == 'r' && name[i+1] == 's' && name[i+2] == 't' {
+			return true
+		}
+		if i+4 < len(name) && name[i] == 'r' && name[i+1] == 'e' && name[i+2] == 's' && name[i+3] == 'e' && name[i+4] == 't' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package fpv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// randAssertion builds a random assertion over the counter's signals.
+func randAssertion(rng *rand.Rand) string {
+	sigs := []struct {
+		name  string
+		width int
+	}{{"rst", 1}, {"en", 1}, {"count", 4}}
+	atom := func() string {
+		s := sigs[rng.Intn(len(sigs))]
+		op := []string{"==", "!=", "<", ">="}[rng.Intn(4)]
+		return fmt.Sprintf("%s %s %d", s.name, op, rng.Intn(1<<uint(s.width)))
+	}
+	ante := atom()
+	if rng.Intn(2) == 0 {
+		ante += " && " + atom()
+	}
+	if rng.Intn(3) == 0 {
+		ante += fmt.Sprintf(" ##%d %s", 1+rng.Intn(2), atom())
+	}
+	impl := []string{"|->", "|=>"}[rng.Intn(2)]
+	cons := atom()
+	if rng.Intn(4) == 0 {
+		cons = fmt.Sprintf("$stable(count)")
+	}
+	return fmt.Sprintf("%s %s %s", ante, impl, cons)
+}
+
+// TestProvenNeverViolatedOnTraces is the engine's soundness property: any
+// assertion the model checker proves exhaustively must never be violated
+// by the trace monitor on random simulations of the same design.
+func TestProvenNeverViolatedOnTraces(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	rng := rand.New(rand.NewSource(11))
+	proven, cexs := 0, 0
+	for i := 0; i < 200; i++ {
+		src := randAssertion(rng)
+		a, err := sva.Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced unparseable %q: %v", src, err)
+		}
+		r := Verify(nl, a, Options{})
+		switch r.Status {
+		case StatusProven, StatusVacuous:
+			proven++
+			for seed := int64(0); seed < 3; seed++ {
+				tr, err := sim.RandomTrace(nl, 300, 2, 100+seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viol, _, err := CheckTrace(nl, a, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(viol) > 0 {
+					t.Fatalf("UNSOUND: %q proven by FPV but violated on trace (seed %d, cycle %d)",
+						src, seed, viol[0].ViolationCycle)
+				}
+			}
+		case StatusCEX:
+			cexs++
+		}
+	}
+	if proven == 0 || cexs == 0 {
+		t.Fatalf("degenerate sample: %d proven, %d cex out of 200", proven, cexs)
+	}
+}
+
+// TestCEXTraceActuallyViolates: every counter-example the engine emits
+// must itself violate the assertion when monitored.
+func TestCEXTraceActuallyViolates(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 120 && checked < 25; i++ {
+		src := randAssertion(rng)
+		a, err := sva.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Verify(nl, a, Options{})
+		if r.Status != StatusCEX {
+			continue
+		}
+		checked++
+		tr := &sim.Trace{Netlist: nl, Cycles: r.CEX.Sampled}
+		viol, _, err := CheckTrace(nl, a, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viol) == 0 {
+			t.Errorf("CEX for %q does not violate the assertion when replayed", src)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d CEX assertions sampled", checked)
+	}
+}
+
+// TestVerifyDeterministic: verification is a pure function of its inputs.
+func TestVerifyDeterministic(t *testing.T) {
+	nl := elab(t, arbiterSrc, "arb2")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := ""
+		switch rng.Intn(3) {
+		case 0:
+			src = "req1 == 1 |-> gnt1 == 1"
+		case 1:
+			src = "rst == 1 |=> gnt_ == 0"
+		default:
+			src = "gnt_ == 1 ##1 req2 == 1 |=> gnt2 == 1"
+		}
+		a := VerifySource(nl, src, Options{Seed: seed%7 + 1})
+		b := VerifySource(nl, src, Options{Seed: seed%7 + 1})
+		return a.Status == b.Status && a.States == b.States
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonitorWindowMaskInvariant: the alive mask never exceeds the window.
+func TestMonitorWindowMaskInvariant(t *testing.T) {
+	f := func(w uint8) bool {
+		window := int(w%64) + 1
+		mask := verilog.WidthMask(window)
+		alive := uint64(0)
+		for i := 0; i < 200; i++ {
+			alive = ((alive << 1) | 1) & mask
+			if alive&^mask != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package fpv
+
+import (
+	"testing"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+)
+
+// The ##[m:n] ranged-delay extension (paper Sec. X, direction iv: richer
+// SVA). A handshake node acknowledges a request within a bounded window.
+
+// delayed_ack has no reset input on purpose: a mid-window reset would
+// legitimately refute any bounded-response property.
+const delayedAckSrc = `
+module delayed_ack(clk, req, ack);
+input clk, req;
+output ack;
+reg [1:0] st;
+assign ack = st == 2'd2;
+always @(posedge clk)
+  case (st)
+    2'd0: st <= req ? 2'd1 : 2'd0;
+    2'd1: st <= 2'd2;
+    2'd2: st <= 2'd0;
+    default: st <= 0;
+  endcase
+endmodule
+`
+
+func TestRangedDelayParsing(t *testing.T) {
+	a, err := sva.Parse("req == 1 |-> ##[1:3] ack == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Ranged() || a.Cons[0].Delay != 1 || a.ConsDelaySpan != 2 {
+		t.Fatalf("range wrong: %+v", a)
+	}
+	if a.WindowLength() != 4 {
+		t.Errorf("window = %d, want 4", a.WindowLength())
+	}
+	if a.String() != "req == 1 |-> ##[1:3] ack == 1" {
+		t.Errorf("canonical form = %q", a.String())
+	}
+	// Round trip.
+	b, err := sva.Parse(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("ranged assertion does not round-trip")
+	}
+}
+
+func TestRangedDelayErrors(t *testing.T) {
+	for _, src := range []string{
+		"a ##[1:2] b |-> c",     // range inside antecedent
+		"a |-> ##[3:1] b",       // empty range
+		"a |-> ##[1:2] b ##1 c", // multi-step consequent
+		"##[1:2] a |-> b",       // leading antecedent delay
+	} {
+		if _, err := sva.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRangedDelayVerification(t *testing.T) {
+	nl := elab(t, delayedAckSrc, "delayed_ack")
+	// From idle, a request reaches ack exactly two cycles later; the
+	// ranged window [1:3] covers it, [1:1] does not.
+	proven := "st == 0 && req == 1 |-> ##[1:3] ack == 1"
+	r := verify(t, nl, proven)
+	if r.Status != StatusProven {
+		t.Fatalf("%q: %v, want proven", proven, r.Status)
+		if r.CEX != nil {
+			t.Log(r.CEX.Format(nl))
+		}
+	}
+	tooTight := "st == 0 && req == 1 |-> ##[1:1] ack == 1"
+	r = verify(t, nl, tooTight)
+	if r.Status != StatusCEX {
+		t.Fatalf("%q: %v, want cex", tooTight, r.Status)
+	}
+	exact := "st == 0 && req == 1 |-> ##[2:2] ack == 1"
+	r = verify(t, nl, exact)
+	if r.Status != StatusProven {
+		t.Fatalf("%q: %v, want proven", exact, r.Status)
+	}
+}
+
+func TestRangedEquivalentToFixedWhenSpanZero(t *testing.T) {
+	nl := elab(t, delayedAckSrc, "delayed_ack")
+	fixed := verify(t, nl, "st == 0 && req == 1 |-> ##2 ack == 1")
+	ranged := verify(t, nl, "st == 0 && req == 1 |-> ##[2:2] ack == 1")
+	if fixed.Status != ranged.Status {
+		t.Errorf("##2 (%v) and ##[2:2] (%v) disagree", fixed.Status, ranged.Status)
+	}
+}
+
+func TestRangedSatisfiedAtAnyOffset(t *testing.T) {
+	// On the counter: count == 2 leads to count == 4 within [1:3] cycles
+	// only if en stays high; without that constraint a CEX must exist,
+	// and the CEX trace must show the consequent failing at EVERY offset
+	// of the window.
+	nl := elab(t, counterSrc, "counter")
+	r := verify(t, nl, "count == 2 && rst == 0 |-> ##[1:3] count == 4")
+	if r.Status != StatusCEX {
+		t.Fatalf("status %v, want cex", r.Status)
+	}
+	// Cross-validate the CEX with the trace monitor.
+	a, err := sva.Parse("count == 2 && rst == 0 |-> ##[1:3] count == 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &sim.Trace{Netlist: nl, Cycles: r.CEX.Sampled}
+	viol, _, err := CheckTrace(nl, a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("ranged CEX does not violate under the trace monitor")
+	}
+	// And a run where en is held: proven.
+	held := verify(t, nl, "count == 2 && rst == 0 && en == 1 ##1 en == 1 && rst == 0 ##1 en == 1 && rst == 0 |=> count == 5")
+	if held.Status != StatusProven {
+		t.Fatalf("multi-cycle enable chain: %v, want proven", held.Status)
+	}
+}
+
+func TestRangedVacuity(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	r := verify(t, nl, "count == 500 |-> ##[1:2] count == 0")
+	if r.Status != StatusVacuous {
+		t.Fatalf("unreachable ranged antecedent: %v, want vacuous", r.Status)
+	}
+}

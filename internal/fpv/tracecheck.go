@@ -1,0 +1,53 @@
+package fpv
+
+import (
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// TraceViolation reports one assertion failure observed on a recorded
+// simulation trace.
+type TraceViolation struct {
+	// AttemptCycle is where the violated evaluation attempt started.
+	AttemptCycle int
+	// ViolationCycle is where the consequent failed.
+	ViolationCycle int
+}
+
+// CheckTrace runs the assertion's monitor over a recorded trace and
+// returns every violation plus whether the antecedent ever matched
+// (non-vacuity witness). This is the simulation-based ABV counterpart of
+// the model checker: sound for refutation, not for proof.
+func CheckTrace(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace) ([]TraceViolation, bool, error) {
+	c, err := sva.Compile(a, nl)
+	if err != nil {
+		return nil, false, err
+	}
+	var violations []TraceViolation
+	nonVacuous := false
+	zero := make([]uint64, len(nl.Nets))
+	mon := sva.NewMonitor(c)
+	hist := make([][]uint64, c.PastDepth+1)
+	for t := 0; t < tr.Len(); t++ {
+		hist[0] = tr.Cycles[t]
+		for k := 1; k <= c.PastDepth; k++ {
+			if t-k >= 0 {
+				hist[k] = tr.Cycles[t-k]
+			} else {
+				hist[k] = zero
+			}
+		}
+		out := mon.Step(hist)
+		if out.AnteCompleted {
+			nonVacuous = true
+		}
+		if out.Violated {
+			violations = append(violations, TraceViolation{
+				AttemptCycle:   t - out.ViolatedAge,
+				ViolationCycle: t,
+			})
+		}
+	}
+	return violations, nonVacuous, nil
+}

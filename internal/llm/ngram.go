@@ -1,0 +1,275 @@
+package llm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NGram is an order-3 language model with interpolated backoff and add-k
+// smoothing. It is deliberately small — the point is that decoding,
+// scoring, perplexity, and fine-tuning are real statistical procedures,
+// not canned outputs.
+type NGram struct {
+	vocab *Vocab
+
+	uni    map[int]int
+	bi     map[[2]int]map[int]int
+	tri    map[[3]int]map[int]int
+	biTot  map[[2]int]int
+	triTot map[[3]int]int
+	total  int
+
+	// Interpolation weights for trigram/bigram/unigram.
+	L3, L2, L1 float64
+	// AddK is the smoothing constant.
+	AddK float64
+}
+
+// NewNGram returns an empty model sharing the given vocabulary.
+func NewNGram(v *Vocab) *NGram {
+	return &NGram{
+		vocab:  v,
+		uni:    map[int]int{},
+		bi:     map[[2]int]map[int]int{},
+		tri:    map[[3]int]map[int]int{},
+		biTot:  map[[2]int]int{},
+		triTot: map[[3]int]int{},
+		L3:     0.6, L2: 0.3, L1: 0.1,
+		AddK: 0.05,
+	}
+}
+
+// Vocab exposes the model's vocabulary.
+func (m *NGram) Vocab() *Vocab { return m.vocab }
+
+// TrainSequence accumulates counts from one encoded sequence (BOS..EOS).
+func (m *NGram) TrainSequence(seq []int) {
+	for _, t := range seq {
+		m.uni[t]++
+		m.total++
+	}
+	for i := 1; i < len(seq); i++ {
+		prev := seq[i-1]
+		cur := seq[i]
+		key2 := [2]int{prev, -1}
+		if m.bi[key2] == nil {
+			m.bi[key2] = map[int]int{}
+		}
+		m.bi[key2][cur]++
+		m.biTot[key2]++
+		if i >= 2 {
+			key3 := [3]int{seq[i-2], prev, -1}
+			if m.tri[key3] == nil {
+				m.tri[key3] = map[int]int{}
+			}
+			m.tri[key3][cur]++
+			m.triTot[key3]++
+		}
+	}
+}
+
+// Train tokenizes and trains on a batch of text lines.
+func (m *NGram) Train(lines []string) {
+	var tk Tokenizer
+	for _, line := range lines {
+		m.TrainSequence(m.vocab.Encode(tk.Tokenize(line)))
+	}
+}
+
+// Prob returns P(tok | prev2 prev1) with interpolation and smoothing.
+func (m *NGram) Prob(prev2, prev1, tok int) float64 {
+	v := float64(m.vocab.Size())
+	p1 := (float64(m.uni[tok]) + m.AddK) / (float64(m.total) + m.AddK*v)
+	key2 := [2]int{prev1, -1}
+	p2 := p1
+	if tot := m.biTot[key2]; tot > 0 {
+		p2 = (float64(m.bi[key2][tok]) + m.AddK) / (float64(tot) + m.AddK*v)
+	}
+	key3 := [3]int{prev2, prev1, -1}
+	p3 := p2
+	if tot := m.triTot[key3]; tot > 0 {
+		p3 = (float64(m.tri[key3][tok]) + m.AddK) / (float64(tot) + m.AddK*v)
+	}
+	return m.L3*p3 + m.L2*p2 + m.L1*p1
+}
+
+// ScoreTokens returns the average negative log2 probability of a token
+// string sequence (lower is more fluent under the model).
+func (m *NGram) ScoreTokens(toks []string) float64 {
+	seq := make([]int, 0, len(toks)+2)
+	seq = append(seq, TokBOS)
+	for _, t := range toks {
+		id := m.vocab.ID(t)
+		if id < 0 {
+			id = m.vocab.Size() // unseen: maximally surprising under AddK
+		}
+		seq = append(seq, id)
+	}
+	seq = append(seq, TokEOS)
+	nll := 0.0
+	for i := 1; i < len(seq); i++ {
+		prev2 := TokBOS
+		if i >= 2 {
+			prev2 = seq[i-2]
+		}
+		nll += -math.Log2(m.Prob(prev2, seq[i-1], seq[i]))
+	}
+	return nll / float64(len(seq)-1)
+}
+
+// Perplexity of a batch of lines under the model.
+func (m *NGram) Perplexity(lines []string) float64 {
+	var tk Tokenizer
+	total, n := 0.0, 0
+	for _, line := range lines {
+		toks := tk.Tokenize(line)
+		total += m.ScoreTokens(toks) * float64(len(toks)+1)
+		n += len(toks) + 1
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp2(total / float64(n))
+}
+
+// SampleNext draws the next token id given two tokens of context, using
+// temperature scaling and nucleus (top-p) truncation. candidates may
+// restrict the choice set (grammar-guided decoding); nil means the whole
+// vocabulary observed in context.
+func (m *NGram) SampleNext(prev2, prev1 int, candidates []int, temp, topP float64, rng *rand.Rand) int {
+	if len(candidates) == 0 {
+		seen := map[int]bool{}
+		if d := m.tri[[3]int{prev2, prev1, -1}]; d != nil {
+			for t := range d {
+				seen[t] = true
+			}
+		}
+		if d := m.bi[[2]int{prev1, -1}]; d != nil {
+			for t := range d {
+				seen[t] = true
+			}
+		}
+		if len(seen) == 0 {
+			for t := range m.uni {
+				seen[t] = true
+			}
+		}
+		for t := range seen {
+			candidates = append(candidates, t)
+		}
+		sort.Ints(candidates)
+	}
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	type scored struct {
+		tok int
+		p   float64
+	}
+	// Greedy limit: pick the argmax outright (pow underflows there).
+	if temp < 1e-3 {
+		best, bestP := candidates[0], -1.0
+		for _, t := range candidates {
+			if p := m.Prob(prev2, prev1, t); p > bestP {
+				best, bestP = t, p
+			}
+		}
+		return best
+	}
+	items := make([]scored, 0, len(candidates))
+	sum := 0.0
+	for _, t := range candidates {
+		p := math.Pow(m.Prob(prev2, prev1, t), 1.0/temp)
+		items = append(items, scored{t, p})
+		sum += p
+	}
+	if sum == 0 {
+		return candidates[rng.Intn(len(candidates))]
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].p != items[j].p {
+			return items[i].p > items[j].p
+		}
+		return items[i].tok < items[j].tok
+	})
+	// Nucleus truncation.
+	if topP > 0 && topP < 1 {
+		acc := 0.0
+		cut := len(items)
+		for i, it := range items {
+			acc += it.p / sum
+			if acc >= topP {
+				cut = i + 1
+				break
+			}
+		}
+		items = items[:cut]
+		sum = 0
+		for _, it := range items {
+			sum += it.p
+		}
+	}
+	r := rng.Float64() * sum
+	for _, it := range items {
+		r -= it.p
+		if r <= 0 {
+			return it.tok
+		}
+	}
+	return items[len(items)-1].tok
+}
+
+// SampleToken is SampleNext over token strings.
+func (m *NGram) SampleToken(prev2, prev1 string, candidates []string, temp, topP float64, rng *rand.Rand) string {
+	ids := make([]int, 0, len(candidates))
+	for _, c := range candidates {
+		ids = append(ids, m.vocab.Add(c))
+	}
+	p2 := m.vocab.ID(prev2)
+	if p2 < 0 {
+		p2 = TokBOS
+	}
+	p1 := m.vocab.ID(prev1)
+	if p1 < 0 {
+		p1 = TokBOS
+	}
+	return m.vocab.Token(m.SampleNext(p2, p1, ids, temp, topP, rng))
+}
+
+// Clone deep-copies the model including its vocabulary, so training or
+// sampling on the copy never perturbs the original (fine-tuning and
+// in-context conditioning both train clones).
+func (m *NGram) Clone() *NGram {
+	v := NewVocab()
+	for _, tok := range m.vocab.toks[2:] { // specials pre-added
+		v.Add(tok)
+	}
+	out := NewNGram(v)
+	out.L3, out.L2, out.L1, out.AddK = m.L3, m.L2, m.L1, m.AddK
+	for k, v := range m.uni {
+		out.uni[k] = v
+	}
+	out.total = m.total
+	for k, d := range m.bi {
+		nd := make(map[int]int, len(d))
+		for t, c := range d {
+			nd[t] = c
+		}
+		out.bi[k] = nd
+	}
+	for k, v := range m.biTot {
+		out.biTot[k] = v
+	}
+	for k, d := range m.tri {
+		nd := make(map[int]int, len(d))
+		for t, c := range d {
+			nd[t] = c
+		}
+		out.tri[k] = nd
+	}
+	for k, v := range m.triTot {
+		out.triTot[k] = v
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package llm
+
+// pretrainCorpus is the small generic SVA corpus every foundational model
+// is seeded with: enough to give the n-gram a prior over assertion shapes
+// and operators. Fine-tuning (AssertionLLM) later adds the benchmark's
+// design-specific corpus on top.
+var pretrainCorpus = []string{
+	"req == 1 |-> gnt == 1;",
+	"valid == 1 && ready == 0 |=> valid == 1;",
+	"rst == 1 |=> count == 0;",
+	"start == 1 |-> ##2 done == 1;",
+	"full == 1 |-> w_en == 0;",
+	"empty == 1 |-> r_en == 0;",
+	"$rose(req) |=> ack == 1;",
+	"$fell(enable) |=> $stable(data);",
+	"state == 0 && in == 1 |=> state == 1;",
+	"a == 1 ##1 b == 1 |=> c == 1;",
+	"en == 0 |=> $stable(q);",
+	"load == 1 |=> q == d;",
+	"busy == 0 |-> idle == 1;",
+	"err == 1 |-> valid == 0;",
+	"mode == 2'h1 |-> out != 0;",
+	"sel == 0 |-> y == a;",
+	"sel == 1 |-> y == b;",
+	"wr == 1 && full == 0 |=> cnt == $past(cnt) + 1;",
+	"rd == 1 && empty == 0 |=> cnt == $past(cnt) - 1;",
+	"flush == 1 |=> cnt == 0;",
+	"grant == 1 |-> req == 1;",
+	"ack == 1 |-> $past(req) == 1;",
+	"x == 1 |=> y == 1;",
+	"x == 0 |=> y == 0;",
+	"ce == 1 |=> q == $past(d);",
+	"parity == 1 |-> ^data == 1;",
+	"ov == 1 |-> cnt == 15;",
+	"init == 1 |=> state == 0;",
+	"stall == 1 |=> $stable(pc);",
+	"enable == 1 && clear == 0 |=> value != 0 || value == 0;",
+	"lock == 1 |-> key != 0;",
+	"tx == 1 |-> ##4 done == 1;",
+	"crc_ok == 1 |-> err == 0;",
+	"hold == 1 |=> $stable(bus);",
+	"ready == 1 ##1 valid == 1 |=> accept == 1;",
+	"s0 == 1 |-> s1 == 0;",
+	"up == 1 && down == 0 |=> pos == $past(pos) + 1;",
+	"timeout == 1 |=> state == 0;",
+	"we == 1 |=> mem_busy == 1;",
+	"G(req == 1 -> X(gnt == 1));",
+}
+
+// offTaskJava are the off-task continuations the LLaMa3 profile drifts
+// into (the paper observed it "tries to generate codes in a new
+// programming language (such as Java)").
+var offTaskJava = []string{
+	"public class AssertionChecker { public static void main(String[] args) { } }",
+	"System.out.println(\"assertion passed\");",
+	"for (int i = 0; i < signals.length; i++) { assert signals[i] != null; }",
+	"import java.util.List; // assertions below",
+	"def check_assertions(design): return []",
+}
+
+// offTaskProse are generic chatbot digressions any model can produce.
+var offTaskProse = []string{
+	"Here are the assertions for the given design:",
+	"Note that these assertions assume a synchronous reset.",
+	"The design appears to implement a state machine.",
+	"Sure! Based on the Verilog code, the following properties should hold.",
+	"I hope these assertions are helpful for your verification task.",
+}

@@ -1,0 +1,143 @@
+package mine
+
+import "math"
+
+// The decision-tree learner behind the GOLDMINE-style miner: ID3 with
+// information gain over boolean atom features, depth-capped, extracting
+// only pure leaves with sufficient support as candidate rules.
+
+type dtRow struct {
+	features []bool // atom truth values
+	label    bool
+}
+
+type dtNode struct {
+	feature  int // index into the atom list; -1 for leaves
+	pos, neg *dtNode
+	leaf     bool
+	label    bool
+	n        int
+	pure     bool
+}
+
+// dtRule is a root-to-pure-leaf path: the conjunction of (atom, polarity)
+// conditions implies the label.
+type dtRule struct {
+	conds   []dtCond
+	label   bool
+	support int
+}
+
+type dtCond struct {
+	feature int
+	negated bool
+}
+
+func entropy(pos, n int) float64 {
+	if n == 0 || pos == 0 || pos == n {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// learnTree builds a tree over rows using the atom features.
+func learnTree(rows []dtRow, nFeatures, maxDepth, minLeaf int) *dtNode {
+	return growNode(rows, allIdx(nFeatures), maxDepth, minLeaf)
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func growNode(rows []dtRow, features []int, depth, minLeaf int) *dtNode {
+	pos := 0
+	for _, r := range rows {
+		if r.label {
+			pos++
+		}
+	}
+	node := &dtNode{feature: -1, leaf: true, n: len(rows), label: pos*2 >= len(rows)}
+	node.pure = pos == 0 || pos == len(rows)
+	if node.pure || depth == 0 || len(rows) < minLeaf*2 || len(features) == 0 {
+		return node
+	}
+	baseH := entropy(pos, len(rows))
+	bestGain := 0.0
+	bestF := -1
+	for _, f := range features {
+		tPos, tN, fPos, fN := 0, 0, 0, 0
+		for _, r := range rows {
+			if r.features[f] {
+				tN++
+				if r.label {
+					tPos++
+				}
+			} else {
+				fN++
+				if r.label {
+					fPos++
+				}
+			}
+		}
+		if tN < minLeaf || fN < minLeaf {
+			continue
+		}
+		gain := baseH -
+			(float64(tN)/float64(len(rows)))*entropy(tPos, tN) -
+			(float64(fN)/float64(len(rows)))*entropy(fPos, fN)
+		if gain > bestGain+1e-12 {
+			bestGain = gain
+			bestF = f
+		}
+	}
+	if bestF < 0 {
+		return node
+	}
+	var tRows, fRows []dtRow
+	for _, r := range rows {
+		if r.features[bestF] {
+			tRows = append(tRows, r)
+		} else {
+			fRows = append(fRows, r)
+		}
+	}
+	rest := make([]int, 0, len(features)-1)
+	for _, f := range features {
+		if f != bestF {
+			rest = append(rest, f)
+		}
+	}
+	node.leaf = false
+	node.feature = bestF
+	node.pos = growNode(tRows, rest, depth-1, minLeaf)
+	node.neg = growNode(fRows, rest, depth-1, minLeaf)
+	return node
+}
+
+// extractRules walks the tree collecting pure leaves with enough support.
+func extractRules(root *dtNode, minSupport int) []dtRule {
+	var out []dtRule
+	var walk func(n *dtNode, conds []dtCond)
+	walk = func(n *dtNode, conds []dtCond) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if n.pure && n.n >= minSupport && len(conds) > 0 {
+				rule := dtRule{label: n.label, support: n.n}
+				rule.conds = append(rule.conds, conds...)
+				out = append(out, rule)
+			}
+			return
+		}
+		walk(n.pos, append(conds, dtCond{feature: n.feature}))
+		walk(n.neg, append(conds, dtCond{feature: n.feature, negated: true}))
+	}
+	walk(root, nil)
+	return out
+}

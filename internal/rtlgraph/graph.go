@@ -1,0 +1,247 @@
+// Package rtlgraph derives the auxiliary source-code artifacts the paper's
+// Observation 4 names as critical design insights: the variable dependency
+// graph (VDG), control/data flow edges (CDFG), and cones of influence
+// (COI). The assertion miners (internal/mine) and the grounded generation
+// path of the simulated LLMs (internal/llm) consume these artifacts.
+package rtlgraph
+
+import (
+	"sort"
+
+	"assertionbench/internal/verilog"
+)
+
+// EdgeKind distinguishes data dependencies (RHS feeds LHS) from control
+// dependencies (a branch condition guards the assignment).
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeData EdgeKind = iota
+	EdgeCtrl
+)
+
+// Graph is the variable dependency graph of an elaborated netlist: for
+// each net, the nets it depends on, split by edge kind, plus whether the
+// dependency crosses a register boundary (sequential edge).
+type Graph struct {
+	Netlist *verilog.Netlist
+	// DataDeps[i] lists nets that feed net i through expressions.
+	DataDeps [][]int
+	// CtrlDeps[i] lists nets that control whether net i is assigned.
+	CtrlDeps [][]int
+	// SeqWrite[i] reports that net i is written by a clocked process, so
+	// its dependencies take effect one cycle later.
+	SeqWrite []bool
+}
+
+// Build constructs the dependency graph from compiled processes and
+// continuous assignments.
+func Build(nl *verilog.Netlist) *Graph {
+	g := &Graph{
+		Netlist:  nl,
+		DataDeps: make([][]int, len(nl.Nets)),
+		CtrlDeps: make([][]int, len(nl.Nets)),
+		SeqWrite: make([]bool, len(nl.Nets)),
+	}
+	data := make([]map[int]bool, len(nl.Nets))
+	ctrl := make([]map[int]bool, len(nl.Nets))
+	for i := range data {
+		data[i] = map[int]bool{}
+		ctrl[i] = map[int]bool{}
+	}
+	for i := range nl.Assigns {
+		a := &nl.Assigns[i]
+		rhs := map[int]bool{}
+		a.RHS.Support(rhs)
+		for _, l := range a.LHS {
+			for d := range rhs {
+				data[l.Net][d] = true
+			}
+			if l.BitIdx != nil {
+				idxDeps := map[int]bool{}
+				l.BitIdx.Support(idxDeps)
+				for d := range idxDeps {
+					ctrl[l.Net][d] = true
+				}
+			}
+		}
+	}
+	for _, p := range nl.Combs {
+		walkStmt(p.Body, nil, data, ctrl)
+	}
+	for _, p := range nl.Seqs {
+		walkStmt(p.Body, nil, data, ctrl)
+		for _, w := range p.Writes {
+			g.SeqWrite[w] = true
+		}
+	}
+	for i := range data {
+		g.DataDeps[i] = sortedKeys(data[i])
+		g.CtrlDeps[i] = sortedKeys(ctrl[i])
+	}
+	return g
+}
+
+// walkStmt accumulates data/control dependencies; ctrlCtx carries the nets
+// of enclosing branch conditions.
+func walkStmt(s *verilog.EStmt, ctrlCtx []int, data, ctrl []map[int]bool) {
+	if s == nil {
+		return
+	}
+	switch s.Op {
+	case verilog.SBlock:
+		for _, sub := range s.Stmts {
+			walkStmt(sub, ctrlCtx, data, ctrl)
+		}
+	case verilog.SAssign:
+		rhs := map[int]bool{}
+		s.RHS.Support(rhs)
+		for i := range s.LHS {
+			l := &s.LHS[i]
+			for d := range rhs {
+				data[l.Net][d] = true
+			}
+			for _, c := range ctrlCtx {
+				ctrl[l.Net][c] = true
+			}
+			if l.BitIdx != nil {
+				idxDeps := map[int]bool{}
+				l.BitIdx.Support(idxDeps)
+				for d := range idxDeps {
+					ctrl[l.Net][d] = true
+				}
+			}
+		}
+	case verilog.SIf:
+		cond := map[int]bool{}
+		s.Cond.Support(cond)
+		inner := append(append([]int{}, ctrlCtx...), sortedKeys(cond)...)
+		walkStmt(s.Then, inner, data, ctrl)
+		walkStmt(s.Else, inner, data, ctrl)
+	case verilog.SCase:
+		cond := map[int]bool{}
+		s.Subject.Support(cond)
+		inner := append(append([]int{}, ctrlCtx...), sortedKeys(cond)...)
+		for _, arm := range s.Arms {
+			walkStmt(arm, inner, data, ctrl)
+		}
+		walkStmt(s.Default, inner, data, ctrl)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Deps returns the union of data and control dependencies of net i.
+func (g *Graph) Deps(i int) []int {
+	seen := map[int]bool{}
+	for _, d := range g.DataDeps[i] {
+		seen[d] = true
+	}
+	for _, d := range g.CtrlDeps[i] {
+		seen[d] = true
+	}
+	return sortedKeys(seen)
+}
+
+// ConeOfInfluence returns every net that can affect target, following
+// dependencies transitively through any number of register stages.
+func (g *Graph) ConeOfInfluence(target int) map[int]bool {
+	coi := map[int]bool{target: true}
+	queue := []int{target}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Deps(n) {
+			if !coi[d] {
+				coi[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return coi
+}
+
+// InfluencersAtDepth returns the nets within the cone of influence of
+// target reachable in at most depth dependency hops. Depth 1 is the
+// immediate support of the target's driving logic.
+func (g *Graph) InfluencersAtDepth(target, depth int) []int {
+	dist := map[int]int{target: 0}
+	queue := []int{target}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if dist[n] >= depth {
+			continue
+		}
+		for _, d := range g.Deps(n) {
+			if _, seen := dist[d]; !seen {
+				dist[d] = dist[n] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	out := make([]int, 0, len(dist)-1)
+	for n := range dist {
+		if n != target {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Fanout returns the nets directly driven by net i.
+func (g *Graph) Fanout(i int) []int {
+	var out []int
+	for n := range g.DataDeps {
+		for _, d := range g.DataDeps[n] {
+			if d == i {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SequentialDepth estimates the longest register chain from any input to
+// target (capped at 8): a proxy for how many cycles of temporal context an
+// assertion about the target needs.
+func (g *Graph) SequentialDepth(target int) int {
+	const cap = 8
+	memo := map[int]int{}
+	var visit func(n, guard int) int
+	visit = func(n, guard int) int {
+		if guard > cap {
+			return cap
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		memo[n] = 0 // cycle guard
+		best := 0
+		for _, d := range g.Deps(n) {
+			v := visit(d, guard+1)
+			if g.SeqWrite[n] {
+				v++
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if best > cap {
+			best = cap
+		}
+		memo[n] = best
+		return best
+	}
+	return visit(target, 0)
+}

@@ -1,0 +1,114 @@
+package rtlgraph
+
+import (
+	"testing"
+
+	"assertionbench/internal/verilog"
+)
+
+const counterSrc = `
+module counter(clk, rst, en, count);
+input clk, rst, en;
+output [3:0] count;
+reg [3:0] count;
+always @(posedge clk or posedge rst)
+  if (rst) count <= 4'b0;
+  else if (en) count <= count + 1;
+endmodule
+`
+
+func build(t *testing.T, src, top string) *Graph {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(src, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(nl)
+}
+
+func hasNet(t *testing.T, g *Graph, list []int, name string) bool {
+	t.Helper()
+	idx := g.Netlist.NetIndex(name)
+	if idx < 0 {
+		t.Fatalf("no net %q", name)
+	}
+	for _, n := range list {
+		if n == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCounterDependencies(t *testing.T) {
+	g := build(t, counterSrc, "counter")
+	count := g.Netlist.NetIndex("count")
+	if !hasNet(t, g, g.DataDeps[count], "count") {
+		t.Error("count should data-depend on itself (increment)")
+	}
+	if !hasNet(t, g, g.CtrlDeps[count], "rst") || !hasNet(t, g, g.CtrlDeps[count], "en") {
+		t.Errorf("count should control-depend on rst and en, got %v", g.CtrlDeps[count])
+	}
+	if !g.SeqWrite[count] {
+		t.Error("count is written by a clocked process")
+	}
+}
+
+func TestConeOfInfluence(t *testing.T) {
+	src := `
+module chain(clk, a, b, y, z);
+input clk, a, b;
+output y, z;
+reg r;
+always @(posedge clk) r <= a;
+assign y = r;
+assign z = b;
+endmodule
+`
+	g := build(t, src, "chain")
+	y := g.Netlist.NetIndex("y")
+	coi := g.ConeOfInfluence(y)
+	if !coi[g.Netlist.NetIndex("a")] || !coi[g.Netlist.NetIndex("r")] {
+		t.Error("COI of y must include a and r")
+	}
+	if coi[g.Netlist.NetIndex("b")] || coi[g.Netlist.NetIndex("z")] {
+		t.Error("COI of y must not include b or z")
+	}
+}
+
+func TestInfluencersAtDepth(t *testing.T) {
+	src := `
+module deep(input a, output d);
+wire b, c;
+assign b = a;
+assign c = b;
+assign d = c;
+endmodule
+`
+	g := build(t, src, "deep")
+	d := g.Netlist.NetIndex("d")
+	d1 := g.InfluencersAtDepth(d, 1)
+	if len(d1) != 1 || !hasNet(t, g, d1, "c") {
+		t.Errorf("depth-1 influencers of d = %v, want just c", d1)
+	}
+	d3 := g.InfluencersAtDepth(d, 3)
+	if len(d3) != 3 {
+		t.Errorf("depth-3 influencers of d = %v, want c,b,a", d3)
+	}
+}
+
+func TestFanoutAndSeqDepth(t *testing.T) {
+	g := build(t, counterSrc, "counter")
+	count := g.Netlist.NetIndex("count")
+	fan := g.Fanout(count)
+	if !hasNet(t, g, fan, "count") {
+		t.Errorf("fanout of count should include count (self-increment), got %v", fan)
+	}
+	if d := g.SequentialDepth(count); d < 1 {
+		t.Errorf("sequential depth of count = %d, want >= 1", d)
+	}
+	en := g.Netlist.NetIndex("en")
+	if d := g.SequentialDepth(en); d != 0 {
+		t.Errorf("sequential depth of a raw input = %d, want 0", d)
+	}
+}

@@ -1,0 +1,259 @@
+// Package sim is a cycle-accurate, two-valued simulator for elaborated
+// Verilog netlists. One Step models a full clock cycle: data inputs are
+// applied, combinational logic settles, every edge-triggered process fires
+// once (all clocks are unified into a single global phase), non-blocking
+// updates commit, and combinational logic settles again.
+//
+// Modelling notes, matching DESIGN.md:
+//   - x/z are not modelled; unknown digits in literals read as 0 and the
+//     power-on state is all zeros unless a reset sequence is driven.
+//   - Asynchronous set/reset signals in sensitivity lists are sampled
+//     synchronously at the clock boundary. For reset-style logic
+//     (if (rst) ... else ...) this yields the same set of reachable states.
+//   - Multi-clock designs advance on the unified phase; relative clock
+//     ratios are not modelled.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"assertionbench/internal/verilog"
+)
+
+// Simulator drives one elaborated netlist.
+type Simulator struct {
+	nl  *verilog.Netlist
+	env []uint64
+	nba []verilog.NBWrite
+	// settleLimit bounds fixpoint iteration for cyclic comb logic.
+	settleLimit int
+	cycle       int
+}
+
+// New returns a simulator in the power-on (all zero) state, with
+// combinational logic settled.
+func New(nl *verilog.Netlist) *Simulator {
+	s := &Simulator{
+		nl:          nl,
+		env:         make([]uint64, len(nl.Nets)),
+		settleLimit: 64 + len(nl.Assigns) + len(nl.Combs),
+	}
+	s.settle()
+	return s
+}
+
+// Netlist returns the design under simulation.
+func (s *Simulator) Netlist() *verilog.Netlist { return s.nl }
+
+// Cycle returns the number of completed Step calls.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// Env exposes the current value environment (net index -> value). The
+// returned slice is live; callers must not modify it.
+func (s *Simulator) Env() []uint64 { return s.env }
+
+// Value returns the current value of the named net.
+func (s *Simulator) Value(name string) (uint64, error) {
+	i := s.nl.NetIndex(name)
+	if i < 0 {
+		return 0, fmt.Errorf("sim: no net named %q", name)
+	}
+	return s.env[i], nil
+}
+
+// ValueIdx returns the current value of net index i.
+func (s *Simulator) ValueIdx(i int) uint64 { return s.env[i] }
+
+// SetInput drives the named data input before the next Step.
+func (s *Simulator) SetInput(name string, v uint64) error {
+	i := s.nl.NetIndex(name)
+	if i < 0 {
+		return fmt.Errorf("sim: no net named %q", name)
+	}
+	n := s.nl.Nets[i]
+	if !n.IsInput && !n.IsClock {
+		return fmt.Errorf("sim: net %q is not an input", name)
+	}
+	s.env[i] = v & n.Mask()
+	return nil
+}
+
+// SetInputs drives data inputs by netlist input order. vals must have one
+// entry per data input.
+func (s *Simulator) SetInputs(vals []uint64) error {
+	if len(vals) != len(s.nl.Inputs) {
+		return fmt.Errorf("sim: got %d input values, design has %d data inputs", len(vals), len(s.nl.Inputs))
+	}
+	for k, idx := range s.nl.Inputs {
+		s.env[idx] = vals[k] & s.nl.Nets[idx].Mask()
+	}
+	return nil
+}
+
+// settle evaluates continuous assigns and combinational processes. With an
+// acyclic order a single forward pass suffices (plus nothing else); cyclic
+// logic falls back to bounded fixpoint iteration.
+func (s *Simulator) settle() {
+	nets := s.nl.Nets
+	if s.nl.CombOrder != nil {
+		for _, item := range s.nl.CombOrder {
+			if item < len(s.nl.Assigns) {
+				verilog.ExecAssign(&s.nl.Assigns[item], nets, s.env)
+			} else {
+				p := s.nl.Combs[item-len(s.nl.Assigns)]
+				verilog.ExecStmt(p.Body, nets, s.env, &s.nba)
+			}
+		}
+		return
+	}
+	for iter := 0; iter < s.settleLimit; iter++ {
+		changed := false
+		for i := range s.nl.Assigns {
+			a := &s.nl.Assigns[i]
+			before := snapshotNets(s.env, a.LHS)
+			verilog.ExecAssign(a, nets, s.env)
+			if !sameNets(s.env, a.LHS, before) {
+				changed = true
+			}
+		}
+		for _, p := range s.nl.Combs {
+			before := snapshotIdx(s.env, p.Writes)
+			verilog.ExecStmt(p.Body, nets, s.env, &s.nba)
+			if !sameIdx(s.env, p.Writes, before) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func snapshotNets(env []uint64, refs []verilog.LRef) []uint64 {
+	out := make([]uint64, len(refs))
+	for i, r := range refs {
+		out[i] = env[r.Net]
+	}
+	return out
+}
+
+func sameNets(env []uint64, refs []verilog.LRef, before []uint64) bool {
+	for i, r := range refs {
+		if env[r.Net] != before[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshotIdx(env []uint64, idx []int) []uint64 {
+	out := make([]uint64, len(idx))
+	for i, n := range idx {
+		out[i] = env[n]
+	}
+	return out
+}
+
+func sameIdx(env []uint64, idx []int, before []uint64) bool {
+	for i, n := range idx {
+		if env[n] != before[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Settle evaluates combinational logic with the currently driven inputs
+// and register values, without advancing the clock. The FPV engine uses
+// this to observe the pre-edge (sampled) values of a cycle.
+func (s *Simulator) Settle() { s.settle() }
+
+// Step advances one clock cycle with the currently driven inputs.
+func (s *Simulator) Step() {
+	s.settle()
+	s.nba = s.nba[:0]
+	for _, p := range s.nl.Seqs {
+		verilog.ExecStmt(p.Body, s.nl.Nets, s.env, &s.nba)
+	}
+	for _, w := range s.nba {
+		w.Apply(s.env)
+	}
+	s.settle()
+	s.cycle++
+}
+
+// StepWith drives the data inputs (in netlist input order) and steps.
+func (s *Simulator) StepWith(vals []uint64) error {
+	if err := s.SetInputs(vals); err != nil {
+		return err
+	}
+	s.Step()
+	return nil
+}
+
+// Reset drives the named signal to value for cycles steps (with other
+// inputs unchanged), then releases it to its complement.
+func (s *Simulator) Reset(signal string, activeHigh bool, cycles int) error {
+	v := uint64(1)
+	if !activeHigh {
+		v = 0
+	}
+	if err := s.SetInput(signal, v); err != nil {
+		return err
+	}
+	for i := 0; i < cycles; i++ {
+		s.Step()
+	}
+	return s.SetInput(signal, v^1)
+}
+
+// CopyState exports the register values (netlist Regs order).
+func (s *Simulator) CopyState() []uint64 {
+	out := make([]uint64, len(s.nl.Regs))
+	for i, idx := range s.nl.Regs {
+		out[i] = s.env[idx]
+	}
+	return out
+}
+
+// LoadState restores register values exported by CopyState and re-settles.
+func (s *Simulator) LoadState(state []uint64) error {
+	if len(state) != len(s.nl.Regs) {
+		return fmt.Errorf("sim: state has %d entries, design has %d registers", len(state), len(s.nl.Regs))
+	}
+	for i, idx := range s.nl.Regs {
+		s.env[idx] = state[i] & s.nl.Nets[idx].Mask()
+	}
+	s.settle()
+	return nil
+}
+
+// LoadStateWithInputs restores register values and drives the data inputs
+// in one call, settling combinational logic exactly once. The FPV engine
+// uses this on its hot path.
+func (s *Simulator) LoadStateWithInputs(state, inputs []uint64) error {
+	if len(state) != len(s.nl.Regs) {
+		return fmt.Errorf("sim: state has %d entries, design has %d registers", len(state), len(s.nl.Regs))
+	}
+	if len(inputs) != len(s.nl.Inputs) {
+		return fmt.Errorf("sim: got %d input values, design has %d data inputs", len(inputs), len(s.nl.Inputs))
+	}
+	for i, idx := range s.nl.Regs {
+		s.env[idx] = state[i] & s.nl.Nets[idx].Mask()
+	}
+	for i, idx := range s.nl.Inputs {
+		s.env[idx] = inputs[i] & s.nl.Nets[idx].Mask()
+	}
+	s.settle()
+	return nil
+}
+
+// RandomInputs returns a uniformly random data-input vector.
+func RandomInputs(nl *verilog.Netlist, rng *rand.Rand) []uint64 {
+	out := make([]uint64, len(nl.Inputs))
+	for i, idx := range nl.Inputs {
+		out[i] = rng.Uint64() & nl.Nets[idx].Mask()
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"testing"
+
+	"assertionbench/internal/verilog"
+)
+
+const counterSrc = `
+module counter(clk, rst, en, count);
+input clk, rst, en;
+output [3:0] count;
+reg [3:0] count;
+always @(posedge clk or posedge rst)
+  if (rst)
+    count <= 4'b0;
+  else if (en)
+    count <= count + 1;
+endmodule
+`
+
+func elab(t *testing.T, src, top string) *verilog.Netlist {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(src, top)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return nl
+}
+
+func val(t *testing.T, s *Simulator, name string) uint64 {
+	t.Helper()
+	v, err := s.Value(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCounterBehaviour(t *testing.T) {
+	s := New(elab(t, counterSrc, "counter"))
+	if err := s.SetInput("rst", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if got := val(t, s, "count"); got != 0 {
+		t.Fatalf("after reset count = %d, want 0", got)
+	}
+	if err := s.SetInput("rst", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		s.Step()
+		want := uint64(i % 16) // wraps at 4 bits
+		if got := val(t, s, "count"); got != want {
+			t.Fatalf("cycle %d: count = %d, want %d", i, got, want)
+		}
+	}
+	// en=0 holds the value.
+	if err := s.SetInput("en", 0); err != nil {
+		t.Fatal(err)
+	}
+	before := val(t, s, "count")
+	s.Step()
+	s.Step()
+	if got := val(t, s, "count"); got != before {
+		t.Fatalf("count moved with en=0: %d -> %d", before, got)
+	}
+}
+
+func TestNonBlockingSwap(t *testing.T) {
+	src := `
+module swap(clk, ld, x, a, b);
+input clk, ld, x;
+output a, b;
+reg a, b;
+always @(posedge clk)
+  if (ld) begin
+    a <= x;
+    b <= ~x;
+  end else begin
+    a <= b;
+    b <= a;
+  end
+endmodule
+`
+	s := New(elab(t, src, "swap"))
+	s.SetInput("ld", 1)
+	s.SetInput("x", 1)
+	s.Step() // a=1 b=0
+	if val(t, s, "a") != 1 || val(t, s, "b") != 0 {
+		t.Fatalf("after load a=%d b=%d, want 1,0", val(t, s, "a"), val(t, s, "b"))
+	}
+	s.SetInput("ld", 0)
+	s.Step() // swap: a=0 b=1 (simultaneous read of old values)
+	if val(t, s, "a") != 0 || val(t, s, "b") != 1 {
+		t.Fatalf("after swap a=%d b=%d, want 0,1 (non-blocking semantics)", val(t, s, "a"), val(t, s, "b"))
+	}
+	s.Step()
+	if val(t, s, "a") != 1 || val(t, s, "b") != 0 {
+		t.Fatalf("after second swap a=%d b=%d, want 1,0", val(t, s, "a"), val(t, s, "b"))
+	}
+}
+
+func TestBlockingOrderWithinProcess(t *testing.T) {
+	// With blocking assignments the second statement sees the first's value.
+	src := `
+module blk(clk, x, y);
+input clk, x;
+output y;
+reg t, y;
+always @(posedge clk) begin
+  t = x;
+  y = t;
+end
+endmodule
+`
+	s := New(elab(t, src, "blk"))
+	s.SetInput("x", 1)
+	s.Step()
+	if val(t, s, "y") != 1 {
+		t.Fatal("blocking chain should propagate x to y in one cycle")
+	}
+}
+
+func TestArbiterCombOutputs(t *testing.T) {
+	nl := elab(t, arbiterSrc, "arb2")
+	s := New(nl)
+	// Power-on: gnt_=0. req1=1 -> gnt1=1 (comb).
+	s.SetInput("req1", 1)
+	s.SetInput("req2", 0)
+	s.Settle()
+	if val(t, s, "gnt1") != 1 {
+		t.Fatal("gnt1 should follow req1 when gnt_=0")
+	}
+	// After a clock, gnt_ latches gnt1=1.
+	s.Step()
+	if val(t, s, "gnt_") != 1 {
+		t.Fatal("gnt_ should latch gnt1")
+	}
+	// Now gnt1 = req1 & req2 = 0 with req2=0.
+	if val(t, s, "gnt1") != 0 {
+		t.Fatal("gnt1 should be req1&req2 when gnt_=1")
+	}
+}
+
+const arbiterSrc = `
+module arb2(clk, rst, req1, req2, gnt1, gnt2);
+input clk, rst, req1, req2;
+output gnt1, gnt2;
+reg gnt_, gnt1, gnt2;
+always @(posedge clk or posedge rst)
+  if (rst) gnt_ <= 0;
+  else gnt_ <= gnt1;
+always @(*)
+  if (gnt_) begin
+    gnt1 = req1 & req2;
+    gnt2 = req2;
+  end else begin
+    gnt1 = req1;
+    gnt2 = req2 & ~req1;
+  end
+endmodule
+`
+
+func TestConcatLHS(t *testing.T) {
+	src := `
+module split(clk, d, hi, lo);
+input clk;
+input [7:0] d;
+output [3:0] hi, lo;
+reg [3:0] hi, lo;
+always @(posedge clk)
+  {hi, lo} <= d;
+endmodule
+`
+	s := New(elab(t, src, "split"))
+	s.SetInput("d", 0xAB)
+	s.Step()
+	if val(t, s, "hi") != 0xA || val(t, s, "lo") != 0xB {
+		t.Fatalf("hi=%x lo=%x, want a,b", val(t, s, "hi"), val(t, s, "lo"))
+	}
+}
+
+func TestDynamicBitWrite(t *testing.T) {
+	src := `
+module onehot(clk, idx, q);
+input clk;
+input [1:0] idx;
+output [3:0] q;
+reg [3:0] q;
+always @(posedge clk) begin
+  q <= 4'b0;
+  q[idx] <= 1'b1;
+end
+endmodule
+`
+	s := New(elab(t, src, "onehot"))
+	for idx := uint64(0); idx < 4; idx++ {
+		s.SetInput("idx", idx)
+		s.Step()
+		if got := val(t, s, "q"); got != 1<<idx {
+			t.Fatalf("idx=%d: q=%04b, want %04b", idx, got, 1<<idx)
+		}
+	}
+}
+
+func TestStateSaveRestore(t *testing.T) {
+	s := New(elab(t, counterSrc, "counter"))
+	s.SetInput("en", 1)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	st := s.CopyState()
+	if val(t, s, "count") != 5 {
+		t.Fatalf("count = %d, want 5", val(t, s, "count"))
+	}
+	s.Step()
+	s.Step()
+	if err := s.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if val(t, s, "count") != 5 {
+		t.Fatalf("restored count = %d, want 5", val(t, s, "count"))
+	}
+}
+
+func TestRandomTraceDeterminism(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	t1, err := RandomTrace(nl, 50, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RandomTrace(nl, 50, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Len() != 50 || t2.Len() != 50 {
+		t.Fatalf("trace lengths %d/%d, want 50", t1.Len(), t2.Len())
+	}
+	for c := 0; c < 50; c++ {
+		for n := range t1.Cycles[c] {
+			if t1.Cycles[c][n] != t2.Cycles[c][n] {
+				t.Fatalf("traces with same seed diverge at cycle %d net %d", c, n)
+			}
+		}
+	}
+	t3, err := RandomTrace(nl, 50, 2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for c := 0; c < 50 && same; c++ {
+		for n := range t1.Cycles[c] {
+			if t1.Cycles[c][n] != t3.Cycles[c][n] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestTraceCounterInvariant(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	tr, err := RandomTrace(nl, 200, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace records pre-edge sampled values: rst high at cycle c means
+	// count must read 0 at cycle c+1 (the FPV sampling convention).
+	rst := nl.NetIndex("rst")
+	count := nl.NetIndex("count")
+	for c := 0; c+1 < tr.Len(); c++ {
+		if tr.Value(c, rst) == 1 && tr.Value(c+1, count) != 0 {
+			t.Fatalf("reset at %d did not clear count at %d (count=%d)", c, c+1, tr.Value(c+1, count))
+		}
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	s := New(elab(t, counterSrc, "counter"))
+	if err := s.SetInput("nope", 1); err == nil {
+		t.Error("SetInput on unknown net should fail")
+	}
+	if err := s.SetInput("count", 1); err == nil {
+		t.Error("SetInput on non-input should fail")
+	}
+	if err := s.SetInputs([]uint64{1}); err == nil {
+		t.Error("SetInputs with wrong arity should fail")
+	}
+	if err := s.LoadState([]uint64{1, 2, 3}); err == nil {
+		t.Error("LoadState with wrong arity should fail")
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceAccessors(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	tr, err := RandomTrace(nl, 10, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	v, err := tr.ValueOf(3, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != tr.Value(3, nl.NetIndex("count")) {
+		t.Error("ValueOf and Value disagree")
+	}
+	if _, err := tr.ValueOf(0, "ghost"); err == nil {
+		t.Error("ValueOf on unknown net should fail")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	tr, err := RandomTrace(nl, 4, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	for _, name := range []string{"clk", "rst", "en", "count", "cycle"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("trace table missing %q", name)
+		}
+	}
+	if got := strings.Count(s, "\n"); got != len(nl.Nets)+1 {
+		t.Errorf("trace table has %d lines, want %d", got, len(nl.Nets)+1)
+	}
+}
+
+func TestResetHelper(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	s := New(nl)
+	s.SetInput("en", 1)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if v, _ := s.Value("count"); v == 0 {
+		t.Fatal("premise: counter should have advanced")
+	}
+	if err := s.Reset("rst", true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("count"); v != 0 {
+		t.Errorf("count = %d after reset, want 0", v)
+	}
+	if v, _ := s.Value("rst"); v != 0 {
+		t.Error("Reset must release the reset signal")
+	}
+	if err := s.Reset("ghost", true, 1); err == nil {
+		t.Error("Reset on unknown signal should fail")
+	}
+}
+
+func TestStepWith(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	s := New(nl)
+	// Input order is netlist order: rst, en.
+	if err := s.StepWith([]uint64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("count"); v != 1 {
+		t.Errorf("count = %d, want 1", v)
+	}
+	if err := s.StepWith([]uint64{1}); err == nil {
+		t.Error("StepWith with wrong arity should fail")
+	}
+}
+
+func TestLoadStateWithInputsErrors(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	s := New(nl)
+	if err := s.LoadStateWithInputs([]uint64{0}, []uint64{0, 0, 0}); err == nil {
+		t.Error("bad state arity should fail")
+	}
+	if err := s.LoadStateWithInputs([]uint64{0}, []uint64{0}); err == nil {
+		t.Error("bad input arity should fail")
+	}
+	if err := s.LoadStateWithInputs([]uint64{7}, []uint64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("count"); v != 7 {
+		t.Errorf("count = %d, want 7", v)
+	}
+}
+
+func TestValueAndCycleAccessors(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	s := New(nl)
+	if s.Netlist() != nl {
+		t.Error("Netlist accessor broken")
+	}
+	if s.Cycle() != 0 {
+		t.Error("fresh simulator at cycle 0")
+	}
+	s.Step()
+	s.Step()
+	if s.Cycle() != 2 {
+		t.Errorf("cycle = %d, want 2", s.Cycle())
+	}
+	if _, err := s.Value("ghost"); err == nil {
+		t.Error("Value on unknown net should fail")
+	}
+	idx := nl.NetIndex("count")
+	if s.ValueIdx(idx) != s.Env()[idx] {
+		t.Error("ValueIdx and Env disagree")
+	}
+}
+
+func TestTraceFromSamples(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	samples := [][]uint64{make([]uint64, len(nl.Nets)), make([]uint64, len(nl.Nets))}
+	samples[1][nl.NetIndex("count")] = 9
+	tr := TraceFromSamples(nl, samples)
+	if tr.Len() != 2 || tr.Value(1, nl.NetIndex("count")) != 9 {
+		t.Error("TraceFromSamples wrapping wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"assertionbench/internal/verilog"
+)
+
+// WriteVCD renders a trace as a Value Change Dump (IEEE 1364 §18), the
+// interchange format every waveform viewer reads. One timestep per
+// recorded cycle; only changing signals are dumped after the first cycle.
+func WriteVCD(w io.Writer, tr *Trace, designName string) error {
+	nl := tr.Netlist
+	// Stable signal order: top-level nets first, then flattened children.
+	order := make([]int, 0, len(nl.Nets))
+	for i := range nl.Nets {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := nl.Nets[order[a]].Name, nl.Nets[order[b]].Name
+		da, db := strings.Count(na, "."), strings.Count(nb, ".")
+		if da != db {
+			return da < db
+		}
+		return na < nb
+	})
+
+	if _, err := fmt.Fprintf(w, "$version assertionbench simulator $end\n$timescale 1ns $end\n$scope module %s $end\n", designName); err != nil {
+		return err
+	}
+	ids := make(map[int]string, len(order))
+	for k, idx := range order {
+		id := vcdID(k)
+		ids[idx] = id
+		n := nl.Nets[idx]
+		name := strings.ReplaceAll(n.Name, ".", "_")
+		if _, err := fmt.Fprintf(w, "$var wire %d %s %s $end\n", n.Width, id, name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	var prev []uint64
+	for c := 0; c < tr.Len(); c++ {
+		if _, err := fmt.Fprintf(w, "#%d\n", c); err != nil {
+			return err
+		}
+		for _, idx := range order {
+			v := tr.Cycles[c][idx]
+			if prev != nil && prev[idx] == v {
+				continue
+			}
+			n := nl.Nets[idx]
+			if n.Width == 1 {
+				if _, err := fmt.Fprintf(w, "%d%s\n", v&1, ids[idx]); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "b%b %s\n", v, ids[idx]); err != nil {
+					return err
+				}
+			}
+		}
+		prev = tr.Cycles[c]
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", tr.Len())
+	return err
+}
+
+// vcdID produces the printable short identifiers VCD uses (! through ~).
+func vcdID(k int) string {
+	const lo, hi = 33, 126
+	n := hi - lo + 1
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(lo + k%n))
+		k /= n
+		if k == 0 {
+			return sb.String()
+		}
+		k--
+	}
+}
+
+// TraceFromSamples wraps raw sampled environments (e.g. an FPV
+// counter-example) as a Trace for VCD export.
+func TraceFromSamples(nl *verilog.Netlist, samples [][]uint64) *Trace {
+	return &Trace{Netlist: nl, Cycles: samples}
+}

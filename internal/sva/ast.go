@@ -1,0 +1,137 @@
+// Package sva implements the paper's restricted SystemVerilog Assertion
+// subset (Sec. II-A): sequential properties of the form
+//
+//	P = G(A -> C)
+//
+// where the antecedent A is a conjunction of propositions spread over
+// clock cycles (a sequence with ##N delays) and the consequent C likewise.
+// Both the native SVA surface syntax
+//
+//	req1 == 1 && req2 == 0 |-> gnt1 == 1
+//	a ##1 b |=> c
+//	assert property (@(posedge clk) a |-> b);
+//
+// and the paper's LTL-style surface syntax
+//
+//	G((req2 == 0 && gnt == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))
+//
+// are parsed to the same internal form. The boolean layer is the design
+// expression language plus the sampled-value functions $rose, $fell,
+// $stable and $past.
+package sva
+
+import (
+	"fmt"
+	"strings"
+
+	"assertionbench/internal/verilog"
+)
+
+// Step is one cycle of a sequence: Delay clock cycles after the previous
+// step (0 for the first step), the boolean expression must hold.
+type Step struct {
+	Delay int
+	Expr  verilog.Expr
+}
+
+// Assertion is a compiled-form sequential property G(A -> C).
+type Assertion struct {
+	Ante []Step
+	Cons []Step
+	// NonOverlap distinguishes |=> from |->: with |=> the consequent
+	// sequence starts one cycle after the antecedent's last step.
+	NonOverlap bool
+	// ConsDelaySpan extends the leading consequent delay into a range:
+	// the consequent may hold at any offset in
+	// [Cons[0].Delay, Cons[0].Delay+ConsDelaySpan] (the ##[m:n] form, an
+	// extension toward the paper's future-work direction iv). Only
+	// single-step consequents support a non-zero span.
+	ConsDelaySpan int
+	// Clock optionally names the sampling clock from an
+	// 'assert property (@(posedge clk) ...)' wrapper. Informational: the
+	// FPV engine samples at the unified design clock.
+	Clock string
+	// Source preserves the original text the assertion was parsed from.
+	Source string
+}
+
+// Ranged reports whether the consequent carries a ##[m:n] delay range.
+func (a *Assertion) Ranged() bool { return a.ConsDelaySpan > 0 }
+
+// AnteLength returns the antecedent's span in cycles (>= 1).
+func (a *Assertion) AnteLength() int { return seqLength(a.Ante) }
+
+// ConsLength returns the consequent's span in cycles (>= 1).
+func (a *Assertion) ConsLength() int { return seqLength(a.Cons) }
+
+// WindowLength is the total number of cycles one evaluation attempt of the
+// assertion observes.
+func (a *Assertion) WindowLength() int {
+	n := a.AnteLength() + a.ConsLength() - 1 + extraConsDelay(a)
+	return n
+}
+
+func extraConsDelay(a *Assertion) int {
+	d := a.Cons[0].Delay + a.ConsDelaySpan
+	if a.NonOverlap {
+		d++
+	}
+	return d
+}
+
+func seqLength(steps []Step) int {
+	n := 1
+	for i, s := range steps {
+		if i > 0 {
+			n += s.Delay
+		}
+	}
+	return n
+}
+
+// String renders the assertion in canonical SVA surface syntax.
+func (a *Assertion) String() string {
+	var sb strings.Builder
+	writeSeq(&sb, a.Ante)
+	if a.NonOverlap {
+		sb.WriteString(" |=> ")
+	} else {
+		sb.WriteString(" |-> ")
+	}
+	// A leading consequent delay renders as ##N (or ##[m:n]) before the
+	// first expression.
+	if a.ConsDelaySpan > 0 {
+		fmt.Fprintf(&sb, "##[%d:%d] ", a.Cons[0].Delay, a.Cons[0].Delay+a.ConsDelaySpan)
+	} else if d := a.Cons[0].Delay; d > 0 {
+		fmt.Fprintf(&sb, "##%d ", d)
+	}
+	writeSeq(&sb, a.Cons)
+	return sb.String()
+}
+
+func writeSeq(sb *strings.Builder, steps []Step) {
+	for i, s := range steps {
+		if i > 0 {
+			fmt.Fprintf(sb, " ##%d ", s.Delay)
+		}
+		sb.WriteString(verilog.ExprString(s.Expr))
+	}
+}
+
+// Signals returns the set of design signal names referenced anywhere in
+// the assertion.
+func (a *Assertion) Signals() map[string]bool {
+	out := map[string]bool{}
+	for _, s := range a.Ante {
+		verilog.ExprIdents(s.Expr, out)
+	}
+	for _, s := range a.Cons {
+		verilog.ExprIdents(s.Expr, out)
+	}
+	return out
+}
+
+// Equal reports structural equality via the canonical rendering.
+func (a *Assertion) Equal(b *Assertion) bool {
+	return a != nil && b != nil && a.String() == b.String()
+}

@@ -1,0 +1,450 @@
+package sva
+
+import (
+	"fmt"
+
+	"assertionbench/internal/verilog"
+)
+
+// SemanticError reports an assertion that parses but does not type-check
+// against a design (e.g. references an unknown signal). The FPV pipeline
+// counts these in the Error metric alongside parse failures.
+type SemanticError struct {
+	Assertion string
+	Msg       string
+}
+
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("sva: %s in %q", e.Msg, e.Assertion)
+}
+
+// EvalFn evaluates an expression over a value history. hist[0] is the
+// environment (net index -> value) at the evaluation cycle and hist[k] the
+// environment k cycles earlier.
+type EvalFn func(hist [][]uint64) uint64
+
+// AgeChecks lists which antecedent/consequent steps fire at one attempt age.
+type AgeChecks struct {
+	Ante []int
+	Cons []int
+}
+
+// Compiled is an assertion bound to a netlist, ready for evaluation by the
+// FPV engine or a trace checker.
+type Compiled struct {
+	Assertion *Assertion
+	// Window is the number of cycles one attempt observes.
+	Window int
+	// PastDepth is how many cycles of history beyond the current cycle the
+	// sampled-value functions need.
+	PastDepth int
+	// AtAge[k] are the checks scheduled k cycles after the attempt starts.
+	AtAge []AgeChecks
+	// AnteDoneAge is the age at which the antecedent fully matched.
+	AnteDoneAge int
+	// Ranged marks a ##[m:n] consequent: the single consequent expression
+	// must hold at some age in [ConsLoAge, ConsHiAge].
+	Ranged    bool
+	ConsLoAge int
+	ConsHiAge int
+
+	anteFns []EvalFn
+	consFns []EvalFn
+	support map[int]bool
+}
+
+// RangedConsHolds evaluates the single ranged consequent at the current
+// history position. Only valid when Ranged is set.
+func (c *Compiled) RangedConsHolds(hist [][]uint64) bool {
+	return c.consFns[0](hist) != 0
+}
+
+// Compile type-checks a parsed assertion against nl and builds evaluators.
+func Compile(a *Assertion, nl *verilog.Netlist) (*Compiled, error) {
+	c := &Compiled{Assertion: a, support: map[int]bool{}}
+
+	anteOffs := make([]int, len(a.Ante))
+	off := 0
+	for i, s := range a.Ante {
+		off += s.Delay
+		anteOffs[i] = off
+	}
+	anteEnd := off
+	c.AnteDoneAge = anteEnd
+
+	consOffs := make([]int, len(a.Cons))
+	off = anteEnd + a.Cons[0].Delay
+	if a.NonOverlap {
+		off++
+	}
+	for i, s := range a.Cons {
+		if i > 0 {
+			off += s.Delay
+		}
+		consOffs[i] = off
+	}
+	c.Window = off + a.ConsDelaySpan + 1
+	if c.Window > 64 {
+		return nil, &SemanticError{Assertion: a.String(), Msg: "property window exceeds 64 cycles"}
+	}
+
+	c.AtAge = make([]AgeChecks, c.Window)
+	for i, s := range a.Ante {
+		fn, depth, err := compileBool(s.Expr, nl, c.support)
+		if err != nil {
+			return nil, &SemanticError{Assertion: a.String(), Msg: err.Error()}
+		}
+		c.anteFns = append(c.anteFns, fn)
+		if depth > c.PastDepth {
+			c.PastDepth = depth
+		}
+		c.AtAge[anteOffs[i]].Ante = append(c.AtAge[anteOffs[i]].Ante, i)
+	}
+	for i, s := range a.Cons {
+		fn, depth, err := compileBool(s.Expr, nl, c.support)
+		if err != nil {
+			return nil, &SemanticError{Assertion: a.String(), Msg: err.Error()}
+		}
+		c.consFns = append(c.consFns, fn)
+		if depth > c.PastDepth {
+			c.PastDepth = depth
+		}
+		if !a.Ranged() {
+			c.AtAge[consOffs[i]].Cons = append(c.AtAge[consOffs[i]].Cons, i)
+		}
+	}
+	if a.Ranged() {
+		if len(a.Cons) != 1 {
+			return nil, &SemanticError{Assertion: a.String(), Msg: "##[m:n] ranges require a single-step consequent"}
+		}
+		c.Ranged = true
+		c.ConsLoAge = consOffs[0]
+		c.ConsHiAge = consOffs[0] + a.ConsDelaySpan
+	}
+	return c, nil
+}
+
+// AgeResult reports the outcome of evaluating one attempt age.
+type AgeResult struct {
+	AnteFailed bool // an antecedent step did not match: attempt dies quietly
+	ConsFailed bool // a consequent step failed: property violation
+}
+
+// CheckAge evaluates all checks scheduled at the given age. hist[0] must
+// be the environment of the attempt's start cycle + age.
+func (c *Compiled) CheckAge(age int, hist [][]uint64) AgeResult {
+	var r AgeResult
+	checks := c.AtAge[age]
+	for _, i := range checks.Ante {
+		if c.anteFns[i](hist) == 0 {
+			r.AnteFailed = true
+			return r
+		}
+	}
+	for _, i := range checks.Cons {
+		if c.consFns[i](hist) == 0 {
+			r.ConsFailed = true
+			return r
+		}
+	}
+	return r
+}
+
+// SupportNets returns the indices of all nets the assertion reads.
+func (c *Compiled) SupportNets() []int {
+	out := make([]int, 0, len(c.support))
+	for n := range c.support {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Check verifies an assertion's signals against a design without building
+// evaluators for every step (convenience for syntax-level tooling).
+func Check(a *Assertion, nl *verilog.Netlist) error {
+	_, err := Compile(a, nl)
+	return err
+}
+
+// compileBool compiles one boolean-layer expression into an EvalFn.
+// It returns the evaluator and the history depth it requires.
+func compileBool(e verilog.Expr, nl *verilog.Netlist, support map[int]bool) (EvalFn, int, error) {
+	fn, _, depth, err := compileVal(e, nl, support)
+	return fn, depth, err
+}
+
+func compileVal(e verilog.Expr, nl *verilog.Netlist, support map[int]bool) (EvalFn, int, int, error) {
+	switch v := e.(type) {
+	case *verilog.Number:
+		w := v.Width
+		if w == 0 {
+			w = 32
+			if v.Value >= 1<<32 {
+				w = 64
+			}
+		}
+		val := v.Value & verilog.WidthMask(w)
+		return func([][]uint64) uint64 { return val }, w, 0, nil
+
+	case *verilog.Ident:
+		idx := nl.NetIndex(v.Name)
+		if idx < 0 {
+			return nil, 0, 0, fmt.Errorf("unknown signal %q", v.Name)
+		}
+		support[idx] = true
+		return func(hist [][]uint64) uint64 { return hist[0][idx] }, nl.Nets[idx].Width, 0, nil
+
+	case *verilog.Call:
+		return compileCall(v, nl, support)
+
+	case *verilog.Index:
+		baseFn, baseW, d1, err := compileVal(v.Base, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if lit, ok := litValue(v.Idx); ok && int(lit) >= baseW {
+			return nil, 0, 0, fmt.Errorf("bit index %d out of range (width %d)", lit, baseW)
+		}
+		idxFn, _, d2, err := compileVal(v.Idx, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return func(hist [][]uint64) uint64 {
+			i := idxFn(hist)
+			if i >= 64 {
+				return 0
+			}
+			return (baseFn(hist) >> i) & 1
+		}, 1, maxi(d1, d2), nil
+
+	case *verilog.PartSelect:
+		baseFn, baseW, d, err := compileVal(v.Base, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		msb, ok1 := litValue(v.MSB)
+		lsb, ok2 := litValue(v.LSB)
+		if !ok1 || !ok2 || msb < lsb || int(msb) >= baseW {
+			return nil, 0, 0, fmt.Errorf("invalid part-select bounds")
+		}
+		w := int(msb-lsb) + 1
+		return func(hist [][]uint64) uint64 {
+			return (baseFn(hist) >> lsb) & verilog.WidthMask(w)
+		}, w, d, nil
+
+	case *verilog.Unary:
+		xFn, xw, d, err := compileVal(v.X, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		switch v.Op {
+		case "~":
+			return func(h [][]uint64) uint64 { return (^xFn(h)) & verilog.WidthMask(xw) }, xw, d, nil
+		case "!":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) == 0) }, 1, d, nil
+		case "-":
+			return func(h [][]uint64) uint64 { return (-xFn(h)) & verilog.WidthMask(xw) }, xw, d, nil
+		case "&":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) == verilog.WidthMask(xw)) }, 1, d, nil
+		case "|":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) != 0) }, 1, d, nil
+		case "^":
+			return func(h [][]uint64) uint64 { return parity64(xFn(h)) }, 1, d, nil
+		case "~&":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) != verilog.WidthMask(xw)) }, 1, d, nil
+		case "~|":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) == 0) }, 1, d, nil
+		case "~^", "^~":
+			return func(h [][]uint64) uint64 { return parity64(xFn(h)) ^ 1 }, 1, d, nil
+		}
+		return nil, 0, 0, fmt.Errorf("unsupported unary operator %q", v.Op)
+
+	case *verilog.Binary:
+		xFn, xw, d1, err := compileVal(v.X, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		yFn, yw, d2, err := compileVal(v.Y, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		d := maxi(d1, d2)
+		w := maxi(xw, yw)
+		mask := verilog.WidthMask(w)
+		switch v.Op {
+		case "+":
+			return func(h [][]uint64) uint64 { return (xFn(h) + yFn(h)) & mask }, w, d, nil
+		case "-":
+			return func(h [][]uint64) uint64 { return (xFn(h) - yFn(h)) & mask }, w, d, nil
+		case "*":
+			return func(h [][]uint64) uint64 { return (xFn(h) * yFn(h)) & mask }, w, d, nil
+		case "/":
+			return func(h [][]uint64) uint64 {
+				y := yFn(h)
+				if y == 0 {
+					return 0
+				}
+				return (xFn(h) / y) & mask
+			}, w, d, nil
+		case "%":
+			return func(h [][]uint64) uint64 {
+				y := yFn(h)
+				if y == 0 {
+					return 0
+				}
+				return (xFn(h) % y) & mask
+			}, w, d, nil
+		case "&":
+			return func(h [][]uint64) uint64 { return xFn(h) & yFn(h) }, w, d, nil
+		case "|":
+			return func(h [][]uint64) uint64 { return xFn(h) | yFn(h) }, w, d, nil
+		case "^":
+			return func(h [][]uint64) uint64 { return xFn(h) ^ yFn(h) }, w, d, nil
+		case "~^", "^~":
+			return func(h [][]uint64) uint64 { return (^(xFn(h) ^ yFn(h))) & mask }, w, d, nil
+		case "&&":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) != 0 && yFn(h) != 0) }, 1, d, nil
+		case "||":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) != 0 || yFn(h) != 0) }, 1, d, nil
+		case "==", "===":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) == yFn(h)) }, 1, d, nil
+		case "!=", "!==":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) != yFn(h)) }, 1, d, nil
+		case "<":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) < yFn(h)) }, 1, d, nil
+		case "<=":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) <= yFn(h)) }, 1, d, nil
+		case ">":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) > yFn(h)) }, 1, d, nil
+		case ">=":
+			return func(h [][]uint64) uint64 { return b2u(xFn(h) >= yFn(h)) }, 1, d, nil
+		case "<<":
+			return func(h [][]uint64) uint64 {
+				s := yFn(h)
+				if s >= 64 {
+					return 0
+				}
+				return (xFn(h) << s) & verilog.WidthMask(xw)
+			}, xw, d, nil
+		case ">>":
+			return func(h [][]uint64) uint64 {
+				s := yFn(h)
+				if s >= 64 {
+					return 0
+				}
+				return xFn(h) >> s
+			}, xw, d, nil
+		}
+		return nil, 0, 0, fmt.Errorf("unsupported binary operator %q", v.Op)
+
+	case *verilog.Ternary:
+		cFn, _, d1, err := compileVal(v.Cond, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		tFn, tw, d2, err := compileVal(v.Then, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		eFn, ew, d3, err := compileVal(v.Else, nl, support)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return func(h [][]uint64) uint64 {
+			if cFn(h) != 0 {
+				return tFn(h)
+			}
+			return eFn(h)
+		}, maxi(tw, ew), maxi(d1, maxi(d2, d3)), nil
+
+	case *verilog.Concat:
+		var fns []EvalFn
+		var widths []int
+		total, depth := 0, 0
+		for _, part := range v.Parts {
+			fn, w, d, err := compileVal(part, nl, support)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			fns = append(fns, fn)
+			widths = append(widths, w)
+			total += w
+			depth = maxi(depth, d)
+		}
+		if total > 64 {
+			return nil, 0, 0, fmt.Errorf("concatenation wider than 64 bits")
+		}
+		return func(h [][]uint64) uint64 {
+			var out uint64
+			for i, fn := range fns {
+				out = (out << uint(widths[i])) | (fn(h) & verilog.WidthMask(widths[i]))
+			}
+			return out
+		}, total, depth, nil
+	}
+	return nil, 0, 0, fmt.Errorf("unsupported expression form %T", e)
+}
+
+func compileCall(v *verilog.Call, nl *verilog.Netlist, support map[int]bool) (EvalFn, int, int, error) {
+	argFn, argW, argD, err := compileVal(v.Args[0], nl, support)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	switch v.Name {
+	case "$past":
+		n := 1
+		if len(v.Args) == 2 {
+			lit, ok := litValue(v.Args[1])
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("$past depth must be a literal")
+			}
+			n = int(lit)
+		}
+		return func(h [][]uint64) uint64 { return argFn(h[n:]) }, argW, argD + n, nil
+	case "$rose":
+		return func(h [][]uint64) uint64 {
+			return b2u(argFn(h)&1 == 1 && argFn(h[1:])&1 == 0)
+		}, 1, argD + 1, nil
+	case "$fell":
+		return func(h [][]uint64) uint64 {
+			return b2u(argFn(h)&1 == 0 && argFn(h[1:])&1 == 1)
+		}, 1, argD + 1, nil
+	case "$stable":
+		return func(h [][]uint64) uint64 { return b2u(argFn(h) == argFn(h[1:])) }, 1, argD + 1, nil
+	case "$changed":
+		return func(h [][]uint64) uint64 { return b2u(argFn(h) != argFn(h[1:])) }, 1, argD + 1, nil
+	}
+	return nil, 0, 0, fmt.Errorf("unsupported system function %s", v.Name)
+}
+
+func litValue(e verilog.Expr) (uint64, bool) {
+	n, ok := e.(*verilog.Number)
+	if !ok {
+		return 0, false
+	}
+	return n.Value, true
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func parity64(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}

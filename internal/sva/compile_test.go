@@ -1,0 +1,319 @@
+package sva
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"assertionbench/internal/verilog"
+)
+
+const counterSrc = `
+module counter(clk, rst, en, count);
+input clk, rst, en;
+output [3:0] count;
+reg [3:0] count;
+always @(posedge clk or posedge rst)
+  if (rst) count <= 4'b0;
+  else if (en) count <= count + 1;
+endmodule
+`
+
+func elabT(t *testing.T, src, top string) *verilog.Netlist {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(src, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func compileT(t *testing.T, nl *verilog.Netlist, src string) *Compiled {
+	t.Helper()
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	c, err := Compile(a, nl)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return c
+}
+
+// randBoolExpr builds a random boolean-layer expression over the counter's
+// signals, covering every operator the compiler supports.
+func randBoolExpr(rng *rand.Rand, depth int) verilog.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &verilog.Ident{Name: "rst"}
+		case 1:
+			return &verilog.Ident{Name: "en"}
+		case 2:
+			return &verilog.Ident{Name: "count"}
+		default:
+			return &verilog.Number{Value: uint64(rng.Intn(16)), Width: 4}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []string{"~", "!", "-", "&", "|", "^", "~&", "~|", "~^"}
+		return &verilog.Unary{Op: ops[rng.Intn(len(ops))], X: randBoolExpr(rng, depth-1)}
+	case 1:
+		return &verilog.Ternary{
+			Cond: randBoolExpr(rng, depth-1),
+			Then: randBoolExpr(rng, depth-1),
+			Else: randBoolExpr(rng, depth-1),
+		}
+	case 2:
+		return &verilog.Index{Base: &verilog.Ident{Name: "count"},
+			Idx: &verilog.Number{Value: uint64(rng.Intn(4)), Width: 2}}
+	case 3:
+		return &verilog.PartSelect{Base: &verilog.Ident{Name: "count"},
+			MSB: &verilog.Number{Value: 2}, LSB: &verilog.Number{Value: 1}}
+	case 4:
+		return &verilog.Concat{Parts: []verilog.Expr{
+			randBoolExpr(rng, 0), randBoolExpr(rng, 0),
+		}}
+	default:
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "~^", "&&", "||",
+			"==", "!=", "<", "<=", ">", ">=", "<<", ">>"}
+		return &verilog.Binary{Op: ops[rng.Intn(len(ops))],
+			X: randBoolExpr(rng, depth-1), Y: randBoolExpr(rng, depth-1)}
+	}
+}
+
+// TestCompileValAgreesWithEExpr is the differential test between the two
+// independent implementations of the expression semantics: the SVA layer's
+// closure compiler and the netlist EExpr compiler must agree on every
+// expression and environment.
+func TestCompileValAgreesWithEExpr(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	rng := rand.New(rand.NewSource(41))
+	env := make([]uint64, len(nl.Nets))
+	hist := [][]uint64{env}
+	for i := 0; i < 500; i++ {
+		e := randBoolExpr(rng, 4)
+		ce, err1 := nl.CompileExpr(e)
+		fn, _, _, err2 := compileVal(e, nl, map[int]bool{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("compilers disagree on validity of %q: %v vs %v",
+				verilog.ExprString(e), err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		for trial := 0; trial < 10; trial++ {
+			env[nl.NetIndex("rst")] = rng.Uint64() & 1
+			env[nl.NetIndex("en")] = rng.Uint64() & 1
+			env[nl.NetIndex("count")] = rng.Uint64() & 0xf
+			a := ce.Eval(env)
+			b := fn(hist)
+			if a != b {
+				t.Fatalf("semantics diverge on %q: EExpr=%#x closure=%#x (rst=%d en=%d count=%d)",
+					verilog.ExprString(e), a, b,
+					env[nl.NetIndex("rst")], env[nl.NetIndex("en")], env[nl.NetIndex("count")])
+			}
+		}
+	}
+}
+
+func TestSampledValueFunctions(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	now := make([]uint64, len(nl.Nets))
+	ago1 := make([]uint64, len(nl.Nets))
+	ago2 := make([]uint64, len(nl.Nets))
+	count := nl.NetIndex("count")
+	en := nl.NetIndex("en")
+	now[count], ago1[count], ago2[count] = 5, 4, 3
+	now[en], ago1[en] = 1, 0
+	hist := [][]uint64{now, ago1, ago2}
+
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"$past(count)", 4},
+		{"$past(count, 2)", 3},
+		{"$rose(en)", 1},
+		{"$fell(en)", 0},
+		{"$stable(count)", 0},
+		{"$changed(count)", 1},
+		{"$past(count) + 1 == count", 1},
+	}
+	for _, tc := range cases {
+		a, err := Parse(tc.src + " |-> 1")
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		fn, _, err := compileBool(a.Ante[0].Expr, nl, map[int]bool{})
+		if err != nil {
+			t.Fatalf("compile %q: %v", tc.src, err)
+		}
+		if got := fn(hist); (got != 0) != (tc.want != 0) || (tc.want <= 1 && got != tc.want) {
+			t.Errorf("%s = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestCompileSemanticErrors(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	for _, src := range []string{
+		"ghost == 1 |-> en == 1",
+		"count[9] == 1 |-> en == 1",
+		"count[3:9] == 1 |-> en == 1",
+		"en == 1 |-> ##60 count == 0 ##10 count == 1",
+	} {
+		a, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q should parse: %v", src, err)
+		}
+		if _, err := Compile(a, nl); err == nil {
+			t.Errorf("Compile(%q) succeeded, want semantic error", src)
+		} else if _, ok := err.(*SemanticError); !ok {
+			t.Errorf("Compile(%q) error type %T, want *SemanticError", src, err)
+		}
+	}
+}
+
+func TestCompiledLayout(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	c := compileT(t, nl, "en == 1 ##2 rst == 0 |=> ##1 count == 0")
+	// ante ages 0 and 2; |=> adds 1, lead ##1 adds 1 -> cons age 4.
+	if c.Window != 5 {
+		t.Errorf("window = %d, want 5", c.Window)
+	}
+	if c.AnteDoneAge != 2 {
+		t.Errorf("anteDoneAge = %d, want 2", c.AnteDoneAge)
+	}
+	if len(c.AtAge[0].Ante) != 1 || len(c.AtAge[2].Ante) != 1 || len(c.AtAge[4].Cons) != 1 {
+		t.Errorf("check schedule wrong: %+v", c.AtAge)
+	}
+	support := c.SupportNets()
+	if len(support) != 3 {
+		t.Errorf("support = %v, want en, rst, count", support)
+	}
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	c := compileT(t, nl, "en == 1 |=> count == 7")
+	m := NewMonitor(c)
+	env := func(en, count uint64) []uint64 {
+		e := make([]uint64, len(nl.Nets))
+		e[nl.NetIndex("en")] = en
+		e[nl.NetIndex("count")] = count
+		return e
+	}
+	// Cycle 0: en=1 -> attempt matches ante.
+	out := m.Step([][]uint64{env(1, 0)})
+	if out.Violated || !out.AnteCompleted {
+		t.Fatalf("cycle 0: %+v", out)
+	}
+	// Cycle 1: count=7 satisfies the pending consequent; new attempt (en=0) dies.
+	out = m.Step([][]uint64{env(0, 7)})
+	if out.Violated {
+		t.Fatalf("cycle 1 should satisfy: %+v", out)
+	}
+	// Restart: en=1 then count!=7 -> violation at age 1.
+	out = m.Step([][]uint64{env(1, 0)})
+	if out.Violated {
+		t.Fatal("ante-only cycle cannot violate")
+	}
+	out = m.Step([][]uint64{env(0, 3)})
+	if !out.Violated || out.ViolatedAge != 1 {
+		t.Fatalf("expected violation at age 1, got %+v", out)
+	}
+	// State round trip.
+	alive, sat := m.State()
+	m2 := NewMonitor(c)
+	m2.SetState(alive, sat)
+	a2, s2 := m2.State()
+	if a2 != alive || s2 != sat {
+		t.Error("monitor state round trip failed")
+	}
+	m.Reset()
+	if a, s := m.State(); a != 0 || s != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestMonitorRangedSatisfaction(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	c := compileT(t, nl, "en == 1 |-> ##[1:2] count == 9")
+	if !c.Ranged || c.ConsLoAge != 1 || c.ConsHiAge != 2 {
+		t.Fatalf("ranged layout wrong: %+v", c)
+	}
+	m := NewMonitor(c)
+	env := func(en, count uint64) []uint64 {
+		e := make([]uint64, len(nl.Nets))
+		e[nl.NetIndex("en")] = en
+		e[nl.NetIndex("count")] = count
+		return e
+	}
+	// Satisfied at the second offset.
+	m.Step([][]uint64{env(1, 0)})
+	m.Step([][]uint64{env(0, 0)})
+	out := m.Step([][]uint64{env(0, 9)})
+	if out.Violated {
+		t.Fatalf("satisfied at hi offset, got %+v", out)
+	}
+	// Never satisfied -> violated at the hi age.
+	m.Reset()
+	m.Step([][]uint64{env(1, 0)})
+	m.Step([][]uint64{env(0, 0)})
+	out = m.Step([][]uint64{env(0, 0)})
+	if !out.Violated || out.ViolatedAge != 2 {
+		t.Fatalf("expected ranged violation at age 2, got %+v", out)
+	}
+}
+
+func TestWindowLengths(t *testing.T) {
+	cases := []struct {
+		src    string
+		window int
+	}{
+		{"a |-> b", 1},
+		{"a |=> b", 2},
+		{"a ##1 b |-> c", 2},
+		{"a |-> ##3 b", 4},
+		{"a |-> ##[1:3] b", 4},
+		{"a ##2 b |=> ##1 c ##1 d", 6},
+	}
+	for _, tc := range cases {
+		a, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		if got := a.WindowLength(); got != tc.window {
+			t.Errorf("WindowLength(%q) = %d, want %d", tc.src, got, tc.window)
+		}
+	}
+}
+
+func TestCheckHelper(t *testing.T) {
+	nl := elabT(t, counterSrc, "counter")
+	if err := Check(mustP(t, "en == 1 |-> count == 0"), nl); err != nil {
+		t.Errorf("valid assertion rejected: %v", err)
+	}
+	if err := Check(mustP(t, "nosuch == 1 |-> count == 0"), nl); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}
+
+func mustP(t *testing.T, src string) *Assertion {
+	t.Helper()
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSemanticErrorMessage(t *testing.T) {
+	e := &SemanticError{Assertion: "x |-> y", Msg: "unknown signal"}
+	if !strings.Contains(e.Error(), "unknown signal") || !strings.Contains(e.Error(), "x |-> y") {
+		t.Errorf("error message uninformative: %q", e.Error())
+	}
+}

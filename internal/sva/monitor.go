@@ -1,0 +1,109 @@
+package sva
+
+import "assertionbench/internal/verilog"
+
+// Monitor is the runtime automaton of one compiled assertion: a sliding
+// window of evaluation attempts, one started per cycle. It is the single
+// monitor implementation shared by the FPV engine (where its state enters
+// the product state space), the trace checker, and the coverage analysis.
+type Monitor struct {
+	c *Compiled
+	// alive bit k: the attempt of age k is still matching.
+	alive uint64
+	// sat bit k: a ranged consequent already held for the age-k attempt.
+	sat  uint64
+	mask uint64
+}
+
+// NewMonitor returns a monitor in the no-attempts state.
+func NewMonitor(c *Compiled) *Monitor {
+	return &Monitor{c: c, mask: verilog.WidthMask(c.Window)}
+}
+
+// Compiled returns the assertion the monitor runs.
+func (m *Monitor) Compiled() *Compiled { return m.c }
+
+// State exports the monitor state for product-state hashing.
+func (m *Monitor) State() (alive, sat uint64) { return m.alive, m.sat }
+
+// SetState restores a state exported by State.
+func (m *Monitor) SetState(alive, sat uint64) { m.alive, m.sat = alive, sat }
+
+// Reset clears all attempts.
+func (m *Monitor) Reset() { m.alive, m.sat = 0, 0 }
+
+// Outcome reports what one monitor step observed.
+type Outcome struct {
+	// Violated: some attempt's consequent failed. ViolatedAge is its age
+	// (the attempt started ViolatedAge cycles before the current one).
+	Violated    bool
+	ViolatedAge int
+	// AnteCompleted: some attempt completed its antecedent this cycle
+	// (the non-vacuity witness).
+	AnteCompleted bool
+}
+
+// Step advances the monitor by one sampled cycle. hist[0] is the current
+// cycle's environment, hist[k] the environment k cycles earlier; it must
+// have at least PastDepth+1 entries. A violated attempt is removed so the
+// caller may continue monitoring (the FPV engine stops at the first
+// violation anyway).
+func (m *Monitor) Step(hist [][]uint64) Outcome {
+	var out Outcome
+	c := m.c
+	alive := ((m.alive << 1) | 1) & m.mask
+	sat := (m.sat << 1) & m.mask
+
+	for age := 0; age < c.Window; age++ {
+		bit := uint64(1) << uint(age)
+		if alive&bit == 0 {
+			continue
+		}
+		// Antecedent checks scheduled at this age.
+		failed := false
+		for _, i := range c.AtAge[age].Ante {
+			if c.anteFns[i](hist) == 0 {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			alive &^= bit
+			sat &^= bit
+			continue
+		}
+		if age == c.AnteDoneAge {
+			out.AnteCompleted = true
+		}
+		if c.Ranged {
+			if age >= c.ConsLoAge && age <= c.ConsHiAge && c.RangedConsHolds(hist) {
+				sat |= bit
+			}
+			if age == c.ConsHiAge && sat&bit == 0 {
+				if !out.Violated {
+					out.Violated = true
+					out.ViolatedAge = age
+				}
+				alive &^= bit
+			}
+			continue
+		}
+		for _, i := range c.AtAge[age].Cons {
+			if c.consFns[i](hist) == 0 {
+				if !out.Violated {
+					out.Violated = true
+					out.ViolatedAge = age
+				}
+				alive &^= bit
+				sat &^= bit
+				break
+			}
+		}
+	}
+	// Attempts that survived their final age completed successfully.
+	done := uint64(1) << uint(c.Window-1)
+	alive &^= done
+	sat &^= done
+	m.alive, m.sat = alive, sat
+	return out
+}

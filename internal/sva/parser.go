@@ -1,0 +1,563 @@
+package sva
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"assertionbench/internal/verilog"
+)
+
+// ParseError is a syntax or subset error in an assertion string.
+type ParseError struct {
+	Src string
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sva: %s in %q", e.Msg, e.Src) }
+
+func perr(src, format string, args ...interface{}) *ParseError {
+	return &ParseError{Src: src, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses one assertion in either the native SVA surface syntax
+// (seq |-> seq, seq |=> seq, optionally wrapped in assert property(...))
+// or the paper's LTL-style G(A -> C) syntax with X() next-cycle operators.
+func Parse(src string) (*Assertion, error) {
+	text := strings.TrimSpace(src)
+	text = strings.TrimSuffix(text, ";")
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, perr(src, "empty assertion")
+	}
+	toks, err := verilog.Lex(text)
+	if err != nil {
+		return nil, perr(src, "lexical error: %v", err)
+	}
+	p := &propParser{src: src, tp: verilog.NewTokenParser(toks)}
+	a, err := p.parseTop()
+	if err != nil {
+		return nil, err
+	}
+	if !p.tp.AtEOF() {
+		return nil, perr(src, "unexpected trailing %s", p.tp.CurToken())
+	}
+	a.Source = strings.TrimSpace(src)
+	return a, nil
+}
+
+// ParseAll parses a block of text containing zero or more assertions, one
+// per line or semicolon-separated. It returns the assertions that parsed
+// and one error per assertion that did not. Blank lines, comment lines and
+// non-assertion prose lines count as errors only if they look like
+// assertion attempts (contain an implication or comparison operator).
+func ParseAll(text string) ([]*Assertion, []error) {
+	var out []*Assertion
+	var errs []error
+	for _, line := range SplitAssertions(text) {
+		a, err := Parse(line)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, errs
+}
+
+// SplitAssertions splits raw generated text into candidate assertion
+// strings. Lines are the primary unit; a trailing ';' ends a candidate.
+func SplitAssertions(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A line may carry multiple ';'-terminated assertions.
+		for _, piece := range strings.Split(line, ";") {
+			piece = strings.TrimSpace(piece)
+			if piece == "" {
+				continue
+			}
+			out = append(out, piece)
+		}
+	}
+	return out
+}
+
+type propParser struct {
+	src string
+	tp  *verilog.Parser
+}
+
+// atom is a proposition at a cycle offset from the property start.
+type atom struct {
+	off  int
+	expr verilog.Expr
+}
+
+func (p *propParser) parseTop() (*Assertion, error) {
+	clock := ""
+	// Optional wrapper: assert property ( @(posedge clk) PROP )
+	if p.peekIdent("assert") {
+		p.tp.Advance()
+		if !p.peekIdent("property") {
+			return nil, perr(p.src, "expected 'property' after 'assert'")
+		}
+		p.tp.Advance()
+		if err := p.tp.ExpectSym("("); err != nil {
+			return nil, perr(p.src, "%v", err)
+		}
+		if p.tp.AcceptSym("@") {
+			if err := p.tp.ExpectSym("("); err != nil {
+				return nil, perr(p.src, "%v", err)
+			}
+			if !p.tp.AcceptKw("posedge") && !p.tp.AcceptKw("negedge") {
+				return nil, perr(p.src, "expected posedge/negedge in clocking event")
+			}
+			t := p.tp.CurToken()
+			if t.Kind != verilog.TokIdent {
+				return nil, perr(p.src, "expected clock name, got %s", t)
+			}
+			clock = t.Text
+			p.tp.Advance()
+			if err := p.tp.ExpectSym(")"); err != nil {
+				return nil, perr(p.src, "%v", err)
+			}
+		}
+		a, err := p.parseProp()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.tp.ExpectSym(")"); err != nil {
+			return nil, perr(p.src, "%v", err)
+		}
+		a.Clock = clock
+		return a, nil
+	}
+	return p.parseProp()
+}
+
+func (p *propParser) peekIdent(name string) bool {
+	t := p.tp.CurToken()
+	return t.Kind == verilog.TokIdent && t.Text == name
+}
+
+func (p *propParser) parseProp() (*Assertion, error) {
+	// LTL form: G( ... ) or always ( ... )
+	if (p.peekIdent("G") || p.tp.PeekKw("always")) && p.nextIsParen() {
+		p.tp.Advance()
+		return p.parseLTL()
+	}
+	return p.parseNative()
+}
+
+func (p *propParser) nextIsParen() bool {
+	pos := p.tp.Pos()
+	p.tp.Advance()
+	ok := p.tp.PeekSym("(")
+	p.tp.SetPos(pos)
+	return ok
+}
+
+// --- native SVA form ---
+
+func (p *propParser) parseNative() (*Assertion, error) {
+	ante, lead, leadSpan, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	if lead != 0 || leadSpan != 0 {
+		return nil, perr(p.src, "a leading delay is only supported on the consequent")
+	}
+	var nonOverlap bool
+	switch {
+	case p.tp.AcceptSym("|->"), p.tp.AcceptSym("->"):
+		nonOverlap = false
+	case p.tp.AcceptSym("|=>"), p.tp.AcceptSym("=>"):
+		nonOverlap = true
+	default:
+		return nil, perr(p.src, "expected '|->' or '|=>', got %s", p.tp.CurToken())
+	}
+	cons, lead, leadSpan, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	cons[0].Delay = lead
+	if leadSpan > 0 && len(cons) > 1 {
+		return nil, perr(p.src, "##[m:n] ranges require a single-step consequent")
+	}
+	return &Assertion{Ante: ante, Cons: cons, NonOverlap: nonOverlap, ConsDelaySpan: leadSpan}, nil
+}
+
+// parseSeq parses expr (##N expr)*, with an optional leading ##N or
+// ##[m:n] whose value and span are returned separately.
+func (p *propParser) parseSeq() ([]Step, int, int, error) {
+	lead, leadSpan := 0, 0
+	if p.tp.AcceptSym("##") {
+		lo, span, err := p.parseDelay(true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lead, leadSpan = lo, span
+	}
+	var steps []Step
+	first, err := p.parseBool()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	steps = append(steps, Step{Expr: first})
+	for p.tp.AcceptSym("##") {
+		n, _, err := p.parseDelay(false)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		e, err := p.parseBool()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		steps = append(steps, Step{Delay: n, Expr: e})
+	}
+	return steps, lead, leadSpan, nil
+}
+
+// parseDelay parses the N of ##N, or ##[m:n] when ranges are allowed
+// (leading position only). Returns (lo, span).
+func (p *propParser) parseDelay(allowRange bool) (int, int, error) {
+	if p.tp.AcceptSym("[") {
+		if !allowRange {
+			return 0, 0, perr(p.src, "##[m:n] is only supported as the leading consequent delay")
+		}
+		lo, err := p.parseDelayCount()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.tp.ExpectSym(":"); err != nil {
+			return 0, 0, perr(p.src, "%v", err)
+		}
+		hi, err := p.parseDelayCount()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.tp.ExpectSym("]"); err != nil {
+			return 0, 0, perr(p.src, "%v", err)
+		}
+		if hi < lo {
+			return 0, 0, perr(p.src, "##[%d:%d] range is empty", lo, hi)
+		}
+		return lo, hi - lo, nil
+	}
+	n, err := p.parseDelayCount()
+	return n, 0, err
+}
+
+func (p *propParser) parseDelayCount() (int, error) {
+	t := p.tp.CurToken()
+	if t.Kind != verilog.TokNumber {
+		return 0, perr(p.src, "expected cycle count after '##', got %s", t)
+	}
+	e, err := p.tp.ParseExpression()
+	if err != nil {
+		return 0, perr(p.src, "%v", err)
+	}
+	num, ok := e.(*verilog.Number)
+	if !ok {
+		return 0, perr(p.src, "##N delay must be a literal")
+	}
+	if num.Value > 64 {
+		return 0, perr(p.src, "##%d delay exceeds the supported window of 64 cycles", num.Value)
+	}
+	return int(num.Value), nil
+}
+
+// parseBool parses a full boolean expression (the design expression
+// grammar plus sampled-value functions), stopping before sequence
+// operators.
+func (p *propParser) parseBool() (verilog.Expr, error) {
+	e, err := p.tp.ParseExpression()
+	if err != nil {
+		return nil, perr(p.src, "%v", err)
+	}
+	if err := checkCalls(e, p.src); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// checkCalls validates sampled-value function usage.
+func checkCalls(e verilog.Expr, src string) error {
+	var walk func(verilog.Expr) error
+	walk = func(x verilog.Expr) error {
+		switch v := x.(type) {
+		case *verilog.Call:
+			switch v.Name {
+			case "$rose", "$fell", "$stable", "$changed":
+				if len(v.Args) != 1 {
+					return perr(src, "%s takes exactly one argument", v.Name)
+				}
+			case "$past":
+				if len(v.Args) != 1 && len(v.Args) != 2 {
+					return perr(src, "$past takes one or two arguments")
+				}
+				if len(v.Args) == 2 {
+					if n, ok := v.Args[1].(*verilog.Number); !ok || n.Value == 0 || n.Value > 16 {
+						return perr(src, "$past depth must be a literal in 1..16")
+					}
+				}
+			default:
+				return perr(src, "unsupported system function %s", v.Name)
+			}
+			for _, a := range v.Args {
+				if err := walk(a); err != nil {
+					return err
+				}
+			}
+		case *verilog.Unary:
+			return walk(v.X)
+		case *verilog.Binary:
+			if err := walk(v.X); err != nil {
+				return err
+			}
+			return walk(v.Y)
+		case *verilog.Ternary:
+			if err := walk(v.Cond); err != nil {
+				return err
+			}
+			if err := walk(v.Then); err != nil {
+				return err
+			}
+			return walk(v.Else)
+		case *verilog.Index:
+			if err := walk(v.Base); err != nil {
+				return err
+			}
+			return walk(v.Idx)
+		case *verilog.PartSelect:
+			return walk(v.Base)
+		case *verilog.Concat:
+			for _, part := range v.Parts {
+				if err := walk(part); err != nil {
+					return err
+				}
+			}
+		case *verilog.Repl:
+			return walk(v.Value)
+		}
+		return nil
+	}
+	return walk(e)
+}
+
+// --- LTL G(A -> C) form ---
+
+func (p *propParser) parseLTL() (*Assertion, error) {
+	if err := p.tp.ExpectSym("("); err != nil {
+		return nil, perr(p.src, "%v", err)
+	}
+	anteAtoms, err := p.parseLTLOr()
+	if err != nil {
+		return nil, err
+	}
+	var nonOverlap bool
+	switch {
+	case p.tp.AcceptSym("->"), p.tp.AcceptSym("|->"):
+		nonOverlap = false
+	case p.tp.AcceptSym("=>"), p.tp.AcceptSym("|=>"):
+		nonOverlap = true
+	default:
+		return nil, perr(p.src, "expected '->' in G(...) property, got %s", p.tp.CurToken())
+	}
+	consAtoms, err := p.parseLTLOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.tp.ExpectSym(")"); err != nil {
+		return nil, perr(p.src, "%v", err)
+	}
+	return assembleLTL(p.src, anteAtoms, consAtoms, nonOverlap)
+}
+
+// parseLTLOr handles '||' at the temporal layer: both sides must collapse
+// to a single cycle offset.
+func (p *propParser) parseLTLOr() ([]atom, error) {
+	atoms, err := p.parseLTLAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tp.AcceptSym("||") {
+		rhs, err := p.parseLTLAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, lok := collapse(atoms)
+		r, rok := collapse(rhs)
+		if !lok || !rok || l.off != r.off {
+			return nil, perr(p.src, "'||' across different cycles is outside the supported subset")
+		}
+		atoms = []atom{{off: l.off, expr: &verilog.Binary{Op: "||", X: l.expr, Y: r.expr}}}
+	}
+	return atoms, nil
+}
+
+func (p *propParser) parseLTLAnd() ([]atom, error) {
+	atoms, err := p.parseLTLUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tp.AcceptSym("&&") {
+		rhs, err := p.parseLTLUnary()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, rhs...)
+	}
+	return atoms, nil
+}
+
+func (p *propParser) parseLTLUnary() ([]atom, error) {
+	// X(...) next-cycle operator.
+	if p.peekIdent("X") && p.nextIsParen() {
+		p.tp.Advance()
+		p.tp.Advance() // '('
+		inner, err := p.parseLTLOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.tp.ExpectSym(")"); err != nil {
+			return nil, perr(p.src, "%v", err)
+		}
+		for i := range inner {
+			inner[i].off++
+		}
+		return inner, nil
+	}
+	// '!' at the temporal layer: negate a single-offset group.
+	if p.tp.PeekSym("!") {
+		pos := p.tp.Pos()
+		p.tp.Advance()
+		if p.peekIdent("X") && p.nextIsParen() {
+			inner, err := p.parseLTLUnary()
+			if err != nil {
+				return nil, err
+			}
+			one, ok := collapse(inner)
+			if !ok {
+				return nil, perr(p.src, "'!' across different cycles is outside the supported subset")
+			}
+			return []atom{{off: one.off, expr: &verilog.Unary{Op: "!", X: one.expr}}}, nil
+		}
+		p.tp.SetPos(pos) // plain boolean negation: let the expression parser do it
+	}
+	// Parenthesized temporal group vs. plain parenthesized expression:
+	// try the temporal group first and fall back on trailing operators.
+	if p.tp.PeekSym("(") {
+		pos := p.tp.Pos()
+		p.tp.Advance()
+		inner, err := p.parseLTLOr()
+		if err == nil && p.tp.PeekSym(")") {
+			p.tp.Advance()
+			// If the group is followed by a tighter-binding operator the
+			// parenthesis belonged to a value expression; re-parse.
+			if !p.followsTemporal() {
+				p.tp.SetPos(pos)
+				return p.parseLeafExpr()
+			}
+			return inner, nil
+		}
+		p.tp.SetPos(pos)
+	}
+	return p.parseLeafExpr()
+}
+
+// followsTemporal reports whether the cursor sits on a token that can
+// legally follow a temporal group: && || -> => |-> |=> or ')'.
+func (p *propParser) followsTemporal() bool {
+	for _, s := range []string{"&&", "||", "->", "=>", "|->", "|=>", ")"} {
+		if p.tp.PeekSym(s) {
+			return true
+		}
+	}
+	return p.tp.AtEOF()
+}
+
+func (p *propParser) parseLeafExpr() ([]atom, error) {
+	e, err := p.tp.ParseExpressionPrec(3)
+	if err != nil {
+		return nil, perr(p.src, "%v", err)
+	}
+	if err := checkCalls(e, p.src); err != nil {
+		return nil, err
+	}
+	return []atom{{off: 0, expr: e}}, nil
+}
+
+// collapse merges atoms that all share one offset into a single conjunct.
+func collapse(atoms []atom) (atom, bool) {
+	if len(atoms) == 0 {
+		return atom{}, false
+	}
+	out := atoms[0]
+	for _, a := range atoms[1:] {
+		if a.off != out.off {
+			return atom{}, false
+		}
+		out.expr = &verilog.Binary{Op: "&&", X: out.expr, Y: a.expr}
+	}
+	return out, true
+}
+
+// assembleLTL converts offset-annotated atoms into the sequential form.
+func assembleLTL(src string, ante, cons []atom, nonOverlap bool) (*Assertion, error) {
+	if len(ante) == 0 || len(cons) == 0 {
+		return nil, perr(src, "empty antecedent or consequent")
+	}
+	anteSteps, anteMin, anteMax := groupAtoms(ante)
+	// Normalize so the antecedent starts at offset 0 (G-invariance).
+	anteMax -= anteMin
+
+	consSteps, consMin, _ := groupAtoms(cons)
+	a := &Assertion{Ante: anteSteps, Cons: consSteps, NonOverlap: nonOverlap}
+	if nonOverlap {
+		// Paper semantics: '=>' subsumes the X on the consequent; its atoms
+		// are relative to the antecedent end.
+		a.Cons[0].Delay = consMin
+		return a, nil
+	}
+	// Overlapped '->': consequent offsets are absolute from property start.
+	rel := consMin - anteMin - anteMax
+	if rel < 0 {
+		return nil, perr(src, "consequent begins %d cycle(s) before the antecedent ends (requires n >= m)", -rel)
+	}
+	a.Cons[0].Delay = rel
+	return a, nil
+}
+
+// groupAtoms conjoins same-offset atoms and produces delay-encoded steps,
+// returning the minimum and maximum offsets seen.
+func groupAtoms(atoms []atom) (steps []Step, min, max int) {
+	byOff := map[int]verilog.Expr{}
+	for _, a := range atoms {
+		if cur, ok := byOff[a.off]; ok {
+			byOff[a.off] = &verilog.Binary{Op: "&&", X: cur, Y: a.expr}
+		} else {
+			byOff[a.off] = a.expr
+		}
+	}
+	offs := make([]int, 0, len(byOff))
+	for o := range byOff {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	min, max = offs[0], offs[len(offs)-1]
+	prev := offs[0]
+	for i, o := range offs {
+		d := o - prev
+		if i == 0 {
+			d = 0
+		}
+		steps = append(steps, Step{Delay: d, Expr: byOff[o]})
+		prev = o
+	}
+	return steps, min, max
+}

@@ -1,0 +1,212 @@
+package sva
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseA(t *testing.T, src string) *Assertion {
+	t.Helper()
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q) failed: %v", src, err)
+	}
+	return a
+}
+
+func TestParseNativeOverlapped(t *testing.T) {
+	a := mustParseA(t, "req1 == 1 && req2 == 0 |-> gnt1 == 1;")
+	if a.NonOverlap {
+		t.Error("|-> should be overlapped")
+	}
+	if len(a.Ante) != 1 || len(a.Cons) != 1 {
+		t.Fatalf("ante/cons lengths %d/%d, want 1/1", len(a.Ante), len(a.Cons))
+	}
+	if a.WindowLength() != 1 {
+		t.Errorf("window = %d, want 1", a.WindowLength())
+	}
+	if got := a.String(); got != "(req1 == 1) && (req2 == 0) |-> gnt1 == 1" {
+		t.Errorf("canonical form = %q", got)
+	}
+}
+
+func TestParseNativeNonOverlappedAndDelays(t *testing.T) {
+	a := mustParseA(t, "a ##1 b ##2 c |=> d ##1 e")
+	if !a.NonOverlap {
+		t.Error("|=> should be non-overlapped")
+	}
+	if len(a.Ante) != 3 || a.Ante[1].Delay != 1 || a.Ante[2].Delay != 2 {
+		t.Fatalf("ante steps wrong: %+v", a.Ante)
+	}
+	if len(a.Cons) != 2 || a.Cons[1].Delay != 1 {
+		t.Fatalf("cons steps wrong: %+v", a.Cons)
+	}
+	// ante spans 4 cycles (0,1,3), |=> adds 1, cons spans 2: window 0..5
+	if a.WindowLength() != 6 {
+		t.Errorf("window = %d, want 6", a.WindowLength())
+	}
+}
+
+func TestParseLeadingConsequentDelay(t *testing.T) {
+	a := mustParseA(t, "start |-> ##3 done")
+	if a.Cons[0].Delay != 3 {
+		t.Fatalf("cons lead delay = %d, want 3", a.Cons[0].Delay)
+	}
+	if a.WindowLength() != 4 {
+		t.Errorf("window = %d, want 4", a.WindowLength())
+	}
+}
+
+func TestParseAssertPropertyWrapper(t *testing.T) {
+	a := mustParseA(t, "assert property (@(posedge clk) full |-> !w_en);")
+	if a.Clock != "clk" {
+		t.Errorf("clock = %q, want clk", a.Clock)
+	}
+	if len(a.Ante) != 1 || len(a.Cons) != 1 {
+		t.Fatal("wrapper body not parsed")
+	}
+}
+
+func TestParseLTLPaperP1(t *testing.T) {
+	// Paper Sec. II-A, P1.
+	a := mustParseA(t, "G((req1 == 1 && req2 == 0) -> (gnt1 == 1))")
+	if a.NonOverlap {
+		t.Error("-> in G() maps to overlapped")
+	}
+	if a.WindowLength() != 1 {
+		t.Errorf("window = %d, want 1", a.WindowLength())
+	}
+}
+
+func TestParseLTLPaperP2(t *testing.T) {
+	// Paper Sec. II-A, P2: antecedent spans cycles 0 and 1, consequent at 2.
+	a := mustParseA(t, "G((req2 == 0 && gnt_ == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))")
+	if len(a.Ante) != 2 {
+		t.Fatalf("ante has %d steps, want 2: %+v", len(a.Ante), a.Ante)
+	}
+	if a.Ante[1].Delay != 1 {
+		t.Errorf("second ante step delay = %d, want 1", a.Ante[1].Delay)
+	}
+	if len(a.Cons) != 1 || a.Cons[0].Delay != 1 {
+		t.Fatalf("cons = %+v, want single step one cycle after ante end", a.Cons)
+	}
+	if a.WindowLength() != 3 {
+		t.Errorf("window = %d, want 3", a.WindowLength())
+	}
+}
+
+func TestParseLTLPaperP2NonOverlapForm(t *testing.T) {
+	// The paper's rewrite: '=>' subsumes the consequent's X.
+	a := mustParseA(t, "G((req2 == 0 && gnt_ == 1) && X(req1 == 1) => (gnt1 == 1))")
+	b := mustParseA(t, "G((req2 == 0 && gnt_ == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))")
+	if a.WindowLength() != b.WindowLength() {
+		t.Errorf("windows differ: %d vs %d", a.WindowLength(), b.WindowLength())
+	}
+}
+
+func TestParseLTLNestedX(t *testing.T) {
+	a := mustParseA(t, "G(a -> X(X(X(b))))")
+	if a.Cons[0].Delay != 3 {
+		t.Errorf("cons delay = %d, want 3", a.Cons[0].Delay)
+	}
+}
+
+func TestParseLTLSameOffsetDisjunction(t *testing.T) {
+	a := mustParseA(t, "G(X(a) || X(b) -> X(X(c)))")
+	if len(a.Ante) != 1 {
+		t.Fatalf("same-offset disjunction should collapse, got %+v", a.Ante)
+	}
+}
+
+func TestParseSystemFunctions(t *testing.T) {
+	a := mustParseA(t, "$rose(start) |-> $past(count) == 0 && $stable(mode)")
+	if len(a.Ante) != 1 || len(a.Cons) != 1 {
+		t.Fatal("parse structure wrong")
+	}
+	sigs := a.Signals()
+	for _, want := range []string{"start", "count", "mode"} {
+		if !sigs[want] {
+			t.Errorf("signal %q missing from Signals()", want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "empty"},
+		{"a == 1", "expected '|->'"},
+		{"a |-> ", "expected expression"},
+		{"G(a -> X(b) || c)", "'||' across different cycles"},
+		{"G(X(X(a)) -> X(b))", "before the antecedent ends"},
+		{"a ##x b |-> c", "cycle count"},
+		{"a ## 99 b |-> c", "exceeds"},
+		{"$bogus(a) |-> b", "unsupported system function"},
+		{"$past(a, 0) |-> b", "$past depth"},
+		{"$rose(a, b) |-> c", "exactly one argument"},
+		{"a |-> b |-> c", "trailing"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want to contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a ##1 b |-> c",
+		"a && b |=> c ##2 d",
+		"x == 4'h3 |-> ##2 y != 0",
+		"$rose(a) |-> $past(b, 2) == 1",
+		"G(a -> X(b))",
+	}
+	for _, src := range srcs {
+		a := mustParseA(t, src)
+		printed := a.String()
+		b, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if b.String() != printed {
+			t.Errorf("unstable round trip: %q -> %q", printed, b.String())
+		}
+		if !a.Equal(b) {
+			t.Errorf("Equal false after round trip of %q", src)
+		}
+	}
+}
+
+func TestSplitAssertions(t *testing.T) {
+	text := `
+// header comment
+a |-> b;
+c ##1 d |=> e; f |-> g;
+
+prose line that is junk
+`
+	parts := SplitAssertions(text)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts %v, want 4", len(parts), parts)
+	}
+	if parts[1] != "c ##1 d |=> e" || parts[2] != "f |-> g" {
+		t.Errorf("split wrong: %v", parts)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	as, errs := ParseAll("a |-> b;\ntotal garbage ===\nc |=> d;")
+	if len(as) != 2 {
+		t.Fatalf("parsed %d assertions, want 2", len(as))
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1", len(errs))
+	}
+}

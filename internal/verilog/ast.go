@@ -1,0 +1,319 @@
+package verilog
+
+// The AST mirrors source structure before elaboration. All nodes carry the
+// line of their first token for diagnostics.
+
+// SourceFile is a parsed compilation unit: one or more modules.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// FindModule returns the module named name, or nil.
+func (f *SourceFile) FindModule(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// PortDir is a port direction.
+type PortDir int
+
+// Port directions.
+const (
+	DirInput PortDir = iota
+	DirOutput
+	DirInout
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	default:
+		return "inout"
+	}
+}
+
+// Range is a vector range [MSB:LSB]; both bounds are constant expressions.
+type Range struct {
+	MSB Expr
+	LSB Expr
+}
+
+// Module is a module declaration.
+type Module struct {
+	Name   string
+	Line   int
+	Ports  []*Port      // in header order
+	Params []*Param     // parameters and localparams, in order
+	Decls  []*Decl      // wire/reg/integer declarations (incl. port redecls)
+	Items  []ModuleItem // assigns, always blocks, instances, in order
+}
+
+// Port is a module port. Its direction and range may come from the header
+// (ANSI style) or from a body declaration (non-ANSI style).
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Range *Range // nil for scalar
+	IsReg bool
+	Line  int
+}
+
+// Param is a parameter or localparam declaration.
+type Param struct {
+	Name  string
+	Value Expr
+	Local bool
+	Line  int
+}
+
+// DeclKind classifies variable declarations.
+type DeclKind int
+
+// Declaration kinds.
+const (
+	DeclWire DeclKind = iota
+	DeclReg
+	DeclInteger
+)
+
+// Decl declares one net or variable.
+type Decl struct {
+	Kind  DeclKind
+	Name  string
+	Range *Range // nil for scalar; integers are 32-bit
+	Init  Expr   // optional initializer (wire w = expr)
+	Line  int
+}
+
+// ModuleItem is an element of a module body.
+type ModuleItem interface{ itemNode() }
+
+// AssignItem is a continuous assignment.
+type AssignItem struct {
+	LHS  Expr // identifier, bit-select, part-select or concatenation
+	RHS  Expr
+	Line int
+}
+
+// AlwaysItem is an always block.
+type AlwaysItem struct {
+	Events []EventExpr // empty means @(*) (or wildcard)
+	Star   bool        // @* / @(*)
+	Body   Stmt
+	Line   int
+}
+
+// InitialItem is an initial block (accepted, ignored by elaboration).
+type InitialItem struct {
+	Body Stmt
+	Line int
+}
+
+// InstanceItem is a module instantiation.
+type InstanceItem struct {
+	ModName   string
+	InstName  string
+	ParamsPos []Expr          // positional parameter overrides
+	Params    map[string]Expr // named parameter overrides
+	ConnsPos  []Expr          // positional port connections
+	Conns     map[string]Expr // named port connections (nil expr = open)
+	Line      int
+}
+
+func (*AssignItem) itemNode()   {}
+func (*AlwaysItem) itemNode()   {}
+func (*InitialItem) itemNode()  {}
+func (*InstanceItem) itemNode() {}
+
+// EdgeKind is the sensitivity edge of an event expression.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeNone EdgeKind = iota // level sensitivity (combinational lists)
+	EdgePos
+	EdgeNeg
+)
+
+// EventExpr is one entry of a sensitivity list.
+type EventExpr struct {
+	Edge   EdgeKind
+	Signal string
+	Line   int
+}
+
+// Stmt is a behavioural statement.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is begin ... end.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// AssignStmt is a procedural assignment.
+type AssignStmt struct {
+	LHS      Expr
+	RHS      Expr
+	Blocking bool
+	Line     int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// CaseStmt is case/casez/casex.
+type CaseStmt struct {
+	Subject Expr
+	Wild    bool // casez/casex: ? and z digits are don't-care
+	Items   []CaseItem
+	Default Stmt // may be nil
+	Line    int
+}
+
+// CaseItem is one labelled arm of a case statement.
+type CaseItem struct {
+	Labels []Expr
+	Body   Stmt
+}
+
+// ForStmt is a for loop with constant bounds (unrolled at elaboration).
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Step *AssignStmt
+	Body Stmt
+	Line int
+}
+
+// NullStmt is a lone semicolon.
+type NullStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*CaseStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()    {}
+func (*NullStmt) stmtNode()   {}
+
+// Expr is an expression.
+type Expr interface{ exprNode() }
+
+// Ident is a name reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is a numeric literal. Width 0 means unsized.
+type Number struct {
+	Value uint64
+	Width int
+	Line  int
+}
+
+// Unary is a unary operation: ~ ! - + and reductions & | ^ ~& ~| ~^.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// Index is base[idx] (bit select).
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// PartSelect is base[msb:lsb] with constant bounds.
+type PartSelect struct {
+	Base     Expr
+	MSB, LSB Expr
+	Line     int
+}
+
+// Concat is {a, b, ...}.
+type Concat struct {
+	Parts []Expr
+	Line  int
+}
+
+// Repl is {n{expr}}.
+type Repl struct {
+	Count Expr
+	Value Expr
+	Line  int
+}
+
+// Call is a system-function call such as $rose(sig) or $past(sig, 2).
+// Calls are rejected in design code; the SVA layer gives them temporal
+// semantics.
+type Call struct {
+	Name string // includes the leading '$'
+	Args []Expr
+	Line int
+}
+
+func (*Ident) exprNode()      {}
+func (*Call) exprNode()       {}
+func (*Number) exprNode()     {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Ternary) exprNode()    {}
+func (*Index) exprNode()      {}
+func (*PartSelect) exprNode() {}
+func (*Concat) exprNode()     {}
+func (*Repl) exprNode()       {}
+
+// exprLine reports the source line of an expression for diagnostics.
+func exprLine(e Expr) int {
+	switch v := e.(type) {
+	case *Ident:
+		return v.Line
+	case *Number:
+		return v.Line
+	case *Unary:
+		return v.Line
+	case *Binary:
+		return v.Line
+	case *Ternary:
+		return v.Line
+	case *Index:
+		return v.Line
+	case *PartSelect:
+		return v.Line
+	case *Concat:
+		return v.Line
+	case *Repl:
+		return v.Line
+	case *Call:
+		return v.Line
+	}
+	return 0
+}

@@ -1,0 +1,1066 @@
+package verilog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Limits guarding elaboration of pathological inputs.
+const (
+	maxInstanceDepth = 16
+	maxUnrollIters   = 4096
+	maxNets          = 1 << 16
+)
+
+// Elaborate flattens the module named top in file into a Netlist. Parameter
+// overrides (by name) apply to the top module. All instances are inlined
+// with dot-separated prefixes; widths are resolved; expressions and
+// statements are compiled to evaluable form.
+func Elaborate(file *SourceFile, top string, overrides map[string]uint64) (*Netlist, error) {
+	mod := file.FindModule(top)
+	if mod == nil {
+		return nil, fmt.Errorf("verilog: no module named %q", top)
+	}
+	el := &elaborator{
+		file: file,
+		nl:   &Netlist{Name: top, byName: map[string]int{}},
+	}
+	if err := el.instantiate(mod, "", overrides, nil, 0); err != nil {
+		return nil, err
+	}
+	el.classify()
+	el.orderComb()
+	return el.nl, nil
+}
+
+// ElaborateSource parses src and elaborates its top module. If top is empty
+// the last module in the file (conventionally the top) is used.
+func ElaborateSource(src, top string) (*Netlist, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if top == "" {
+		top = file.Modules[len(file.Modules)-1].Name
+	}
+	return Elaborate(file, top, nil)
+}
+
+// portConn carries an elaborated parent-side connection for one child port.
+type portConn struct {
+	expr *EExpr // parent expression (for child inputs); nil if open
+	lhs  []LRef // parent lvalue (for child outputs); nil if open
+}
+
+type scope struct {
+	prefix string
+	consts map[string]uint64
+	netOf  map[string]int
+}
+
+type elaborator struct {
+	file    *SourceFile
+	nl      *Netlist
+	drivers map[int]bool
+}
+
+func (el *elaborator) addNet(name string, width, line int) (*Net, error) {
+	if len(el.nl.Nets) >= maxNets {
+		return nil, fmt.Errorf("verilog: design exceeds %d nets", maxNets)
+	}
+	if width <= 0 || width > 64 {
+		return nil, errf(line, 0, "net %q has unsupported width %d (must be 1..64)", name, width)
+	}
+	if _, dup := el.nl.byName[name]; dup {
+		return nil, errf(line, 0, "duplicate declaration of %q", name)
+	}
+	n := &Net{Name: name, Index: len(el.nl.Nets), Width: width, Line: line}
+	el.nl.Nets = append(el.nl.Nets, n)
+	el.nl.byName[name] = n.Index
+	return n, nil
+}
+
+// instantiate elaborates mod with the given hierarchical prefix. conns maps
+// the module's port names to parent-side connections (nil for the top).
+func (el *elaborator) instantiate(mod *Module, prefix string, overrides map[string]uint64, conns map[string]portConn, depth int) error {
+	if depth > maxInstanceDepth {
+		return fmt.Errorf("verilog: instance nesting deeper than %d (recursive instantiation?)", maxInstanceDepth)
+	}
+	sc := &scope{prefix: prefix, consts: map[string]uint64{}, netOf: map[string]int{}}
+
+	// Parameters, in declaration order so later ones can use earlier ones.
+	for _, par := range mod.Params {
+		v, err := el.constEval(par.Value, sc)
+		if err != nil {
+			return err
+		}
+		if ov, ok := overrides[par.Name]; ok && !par.Local {
+			v = ov
+		}
+		sc.consts[par.Name] = v
+	}
+
+	// Ports.
+	for _, port := range mod.Ports {
+		w, err := el.rangeWidth(port.Range, sc, port.Line)
+		if err != nil {
+			return err
+		}
+		n, err := el.addNet(prefix+port.Name, w, port.Line)
+		if err != nil {
+			return err
+		}
+		sc.netOf[port.Name] = n.Index
+		if prefix == "" {
+			switch port.Dir {
+			case DirInput:
+				n.IsInput = true
+			case DirOutput:
+				n.IsOut = true
+			case DirInout:
+				return errf(port.Line, 0, "inout port %q is not supported", port.Name)
+			}
+		}
+	}
+
+	// Declarations.
+	var inits []*Decl
+	for _, d := range mod.Decls {
+		if _, isPort := sc.netOf[d.Name]; isPort {
+			continue
+		}
+		w := 1
+		if d.Kind == DeclInteger {
+			w = 32
+		}
+		if d.Range != nil {
+			var err error
+			w, err = el.rangeWidth(d.Range, sc, d.Line)
+			if err != nil {
+				return err
+			}
+		}
+		n, err := el.addNet(prefix+d.Name, w, d.Line)
+		if err != nil {
+			return err
+		}
+		sc.netOf[d.Name] = n.Index
+		if d.Init != nil {
+			inits = append(inits, d)
+		}
+	}
+
+	// Wire initializers become continuous assigns.
+	for _, d := range inits {
+		rhs, err := el.compileExpr(d.Init, sc)
+		if err != nil {
+			return err
+		}
+		idx := sc.netOf[d.Name]
+		el.nl.Assigns = append(el.nl.Assigns, CompiledAssign{
+			LHS:  []LRef{{Net: idx, W: el.nl.Nets[idx].Width}},
+			RHS:  rhs,
+			Line: d.Line,
+		})
+	}
+
+	// Bind parent connections now that ports exist.
+	if conns != nil {
+		for _, port := range mod.Ports {
+			pc, ok := conns[port.Name]
+			if !ok || (pc.expr == nil && pc.lhs == nil) {
+				continue // open
+			}
+			idx := sc.netOf[port.Name]
+			w := el.nl.Nets[idx].Width
+			switch port.Dir {
+			case DirInput:
+				if pc.expr == nil {
+					continue
+				}
+				el.nl.Assigns = append(el.nl.Assigns, CompiledAssign{
+					LHS:  []LRef{{Net: idx, W: w}},
+					RHS:  pc.expr,
+					Line: port.Line,
+				})
+			case DirOutput:
+				if pc.lhs == nil {
+					continue
+				}
+				el.nl.Assigns = append(el.nl.Assigns, CompiledAssign{
+					LHS:  pc.lhs,
+					RHS:  &EExpr{Op: OpNet, Net: idx, W: w},
+					Line: port.Line,
+				})
+			default:
+				return errf(port.Line, 0, "inout port %q is not supported", port.Name)
+			}
+		}
+	}
+
+	// Body items.
+	for _, item := range mod.Items {
+		switch it := item.(type) {
+		case *AssignItem:
+			lhs, err := el.compileLValue(it.LHS, sc)
+			if err != nil {
+				return err
+			}
+			rhs, err := el.compileExpr(it.RHS, sc)
+			if err != nil {
+				return err
+			}
+			el.nl.Assigns = append(el.nl.Assigns, CompiledAssign{LHS: lhs, RHS: rhs, Line: it.Line})
+
+		case *AlwaysItem:
+			if err := el.compileAlways(it, sc); err != nil {
+				return err
+			}
+
+		case *InitialItem:
+			// Initial blocks are accepted but carry no synthesizable
+			// semantics in this subset; the simulator starts from zero.
+
+		case *InstanceItem:
+			if err := el.compileInstance(it, sc, depth); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (el *elaborator) compileInstance(it *InstanceItem, sc *scope, depth int) error {
+	child := el.file.FindModule(it.ModName)
+	if child == nil {
+		return errf(it.Line, 0, "instantiation of unknown module %q", it.ModName)
+	}
+	// Parameter overrides, const-evaluated in the parent scope.
+	ov := map[string]uint64{}
+	for name, e := range it.Params {
+		v, err := el.constEval(e, sc)
+		if err != nil {
+			return err
+		}
+		ov[name] = v
+	}
+	nonLocal := childNonLocalParams(child)
+	for i, e := range it.ParamsPos {
+		if i >= len(nonLocal) {
+			return errf(it.Line, 0, "too many positional parameters for module %q", it.ModName)
+		}
+		v, err := el.constEval(e, sc)
+		if err != nil {
+			return err
+		}
+		ov[nonLocal[i]] = v
+	}
+
+	// Port connections, elaborated in the parent scope.
+	conns := map[string]portConn{}
+	bind := func(port *Port, e Expr) error {
+		if e == nil {
+			conns[port.Name] = portConn{}
+			return nil
+		}
+		switch port.Dir {
+		case DirInput:
+			ce, err := el.compileExpr(e, sc)
+			if err != nil {
+				return err
+			}
+			conns[port.Name] = portConn{expr: ce}
+		case DirOutput:
+			lhs, err := el.compileLValue(e, sc)
+			if err != nil {
+				return err
+			}
+			conns[port.Name] = portConn{lhs: lhs}
+		default:
+			return errf(it.Line, 0, "inout connection on %q not supported", port.Name)
+		}
+		return nil
+	}
+	if len(it.ConnsPos) > 0 {
+		if len(it.ConnsPos) > len(child.Ports) {
+			return errf(it.Line, 0, "too many positional connections for module %q", it.ModName)
+		}
+		for i, e := range it.ConnsPos {
+			if err := bind(child.Ports[i], e); err != nil {
+				return err
+			}
+		}
+	}
+	for name, e := range it.Conns {
+		var port *Port
+		for _, cp := range child.Ports {
+			if cp.Name == name {
+				port = cp
+				break
+			}
+		}
+		if port == nil {
+			return errf(it.Line, 0, "module %q has no port %q", it.ModName, name)
+		}
+		if err := bind(port, e); err != nil {
+			return err
+		}
+	}
+	return el.instantiate(child, sc.prefix+it.InstName+".", ov, conns, depth+1)
+}
+
+func childNonLocalParams(m *Module) []string {
+	var names []string
+	for _, p := range m.Params {
+		if !p.Local {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+func (el *elaborator) compileAlways(it *AlwaysItem, sc *scope) error {
+	body, err := el.compileStmt(it.Body, sc)
+	if err != nil {
+		return err
+	}
+	proc := &Process{Body: body, Line: it.Line}
+	reads, writes := map[int]bool{}, map[int]bool{}
+	stmtReadsWrites(body, reads, writes)
+	proc.Reads = keys(reads)
+	proc.Writes = keys(writes)
+
+	seq := false
+	for _, ev := range it.Events {
+		if ev.Edge != EdgeNone {
+			seq = true
+		}
+	}
+	if it.Star || !seq {
+		proc.Seq = false
+		el.nl.Combs = append(el.nl.Combs, proc)
+		return nil
+	}
+	proc.Seq = true
+	// Edge signals never read inside the body act purely as triggers
+	// (clocks); edge signals that are read are asynchronous set/reset data,
+	// which this subset samples synchronously at the clock boundary.
+	for _, ev := range it.Events {
+		idx, ok := sc.netOf[ev.Signal]
+		if !ok {
+			if c, isConst := sc.consts[ev.Signal]; isConst {
+				_ = c
+				return errf(ev.Line, 0, "parameter %q cannot appear in a sensitivity list", ev.Signal)
+			}
+			return errf(ev.Line, 0, "unknown signal %q in sensitivity list", ev.Signal)
+		}
+		if !reads[idx] {
+			el.nl.Nets[idx].IsClock = true
+		}
+	}
+	el.nl.Seqs = append(el.nl.Seqs, proc)
+	return nil
+}
+
+func stmtReadsWrites(s *EStmt, reads, writes map[int]bool) {
+	if s == nil {
+		return
+	}
+	switch s.Op {
+	case SAssign:
+		s.RHS.Support(reads)
+		for _, l := range s.LHS {
+			writes[l.Net] = true
+			if l.BitIdx != nil {
+				l.BitIdx.Support(reads)
+			}
+		}
+	case SIf:
+		s.Cond.Support(reads)
+		stmtReadsWrites(s.Then, reads, writes)
+		stmtReadsWrites(s.Else, reads, writes)
+	case SCase:
+		s.Subject.Support(reads)
+		for _, arm := range s.Arms {
+			stmtReadsWrites(arm, reads, writes)
+		}
+		stmtReadsWrites(s.Default, reads, writes)
+	case SBlock:
+		for _, sub := range s.Stmts {
+			stmtReadsWrites(sub, reads, writes)
+		}
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// classify finalizes net roles after all processes are known.
+func (el *elaborator) classify() {
+	isReg := map[int]bool{}
+	for _, p := range el.nl.Seqs {
+		for _, w := range p.Writes {
+			isReg[w] = true
+		}
+	}
+	for _, n := range el.nl.Nets {
+		if isReg[n.Index] {
+			n.IsReg = true
+			n.IsClock = false // written nets cannot be trigger-only clocks
+		}
+	}
+	for _, n := range el.nl.Nets {
+		switch {
+		case n.IsClock:
+			el.nl.Clocks = append(el.nl.Clocks, n.Index)
+		case n.IsInput:
+			el.nl.Inputs = append(el.nl.Inputs, n.Index)
+		}
+		if n.IsOut {
+			el.nl.Outputs = append(el.nl.Outputs, n.Index)
+		}
+		if n.IsReg {
+			el.nl.Regs = append(el.nl.Regs, n.Index)
+		}
+	}
+}
+
+// orderComb topologically sorts continuous assigns and combinational
+// processes so a single forward pass settles acyclic logic. On a
+// combinational cycle CombOrder is left nil (fixpoint fallback).
+func (el *elaborator) orderComb() {
+	n := len(el.nl.Assigns) + len(el.nl.Combs)
+	if n == 0 {
+		return
+	}
+	writers := map[int][]int{} // net -> items that write it
+	readsOf := make([]map[int]bool, n)
+	for i, a := range el.nl.Assigns {
+		r := map[int]bool{}
+		a.RHS.Support(r)
+		for _, l := range a.LHS {
+			writers[l.Net] = append(writers[l.Net], i)
+			if l.BitIdx != nil {
+				l.BitIdx.Support(r)
+			}
+		}
+		readsOf[i] = r
+	}
+	for j, p := range el.nl.Combs {
+		i := len(el.nl.Assigns) + j
+		r := map[int]bool{}
+		for _, rd := range p.Reads {
+			r[rd] = true
+		}
+		for _, w := range p.Writes {
+			writers[w] = append(writers[w], i)
+		}
+		readsOf[i] = r
+	}
+	// Edge u -> v when u writes a net that v reads.
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for v := 0; v < n; v++ {
+		seen := map[int]bool{}
+		for net := range readsOf[v] {
+			for _, u := range writers[net] {
+				if u == v {
+					// Self-loop: combinational feedback; no valid order.
+					return
+				}
+				if !seen[u] {
+					seen[u] = true
+					succ[u] = append(succ[u], v)
+					indeg[v]++
+				}
+			}
+		}
+	}
+	var order []int
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Ints(queue)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) == n {
+		el.nl.CombOrder = order
+	}
+}
+
+// --- statement compilation ---
+
+func (el *elaborator) compileStmt(s Stmt, sc *scope) (*EStmt, error) {
+	switch st := s.(type) {
+	case *NullStmt:
+		return &EStmt{Op: SBlock, Line: st.Line}, nil
+
+	case *BlockStmt:
+		out := &EStmt{Op: SBlock, Line: st.Line}
+		for _, sub := range st.Stmts {
+			cs, err := el.compileStmt(sub, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Stmts = append(out.Stmts, cs)
+		}
+		return out, nil
+
+	case *AssignStmt:
+		lhs, err := el.compileLValue(st.LHS, sc)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := el.compileExpr(st.RHS, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &EStmt{Op: SAssign, LHS: lhs, RHS: rhs, Blocking: st.Blocking, Line: st.Line}, nil
+
+	case *IfStmt:
+		cond, err := el.compileExpr(st.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		then, err := el.compileStmt(st.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		out := &EStmt{Op: SIf, Cond: cond, Then: then, Line: st.Line}
+		if st.Else != nil {
+			els, err := el.compileStmt(st.Else, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = els
+		}
+		return out, nil
+
+	case *CaseStmt:
+		subj, err := el.compileExpr(st.Subject, sc)
+		if err != nil {
+			return nil, err
+		}
+		out := &EStmt{Op: SCase, Subject: subj, Line: st.Line}
+		for _, item := range st.Items {
+			var labels []caseLabel
+			for _, le := range item.Labels {
+				v, err := el.constEval(le, sc)
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, caseLabel{value: v, mask: ^uint64(0)})
+			}
+			body, err := el.compileStmt(item.Body, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Labels = append(out.Labels, labels)
+			out.Arms = append(out.Arms, body)
+		}
+		if st.Default != nil {
+			def, err := el.compileStmt(st.Default, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Default = def
+		}
+		// All labels are exact matches in this subset, so a dense case can
+		// dispatch through a map instead of a linear scan.
+		if len(out.Arms) > 8 {
+			out.labelMap = make(map[uint64]int, len(out.Arms))
+			for i, labels := range out.Labels {
+				for _, lab := range labels {
+					if _, dup := out.labelMap[lab.value]; !dup {
+						out.labelMap[lab.value] = i
+					}
+				}
+			}
+		}
+		return out, nil
+
+	case *ForStmt:
+		return el.unrollFor(st, sc)
+	}
+	return nil, fmt.Errorf("verilog: unsupported statement %T", s)
+}
+
+// unrollFor statically unrolls a for loop whose index is compile-time
+// evaluable; the index is bound as a constant inside the body.
+func (el *elaborator) unrollFor(st *ForStmt, sc *scope) (*EStmt, error) {
+	ident, ok := st.Init.LHS.(*Ident)
+	if !ok {
+		return nil, errf(st.Line, 0, "for-loop index must be a simple identifier")
+	}
+	name := ident.Name
+	v, err := el.constEval(st.Init.RHS, sc)
+	if err != nil {
+		return nil, errf(st.Line, 0, "for-loop initial value must be constant: %v", err)
+	}
+	out := &EStmt{Op: SBlock, Line: st.Line}
+	saved, had := sc.consts[name]
+	defer func() {
+		if had {
+			sc.consts[name] = saved
+		} else {
+			delete(sc.consts, name)
+		}
+	}()
+	for iter := 0; ; iter++ {
+		if iter > maxUnrollIters {
+			return nil, errf(st.Line, 0, "for loop exceeds %d iterations", maxUnrollIters)
+		}
+		sc.consts[name] = v
+		cond, err := el.constEval(st.Cond, sc)
+		if err != nil {
+			return nil, errf(st.Line, 0, "for-loop condition must be constant: %v", err)
+		}
+		if cond == 0 {
+			break
+		}
+		body, err := el.compileStmt(st.Body, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, body)
+		if stepName, ok := st.Step.LHS.(*Ident); !ok || stepName.Name != name {
+			return nil, errf(st.Line, 0, "for-loop step must assign the loop index")
+		}
+		v, err = el.constEval(st.Step.RHS, sc)
+		if err != nil {
+			return nil, errf(st.Line, 0, "for-loop step must be constant: %v", err)
+		}
+	}
+	return out, nil
+}
+
+// --- lvalue compilation ---
+
+func (el *elaborator) compileLValue(e Expr, sc *scope) ([]LRef, error) {
+	switch v := e.(type) {
+	case *Ident:
+		idx, ok := sc.netOf[v.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "assignment to undeclared signal %q", v.Name)
+		}
+		return []LRef{{Net: idx, W: el.nl.Nets[idx].Width}}, nil
+
+	case *Index:
+		base, ok := v.Base.(*Ident)
+		if !ok {
+			return nil, errf(v.Line, 0, "bit-select target must be a simple signal")
+		}
+		idx, ok := sc.netOf[base.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "assignment to undeclared signal %q", base.Name)
+		}
+		if c, err := el.constEval(v.Idx, sc); err == nil {
+			if int(c) >= el.nl.Nets[idx].Width {
+				return nil, errf(v.Line, 0, "bit index %d out of range for %q", c, base.Name)
+			}
+			return []LRef{{Net: idx, IsPart: true, Lo: int(c), W: 1}}, nil
+		}
+		bit, err := el.compileExpr(v.Idx, sc)
+		if err != nil {
+			return nil, err
+		}
+		return []LRef{{Net: idx, IsBit: true, BitIdx: bit, W: 1}}, nil
+
+	case *PartSelect:
+		base, ok := v.Base.(*Ident)
+		if !ok {
+			return nil, errf(v.Line, 0, "part-select target must be a simple signal")
+		}
+		idx, ok := sc.netOf[base.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "assignment to undeclared signal %q", base.Name)
+		}
+		msb, err := el.constEval(v.MSB, sc)
+		if err != nil {
+			return nil, errf(v.Line, 0, "part-select bounds must be constant: %v", err)
+		}
+		lsb, err := el.constEval(v.LSB, sc)
+		if err != nil {
+			return nil, errf(v.Line, 0, "part-select bounds must be constant: %v", err)
+		}
+		if msb < lsb || int(msb) >= el.nl.Nets[idx].Width {
+			return nil, errf(v.Line, 0, "part-select [%d:%d] out of range for %q", msb, lsb, base.Name)
+		}
+		return []LRef{{Net: idx, IsPart: true, Lo: int(lsb), W: int(msb-lsb) + 1}}, nil
+
+	case *Concat:
+		var refs []LRef
+		for _, part := range v.Parts {
+			sub, err := el.compileLValue(part, sc)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, sub...)
+		}
+		return refs, nil
+	}
+	return nil, errf(exprLine(e), 0, "expression is not assignable")
+}
+
+// --- expression compilation ---
+
+func (el *elaborator) compileExpr(e Expr, sc *scope) (*EExpr, error) {
+	switch v := e.(type) {
+	case *Number:
+		w := v.Width
+		if w == 0 {
+			w = 32
+			if v.Value >= 1<<32 {
+				w = 64
+			}
+		}
+		return &EExpr{Op: OpConst, Val: v.Value & WidthMask(w), W: w}, nil
+
+	case *Ident:
+		if c, ok := sc.consts[v.Name]; ok {
+			return &EExpr{Op: OpConst, Val: c, W: 32}, nil
+		}
+		idx, ok := sc.netOf[v.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "reference to undeclared signal %q", v.Name)
+		}
+		return &EExpr{Op: OpNet, Net: idx, W: el.nl.Nets[idx].Width}, nil
+
+	case *Index:
+		base, ok := v.Base.(*Ident)
+		if !ok {
+			return nil, errf(v.Line, 0, "bit-select base must be a simple signal")
+		}
+		if _, isConst := sc.consts[base.Name]; isConst {
+			return nil, errf(v.Line, 0, "cannot bit-select parameter %q", base.Name)
+		}
+		idx, ok := sc.netOf[base.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "reference to undeclared signal %q", base.Name)
+		}
+		if c, err := el.constEval(v.Idx, sc); err == nil {
+			if int(c) >= el.nl.Nets[idx].Width {
+				return nil, errf(v.Line, 0, "bit index %d out of range for %q", c, base.Name)
+			}
+			return &EExpr{Op: OpPart, Net: idx, Lo: int(c), W: 1}, nil
+		}
+		bit, err := el.compileExpr(v.Idx, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &EExpr{Op: OpIndex, Net: idx, A: bit, W: 1}, nil
+
+	case *PartSelect:
+		base, ok := v.Base.(*Ident)
+		if !ok {
+			return nil, errf(v.Line, 0, "part-select base must be a simple signal")
+		}
+		idx, ok := sc.netOf[base.Name]
+		if !ok {
+			return nil, errf(v.Line, 0, "reference to undeclared signal %q", base.Name)
+		}
+		msb, err := el.constEval(v.MSB, sc)
+		if err != nil {
+			return nil, errf(v.Line, 0, "part-select bounds must be constant: %v", err)
+		}
+		lsb, err := el.constEval(v.LSB, sc)
+		if err != nil {
+			return nil, errf(v.Line, 0, "part-select bounds must be constant: %v", err)
+		}
+		if msb < lsb || int(msb) >= el.nl.Nets[idx].Width {
+			return nil, errf(v.Line, 0, "part-select [%d:%d] out of range for %q", msb, lsb, base.Name)
+		}
+		return &EExpr{Op: OpPart, Net: idx, Lo: int(lsb), W: int(msb-lsb) + 1}, nil
+
+	case *Unary:
+		x, err := el.compileExpr(v.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "~":
+			return &EExpr{Op: OpNot, A: x, W: x.W}, nil
+		case "!":
+			return &EExpr{Op: OpLogNot, A: x, W: 1}, nil
+		case "-":
+			return &EExpr{Op: OpNeg, A: x, W: x.W}, nil
+		case "&":
+			return &EExpr{Op: OpRedAnd, A: x, W: 1}, nil
+		case "|":
+			return &EExpr{Op: OpRedOr, A: x, W: 1}, nil
+		case "^":
+			return &EExpr{Op: OpRedXor, A: x, W: 1}, nil
+		case "~&":
+			return &EExpr{Op: OpRedNand, A: x, W: 1}, nil
+		case "~|":
+			return &EExpr{Op: OpRedNor, A: x, W: 1}, nil
+		case "~^", "^~":
+			return &EExpr{Op: OpRedXnor, A: x, W: 1}, nil
+		}
+		return nil, errf(v.Line, 0, "unsupported unary operator %q", v.Op)
+
+	case *Binary:
+		x, err := el.compileExpr(v.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		y, err := el.compileExpr(v.Y, sc)
+		if err != nil {
+			return nil, err
+		}
+		wmax := x.W
+		if y.W > wmax {
+			wmax = y.W
+		}
+		mk := func(op EOp, w int) *EExpr { return &EExpr{Op: op, A: x, B: y, W: w} }
+		switch v.Op {
+		case "+":
+			return mk(OpAdd, wmax), nil
+		case "-":
+			return mk(OpSub, wmax), nil
+		case "*":
+			return mk(OpMul, wmax), nil
+		case "/":
+			return mk(OpDiv, wmax), nil
+		case "%":
+			return mk(OpMod, wmax), nil
+		case "**":
+			return mk(OpPow, wmax), nil
+		case "&":
+			return mk(OpAnd, wmax), nil
+		case "|":
+			return mk(OpOr, wmax), nil
+		case "^":
+			return mk(OpXor, wmax), nil
+		case "~^", "^~":
+			return mk(OpXnor, wmax), nil
+		case "&&":
+			return mk(OpLogAnd, 1), nil
+		case "||":
+			return mk(OpLogOr, 1), nil
+		case "==", "===":
+			return mk(OpEq, 1), nil
+		case "!=", "!==":
+			return mk(OpNe, 1), nil
+		case "<":
+			return mk(OpLt, 1), nil
+		case "<=":
+			return mk(OpLe, 1), nil
+		case ">":
+			return mk(OpGt, 1), nil
+		case ">=":
+			return mk(OpGe, 1), nil
+		case "<<", "<<<":
+			return mk(OpShl, x.W), nil
+		case ">>", ">>>":
+			return mk(OpShr, x.W), nil
+		}
+		return nil, errf(v.Line, 0, "unsupported binary operator %q", v.Op)
+
+	case *Ternary:
+		cond, err := el.compileExpr(v.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		then, err := el.compileExpr(v.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		els, err := el.compileExpr(v.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		w := then.W
+		if els.W > w {
+			w = els.W
+		}
+		return &EExpr{Op: OpTernary, A: cond, B: then, C: els, W: w}, nil
+
+	case *Concat:
+		out := &EExpr{Op: OpConcat}
+		total := 0
+		for _, part := range v.Parts {
+			ce, err := el.compileExpr(part, sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, ce)
+			total += ce.W
+		}
+		if total > 64 {
+			return nil, errf(v.Line, 0, "concatenation wider than 64 bits")
+		}
+		out.W = total
+		return out, nil
+
+	case *Call:
+		return nil, errf(v.Line, 0, "system function %s is not allowed in design code", v.Name)
+
+	case *Repl:
+		count, err := el.constEval(v.Count, sc)
+		if err != nil {
+			return nil, errf(v.Line, 0, "replication count must be constant: %v", err)
+		}
+		val, err := el.compileExpr(v.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 || count*uint64(val.W) > 64 {
+			return nil, errf(v.Line, 0, "replication {%d{...}} must produce 1..64 bits", count)
+		}
+		out := &EExpr{Op: OpConcat, W: int(count) * val.W}
+		for i := uint64(0); i < count; i++ {
+			out.Parts = append(out.Parts, val)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("verilog: unsupported expression %T", e)
+}
+
+// --- constant evaluation ---
+
+func (el *elaborator) rangeWidth(r *Range, sc *scope, line int) (int, error) {
+	if r == nil {
+		return 1, nil
+	}
+	msb, err := el.constEval(r.MSB, sc)
+	if err != nil {
+		return 0, errf(line, 0, "range bound must be constant: %v", err)
+	}
+	lsb, err := el.constEval(r.LSB, sc)
+	if err != nil {
+		return 0, errf(line, 0, "range bound must be constant: %v", err)
+	}
+	if lsb > msb {
+		msb, lsb = lsb, msb
+	}
+	w := int(msb-lsb) + 1
+	if w <= 0 || w > 64 {
+		return 0, errf(line, 0, "vector range [%d:%d] is unsupported (width must be 1..64)", msb, lsb)
+	}
+	return w, nil
+}
+
+// constEval evaluates an expression that must be compile-time constant
+// (parameters, literals, and operators over them).
+func (el *elaborator) constEval(e Expr, sc *scope) (uint64, error) {
+	switch v := e.(type) {
+	case *Number:
+		return v.Value, nil
+	case *Ident:
+		if c, ok := sc.consts[v.Name]; ok {
+			return c, nil
+		}
+		return 0, errf(v.Line, 0, "%q is not a constant", v.Name)
+	case *Unary:
+		x, err := el.constEval(v.X, sc)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "~":
+			return ^x, nil
+		case "!":
+			return b2u(x == 0), nil
+		case "-":
+			return -x, nil
+		case "|":
+			return b2u(x != 0), nil
+		case "&":
+			return b2u(x == ^uint64(0)), nil
+		case "^":
+			return parity(x), nil
+		}
+		return 0, errf(v.Line, 0, "unary %q is not constant-evaluable", v.Op)
+	case *Binary:
+		x, err := el.constEval(v.X, sc)
+		if err != nil {
+			return 0, err
+		}
+		y, err := el.constEval(v.Y, sc)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, errf(v.Line, 0, "constant division by zero")
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, errf(v.Line, 0, "constant modulo by zero")
+			}
+			return x % y, nil
+		case "**":
+			return ipow(x, y), nil
+		case "<<", "<<<":
+			if y >= 64 {
+				return 0, nil
+			}
+			return x << y, nil
+		case ">>", ">>>":
+			if y >= 64 {
+				return 0, nil
+			}
+			return x >> y, nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		case "&&":
+			return b2u(x != 0 && y != 0), nil
+		case "||":
+			return b2u(x != 0 || y != 0), nil
+		case "==":
+			return b2u(x == y), nil
+		case "!=":
+			return b2u(x != y), nil
+		case "<":
+			return b2u(x < y), nil
+		case "<=":
+			return b2u(x <= y), nil
+		case ">":
+			return b2u(x > y), nil
+		case ">=":
+			return b2u(x >= y), nil
+		}
+		return 0, errf(v.Line, 0, "binary %q is not constant-evaluable", v.Op)
+	case *Ternary:
+		c, err := el.constEval(v.Cond, sc)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return el.constEval(v.Then, sc)
+		}
+		return el.constEval(v.Else, sc)
+	}
+	return 0, fmt.Errorf("verilog: expression is not constant")
+}

@@ -1,0 +1,136 @@
+package verilog
+
+// NBWrite is a resolved non-blocking write: the masked bits of one net to
+// update after all sequential processes of the current clock edge ran.
+type NBWrite struct {
+	Net  int
+	Mask uint64
+	Val  uint64 // already shifted into position and masked
+}
+
+// Apply commits the write into env.
+func (w NBWrite) Apply(env []uint64) {
+	env[w.Net] = (env[w.Net] &^ w.Mask) | (w.Val & w.Mask)
+}
+
+// resolveRef turns an LRef plus a value into a positioned (mask, val) pair.
+// Dynamic bit indices are evaluated now, matching Verilog's semantics of
+// evaluating the target index at assignment time.
+func resolveRef(l *LRef, netWidth int, v uint64, env []uint64) (mask, val uint64) {
+	switch {
+	case l.IsBit:
+		idx := l.BitIdx.Eval(env)
+		if idx >= uint64(netWidth) || idx >= 64 {
+			return 0, 0
+		}
+		return 1 << idx, (v & 1) << idx
+	case l.IsPart:
+		m := WidthMask(l.W) << uint(l.Lo)
+		return m, (v & WidthMask(l.W)) << uint(l.Lo)
+	default:
+		m := WidthMask(netWidth)
+		return m, v & m
+	}
+}
+
+// ExecStmt executes a compiled statement. Blocking assignments update env
+// immediately; non-blocking assignments are appended to *nba (which may be
+// nil only if the statement contains none). nets provides widths.
+func ExecStmt(s *EStmt, nets []*Net, env []uint64, nba *[]NBWrite) {
+	if s == nil {
+		return
+	}
+	switch s.Op {
+	case SBlock:
+		for _, sub := range s.Stmts {
+			ExecStmt(sub, nets, env, nba)
+		}
+
+	case SAssign:
+		v := s.RHS.Eval(env)
+		// For a concatenated LHS the refs are MSB-first; distribute from
+		// the LSB end.
+		if len(s.LHS) == 1 {
+			l := &s.LHS[0]
+			mask, val := resolveRef(l, nets[l.Net].Width, v, env)
+			if s.Blocking {
+				env[l.Net] = (env[l.Net] &^ mask) | val
+			} else {
+				*nba = append(*nba, NBWrite{Net: l.Net, Mask: mask, Val: val})
+			}
+			return
+		}
+		shift := uint(0)
+		for i := len(s.LHS) - 1; i >= 0; i-- {
+			l := &s.LHS[i]
+			w := refWidth(l, nets)
+			part := (v >> shift) & WidthMask(w)
+			mask, val := resolveRef(l, nets[l.Net].Width, part, env)
+			if s.Blocking {
+				env[l.Net] = (env[l.Net] &^ mask) | val
+			} else {
+				*nba = append(*nba, NBWrite{Net: l.Net, Mask: mask, Val: val})
+			}
+			shift += uint(w)
+		}
+
+	case SIf:
+		if s.Cond.Eval(env) != 0 {
+			ExecStmt(s.Then, nets, env, nba)
+		} else {
+			ExecStmt(s.Else, nets, env, nba)
+		}
+
+	case SCase:
+		subj := s.Subject.Eval(env)
+		if s.labelMap != nil {
+			if i, ok := s.labelMap[subj]; ok {
+				ExecStmt(s.Arms[i], nets, env, nba)
+			} else {
+				ExecStmt(s.Default, nets, env, nba)
+			}
+			return
+		}
+		for i, labels := range s.Labels {
+			for _, lab := range labels {
+				if subj&lab.mask == lab.value&lab.mask {
+					ExecStmt(s.Arms[i], nets, env, nba)
+					return
+				}
+			}
+		}
+		ExecStmt(s.Default, nets, env, nba)
+	}
+}
+
+// refWidth returns the number of bits an LRef covers.
+func refWidth(l *LRef, nets []*Net) int {
+	switch {
+	case l.IsBit:
+		return 1
+	case l.IsPart:
+		return l.W
+	default:
+		return nets[l.Net].Width
+	}
+}
+
+// ExecAssign executes a continuous assignment against env.
+func ExecAssign(a *CompiledAssign, nets []*Net, env []uint64) {
+	v := a.RHS.Eval(env)
+	if len(a.LHS) == 1 {
+		l := &a.LHS[0]
+		mask, val := resolveRef(l, nets[l.Net].Width, v, env)
+		env[l.Net] = (env[l.Net] &^ mask) | val
+		return
+	}
+	shift := uint(0)
+	for i := len(a.LHS) - 1; i >= 0; i-- {
+		l := &a.LHS[i]
+		w := refWidth(l, nets)
+		part := (v >> shift) & WidthMask(w)
+		mask, val := resolveRef(l, nets[l.Net].Width, part, env)
+		env[l.Net] = (env[l.Net] &^ mask) | val
+		shift += uint(w)
+	}
+}

@@ -1,0 +1,173 @@
+package verilog
+
+import "testing"
+
+func execComb(t *testing.T, src, top string, set map[string]uint64) (*Netlist, []uint64) {
+	t.Helper()
+	nl := mustElaborate(t, src, top)
+	env := make([]uint64, len(nl.Nets))
+	for name, v := range set {
+		idx := nl.NetIndex(name)
+		if idx < 0 {
+			t.Fatalf("no net %q", name)
+		}
+		env[idx] = v
+	}
+	var nba []NBWrite
+	for pass := 0; pass < 4; pass++ {
+		for i := range nl.Assigns {
+			ExecAssign(&nl.Assigns[i], nl.Nets, env)
+		}
+		for _, p := range nl.Combs {
+			ExecStmt(p.Body, nl.Nets, env, &nba)
+		}
+	}
+	return nl, env
+}
+
+func TestExecConcatAssignRHS(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [3:0] a, input [3:0] b, output [7:0] y);
+assign y = {a, b};
+endmodule`, "m", map[string]uint64{"a": 0xA, "b": 0x5})
+	if got := env[nl.NetIndex("y")]; got != 0xA5 {
+		t.Errorf("y = %#x, want 0xa5", got)
+	}
+}
+
+func TestExecConcatAssignLHSContinuous(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [7:0] d, output [3:0] hi, output [3:0] lo);
+assign {hi, lo} = d;
+endmodule`, "m", map[string]uint64{"d": 0x3C})
+	if env[nl.NetIndex("hi")] != 0x3 || env[nl.NetIndex("lo")] != 0xC {
+		t.Errorf("hi=%x lo=%x, want 3,c", env[nl.NetIndex("hi")], env[nl.NetIndex("lo")])
+	}
+}
+
+func TestExecTernaryAndReductions(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [3:0] a, output y, output z, output w);
+assign y = &a ? 1'b1 : 1'b0;
+assign z = ^a;
+assign w = ~|a;
+endmodule`, "m", map[string]uint64{"a": 0xF})
+	if env[nl.NetIndex("y")] != 1 {
+		t.Error("reduction-and of 0xF should be 1")
+	}
+	if env[nl.NetIndex("z")] != 0 {
+		t.Error("xor-reduction of 0xF should be 0")
+	}
+	if env[nl.NetIndex("w")] != 0 {
+		t.Error("nor-reduction of 0xF should be 0")
+	}
+}
+
+func TestExecDynamicBitReadOutOfRange(t *testing.T) {
+	// Reading past the vector yields 0 (two-valued model of x).
+	nl, env := execComb(t, `
+module m(input [3:0] a, input [2:0] i, output y);
+assign y = a[i];
+endmodule`, "m", map[string]uint64{"a": 0xF, "i": 6})
+	if env[nl.NetIndex("y")] != 0 {
+		t.Error("out-of-range dynamic bit read should give 0")
+	}
+}
+
+func TestExecShiftBeyondWidth(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [7:0] a, input [7:0] s, output [7:0] y, output [7:0] z);
+assign y = a << s;
+assign z = a >> s;
+endmodule`, "m", map[string]uint64{"a": 0xFF, "s": 100})
+	if env[nl.NetIndex("y")] != 0 || env[nl.NetIndex("z")] != 0 {
+		t.Error("shifts >= 64 must give 0")
+	}
+}
+
+func TestExecDivModByZero(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [7:0] a, input [7:0] b, output [7:0] q, output [7:0] r);
+assign q = a / b;
+assign r = a % b;
+endmodule`, "m", map[string]uint64{"a": 42, "b": 0})
+	if env[nl.NetIndex("q")] != 0 || env[nl.NetIndex("r")] != 0 {
+		t.Error("division by zero must give 0 in the two-valued model")
+	}
+}
+
+func TestExecCaseNoMatchNoDefault(t *testing.T) {
+	nl, env := execComb(t, `
+module m(input [2:0] s, output reg [3:0] y);
+always @(*)
+  case (s)
+    3'd0: y = 4'd1;
+    3'd1: y = 4'd2;
+  endcase
+endmodule`, "m", map[string]uint64{"s": 5})
+	// No arm, no default: y keeps its previous (zero) value.
+	if env[nl.NetIndex("y")] != 0 {
+		t.Errorf("y = %d, want unchanged 0", env[nl.NetIndex("y")])
+	}
+}
+
+func TestExecPartSelectWrite(t *testing.T) {
+	src := `
+module m(clk, d, q);
+input clk;
+input [3:0] d;
+output [7:0] q;
+reg [7:0] q;
+always @(posedge clk) begin
+  q[3:0] <= d;
+  q[7:4] <= ~d;
+end
+endmodule`
+	nl := mustElaborate(t, src, "m")
+	env := make([]uint64, len(nl.Nets))
+	env[nl.NetIndex("d")] = 0x6
+	var nba []NBWrite
+	ExecStmt(nl.Seqs[0].Body, nl.Nets, env, &nba)
+	for _, w := range nba {
+		w.Apply(env)
+	}
+	if got := env[nl.NetIndex("q")]; got != 0x96 {
+		t.Errorf("q = %#x, want 0x96", got)
+	}
+}
+
+func TestNetHelpers(t *testing.T) {
+	nl := mustElaborate(t, arbSrc, "arb2")
+	if nl.StateBits() != 1 || nl.InputBits() != 3 {
+		t.Errorf("state=%d input=%d bits", nl.StateBits(), nl.InputBits())
+	}
+	if !nl.IsSequential() {
+		t.Error("arbiter is sequential")
+	}
+	if nl.NetByName("ghost") != nil || nl.NetIndex("ghost") != -1 {
+		t.Error("lookup of missing net should fail")
+	}
+	n := nl.NetByName("gnt_")
+	if n.Mask() != 1 {
+		t.Errorf("1-bit mask = %#x", n.Mask())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := Lex(`foo 42 "str" module +`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{`identifier "foo"`, `number "42"`, `string "str"`, `keyword "module"`, `"+"`, "EOF"}
+	for i, w := range wants {
+		if toks[i].String() != w {
+			t.Errorf("token %d String = %q, want %q", i, toks[i].String(), w)
+		}
+	}
+}
+
+func TestPortDirString(t *testing.T) {
+	if DirInput.String() != "input" || DirOutput.String() != "output" || DirInout.String() != "inout" {
+		t.Error("PortDir.String wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package verilog
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q) failed: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexIdentifiersAndKeywords(t *testing.T) {
+	toks := lexKinds(t, "module foo_1; wire $display _x; endmodule")
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "module"}, {TokIdent, "foo_1"}, {TokSymbol, ";"},
+		{TokKeyword, "wire"}, {TokIdent, "$display"}, {TokIdent, "_x"},
+		{TokSymbol, ";"}, {TokKeyword, "endmodule"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want kind=%d text=%q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []string{"42", "8'hFF", "4'b10_10", "'d15", "3'o7", "1'bx", "16'hdead"}
+	for _, src := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].Kind != TokNumber || toks[0].Text != src {
+			t.Errorf("Lex(%q) = %v, want single number token", src, toks[0])
+		}
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lexKinds(t, "a <= b == c != d && e || ~^f << 2 |-> g |=> h ##1 i -> j")
+	var syms []string
+	for _, tok := range toks {
+		if tok.Kind == TokSymbol {
+			syms = append(syms, tok.Text)
+		}
+	}
+	want := []string{"<=", "==", "!=", "&&", "||", "~^", "<<", "|->", "|=>", "##", "->"}
+	if len(syms) != len(want) {
+		t.Fatalf("got symbols %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("symbol %d = %q, want %q", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment with module keyword
+a /* block
+   spanning lines */ b
+` + "`define FOO 1\n c"
+	toks := lexKinds(t, src)
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Text)
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[1] != "b" || idents[2] != "c" {
+		t.Fatalf("got idents %v, want [a b c]", idents)
+	}
+}
+
+func TestLexLineTracking(t *testing.T) {
+	toks := lexKinds(t, "a\nb\n  c")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Errorf("line numbers = %d,%d,%d, want 1,2,3", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+	if toks[2].Col != 3 {
+		t.Errorf("token c col = %d, want 3", toks[2].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"/* unterminated",
+		`"unterminated string`,
+		"8'q13",
+		"4'",
+	}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNumberLiteral(t *testing.T) {
+	cases := []struct {
+		src   string
+		val   uint64
+		width int
+	}{
+		{"42", 42, 0},
+		{"8'hFF", 255, 8},
+		{"4'b1010", 10, 4},
+		{"4'b10_10", 10, 4},
+		{"'d15", 15, 0},
+		{"1'bx", 0, 1},
+		{"4'bzz11", 3, 4},
+		{"3'd9", 1, 3}, // truncated to width
+		{"16'hBEEF", 0xBEEF, 16},
+	}
+	for _, c := range cases {
+		toks := lexKinds(t, c.src)
+		v, w, err := parseNumberLiteral(toks[0])
+		if err != nil {
+			t.Errorf("parseNumberLiteral(%q) failed: %v", c.src, err)
+			continue
+		}
+		if v != c.val || w != c.width {
+			t.Errorf("parseNumberLiteral(%q) = (%d,%d), want (%d,%d)", c.src, v, w, c.val, c.width)
+		}
+	}
+}
+
+func TestParseNumberLiteralErrors(t *testing.T) {
+	for _, src := range []string{"99'h0", "0'd1"} {
+		toks := lexKinds(t, src)
+		if _, _, err := parseNumberLiteral(toks[0]); err == nil {
+			t.Errorf("parseNumberLiteral(%q) succeeded, want width error", src)
+		}
+	}
+}

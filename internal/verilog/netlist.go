@@ -1,0 +1,380 @@
+package verilog
+
+import "fmt"
+
+// Net is one elaborated scalar or vector signal. Values are two-valued
+// bit vectors of Width <= 64 bits, stored masked in a uint64.
+type Net struct {
+	Name    string
+	Index   int
+	Width   int
+	IsInput bool
+	IsOut   bool
+	IsReg   bool // state element: written by an edge-triggered process
+	IsClock bool // used purely as an edge trigger
+	Line    int
+}
+
+// Mask returns the value mask for the net's width.
+func (n *Net) Mask() uint64 { return WidthMask(n.Width) }
+
+// WidthMask returns a mask with the low w bits set (w in 1..64).
+func WidthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// EOp enumerates compiled-expression operations.
+type EOp int
+
+// Compiled expression ops.
+const (
+	OpConst EOp = iota
+	OpNet
+	OpIndex // A = dynamic bit index into Net
+	OpPart  // static part select [Lo+W-1 : Lo] of Net
+	OpNot   // bitwise ~ masked to width
+	OpLogNot
+	OpNeg
+	OpRedAnd
+	OpRedOr
+	OpRedXor
+	OpRedNand
+	OpRedNor
+	OpRedXnor
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpAnd
+	OpOr
+	OpXor
+	OpXnor
+	OpLogAnd
+	OpLogOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpShl
+	OpShr
+	OpTernary // Cond=A ? B : C
+	OpConcat  // Parts, MSB first
+)
+
+// EExpr is a compiled expression over netlist indices. It is evaluated
+// against a value environment indexed by Net.Index.
+type EExpr struct {
+	Op    EOp
+	A, B  *EExpr
+	C     *EExpr
+	Parts []*EExpr
+	Net   int
+	Val   uint64
+	Lo    int // static part-select low bit
+	W     int // result width (1..64)
+}
+
+// Eval evaluates the expression in env (net index -> masked value).
+func (e *EExpr) Eval(env []uint64) uint64 {
+	switch e.Op {
+	case OpConst:
+		return e.Val
+	case OpNet:
+		return env[e.Net]
+	case OpIndex:
+		idx := e.A.Eval(env)
+		if idx >= 64 {
+			return 0
+		}
+		return (env[e.Net] >> idx) & 1
+	case OpPart:
+		return (env[e.Net] >> uint(e.Lo)) & WidthMask(e.W)
+	case OpNot:
+		return (^e.A.Eval(env)) & WidthMask(e.W)
+	case OpLogNot:
+		return b2u(e.A.Eval(env) == 0)
+	case OpNeg:
+		return (-e.A.Eval(env)) & WidthMask(e.W)
+	case OpRedAnd:
+		return b2u(e.A.Eval(env) == WidthMask(e.A.W))
+	case OpRedOr:
+		return b2u(e.A.Eval(env) != 0)
+	case OpRedXor:
+		return parity(e.A.Eval(env))
+	case OpRedNand:
+		return b2u(e.A.Eval(env) != WidthMask(e.A.W))
+	case OpRedNor:
+		return b2u(e.A.Eval(env) == 0)
+	case OpRedXnor:
+		return parity(e.A.Eval(env)) ^ 1
+	case OpAdd:
+		return (e.A.Eval(env) + e.B.Eval(env)) & WidthMask(e.W)
+	case OpSub:
+		return (e.A.Eval(env) - e.B.Eval(env)) & WidthMask(e.W)
+	case OpMul:
+		return (e.A.Eval(env) * e.B.Eval(env)) & WidthMask(e.W)
+	case OpDiv:
+		d := e.B.Eval(env)
+		if d == 0 {
+			return 0
+		}
+		return (e.A.Eval(env) / d) & WidthMask(e.W)
+	case OpMod:
+		d := e.B.Eval(env)
+		if d == 0 {
+			return 0
+		}
+		return (e.A.Eval(env) % d) & WidthMask(e.W)
+	case OpPow:
+		return ipow(e.A.Eval(env), e.B.Eval(env)) & WidthMask(e.W)
+	case OpAnd:
+		return e.A.Eval(env) & e.B.Eval(env)
+	case OpOr:
+		return e.A.Eval(env) | e.B.Eval(env)
+	case OpXor:
+		return e.A.Eval(env) ^ e.B.Eval(env)
+	case OpXnor:
+		return (^(e.A.Eval(env) ^ e.B.Eval(env))) & WidthMask(e.W)
+	case OpLogAnd:
+		return b2u(e.A.Eval(env) != 0 && e.B.Eval(env) != 0)
+	case OpLogOr:
+		return b2u(e.A.Eval(env) != 0 || e.B.Eval(env) != 0)
+	case OpEq:
+		return b2u(e.A.Eval(env) == e.B.Eval(env))
+	case OpNe:
+		return b2u(e.A.Eval(env) != e.B.Eval(env))
+	case OpLt:
+		return b2u(e.A.Eval(env) < e.B.Eval(env))
+	case OpLe:
+		return b2u(e.A.Eval(env) <= e.B.Eval(env))
+	case OpGt:
+		return b2u(e.A.Eval(env) > e.B.Eval(env))
+	case OpGe:
+		return b2u(e.A.Eval(env) >= e.B.Eval(env))
+	case OpShl:
+		s := e.B.Eval(env)
+		if s >= 64 {
+			return 0
+		}
+		return (e.A.Eval(env) << s) & WidthMask(e.W)
+	case OpShr:
+		s := e.B.Eval(env)
+		if s >= 64 {
+			return 0
+		}
+		return e.A.Eval(env) >> s
+	case OpTernary:
+		if e.A.Eval(env) != 0 {
+			return e.B.Eval(env)
+		}
+		return e.C.Eval(env)
+	case OpConcat:
+		var v uint64
+		for _, part := range e.Parts {
+			v = (v << uint(part.W)) | (part.Eval(env) & WidthMask(part.W))
+		}
+		return v & WidthMask(e.W)
+	}
+	panic(fmt.Sprintf("verilog: unknown expression op %d", e.Op))
+}
+
+// Support appends the indices of all nets read by e to dst.
+func (e *EExpr) Support(dst map[int]bool) {
+	switch e.Op {
+	case OpConst:
+	case OpNet, OpPart:
+		dst[e.Net] = true
+	case OpIndex:
+		dst[e.Net] = true
+		e.A.Support(dst)
+	case OpConcat:
+		for _, p := range e.Parts {
+			p.Support(dst)
+		}
+	default:
+		if e.A != nil {
+			e.A.Support(dst)
+		}
+		if e.B != nil {
+			e.B.Support(dst)
+		}
+		if e.C != nil {
+			e.C.Support(dst)
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func parity(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+func ipow(base, exp uint64) uint64 {
+	var r uint64 = 1
+	for exp > 0 {
+		if exp&1 == 1 {
+			r *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return r
+}
+
+// LRef is a compiled assignable reference: a whole net, a static part, or a
+// dynamically indexed bit of a net.
+type LRef struct {
+	Net    int
+	IsBit  bool   // dynamic single-bit select
+	BitIdx *EExpr // evaluated at runtime when IsBit
+	IsPart bool   // static part select
+	Lo     int
+	W      int // width written (net width unless bit/part)
+}
+
+// Assign writes value v through the reference into env.
+func (l *LRef) Assign(env []uint64, netWidth int, v uint64) {
+	switch {
+	case l.IsBit:
+		idx := l.BitIdx.Eval(env)
+		if idx >= uint64(netWidth) || idx >= 64 {
+			return
+		}
+		bit := v & 1
+		env[l.Net] = (env[l.Net] &^ (1 << idx)) | (bit << idx)
+	case l.IsPart:
+		mask := WidthMask(l.W) << uint(l.Lo)
+		env[l.Net] = (env[l.Net] &^ mask) | ((v & WidthMask(l.W)) << uint(l.Lo))
+	default:
+		env[l.Net] = v & WidthMask(netWidth)
+	}
+}
+
+// SOp enumerates compiled-statement kinds.
+type SOp int
+
+// Compiled statement kinds.
+const (
+	SAssign SOp = iota
+	SIf
+	SCase
+	SBlock
+)
+
+// EStmt is a compiled behavioural statement.
+type EStmt struct {
+	Op       SOp
+	LHS      []LRef // assignment targets, MSB-first for concatenated LHS
+	RHS      *EExpr
+	Blocking bool
+	Cond     *EExpr
+	Then     *EStmt
+	Else     *EStmt
+	Subject  *EExpr
+	Labels   [][]caseLabel // one label list per arm
+	Arms     []*EStmt
+	Default  *EStmt
+	Stmts    []*EStmt
+	Line     int
+	// labelMap accelerates dense case statements (value -> arm index);
+	// built at elaboration when every label is an exact match.
+	labelMap map[uint64]int
+}
+
+type caseLabel struct {
+	value uint64
+	mask  uint64 // bits to compare (for casez/casex wildcards mask excludes z/x)
+}
+
+// Process is an elaborated always block.
+type Process struct {
+	Seq  bool // edge-triggered (state-updating) vs combinational
+	Body *EStmt
+	// Writes lists the nets assigned anywhere in the body.
+	Writes []int
+	// Reads lists the nets read anywhere in the body.
+	Reads []int
+	Line  int
+}
+
+// CompiledAssign is a continuous assignment.
+type CompiledAssign struct {
+	LHS  []LRef
+	RHS  *EExpr
+	Line int
+}
+
+// Netlist is a flattened, elaborated design.
+type Netlist struct {
+	Name    string
+	Nets    []*Net
+	byName  map[string]int
+	Inputs  []int // data inputs (excluding clocks)
+	Clocks  []int
+	Outputs []int
+	Regs    []int
+	Assigns []CompiledAssign
+	Combs   []*Process
+	Seqs    []*Process
+	// CombOrder is the topologically sorted evaluation order over the
+	// combined list of Assigns (indices 0..len(Assigns)-1) and Combs
+	// (indices len(Assigns)..). Empty when the comb logic is cyclic, in
+	// which case the simulator falls back to fixpoint iteration.
+	CombOrder []int
+}
+
+// NetByName returns the net with the given flattened name, or nil.
+func (nl *Netlist) NetByName(name string) *Net {
+	if i, ok := nl.byName[name]; ok {
+		return nl.Nets[i]
+	}
+	return nil
+}
+
+// NetIndex returns the index of the named net, or -1.
+func (nl *Netlist) NetIndex(name string) int {
+	if i, ok := nl.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// StateBits returns the total number of register bits.
+func (nl *Netlist) StateBits() int {
+	total := 0
+	for _, i := range nl.Regs {
+		total += nl.Nets[i].Width
+	}
+	return total
+}
+
+// InputBits returns the total number of data-input bits.
+func (nl *Netlist) InputBits() int {
+	total := 0
+	for _, i := range nl.Inputs {
+		total += nl.Nets[i].Width
+	}
+	return total
+}
+
+// IsSequential reports whether the design has any state element.
+func (nl *Netlist) IsSequential() bool { return len(nl.Regs) > 0 }

@@ -1,0 +1,1053 @@
+package verilog
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a full source file.
+func Parse(src string) (*SourceFile, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	file := &SourceFile{}
+	for !p.atEOF() {
+		if !p.isKeyword("module") {
+			return nil, errf(p.cur().Line, p.cur().Col, "expected 'module', got %s", p.cur())
+		}
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		file.Modules = append(file.Modules, m)
+	}
+	if len(file.Modules) == 0 {
+		return nil, errf(1, 1, "no modules in source")
+	}
+	return file, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) isSymbol(s string) bool {
+	t := p.cur()
+	return t.Kind == TokSymbol && t.Text == s
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		t := p.cur()
+		return errf(t.Line, t.Col, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		t := p.cur()
+		return errf(t.Line, t.Col, "expected %q, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, got %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// parseModule parses 'module' name [#(params)] (ports); body 'endmodule'.
+func (p *Parser) parseModule() (*Module, error) {
+	kw := p.next() // 'module'
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.Text, Line: kw.Line}
+	ports := map[string]*Port{}
+
+	// Optional parameter port list: #(parameter A = 1, ...)
+	if p.acceptSymbol("#") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		for {
+			p.acceptKeyword("parameter")
+			p.acceptRangeSkip()
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, &Param{Name: pn.Text, Value: val, Line: pn.Line})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Port list.
+	if p.acceptSymbol("(") {
+		if !p.isSymbol(")") {
+			if err := p.parsePortList(m, ports); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+
+	// Body.
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokEOF:
+			return nil, errf(t.Line, t.Col, "unexpected EOF inside module %q", m.Name)
+		case p.acceptKeyword("endmodule"):
+			return m, nil
+		case p.isKeyword("input") || p.isKeyword("output") || p.isKeyword("inout"):
+			if err := p.parsePortDecl(m, ports); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("wire") || p.isKeyword("reg") || p.isKeyword("integer"):
+			if err := p.parseNetDecl(m, ports); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("parameter") || p.isKeyword("localparam"):
+			if err := p.parseParamDecl(m); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("assign"):
+			if err := p.parseAssignItem(m); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("always"):
+			if err := p.parseAlwaysItem(m); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("initial"):
+			line := p.next().Line
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			m.Items = append(m.Items, &InitialItem{Body: body, Line: line})
+		case t.Kind == TokIdent:
+			if err := p.parseInstance(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(t.Line, t.Col, "unexpected %s in module body", t)
+		}
+	}
+}
+
+// acceptRangeSkip consumes an optional [a:b] range without recording it
+// (used for parameter ranges, which we ignore).
+func (p *Parser) acceptRangeSkip() {
+	if !p.isSymbol("[") {
+		return
+	}
+	depth := 0
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return
+		}
+		if t.Kind == TokSymbol && t.Text == "[" {
+			depth++
+		}
+		if t.Kind == TokSymbol && t.Text == "]" {
+			depth--
+			p.next()
+			if depth == 0 {
+				return
+			}
+			continue
+		}
+		p.next()
+	}
+}
+
+// parsePortList parses the header port list, either ANSI (with directions)
+// or classic (names only).
+func (p *Parser) parsePortList(m *Module, ports map[string]*Port) error {
+	var lastDir PortDir
+	var lastRange *Range
+	var lastReg bool
+	haveDir := false
+	for {
+		if p.isKeyword("input") || p.isKeyword("output") || p.isKeyword("inout") {
+			t := p.next()
+			switch t.Text {
+			case "input":
+				lastDir = DirInput
+			case "output":
+				lastDir = DirOutput
+			default:
+				lastDir = DirInout
+			}
+			lastReg = p.acceptKeyword("reg")
+			p.acceptKeyword("wire")
+			p.acceptKeyword("signed")
+			var err error
+			lastRange, err = p.acceptRange()
+			if err != nil {
+				return err
+			}
+			haveDir = true
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		port := &Port{Name: name.Text, Line: name.Line}
+		if haveDir {
+			port.Dir = lastDir
+			port.Range = lastRange
+			port.IsReg = lastReg
+		} else {
+			port.Dir = DirInput // provisional; fixed by a body declaration
+		}
+		m.Ports = append(m.Ports, port)
+		ports[port.Name] = port
+		if !p.acceptSymbol(",") {
+			return nil
+		}
+	}
+}
+
+// acceptRange parses an optional [msb:lsb].
+func (p *Parser) acceptRange() (*Range, error) {
+	if !p.acceptSymbol("[") {
+		return nil, nil
+	}
+	msb, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return nil, err
+	}
+	lsb, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return nil, err
+	}
+	return &Range{MSB: msb, LSB: lsb}, nil
+}
+
+// parsePortDecl parses a body-level input/output/inout declaration.
+func (p *Parser) parsePortDecl(m *Module, ports map[string]*Port) error {
+	t := p.next()
+	var dir PortDir
+	switch t.Text {
+	case "input":
+		dir = DirInput
+	case "output":
+		dir = DirOutput
+	default:
+		dir = DirInout
+	}
+	isReg := p.acceptKeyword("reg")
+	p.acceptKeyword("wire")
+	p.acceptKeyword("signed")
+	rng, err := p.acceptRange()
+	if err != nil {
+		return err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		port, ok := ports[name.Text]
+		if !ok {
+			// Tolerate declarations for names missing from the header:
+			// add them as ports (some OpenCores-style sources do this).
+			port = &Port{Name: name.Text, Line: name.Line}
+			m.Ports = append(m.Ports, port)
+			ports[name.Text] = port
+		}
+		port.Dir = dir
+		port.Range = rng
+		port.IsReg = port.IsReg || isReg
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return p.expectSymbol(";")
+}
+
+// parseNetDecl parses wire/reg/integer declarations, with optional init.
+func (p *Parser) parseNetDecl(m *Module, ports map[string]*Port) error {
+	t := p.next()
+	var kind DeclKind
+	switch t.Text {
+	case "wire":
+		kind = DeclWire
+	case "reg":
+		kind = DeclReg
+	default:
+		kind = DeclInteger
+	}
+	p.acceptKeyword("signed")
+	rng, err := p.acceptRange()
+	if err != nil {
+		return err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		// reg declarations for ports mark the port as a reg.
+		if port, ok := ports[name.Text]; ok && kind == DeclReg {
+			port.IsReg = true
+			if rng != nil && port.Range == nil {
+				port.Range = rng
+			}
+		} else {
+			d := &Decl{Kind: kind, Name: name.Text, Range: rng, Line: name.Line}
+			// Memories (reg [..] name [..]) are rejected: arrays are outside
+			// the subset, except that we tolerate and flatten 1-entry ones.
+			if p.isSymbol("[") {
+				return errf(name.Line, 0, "memory arrays are not supported (signal %q)", name.Text)
+			}
+			if p.acceptSymbol("=") {
+				init, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				d.Init = init
+			}
+			m.Decls = append(m.Decls, d)
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return p.expectSymbol(";")
+}
+
+// parseParamDecl parses parameter/localparam declarations in the body.
+func (p *Parser) parseParamDecl(m *Module) error {
+	t := p.next()
+	local := t.Text == "localparam"
+	p.acceptRangeSkip()
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, &Param{Name: name.Text, Value: val, Local: local, Line: name.Line})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return p.expectSymbol(";")
+}
+
+func (p *Parser) parseAssignItem(m *Module) error {
+	p.next() // 'assign'
+	for {
+		lhs, err := p.parsePrimaryLValue()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Items = append(m.Items, &AssignItem{LHS: lhs, RHS: rhs, Line: exprLine(lhs)})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return p.expectSymbol(";")
+}
+
+// parsePrimaryLValue parses an assignable expression: identifier with
+// optional bit/part select, or a concatenation of such.
+func (p *Parser) parsePrimaryLValue() (Expr, error) {
+	if p.isSymbol("{") {
+		line := p.next().Line
+		var parts []Expr
+		for {
+			e, err := p.parsePrimaryLValue()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		return &Concat{Parts: parts, Line: line}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var e Expr = &Ident{Name: name.Text, Line: name.Line}
+	if p.acceptSymbol("[") {
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptSymbol(":") {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = &PartSelect{Base: e, MSB: first, LSB: lsb, Line: name.Line}
+		} else {
+			e = &Index{Base: e, Idx: first, Line: name.Line}
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) parseAlwaysItem(m *Module) error {
+	line := p.next().Line // 'always'
+	item := &AlwaysItem{Line: line}
+	if p.acceptSymbol("@") {
+		if p.acceptSymbol("*") {
+			item.Star = true
+		} else {
+			if err := p.expectSymbol("("); err != nil {
+				return err
+			}
+			if p.acceptSymbol("*") {
+				item.Star = true
+			} else {
+				for {
+					ev := EventExpr{Edge: EdgeNone, Line: p.cur().Line}
+					if p.acceptKeyword("posedge") {
+						ev.Edge = EdgePos
+					} else if p.acceptKeyword("negedge") {
+						ev.Edge = EdgeNeg
+					}
+					sig, err := p.expectIdent()
+					if err != nil {
+						return err
+					}
+					ev.Signal = sig.Text
+					item.Events = append(item.Events, ev)
+					if p.acceptSymbol(",") || p.acceptKeyword("or") {
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return err
+			}
+		}
+	} else {
+		return errf(line, 0, "always block without event control is not supported")
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return err
+	}
+	item.Body = body
+	m.Items = append(m.Items, item)
+	return nil
+}
+
+// parseInstance parses module instantiation:
+// name [#(overrides)] inst ( .a(x), .b(y) ); or positional connections.
+func (p *Parser) parseInstance(m *Module) error {
+	modName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst := &InstanceItem{ModName: modName.Text, Line: modName.Line,
+		Params: map[string]Expr{}, Conns: map[string]Expr{}}
+	if p.acceptSymbol("#") {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		if err := p.parseConnList(inst.Params, &inst.ParamsPos); err != nil {
+			return err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	instName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst.InstName = instName.Text
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	if !p.isSymbol(")") {
+		if err := p.parseConnList(inst.Conns, &inst.ConnsPos); err != nil {
+			return err
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	m.Items = append(m.Items, inst)
+	return nil
+}
+
+func (p *Parser) parseConnList(named map[string]Expr, positional *[]Expr) error {
+	for {
+		if p.acceptSymbol(".") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return err
+			}
+			if p.isSymbol(")") {
+				named[name.Text] = nil // open connection
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				named[name.Text] = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			*positional = append(*positional, e)
+		}
+		if !p.acceptSymbol(",") {
+			return nil
+		}
+	}
+}
+
+// --- statements ---
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.acceptKeyword("begin"):
+		blk := &BlockStmt{Line: t.Line}
+		// Optional block label: begin : name
+		if p.acceptSymbol(":") {
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		for !p.isKeyword("end") {
+			if p.atEOF() {
+				return nil, errf(t.Line, t.Col, "unterminated begin block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		p.next() // 'end'
+		return blk, nil
+
+	case p.acceptKeyword("if"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.acceptKeyword("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.isKeyword("case") || p.isKeyword("casez") || p.isKeyword("casex"):
+		kw := p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		subj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st := &CaseStmt{Subject: subj, Wild: kw.Text != "case", Line: kw.Line}
+		for !p.isKeyword("endcase") {
+			if p.atEOF() {
+				return nil, errf(kw.Line, kw.Col, "unterminated case statement")
+			}
+			if p.acceptKeyword("default") {
+				p.acceptSymbol(":")
+				body, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Default = body
+				continue
+			}
+			var labels []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, e)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Items = append(st.Items, CaseItem{Labels: labels, Body: body})
+		}
+		p.next() // 'endcase'
+		return st, nil
+
+	case p.acceptKeyword("for"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		init, err := p.parseSimpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		step, err := p.parseSimpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Step: step, Body: body, Line: t.Line}, nil
+
+	case p.isSymbol(";"):
+		p.next()
+		return &NullStmt{Line: t.Line}, nil
+
+	default:
+		st, err := p.parseSimpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// parseSimpleAssign parses lhs = rhs or lhs <= rhs (no trailing semicolon).
+func (p *Parser) parseSimpleAssign() (*AssignStmt, error) {
+	lhs, err := p.parsePrimaryLValue()
+	if err != nil {
+		return nil, err
+	}
+	blocking := true
+	if p.acceptSymbol("<=") {
+		blocking = false
+	} else if !p.acceptSymbol("=") {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "expected '=' or '<=', got %s", t)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, RHS: rhs, Blocking: blocking, Line: exprLine(lhs)}, nil
+}
+
+// --- expressions ---
+
+// Binary operator precedence, loosest first. Matches Verilog-2001.
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4, "~^": 4, "^~": 4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+	"**": 11,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("?") {
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Cond: cond, Then: then, Else: els, Line: exprLine(cond)}, nil
+	}
+	return cond, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokSymbol {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, X: lhs, Y: rhs, Line: t.Line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^", "^~":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &Unary{Op: t.Text, X: x, Line: t.Line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("[") {
+		line := p.next().Line
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptSymbol(":") {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = &PartSelect{Base: e, MSB: first, LSB: lsb, Line: line}
+		} else {
+			e = &Index{Base: e, Idx: first, Line: line}
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		val, width, err := parseNumberLiteral(t)
+		if err != nil {
+			return nil, err
+		}
+		return &Number{Value: val, Width: width, Line: t.Line}, nil
+
+	case t.Kind == TokIdent:
+		p.next()
+		if t.Text[0] == '$' && p.isSymbol("(") {
+			p.next()
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.isSymbol(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+
+	case p.acceptSymbol("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.isSymbol("{"):
+		return p.parseConcat()
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, got %s", t)
+}
+
+// parseConcat parses {a,b,...} and replication {n{v}}.
+func (p *Parser) parseConcat() (Expr, error) {
+	line := p.next().Line // '{'
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isSymbol("{") {
+		// Replication: {count{value}} — value may itself be a concat list.
+		p.next()
+		var parts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		var value Expr
+		if len(parts) == 1 {
+			value = parts[0]
+		} else {
+			value = &Concat{Parts: parts, Line: line}
+		}
+		return &Repl{Count: first, Value: value, Line: line}, nil
+	}
+	parts := []Expr{first}
+	for p.acceptSymbol(",") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Concat{Parts: parts, Line: line}, nil
+}
+
+// parseNumberLiteral interprets a numeric literal token. x/z/? digits are
+// mapped to 0 (two-valued semantics, documented in internal/sim).
+func parseNumberLiteral(t Token) (uint64, int, error) {
+	text := strings.ReplaceAll(t.Text, "_", "")
+	apos := strings.IndexByte(text, '\'')
+	if apos < 0 {
+		v, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return 0, 0, errf(t.Line, t.Col, "invalid decimal literal %q", t.Text)
+		}
+		return v, 0, nil
+	}
+	width := 0
+	if apos > 0 {
+		w, err := strconv.Atoi(text[:apos])
+		if err != nil || w <= 0 || w > 64 {
+			return 0, 0, errf(t.Line, t.Col, "unsupported literal width in %q (must be 1..64)", t.Text)
+		}
+		width = w
+	}
+	rest := text[apos+1:]
+	if rest != "" && (rest[0] == 's' || rest[0] == 'S') {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return 0, 0, errf(t.Line, t.Col, "malformed literal %q", t.Text)
+	}
+	base := rest[0]
+	digits := rest[1:]
+	// Map unknown digits to 0.
+	mapped := strings.Map(func(r rune) rune {
+		switch r {
+		case 'x', 'X', 'z', 'Z', '?':
+			return '0'
+		}
+		return r
+	}, digits)
+	var radix int
+	switch base {
+	case 'b', 'B':
+		radix = 2
+	case 'o', 'O':
+		radix = 8
+	case 'd', 'D':
+		radix = 10
+	case 'h', 'H':
+		radix = 16
+	default:
+		return 0, 0, errf(t.Line, t.Col, "invalid base in literal %q", t.Text)
+	}
+	v, err := strconv.ParseUint(mapped, radix, 64)
+	if err != nil {
+		return 0, 0, errf(t.Line, t.Col, "invalid digits in literal %q", t.Text)
+	}
+	if width > 0 && width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	return v, width, nil
+}

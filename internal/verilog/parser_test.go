@@ -1,0 +1,263 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// arbSrc is the 2-port arbiter of the paper's Fig. 1 (with its 're2' typo
+// corrected).
+const arbSrc = `
+module arb2(clk, rst, req1, req2, gnt1, gnt2);
+input clk, rst, req1, req2;
+output gnt1, gnt2;
+reg gnt_, gnt1, gnt2;
+always @(posedge clk or posedge rst)
+  if (rst)
+    gnt_ <= 0;
+  else
+    gnt_ <= gnt1;
+always @(*)
+  if (gnt_)
+    begin
+      gnt1 = req1 & req2;
+      gnt2 = req2;
+    end
+  else
+    begin
+      gnt1 = req1;
+      gnt2 = req2 & ~req1;
+    end
+endmodule
+`
+
+func mustParse(t *testing.T, src string) *SourceFile {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return f
+}
+
+func TestParseArbiter(t *testing.T) {
+	f := mustParse(t, arbSrc)
+	m := f.FindModule("arb2")
+	if m == nil {
+		t.Fatal("module arb2 not found")
+	}
+	if len(m.Ports) != 6 {
+		t.Fatalf("got %d ports, want 6", len(m.Ports))
+	}
+	if m.Ports[0].Name != "clk" || m.Ports[0].Dir != DirInput {
+		t.Errorf("port 0 = %v %v, want input clk", m.Ports[0].Name, m.Ports[0].Dir)
+	}
+	if m.Ports[4].Name != "gnt1" || m.Ports[4].Dir != DirOutput || !m.Ports[4].IsReg {
+		t.Errorf("gnt1 should be an output reg")
+	}
+	if len(m.Items) != 2 {
+		t.Fatalf("got %d items, want 2 always blocks", len(m.Items))
+	}
+	seq, ok := m.Items[0].(*AlwaysItem)
+	if !ok || len(seq.Events) != 2 || seq.Events[0].Edge != EdgePos {
+		t.Fatalf("first item should be posedge always, got %#v", m.Items[0])
+	}
+	comb, ok := m.Items[1].(*AlwaysItem)
+	if !ok || !comb.Star {
+		t.Fatalf("second item should be always @(*)")
+	}
+}
+
+func TestParseANSIPortsAndParams(t *testing.T) {
+	src := `
+module fifo #(parameter DEPTH = 8, parameter WIDTH = 16) (
+  input wire clk,
+  input wire [WIDTH-1:0] din,
+  output reg [WIDTH-1:0] dout,
+  output full
+);
+  assign full = 1'b0;
+  always @(posedge clk) dout <= din;
+endmodule
+`
+	f := mustParse(t, src)
+	m := f.Modules[0]
+	if len(m.Params) != 2 || m.Params[0].Name != "DEPTH" || m.Params[1].Name != "WIDTH" {
+		t.Fatalf("params = %v", m.Params)
+	}
+	if len(m.Ports) != 4 {
+		t.Fatalf("got %d ports, want 4", len(m.Ports))
+	}
+	if m.Ports[1].Range == nil {
+		t.Error("din should have a range")
+	}
+	if !m.Ports[2].IsReg {
+		t.Error("dout should be a reg")
+	}
+}
+
+func TestParseCaseAndOperators(t *testing.T) {
+	src := `
+module alu(input [1:0] op, input [7:0] a, b, output reg [7:0] y);
+always @(*)
+  case (op)
+    2'b00: y = a + b;
+    2'b01: y = a - b;
+    2'b10: y = a & b;
+    default: y = (a > b) ? a : b;
+  endcase
+endmodule
+`
+	f := mustParse(t, src)
+	m := f.Modules[0]
+	always := m.Items[0].(*AlwaysItem)
+	cs, ok := always.Body.(*CaseStmt)
+	if !ok {
+		t.Fatalf("body is %T, want case", always.Body)
+	}
+	if len(cs.Items) != 3 || cs.Default == nil {
+		t.Fatalf("case has %d arms, default=%v", len(cs.Items), cs.Default != nil)
+	}
+}
+
+func TestParsePortListSharedRange(t *testing.T) {
+	// "input [7:0] a, b" must give both ports the range.
+	f := mustParse(t, `module m(input [7:0] a, b, output y); assign y = a[0] ^ b[7]; endmodule`)
+	m := f.Modules[0]
+	if m.Ports[0].Range == nil || m.Ports[1].Range == nil {
+		t.Fatal("both a and b should carry the [7:0] range")
+	}
+	if m.Ports[2].Range != nil {
+		t.Fatal("y should be scalar")
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	src := `
+module half_adder(input a, b, output s, c);
+  assign s = a ^ b;
+  assign c = a & b;
+endmodule
+module full_adder(input a, b, cin, output sum, cout);
+  wire s1, c1, c2;
+  half_adder ha1 (.a(a), .b(b), .s(s1), .c(c1));
+  half_adder ha2 (s1, cin, sum, c2);
+  assign cout = c1 | c2;
+endmodule
+`
+	f := mustParse(t, src)
+	fa := f.FindModule("full_adder")
+	if fa == nil {
+		t.Fatal("full_adder not found")
+	}
+	var insts []*InstanceItem
+	for _, it := range fa.Items {
+		if inst, ok := it.(*InstanceItem); ok {
+			insts = append(insts, inst)
+		}
+	}
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances, want 2", len(insts))
+	}
+	if len(insts[0].Conns) != 4 {
+		t.Errorf("named instance has %d connections, want 4", len(insts[0].Conns))
+	}
+	if len(insts[1].ConnsPos) != 4 {
+		t.Errorf("positional instance has %d connections, want 4", len(insts[1].ConnsPos))
+	}
+}
+
+func TestParseConcatAndReplication(t *testing.T) {
+	f := mustParse(t, `module m(input [3:0] a, output [7:0] y, output [7:0] z);
+  assign y = {a, 4'b0};
+  assign z = {2{a}};
+endmodule`)
+	items := f.Modules[0].Items
+	if _, ok := items[0].(*AssignItem).RHS.(*Concat); !ok {
+		t.Errorf("y rhs is %T, want Concat", items[0].(*AssignItem).RHS)
+	}
+	if _, ok := items[1].(*AssignItem).RHS.(*Repl); !ok {
+		t.Errorf("z rhs is %T, want Repl", items[1].(*AssignItem).RHS)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `module m(input a, b, c, output y); assign y = a || b && c; endmodule`)
+	rhs := f.Modules[0].Items[0].(*AssignItem).RHS
+	bin, ok := rhs.(*Binary)
+	if !ok || bin.Op != "||" {
+		t.Fatalf("top operator = %v, want ||", rhs)
+	}
+	inner, ok := bin.Y.(*Binary)
+	if !ok || inner.Op != "&&" {
+		t.Fatalf("rhs of || should be &&, got %v", bin.Y)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"wire w;", "expected 'module'"},
+		{"module m(; endmodule", "expected identifier"},
+		{"module m(a); input a endmodule", `expected ";"`},
+		{"module m(a); always begin end endmodule", "event control"},
+		{"module m(a); assign = 1; endmodule", "expected identifier"},
+		{"module m(a); reg [3:0] mem [0:7]; endmodule", "memory arrays"},
+		{"module m(a); if (a) ; endmodule", "unexpected"},
+		{"module m(a,b); assign a = b ? 1; endmodule", `expected ":"`},
+		{"module m(a);", "unexpected EOF"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q, want it to contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseSystemCall(t *testing.T) {
+	toks, err := Lex("$past(count, 2) == 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewTokenParser(toks)
+	e, err := p.ParseExpression()
+	if err != nil {
+		t.Fatalf("ParseExpression failed: %v", err)
+	}
+	bin, ok := e.(*Binary)
+	if !ok || bin.Op != "==" {
+		t.Fatalf("top = %v, want ==", e)
+	}
+	call, ok := bin.X.(*Call)
+	if !ok || call.Name != "$past" || len(call.Args) != 2 {
+		t.Fatalf("lhs = %#v, want $past call with 2 args", bin.X)
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	src := `
+module parity8(input [7:0] d, output reg p);
+integer i;
+always @(*) begin
+  p = 0;
+  for (i = 0; i < 8; i = i + 1)
+    p = p ^ d[i];
+end
+endmodule
+`
+	f := mustParse(t, src)
+	blk := f.Modules[0].Items[0].(*AlwaysItem).Body.(*BlockStmt)
+	if len(blk.Stmts) != 2 {
+		t.Fatalf("block has %d statements, want 2", len(blk.Stmts))
+	}
+	if _, ok := blk.Stmts[1].(*ForStmt); !ok {
+		t.Fatalf("second statement is %T, want for", blk.Stmts[1])
+	}
+}

@@ -1,0 +1,139 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an AST expression in canonical Verilog concrete
+// syntax. Parentheses are inserted conservatively (every binary and
+// ternary operand group is parenthesized), which round-trips through the
+// parser unchanged in meaning.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch v := e.(type) {
+	case *Ident:
+		sb.WriteString(v.Name)
+	case *Number:
+		if v.Width > 0 {
+			fmt.Fprintf(sb, "%d'h%x", v.Width, v.Value)
+		} else {
+			fmt.Fprintf(sb, "%d", v.Value)
+		}
+	case *Unary:
+		sb.WriteString(v.Op)
+		// A nested unary must be parenthesized: "&&a" would re-lex as the
+		// '&&' operator.
+		if _, nested := v.X.(*Unary); nested {
+			sb.WriteByte('(')
+			writeExpr(sb, v.X)
+			sb.WriteByte(')')
+		} else {
+			writeOperand(sb, v.X)
+		}
+	case *Binary:
+		writeOperand(sb, v.X)
+		sb.WriteByte(' ')
+		sb.WriteString(v.Op)
+		sb.WriteByte(' ')
+		writeOperand(sb, v.Y)
+	case *Ternary:
+		writeOperand(sb, v.Cond)
+		sb.WriteString(" ? ")
+		writeOperand(sb, v.Then)
+		sb.WriteString(" : ")
+		writeOperand(sb, v.Else)
+	case *Index:
+		writeExpr(sb, v.Base)
+		sb.WriteByte('[')
+		writeExpr(sb, v.Idx)
+		sb.WriteByte(']')
+	case *PartSelect:
+		writeExpr(sb, v.Base)
+		sb.WriteByte('[')
+		writeExpr(sb, v.MSB)
+		sb.WriteByte(':')
+		writeExpr(sb, v.LSB)
+		sb.WriteByte(']')
+	case *Concat:
+		sb.WriteByte('{')
+		for i, p := range v.Parts {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, p)
+		}
+		sb.WriteByte('}')
+	case *Repl:
+		sb.WriteByte('{')
+		writeExpr(sb, v.Count)
+		sb.WriteByte('{')
+		writeExpr(sb, v.Value)
+		sb.WriteString("}}")
+	case *Call:
+		sb.WriteString(v.Name)
+		sb.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	default:
+		sb.WriteString("<?expr?>")
+	}
+}
+
+// writeOperand parenthesizes compound operands.
+func writeOperand(sb *strings.Builder, e Expr) {
+	switch e.(type) {
+	case *Binary, *Ternary:
+		sb.WriteByte('(')
+		writeExpr(sb, e)
+		sb.WriteByte(')')
+	default:
+		writeExpr(sb, e)
+	}
+}
+
+// ExprIdents appends the identifier names referenced by e (excluding
+// system-call names) to a set.
+func ExprIdents(e Expr, dst map[string]bool) {
+	switch v := e.(type) {
+	case *Ident:
+		dst[v.Name] = true
+	case *Unary:
+		ExprIdents(v.X, dst)
+	case *Binary:
+		ExprIdents(v.X, dst)
+		ExprIdents(v.Y, dst)
+	case *Ternary:
+		ExprIdents(v.Cond, dst)
+		ExprIdents(v.Then, dst)
+		ExprIdents(v.Else, dst)
+	case *Index:
+		ExprIdents(v.Base, dst)
+		ExprIdents(v.Idx, dst)
+	case *PartSelect:
+		ExprIdents(v.Base, dst)
+		ExprIdents(v.MSB, dst)
+		ExprIdents(v.LSB, dst)
+	case *Concat:
+		for _, p := range v.Parts {
+			ExprIdents(p, dst)
+		}
+	case *Repl:
+		ExprIdents(v.Count, dst)
+		ExprIdents(v.Value, dst)
+	case *Call:
+		for _, a := range v.Args {
+			ExprIdents(a, dst)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package verilog
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthMaskProperties(t *testing.T) {
+	f := func(w uint8) bool {
+		width := int(w%64) + 1
+		m := WidthMask(width)
+		return bits.OnesCount64(m) == width && (width == 64 || m == (uint64(1)<<uint(width))-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityMatchesPopcount(t *testing.T) {
+	f := func(v uint64) bool {
+		return parity(v) == uint64(bits.OnesCount64(v)%2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIpow(t *testing.T) {
+	cases := []struct{ b, e, want uint64 }{
+		{2, 10, 1024}, {3, 0, 1}, {0, 5, 0}, {1, 63, 1}, {5, 3, 125},
+	}
+	for _, c := range cases {
+		if got := ipow(c.b, c.e); got != c.want {
+			t.Errorf("ipow(%d,%d) = %d, want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestLexerTotalOnArbitraryInput(t *testing.T) {
+	// The lexer must terminate on any input (error or EOF), never panic.
+	f := func(data []byte) bool {
+		toks, err := Lex(string(data))
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randExpr builds a random well-formed expression over two signals.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Ident{Name: "a"}
+		case 1:
+			return &Ident{Name: "b"}
+		default:
+			return &Number{Value: uint64(rng.Intn(256)), Width: 8}
+		}
+	}
+	ops := []string{"+", "-", "&", "|", "^", "==", "!=", "<", "&&", "||", "<<", ">>"}
+	switch rng.Intn(4) {
+	case 0:
+		return &Unary{Op: []string{"~", "!", "-", "&", "|", "^"}[rng.Intn(6)], X: randExpr(rng, depth-1)}
+	case 1:
+		return &Ternary{Cond: randExpr(rng, depth-1), Then: randExpr(rng, depth-1), Else: randExpr(rng, depth-1)}
+	default:
+		return &Binary{Op: ops[rng.Intn(len(ops))], X: randExpr(rng, depth-1), Y: randExpr(rng, depth-1)}
+	}
+}
+
+// TestPrintParseRoundTrip: ExprString output re-parses to the same
+// canonical form, for randomly generated expression trees.
+func TestPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		e := randExpr(rng, 4)
+		printed := ExprString(e)
+		toks, err := Lex(printed)
+		if err != nil {
+			t.Fatalf("lex of printed expr %q failed: %v", printed, err)
+		}
+		e2, err := NewTokenParser(toks).ParseExpression()
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", printed, err)
+		}
+		if got := ExprString(e2); got != printed {
+			t.Fatalf("round trip changed expression:\n  %q\n  %q", printed, got)
+		}
+	}
+}
+
+// TestEvalWidthInvariant: every compiled expression evaluates within its
+// declared width mask, for random expressions and environments.
+func TestEvalWidthInvariant(t *testing.T) {
+	nl := mustElaborate(t, `module m(input [7:0] a, input [7:0] b, output y); assign y = a[0]; endmodule`, "m")
+	rng := rand.New(rand.NewSource(29))
+	env := make([]uint64, len(nl.Nets))
+	for i := 0; i < 300; i++ {
+		e := randExpr(rng, 4)
+		ce, err := nl.CompileExpr(e)
+		if err != nil {
+			t.Fatalf("compile of %q failed: %v", ExprString(e), err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			env[nl.NetIndex("a")] = rng.Uint64() & 0xff
+			env[nl.NetIndex("b")] = rng.Uint64() & 0xff
+			v := ce.Eval(env)
+			if v&^WidthMask(ce.W) != 0 {
+				t.Fatalf("expression %q (width %d) evaluated to %#x outside its mask",
+					ExprString(e), ce.W, v)
+			}
+		}
+	}
+}
+
+// TestSupportSoundness: changing a net outside an expression's support
+// set never changes its value.
+func TestSupportSoundness(t *testing.T) {
+	nl := mustElaborate(t, `module m(input [7:0] a, input [7:0] b, input [7:0] c, output y); assign y = a[0]; endmodule`, "m")
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		e := randExpr(rng, 3) // only mentions a, b
+		ce, err := nl.CompileExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		support := map[int]bool{}
+		ce.Support(support)
+		env := make([]uint64, len(nl.Nets))
+		env[nl.NetIndex("a")] = rng.Uint64() & 0xff
+		env[nl.NetIndex("b")] = rng.Uint64() & 0xff
+		before := ce.Eval(env)
+		cIdx := nl.NetIndex("c")
+		if support[cIdx] {
+			t.Fatalf("support of %q includes unmentioned net c", ExprString(e))
+		}
+		env[cIdx] = rng.Uint64() & 0xff
+		if ce.Eval(env) != before {
+			t.Fatalf("changing non-support net changed %q", ExprString(e))
+		}
+	}
+}
+
+func TestCaseLabelMapMatchesLinearScan(t *testing.T) {
+	// The dense-case fast path must agree with the linear scan semantics.
+	src := `
+module lut(input [4:0] k, output reg [7:0] v);
+always @(*)
+  case (k)
+`
+	for i := 0; i < 20; i++ {
+		src += "    5'd" + itoa(i) + ": v = 8'd" + itoa(i*3) + ";\n"
+	}
+	src += "    default: v = 8'hff;\n  endcase\nendmodule\n"
+	nl := mustElaborate(t, src, "lut")
+	env := make([]uint64, len(nl.Nets))
+	var nba []NBWrite
+	for k := uint64(0); k < 32; k++ {
+		env[nl.NetIndex("k")] = k
+		ExecStmt(nl.Combs[0].Body, nl.Nets, env, &nba)
+		want := k * 3
+		if k >= 20 {
+			want = 0xff
+		}
+		if got := env[nl.NetIndex("v")]; got != want {
+			t.Errorf("lut[%d] = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,63 @@
+package verilog
+
+// This file exposes the parser and expression compiler to the SVA layer
+// (internal/sva), which shares the lexical grammar and the boolean
+// expression language of the design subset.
+
+// NewTokenParser returns a parser positioned at the start of a pre-lexed
+// token stream. toks must end with a TokEOF token (as produced by Lex).
+func NewTokenParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// CurToken returns the token at the parser cursor without consuming it.
+func (p *Parser) CurToken() Token { return p.cur() }
+
+// Advance consumes and returns the current token.
+func (p *Parser) Advance() Token { return p.next() }
+
+// AtEOF reports whether the cursor reached the end of input.
+func (p *Parser) AtEOF() bool { return p.atEOF() }
+
+// AcceptSym consumes the current token if it is the given symbol.
+func (p *Parser) AcceptSym(s string) bool { return p.acceptSymbol(s) }
+
+// PeekSym reports whether the current token is the given symbol.
+func (p *Parser) PeekSym(s string) bool { return p.isSymbol(s) }
+
+// ExpectSym consumes the given symbol or returns a positioned error.
+func (p *Parser) ExpectSym(s string) error { return p.expectSymbol(s) }
+
+// AcceptKw consumes the current token if it is the given keyword.
+func (p *Parser) AcceptKw(kw string) bool { return p.acceptKeyword(kw) }
+
+// PeekKw reports whether the current token is the given keyword.
+func (p *Parser) PeekKw(kw string) bool { return p.isKeyword(kw) }
+
+// Pos returns the parser cursor for later backtracking via SetPos.
+func (p *Parser) Pos() int { return p.pos }
+
+// SetPos rewinds (or advances) the parser cursor to a position previously
+// obtained from Pos.
+func (p *Parser) SetPos(pos int) { p.pos = pos }
+
+// ParseExpression parses a full expression (ternary level).
+func (p *Parser) ParseExpression() (Expr, error) { return p.parseExpr() }
+
+// ParseExpressionPrec parses a binary expression whose operators all bind
+// at least as tightly as minPrec (see binaryPrec; '||' is 1, '&&' is 2).
+// The SVA layer uses minPrec=3 so it can give '&&'/'||' temporal handling.
+func (p *Parser) ParseExpressionPrec(minPrec int) (Expr, error) {
+	return p.parseBinary(minPrec)
+}
+
+// CompileExpr compiles an AST expression against the flattened symbol
+// table of an elaborated netlist. Identifiers resolve to flattened net
+// names. System-function calls are rejected (the SVA layer handles them
+// before reaching here).
+func (nl *Netlist) CompileExpr(e Expr) (*EExpr, error) {
+	el := &elaborator{nl: nl}
+	sc := &scope{consts: map[string]uint64{}, netOf: map[string]int{}}
+	for name, idx := range nl.byName {
+		sc.netOf[name] = idx
+	}
+	return el.compileExpr(e, sc)
+}

@@ -1,0 +1,78 @@
+// Package verilog implements a lexer, parser, and elaborator for a
+// synthesizable subset of Verilog-2001 sufficient for the AssertionBench
+// corpus: modules with ports and parameters, vector nets and registers,
+// continuous assignments, always blocks (edge-sensitive and combinational),
+// if/case statements, blocking and non-blocking assignments, and module
+// instantiation (flattened during elaboration).
+//
+// The subset is the demonstration vehicle of the paper (Sec. II-A); designs
+// outside the subset are rejected with position-annotated errors.
+package verilog
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber  // literal, possibly sized/based
+	TokString  // "..."
+	TokKeyword // reserved word
+	TokSymbol  // operator or punctuation
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokNumber:
+		return fmt.Sprintf("number %q", t.Text)
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokKeyword:
+		return fmt.Sprintf("keyword %q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords is the reserved-word set of the supported subset.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "integer": true,
+	"parameter": true, "localparam": true, "assign": true,
+	"always": true, "initial": true, "begin": true, "end": true,
+	"if": true, "else": true, "case": true, "casez": true, "casex": true,
+	"endcase": true, "default": true, "posedge": true, "negedge": true,
+	"or": true, "and": true, "not": true, "for": true, "generate": true,
+	"endgenerate": true, "genvar": true, "function": true,
+	"endfunction": true, "signed": true, "unsigned": true,
+}
+
+// Error is a position-annotated front-end error.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
