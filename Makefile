@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench race
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/eval/ ./internal/llm/ ./internal/bench/
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -307,6 +307,73 @@ func shotEpochs(n int) string {
 	}
 }
 
+// --- evaluation runner benches ---
+
+// BenchmarkEvalRunner compares the sequential and parallel evaluation
+// paths on the same (model, k, corpus-slice) workload. Results are
+// byte-identical; only wall-clock differs. The elaboration cache is warm
+// for both (the shared experiment ran already), so the measured gap is
+// pure scheduling.
+func BenchmarkEvalRunner(b *testing.B) {
+	e := experiment(b)
+	model := llm.New(llm.GPT4o())
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			var last eval.RunResult
+			for i := 0; i < b.N; i++ {
+				r, err := eval.Run(model, e.ICL, e.Corpus, eval.RunOptions{
+					Shots: 5, UseCorrector: true, Workers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRun(b, last)
+		})
+	}
+}
+
+// BenchmarkElaboration compares cold elaboration of the full 100-design
+// corpus against hits on a warm ElabCache (what every run after the first
+// sees in one process).
+func BenchmarkElaboration(b *testing.B) {
+	corpus := bench.TestCorpus()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var c bench.ElabCache
+			for _, d := range corpus {
+				if _, err := c.Elaborate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		var c bench.ElabCache
+		for _, d := range corpus {
+			if _, err := c.Elaborate(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range corpus {
+				if _, err := c.Elaborate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // --- substrate throughput benches ---
 
 // BenchmarkParseElaborate measures front-end throughput on the largest

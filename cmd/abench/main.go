@@ -8,6 +8,8 @@
 //	abench -model gpt4o         # one model
 //	abench -designs 20 -seed 7  # quick subset
 //	abench -per-design          # per-design verdict breakdown
+//	abench -workers 8           # evaluation worker-pool size
+//	abench -shard 1/4           # evaluate the 2nd of 4 corpus shards
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"assertionbench/internal/bench"
 	"assertionbench/internal/eval"
 	"assertionbench/internal/llm"
 )
@@ -29,9 +32,21 @@ func main() {
 	designs := flag.Int("designs", 0, "limit test designs (0 = all 100)")
 	perDesign := flag.Bool("per-design", false, "print per-design verdicts")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
 	flag.Parse()
 
-	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs})
+	shardIndex, shardCount, err := bench.ParseShard(*shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := eval.NewExperiment(eval.ExperimentOptions{
+		Seed:       *seed,
+		MaxDesigns: *designs,
+		Workers:    *workers,
+		ShardIndex: shardIndex,
+		ShardCount: shardCount,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-seed N] [-designs N] [-only table1|fig3|fig6|fig7|fig9|obs]
+//	figures [-seed N] [-designs N] [-workers N] [-only table1|fig3|fig6|fig7|fig9|obs]
 package main
 
 import (
@@ -22,9 +22,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	designs := flag.Int("designs", 0, "limit the number of test designs (0 = all 100)")
 	only := flag.String("only", "", "emit a single artifact: table1|fig3|fig6|fig7|fig9|obs")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs})
+	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

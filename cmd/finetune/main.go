@@ -25,6 +25,7 @@ func main() {
 	epochs := flag.Int("epochs", 20, "fine-tuning epochs")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	designs := flag.Int("designs", 0, "limit test designs (0 = all 100)")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var profile llm.Profile
@@ -41,6 +42,7 @@ func main() {
 		Seed:           *seed,
 		MaxDesigns:     *designs,
 		FinetuneEpochs: *epochs,
+		Workers:        *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

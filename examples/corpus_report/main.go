@@ -1,10 +1,14 @@
 // corpus_report prints the AssertionBench corpus statistics: Table I and
 // the Figure 3 size distribution, plus the category/type split the paper
-// describes in Sec. III.
+// describes in Sec. III. -shard index/count restricts the report to one
+// contiguous corpus shard (the same partitioning the evaluation runner
+// uses to split sweeps across processes).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"sort"
 
 	"assertionbench/internal/bench"
@@ -12,8 +16,24 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	shard := flag.String("shard", "", "report one corpus shard, as index/count (e.g. 0/4)")
+	flag.Parse()
+
 	corpus := bench.TestCorpus()
 	train := bench.TrainDesigns()
+	if *shard != "" {
+		index, count, err := bench.ParseShard(*shard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := bench.Shard(corpus, index, count)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[shard %d/%d: %d of %d designs]\n\n", index, count, len(s), len(corpus))
+		corpus = s
+	}
 
 	fmt.Print(eval.TableI(corpus))
 	fmt.Println()

@@ -1,9 +1,12 @@
 // finetune_eval builds AssertionLLM from the CodeLLaMa 2 base (paper
 // Sec. VI: 75/25 split of AssertionBench, 20 epochs) and shows the
-// before/after quality on a handful of held-out designs.
+// before/after quality on a handful of held-out designs. -workers sizes
+// the concurrent evaluation runner's pool (results are identical at any
+// worker count).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,8 +17,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
 
-	b, err := core.LoadBenchmark(core.Options{})
+	b, err := core.LoadBenchmark(core.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module assertionbench
+
+go 1.24

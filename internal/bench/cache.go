@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"assertionbench/internal/verilog"
+)
+
+// ElabCache is a concurrency-safe elaboration cache mapping design name +
+// source hash to the elaborated netlist. A corpus design is elaborated at
+// most once per cache regardless of how many (model, shot-count) runs or
+// workers request it: concurrent requests for the same design block on one
+// elaboration and share its result. Netlists are immutable after
+// elaboration, so sharing one across goroutines is safe (simulators and
+// FPV engines keep their own value environments).
+//
+// The zero value is ready to use.
+type ElabCache struct {
+	m sync.Map // cache key -> *elabEntry
+}
+
+type elabEntry struct {
+	once sync.Once
+	nl   *verilog.Netlist
+	err  error
+}
+
+// cacheKey identifies a design by name and full source hash, so two
+// designs that share a name but differ in source (or vice versa) never
+// collide.
+func cacheKey(name, source string) string {
+	return fmt.Sprintf("%s\x00%x", name, sha256.Sum256([]byte(source)))
+}
+
+// Elaborate returns the design's netlist, elaborating on first use.
+func (c *ElabCache) Elaborate(d Design) (*verilog.Netlist, error) {
+	v, _ := c.m.LoadOrStore(cacheKey(d.Name, d.Source), &elabEntry{})
+	e := v.(*elabEntry)
+	e.once.Do(func() {
+		e.nl, e.err = verilog.ElaborateSource(d.Source, d.Name)
+	})
+	return e.nl, e.err
+}
+
+// Len reports how many designs the cache holds (including failed
+// elaborations, which are cached too).
+func (c *ElabCache) Len() int {
+	n := 0
+	c.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// Purge empties the cache.
+func (c *ElabCache) Purge() {
+	c.m.Range(func(k, _ any) bool { c.m.Delete(k); return true })
+}
+
+// DefaultElab is the process-wide elaboration cache the evaluation runner
+// uses, so corpora are elaborated once per process rather than once per
+// run.
+var DefaultElab ElabCache
+
+// Elaborate elaborates a design through the process-wide cache.
+func Elaborate(d Design) (*verilog.Netlist, error) {
+	return DefaultElab.Elaborate(d)
+}
+
+// Shard returns the index-th of count contiguous, balanced corpus shards.
+// Concatenating shards 0..count-1 reproduces designs exactly, and
+// ShardStart gives the global offset of a shard's first design — the
+// evaluation runner needs that to derive the same per-design seeds a full
+// run would use.
+func Shard(designs []Design, index, count int) ([]Design, error) {
+	start, end, err := shardBounds(len(designs), index, count)
+	if err != nil {
+		return nil, err
+	}
+	return designs[start:end], nil
+}
+
+// ParseShard parses the "index/count" shard spec the CLIs accept for
+// their -shard flags. "" means unsharded (0, 0).
+func ParseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	slash := strings.IndexByte(s, '/')
+	ok := slash > 0 && strings.Count(s, "/") == 1
+	if ok {
+		var ei, ec error
+		index, ei = strconv.Atoi(s[:slash])
+		count, ec = strconv.Atoi(s[slash+1:])
+		ok = ei == nil && ec == nil && count >= 1 && index >= 0 && index < count
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("bench: bad shard spec %q, want index/count with 0 <= index < count", s)
+	}
+	return index, count, nil
+}
+
+// ShardStart returns the global corpus index of shard index's first design.
+func ShardStart(total, index, count int) (int, error) {
+	start, _, err := shardBounds(total, index, count)
+	return start, err
+}
+
+func shardBounds(total, index, count int) (int, int, error) {
+	if count <= 0 {
+		return 0, 0, fmt.Errorf("bench: shard count %d, want >= 1", count)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bench: shard index %d out of range [0,%d)", index, count)
+	}
+	// Balanced contiguous split: the first total%count shards get one
+	// extra design.
+	base, extra := total/count, total%count
+	start := index*base + min(index, extra)
+	size := base
+	if index < extra {
+		size++
+	}
+	return start, start + size, nil
+}

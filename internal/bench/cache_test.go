@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestElabCacheSharesNetlists(t *testing.T) {
+	var c ElabCache
+	d := TrainDesigns()[0]
+	a, err := c.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Elaborate returned a different netlist pointer")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	// Same name, different source must get its own entry.
+	d2 := d
+	d2.Source = d.Source + "\n// variant\n"
+	if _, err := c.Elaborate(d2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries after source variant, want 2", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries after Purge, want 0", c.Len())
+	}
+}
+
+func TestElabCacheConcurrent(t *testing.T) {
+	var c ElabCache
+	designs := TrainDesigns()
+	const workers = 8
+	got := make([][]interface{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, d := range designs {
+				nl, err := c.Elaborate(d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[w] = append(got[w], nl)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != len(designs) {
+		t.Errorf("cache holds %d entries, want %d (one per design)", c.Len(), len(designs))
+	}
+	for w := 1; w < workers; w++ {
+		for i := range got[0] {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d got a different netlist for design %d", w, i)
+			}
+		}
+	}
+}
+
+func TestShardPartitionsCorpus(t *testing.T) {
+	corpus := TestCorpus()
+	for _, count := range []int{1, 2, 3, 7, len(corpus), len(corpus) + 5} {
+		var merged []Design
+		sizes := map[int]int{}
+		for i := 0; i < count; i++ {
+			s, err := Shard(corpus, i, count)
+			if err != nil {
+				t.Fatalf("Shard(%d/%d): %v", i, count, err)
+			}
+			start, err := ShardStart(len(corpus), i, count)
+			if err != nil {
+				t.Fatalf("ShardStart(%d/%d): %v", i, count, err)
+			}
+			if start != len(merged) {
+				t.Errorf("shard %d/%d starts at %d, want %d", i, count, start, len(merged))
+			}
+			sizes[len(s)]++
+			merged = append(merged, s...)
+		}
+		if len(merged) != len(corpus) {
+			t.Fatalf("%d shards merge to %d designs, want %d", count, len(merged), len(corpus))
+		}
+		for i := range merged {
+			if merged[i].Name != corpus[i].Name {
+				t.Fatalf("%d shards: design %d is %s, want %s", count, i, merged[i].Name, corpus[i].Name)
+			}
+		}
+		// Balanced: shard sizes differ by at most one.
+		if len(sizes) > 2 {
+			t.Errorf("%d shards have %d distinct sizes: %v", count, len(sizes), sizes)
+		}
+	}
+}
+
+func TestShardRejectsBadSpecs(t *testing.T) {
+	corpus := TrainDesigns()
+	if _, err := Shard(corpus, 0, 0); err == nil {
+		t.Error("count 0 should fail")
+	}
+	if _, err := Shard(corpus, -1, 2); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := Shard(corpus, 2, 2); err == nil {
+		t.Error("index == count should fail")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := []struct {
+		s            string
+		index, count int
+	}{
+		{"", 0, 0},
+		{"0/1", 0, 1},
+		{"1/4", 1, 4},
+		{"3/4", 3, 4},
+	}
+	for _, tc := range good {
+		i, c, err := ParseShard(tc.s)
+		if err != nil || i != tc.index || c != tc.count {
+			t.Errorf("ParseShard(%q) = (%d, %d, %v), want (%d, %d, nil)", tc.s, i, c, err, tc.index, tc.count)
+		}
+	}
+	for _, s := range []string{"abc", "1", "1/", "/2", "2/2", "0/0", "-1/3", "1/2/3", "1/2x", "x1/2", "1.5/2"} {
+		if _, _, err := ParseShard(s); err == nil {
+			t.Errorf("ParseShard(%q) accepted, want error", s)
+		}
+	}
+}

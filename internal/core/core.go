@@ -72,6 +72,9 @@ type Options struct {
 	Seed int64
 	// MaxDesigns truncates the 100-design test corpus (0 = all).
 	MaxDesigns int
+	// Workers sets the evaluation worker-pool size (0 = GOMAXPROCS,
+	// 1 = sequential). Results are identical at any worker count.
+	Workers int
 }
 
 // Benchmark bundles AssertionBench: training designs with proven
@@ -86,6 +89,7 @@ func LoadBenchmark(opt Options) (*Benchmark, error) {
 	e, err := eval.NewExperiment(eval.ExperimentOptions{
 		Seed:       opt.Seed,
 		MaxDesigns: opt.MaxDesigns,
+		Workers:    opt.Workers,
 	})
 	if err != nil {
 		return nil, err

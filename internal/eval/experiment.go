@@ -19,6 +19,13 @@ type ExperimentOptions struct {
 	FinetuneEpochs int
 	// MineFPV bounds the miners used for ICL and fine-tuning corpora.
 	MineFPV fpv.Options
+	// Workers sets the evaluation worker-pool size for every run this
+	// experiment launches (0 = runtime.GOMAXPROCS(0), 1 = sequential).
+	Workers int
+	// ShardIndex/ShardCount restrict every run to one contiguous corpus
+	// shard (see RunOptions). ShardCount 0 means unsharded.
+	ShardIndex int
+	ShardCount int
 }
 
 func (o ExperimentOptions) withDefaults() ExperimentOptions {
@@ -80,6 +87,9 @@ func (e *Experiment) RunCOTS(profile llm.Profile, shots int) (RunResult, error) 
 		Shots:        shots,
 		Seed:         e.Opt.Seed,
 		UseCorrector: true,
+		Workers:      e.Opt.Workers,
+		ShardIndex:   e.Opt.ShardIndex,
+		ShardCount:   e.Opt.ShardCount,
 	})
 }
 
@@ -154,6 +164,9 @@ func (e *Experiment) FinetunedRun(base llm.Profile, shots int) (RunResult, llm.F
 		Shots:        shots,
 		Seed:         e.Opt.Seed,
 		UseCorrector: false,
+		Workers:      e.Opt.Workers,
+		ShardIndex:   e.Opt.ShardIndex,
+		ShardCount:   e.Opt.ShardCount,
 	})
 	return r, report, err
 }

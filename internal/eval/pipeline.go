@@ -4,11 +4,8 @@ import (
 	"fmt"
 
 	"assertionbench/internal/bench"
-	"assertionbench/internal/corrector"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/llm"
-	"assertionbench/internal/sva"
-	"assertionbench/internal/verilog"
 )
 
 // RunOptions configure one evaluation run of one model at one shot count.
@@ -24,6 +21,18 @@ type RunOptions struct {
 	FPV fpv.Options
 	// MaxDesigns truncates the corpus for quick runs (0 = all).
 	MaxDesigns int
+	// Workers sets the evaluation worker-pool size: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces a sequential run. Any worker count
+	// produces byte-identical results at the same seed.
+	Workers int
+	// ShardIndex/ShardCount restrict the run to the index-th of count
+	// contiguous corpus shards (after MaxDesigns truncation), for
+	// splitting a sweep across processes or machines. ShardCount 0 means
+	// unsharded. Per-design seeds follow global corpus positions, so
+	// concatenating the shard results of all indices reproduces the
+	// unsharded run exactly.
+	ShardIndex int
+	ShardCount int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -32,6 +41,9 @@ func (o RunOptions) withDefaults() RunOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ShardCount == 0 {
+		o.ShardCount = 1
 	}
 	if o.FPV.MaxProductStates == 0 {
 		// Evaluation-grade budget: bounded verdicts on the big designs,
@@ -68,7 +80,10 @@ type RunResult struct {
 }
 
 // Run evaluates a model on the corpus with k-shot ICL: the paper's Fig. 4
-// (with corrector) or Fig. 8 (without) pipeline.
+// (with corrector) or Fig. 8 (without) pipeline. The corpus decomposes
+// into per-design jobs on a bounded worker pool (RunOptions.Workers);
+// results merge back in corpus order, so parallel runs are
+// deterministic and identical to sequential runs at the same seed.
 func Run(model *llm.Model, examples []llm.Example, corpus []bench.Design, opt RunOptions) (RunResult, error) {
 	opt = opt.withDefaults()
 	if opt.Shots > len(examples) {
@@ -78,39 +93,31 @@ func Run(model *llm.Model, examples []llm.Example, corpus []bench.Design, opt Ru
 	if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
 		designs = designs[:opt.MaxDesigns]
 	}
+	base := 0
+	if opt.ShardCount > 1 || opt.ShardIndex != 0 {
+		// Shard validates the spec too: a stray ShardIndex with an unset
+		// ShardCount is an error, not a silent full-corpus run.
+		shard, err := bench.Shard(designs, opt.ShardIndex, opt.ShardCount)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("eval: %w", err)
+		}
+		base, _ = bench.ShardStart(len(designs), opt.ShardIndex, opt.ShardCount)
+		designs = shard
+	}
 	res := RunResult{Model: model.Profile.Name, Shots: opt.Shots}
 	icl := examples[:opt.Shots]
 
-	for di, d := range designs {
-		nl, err := verilog.ElaborateSource(d.Source, d.Name)
-		if err != nil {
-			return res, fmt.Errorf("eval: corpus design %s: %w", d.Name, err)
+	results := runJobs(model, icl, designs, base, opt)
+	// Deterministic merge: accumulate in corpus order and surface the
+	// first error the way a sequential walk would (partial results kept).
+	for _, jr := range results {
+		if jr.err != nil {
+			return res, jr.err
 		}
-		prompt := llm.BuildPrompt(icl, d.Source, model.Profile.ContextWindow)
-		gen := model.Generate(prompt, llm.GenOptions{
-			Shots: opt.Shots,
-			Seed:  opt.Seed*1000003 + int64(di)*7919 + int64(opt.Shots),
-		})
-		lines := sva.SplitAssertions(gen.Text)
-		outcome := DesignOutcome{
-			Design:    d.Name,
-			Generated: lines,
-			OffTask:   gen.OffTask,
-			Grounded:  gen.Grounded,
-		}
-		checked := lines
-		if opt.UseCorrector {
-			fixed, _ := corrector.New(nl).CorrectAll(lines)
-			outcome.Corrected = fixed
-			checked = fixed
-		}
-		for _, line := range checked {
-			r := fpv.VerifySource(nl, line, opt.FPV)
-			v := Classify(r)
-			outcome.Verdicts = append(outcome.Verdicts, v)
+		for _, v := range jr.outcome.Verdicts {
 			res.Metrics.Add(v)
 		}
-		res.Designs = append(res.Designs, outcome)
+		res.Designs = append(res.Designs, jr.outcome)
 	}
 	return res, nil
 }

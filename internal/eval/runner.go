@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/corrector"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/sva"
+)
+
+// The concurrent evaluation runner. A run decomposes into one job per
+// design; jobs are scheduled onto a bounded worker pool and their results
+// merged back in corpus order, so a parallel run's RunResult is identical
+// to a sequential run's at the same seed:
+//
+//   - every per-design random stream is seeded from the design's GLOBAL
+//     corpus index (not its position in a shard or the order workers
+//     happened to pick jobs up), and generation/verification allocate a
+//     fresh seeded rand.Rand per call — no worker ever touches a shared or
+//     unseeded source on the concurrent path;
+//   - each worker owns one reusable fpv.Engine (engine reset instead of
+//     reallocation between assertions) and its own simulators underneath;
+//   - elaborated netlists come from the process-wide bench.DefaultElab
+//     cache and are immutable, so workers share them read-only.
+
+type jobResult struct {
+	outcome DesignOutcome
+	err     error
+}
+
+// runJobs evaluates designs[i] for every i, in parallel when opt.Workers
+// allows, and returns per-design results positioned by index. base is the
+// global corpus index of designs[0].
+func runJobs(model *llm.Model, icl []llm.Example, designs []bench.Design, base int, opt RunOptions) []jobResult {
+	results := make([]jobResult, len(designs))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(designs) {
+		workers = len(designs)
+	}
+	if workers <= 1 {
+		eng := fpv.NewEngine()
+		for i := range designs {
+			results[i] = evalDesign(model, icl, designs[i], base+i, opt, eng)
+			if results[i].err != nil {
+				break
+			}
+		}
+		return results
+	}
+	// failed stops the feeder once any job errors. Jobs are fed in index
+	// order, so every job below the erroring index is already assigned and
+	// completes normally — the merge (which stops at the lowest erroring
+	// index) sees exactly what a sequential run would have produced.
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := fpv.NewEngine()
+			for i := range jobs {
+				results[i] = evalDesign(model, icl, designs[i], base+i, opt, eng)
+				if results[i].err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	// Jobs are handed out in corpus order; per-design cost is dominated by
+	// FPV search, which no static proxy (LoC, state bits) predicts well,
+	// so greedy FIFO work-stealing off the channel is what keeps the pool
+	// busy. Results are positioned by index, so pickup order never affects
+	// output.
+	for i := range designs {
+		if failed.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// evalDesign is one job: elaborate (cached), prompt, generate, correct,
+// and verify one design. globalIdx seeds generation so the outcome is a
+// function of the design's corpus position and the run seed only.
+func evalDesign(model *llm.Model, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions, eng *fpv.Engine) jobResult {
+	nl, err := bench.Elaborate(d)
+	if err != nil {
+		return jobResult{err: fmt.Errorf("eval: corpus design %s: %w", d.Name, err)}
+	}
+	prompt := llm.BuildPrompt(icl, d.Source, model.Profile.ContextWindow)
+	gen := model.Generate(prompt, llm.GenOptions{
+		Shots: opt.Shots,
+		Seed:  opt.Seed*1000003 + int64(globalIdx)*7919 + int64(opt.Shots),
+	})
+	lines := sva.SplitAssertions(gen.Text)
+	outcome := DesignOutcome{
+		Design:    d.Name,
+		Generated: lines,
+		OffTask:   gen.OffTask,
+		Grounded:  gen.Grounded,
+	}
+	checked := lines
+	if opt.UseCorrector {
+		fixed, _ := corrector.New(nl).CorrectAll(lines)
+		outcome.Corrected = fixed
+		checked = fixed
+	}
+	for _, line := range checked {
+		r := eng.VerifySource(nl, line, opt.FPV)
+		outcome.Verdicts = append(outcome.Verdicts, Classify(r))
+	}
+	return jobResult{outcome: outcome}
+}

@@ -9,20 +9,165 @@ import (
 	"assertionbench/internal/verilog"
 )
 
-// VerifyCompiled model-checks one compiled assertion against the netlist.
-func VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
-	opt = opt.withDefaults()
-	eng := &engine{
-		nl:      nl,
-		c:       c,
-		mon:     sva.NewMonitor(c),
-		opt:     opt,
-		sim:     sim.New(nl),
-		zeroEnv: make([]uint64, len(nl.Nets)),
-		rng:     rand.New(rand.NewSource(opt.Seed)),
+// Engine is a reusable FPV engine. One Engine owns the allocation-heavy
+// state of a verification run — the simulator pair, the visited-state set,
+// the BFS node arena, and the RNG — and resets it between calls instead of
+// reallocating, so verifying thousands of assertions (the evaluation
+// runner's workload) stays cheap. Verdicts are identical to a fresh
+// engine's at the same Options.Seed.
+//
+// An Engine is NOT safe for concurrent use; pool one per worker.
+type Engine struct {
+	// Per-netlist state, rebuilt only when the design under verification
+	// changes (Bind).
+	nl      *verilog.Netlist
+	sim     *sim.Simulator // BFS state loader
+	hunt    *sim.Simulator // random-walk / CEX-replay simulator
+	zeroEnv []uint64
+
+	// Per-call state.
+	c       *sva.Compiled
+	mon     *sva.Monitor
+	opt     Options
+	support []int // c.SupportNets(), computed once per call
+
+	// Reused scratch.
+	src          rand.Source
+	rng          *rand.Rand
+	nodes        []node
+	visitedExact map[string]struct{} // exhaustive mode: exact state keys
+	visitedHash  map[uint64]struct{} // bounded mode: hash compaction
+	keyBuf       []byte
+	histBuf      [][]uint64
+	regBuf       []uint64   // post-step register snapshot
+	envScratch   []uint64   // pre-step env snapshot for $past history
+	widths       []int      // data-input widths (per netlist)
+	histScratch  [][]uint64 // assembled child history
+	enumVecs     [][]uint64 // cached exhaustive input enumeration (per netlist)
+	sampleVecs   [][]uint64 // reusable sampled input vectors
+	arena        [][]uint64 // bump-arena chunks for retained per-node data
+	arenaCur     int
+	huntRing     [][]uint64 // randomHunt history ring buffers
+	huntInputs   [][]uint64 // randomHunt stimulus list (outer slice reused)
+}
+
+// arenaReset rewinds the arena without releasing its chunks: the previous
+// call's nodes are dead, and anything that escaped into a Result was
+// deep-copied out, so the chunks (engine high-water mark) are reusable.
+func (e *Engine) arenaReset() {
+	for i := range e.arena {
+		e.arena[i] = e.arena[i][:0]
 	}
+	e.arenaCur = 0
+}
+
+// allocU64 bump-allocates n words from the engine's arena. Node data
+// (register snapshots, retained input vectors, history heads) lives only
+// until the next call resets the arena, so everything that escapes into a
+// Result must be deep-copied (replayCEX does).
+func (e *Engine) allocU64(n int) []uint64 {
+	for {
+		if e.arenaCur == len(e.arena) {
+			size := 1 << 14
+			if n > size {
+				size = n
+			}
+			e.arena = append(e.arena, make([]uint64, 0, size))
+		}
+		c := e.arena[e.arenaCur]
+		if len(c)+n <= cap(c) {
+			s := c[len(c) : len(c)+n : len(c)+n]
+			e.arena[e.arenaCur] = c[:len(c)+n]
+			return s
+		}
+		e.arenaCur++
+	}
+}
+
+func (e *Engine) copyU64(src []uint64) []uint64 {
+	s := e.allocU64(len(src))
+	copy(s, src)
+	return s
+}
+
+// NewEngine returns an empty reusable engine.
+func NewEngine() *Engine {
+	src := rand.NewSource(1)
+	return &Engine{
+		src:          src,
+		rng:          rand.New(src),
+		visitedExact: map[string]struct{}{},
+		visitedHash:  map[uint64]struct{}{},
+	}
+}
+
+// Bind points the engine at a design. Binding the netlist it already holds
+// is free; a new netlist rebuilds the simulator pair. Verify* calls bind
+// automatically — this is exposed for callers that want to front-load the
+// cost.
+func (e *Engine) Bind(nl *verilog.Netlist) {
+	if e.nl == nl {
+		return
+	}
+	e.nl = nl
+	e.sim = sim.New(nl)
+	e.hunt = sim.New(nl)
+	e.zeroEnv = make([]uint64, len(nl.Nets))
+	e.regBuf = make([]uint64, len(nl.Regs))
+	e.envScratch = make([]uint64, len(nl.Nets))
+	e.widths = make([]int, len(nl.Inputs))
+	for i, idx := range nl.Inputs {
+		e.widths[i] = nl.Nets[idx].Width
+	}
+	e.enumVecs = nil
+	e.sampleVecs = nil
+	e.huntRing = nil
+}
+
+// Verify model-checks an already-parsed assertion against the netlist.
+func (e *Engine) Verify(nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
+	c, err := sva.Compile(a, nl)
+	if err != nil {
+		return Result{Status: StatusError, Err: err}
+	}
+	return e.VerifyCompiled(nl, c, opt)
+}
+
+// VerifySource parses and verifies an assertion given as text.
+func (e *Engine) VerifySource(nl *verilog.Netlist, src string, opt Options) Result {
+	a, err := sva.Parse(src)
+	if err != nil {
+		return Result{Status: StatusError, Err: err}
+	}
+	return e.Verify(nl, a, opt)
+}
+
+// VerifyAll verifies a batch of assertion texts, one result per input.
+func (e *Engine) VerifyAll(nl *verilog.Netlist, srcs []string, opt Options) []Result {
+	out := make([]Result, len(srcs))
+	for i, s := range srcs {
+		out[i] = e.VerifySource(nl, s, opt)
+	}
+	return out
+}
+
+// VerifyCompiled model-checks one compiled assertion against the netlist.
+func (e *Engine) VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+	opt = opt.withDefaults()
+	e.Bind(nl)
+	e.c = c
+	e.mon = sva.NewMonitor(c)
+	e.opt = opt
+	e.support = nil
+	if c.PastDepth > 0 {
+		e.support = c.SupportNets()
+	}
+	// Reseeding the shared source makes every call deterministic in
+	// Options.Seed regardless of what ran on this engine before.
+	e.src.Seed(opt.Seed)
+
 	exhaustive := nl.InputBits() <= opt.MaxInputBits
-	res := eng.bfs(exhaustive)
+	res := e.bfs(exhaustive)
 	if res.Status == StatusCEX {
 		return res
 	}
@@ -36,11 +181,16 @@ func VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
 	}
 	// Bounded: hunt violations along randomized deep runs before settling
 	// for a bounded pass.
-	if r := eng.randomHunt(&res); r != nil {
+	if r := e.randomHunt(&res); r != nil {
 		return *r
 	}
 	res.Status = StatusBoundedPass
 	return res
+}
+
+// VerifyCompiled model-checks one compiled assertion with a one-shot engine.
+func VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+	return NewEngine().VerifyCompiled(nl, c, opt)
 }
 
 type node struct {
@@ -53,32 +203,48 @@ type node struct {
 	depth  int32
 }
 
-type engine struct {
-	nl      *verilog.Netlist
-	c       *sva.Compiled
-	mon     *sva.Monitor
-	opt     Options
-	sim     *sim.Simulator
-	zeroEnv []uint64
-	rng     *rand.Rand
-
-	nodes []node
-}
-
 // bfs explores the product of design states and monitor states.
-func (e *engine) bfs(enumerate bool) Result {
+func (e *Engine) bfs(enumerate bool) Result {
 	res := Result{}
-	visited := map[string]struct{}{}
-	root := node{regs: make([]uint64, len(e.nl.Regs)), parent: -1}
+	// Dedup: exhaustive mode (the only mode that can claim Proven/Vacuous)
+	// uses exact state keys, so proofs are sound; bounded mode — already
+	// approximate by construction — uses 64-bit hash compaction to keep
+	// the visited set allocation-free.
+	clear(e.visitedExact)
+	clear(e.visitedHash)
+	nVisited := 0
+	seen := func(regs []uint64, alive, sat uint64, hist [][]uint64) bool {
+		if enumerate {
+			k := e.stateKey(regs, alive, sat, hist)
+			if _, ok := e.visitedExact[string(k)]; ok {
+				return true
+			}
+			e.visitedExact[string(k)] = struct{}{}
+		} else {
+			h := e.stateHash(regs, alive, sat, hist)
+			if _, ok := e.visitedHash[h]; ok {
+				return true
+			}
+			e.visitedHash[h] = struct{}{}
+		}
+		nVisited++
+		return false
+	}
+	e.arenaReset()
+	root := node{regs: e.allocU64(len(e.nl.Regs)), parent: -1}
+	clear(root.regs) // arena memory is reused; power-on state is all zeros
 	e.nodes = e.nodes[:0]
 	e.nodes = append(e.nodes, root)
-	visited[e.key(&root)] = struct{}{}
+	seen(root.regs, root.alive, root.sat, root.hist)
 	closed := true
 
-	histBuf := make([][]uint64, e.c.PastDepth+1)
+	if cap(e.histBuf) < e.c.PastDepth+1 {
+		e.histBuf = make([][]uint64, e.c.PastDepth+1)
+	}
+	histBuf := e.histBuf[:e.c.PastDepth+1]
 
 	for head := 0; head < len(e.nodes); head++ {
-		if len(visited) >= e.opt.MaxProductStates {
+		if nVisited >= e.opt.MaxProductStates {
 			closed = false
 			break
 		}
@@ -107,111 +273,174 @@ func (e *engine) bfs(enumerate bool) Result {
 			}
 			if out.Violated {
 				res.Status = StatusCEX
-				res.States = len(visited)
+				res.States = nVisited
 				res.CEX = e.buildCEX(head, inputs, int(cur.depth), out.ViolatedAge)
 				return res
 			}
 			alive, sat := e.mon.State()
 
-			// Snapshot the sampled env before Step mutates the live slice.
-			var envCopy []uint64
+			// Snapshot the sampled env (into reused scratch) before Step
+			// mutates the live slice.
 			if e.c.PastDepth > 0 {
-				envCopy = make([]uint64, len(env))
-				copy(envCopy, env)
+				copy(e.envScratch, env)
 			}
 			e.sim.Step()
-			child := node{
-				regs:   e.sim.CopyState(),
-				alive:  alive,
-				sat:    sat,
-				parent: int32(head),
-				inVec:  inputs,
-				depth:  cur.depth + 1,
-			}
+
+			// Dedup before materialising the child: the key is computed
+			// from scratch buffers, and regs/hist/inVec are only copied
+			// out (allocated) for states not seen before.
+			e.sim.CopyStateInto(e.regBuf)
+			childHist := e.histScratch[:0]
 			if e.c.PastDepth > 0 {
-				child.hist = make([][]uint64, 0, e.c.PastDepth)
-				child.hist = append(child.hist, envCopy)
+				childHist = append(childHist, e.envScratch)
 				for k := 0; k < e.c.PastDepth-1 && k < len(cur.hist); k++ {
-					child.hist = append(child.hist, cur.hist[k])
+					childHist = append(childHist, cur.hist[k])
 				}
+				e.histScratch = childHist
 			}
-			k := e.key(&child)
-			if _, seen := visited[k]; !seen {
-				visited[k] = struct{}{}
+			if !seen(e.regBuf, alive, sat, childHist) {
+				inVec := inputs
+				if !enumerate {
+					// Sampled vectors live in reused scratch; retain a copy.
+					inVec = e.copyU64(inputs)
+				}
+				child := node{
+					regs:   e.copyU64(e.regBuf),
+					alive:  alive,
+					sat:    sat,
+					parent: int32(head),
+					inVec:  inVec,
+					depth:  cur.depth + 1,
+				}
+				if e.c.PastDepth > 0 {
+					// childHist[0] aliases envScratch; deep-copy it. The
+					// older entries belong to retained ancestor nodes and
+					// are immutable, so aliasing them is safe.
+					child.hist = append(make([][]uint64, 0, len(childHist)), childHist...)
+					child.hist[0] = e.copyU64(childHist[0])
+				}
 				e.nodes = append(e.nodes, child)
 			}
 		}
 	}
-	res.States = len(visited)
+	res.States = nVisited
 	res.Exhaustive = enumerate && closed
 	return res
 }
 
-// key encodes the product state for deduplication: register values, the
-// monitor's alive mask, and (when $past is used) the history of the
-// assertion's support nets.
-func (e *engine) key(n *node) string {
-	buf := make([]byte, 0, 8*(len(n.regs)+2))
+// stateKey encodes a product state exactly, into the engine's reused key
+// buffer: register values, the monitor's alive mask, and (when $past is
+// used) the history of the assertion's support nets. Exhaustive mode uses
+// these exact keys so Proven/Vacuous verdicts are sound; the caller
+// converts to string only on insertion (map lookups on string(buf) do
+// not allocate).
+func (e *Engine) stateKey(regs []uint64, alive, sat uint64, hist [][]uint64) []byte {
+	buf := e.keyBuf[:0]
 	var tmp [8]byte
-	for _, v := range n.regs {
+	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
-	binary.LittleEndian.PutUint64(tmp[:], n.alive)
-	buf = append(buf, tmp[:]...)
+	for _, v := range regs {
+		put(v)
+	}
+	put(alive)
 	if e.c.Ranged {
-		binary.LittleEndian.PutUint64(tmp[:], n.sat)
-		buf = append(buf, tmp[:]...)
+		put(sat)
 	}
 	if e.c.PastDepth > 0 {
-		support := e.c.SupportNets()
-		for _, h := range n.hist {
-			for _, idx := range support {
-				binary.LittleEndian.PutUint64(tmp[:], h[idx])
-				buf = append(buf, tmp[:]...)
+		for _, h := range hist {
+			for _, idx := range e.support {
+				put(h[idx])
 			}
 		}
 	}
-	return string(buf)
+	e.keyBuf = buf
+	return buf
+}
+
+// stateHash fingerprints a product state for bounded-mode deduplication.
+// Hash compaction (64-bit fingerprints instead of full state keys, as in
+// SPIN's bitstate hashing) keeps the visited set allocation-free; a
+// collision (probability ~n^2/2^64 per call) can only prune bounded
+// exploration, which is approximate by construction and never claims a
+// proof — exhaustive mode uses stateKey's exact keys. The hash is a pure
+// function of the state, so verdicts stay deterministic and identical
+// across sequential and parallel runs.
+func (e *Engine) stateHash(regs []uint64, alive, sat uint64, hist [][]uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	for _, v := range regs {
+		mix(v)
+	}
+	mix(alive)
+	if e.c.Ranged {
+		mix(sat)
+	}
+	if e.c.PastDepth > 0 {
+		for _, hh := range hist {
+			for _, idx := range e.support {
+				mix(hh[idx])
+			}
+		}
+	}
+	return h
 }
 
 // inputVectors yields the data-input vectors to try from one state: the
 // full enumeration when feasible, otherwise corner patterns plus random
-// samples.
-func (e *engine) inputVectors(enumerate bool) [][]uint64 {
-	widths := make([]int, len(e.nl.Inputs))
+// samples. The enumeration is a pure function of the netlist and is
+// cached across states and calls; sampled vectors are drawn into reused
+// scratch (consumers must copy what they retain).
+func (e *Engine) inputVectors(enumerate bool) [][]uint64 {
+	widths := e.widths
 	total := 0
-	for i, idx := range e.nl.Inputs {
-		widths[i] = e.nl.Nets[idx].Width
-		total += widths[i]
+	for _, w := range widths {
+		total += w
 	}
-	unpack := func(bits uint64) []uint64 {
-		vals := make([]uint64, len(widths))
+	unpackInto := func(vals []uint64, bits uint64) {
 		for i, w := range widths {
 			vals[i] = bits & verilog.WidthMask(w)
 			bits >>= uint(w)
 		}
+	}
+	newVec := func(bits uint64) []uint64 {
+		vals := make([]uint64, len(widths))
+		unpackInto(vals, bits)
 		return vals
 	}
 	if enumerate {
 		n := 1 << uint(total)
-		out := make([][]uint64, 0, n)
-		for b := 0; b < n; b++ {
-			out = append(out, unpack(uint64(b)))
+		if len(e.enumVecs) != n {
+			e.enumVecs = make([][]uint64, 0, n)
+			for b := 0; b < n; b++ {
+				e.enumVecs = append(e.enumVecs, newVec(uint64(b)))
+			}
 		}
-		return out
+		return e.enumVecs
 	}
-	out := make([][]uint64, 0, e.opt.MaxInputSamples+2)
-	out = append(out, unpack(0), unpack(^uint64(0)))
+	n := e.opt.MaxInputSamples + 2
+	if len(e.sampleVecs) != n || (n > 0 && len(e.sampleVecs[0]) != len(widths)) {
+		e.sampleVecs = make([][]uint64, n)
+		for i := range e.sampleVecs {
+			e.sampleVecs[i] = make([]uint64, len(widths))
+		}
+	}
+	unpackInto(e.sampleVecs[0], 0)
+	unpackInto(e.sampleVecs[1], ^uint64(0))
 	for i := 0; i < e.opt.MaxInputSamples; i++ {
-		out = append(out, unpack(e.rng.Uint64()))
+		unpackInto(e.sampleVecs[i+2], e.rng.Uint64())
 	}
-	return out
+	return e.sampleVecs
 }
 
 // buildCEX reconstructs the refuting stimulus from parent links and
 // re-simulates it to capture the sampled trace.
-func (e *engine) buildCEX(head int, lastInputs []uint64, depth, violatedAge int) *CEX {
+func (e *Engine) buildCEX(head int, lastInputs []uint64, depth, violatedAge int) *CEX {
 	var inputs [][]uint64
 	for i := head; i >= 0 && e.nodes[i].parent >= 0; i = int(e.nodes[i].parent) {
 		inputs = append(inputs, e.nodes[i].inVec)
@@ -224,13 +453,21 @@ func (e *engine) buildCEX(head int, lastInputs []uint64, depth, violatedAge int)
 	return e.replayCEX(inputs, depth, violatedAge)
 }
 
-func (e *engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
+func (e *Engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
+	// The CEX outlives this call but the stimulus vectors may live in the
+	// engine's arena or sampling scratch, so deep-copy them.
+	retained := make([][]uint64, len(inputs))
+	for i, u := range inputs {
+		retained[i] = append([]uint64(nil), u...)
+	}
+	inputs = retained
 	cex := &CEX{
 		Inputs:         inputs,
 		ViolationCycle: depth,
 		AttemptCycle:   depth - violatedAge,
 	}
-	s := sim.New(e.nl)
+	s := e.hunt
+	s.ResetState()
 	for _, u := range inputs {
 		if err := s.SetInputs(u); err != nil {
 			break
@@ -246,26 +483,41 @@ func (e *engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
 
 // randomHunt drives randomized deep runs looking for violations that the
 // truncated BFS missed. Returns a full result on violation, nil otherwise.
-func (e *engine) randomHunt(res *Result) *Result {
+func (e *Engine) randomHunt(res *Result) *Result {
 	histDepth := e.c.PastDepth
+	if cap(e.histBuf) < histDepth+1 {
+		e.histBuf = make([][]uint64, histDepth+1)
+	}
+	histBuf := e.histBuf[:histDepth+1]
+	// History ring: huntRing[k] holds the sampled env of k+1 cycles ago.
+	// Rotation recycles the oldest buffer as the new head, so steady-state
+	// runs allocate nothing.
+	if histDepth > 0 && len(e.huntRing) < histDepth {
+		e.huntRing = make([][]uint64, histDepth)
+		for i := range e.huntRing {
+			e.huntRing[i] = make([]uint64, len(e.nl.Nets))
+		}
+	}
+	ring := e.huntRing[:histDepth]
 	for run := 0; run < e.opt.RandomRuns; run++ {
-		s := sim.New(e.nl)
+		s := e.hunt
+		s.ResetState()
 		e.mon.Reset()
-		var hist [][]uint64
-		var inputs [][]uint64
+		histLen := 0
+		inputs := e.huntInputs[:0]
 		for t := 0; t < e.opt.RandomDepth; t++ {
 			u := e.randomStimulus(t)
 			inputs = append(inputs, u)
+			e.huntInputs = inputs
 			if err := s.SetInputs(u); err != nil {
 				break
 			}
 			s.Settle()
 			env := s.Env()
-			histBuf := make([][]uint64, histDepth+1)
 			histBuf[0] = env
 			for k := 1; k <= histDepth; k++ {
-				if k-1 < len(hist) {
-					histBuf[k] = hist[k-1]
+				if k-1 < histLen {
+					histBuf[k] = ring[k-1]
 				} else {
 					histBuf[k] = e.zeroEnv
 				}
@@ -284,11 +536,12 @@ func (e *engine) randomHunt(res *Result) *Result {
 				return &full
 			}
 			if histDepth > 0 {
-				envCopy := make([]uint64, len(env))
-				copy(envCopy, env)
-				hist = append([][]uint64{envCopy}, hist...)
-				if len(hist) > histDepth {
-					hist = hist[:histDepth]
+				head := ring[histDepth-1]
+				copy(head, env)
+				copy(ring[1:], ring[:histDepth-1])
+				ring[0] = head
+				if histLen < histDepth {
+					histLen++
 				}
 			}
 			s.Step()
@@ -302,8 +555,8 @@ func (e *engine) randomHunt(res *Result) *Result {
 
 // randomStimulus biases early cycles toward asserting reset-like inputs so
 // deep FSM behaviour past reset is exercised.
-func (e *engine) randomStimulus(t int) []uint64 {
-	vals := make([]uint64, len(e.nl.Inputs))
+func (e *Engine) randomStimulus(t int) []uint64 {
+	vals := e.allocU64(len(e.nl.Inputs))
 	for i, idx := range e.nl.Inputs {
 		n := e.nl.Nets[idx]
 		vals[i] = e.rng.Uint64() & n.Mask()

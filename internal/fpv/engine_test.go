@@ -271,3 +271,33 @@ func TestStatusHelpers(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineReuseMatchesFresh drives one pooled engine across interleaved
+// netlists and assertions (including a bounded design forcing the random
+// hunt) and checks every verdict against a fresh engine's.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	counter := elab(t, counterSrc, "counter")
+	arbiter := elab(t, arbiterSrc, "arb2")
+	cases := []struct {
+		nl  *verilog.Netlist
+		src string
+	}{
+		{counter, "rst == 1 |=> count == 0"},
+		{arbiter, "rst == 1 |=> gnt_ == 0"},
+		{counter, "en == 1 |=> count == 1"}, // refutable
+		{arbiter, "req1 == 1 && req2 == 0 |-> gnt1 == 1"},
+		{counter, "count == 15 |-> en == 1"},
+		{counter, "rst == 1 |=> count == 0"}, // repeat after other designs
+	}
+	opt := Options{MaxProductStates: 400, MaxInputSamples: 6, RandomRuns: 8, RandomDepth: 24, Seed: 9}
+	pooled := NewEngine()
+	for i, tc := range cases {
+		got := pooled.VerifySource(tc.nl, tc.src, opt)
+		want := VerifySource(tc.nl, tc.src, opt)
+		if got.Status != want.Status || got.States != want.States ||
+			got.Depth != want.Depth || got.NonVacuous != want.NonVacuous ||
+			got.Exhaustive != want.Exhaustive {
+			t.Errorf("case %d (%s): pooled engine %+v, fresh engine %+v", i, tc.src, got, want)
+		}
+	}
+}

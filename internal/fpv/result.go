@@ -177,11 +177,7 @@ func VerifySource(nl *verilog.Netlist, src string, opt Options) Result {
 }
 
 // VerifyAll verifies a batch of assertion texts, returning one result per
-// input in order.
+// input in order. The batch shares one reusable engine.
 func VerifyAll(nl *verilog.Netlist, srcs []string, opt Options) []Result {
-	out := make([]Result, len(srcs))
-	for i, s := range srcs {
-		out[i] = VerifySource(nl, s, opt)
-	}
-	return out
+	return NewEngine().VerifyAll(nl, srcs, opt)
 }

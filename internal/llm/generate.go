@@ -54,6 +54,15 @@ type GenResult struct {
 }
 
 // Generate produces assertions for the prompt's test design.
+//
+// Generate is safe for concurrent use on one shared *Model: it only reads
+// the profile and the pretrained n-gram (in-context conditioning trains a
+// per-call clone with its own vocabulary), all sampling uses a rand.Rand
+// seeded per call from opt.Seed, and the design-context cache is a
+// sync.Map whose entries are deterministic in the design source and read
+// -only after construction. The evaluation runner relies on this to share
+// one model across its worker pool. Callers must not mutate Profile or LM
+// while Generate runs.
 func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	params := m.Profile.At(opt.Shots)
@@ -136,6 +145,9 @@ type sigInfo struct {
 type poolEntry struct {
 	a       *sva.Assertion
 	support int
+	// toks caches the tokenized rendering: samplePool scores every entry
+	// on every generation call, and the entries never change.
+	toks []string
 }
 
 type designCtx struct {
@@ -346,6 +358,10 @@ func screenPool(nl *verilog.Netlist, traces []*sim.Trace) []poolEntry {
 	if len(pool) > 60 {
 		pool = pool[:60]
 	}
+	var tk Tokenizer
+	for i := range pool {
+		pool[i].toks = tk.Tokenize(pool[i].a.String())
+	}
 	return pool
 }
 
@@ -365,14 +381,13 @@ func allResetsLow(nl *verilog.Netlist, tr *sim.Trace, c int) bool {
 
 // samplePool draws a pool candidate weighted by language-model fluency.
 func (ctx *designCtx) samplePool(lm *NGram, rng *rand.Rand, temp float64) *sva.Assertion {
-	var tk Tokenizer
 	if len(ctx.pool) == 0 {
 		return nil
 	}
 	weights := make([]float64, len(ctx.pool))
 	sum := 0.0
 	for i, p := range ctx.pool {
-		score := lm.ScoreTokens(tk.Tokenize(p.a.String()))
+		score := lm.ScoreTokens(p.toks)
 		w := math.Exp(-score / (2 * math.Max(temp, 0.1)))
 		w *= float64(p.support)
 		weights[i] = w

@@ -3,7 +3,9 @@ package llm
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -414,6 +416,59 @@ func TestCorruptSyntaxAlwaysChanges(t *testing.T) {
 		got := corruptSyntax(line, rng)
 		if got == line {
 			t.Fatalf("corruption %d left the line unchanged", i)
+		}
+	}
+}
+
+// TestGenerateConcurrentSafeAndDeterministic exercises the concurrency
+// contract the evaluation runner depends on: many goroutines sharing one
+// Model (and hitting the shared design-context cache on the same and on
+// different designs) must race-cleanly produce exactly the output a
+// sequential caller gets for the same (prompt, seed).
+func TestGenerateConcurrentSafeAndDeterministic(t *testing.T) {
+	model := New(GPT4o())
+	designs := []string{
+		"module a(clk, rst, q); input clk, rst; output q; reg q;\nalways @(posedge clk or posedge rst) if (rst) q <= 0; else q <= ~q;\nendmodule",
+		"module b(x, y, s); input x, y; output s; assign s = x ^ y;\nendmodule",
+	}
+	examples := []Example{{
+		Name:       "t_ff",
+		Source:     "module t_ff(clk, rst, t, q); input clk, rst, t; output q; reg q;\nalways @(posedge clk or posedge rst) if (rst) q <= 0; else if (t) q <= ~q;\nendmodule",
+		Assertions: []string{"rst == 1 |=> q == 0;"},
+	}}
+
+	type call struct {
+		design int
+		seed   int64
+	}
+	var calls []call
+	for d := range designs {
+		for s := int64(1); s <= 8; s++ {
+			calls = append(calls, call{d, s})
+		}
+	}
+	want := make([]GenResult, len(calls))
+	for i, c := range calls {
+		p := BuildPrompt(examples, designs[c.design], model.Profile.ContextWindow)
+		want[i] = model.Generate(p, GenOptions{Shots: 1, Seed: c.seed})
+	}
+
+	got := make([]GenResult, len(calls))
+	var wg sync.WaitGroup
+	for i, c := range calls {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := BuildPrompt(examples, designs[c.design], model.Profile.ContextWindow)
+			got[i] = model.Generate(p, GenOptions{Shots: 1, Seed: c.seed})
+		}()
+	}
+	wg.Wait()
+	for i := range calls {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("call %d (design %d, seed %d): concurrent output diverged\nwant %q\ngot  %q",
+				i, calls[i].design, calls[i].seed, want[i].Text, got[i].Text)
 		}
 	}
 }

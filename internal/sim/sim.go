@@ -208,13 +208,35 @@ func (s *Simulator) Reset(signal string, activeHigh bool, cycles int) error {
 	return s.SetInput(signal, v^1)
 }
 
+// ResetState returns the simulator to the power-on (all-zero) state
+// without reallocating: the environment is zeroed, pending non-blocking
+// writes are dropped, the cycle counter restarts, and combinational logic
+// re-settles. A reset simulator is indistinguishable from a fresh New —
+// pooled FPV engines use this to reuse one simulator across many runs
+// instead of rebuilding env buffers per assertion.
+func (s *Simulator) ResetState() {
+	for i := range s.env {
+		s.env[i] = 0
+	}
+	s.nba = s.nba[:0]
+	s.cycle = 0
+	s.settle()
+}
+
 // CopyState exports the register values (netlist Regs order).
 func (s *Simulator) CopyState() []uint64 {
 	out := make([]uint64, len(s.nl.Regs))
-	for i, idx := range s.nl.Regs {
-		out[i] = s.env[idx]
-	}
+	s.CopyStateInto(out)
 	return out
+}
+
+// CopyStateInto writes the register values (netlist Regs order) into dst,
+// which must have one entry per register: the allocation-free CopyState
+// for callers that snapshot state on a hot path.
+func (s *Simulator) CopyStateInto(dst []uint64) {
+	for i, idx := range s.nl.Regs {
+		dst[i] = s.env[idx]
+	}
 }
 
 // LoadState restores register values exported by CopyState and re-settles.

@@ -298,3 +298,43 @@ func TestSimErrors(t *testing.T) {
 		t.Error("LoadState with wrong arity should fail")
 	}
 }
+
+func TestResetStateMatchesFresh(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	s := New(nl)
+	// Dirty the simulator: run it well away from power-on.
+	if err := s.SetInput("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		s.Step()
+	}
+	if val(t, s, "count") == 0 {
+		t.Fatal("simulator did not leave the power-on state")
+	}
+	s.ResetState()
+	fresh := New(nl)
+	if s.Cycle() != 0 {
+		t.Errorf("cycle after ResetState = %d, want 0", s.Cycle())
+	}
+	for i, v := range s.Env() {
+		if v != fresh.Env()[i] {
+			t.Errorf("net %s after ResetState = %d, fresh = %d",
+				nl.Nets[i].Name, v, fresh.Env()[i])
+		}
+	}
+	// A reset simulator must behave identically to a fresh one.
+	for i := 0; i < 5; i++ {
+		if err := s.SetInput("en", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.SetInput("en", 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		fresh.Step()
+		if val(t, s, "count") != val(t, fresh, "count") {
+			t.Fatalf("cycle %d: reset sim diverged from fresh sim", i)
+		}
+	}
+}
