@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench race
+.PHONY: check fmt vet build test bench race apicheck
 
-check: fmt vet build test
+check: fmt vet build test apicheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/eval/ ./internal/llm/ ./internal/bench/
+
+# Build a tiny consumer program against the public package from a temp
+# module outside the repo, so internal/ leakage into public signatures
+# fails the build.
+apicheck:
+	sh scripts/apicheck.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

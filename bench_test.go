@@ -9,6 +9,7 @@
 package assertionbench_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -32,7 +33,7 @@ var (
 func experiment(b *testing.B) *eval.Experiment {
 	b.Helper()
 	expOnce.Do(func() {
-		exp, expErr = eval.NewExperiment(eval.ExperimentOptions{})
+		exp, expErr = eval.NewExperiment(context.Background(), eval.ExperimentOptions{})
 	})
 	if expErr != nil {
 		b.Fatal(expErr)
@@ -73,7 +74,7 @@ func benchCOTS(b *testing.B, p llm.Profile, shots int) {
 	e := experiment(b)
 	var last eval.RunResult
 	for i := 0; i < b.N; i++ {
-		r, err := e.RunCOTS(p, shots)
+		r, err := e.RunCOTS(context.Background(), p, shots)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	e := experiment(b)
 	for i := 0; i < b.N; i++ {
-		runs, err := e.RunAllCOTS()
+		runs, err := e.RunAllCOTS(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFigure9(b *testing.B) {
 				e := experiment(b)
 				var last eval.RunResult
 				for i := 0; i < b.N; i++ {
-					r, _, err := e.FinetunedRun(p, k)
+					r, _, err := e.FinetunedRun(context.Background(), p, k)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -138,11 +139,11 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkObservations(b *testing.B) {
 	e := experiment(b)
 	for i := 0; i < b.N; i++ {
-		cots, err := e.RunAllCOTS()
+		cots, err := e.RunAllCOTS(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		ft, err := e.RunAllFinetuned()
+		ft, err := e.RunAllFinetuned(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func shotName(k int) string {
 // with and without the syntax corrector.
 func BenchmarkAblationCorrector(b *testing.B) {
 	e := experiment(b)
-	model := llm.New(llm.GPT35())
+	gen := eval.NewModelGenerator(llm.GPT35())
 	for _, on := range []bool{true, false} {
 		on := on
 		name := "corrector_on"
@@ -175,7 +176,7 @@ func BenchmarkAblationCorrector(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last eval.RunResult
 			for i := 0; i < b.N; i++ {
-				r, err := eval.Run(model, e.ICL, e.Corpus, eval.RunOptions{
+				r, err := eval.Run(context.Background(), gen, e.ICL, e.Corpus, eval.RunOptions{
 					Shots: 1, UseCorrector: on,
 				})
 				if err != nil {
@@ -206,7 +207,7 @@ func BenchmarkAblationGrounding(b *testing.B) {
 			}
 			var last eval.RunResult
 			for i := 0; i < b.N; i++ {
-				r, err := e.RunCOTS(p, 5)
+				r, err := e.RunCOTS(context.Background(), p, 5)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -235,7 +236,7 @@ func BenchmarkAblationDecoding(b *testing.B) {
 			}
 			var last eval.RunResult
 			for i := 0; i < b.N; i++ {
-				r, err := e.RunCOTS(p, 5)
+				r, err := e.RunCOTS(context.Background(), p, 5)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -250,7 +251,7 @@ func BenchmarkAblationDecoding(b *testing.B) {
 // in-context examples vs the same example repeated five times.
 func BenchmarkAblationICLDiversity(b *testing.B) {
 	e := experiment(b)
-	model := llm.New(llm.GPT4o())
+	gen := eval.NewModelGenerator(llm.GPT4o())
 	repeated := []llm.Example{e.ICL[0], e.ICL[0], e.ICL[0], e.ICL[0], e.ICL[0]}
 	for _, diverse := range []bool{true, false} {
 		diverse := diverse
@@ -263,7 +264,7 @@ func BenchmarkAblationICLDiversity(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last eval.RunResult
 			for i := 0; i < b.N; i++ {
-				r, err := eval.Run(model, icl, e.Corpus, eval.RunOptions{
+				r, err := eval.Run(context.Background(), gen, icl, e.Corpus, eval.RunOptions{
 					Shots: 5, UseCorrector: true,
 				})
 				if err != nil {
@@ -279,7 +280,7 @@ func BenchmarkAblationICLDiversity(b *testing.B) {
 // BenchmarkAblationFinetuneEpochs sweeps the fine-tuning epoch count.
 func BenchmarkAblationFinetuneEpochs(b *testing.B) {
 	e := experiment(b)
-	corpus, _, err := e.FinetuneSplit()
+	corpus, _, err := e.FinetuneSplit(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func shotEpochs(n int) string {
 // pure scheduling.
 func BenchmarkEvalRunner(b *testing.B) {
 	e := experiment(b)
-	model := llm.New(llm.GPT4o())
+	gen := eval.NewModelGenerator(llm.GPT4o())
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -328,7 +329,7 @@ func BenchmarkEvalRunner(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			var last eval.RunResult
 			for i := 0; i < b.N; i++ {
-				r, err := eval.Run(model, e.ICL, e.Corpus, eval.RunOptions{
+				r, err := eval.Run(context.Background(), gen, e.ICL, e.Corpus, eval.RunOptions{
 					Shots: 5, UseCorrector: true, Workers: bc.workers,
 				})
 				if err != nil {
@@ -415,7 +416,7 @@ func BenchmarkFPVProve(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r := fpv.VerifySource(nl, "rst == 1 |=> gnt_ == 0", fpv.Options{})
+		r := fpv.VerifySource(context.Background(), nl, "rst == 1 |=> gnt_ == 0", fpv.Options{})
 		if r.Status != fpv.StatusProven {
 			b.Fatalf("unexpected status %v", r.Status)
 		}
@@ -429,7 +430,7 @@ func BenchmarkMineGoldMine(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := mine.GoldMine(nl, mine.Options{}); err != nil {
+		if _, err := mine.GoldMine(context.Background(), nl, mine.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -444,6 +445,8 @@ func BenchmarkGenerate(b *testing.B) {
 	prompt := llm.BuildPrompt(e.ICL, design.Source, model.Profile.ContextWindow)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		model.Generate(prompt, llm.GenOptions{Shots: 5, Seed: int64(i)})
+		if _, err := model.Generate(context.Background(), prompt, llm.GenOptions{Shots: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

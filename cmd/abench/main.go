@@ -1,6 +1,7 @@
 // Command abench runs the AssertionBench COTS evaluation (the paper's
 // Fig. 4 pipeline) for one or all models and prints the Pass/CEX/Error
-// metrics per k-shot setting.
+// metrics per k-shot setting. Ctrl-C cancels gracefully: in-flight
+// design jobs finish, everything else stops.
 //
 // Usage:
 //
@@ -8,20 +9,23 @@
 //	abench -model gpt4o         # one model
 //	abench -designs 20 -seed 7  # quick subset
 //	abench -per-design          # per-design verdict breakdown
+//	abench -stream              # print outcomes as designs complete
 //	abench -workers 8           # evaluation worker-pool size
 //	abench -shard 1/4           # evaluate the 2nd of 4 corpus shards
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/bench"
-	"assertionbench/internal/eval"
-	"assertionbench/internal/llm"
+	"assertionbench"
 )
 
 func main() {
@@ -31,62 +35,82 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	designs := flag.Int("designs", 0, "limit test designs (0 = all 100)")
 	perDesign := flag.Bool("per-design", false, "print per-design verdicts")
+	stream := flag.Bool("stream", false, "print each design outcome the moment it completes")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
 	flag.Parse()
 
-	shardIndex, shardCount, err := bench.ParseShard(*shard)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shardIndex, shardCount, err := assertionbench.ParseShard(*shard)
 	if err != nil {
 		log.Fatal(err)
 	}
-	e, err := eval.NewExperiment(eval.ExperimentOptions{
-		Seed:       *seed,
-		MaxDesigns: *designs,
-		Workers:    *workers,
-		ShardIndex: shardIndex,
-		ShardCount: shardCount,
-	})
+	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed, MaxDesigns: *designs})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	profiles := llm.COTSProfiles()
+	profiles := assertionbench.Profiles()
 	if *model != "" {
-		var filtered []llm.Profile
-		for _, p := range profiles {
-			if matches(p.Name, *model) {
-				filtered = append(filtered, p)
-			}
+		p, err := assertionbench.ProfileByName(*model)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if len(filtered) == 0 {
-			log.Fatalf("unknown model %q", *model)
-		}
-		profiles = filtered
+		profiles = []assertionbench.Profile{p}
 	}
 	type jsonRow struct {
-		Model   string       `json:"model"`
-		Shots   int          `json:"shots"`
-		Metrics eval.Metrics `json:"metrics"`
+		Model   string                 `json:"model"`
+		Shots   int                    `json:"shots"`
+		Metrics assertionbench.Metrics `json:"metrics"`
 	}
 	var rows []jsonRow
 	for _, p := range profiles {
 		for _, k := range []int{1, 5} {
-			r, err := e.RunCOTS(p, k)
-			if err != nil {
-				log.Fatal(err)
+			runner := assertionbench.NewRunner(assertionbench.NewModelGenerator(p), b, assertionbench.RunOptions{
+				Shots:        k,
+				Seed:         *seed,
+				UseCorrector: true,
+				Workers:      *workers,
+				ShardIndex:   shardIndex,
+				ShardCount:   shardCount,
+			})
+			var r assertionbench.RunResult
+			if *stream {
+				// Incremental mode: outcomes print as designs finish; the
+				// collected totals are identical to a batch run. With
+				// -json the progress lines go to stderr so stdout stays
+				// parseable.
+				progress := os.Stdout
+				if *asJSON {
+					progress = os.Stderr
+				}
+				r = assertionbench.RunResult{Generator: p.Name(), Shots: k}
+				for o, err := range runner.Stream(ctx) {
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Fprintf(progress, "%-14s %d-shot  #%03d %-28s %v\n", p.Name(), k, o.Index, o.Design, o.Metrics())
+					r.Metrics.Merge(o.Metrics())
+					r.Outcomes = append(r.Outcomes, o)
+				}
+			} else {
+				r, err = runner.Run(ctx)
+				if err != nil {
+					fatal(err)
+				}
 			}
 			if *asJSON {
-				rows = append(rows, jsonRow{Model: p.Name, Shots: k, Metrics: r.Metrics})
+				rows = append(rows, jsonRow{Model: p.Name(), Shots: k, Metrics: r.Metrics})
 				continue
 			}
-			fmt.Printf("%-14s %d-shot: %v\n", p.Name, k, r.Metrics)
-			if *perDesign {
-				for _, d := range r.Designs {
-					var m eval.Metrics
-					for _, v := range d.Verdicts {
-						m.Add(v)
-					}
-					fmt.Printf("    %-28s %v\n", d.Design, m)
+			fmt.Printf("%-14s %d-shot: %v\n", p.Name(), k, r.Metrics)
+			// Stream mode already printed one line per design; don't
+			// repeat them in a second format.
+			if *perDesign && !*stream {
+				for _, d := range r.Outcomes {
+					fmt.Printf("    %-28s %v\n", d.Design, d.Metrics())
 				}
 			}
 		}
@@ -100,16 +124,10 @@ func main() {
 	}
 }
 
-func matches(profileName, arg string) bool {
-	switch arg {
-	case "gpt3.5", "gpt-3.5":
-		return profileName == "GPT-3.5"
-	case "gpt4o", "gpt-4o":
-		return profileName == "GPT-4o"
-	case "codellama", "codellama2":
-		return profileName == "CodeLLaMa 2"
-	case "llama3", "llama3-70b":
-		return profileName == "LLaMa3-70B"
+// fatal distinguishes interruption from real failures.
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted; partial results discarded")
 	}
-	return false
+	log.Fatal(err)
 }

@@ -9,15 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/coverage"
-	"assertionbench/internal/fpv"
-	"assertionbench/internal/sva"
-	"assertionbench/internal/verilog"
+	"assertionbench"
 )
 
 func main() {
@@ -34,28 +34,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nl, err := verilog.ElaborateSource(string(src), "")
-	if err != nil {
-		log.Fatalf("design does not elaborate: %v", err)
-	}
 	assertions := flag.Args()[1:]
 	if *file != "" {
 		text, err := os.ReadFile(*file)
 		if err != nil {
 			log.Fatal(err)
 		}
-		assertions = append(assertions, sva.SplitAssertions(string(text))...)
+		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
 	}
 	if len(assertions) == 0 {
 		log.Fatal("no assertions given")
 	}
-	opt := coverage.Options{Seed: *seed}
-	var rep coverage.Report
-	if *verified {
-		rep, err = coverage.MeasureVerified(nl, assertions, fpv.Options{}, opt)
-	} else {
-		rep, err = coverage.Measure(nl, assertions, opt)
-	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := assertionbench.MeasureCoverage(ctx, string(src), assertions, assertionbench.CoverageOptions{
+		Seed:         *seed,
+		VerifiedOnly: *verified,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

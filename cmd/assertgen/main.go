@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/core"
+	"assertionbench"
 )
 
 func main() {
@@ -22,7 +25,7 @@ func main() {
 	model := flag.String("model", "gpt4o", "model: gpt3.5|gpt4o|codellama|llama3")
 	shots := flag.Int("shots", 1, "in-context examples (1..5)")
 	seed := flag.Int64("seed", 1, "sampling seed")
-	raw := flag.Bool("raw", false, "print the raw model output instead of corrected assertions")
+	raw := flag.Bool("raw", false, "print the uncorrected candidate lines")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: assertgen [-model M] [-shots K] design.v")
@@ -31,26 +34,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	id, err := core.ParseModel(*model)
+	p, err := assertionbench.ProfileByName(*model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *shots < 1 || *shots > 5 {
-		log.Fatal("shots must be in 1..5")
-	}
-	b, err := core.LoadBenchmark(core.Options{Seed: *seed})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen, err := core.Generate(id, string(src), b, *shots, *seed)
+	gen, err := b.GenerateAssertions(ctx, assertionbench.NewModelGenerator(p), string(src), *shots, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *raw {
-		fmt.Println(gen.Raw)
-		return
+	lines := gen.Assertions
+	if !*raw {
+		lines = assertionbench.CorrectAssertions(string(src), lines)
 	}
-	for _, a := range gen.Corrected {
+	for _, a := range lines {
 		fmt.Println(a)
 	}
 }

@@ -1,6 +1,7 @@
 // Command figures regenerates every table and figure of the paper as
 // text: Table I, Figure 3 (corpus sizes), Figures 6/7 (COTS evaluation),
 // Figure 9 (AssertionLLM), and the Observation 1-6 headline statistics.
+// Ctrl-C cancels the evaluation sweep gracefully.
 //
 // Usage:
 //
@@ -8,12 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/eval"
+	"assertionbench"
 )
 
 func main() {
@@ -25,23 +30,26 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	e, err := eval.NewExperiment(eval.ExperimentOptions{Seed: *seed, MaxDesigns: *designs, Workers: *workers})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed, MaxDesigns: *designs, Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	needCOTS := *only == "" || *only == "fig6" || *only == "fig7" || *only == "obs"
 	needFT := *only == "" || *only == "fig9" || *only == "obs"
 
-	var cots, ft []eval.RunResult
+	var cots, ft []assertionbench.RunResult
 	if needCOTS {
-		if cots, err = e.RunAllCOTS(); err != nil {
-			log.Fatal(err)
+		if cots, err = b.RunAllCOTS(ctx); err != nil {
+			fatal(err)
 		}
 	}
 	if needFT {
-		if ft, err = e.RunAllFinetuned(); err != nil {
-			log.Fatal(err)
+		if ft, err = b.RunAllFinetuned(ctx); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -51,12 +59,12 @@ func main() {
 		}
 		fmt.Println(text)
 	}
-	emit("table1", eval.TableI(e.Corpus))
-	emit("fig3", eval.Figure3(e.Corpus))
-	emit("fig6", eval.Figure6(cots))
-	emit("fig7", eval.Figure7(cots))
-	emit("fig9", eval.Figure9(ft))
-	emit("obs", eval.Observations(cots, ft))
+	emit("table1", assertionbench.TableI(b.Corpus()))
+	emit("fig3", assertionbench.Figure3(b.Corpus()))
+	emit("fig6", assertionbench.Figure6(cots))
+	emit("fig7", assertionbench.Figure7(cots))
+	emit("fig9", assertionbench.Figure9(ft))
+	emit("obs", assertionbench.Observations(cots, ft))
 	if *only != "" {
 		switch *only {
 		case "table1", "fig3", "fig6", "fig7", "fig9", "obs":
@@ -65,4 +73,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	log.Fatal(err)
 }

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/eval"
-	"assertionbench/internal/llm"
+	"assertionbench"
 )
 
 func main() {
@@ -28,38 +32,41 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	var profile llm.Profile
-	switch *base {
-	case "codellama", "codellama2":
-		profile = llm.CodeLlama2()
-	case "llama3", "llama3-70b":
-		profile = llm.Llama3()
+	profile, err := assertionbench.ProfileByName(*base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch profile.Name() {
+	case "CodeLLaMa 2", "LLaMa3-70B":
 	default:
-		log.Fatalf("unknown base %q (want codellama|llama3)", *base)
+		log.Fatalf("base must be a LLaMa-family model (codellama|llama3), not %s", profile.Name())
 	}
 
-	e, err := eval.NewExperiment(eval.ExperimentOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	b, err := assertionbench.Load(ctx, assertionbench.Options{
 		Seed:           *seed,
 		MaxDesigns:     *designs,
 		FinetuneEpochs: *epochs,
 		Workers:        *workers,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	for _, k := range []int{1, 5} {
-		baseRun, err := e.RunCOTS(profile, k)
+		baseRun, err := b.EvaluateCOTS(ctx, profile, k)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		ftRun, report, err := e.FinetunedRun(profile, k)
+		ftRun, report, err := b.EvaluateFinetuned(ctx, profile, k)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if k == 1 {
 			fmt.Printf("fine-tuning %s: held-out perplexity %.1f -> %.1f over %d epochs (gain %.2f)\n",
-				profile.Name, report.PerplexityBefore, report.PerplexityAfter, *epochs, report.Gain)
+				profile.Name(), report.PerplexityBefore, report.PerplexityAfter, *epochs, report.Gain)
 			fmt.Print("  per-epoch: ")
 			for i, p := range report.PerEpoch {
 				if i > 0 {
@@ -76,4 +83,11 @@ func main() {
 			100*(ftRun.Metrics.CEX()-baseRun.Metrics.CEX()),
 			100*(ftRun.Metrics.Error()-baseRun.Metrics.Error()))
 	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	log.Fatal(err)
 }

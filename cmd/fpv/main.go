@@ -1,5 +1,6 @@
 // Command fpv formally verifies SVA assertions against a Verilog design —
-// the repository's JasperGold stand-in.
+// the repository's JasperGold stand-in. Ctrl-C cancels the remaining
+// search gracefully.
 //
 // Usage:
 //
@@ -9,15 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/fpv"
-	"assertionbench/internal/sim"
-	"assertionbench/internal/sva"
-	"assertionbench/internal/verilog"
+	"assertionbench"
 )
 
 func main() {
@@ -35,48 +37,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nl, err := verilog.ElaborateSource(string(src), "")
-	if err != nil {
-		log.Fatalf("design does not elaborate: %v", err)
-	}
 	assertions := flag.Args()[1:]
 	if *file != "" {
 		text, err := os.ReadFile(*file)
 		if err != nil {
 			log.Fatal(err)
 		}
-		assertions = append(assertions, sva.SplitAssertions(string(text))...)
+		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
 	}
 	if len(assertions) == 0 {
 		log.Fatal("no assertions given")
 	}
-	opt := fpv.Options{MaxProductStates: *states}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
+		assertionbench.VerifyOptions{MaxProductStates: *states})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))
+		}
+		log.Fatal(err)
+	}
 	pass, cex, errs := 0, 0, 0
-	for _, a := range assertions {
-		r := fpv.VerifySource(nl, a, opt)
+	for _, r := range results {
 		detail := ""
 		switch {
-		case r.Status == fpv.StatusError:
+		case r.Status == assertionbench.StatusError:
 			errs++
 			detail = r.Err.Error()
-		case r.Status == fpv.StatusCEX:
+		case r.Status == assertionbench.StatusCEX:
 			cex++
-			detail = fmt.Sprintf("violation at cycle %d", r.CEX.ViolationCycle)
+			detail = fmt.Sprintf("violation at cycle %d", r.CEX.ViolationCycle())
 		default:
 			pass++
 			detail = fmt.Sprintf("states=%d exhaustive=%v", r.States, r.Exhaustive)
 		}
-		fmt.Printf("%-12s %-60s %s\n", r.Status, a, detail)
+		fmt.Printf("%-12s %-60s %s\n", r.Status, r.Assertion, detail)
 		if *showCEX && r.CEX != nil {
-			fmt.Print(r.CEX.Format(nl))
+			fmt.Print(r.CEX.Format())
 		}
 		if *vcd != "" && r.CEX != nil {
 			f, err := os.Create(*vcd)
 			if err != nil {
 				log.Fatal(err)
 			}
-			tr := sim.TraceFromSamples(nl, r.CEX.Sampled)
-			if err := sim.WriteVCD(f, tr, nl.Name); err != nil {
+			if err := r.CEX.WriteVCD(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {

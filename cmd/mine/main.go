@@ -1,19 +1,22 @@
 // Command mine runs the GOLDMINE-style and HARM-style assertion miners on
 // a Verilog design and prints ranked, formally verified assertions.
+// Ctrl-C cancels the verification filter gracefully.
 //
 // Usage:
 //
-//	mine [-miner goldmine|harm|both] [-max N] design.v
+//	mine [-miner goldmine|harm|security|both] [-max N] design.v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"assertionbench/internal/mine"
-	"assertionbench/internal/verilog"
+	"assertionbench"
 )
 
 func main() {
@@ -32,12 +35,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nl, err := verilog.ElaborateSource(string(src), "")
-	if err != nil {
-		log.Fatalf("design does not elaborate: %v", err)
-	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *taintGuard != "" {
-		leaks, err := mine.TaintCheck(nl, *taintGuard, *lockedVal, 32, 48, *seed)
+		leaks, err := assertionbench.TaintCheck(ctx, string(src), *taintGuard, *lockedVal, 32, 48, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,46 +52,19 @@ func main() {
 		}
 		return
 	}
-	opt := mine.Options{Seed: *seed, MaxAssertions: *max}
-	var mined []mine.Mined
-	if *which == "security" {
-		sm, err := mine.Security(nl, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mined = append(mined, sm...)
+	mined, err := assertionbench.MineAssertions(ctx, string(src), assertionbench.MineOptions{
+		Miner:         *which,
+		Seed:          *seed,
+		MaxAssertions: *max,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *which == "goldmine" || *which == "both" {
-		gm, err := mine.GoldMine(nl, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mined = append(mined, gm...)
-	}
-	if *which == "harm" || *which == "both" {
-		hm, err := mine.Harm(nl, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mined = append(mined, hm...)
-	}
-	mine.Rank(mined)
-	seen := map[string]bool{}
-	n := 0
 	for _, m := range mined {
-		s := m.Assertion.String()
-		if seen[s] {
-			continue
-		}
-		seen[s] = true
 		fmt.Printf("rank=%.4f support=%-4d cx=%-3d %s  [%s]\n",
-			m.Rank, m.Support, m.Complexity, s, m.Result.Status)
-		n++
-		if n >= *max {
-			break
-		}
+			m.Rank, m.Support, m.Complexity, m.Assertion, m.Status)
 	}
-	if n == 0 {
+	if len(mined) == 0 {
 		fmt.Println("no proven assertions mined")
 	}
 }

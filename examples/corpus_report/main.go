@@ -11,8 +11,7 @@ import (
 	"log"
 	"sort"
 
-	"assertionbench/internal/bench"
-	"assertionbench/internal/eval"
+	"assertionbench"
 )
 
 func main() {
@@ -20,14 +19,16 @@ func main() {
 	shard := flag.String("shard", "", "report one corpus shard, as index/count (e.g. 0/4)")
 	flag.Parse()
 
-	corpus := bench.TestCorpus()
-	train := bench.TrainDesigns()
+	// The corpus accessors skip benchmark loading (no mining): a report
+	// only needs the designs.
+	corpus := assertionbench.TestCorpus()
+	train := assertionbench.TrainingDesigns()
 	if *shard != "" {
-		index, count, err := bench.ParseShard(*shard)
+		index, count, err := assertionbench.ParseShard(*shard)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := bench.Shard(corpus, index, count)
+		s, err := assertionbench.ShardDesigns(corpus, index, count)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,7 +36,7 @@ func main() {
 		corpus = s
 	}
 
-	fmt.Print(eval.TableI(corpus))
+	fmt.Print(assertionbench.TableI(corpus))
 	fmt.Println()
 
 	// Category and type split.
@@ -72,5 +73,5 @@ func main() {
 	}
 
 	fmt.Println()
-	fmt.Print(eval.Figure3(corpus))
+	fmt.Print(assertionbench.Figure3(corpus))
 }

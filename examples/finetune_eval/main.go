@@ -1,49 +1,47 @@
 // finetune_eval builds AssertionLLM from the CodeLLaMa 2 base (paper
 // Sec. VI: 75/25 split of AssertionBench, 20 epochs) and shows the
-// before/after quality on a handful of held-out designs. -workers sizes
-// the concurrent evaluation runner's pool (results are identical at any
+// before/after quality on the held-out quarter. -workers sizes the
+// concurrent evaluation runner's pool (results are identical at any
 // worker count).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"assertionbench/internal/core"
-	"assertionbench/internal/eval"
-	"assertionbench/internal/llm"
+	"assertionbench"
 )
 
 func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	ctx := context.Background()
 
-	b, err := core.LoadBenchmark(core.Options{Workers: *workers})
+	b, err := assertionbench.Load(ctx, assertionbench.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("building AssertionLLM from CodeLLaMa 2 (20 epochs, 75/25 split)...")
-	tuned, report, err := core.BuildAssertionLLM(b, core.CodeLlama2)
+	tuned, report, err := b.AssertionLLM(ctx, assertionbench.CodeLlama2())
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("tuned generator: %s\n", tuned.Name())
 	fmt.Printf("held-out perplexity: %.1f -> %.1f (gain %.2f)\n",
 		report.PerplexityBefore, report.PerplexityAfter, report.Gain)
-	fmt.Printf("profile after tuning: grounding %.2f -> %.2f (5-shot), syntax noise %.2f -> %.2f\n",
-		llm.CodeLlama2().K5.Grounding, tuned.Profile.K5.Grounding,
-		llm.CodeLlama2().K5.SyntaxNoise, tuned.Profile.K5.SyntaxNoise)
 
 	// Compare base vs fine-tuned on the held-out quarter (Fig. 8: the
 	// fine-tuned pipeline drops the syntax corrector).
 	for _, k := range []int{1, 5} {
-		baseRun, err := b.Experiment.RunCOTS(llm.CodeLlama2(), k)
+		baseRun, err := b.EvaluateCOTS(ctx, assertionbench.CodeLlama2(), k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ftRun, _, err := b.Experiment.FinetunedRun(llm.CodeLlama2(), k)
+		ftRun, _, err := b.EvaluateFinetuned(ctx, assertionbench.CodeLlama2(), k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,8 +56,8 @@ func main() {
 	}
 }
 
-func printSample(r eval.RunResult) {
-	for _, d := range r.Designs {
+func printSample(r assertionbench.RunResult) {
+	for _, d := range r.Outcomes {
 		if len(d.Generated) == 0 {
 			continue
 		}

@@ -1,37 +1,40 @@
 // miner_vs_llm compares the classical mining pipeline (GOLDMINE/HARM,
 // every output formally proven) with LLM-based generation (fluent but
 // fallible) on one FIFO controller — the trade-off that motivates the
-// paper's study.
+// paper's study. Both sources implement the same Generator interface, so
+// the comparison also demonstrates the pluggable-source API: the miner
+// runs through the identical evaluation pipeline as the models.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"assertionbench/internal/core"
-	"assertionbench/internal/fpv"
+	"assertionbench"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	var design string
-	b, err := core.LoadBenchmark(core.Options{})
+	b, err := assertionbench.Load(ctx, assertionbench.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	var design assertionbench.Design
 	for _, d := range b.Corpus() {
 		if d.Name == "fifo_mem" {
-			design = d.Source
+			design = d
 		}
 	}
-	if design == "" {
+	if design.Source == "" {
 		log.Fatal("fifo_mem not in corpus")
 	}
 	fmt.Println("=== design: fifo_mem (FIFO occupancy controller) ===")
 
 	// Classical miners: slow, design-specific, but every assertion proven.
-	mined, err := core.Mine(design)
+	mined, err := assertionbench.MineAssertions(ctx, design.Source, assertionbench.MineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,24 +48,31 @@ func main() {
 	}
 
 	// LLM generation: fast and fluent, but unverified until FPV runs.
-	for _, id := range []core.ModelID{core.GPT35, core.GPT4o} {
-		p, _ := id.Profile()
-		gen, err := core.Generate(id, design, b, 5, 7)
+	// Miners and models share the Generator interface, so this loop treats
+	// them uniformly.
+	sources := []assertionbench.Generator{
+		assertionbench.NewModelGenerator(assertionbench.GPT35()),
+		assertionbench.NewModelGenerator(assertionbench.GPT4o()),
+		assertionbench.NewGoldMineGenerator(),
+	}
+	for _, gen := range sources {
+		out, err := b.GenerateAssertions(ctx, gen, design.Source, 5, 7)
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := core.Verify(design, gen.Corrected)
+		corrected := assertionbench.CorrectAssertions(design.Source, out.Assertions)
+		results, err := assertionbench.VerifyAssertions(ctx, design.Source, corrected, assertionbench.VerifyOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		pass, cex, errs := 0, 0, 0
-		fmt.Printf("\n--- %s, 5-shot ---\n", p.Name)
-		for i, r := range results {
-			fmt.Printf("  %-55s %s\n", gen.Corrected[i], r.Status)
+		fmt.Printf("\n--- %s, 5-shot ---\n", gen.Name())
+		for _, r := range results {
+			fmt.Printf("  %-55s %s\n", r.Assertion, r.Status)
 			switch {
-			case r.Status == fpv.StatusError:
+			case r.Status == assertionbench.StatusError:
 				errs++
-			case r.Status == fpv.StatusCEX:
+			case r.Status == assertionbench.StatusCEX:
 				cex++
 			default:
 				pass++

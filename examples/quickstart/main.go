@@ -1,79 +1,81 @@
 // Quickstart: generate assertions for the paper's Fig. 1 arbiter with a
 // simulated COTS model, correct them, and verify them with the FPV
-// engine — the full Fig. 4 loop on one design. Also verifies the paper's
-// Sec. II-A example properties P1 and P2 directly.
+// engine — the full Fig. 4 loop on one design, entirely through the
+// public assertionbench API. Also verifies the paper's Sec. II-A example
+// properties P1 and P2 directly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"assertionbench/internal/bench"
-	"assertionbench/internal/core"
-	"assertionbench/internal/fpv"
-	"assertionbench/internal/verilog"
+	"assertionbench"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// The design under verification: the paper's two-port arbiter.
-	design := bench.TrainArbiter
+	design := assertionbench.TrainArbiter()
 	fmt.Println("=== design: 2-port arbiter (paper Fig. 1) ===")
 
 	// Step 0: the paper's own example properties.
-	nl, err := verilog.ElaborateSource(design, "arb2")
+	props := []string{
+		"G((req1 == 1 && req2 == 0) -> (gnt1 == 1))",                     // P1
+		"G((req2 == 0 && gnt_ == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))", // P2
+	}
+	results, err := assertionbench.VerifyAssertions(ctx, design.Source, props, assertionbench.VerifyOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, prop := range []string{
-		"G((req1 == 1 && req2 == 0) -> (gnt1 == 1))",                     // P1
-		"G((req2 == 0 && gnt_ == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))", // P2
-	} {
-		r := fpv.VerifySource(nl, prop, fpv.Options{})
-		fmt.Printf("paper property %-62s -> %s\n", prop, r.Status)
+	for _, r := range results {
+		fmt.Printf("paper property %-62s -> %s\n", r.Assertion, r.Status)
 		if r.CEX != nil {
 			fmt.Printf("  refuted: attempt started cycle %d, violated cycle %d\n",
-				r.CEX.AttemptCycle, r.CEX.ViolationCycle)
+				r.CEX.AttemptCycle(), r.CEX.ViolationCycle())
 		}
 	}
 
 	// Step 1: load AssertionBench (mines the 5 training examples).
-	b, err := core.LoadBenchmark(core.Options{})
+	b, err := assertionbench.Load(ctx, assertionbench.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nbenchmark: %d train designs, %d test designs\n",
-		len(b.Train()), len(b.Corpus()))
+		len(b.TrainDesigns()), len(b.Corpus()))
 
 	// Step 2: 5-shot generation with the GPT-4o profile.
-	gen, err := core.Generate(core.GPT4o, design, b, 5, 42)
+	gen := assertionbench.NewModelGenerator(assertionbench.GPT4o())
+	out, err := b.GenerateAssertions(ctx, gen, design.Source, 5, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
+	corrected := assertionbench.CorrectAssertions(design.Source, out.Assertions)
 	fmt.Println("\n=== generated assertions (after syntax correction) ===")
-	for _, a := range gen.Corrected {
+	for _, a := range corrected {
 		fmt.Println(" ", a)
 	}
 
 	// Step 3: formal verification of every candidate.
-	results, err := core.Verify(design, gen.Corrected)
+	verdicts, err := assertionbench.VerifyAssertions(ctx, design.Source, corrected, assertionbench.VerifyOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n=== FPV verdicts ===")
 	pass, cex, errs := 0, 0, 0
-	for i, r := range results {
-		fmt.Printf("  %-50s %s\n", gen.Corrected[i], r.Status)
+	for _, r := range verdicts {
+		fmt.Printf("  %-50s %s\n", r.Assertion, r.Status)
 		switch {
-		case r.Status == fpv.StatusError:
+		case r.Status == assertionbench.StatusError:
 			errs++
-		case r.Status == fpv.StatusCEX:
+		case r.Status == assertionbench.StatusCEX:
 			cex++
 		default:
 			pass++
 		}
 	}
 	fmt.Printf("\nsummary: %d pass, %d cex, %d error out of %d generated\n",
-		pass, cex, errs, len(results))
+		pass, cex, errs, len(verdicts))
 }

@@ -7,26 +7,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"slices"
 
-	"assertionbench/internal/bench"
-	"assertionbench/internal/coverage"
-	"assertionbench/internal/mine"
-	"assertionbench/internal/verilog"
+	"assertionbench"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	for _, d := range bench.SecurityDesigns() {
+	for _, d := range assertionbench.SecurityDesigns() {
 		fmt.Printf("=== %s: %s ===\n", d.Name, d.Functionality)
-		nl, err := verilog.ElaborateSource(d.Source, d.Name)
-		if err != nil {
-			log.Fatal(err)
-		}
 
-		mined, err := mine.Security(nl, mine.Options{})
+		mined, err := assertionbench.MineAssertions(ctx, d.Source, assertionbench.MineOptions{Miner: "security"})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,10 +30,10 @@ func main() {
 		var texts []string
 		for _, m := range mined {
 			fmt.Printf("  %-50s support=%d\n", m.Assertion, m.Support)
-			texts = append(texts, m.Assertion.String())
+			texts = append(texts, m.Assertion)
 		}
 		if len(texts) > 0 {
-			rep, err := coverage.Measure(nl, texts, coverage.Options{})
+			rep, err := assertionbench.MeasureCoverage(ctx, d.Source, texts, assertionbench.CoverageOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -45,12 +41,16 @@ func main() {
 		}
 
 		// Information-flow check, guarded by the design's lock if any.
+		nets, err := assertionbench.DesignNets(d.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
 		guard := ""
-		if nl.NetIndex("locked") >= 0 {
+		if slices.Contains(nets, "locked") {
 			guard = "locked"
 		}
 		if guard != "" {
-			leaks, err := mine.TaintCheck(nl, guard, 1, 32, 48, 1)
+			leaks, err := assertionbench.TaintCheck(ctx, d.Source, guard, 1, 32, 48, 1)
 			if err != nil {
 				fmt.Printf("taint check skipped: %v\n", err)
 			} else if len(leaks) == 0 {

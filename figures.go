@@ -1,0 +1,41 @@
+package assertionbench
+
+import (
+	"assertionbench/internal/eval"
+)
+
+// Text renderers for every table and figure of the paper, over public
+// result types. The CLIs (cmd/figures, cmd/abench) are thin wrappers
+// around these.
+
+// TableI renders the paper's Table I benchmark inventory for a design
+// list.
+func TableI(corpus []Design) string {
+	return eval.TableI(internalDesigns(corpus))
+}
+
+// Figure3 renders the corpus size distribution.
+func Figure3(corpus []Design) string {
+	return eval.Figure3(internalDesigns(corpus))
+}
+
+// Figure6 renders the COTS Pass/CEX/Error grid grouped by shot count.
+func Figure6(results []RunResult) string {
+	return eval.Figure6(internalRunResults(results))
+}
+
+// Figure7 renders the COTS grid grouped by model.
+func Figure7(results []RunResult) string {
+	return eval.Figure7(internalRunResults(results))
+}
+
+// Figure9 renders the AssertionLLM (fine-tuned) grid.
+func Figure9(results []RunResult) string {
+	return eval.Figure9(internalRunResults(results))
+}
+
+// Observations renders the paper's Observation 1-6 headline statistics
+// from COTS and fine-tuned runs.
+func Observations(cots, finetuned []RunResult) string {
+	return eval.Observations(internalRunResults(cots), internalRunResults(finetuned))
+}

@@ -1,0 +1,117 @@
+package assertionbench
+
+import (
+	"context"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/mine"
+)
+
+// GenRequest is one generation call: produce candidate assertions for
+// Design, optionally conditioned on k in-context Examples.
+type GenRequest struct {
+	// Design is the module under verification.
+	Design Design
+	// Examples are the in-context examples (empty for sources that do not
+	// use prompts, e.g. miners).
+	Examples []Example
+	// Shots is the number of examples supplied.
+	Shots int
+	// Seed drives sampling. When the Runner drives a Generator it passes
+	// a composed per-design seed (a pure function of the run seed, the
+	// design's global corpus index, and the shot count — distinct per
+	// design); one-off calls like Benchmark.GenerateAssertions pass the
+	// caller's seed verbatim. Equal requests must produce equal outputs —
+	// that is the determinism contract, and implementations share the
+	// obligation. Treat the seed as an opaque sampling input, not a
+	// unique design identifier.
+	Seed int64
+}
+
+// GenOutput is a generator's answer: candidate assertion lines plus
+// optional channel bookkeeping.
+type GenOutput struct {
+	// Assertions are the candidate lines, one assertion per entry.
+	Assertions []string
+	// OffTask and Grounded count off-task lines and behaviour-derived
+	// assertions, for ablation analysis. Sources without the concepts
+	// leave them zero.
+	OffTask  int
+	Grounded int
+}
+
+// Generator is a pluggable assertion source: a simulated COTS LLM, a
+// fine-tuned model, a classical miner (GOLDMINE/HARM), or anything a
+// caller implements. Every source runs through the identical evaluation
+// pipeline — corrector, FPV, metrics, worker pool — which is what makes
+// cross-source comparisons meaningful.
+//
+// Implementations must be safe for concurrent use (the runner's worker
+// pool shares one instance) and deterministic in the request.
+type Generator interface {
+	Name() string
+	Generate(ctx context.Context, req GenRequest) (GenOutput, error)
+}
+
+// NewModelGenerator returns the Generator for a simulated LLM profile:
+// it renders the paper's Fig. 5 k-shot prompt, samples the model, and
+// splits the completion into candidate lines.
+func NewModelGenerator(p Profile) Generator {
+	return evalGenerator{g: eval.NewModelGenerator(p.p)}
+}
+
+// NewGoldMineGenerator returns the GOLDMINE-style miner as a Generator:
+// decision-tree rule learning over simulation traces, FPV-filtered. It
+// ignores in-context examples — miners read the RTL, not a prompt.
+func NewGoldMineGenerator() Generator {
+	return evalGenerator{g: eval.GoldMineGenerator(mine.Options{})}
+}
+
+// NewHarmGenerator returns the HARM-style hint/template miner as a
+// Generator.
+func NewHarmGenerator() Generator {
+	return evalGenerator{g: eval.HarmGenerator(mine.Options{})}
+}
+
+// evalGenerator lifts an internal eval.Generator to the public interface.
+type evalGenerator struct {
+	g eval.Generator
+}
+
+func (w evalGenerator) Name() string { return w.g.Name() }
+
+func (w evalGenerator) Generate(ctx context.Context, req GenRequest) (GenOutput, error) {
+	out, err := w.g.Generate(ctx, req.Design.internal(), internalExamples(req.Examples), eval.GenOptions{
+		Shots: req.Shots,
+		Seed:  req.Seed,
+	})
+	return GenOutput(out), err
+}
+
+// generatorAdapter lowers a public Generator into the runner.
+type generatorAdapter struct {
+	g Generator
+}
+
+func (a generatorAdapter) Name() string { return a.g.Name() }
+
+func (a generatorAdapter) Generate(ctx context.Context, d bench.Design, icl []llm.Example, opt eval.GenOptions) (eval.GenOutput, error) {
+	out, err := a.g.Generate(ctx, GenRequest{
+		Design:   newDesign(d),
+		Examples: newExamples(icl),
+		Shots:    opt.Shots,
+		Seed:     opt.Seed,
+	})
+	return eval.GenOutput(out), err
+}
+
+// adaptGenerator unwraps built-in generators (avoiding a public/internal
+// round trip per design) and adapts caller implementations.
+func adaptGenerator(g Generator) eval.Generator {
+	if w, ok := g.(evalGenerator); ok {
+		return w.g
+	}
+	return generatorAdapter{g: g}
+}

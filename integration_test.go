@@ -1,11 +1,12 @@
 package assertionbench_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"assertionbench"
 	"assertionbench/internal/bench"
-	"assertionbench/internal/core"
 	"assertionbench/internal/coverage"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/mine"
@@ -14,27 +15,31 @@ import (
 )
 
 // TestFullLoopOnArbiter drives the complete Fig. 4 loop on the paper's
-// Fig. 1 arbiter: benchmark load, k-shot generation, correction, FPV.
+// Fig. 1 arbiter through the public facade: benchmark load, k-shot
+// generation, correction, FPV.
 func TestFullLoopOnArbiter(t *testing.T) {
-	b, err := core.LoadBenchmark(core.Options{MaxDesigns: 3})
+	ctx := context.Background()
+	b, err := assertionbench.Load(ctx, assertionbench.Options{MaxDesigns: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
+	gen := assertionbench.NewModelGenerator(assertionbench.GPT4o())
 	for _, shots := range []int{1, 5} {
-		gen, err := core.Generate(core.GPT4o, bench.TrainArbiter, b, shots, 11)
+		out, err := b.GenerateAssertions(ctx, gen, bench.TrainArbiter, shots, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(gen.Corrected) == 0 {
+		corrected := assertionbench.CorrectAssertions(bench.TrainArbiter, out.Assertions)
+		if len(corrected) == 0 {
 			t.Fatalf("%d-shot generation produced nothing", shots)
 		}
-		results, err := core.Verify(bench.TrainArbiter, gen.Corrected)
+		results, err := assertionbench.VerifyAssertions(ctx, bench.TrainArbiter, corrected, assertionbench.VerifyOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, r := range results {
-			if r.Status == fpv.StatusCEX && r.CEX == nil {
-				t.Errorf("CEX verdict without trace for %q", gen.Corrected[i])
+			if r.Status == assertionbench.StatusCEX && r.CEX == nil {
+				t.Errorf("CEX verdict without trace for %q", corrected[i])
 			}
 		}
 	}
@@ -53,7 +58,7 @@ func TestMinedAssertionsCoverAndExport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mined, err := mine.Harm(nl, mine.Options{})
+	mined, err := mine.Harm(context.Background(), nl, mine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +69,7 @@ func TestMinedAssertionsCoverAndExport(t *testing.T) {
 	for _, m := range mined {
 		texts = append(texts, m.Assertion.String())
 	}
-	rep, err := coverage.Measure(nl, texts, coverage.Options{})
+	rep, err := coverage.Measure(context.Background(), nl, texts, coverage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +98,13 @@ func TestSecurityFlowEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mined, err := mine.Security(nl, mine.Options{})
+		mined, err := mine.Security(context.Background(), nl, mine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, m := range mined {
 			// Everything the security miner emits must re-verify.
-			r := fpv.Verify(nl, m.Assertion, fpv.Options{})
+			r := fpv.Verify(context.Background(), nl, m.Assertion, fpv.Options{})
 			if !r.Status.IsPass() {
 				t.Errorf("%s: %q fails re-verification (%v)", d.Name, m.Assertion, r.Status)
 			}
@@ -116,11 +121,11 @@ func TestRangedDelayThroughTheStack(t *testing.T) {
 		t.Fatal(err)
 	}
 	prop := "rst == 1 |-> ##[1:2] count == 0"
-	r := fpv.VerifySource(nl, prop, fpv.Options{})
+	r := fpv.VerifySource(context.Background(), nl, prop, fpv.Options{})
 	if r.Status != fpv.StatusProven {
 		t.Fatalf("ranged reset property: %v, want proven", r.Status)
 	}
-	rep, err := coverage.Measure(nl, []string{prop}, coverage.Options{})
+	rep, err := coverage.Measure(context.Background(), nl, []string{prop}, coverage.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +158,7 @@ func TestCorpusDesignsVerifySomething(t *testing.T) {
 			t.Fatalf("%s: no usable signal", d.Name)
 		}
 		prop := sig + " == " + sig + " |-> 1"
-		r := fpv.VerifySource(nl, prop, fpv.Options{
+		r := fpv.VerifySource(context.Background(), nl, prop, fpv.Options{
 			MaxProductStates: 500, MaxInputBits: 6, MaxInputSamples: 4,
 			RandomRuns: 2, RandomDepth: 8,
 		})

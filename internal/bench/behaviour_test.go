@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"assertionbench/internal/fpv"
@@ -28,7 +29,7 @@ func design(t *testing.T, name string) *verilog.Netlist {
 
 func prove(t *testing.T, nl *verilog.Netlist, prop string) {
 	t.Helper()
-	r := fpv.VerifySource(nl, prop, fpv.Options{})
+	r := fpv.VerifySource(context.Background(), nl, prop, fpv.Options{})
 	if r.Status != fpv.StatusProven {
 		t.Errorf("%s: %q -> %v, want proven", nl.Name, prop, r.Status)
 		if r.CEX != nil {
@@ -39,7 +40,7 @@ func prove(t *testing.T, nl *verilog.Netlist, prop string) {
 
 func refute(t *testing.T, nl *verilog.Netlist, prop string) {
 	t.Helper()
-	r := fpv.VerifySource(nl, prop, fpv.Options{})
+	r := fpv.VerifySource(context.Background(), nl, prop, fpv.Options{})
 	if r.Status != fpv.StatusCEX {
 		t.Errorf("%s: %q -> %v, want cex", nl.Name, prop, r.Status)
 	}
@@ -106,12 +107,12 @@ func TestHandshakeNeverDropsData(t *testing.T) {
 
 func TestSatAdderSaturates(t *testing.T) {
 	nl := design(t, "qadd") // 12-bit
-	r := fpv.VerifySource(nl, "sat == 1 |-> sum == 12'hfff", fpv.Options{})
+	r := fpv.VerifySource(context.Background(), nl, "sat == 1 |-> sum == 12'hfff", fpv.Options{})
 	// 24 input bits: bounded mode; a bounded pass is the expected verdict.
 	if !r.Status.IsPass() {
 		t.Errorf("saturation property: %v", r.Status)
 	}
-	r = fpv.VerifySource(nl, "a == 0 |-> sum == b", fpv.Options{})
+	r = fpv.VerifySource(context.Background(), nl, "a == 0 |-> sum == b", fpv.Options{})
 	if !r.Status.IsPass() {
 		t.Errorf("identity property: %v", r.Status)
 	}
@@ -144,13 +145,13 @@ func TestRegBankReadsBackWrites(t *testing.T) {
 	nl := design(t, "regbank_4x4")
 	// 16 state bits x 8 input bits exceeds the exhaustive product budget;
 	// a bounded pass is the expected verdict here.
-	r := fpv.VerifySource(nl,
+	r := fpv.VerifySource(context.Background(), nl,
 		"rst == 0 && we == 1 && sel == 1 ##1 rst == 0 && sel == 1 && we == 0 |-> dout == $past(din)",
 		fpv.Options{})
 	if !r.Status.IsPass() {
 		t.Errorf("write-read property: %v", r.Status)
 	}
-	r = fpv.VerifySource(nl, "rst == 1 |=> r0 == 0", fpv.Options{})
+	r = fpv.VerifySource(context.Background(), nl, "rst == 1 |=> r0 == 0", fpv.Options{})
 	if !r.Status.IsPass() {
 		t.Errorf("reset property: %v", r.Status)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -121,7 +122,7 @@ func TestBuildICLExamples(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mining in short mode")
 	}
-	icl, err := BuildICL(ICLOptions{FPV: fpv.Options{MaxProductStates: 20000, RandomRuns: 16}})
+	icl, err := BuildICL(context.Background(), ICLOptions{FPV: fpv.Options{MaxProductStates: 20000, RandomRuns: 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestBuildICLExamples(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, as := range ex.Assertions {
-			r := fpv.VerifySource(nl, strings.TrimSuffix(as, ";"), fpv.Options{})
+			r := fpv.VerifySource(context.Background(), nl, strings.TrimSuffix(as, ";"), fpv.Options{})
 			if !r.Status.IsPass() {
 				t.Errorf("%s: ICL assertion %q is not proven (%v)", ex.Name, as, r.Status)
 			}

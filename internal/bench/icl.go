@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"assertionbench/internal/fpv"
@@ -33,11 +34,11 @@ func (o ICLOptions) withDefaults() ICLOptions {
 // designs with GOLDMINE and HARM (exactly the paper's Sec. III pipeline)
 // and packages them as prompt examples. Every returned example carries at
 // least two proven assertions.
-func BuildICL(opt ICLOptions) ([]llm.Example, error) {
+func BuildICL(ctx context.Context, opt ICLOptions) ([]llm.Example, error) {
 	opt = opt.withDefaults()
 	var out []llm.Example
 	for _, d := range TrainDesigns() {
-		ex, err := MineExample(d, opt)
+		ex, err := MineExample(ctx, d, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -48,18 +49,18 @@ func BuildICL(opt ICLOptions) ([]llm.Example, error) {
 
 // MineExample mines one design into a prompt example (union of both
 // miners, ranked, capped).
-func MineExample(d Design, opt ICLOptions) (llm.Example, error) {
+func MineExample(ctx context.Context, d Design, opt ICLOptions) (llm.Example, error) {
 	opt = opt.withDefaults()
 	nl, err := verilog.ElaborateSource(d.Source, d.Name)
 	if err != nil {
 		return llm.Example{}, fmt.Errorf("bench: design %s does not elaborate: %w", d.Name, err)
 	}
 	mopt := mine.Options{Seed: opt.Seed, FPV: opt.FPV, MaxAssertions: opt.MaxAssertions}
-	gm, err := mine.GoldMine(nl, mopt)
+	gm, err := mine.GoldMine(ctx, nl, mopt)
 	if err != nil {
 		return llm.Example{}, err
 	}
-	hm, err := mine.Harm(nl, mopt)
+	hm, err := mine.Harm(ctx, nl, mopt)
 	if err != nil {
 		return llm.Example{}, err
 	}

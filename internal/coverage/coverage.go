@@ -20,6 +20,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -93,7 +94,8 @@ func (o Options) withDefaults() Options {
 }
 
 // Measure computes the coverage of assertion texts on a design.
-func Measure(nl *verilog.Netlist, assertions []string, opt Options) (Report, error) {
+// Cancelling ctx aborts the remaining trace measurements with ctx.Err().
+func Measure(ctx context.Context, nl *verilog.Netlist, assertions []string, opt Options) (Report, error) {
 	opt = opt.withDefaults()
 	var rep Report
 
@@ -160,6 +162,9 @@ func Measure(nl *verilog.Netlist, assertions []string, opt Options) (Report, err
 	states := map[string]bool{}
 	activatedStates := map[string]bool{}
 	for ti := 0; ti < opt.Traces; ti++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		tr, err := sim.RandomTrace(nl, opt.TraceCycles, 2, opt.Seed+int64(ti)*101)
 		if err != nil {
 			return rep, err
@@ -227,10 +232,10 @@ func countActivations(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace, fire
 
 // CompareSets measures several assertion sets and ranks them by Goodness,
 // for set-level comparisons (e.g. miner output vs LLM output).
-func CompareSets(nl *verilog.Netlist, sets map[string][]string, opt Options) ([]SetScore, error) {
+func CompareSets(ctx context.Context, nl *verilog.Netlist, sets map[string][]string, opt Options) ([]SetScore, error) {
 	var out []SetScore
 	for name, set := range sets {
-		rep, err := Measure(nl, set, opt)
+		rep, err := Measure(ctx, nl, set, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -253,12 +258,16 @@ type SetScore struct {
 
 // MeasureVerified is Measure restricted to assertions that pass FPV — the
 // goodness of the *sound* part of a generated set.
-func MeasureVerified(nl *verilog.Netlist, assertions []string, fpvOpt fpv.Options, opt Options) (Report, error) {
+func MeasureVerified(ctx context.Context, nl *verilog.Netlist, assertions []string, fpvOpt fpv.Options, opt Options) (Report, error) {
 	var proven []string
 	for _, src := range assertions {
-		if r := fpv.VerifySource(nl, src, fpvOpt); r.Status.IsPass() {
+		r := fpv.VerifySource(ctx, nl, src, fpvOpt)
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+		if r.Status.IsPass() {
 			proven = append(proven, src)
 		}
 	}
-	return Measure(nl, proven, opt)
+	return Measure(ctx, nl, proven, opt)
 }

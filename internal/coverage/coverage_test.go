@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"context"
 	"testing"
 
 	"assertionbench/internal/fpv"
@@ -31,7 +32,7 @@ func TestSignalCoverage(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
 	// Interesting nets: rst, en, count (clk is a clock). Mentioning two of
 	// three gives 2/3.
-	rep, err := Measure(nl, []string{"rst == 1 |=> count == 0"}, Options{})
+	rep, err := Measure(context.Background(), nl, []string{"rst == 1 |=> count == 0"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSignalCoverage(t *testing.T) {
 func TestActivationCoverage(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
 	// A tautological antecedent fires every cycle.
-	always, err := Measure(nl, []string{"en == en |-> count == count"}, Options{})
+	always, err := Measure(context.Background(), nl, []string{"en == en |-> count == count"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestActivationCoverage(t *testing.T) {
 		t.Errorf("state coverage = %.3f, want ~1", always.StateCoverage)
 	}
 	// An unreachable antecedent never fires.
-	never, err := Measure(nl, []string{"count == 500 |-> en == 1"}, Options{})
+	never, err := Measure(context.Background(), nl, []string{"count == 500 |-> en == 1"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestActivationCoverage(t *testing.T) {
 
 func TestRareAntecedentCoversFewerCycles(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	rare, err := Measure(nl, []string{"count == 7 |-> count != 8"}, Options{})
+	rare, err := Measure(context.Background(), nl, []string{"count == 7 |-> count != 8"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	common, err := Measure(nl, []string{"rst == 0 |-> count == count"}, Options{})
+	common, err := Measure(context.Background(), nl, []string{"rst == 0 |-> count == count"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRareAntecedentCoversFewerCycles(t *testing.T) {
 
 func TestSkipsBrokenAssertions(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	rep, err := Measure(nl, []string{
+	rep, err := Measure(context.Background(), nl, []string{
 		"rst == 1 |=> count == 0",
 		"not an assertion at all",
 		"nosuch == 1 |-> en == 1",
@@ -105,11 +106,11 @@ func TestSkipsBrokenAssertions(t *testing.T) {
 
 func TestGoodnessMonotoneInSetSize(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	small, err := Measure(nl, []string{"rst == 1 |=> count == 0"}, Options{})
+	small, err := Measure(context.Background(), nl, []string{"rst == 1 |=> count == 0"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Measure(nl, []string{
+	big, err := Measure(context.Background(), nl, []string{
 		"rst == 1 |=> count == 0",
 		"en == 0 && rst == 0 |=> $stable(count)",
 		"en == 1 && rst == 0 && count < 15 |=> count == $past(count) + 1",
@@ -127,7 +128,7 @@ func TestGoodnessMonotoneInSetSize(t *testing.T) {
 
 func TestCompareSetsRanksByGoodness(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	scores, err := CompareSets(nl, map[string][]string{
+	scores, err := CompareSets(context.Background(), nl, map[string][]string{
 		"rich": {"rst == 1 |=> count == 0", "en == 0 && rst == 0 |=> $stable(count)"},
 		"poor": {"count == 500 |-> en == 1"},
 	}, Options{})
@@ -141,7 +142,7 @@ func TestCompareSetsRanksByGoodness(t *testing.T) {
 
 func TestMeasureVerifiedDropsRefuted(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	rep, err := MeasureVerified(nl, []string{
+	rep, err := MeasureVerified(context.Background(), nl, []string{
 		"rst == 1 |=> count == 0", // proven
 		"en == 1 |=> count == 0",  // cex
 	}, fpv.Options{}, Options{})
@@ -156,11 +157,11 @@ func TestMeasureVerifiedDropsRefuted(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
 	set := []string{"rst == 1 |=> count == 0", "en == 1 |-> rst == rst"}
-	a, err := Measure(nl, set, Options{Seed: 5})
+	a, err := Measure(context.Background(), nl, set, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Measure(nl, set, Options{Seed: 5})
+	b, err := Measure(context.Background(), nl, set, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

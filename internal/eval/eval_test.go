@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestMetricsFractions(t *testing.T) {
 
 func testExperiment(t *testing.T, n int) *Experiment {
 	t.Helper()
-	e, err := NewExperiment(ExperimentOptions{MaxDesigns: n})
+	e, err := NewExperiment(context.Background(), ExperimentOptions{MaxDesigns: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func testExperiment(t *testing.T, n int) *Experiment {
 
 func TestRunPipelineSmall(t *testing.T) {
 	e := testExperiment(t, 8)
-	r, err := e.RunCOTS(llm.GPT4o(), 1)
+	r, err := e.RunCOTS(context.Background(), llm.GPT4o(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestRunPipelineSmall(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	e := testExperiment(t, 6)
-	a, err := e.RunCOTS(llm.GPT35(), 5)
+	a, err := e.RunCOTS(context.Background(), llm.GPT35(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.RunCOTS(llm.GPT35(), 5)
+	b, err := e.RunCOTS(context.Background(), llm.GPT35(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +97,8 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunRejectsTooManyShots(t *testing.T) {
 	e := testExperiment(t, 2)
-	model := llm.New(llm.GPT35())
-	if _, err := Run(model, e.ICL, e.Corpus, RunOptions{Shots: 9}); err == nil {
+	gen := NewModelGenerator(llm.GPT35())
+	if _, err := Run(context.Background(), gen, e.ICL, e.Corpus, RunOptions{Shots: 9}); err == nil {
 		t.Fatal("9-shot with 5 examples must fail")
 	}
 }
@@ -106,12 +107,12 @@ func TestCorrectorAblation(t *testing.T) {
 	// The corrector must strictly reduce the Error fraction (stage 3 of
 	// Fig. 4 exists for a reason).
 	e := testExperiment(t, 12)
-	model := llm.New(llm.GPT35())
-	with, err := Run(model, e.ICL, e.Corpus, RunOptions{Shots: 1, UseCorrector: true})
+	gen := NewModelGenerator(llm.GPT35())
+	with, err := Run(context.Background(), gen, e.ICL, e.Corpus, RunOptions{Shots: 1, UseCorrector: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Run(model, e.ICL, e.Corpus, RunOptions{Shots: 1, UseCorrector: false})
+	without, err := Run(context.Background(), gen, e.ICL, e.Corpus, RunOptions{Shots: 1, UseCorrector: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestCorrectorAblation(t *testing.T) {
 
 func TestFinetuneSplitIsDisjointAndCached(t *testing.T) {
 	e := testExperiment(t, 16)
-	corpus1, evalSet1, err := e.FinetuneSplit()
+	corpus1, evalSet1, err := e.FinetuneSplit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	corpus2, evalSet2, err := e.FinetuneSplit()
+	corpus2, evalSet2, err := e.FinetuneSplit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

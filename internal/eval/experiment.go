@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -61,9 +62,10 @@ type Experiment struct {
 }
 
 // NewExperiment builds the benchmark and mines the ICL examples.
-func NewExperiment(opt ExperimentOptions) (*Experiment, error) {
+// Cancelling ctx aborts the ICL mining with ctx.Err().
+func NewExperiment(ctx context.Context, opt ExperimentOptions) (*Experiment, error) {
 	opt = opt.withDefaults()
-	icl, err := bench.BuildICL(bench.ICLOptions{Seed: opt.Seed, FPV: opt.MineFPV})
+	icl, err := bench.BuildICL(ctx, bench.ICLOptions{Seed: opt.Seed, FPV: opt.MineFPV})
 	if err != nil {
 		return nil, err
 	}
@@ -81,9 +83,8 @@ func NewExperiment(opt ExperimentOptions) (*Experiment, error) {
 
 // RunCOTS evaluates one COTS profile at one shot count with the full
 // Fig. 4 pipeline (corrector on).
-func (e *Experiment) RunCOTS(profile llm.Profile, shots int) (RunResult, error) {
-	model := llm.New(profile)
-	return Run(model, e.ICL, e.Corpus, RunOptions{
+func (e *Experiment) RunCOTS(ctx context.Context, profile llm.Profile, shots int) (RunResult, error) {
+	return Run(ctx, NewModelGenerator(profile), e.ICL, e.Corpus, RunOptions{
 		Shots:        shots,
 		Seed:         e.Opt.Seed,
 		UseCorrector: true,
@@ -95,11 +96,11 @@ func (e *Experiment) RunCOTS(profile llm.Profile, shots int) (RunResult, error) 
 
 // RunAllCOTS produces the Fig. 6 / Fig. 7 grid: every COTS profile at 1-
 // and 5-shot.
-func (e *Experiment) RunAllCOTS() ([]RunResult, error) {
+func (e *Experiment) RunAllCOTS(ctx context.Context) ([]RunResult, error) {
 	var out []RunResult
 	for _, p := range llm.COTSProfiles() {
 		for _, k := range []int{1, 5} {
-			r, err := e.RunCOTS(p, k)
+			r, err := e.RunCOTS(ctx, p, k)
 			if err != nil {
 				return nil, err
 			}
@@ -112,7 +113,7 @@ func (e *Experiment) RunAllCOTS() ([]RunResult, error) {
 // FinetuneSplit mines the fine-tuning corpus from 75% of AssertionBench
 // and reserves 25% for evaluation (paper Sec. VI). The split and mining
 // run once and are cached.
-func (e *Experiment) FinetuneSplit() ([]llm.Example, []bench.Design, error) {
+func (e *Experiment) FinetuneSplit(ctx context.Context) ([]llm.Example, []bench.Design, error) {
 	if e.ftCorpus != nil {
 		return e.ftCorpus, e.ftEval, nil
 	}
@@ -126,14 +127,14 @@ func (e *Experiment) FinetuneSplit() ([]llm.Example, []bench.Design, error) {
 	corpus := make([]llm.Example, 0, cut+len(e.Train))
 	// The five training designs always belong to the tuning corpus.
 	for _, d := range e.Train {
-		ex, err := bench.MineExample(d, bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV})
+		ex, err := bench.MineExample(ctx, d, bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV})
 		if err != nil {
 			return nil, nil, err
 		}
 		corpus = append(corpus, ex)
 	}
 	for _, i := range trainIdx {
-		ex, err := bench.MineExample(e.Corpus[i], bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV, MaxAssertions: 6})
+		ex, err := bench.MineExample(ctx, e.Corpus[i], bench.ICLOptions{Seed: e.Opt.Seed, FPV: e.Opt.MineFPV, MaxAssertions: 6})
 		if err != nil {
 			return nil, nil, fmt.Errorf("mining %s: %w", e.Corpus[i].Name, err)
 		}
@@ -150,8 +151,8 @@ func (e *Experiment) FinetuneSplit() ([]llm.Example, []bench.Design, error) {
 // FinetunedRun builds AssertionLLM from the given base profile and
 // evaluates it on the held-out 25% with the Fig. 8 pipeline (corrector
 // removed).
-func (e *Experiment) FinetunedRun(base llm.Profile, shots int) (RunResult, llm.FinetuneReport, error) {
-	corpus, evalSet, err := e.FinetuneSplit()
+func (e *Experiment) FinetunedRun(ctx context.Context, base llm.Profile, shots int) (RunResult, llm.FinetuneReport, error) {
+	corpus, evalSet, err := e.FinetuneSplit(ctx)
 	if err != nil {
 		return RunResult{}, llm.FinetuneReport{}, err
 	}
@@ -160,7 +161,7 @@ func (e *Experiment) FinetunedRun(base llm.Profile, shots int) (RunResult, llm.F
 		Epochs: e.Opt.FinetuneEpochs,
 		Seed:   e.Opt.Seed,
 	})
-	r, err := Run(tuned, e.ICL, evalSet, RunOptions{
+	r, err := Run(ctx, ModelGenerator{Model: tuned}, e.ICL, evalSet, RunOptions{
 		Shots:        shots,
 		Seed:         e.Opt.Seed,
 		UseCorrector: false,
@@ -173,11 +174,11 @@ func (e *Experiment) FinetunedRun(base llm.Profile, shots int) (RunResult, llm.F
 
 // RunAllFinetuned produces the Fig. 9 grid: AssertionLLM over CodeLLaMa 2
 // and LLaMa3-70B at 1- and 5-shot.
-func (e *Experiment) RunAllFinetuned() ([]RunResult, error) {
+func (e *Experiment) RunAllFinetuned(ctx context.Context) ([]RunResult, error) {
 	var out []RunResult
 	for _, p := range []llm.Profile{llm.CodeLlama2(), llm.Llama3()} {
 		for _, k := range []int{1, 5} {
-			r, _, err := e.FinetunedRun(p, k)
+			r, _, err := e.FinetunedRun(ctx, p, k)
 			if err != nil {
 				return nil, err
 			}

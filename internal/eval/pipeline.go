@@ -1,14 +1,15 @@
 package eval
 
 import (
-	"fmt"
+	"context"
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/llm"
 )
 
-// RunOptions configure one evaluation run of one model at one shot count.
+// RunOptions configure one evaluation run of one generator at one shot
+// count.
 type RunOptions struct {
 	// Shots is k for k-shot ICL (the paper evaluates 1 and 5).
 	Shots int
@@ -33,6 +34,11 @@ type RunOptions struct {
 	// unsharded run exactly.
 	ShardIndex int
 	ShardCount int
+	// NewVerifier builds one Verifier per worker (nil = the FPV engine).
+	// Custom verifiers let callers swap the model checker while keeping
+	// the rest of the pipeline; each instance is owned by a single worker,
+	// so implementations need not be concurrency-safe.
+	NewVerifier func() Verifier
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -45,24 +51,41 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.ShardCount == 0 {
 		o.ShardCount = 1
 	}
+	// Evaluation-grade FPV budget (bounded verdicts on the big designs,
+	// exhaustive on the control-dominated ones), applied field-wise so a
+	// caller can override one bound without losing the others.
 	if o.FPV.MaxProductStates == 0 {
-		// Evaluation-grade budget: bounded verdicts on the big designs,
-		// exhaustive on the control-dominated ones.
-		o.FPV = fpv.Options{
-			MaxProductStates: 3000,
-			MaxInputBits:     8,
-			MaxInputSamples:  12,
-			RandomRuns:       24,
-			RandomDepth:      48,
-			Seed:             o.Seed,
-		}
+		o.FPV.MaxProductStates = 3000
+	}
+	if o.FPV.MaxInputBits == 0 {
+		o.FPV.MaxInputBits = 8
+	}
+	if o.FPV.MaxInputSamples == 0 {
+		o.FPV.MaxInputSamples = 12
+	}
+	if o.FPV.RandomRuns == 0 {
+		o.FPV.RandomRuns = 24
+	}
+	if o.FPV.RandomDepth == 0 {
+		o.FPV.RandomDepth = 48
+	}
+	if o.FPV.Seed == 0 {
+		o.FPV.Seed = o.Seed
+	}
+	if o.NewVerifier == nil {
+		o.NewVerifier = NewEngineVerifier
 	}
 	return o
 }
 
 // DesignOutcome records one design's generated assertions and verdicts.
 type DesignOutcome struct {
-	Design    string
+	// Index is the design's global corpus position (stable across worker
+	// counts and shards; per-design seeds derive from it).
+	Index  int
+	Design string
+	// Generated is the raw candidate list; Corrected the post-corrector
+	// list (nil when the corrector is off).
 	Generated []string
 	Corrected []string
 	Verdicts  []Verdict
@@ -71,7 +94,7 @@ type DesignOutcome struct {
 	Grounded int
 }
 
-// RunResult is one (model, k) evaluation over the corpus.
+// RunResult is one (generator, k) evaluation over the corpus.
 type RunResult struct {
 	Model   string
 	Shots   int
@@ -79,45 +102,24 @@ type RunResult struct {
 	Designs []DesignOutcome
 }
 
-// Run evaluates a model on the corpus with k-shot ICL: the paper's Fig. 4
-// (with corrector) or Fig. 8 (without) pipeline. The corpus decomposes
-// into per-design jobs on a bounded worker pool (RunOptions.Workers);
-// results merge back in corpus order, so parallel runs are
-// deterministic and identical to sequential runs at the same seed.
-func Run(model *llm.Model, examples []llm.Example, corpus []bench.Design, opt RunOptions) (RunResult, error) {
-	opt = opt.withDefaults()
-	if opt.Shots > len(examples) {
-		return RunResult{}, fmt.Errorf("eval: %d-shot requested but only %d examples", opt.Shots, len(examples))
-	}
-	designs := corpus
-	if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
-		designs = designs[:opt.MaxDesigns]
-	}
-	base := 0
-	if opt.ShardCount > 1 || opt.ShardIndex != 0 {
-		// Shard validates the spec too: a stray ShardIndex with an unset
-		// ShardCount is an error, not a silent full-corpus run.
-		shard, err := bench.Shard(designs, opt.ShardIndex, opt.ShardCount)
+// Run evaluates a Generator on the corpus with k-shot ICL and returns the
+// batch result: it is a thin collector over Stream, so batch and
+// streaming modes cannot drift apart. The corpus decomposes into
+// per-design jobs on a bounded worker pool (RunOptions.Workers); results
+// merge back in corpus order, so parallel runs are deterministic and
+// identical to sequential runs at the same seed. On error (including
+// ctx.Err() after cancellation) the partial RunResult holds every outcome
+// before the failure, exactly as a sequential walk would.
+func Run(ctx context.Context, gen Generator, examples []llm.Example, corpus []bench.Design, opt RunOptions) (RunResult, error) {
+	res := RunResult{Model: gen.Name(), Shots: opt.withDefaults().Shots}
+	for outcome, err := range Stream(ctx, gen, examples, corpus, opt) {
 		if err != nil {
-			return RunResult{}, fmt.Errorf("eval: %w", err)
+			return res, err
 		}
-		base, _ = bench.ShardStart(len(designs), opt.ShardIndex, opt.ShardCount)
-		designs = shard
-	}
-	res := RunResult{Model: model.Profile.Name, Shots: opt.Shots}
-	icl := examples[:opt.Shots]
-
-	results := runJobs(model, icl, designs, base, opt)
-	// Deterministic merge: accumulate in corpus order and surface the
-	// first error the way a sequential walk would (partial results kept).
-	for _, jr := range results {
-		if jr.err != nil {
-			return res, jr.err
-		}
-		for _, v := range jr.outcome.Verdicts {
+		for _, v := range outcome.Verdicts {
 			res.Metrics.Add(v)
 		}
-		res.Designs = append(res.Designs, jr.outcome)
+		res.Designs = append(res.Designs, outcome)
 	}
 	return res, nil
 }

@@ -1,43 +1,57 @@
 package eval
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/corrector"
-	"assertionbench/internal/fpv"
 	"assertionbench/internal/llm"
-	"assertionbench/internal/sva"
 )
 
 // The concurrent evaluation runner. A run decomposes into one job per
 // design; jobs are scheduled onto a bounded worker pool and their results
-// merged back in corpus order, so a parallel run's RunResult is identical
-// to a sequential run's at the same seed:
+// streamed back in corpus order, so both the incremental Stream and the
+// batch Run (a collector over the stream) are identical to a sequential
+// walk at the same seed:
 //
 //   - every per-design random stream is seeded from the design's GLOBAL
 //     corpus index (not its position in a shard or the order workers
 //     happened to pick jobs up), and generation/verification allocate a
 //     fresh seeded rand.Rand per call — no worker ever touches a shared or
 //     unseeded source on the concurrent path;
-//   - each worker owns one reusable fpv.Engine (engine reset instead of
-//     reallocation between assertions) and its own simulators underneath;
+//   - each worker owns one Verifier built by RunOptions.NewVerifier (the
+//     default reuses one fpv.Engine per worker instead of reallocating
+//     between assertions);
 //   - elaborated netlists come from the process-wide bench.DefaultElab
 //     cache and are immutable, so workers share them read-only.
+//
+// Cancellation: ctx is polled by the feeder, by every worker between and
+// inside jobs (generation loops and FPV search loops poll it too), and by
+// the in-order emitter. A canceled run stops within one design job per
+// worker, leaks no goroutines, and surfaces ctx.Err().
 
 type jobResult struct {
 	outcome DesignOutcome
 	err     error
 }
 
-// runJobs evaluates designs[i] for every i, in parallel when opt.Workers
-// allows, and returns per-design results positioned by index. base is the
-// global corpus index of designs[0].
-func runJobs(model *llm.Model, icl []llm.Example, designs []bench.Design, base int, opt RunOptions) []jobResult {
-	results := make([]jobResult, len(designs))
+type indexedResult struct {
+	idx int
+	res jobResult
+}
+
+// streamJobs evaluates designs[i] for every i, in parallel when
+// opt.Workers allows, and yields outcomes strictly in corpus order, each
+// the moment it and all its predecessors are done. base is the global
+// corpus index of designs[0]. The first per-design error (lowest corpus
+// index, identical to what a sequential walk would hit) is yielded as the
+// final element and ends the stream.
+func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs []bench.Design, base int, opt RunOptions, yield func(DesignOutcome, error) bool) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -46,79 +60,190 @@ func runJobs(model *llm.Model, icl []llm.Example, designs []bench.Design, base i
 		workers = len(designs)
 	}
 	if workers <= 1 {
-		eng := fpv.NewEngine()
+		v := opt.NewVerifier()
 		for i := range designs {
-			results[i] = evalDesign(model, icl, designs[i], base+i, opt, eng)
-			if results[i].err != nil {
-				break
+			jr := evalDesign(ctx, gen, v, icl, designs[i], base+i, opt)
+			if jr.err != nil {
+				yield(DesignOutcome{}, jr.err)
+				return
+			}
+			if !yield(jr.outcome, nil) {
+				return
 			}
 		}
-		return results
+		return
 	}
-	// failed stops the feeder once any job errors. Jobs are fed in index
-	// order, so every job below the erroring index is already assigned and
-	// completes normally — the merge (which stops at the lowest erroring
-	// index) sees exactly what a sequential run would have produced.
-	var failed atomic.Bool
-	jobs := make(chan int)
+
+	// The concurrent path: a feeder hands out indices in corpus order, a
+	// pool of workers evaluates them, and the emitter below reorders
+	// completions back into corpus order. The derived context tears the
+	// pool down on any exit path (consumer break, external cancellation,
+	// first error); results is buffered to capacity so workers can never
+	// block on a consumer that has stopped reading.
+	ctx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+
+	jobs := make(chan int)
+	results := make(chan indexedResult, len(designs))
+	var failed atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := fpv.NewEngine()
+			v := opt.NewVerifier()
 			for i := range jobs {
-				results[i] = evalDesign(model, icl, designs[i], base+i, opt, eng)
-				if results[i].err != nil {
+				jr := evalDesign(ctx, gen, v, icl, designs[i], base+i, opt)
+				if jr.err != nil {
+					// Stops the feeder. Jobs are fed in index order, so
+					// every job below the erroring index is already
+					// assigned and completes normally — the emitter (which
+					// stops at the lowest erroring index) sees exactly what
+					// a sequential run would have produced.
 					failed.Store(true)
+				}
+				results <- indexedResult{idx: i, res: jr}
+				if ctx.Err() != nil {
+					return
 				}
 			}
 		}()
 	}
-	// Jobs are handed out in corpus order; per-design cost is dominated by
-	// FPV search, which no static proxy (LoC, state bits) predicts well,
-	// so greedy FIFO work-stealing off the channel is what keeps the pool
-	// busy. Results are positioned by index, so pickup order never affects
-	// output.
-	for i := range designs {
-		if failed.Load() {
-			break
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		// Jobs are handed out in corpus order; per-design cost is dominated
+		// by FPV search, which no static proxy (LoC, state bits) predicts
+		// well, so greedy FIFO work-stealing off the channel is what keeps
+		// the pool busy. Results are positioned by index, so pickup order
+		// never affects output.
+		for i := range designs {
+			if failed.Load() {
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		jobs <- i
+	}()
+
+	// In-order emitter: completions arrive in whatever order workers
+	// finish; outcome i is yielded the moment it and all predecessors are
+	// available, so consumers see a deterministic, incrementally delivered
+	// sequence.
+	pending := make(map[int]jobResult, workers)
+	for next := 0; next < len(designs); next++ {
+		jr, ok := pending[next]
+		for !ok {
+			select {
+			case r := <-results:
+				if r.idx == next {
+					jr, ok = r.res, true
+				} else {
+					pending[r.idx] = r.res
+				}
+			case <-ctx.Done():
+				yield(DesignOutcome{}, ctx.Err())
+				return
+			}
+		}
+		delete(pending, next)
+		if jr.err != nil {
+			yield(DesignOutcome{}, jr.err)
+			return
+		}
+		if !yield(jr.outcome, nil) {
+			return
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	return results
 }
 
-// evalDesign is one job: elaborate (cached), prompt, generate, correct,
-// and verify one design. globalIdx seeds generation so the outcome is a
+// Stream evaluates a Generator on the corpus and yields one DesignOutcome
+// per design, in corpus order, each delivered as soon as it (and every
+// design before it) finishes — the paper's Fig. 4 (with corrector) or
+// Fig. 8 (without) pipeline as an incremental sequence. The sequence ends
+// after the last design, or early with a single non-nil error: the first
+// per-design failure (at the same corpus position a sequential walk would
+// fail), or ctx.Err() on cancellation. Outcomes already yielded before an
+// error are exactly the prefix a sequential run would have kept.
+//
+// The yielded stream is deterministic: at equal seed it is identical for
+// any Workers count, and shard streams concatenate to the unsharded
+// stream. Breaking out of the iteration early cancels and drains the
+// worker pool before the iterator returns.
+func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus []bench.Design, opt RunOptions) iter.Seq2[DesignOutcome, error] {
+	return func(yield func(DesignOutcome, error) bool) {
+		opt = opt.withDefaults()
+		if opt.Shots > len(examples) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: %d-shot requested but only %d examples", opt.Shots, len(examples)))
+			return
+		}
+		designs := corpus
+		if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
+			designs = designs[:opt.MaxDesigns]
+		}
+		base := 0
+		if opt.ShardCount > 1 || opt.ShardIndex != 0 {
+			// Shard validates the spec too: a stray ShardIndex with an unset
+			// ShardCount is an error, not a silent full-corpus run.
+			shard, err := bench.Shard(designs, opt.ShardIndex, opt.ShardCount)
+			if err != nil {
+				yield(DesignOutcome{}, fmt.Errorf("eval: %w", err))
+				return
+			}
+			base, _ = bench.ShardStart(len(designs), opt.ShardIndex, opt.ShardCount)
+			designs = shard
+		}
+		streamJobs(ctx, gen, examples[:opt.Shots], designs, base, opt, yield)
+	}
+}
+
+// evalDesign is one job: elaborate (cached), generate, correct, and
+// verify one design. globalIdx seeds generation so the outcome is a
 // function of the design's corpus position and the run seed only.
-func evalDesign(model *llm.Model, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions, eng *fpv.Engine) jobResult {
+func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions) jobResult {
+	if err := ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
 	nl, err := bench.Elaborate(d)
 	if err != nil {
 		return jobResult{err: fmt.Errorf("eval: corpus design %s: %w", d.Name, err)}
 	}
-	prompt := llm.BuildPrompt(icl, d.Source, model.Profile.ContextWindow)
-	gen := model.Generate(prompt, llm.GenOptions{
+	out, err := gen.Generate(ctx, d, icl, GenOptions{
 		Shots: opt.Shots,
 		Seed:  opt.Seed*1000003 + int64(globalIdx)*7919 + int64(opt.Shots),
 	})
-	lines := sva.SplitAssertions(gen.Text)
-	outcome := DesignOutcome{
-		Design:    d.Name,
-		Generated: lines,
-		OffTask:   gen.OffTask,
-		Grounded:  gen.Grounded,
+	if err != nil {
+		if ctx.Err() != nil {
+			return jobResult{err: ctx.Err()}
+		}
+		return jobResult{err: fmt.Errorf("eval: generator %s on %s: %w", gen.Name(), d.Name, err)}
 	}
-	checked := lines
+	outcome := DesignOutcome{
+		Index:     globalIdx,
+		Design:    d.Name,
+		Generated: out.Assertions,
+		OffTask:   out.OffTask,
+		Grounded:  out.Grounded,
+	}
+	checked := out.Assertions
 	if opt.UseCorrector {
-		fixed, _ := corrector.New(nl).CorrectAll(lines)
+		fixed, _ := corrector.New(nl).CorrectAll(out.Assertions)
 		outcome.Corrected = fixed
 		checked = fixed
 	}
 	for _, line := range checked {
-		r := eng.VerifySource(nl, line, opt.FPV)
+		r := v.Verify(ctx, d, nl, line, opt.FPV)
+		// A canceled verification surfaces as a StatusError result; abort
+		// the whole job rather than record a verdict a completed run would
+		// never contain.
+		if err := ctx.Err(); err != nil {
+			return jobResult{err: err}
+		}
 		outcome.Verdicts = append(outcome.Verdicts, Classify(r))
 	}
 	return jobResult{outcome: outcome}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -14,19 +15,19 @@ import (
 // the sequential run's.
 func TestParallelRunMatchesSequential(t *testing.T) {
 	e := testExperiment(t, 10)
-	model := llm.New(llm.GPT4o())
+	gen := NewModelGenerator(llm.GPT4o())
 	opt := RunOptions{Shots: 5, UseCorrector: true, Seed: 3}
 
 	seqOpt := opt
 	seqOpt.Workers = 1
-	seq, err := Run(model, e.ICL, e.Corpus, seqOpt)
+	seq, err := Run(context.Background(), gen, e.ICL, e.Corpus, seqOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 4, 16} {
 		parOpt := opt
 		parOpt.Workers = workers
-		par, err := Run(model, e.ICL, e.Corpus, parOpt)
+		par, err := Run(context.Background(), gen, e.ICL, e.Corpus, parOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,10 +43,10 @@ func TestParallelRunMatchesSequential(t *testing.T) {
 // seeds follow global corpus positions.
 func TestShardedRunsConcatenateToFullRun(t *testing.T) {
 	e := testExperiment(t, 9)
-	model := llm.New(llm.GPT35())
+	gen := NewModelGenerator(llm.GPT35())
 	opt := RunOptions{Shots: 1, UseCorrector: true, Seed: 5, Workers: 2}
 
-	full, err := Run(model, e.ICL, e.Corpus, opt)
+	full, err := Run(context.Background(), gen, e.ICL, e.Corpus, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestShardedRunsConcatenateToFullRun(t *testing.T) {
 	for i := 0; i < shards; i++ {
 		sOpt := opt
 		sOpt.ShardIndex, sOpt.ShardCount = i, shards
-		part, err := Run(model, e.ICL, e.Corpus, sOpt)
+		part, err := Run(context.Background(), gen, e.ICL, e.Corpus, sOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,8 +72,8 @@ func TestShardedRunsConcatenateToFullRun(t *testing.T) {
 
 func TestRunRejectsBadShardSpec(t *testing.T) {
 	e := testExperiment(t, 4)
-	model := llm.New(llm.GPT35())
-	if _, err := Run(model, e.ICL, e.Corpus, RunOptions{ShardIndex: 3, ShardCount: 2}); err == nil {
+	gen := NewModelGenerator(llm.GPT35())
+	if _, err := Run(context.Background(), gen, e.ICL, e.Corpus, RunOptions{ShardIndex: 3, ShardCount: 2}); err == nil {
 		t.Fatal("shard index out of range must fail")
 	}
 }
@@ -83,13 +84,13 @@ func TestRunRejectsBadShardSpec(t *testing.T) {
 // feeder stops scheduling the doomed remainder.
 func TestRunSurfacesDesignErrorDeterministically(t *testing.T) {
 	e := testExperiment(t, 6)
-	model := llm.New(llm.GPT35())
+	gen := NewModelGenerator(llm.GPT35())
 	corpus := append([]bench.Design{}, e.Corpus[:4]...)
 	corpus = append(corpus, bench.Design{Name: "broken", Source: "module broken("})
 	corpus = append(corpus, e.Corpus[4:]...)
 
-	seq, seqErr := Run(model, e.ICL, corpus, RunOptions{Shots: 1, Workers: 1})
-	par, parErr := Run(model, e.ICL, corpus, RunOptions{Shots: 1, Workers: 4})
+	seq, seqErr := Run(context.Background(), gen, e.ICL, corpus, RunOptions{Shots: 1, Workers: 1})
+	par, parErr := Run(context.Background(), gen, e.ICL, corpus, RunOptions{Shots: 1, Workers: 4})
 	if seqErr == nil || parErr == nil {
 		t.Fatal("broken design must fail the run")
 	}

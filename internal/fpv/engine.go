@@ -1,6 +1,7 @@
 package fpv
 
 import (
+	"context"
 	"encoding/binary"
 	"math/rand"
 
@@ -125,34 +126,43 @@ func (e *Engine) Bind(nl *verilog.Netlist) {
 }
 
 // Verify model-checks an already-parsed assertion against the netlist.
-func (e *Engine) Verify(nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
+func (e *Engine) Verify(ctx context.Context, nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
 	c, err := sva.Compile(a, nl)
 	if err != nil {
 		return Result{Status: StatusError, Err: err}
 	}
-	return e.VerifyCompiled(nl, c, opt)
+	return e.VerifyCompiled(ctx, nl, c, opt)
 }
 
 // VerifySource parses and verifies an assertion given as text.
-func (e *Engine) VerifySource(nl *verilog.Netlist, src string, opt Options) Result {
+func (e *Engine) VerifySource(ctx context.Context, nl *verilog.Netlist, src string, opt Options) Result {
 	a, err := sva.Parse(src)
 	if err != nil {
 		return Result{Status: StatusError, Err: err}
 	}
-	return e.Verify(nl, a, opt)
+	return e.Verify(ctx, nl, a, opt)
 }
 
 // VerifyAll verifies a batch of assertion texts, one result per input.
-func (e *Engine) VerifyAll(nl *verilog.Netlist, srcs []string, opt Options) []Result {
+// A context cancellation mid-batch marks the remaining results canceled.
+func (e *Engine) VerifyAll(ctx context.Context, nl *verilog.Netlist, srcs []string, opt Options) []Result {
 	out := make([]Result, len(srcs))
 	for i, s := range srcs {
-		out[i] = e.VerifySource(nl, s, opt)
+		out[i] = e.VerifySource(ctx, nl, s, opt)
 	}
 	return out
 }
 
 // VerifyCompiled model-checks one compiled assertion against the netlist.
-func (e *Engine) VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+//
+// The search loops poll ctx: on cancellation the call stops early and
+// returns StatusError with Err set to ctx.Err() (never a partial pass or
+// proof). Callers that need to distinguish cancellation from an invalid
+// assertion should check ctx.Err() alongside the result.
+func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{Status: StatusError, Err: err}
+	}
 	opt = opt.withDefaults()
 	e.Bind(nl)
 	e.c = c
@@ -167,8 +177,8 @@ func (e *Engine) VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Option
 	e.src.Seed(opt.Seed)
 
 	exhaustive := nl.InputBits() <= opt.MaxInputBits
-	res := e.bfs(exhaustive)
-	if res.Status == StatusCEX {
+	res := e.bfs(ctx, exhaustive)
+	if res.Status == StatusCEX || res.Status == StatusError {
 		return res
 	}
 	if res.Exhaustive {
@@ -181,16 +191,19 @@ func (e *Engine) VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Option
 	}
 	// Bounded: hunt violations along randomized deep runs before settling
 	// for a bounded pass.
-	if r := e.randomHunt(&res); r != nil {
+	if r := e.randomHunt(ctx, &res); r != nil {
 		return *r
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Status: StatusError, Err: err}
 	}
 	res.Status = StatusBoundedPass
 	return res
 }
 
 // VerifyCompiled model-checks one compiled assertion with a one-shot engine.
-func VerifyCompiled(nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
-	return NewEngine().VerifyCompiled(nl, c, opt)
+func VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
+	return NewEngine().VerifyCompiled(ctx, nl, c, opt)
 }
 
 type node struct {
@@ -204,7 +217,7 @@ type node struct {
 }
 
 // bfs explores the product of design states and monitor states.
-func (e *Engine) bfs(enumerate bool) Result {
+func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 	res := Result{}
 	// Dedup: exhaustive mode (the only mode that can claim Proven/Vacuous)
 	// uses exact state keys, so proofs are sound; bounded mode — already
@@ -244,6 +257,14 @@ func (e *Engine) bfs(enumerate bool) Result {
 	histBuf := e.histBuf[:e.c.PastDepth+1]
 
 	for head := 0; head < len(e.nodes); head++ {
+		// Poll cancellation every few expansions: frequent enough that a
+		// canceled search stops within microseconds, rare enough that the
+		// atomic load never shows up in profiles.
+		if head&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Status: StatusError, Err: err}
+			}
+		}
 		if nVisited >= e.opt.MaxProductStates {
 			closed = false
 			break
@@ -482,8 +503,9 @@ func (e *Engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
 }
 
 // randomHunt drives randomized deep runs looking for violations that the
-// truncated BFS missed. Returns a full result on violation, nil otherwise.
-func (e *Engine) randomHunt(res *Result) *Result {
+// truncated BFS missed. Returns a full result on violation or
+// cancellation, nil otherwise.
+func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 	histDepth := e.c.PastDepth
 	if cap(e.histBuf) < histDepth+1 {
 		e.histBuf = make([][]uint64, histDepth+1)
@@ -500,6 +522,9 @@ func (e *Engine) randomHunt(res *Result) *Result {
 	}
 	ring := e.huntRing[:histDepth]
 	for run := 0; run < e.opt.RandomRuns; run++ {
+		if err := ctx.Err(); err != nil {
+			return &Result{Status: StatusError, Err: err}
+		}
 		s := e.hunt
 		s.ResetState()
 		e.mon.Reset()

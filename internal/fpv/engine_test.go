@@ -1,6 +1,7 @@
 package fpv
 
 import (
+	"context"
 	"testing"
 
 	"assertionbench/internal/verilog"
@@ -47,7 +48,7 @@ func elab(t *testing.T, src, top string) *verilog.Netlist {
 
 func verify(t *testing.T, nl *verilog.Netlist, prop string) Result {
 	t.Helper()
-	return VerifySource(nl, prop, Options{})
+	return VerifySource(context.Background(), nl, prop, Options{})
 }
 
 func TestCounterProvenProperties(t *testing.T) {
@@ -242,7 +243,7 @@ func TestCEXReplayIsFaithful(t *testing.T) {
 
 func TestVerifyAllBatch(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	results := VerifyAll(nl, []string{
+	results := VerifyAll(context.Background(), nl, []string{
 		"rst == 1 |=> count == 0",
 		"en == 1 |=> count == 0",
 		"nosuch == 1 |-> en == 1",
@@ -292,8 +293,8 @@ func TestEngineReuseMatchesFresh(t *testing.T) {
 	opt := Options{MaxProductStates: 400, MaxInputSamples: 6, RandomRuns: 8, RandomDepth: 24, Seed: 9}
 	pooled := NewEngine()
 	for i, tc := range cases {
-		got := pooled.VerifySource(tc.nl, tc.src, opt)
-		want := VerifySource(tc.nl, tc.src, opt)
+		got := pooled.VerifySource(context.Background(), tc.nl, tc.src, opt)
+		want := VerifySource(context.Background(), tc.nl, tc.src, opt)
 		if got.Status != want.Status || got.States != want.States ||
 			got.Depth != want.Depth || got.NonVacuous != want.NonVacuous ||
 			got.Exhaustive != want.Exhaustive {

@@ -1,6 +1,7 @@
 package fpv
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -50,7 +51,7 @@ func TestProvenNeverViolatedOnTraces(t *testing.T) {
 		if err != nil {
 			t.Fatalf("generator produced unparseable %q: %v", src, err)
 		}
-		r := Verify(nl, a, Options{})
+		r := Verify(context.Background(), nl, a, Options{})
 		switch r.Status {
 		case StatusProven, StatusVacuous:
 			proven++
@@ -89,7 +90,7 @@ func TestCEXTraceActuallyViolates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := Verify(nl, a, Options{})
+		r := Verify(context.Background(), nl, a, Options{})
 		if r.Status != StatusCEX {
 			continue
 		}
@@ -122,8 +123,8 @@ func TestVerifyDeterministic(t *testing.T) {
 		default:
 			src = "gnt_ == 1 ##1 req2 == 1 |=> gnt2 == 1"
 		}
-		a := VerifySource(nl, src, Options{Seed: seed%7 + 1})
-		b := VerifySource(nl, src, Options{Seed: seed%7 + 1})
+		a := VerifySource(context.Background(), nl, src, Options{Seed: seed%7 + 1})
+		b := VerifySource(context.Background(), nl, src, Options{Seed: seed%7 + 1})
 		return a.Status == b.Status && a.States == b.States
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {

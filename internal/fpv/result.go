@@ -12,6 +12,7 @@
 package fpv
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -158,26 +159,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Verify parses nothing: it verifies an already-parsed assertion.
-func Verify(nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
+// Verify parses nothing: it verifies an already-parsed assertion. The
+// search loops poll ctx; a canceled call returns StatusError with Err set
+// to ctx.Err().
+func Verify(ctx context.Context, nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
 	c, err := sva.Compile(a, nl)
 	if err != nil {
 		return Result{Status: StatusError, Err: err}
 	}
-	return VerifyCompiled(nl, c, opt)
+	return VerifyCompiled(ctx, nl, c, opt)
 }
 
 // VerifySource parses and verifies an assertion given as text.
-func VerifySource(nl *verilog.Netlist, src string, opt Options) Result {
+func VerifySource(ctx context.Context, nl *verilog.Netlist, src string, opt Options) Result {
 	a, err := sva.Parse(src)
 	if err != nil {
 		return Result{Status: StatusError, Err: err}
 	}
-	return Verify(nl, a, opt)
+	return Verify(ctx, nl, a, opt)
 }
 
 // VerifyAll verifies a batch of assertion texts, returning one result per
 // input in order. The batch shares one reusable engine.
-func VerifyAll(nl *verilog.Netlist, srcs []string, opt Options) []Result {
-	return NewEngine().VerifyAll(nl, srcs, opt)
+func VerifyAll(ctx context.Context, nl *verilog.Netlist, srcs []string, opt Options) []Result {
+	return NewEngine().VerifyAll(ctx, nl, srcs, opt)
 }

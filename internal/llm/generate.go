@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -53,7 +54,10 @@ type GenResult struct {
 	Corrupted int
 }
 
-// Generate produces assertions for the prompt's test design.
+// Generate produces assertions for the prompt's test design. The only
+// error it returns is ctx.Err() when the context is canceled mid-call;
+// model misbehaviour (off-task drift, truncation, corruption) is data,
+// reported inside GenResult the way a real API would return it.
 //
 // Generate is safe for concurrent use on one shared *Model: it only reads
 // the profile and the pretrained n-gram (in-context conditioning trains a
@@ -63,7 +67,10 @@ type GenResult struct {
 // -only after construction. The evaluation runner relies on this to share
 // one model across its worker pool. Callers must not mutate Profile or LM
 // while Generate runs.
-func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
+func (m *Model) Generate(ctx context.Context, prompt Prompt, opt GenOptions) (GenResult, error) {
+	if err := ctx.Err(); err != nil {
+		return GenResult{}, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	params := m.Profile.At(opt.Shots)
 
@@ -74,7 +81,7 @@ func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 		lm.Train(ex.Assertions)
 	}
 
-	ctx := buildDesignCtx(prompt.TestSource, opt.Seed)
+	dctx := buildDesignCtx(prompt.TestSource, opt.Seed)
 	leaked := harvestExampleSignals(prompt.Examples)
 
 	n := 3 + rng.Intn(5) // 3..7 assertions, matching the ICE density
@@ -83,6 +90,9 @@ func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 	budget := m.Profile.MaxTokens
 
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return GenResult{}, err
+		}
 		var line string
 		switch {
 		case rng.Float64() < params.OffTask:
@@ -90,14 +100,14 @@ func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 			res.OffTask++
 		default:
 			var a *sva.Assertion
-			if rng.Float64() < params.Grounding && len(ctx.pool) > 0 {
-				a = ctx.samplePool(lm, rng, m.Profile.Temperature)
+			if rng.Float64() < params.Grounding && len(dctx.pool) > 0 {
+				a = dctx.samplePool(lm, rng, m.Profile.Temperature)
 				res.Grounded++
 				if rng.Float64() < params.Confusion {
 					a = confuse(a, rng)
 				}
 			} else {
-				a = ctx.sampleUngrounded(lm, rng, m.Profile)
+				a = dctx.sampleUngrounded(lm, rng, m.Profile)
 			}
 			if a == nil {
 				line = m.offTaskLine(rng)
@@ -105,7 +115,7 @@ func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 				break
 			}
 			line = a.String() + ";"
-			line = applyCopyNoise(line, ctx, leaked, params.CopyNoise, rng)
+			line = applyCopyNoise(line, dctx, leaked, params.CopyNoise, rng)
 			if rng.Float64() < params.SyntaxNoise {
 				line = corruptSyntax(line, rng)
 				res.Corrupted++
@@ -123,7 +133,7 @@ func (m *Model) Generate(prompt Prompt, opt GenOptions) GenResult {
 		res.Lines = append(res.Lines, line)
 	}
 	res.Text = strings.Join(res.Lines, "\n")
-	return res
+	return res, nil
 }
 
 func (m *Model) offTaskLine(rng *rand.Rand) string {

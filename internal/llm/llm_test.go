@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -238,12 +239,21 @@ func testExamples() []Example {
 func TestGenerateDeterministic(t *testing.T) {
 	m := New(GPT4o())
 	p := BuildPrompt(testExamples(), testDesign, m.Profile.ContextWindow)
-	a := m.Generate(p, GenOptions{Shots: 5, Seed: 9})
-	b := m.Generate(p, GenOptions{Shots: 5, Seed: 9})
+	a, err := m.Generate(context.Background(), p, GenOptions{Shots: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(context.Background(), p, GenOptions{Shots: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Text != b.Text {
 		t.Fatalf("same seed, different output:\n%s\n---\n%s", a.Text, b.Text)
 	}
-	c := m.Generate(p, GenOptions{Shots: 5, Seed: 10})
+	c, err := m.Generate(context.Background(), p, GenOptions{Shots: 5, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Text == c.Text {
 		t.Error("different seeds produced identical output (suspicious)")
 	}
@@ -257,7 +267,10 @@ func TestGenerateRespectsDesignSignals(t *testing.T) {
 	p.K5 = p.K1
 	m := New(p)
 	prompt := BuildPrompt(testExamples(), testDesign, m.Profile.ContextWindow)
-	gen := m.Generate(prompt, GenOptions{Shots: 1, Seed: 3})
+	gen, err := m.Generate(context.Background(), prompt, GenOptions{Shots: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, line := range gen.Lines {
 		for _, bad := range []string{"gnt", "req1"} {
 			if strings.Contains(line, bad) {
@@ -275,7 +288,10 @@ func TestGenerateOffTaskChannel(t *testing.T) {
 	p.K1 = ShotParams{OffTask: 1}
 	m := New(p)
 	prompt := BuildPrompt(testExamples(), testDesign, m.Profile.ContextWindow)
-	gen := m.Generate(prompt, GenOptions{Shots: 1, Seed: 4})
+	gen, err := m.Generate(context.Background(), prompt, GenOptions{Shots: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if gen.OffTask != len(gen.Lines) {
 		t.Errorf("OffTask=1 profile produced %d off-task of %d lines", gen.OffTask, len(gen.Lines))
 	}
@@ -286,7 +302,10 @@ func TestGenerateTokenBudget(t *testing.T) {
 	p.MaxTokens = 12
 	m := New(p)
 	prompt := BuildPrompt(testExamples(), testDesign, m.Profile.ContextWindow)
-	gen := m.Generate(prompt, GenOptions{Shots: 1, Seed: 5})
+	gen, err := m.Generate(context.Background(), prompt, GenOptions{Shots: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var tk Tokenizer
 	total := 0
 	for _, l := range gen.Lines {
@@ -300,7 +319,10 @@ func TestGenerateTokenBudget(t *testing.T) {
 func TestGenerateUnparseableDesignFallsBack(t *testing.T) {
 	m := New(GPT35())
 	prompt := BuildPrompt(testExamples(), "totally not verilog %%% module ???", m.Profile.ContextWindow)
-	gen := m.Generate(prompt, GenOptions{Shots: 1, Seed: 6})
+	gen, err := m.Generate(context.Background(), prompt, GenOptions{Shots: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(gen.Lines) == 0 {
 		t.Error("generation must degrade gracefully on unparseable designs")
 	}
@@ -450,7 +472,7 @@ func TestGenerateConcurrentSafeAndDeterministic(t *testing.T) {
 	want := make([]GenResult, len(calls))
 	for i, c := range calls {
 		p := BuildPrompt(examples, designs[c.design], model.Profile.ContextWindow)
-		want[i] = model.Generate(p, GenOptions{Shots: 1, Seed: c.seed})
+		want[i], _ = model.Generate(context.Background(), p, GenOptions{Shots: 1, Seed: c.seed})
 	}
 
 	got := make([]GenResult, len(calls))
@@ -461,7 +483,7 @@ func TestGenerateConcurrentSafeAndDeterministic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			p := BuildPrompt(examples, designs[c.design], model.Profile.ContextWindow)
-			got[i] = model.Generate(p, GenOptions{Shots: 1, Seed: c.seed})
+			got[i], _ = model.Generate(context.Background(), p, GenOptions{Shots: 1, Seed: c.seed})
 		}()
 	}
 	wg.Wait()

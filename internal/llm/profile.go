@@ -1,6 +1,10 @@
 package llm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // ShotParams are the behavioural error-channel rates of a model at a given
 // number of in-context examples. Each rate is a probability in [0,1].
@@ -130,6 +134,58 @@ func Llama3() Profile {
 // COTSProfiles returns the paper's four models in presentation order.
 func COTSProfiles() []Profile {
 	return []Profile{GPT35(), GPT4o(), CodeLlama2(), Llama3()}
+}
+
+// profileAliases maps lowercase CLI-style spellings to canonical profile
+// names. The canonical names themselves (case-insensitive) always resolve.
+var profileAliases = map[string]string{
+	"gpt3.5":      "GPT-3.5",
+	"gpt-3.5":     "GPT-3.5",
+	"gpt35":       "GPT-3.5",
+	"gpt4o":       "GPT-4o",
+	"gpt-4o":      "GPT-4o",
+	"codellama":   "CodeLLaMa 2",
+	"codellama2":  "CodeLLaMa 2",
+	"codellama-2": "CodeLLaMa 2",
+	"llama3":      "LLaMa3-70B",
+	"llama3-70b":  "LLaMa3-70B",
+}
+
+// ProfileByName resolves a model by canonical name (exact or
+// case-insensitive) or by CLI alias. It is the single model-selection
+// registry shared by every CLI and the public facade; an unknown name
+// errors with the full list of accepted spellings.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range COTSProfiles() {
+		if p.Name == name || strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	if canonical, ok := profileAliases[strings.ToLower(name)]; ok {
+		for _, p := range COTSProfiles() {
+			if p.Name == canonical {
+				return p, nil
+			}
+		}
+	}
+	return Profile{}, fmt.Errorf("llm: unknown model %q (valid: %s)", name, strings.Join(ProfileNames(), ", "))
+}
+
+// ProfileNames lists every accepted model spelling, canonical names first,
+// for error messages and CLI usage text.
+func ProfileNames() []string {
+	var names []string
+	for _, p := range COTSProfiles() {
+		aliases := make([]string, 0, 3)
+		for a, canonical := range profileAliases {
+			if canonical == p.Name {
+				aliases = append(aliases, a)
+			}
+		}
+		sort.Strings(aliases)
+		names = append(names, fmt.Sprintf("%s (aka %s)", p.Name, strings.Join(aliases, "|")))
+	}
+	return names
 }
 
 // clamp01 bounds a probability.

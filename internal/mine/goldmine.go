@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 
 	"assertionbench/internal/rtlgraph"
@@ -13,8 +14,8 @@ import (
 // provide the data, a static dependency analysis (cone of influence)
 // restricts the feature space per target, a decision tree generalizes the
 // trace into candidate A -> C rules, and the FPV engine keeps only proven
-// rules.
-func GoldMine(nl *verilog.Netlist, opt Options) ([]Mined, error) {
+// rules. Cancelling ctx aborts the verification filter with ctx.Err().
+func GoldMine(ctx context.Context, nl *verilog.Netlist, opt Options) ([]Mined, error) {
 	opt = opt.withDefaults()
 	tr, err := sim.RandomTrace(nl, opt.TraceCycles, 2, opt.Seed)
 	if err != nil {
@@ -26,7 +27,7 @@ func GoldMine(nl *verilog.Netlist, opt Options) ([]Mined, error) {
 	for _, target := range miningTargets(nl) {
 		cands = append(cands, mineTarget(nl, g, tr, target, opt)...)
 	}
-	return dedupeAndVerify(nl, cands, opt), nil
+	return dedupeAndVerify(ctx, nl, cands, opt)
 }
 
 // miningTargets selects output and state nets worth explaining.

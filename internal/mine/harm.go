@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 
 	"assertionbench/internal/rtlgraph"
@@ -22,7 +23,7 @@ import (
 //	H4: a == va ##1 a == va2 |=> b == vb
 //	H5: a == va && c == vc |=>  b == vb
 //	H6: a == va            |->  ##[1:2] b == vb   (ranged response)
-func Harm(nl *verilog.Netlist, opt Options) ([]Mined, error) {
+func Harm(ctx context.Context, nl *verilog.Netlist, opt Options) ([]Mined, error) {
 	opt = opt.withDefaults()
 	tr, err := sim.RandomTrace(nl, opt.TraceCycles, 2, opt.Seed)
 	if err != nil {
@@ -34,7 +35,7 @@ func Harm(nl *verilog.Netlist, opt Options) ([]Mined, error) {
 	for _, target := range miningTargets(nl) {
 		cands = append(cands, harmTarget(nl, g, tr, target, opt)...)
 	}
-	return dedupeAndVerify(nl, cands, opt), nil
+	return dedupeAndVerify(ctx, nl, cands, opt)
 }
 
 func harmTarget(nl *verilog.Netlist, g *rtlgraph.Graph, tr *sim.Trace, target int, opt Options) []candidate {

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"testing"
 
 	"assertionbench/internal/fpv"
@@ -48,7 +49,7 @@ func elab(t *testing.T, src, top string) *verilog.Netlist {
 
 func TestGoldMineCounter(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	mined, err := GoldMine(nl, Options{})
+	mined, err := GoldMine(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestGoldMineCounter(t *testing.T) {
 			t.Errorf("assertion %q kept with support %d", m.Assertion, m.Support)
 		}
 		// Re-verify independently: mined output must be sound.
-		r := fpv.Verify(nl, m.Assertion, fpv.Options{})
+		r := fpv.Verify(context.Background(), nl, m.Assertion, fpv.Options{})
 		if !r.Status.IsPass() {
 			t.Errorf("re-verification of %q failed: %v", m.Assertion, r.Status)
 		}
@@ -72,7 +73,7 @@ func TestGoldMineCounter(t *testing.T) {
 
 func TestGoldMineArbiter(t *testing.T) {
 	nl := elab(t, arbiterSrc, "arb2")
-	mined, err := GoldMine(nl, Options{})
+	mined, err := GoldMine(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestGoldMineArbiter(t *testing.T) {
 
 func TestHarmCounter(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	mined, err := Harm(nl, Options{})
+	mined, err := Harm(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestHarmCounter(t *testing.T) {
 
 func TestHarmEmitsMultiCycle(t *testing.T) {
 	nl := elab(t, arbiterSrc, "arb2")
-	mined, err := Harm(nl, Options{})
+	mined, err := Harm(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestHarmEmitsMultiCycle(t *testing.T) {
 
 func TestMinersDeterministic(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	a, err := GoldMine(nl, Options{Seed: 9})
+	a, err := GoldMine(context.Background(), nl, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GoldMine(nl, Options{Seed: 9})
+	b, err := GoldMine(context.Background(), nl, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestMinersDeterministic(t *testing.T) {
 
 func TestRankPrefersSimpleHighCoverage(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	mined, err := Harm(nl, Options{})
+	mined, err := Harm(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestRankPrefersSimpleHighCoverage(t *testing.T) {
 
 func TestComplexityCounts(t *testing.T) {
 	nl := elab(t, counterSrc, "counter")
-	mined, err := GoldMine(nl, Options{})
+	mined, err := GoldMine(context.Background(), nl, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -48,7 +49,7 @@ func isSecretName(name string) bool {
 // Security mines lock/privilege-oriented assertions: outputs forced safe
 // while a privilege signal is deasserted, privileges cleared by reset,
 // and no privilege without a preceding request. Output is FPV-verified.
-func Security(nl *verilog.Netlist, opt Options) ([]Mined, error) {
+func Security(ctx context.Context, nl *verilog.Netlist, opt Options) ([]Mined, error) {
 	opt = opt.withDefaults()
 	tr, err := sim.RandomTrace(nl, opt.TraceCycles, 2, opt.Seed)
 	if err != nil {
@@ -127,7 +128,7 @@ func Security(nl *verilog.Netlist, opt Options) ([]Mined, error) {
 			cands = append(cands, candidate{a: a, support: support})
 		}
 	}
-	return dedupeAndVerify(nl, cands, opt), nil
+	return dedupeAndVerify(ctx, nl, cands, opt)
 }
 
 // constantUnder reports the value o held whenever p==polarity, if unique.
@@ -188,8 +189,9 @@ func (l Leak) String() string {
 // (secret input, guard) pair, stimulus pairs identical except in the
 // secret are simulated; any output divergence at a cycle where the guard
 // holds its locked polarity is a leak. guard may be "" to check
-// unconditional non-interference.
-func TaintCheck(nl *verilog.Netlist, guardName string, lockedValue uint64, runs, depth int, seed int64) ([]Leak, error) {
+// unconditional non-interference. Cancelling ctx aborts the remaining
+// stimulus runs with ctx.Err().
+func TaintCheck(ctx context.Context, nl *verilog.Netlist, guardName string, lockedValue uint64, runs, depth int, seed int64) ([]Leak, error) {
 	guard := -1
 	if guardName != "" {
 		guard = nl.NetIndex(guardName)
@@ -217,6 +219,9 @@ func TaintCheck(nl *verilog.Netlist, guardName string, lockedValue uint64, runs,
 			}
 		}
 		for run := 0; run < runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			a := sim.New(nl)
 			b := sim.New(nl)
 			for t := 0; t < depth; t++ {

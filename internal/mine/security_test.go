@@ -1,6 +1,7 @@
 package mine_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func secDesign(t *testing.T, name string) *verilog.Netlist {
 
 func TestSecurityMinesLockProperties(t *testing.T) {
 	nl := secDesign(t, "access_ctrl")
-	mined, err := mine.Security(nl, mine.Options{})
+	mined, err := mine.Security(context.Background(), nl, mine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSecurityCatchesLeakyVariant(t *testing.T) {
 	// The leaky design must NOT yield the full "output zero while locked"
 	// property (bit 0 leaks), while the clean design does.
 	nl := secDesign(t, "access_ctrl_leaky")
-	mined, err := mine.Security(nl, mine.Options{})
+	mined, err := mine.Security(context.Background(), nl, mine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSecurityCatchesLeakyVariant(t *testing.T) {
 
 func TestSecurityPrivFSM(t *testing.T) {
 	nl := secDesign(t, "priv_fsm")
-	mined, err := mine.Security(nl, mine.Options{})
+	mined, err := mine.Security(context.Background(), nl, mine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestSecurityPrivFSM(t *testing.T) {
 
 func TestTaintCheckCleanVsLeaky(t *testing.T) {
 	clean := secDesign(t, "access_ctrl")
-	leaks, err := mine.TaintCheck(clean, "locked", 1, 16, 24, 1)
+	leaks, err := mine.TaintCheck(context.Background(), clean, "locked", 1, 16, 24, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestTaintCheckCleanVsLeaky(t *testing.T) {
 	}
 
 	leaky := secDesign(t, "access_ctrl_leaky")
-	leaks, err = mine.TaintCheck(leaky, "locked", 1, 16, 24, 1)
+	leaks, err = mine.TaintCheck(context.Background(), leaky, "locked", 1, 16, 24, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTaintCheckCleanVsLeaky(t *testing.T) {
 
 func TestTaintCheckRequiresSecrets(t *testing.T) {
 	nl := extElab(t, extCounterSrc, "counter")
-	if _, err := mine.TaintCheck(nl, "", 0, 2, 8, 1); err == nil {
+	if _, err := mine.TaintCheck(context.Background(), nl, "", 0, 2, 8, 1); err == nil {
 		t.Fatal("counter has no secret inputs; TaintCheck must refuse")
 	}
 }

@@ -8,6 +8,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -139,16 +140,24 @@ func atomValues(tr *sim.Trace, net, cap int) []uint64 {
 }
 
 // dedupeAndVerify turns unique candidates into FPV-proven Mined entries.
-func dedupeAndVerify(nl *verilog.Netlist, cands []candidate, opt Options) []Mined {
+// Cancellation aborts the remaining verification queue and returns
+// ctx.Err() — never a silently shortened result set.
+func dedupeAndVerify(ctx context.Context, nl *verilog.Netlist, cands []candidate, opt Options) ([]Mined, error) {
 	seen := map[string]bool{}
 	var out []Mined
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		key := c.a.String()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		res := fpv.Verify(nl, c.a, opt.FPV)
+		res := fpv.Verify(ctx, nl, c.a, opt.FPV)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.Status != fpv.StatusProven && res.Status != fpv.StatusBoundedPass {
 			continue
 		}
@@ -166,7 +175,7 @@ func dedupeAndVerify(nl *verilog.Netlist, cands []candidate, opt Options) []Mine
 		}
 	}
 	sortByRank(out)
-	return out
+	return out, nil
 }
 
 type candidate struct {

@@ -1,0 +1,59 @@
+package assertionbench
+
+import (
+	"assertionbench/internal/llm"
+)
+
+// Profile identifies one simulated model: the paper's Sec. IV decoding
+// hyperparameters plus its calibrated error channels. Profiles are opaque
+// handles — obtain them from ProfileByName, Profiles, or the named
+// constructors, and pass them to NewModelGenerator or the fine-tuning
+// APIs.
+type Profile struct {
+	p llm.Profile
+}
+
+// Name is the canonical model name (e.g. "GPT-4o").
+func (p Profile) Name() string { return p.p.Name }
+
+// Finetuned reports whether this is an AssertionLLM variant.
+func (p Profile) Finetuned() bool { return p.p.Finetuned }
+
+func (p Profile) String() string { return p.p.String() }
+
+// ProfileByName resolves a model by canonical name or CLI alias
+// ("gpt4o", "gpt-3.5", "codellama", "llama3-70b", ...). It is the single
+// model-selection registry shared by every CLI; an unknown name errors
+// with the full list of accepted spellings.
+func ProfileByName(name string) (Profile, error) {
+	p, err := llm.ProfileByName(name)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{p: p}, nil
+}
+
+// ProfileNames lists every accepted model spelling, for usage text.
+func ProfileNames() []string { return llm.ProfileNames() }
+
+// Profiles returns the paper's four COTS models in presentation order.
+func Profiles() []Profile {
+	cots := llm.COTSProfiles()
+	out := make([]Profile, len(cots))
+	for i, p := range cots {
+		out[i] = Profile{p: p}
+	}
+	return out
+}
+
+// GPT35 is the GPT-3.5 profile.
+func GPT35() Profile { return Profile{p: llm.GPT35()} }
+
+// GPT4o is the GPT-4o profile.
+func GPT4o() Profile { return Profile{p: llm.GPT4o()} }
+
+// CodeLlama2 is the CodeLLaMa 2 (70B) profile.
+func CodeLlama2() Profile { return Profile{p: llm.CodeLlama2()} }
+
+// Llama3 is the LLaMa3-70B profile.
+func Llama3() Profile { return Profile{p: llm.Llama3()} }

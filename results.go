@@ -1,0 +1,212 @@
+package assertionbench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"assertionbench/internal/eval"
+)
+
+// Verdict is the paper's three-way assertion classification (Sec. IV).
+type Verdict string
+
+// Verdicts.
+const (
+	// VerdictPass: the FPV engine attests the assertion (valid, vacuous,
+	// or bounded-pass).
+	VerdictPass Verdict = "pass"
+	// VerdictCEX: the FPV engine produced a counter-example.
+	VerdictCEX Verdict = "cex"
+	// VerdictError: the assertion is syntactically or semantically
+	// invalid even after correction.
+	VerdictError Verdict = "error"
+)
+
+func newVerdict(v eval.Verdict) Verdict {
+	switch v {
+	case eval.VerdictPass:
+		return VerdictPass
+	case eval.VerdictCEX:
+		return VerdictCEX
+	default:
+		return VerdictError
+	}
+}
+
+func (v Verdict) internal() eval.Verdict {
+	switch v {
+	case VerdictPass:
+		return eval.VerdictPass
+	case VerdictCEX:
+		return eval.VerdictCEX
+	default:
+		return eval.VerdictError
+	}
+}
+
+// Metrics are the Pass/CEX/Error counts over all generated assertions.
+type Metrics struct {
+	NPass  int `json:"n_pass"`
+	NCEX   int `json:"n_cex"`
+	NError int `json:"n_error"`
+}
+
+// MarshalJSON emits counts plus derived fractions for downstream tooling.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eval.Metrics(m))
+}
+
+// Add accumulates one verdict.
+func (m *Metrics) Add(v Verdict) {
+	switch v {
+	case VerdictPass:
+		m.NPass++
+	case VerdictCEX:
+		m.NCEX++
+	default:
+		m.NError++
+	}
+}
+
+// Merge accumulates another Metrics value — the collector operation
+// stream consumers need to reproduce Run's totals.
+func (m *Metrics) Merge(o Metrics) {
+	m.NPass += o.NPass
+	m.NCEX += o.NCEX
+	m.NError += o.NError
+}
+
+// Total is the number of classified assertions.
+func (m Metrics) Total() int { return eval.Metrics(m).Total() }
+
+// Pass is the fraction of valid (incl. vacuous) assertions.
+func (m Metrics) Pass() float64 { return eval.Metrics(m).Pass() }
+
+// CEX is the fraction of refuted assertions.
+func (m Metrics) CEX() float64 { return eval.Metrics(m).CEX() }
+
+// Error is the fraction of syntactically/semantically broken assertions.
+func (m Metrics) Error() float64 { return eval.Metrics(m).Error() }
+
+func (m Metrics) String() string { return eval.Metrics(m).String() }
+
+// DesignOutcome records one design's generated assertions and verdicts.
+type DesignOutcome struct {
+	// Index is the design's global corpus position: stable across worker
+	// counts and shards, so streamed outcomes from different shards can
+	// be interleaved or concatenated without ambiguity.
+	Index  int
+	Design string
+	// Generated is the raw candidate list; Corrected the post-corrector
+	// list (nil when the corrector is off).
+	Generated []string
+	Corrected []string
+	Verdicts  []Verdict
+	// Channel bookkeeping from the generator (for ablation analysis).
+	OffTask  int
+	Grounded int
+}
+
+// Metrics folds the outcome's verdicts into counts.
+func (o DesignOutcome) Metrics() Metrics {
+	var m eval.Metrics
+	for _, v := range o.Verdicts {
+		m.Add(v.internal())
+	}
+	return Metrics(m)
+}
+
+func newDesignOutcome(o eval.DesignOutcome) DesignOutcome {
+	out := DesignOutcome{
+		Index:     o.Index,
+		Design:    o.Design,
+		Generated: o.Generated,
+		Corrected: o.Corrected,
+		OffTask:   o.OffTask,
+		Grounded:  o.Grounded,
+	}
+	if o.Verdicts != nil {
+		out.Verdicts = make([]Verdict, len(o.Verdicts))
+		for i, v := range o.Verdicts {
+			out.Verdicts[i] = newVerdict(v)
+		}
+	}
+	return out
+}
+
+func (o DesignOutcome) internal() eval.DesignOutcome {
+	out := eval.DesignOutcome{
+		Index:     o.Index,
+		Design:    o.Design,
+		Generated: o.Generated,
+		Corrected: o.Corrected,
+		OffTask:   o.OffTask,
+		Grounded:  o.Grounded,
+	}
+	if o.Verdicts != nil {
+		out.Verdicts = make([]eval.Verdict, len(o.Verdicts))
+		for i, v := range o.Verdicts {
+			out.Verdicts[i] = v.internal()
+		}
+	}
+	return out
+}
+
+// RunResult is one (generator, k) evaluation over the corpus.
+type RunResult struct {
+	// Generator is the assertion source's name (a model or miner).
+	Generator string
+	Shots     int
+	Metrics   Metrics
+	Outcomes  []DesignOutcome
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("%s %d-shot: %v", r.Generator, r.Shots, r.Metrics)
+}
+
+func newRunResult(r eval.RunResult) RunResult {
+	out := RunResult{
+		Generator: r.Model,
+		Shots:     r.Shots,
+		Metrics:   Metrics(r.Metrics),
+	}
+	if r.Designs != nil {
+		out.Outcomes = make([]DesignOutcome, len(r.Designs))
+		for i, d := range r.Designs {
+			out.Outcomes[i] = newDesignOutcome(d)
+		}
+	}
+	return out
+}
+
+func (r RunResult) internal() eval.RunResult {
+	out := eval.RunResult{
+		Model:   r.Generator,
+		Shots:   r.Shots,
+		Metrics: eval.Metrics(r.Metrics),
+	}
+	if r.Outcomes != nil {
+		out.Designs = make([]eval.DesignOutcome, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			out.Designs[i] = o.internal()
+		}
+	}
+	return out
+}
+
+func newRunResults(rs []eval.RunResult) []RunResult {
+	out := make([]RunResult, len(rs))
+	for i, r := range rs {
+		out[i] = newRunResult(r)
+	}
+	return out
+}
+
+func internalRunResults(rs []RunResult) []eval.RunResult {
+	out := make([]eval.RunResult, len(rs))
+	for i, r := range rs {
+		out[i] = r.internal()
+	}
+	return out
+}

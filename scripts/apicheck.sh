@@ -1,0 +1,27 @@
+#!/bin/sh
+# API-compatibility guard: build scripts/apicheck/main.go as an EXTERNAL
+# consumer of the assertionbench module. The consumer lives in a temp
+# module that `require`s assertionbench via a local replace, so the Go
+# toolchain enforces the internal/ boundary exactly as it would for a
+# real downstream user — any internal type leaking into a public
+# signature, or any break of the public surface, fails this build.
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cp "$root/scripts/apicheck/main.go" "$tmp/main.go"
+cat > "$tmp/go.mod" <<EOF
+module apicheck
+
+go 1.24
+
+require assertionbench v0.0.0
+
+replace assertionbench => $root
+EOF
+
+cd "$tmp"
+GOFLAGS=-mod=mod GOPROXY=off go build -o /dev/null .
+echo "apicheck: external consumer builds against the public API"

@@ -1,0 +1,88 @@
+// Command apicheck is the API-compatibility guard: a minimal external
+// consumer of the public assertionbench package. scripts/apicheck.sh
+// copies it into a throwaway module *outside* this repository and builds
+// it there, so any internal/ type leaking into a public signature — or
+// any accidental break of the public surface — fails the build the way
+// it would fail a real downstream user.
+//
+// It compiles against every contract the facade promises: benchmark
+// loading, profile resolution, batch + streaming evaluation, a custom
+// Generator, a custom Verifier, direct verification, mining, coverage,
+// and the figure renderers. It is meant to be built, and to run only as
+// a smoke test (apicheck -run).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"assertionbench"
+)
+
+// customGen proves the Generator interface is implementable downstream.
+type customGen struct{}
+
+func (customGen) Name() string { return "custom" }
+
+func (customGen) Generate(_ context.Context, req assertionbench.GenRequest) (assertionbench.GenOutput, error) {
+	return assertionbench.GenOutput{Assertions: []string{"1 == 1 |-> 1 == 1;"}}, nil
+}
+
+// customVerifier proves the Verifier interface is implementable
+// downstream (it delegates to the built-in engine).
+type customVerifier struct {
+	inner assertionbench.Verifier
+}
+
+func (v customVerifier) Verify(ctx context.Context, d assertionbench.Design, a string) assertionbench.VerifyResult {
+	return v.inner.Verify(ctx, d, a)
+}
+
+func main() {
+	run := flag.Bool("run", false, "actually execute a tiny evaluation (default: compile-only no-op)")
+	flag.Parse()
+	if !*run {
+		return
+	}
+	ctx := context.Background()
+
+	p, err := assertionbench.ProfileByName("gpt4o")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := assertionbench.Load(ctx, assertionbench.Options{MaxDesigns: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := assertionbench.NewRunner(assertionbench.NewModelGenerator(p), b, assertionbench.RunOptions{
+		Shots:        1,
+		UseCorrector: true,
+		Verifier:     customVerifier{inner: assertionbench.NewVerifier(assertionbench.VerifyOptions{})},
+	})
+	for outcome, err := range runner.Stream(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streamed #%d %s: %v\n", outcome.Index, outcome.Design, outcome.Metrics())
+	}
+	batch, err := assertionbench.NewRunner(customGen{}, b, assertionbench.RunOptions{Shots: 1}).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(batch)
+
+	design := assertionbench.TrainArbiter()
+	if _, err := assertionbench.VerifyAssertions(ctx, design.Source, []string{"rst == 1 |=> gnt_ == 0"}, assertionbench.VerifyOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := assertionbench.MineAssertions(ctx, design.Source, assertionbench.MineOptions{Miner: "harm"}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := assertionbench.MeasureCoverage(ctx, design.Source, []string{"rst == 1 |=> gnt_ == 0"}, assertionbench.CoverageOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(assertionbench.TableI(b.Corpus()))
+	fmt.Println("apicheck ok")
+}

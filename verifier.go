@@ -1,0 +1,273 @@
+package assertionbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/corrector"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// VerifyStatus is the verdict lattice of the paper's Fig. 2, extended
+// with the bounded verdict.
+type VerifyStatus string
+
+// Verdicts.
+const (
+	// StatusProven: exhaustive search closed with no violation and the
+	// antecedent reachable.
+	StatusProven VerifyStatus = "proven"
+	// StatusVacuous: exhaustive search closed, no violation, but the
+	// antecedent is unreachable.
+	StatusVacuous VerifyStatus = "vacuous"
+	// StatusBoundedPass: bounded search found no violation.
+	StatusBoundedPass VerifyStatus = "bounded_pass"
+	// StatusCEX: a counter-example trace refutes the assertion.
+	StatusCEX VerifyStatus = "cex"
+	// StatusError: the assertion failed to parse or type-check, or
+	// verification was canceled (Err holds ctx.Err() in that case).
+	StatusError VerifyStatus = "error"
+)
+
+// IsPass reports whether the verdict counts toward the paper's Pass
+// metric (valid + vacuous + bounded outcomes).
+func (s VerifyStatus) IsPass() bool {
+	return s == StatusProven || s == StatusVacuous || s == StatusBoundedPass
+}
+
+func newVerifyStatus(s fpv.Status) VerifyStatus {
+	switch s {
+	case fpv.StatusProven:
+		return StatusProven
+	case fpv.StatusVacuous:
+		return StatusVacuous
+	case fpv.StatusBoundedPass:
+		return StatusBoundedPass
+	case fpv.StatusCEX:
+		return StatusCEX
+	default:
+		return StatusError
+	}
+}
+
+func (s VerifyStatus) internal() fpv.Status {
+	switch s {
+	case StatusProven:
+		return fpv.StatusProven
+	case StatusVacuous:
+		return fpv.StatusVacuous
+	case StatusBoundedPass:
+		return fpv.StatusBoundedPass
+	case StatusCEX:
+		return fpv.StatusCEX
+	default:
+		return fpv.StatusError
+	}
+}
+
+// Counterexample is a refuting trace: per-cycle stimulus plus the sampled
+// value of every net along the violating path.
+type Counterexample struct {
+	nl  *verilog.Netlist
+	cex *fpv.CEX
+}
+
+// ViolationCycle is the cycle at which the consequent failed.
+func (c *Counterexample) ViolationCycle() int { return c.cex.ViolationCycle }
+
+// AttemptCycle is the cycle at which the violated attempt started.
+func (c *Counterexample) AttemptCycle() int { return c.cex.AttemptCycle }
+
+// Cycles is the trace length.
+func (c *Counterexample) Cycles() int { return len(c.cex.Sampled) }
+
+// Format renders the trace as a cycle-by-cycle table for diagnostics.
+func (c *Counterexample) Format() string { return c.cex.Format(c.nl) }
+
+// WriteVCD exports the trace as a VCD waveform.
+func (c *Counterexample) WriteVCD(w io.Writer) error {
+	tr := sim.TraceFromSamples(c.nl, c.cex.Sampled)
+	return sim.WriteVCD(w, tr, c.nl.Name)
+}
+
+// VerifyResult is the outcome of verifying one assertion.
+type VerifyResult struct {
+	// Assertion is the text that was verified.
+	Assertion string
+	Status    VerifyStatus
+	// Err explains StatusError results (parse/type errors, or ctx.Err()
+	// after cancellation).
+	Err error
+	// CEX is non-nil for StatusCEX.
+	CEX *Counterexample
+	// NonVacuous reports whether any explored path matched the antecedent.
+	NonVacuous bool
+	// Exhaustive reports whether the product space was fully closed.
+	Exhaustive bool
+	// States is the number of distinct product states visited; Depth the
+	// deepest cycle reached.
+	States int
+	Depth  int
+}
+
+func newVerifyResult(nl *verilog.Netlist, assertion string, r fpv.Result) VerifyResult {
+	out := VerifyResult{
+		Assertion:  assertion,
+		Status:     newVerifyStatus(r.Status),
+		Err:        r.Err,
+		NonVacuous: r.NonVacuous,
+		Exhaustive: r.Exhaustive,
+		States:     r.States,
+		Depth:      r.Depth,
+	}
+	if r.CEX != nil {
+		out.CEX = &Counterexample{nl: nl, cex: r.CEX}
+	}
+	return out
+}
+
+func (r VerifyResult) internal() fpv.Result {
+	out := fpv.Result{
+		Status:     r.Status.internal(),
+		Err:        r.Err,
+		NonVacuous: r.NonVacuous,
+		Exhaustive: r.Exhaustive,
+		States:     r.States,
+		Depth:      r.Depth,
+	}
+	if r.CEX != nil {
+		out.CEX = r.CEX.cex
+	}
+	return out
+}
+
+// VerifyOptions bound the FPV engine. The zero value selects the
+// engine's own defaults (deep search); the evaluation runner substitutes
+// its evaluation-grade budget when these are left zero.
+type VerifyOptions struct {
+	// MaxProductStates bounds the BFS frontier before degrading to
+	// bounded mode.
+	MaxProductStates int
+	// MaxInputBits is the widest data-input vector enumerated
+	// exhaustively per state.
+	MaxInputBits int
+	// MaxInputSamples is the number of input vectors tried per state when
+	// enumeration is infeasible.
+	MaxInputSamples int
+	// RandomRuns and RandomDepth configure the randomized violation hunt
+	// appended in bounded mode.
+	RandomRuns  int
+	RandomDepth int
+	// Seed makes bounded exploration deterministic.
+	Seed int64
+}
+
+func (o VerifyOptions) internal() fpv.Options {
+	return fpv.Options(o)
+}
+
+// Verifier decides a candidate assertion's fate against a design — the
+// pipeline's formal stage, swappable the same way the Generator is.
+// Implementations must be safe for concurrent use: the evaluation runner
+// calls one instance from every worker.
+type Verifier interface {
+	Verify(ctx context.Context, design Design, assertion string) VerifyResult
+}
+
+// fpvVerifier is the FPV-engine-backed Verifier. Engines are pooled so
+// concurrent callers reuse allocation-heavy state instead of rebuilding
+// it per call; elaboration goes through the process-wide cache.
+type fpvVerifier struct {
+	opt  fpv.Options
+	pool sync.Pool
+}
+
+// NewVerifier returns the built-in FPV-backed Verifier with the given
+// bounds. It is safe for concurrent use.
+func NewVerifier(opt VerifyOptions) Verifier {
+	v := &fpvVerifier{opt: opt.internal()}
+	v.pool.New = func() any { return fpv.NewEngine() }
+	return v
+}
+
+func (v *fpvVerifier) Verify(ctx context.Context, design Design, assertion string) VerifyResult {
+	nl, err := bench.Elaborate(design.internal())
+	if err != nil {
+		return VerifyResult{Assertion: assertion, Status: StatusError,
+			Err: fmt.Errorf("design %s does not elaborate: %w", design.Name, err)}
+	}
+	eng := v.pool.Get().(*fpv.Engine)
+	defer v.pool.Put(eng)
+	return newVerifyResult(nl, assertion, eng.VerifySource(ctx, nl, assertion, v.opt))
+}
+
+// verifierAdapter lowers a public Verifier into the evaluation runner.
+type verifierAdapter struct {
+	v Verifier
+}
+
+func (a verifierAdapter) Verify(ctx context.Context, d bench.Design, _ *verilog.Netlist, assertion string, _ fpv.Options) fpv.Result {
+	return a.v.Verify(ctx, newDesign(d), assertion).internal()
+}
+
+var _ eval.Verifier = verifierAdapter{}
+
+// VerifyAssertions formally verifies assertion texts against a design
+// given as Verilog source, one result per input in order. Elaboration
+// goes through the process-wide cache (see PurgeCaches). Cancelling ctx
+// stops the batch and returns the completed prefix alongside ctx.Err(),
+// so interruption is never mistaken for per-assertion failures.
+func VerifyAssertions(ctx context.Context, designSource string, assertions []string, opt VerifyOptions) ([]VerifyResult, error) {
+	nl, err := elaborateSource(designSource)
+	if err != nil {
+		return nil, err
+	}
+	eng := fpv.NewEngine()
+	out := make([]VerifyResult, 0, len(assertions))
+	for _, a := range assertions {
+		r := eng.VerifySource(ctx, nl, a, opt.internal())
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = append(out, newVerifyResult(nl, a, r))
+	}
+	return out, nil
+}
+
+// elaborateSource elaborates raw Verilog through the process-wide cache,
+// so repeated façade calls on the same source pay for the front end once.
+func elaborateSource(designSource string) (*verilog.Netlist, error) {
+	nl, err := bench.Elaborate(bench.Design{Source: designSource})
+	if err != nil {
+		return nil, fmt.Errorf("design does not elaborate: %w", err)
+	}
+	return nl, nil
+}
+
+// SplitAssertions splits raw generator output (or an assertion file) into
+// individual candidate assertion lines, the way the evaluation pipeline
+// does before correction. Useful for custom Generator implementations
+// that produce free-form text.
+func SplitAssertions(text string) []string {
+	return sva.SplitAssertions(text)
+}
+
+// CorrectAssertions runs the paper's Fig. 4 stage-3 rule-based syntax
+// corrector over candidate lines. If the design does not elaborate the
+// lines are returned unchanged (the corrector needs a netlist to resolve
+// signal names against).
+func CorrectAssertions(designSource string, assertions []string) []string {
+	nl, err := elaborateSource(designSource)
+	if err != nil {
+		return assertions
+	}
+	fixed, _ := corrector.New(nl).CorrectAll(assertions)
+	return fixed
+}
