@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench race apicheck
+.PHONY: check fmt vet build test bench race apicheck fuzz selfcheck
 
 check: fmt vet build test apicheck
 
@@ -20,7 +20,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/eval/ ./internal/llm/ ./internal/bench/
+	$(GO) test -race ./internal/eval/ ./internal/llm/ ./internal/bench/ ./internal/dverify/
+
+# Differential self-check: seeded design/property fuzzing with
+# cross-engine oracles. SEED/N are overridable: make selfcheck SEED=7
+selfcheck:
+	$(GO) run ./cmd/fuzzcheck -n $(or $(N),200) -seed $(or $(SEED),1)
+
+# go-native fuzzing smoke over the checked-in seed corpora.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseVerilog -fuzztime 20s ./internal/verilog
+	$(GO) test -run '^$$' -fuzz FuzzParseSVA -fuzztime 20s ./internal/sva
 
 # Build a tiny consumer program against the public package from a temp
 # module outside the repo, so internal/ leakage into public signatures

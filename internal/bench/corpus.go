@@ -30,37 +30,44 @@ type Design struct {
 }
 
 // CountLoC counts lines of code the way cloc does for Verilog: blank
-// lines and comment-only lines are excluded.
+// lines and comment-only lines are excluded. Comment markers are
+// processed in positional order, so a "//" inside a "/* */" block is
+// plain comment text rather than a line comment (scanning "//" first
+// used to truncate such lines and swallow the code after the block's
+// close — found by the edge-case tests in loc_shard_test.go).
 func CountLoC(src string) int {
 	count := 0
 	inBlock := false
 	for _, line := range strings.Split(src, "\n") {
-		s := strings.TrimSpace(line)
-		if inBlock {
-			if i := strings.Index(s, "*/"); i >= 0 {
-				s = strings.TrimSpace(s[i+2:])
+		s := line
+		var kept strings.Builder
+		for s != "" {
+			if inBlock {
+				i := strings.Index(s, "*/")
+				if i < 0 {
+					s = ""
+					break
+				}
+				s = s[i+2:]
 				inBlock = false
-			} else {
 				continue
 			}
-		}
-		if i := strings.Index(s, "//"); i >= 0 {
-			s = strings.TrimSpace(s[:i])
-		}
-		for {
-			i := strings.Index(s, "/*")
-			if i < 0 {
-				break
-			}
-			j := strings.Index(s[i+2:], "*/")
-			if j < 0 {
-				s = strings.TrimSpace(s[:i])
+			li := strings.Index(s, "//")
+			bi := strings.Index(s, "/*")
+			switch {
+			case bi >= 0 && (li < 0 || bi < li):
+				kept.WriteString(s[:bi])
+				s = s[bi+2:]
 				inBlock = true
-				break
+			case li >= 0:
+				kept.WriteString(s[:li])
+				s = ""
+			default:
+				kept.WriteString(s)
+				s = ""
 			}
-			s = strings.TrimSpace(s[:i] + s[i+2+j+2:])
 		}
-		if s != "" {
+		if strings.TrimSpace(kept.String()) != "" {
 			count++
 		}
 	}

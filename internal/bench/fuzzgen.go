@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file extends the corpus generator families (gen.go) into a seeded
+// design fuzzer: a FuzzSpec is the genome of one generated design —
+// family, size parameters, reset polarity and a structural seed — and
+// Build deterministically renders it to Verilog source. The differential
+// harness (internal/dverify) draws random specs, checks them against its
+// oracles, and shrinks the genome when a disagreement appears.
+
+// FuzzSpec is the genome of one generated design. Build is a pure
+// function of the spec, so a spec fully identifies a reproduction case.
+type FuzzSpec struct {
+	// Family selects the generator (see FuzzFamilies).
+	Family string
+	// A and B are family-specific size parameters (width, depth, state
+	// count, operation count, ...). Out-of-range values are clamped.
+	A, B int
+	// NegReset switches families that support it to an active-low
+	// asynchronous reset (negedge rst_n / if (!rst_n)).
+	NegReset bool
+	// Seed drives the structural randomness of the "mixed" and "fsmrand"
+	// families (block shapes, expression trees, transition targets).
+	Seed int64
+}
+
+// fuzzFamily describes one generator family and its parameter bounds.
+type fuzzFamily struct {
+	name       string
+	aMin, aMax int
+	bMin, bMax int
+	seq        bool
+	gen        func(s FuzzSpec, name string) string
+}
+
+var fuzzFamilies = []fuzzFamily{
+	{"counter", 1, 8, 0, 1, true, func(s FuzzSpec, n string) string { return genCounter(n, s.A, s.B == 1) }},
+	{"shift", 2, 10, 0, 0, true, func(s FuzzSpec, n string) string { return genShiftReg(n, s.A) }},
+	{"lfsr", 2, 8, 0, 0, true, func(s FuzzSpec, n string) string { return genLFSR(n, s.A, []int{s.A - 1, s.A / 2, 0}) }},
+	{"gray", 1, 6, 0, 0, true, func(s FuzzSpec, n string) string { return genGray(n, s.A) }},
+	{"fifo", 1, 4, 0, 0, true, func(s FuzzSpec, n string) string { return genFifoCtrl(n, s.A) }},
+	{"fsm", 3, 12, 0, 0, true, func(s FuzzSpec, n string) string { return genFSM(n, s.A) }},
+	{"crc", 2, 8, 1, 255, true, func(s FuzzSpec, n string) string { return genCRC(n, s.A, uint64(s.B)) }},
+	{"checksum", 1, 6, 0, 0, true, func(s FuzzSpec, n string) string { return genChecksum(n, s.A) }},
+	// Input-heavy families are clamped so their data-input vectors stay
+	// within the differential harness's exhaustive-enumeration budget
+	// (internal/dverify) for most parameter draws.
+	{"alu", 1, 4, 1, 12, false, func(s FuzzSpec, n string) string { return genALU(n, s.A, s.B) }},
+	{"satadd", 1, 5, 0, 0, false, func(s FuzzSpec, n string) string { return genSatAdd(n, s.A) }},
+	{"parity", 1, 8, 0, 0, false, func(s FuzzSpec, n string) string { return genParity(n, s.A) }},
+	{"arb", 1, 5, 0, 0, true, func(s FuzzSpec, n string) string { return genPriorityArb(n, s.A) }},
+	{"handshake", 1, 6, 0, 0, true, func(s FuzzSpec, n string) string { return genHandshake(n, s.A) }},
+	{"edge", 0, 0, 0, 0, true, func(s FuzzSpec, n string) string { return genEdgeDetect(n) }},
+	{"debounce", 1, 5, 0, 0, true, func(s FuzzSpec, n string) string { return genDebounce(n, s.A) }},
+	{"timer", 1, 5, 0, 0, true, func(s FuzzSpec, n string) string { return genTimer(n, s.A) }},
+	{"serializer", 2, 8, 0, 0, true, func(s FuzzSpec, n string) string { return genSerializer(n, s.A) }},
+	{"keyexpand", 2, 8, 1, 6, true, func(s FuzzSpec, n string) string { return genKeyExpand(n, s.A, s.B) }},
+	{"regbank", 1, 4, 1, 6, true, func(s FuzzSpec, n string) string { return genRegBank(n, s.A, s.B) }},
+	{"summer", 1, 3, 1, 4, true, func(s FuzzSpec, n string) string { return genSummer(n, s.A, s.B) }},
+	{"clockgen", 1, 6, 0, 0, true, func(s FuzzSpec, n string) string { return genClockGen(n, s.A) }},
+	{"resetsync", 2, 4, 0, 0, true, func(s FuzzSpec, n string) string { return genResetSync(n, s.A) }},
+	{"fsmrand", 3, 10, 0, 0, true, genFuzzFSM},
+	{"mixed", 1, 6, 1, 4, true, genFuzzMixed},
+}
+
+func familyByName(name string) fuzzFamily {
+	for _, f := range fuzzFamilies {
+		if f.name == name {
+			return f
+		}
+	}
+	// Unknown families degrade to the mixed generator rather than failing:
+	// a shrunk or hand-edited spec should always build something.
+	return fuzzFamilies[len(fuzzFamilies)-1]
+}
+
+// FuzzFamilies lists the generator family names.
+func FuzzFamilies() []string {
+	out := make([]string, len(fuzzFamilies))
+	for i, f := range fuzzFamilies {
+		out[i] = f.name
+	}
+	return out
+}
+
+// RandomFuzzSpec draws a uniformly random spec from rng.
+func RandomFuzzSpec(rng *rand.Rand) FuzzSpec {
+	f := fuzzFamilies[rng.Intn(len(fuzzFamilies))]
+	s := FuzzSpec{Family: f.name, Seed: rng.Int63()}
+	if f.aMax > f.aMin {
+		s.A = f.aMin + rng.Intn(f.aMax-f.aMin+1)
+	} else {
+		s.A = f.aMin
+	}
+	if f.bMax > f.bMin {
+		s.B = f.bMin + rng.Intn(f.bMax-f.bMin+1)
+	} else {
+		s.B = f.bMin
+	}
+	// Reset polarity only matters to the structurally random families;
+	// keeping the flag on every spec makes shrinking uniform.
+	s.NegReset = rng.Intn(4) == 0
+	return s
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// normalize clamps the parameters into the family's valid bounds.
+func (s FuzzSpec) normalize() FuzzSpec {
+	f := familyByName(s.Family)
+	s.Family = f.name
+	s.A = clampInt(s.A, f.aMin, f.aMax)
+	s.B = clampInt(s.B, f.bMin, f.bMax)
+	if s.Seed < 0 {
+		s.Seed = -s.Seed
+	}
+	return s
+}
+
+// ModuleName returns the deterministic module name of the spec's design.
+func (s FuzzSpec) ModuleName() string {
+	s = s.normalize()
+	neg := 0
+	if s.NegReset {
+		neg = 1
+	}
+	return fmt.Sprintf("fz_%s_%d_%d_%d_%x", s.Family, s.A, s.B, neg, s.Seed&0xffff)
+}
+
+func (s FuzzSpec) String() string {
+	return fmt.Sprintf("{family=%s A=%d B=%d negReset=%v seed=%d}", s.Family, s.A, s.B, s.NegReset, s.Seed)
+}
+
+// Build renders the spec to a benchmark Design. The result is a pure
+// function of the spec.
+func (s FuzzSpec) Build() Design {
+	s = s.normalize()
+	f := familyByName(s.Family)
+	name := s.ModuleName()
+	src := f.gen(s, name)
+	return Design{
+		Name:          name,
+		FileName:      name + ".v",
+		Source:        src,
+		Sequential:    f.seq,
+		Category:      "fuzz/" + f.name,
+		Functionality: "differential-harness generated design " + s.String(),
+		LoC:           CountLoC(src),
+	}
+}
+
+// Shrink returns candidate smaller genomes, nearest-first. The shrink
+// loop keeps a candidate only if it still reproduces the disagreement,
+// so candidates merely need to be plausibly simpler, not equivalent.
+func (s FuzzSpec) Shrink() []FuzzSpec {
+	s = s.normalize()
+	f := familyByName(s.Family)
+	var out []FuzzSpec
+	seen := map[FuzzSpec]bool{s: true}
+	add := func(c FuzzSpec) {
+		c = c.normalize()
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if s.A > f.aMin {
+		c := s
+		c.A = s.A - 1
+		add(c)
+		c.A = f.aMin + (s.A-f.aMin)/2
+		add(c)
+	}
+	if s.B > f.bMin {
+		c := s
+		c.B = s.B - 1
+		add(c)
+		c.B = f.bMin + (s.B-f.bMin)/2
+		add(c)
+	}
+	if s.NegReset {
+		c := s
+		c.NegReset = false
+		add(c)
+	}
+	if s.Seed != 0 {
+		c := s
+		c.Seed = s.Seed / 2
+		add(c)
+	}
+	return out
+}
+
+// --- structurally random families ---
+
+// resetStyle renders the sensitivity-list event and the guard expression
+// for the chosen reset polarity.
+func resetStyle(neg bool) (port, event, guard string) {
+	if neg {
+		return "rst_n", "negedge rst_n", "!rst_n"
+	}
+	return "rst", "posedge rst", "rst"
+}
+
+// genFuzzFSM emits a state machine with a seed-random transition table:
+// every state picks random successors for its go/stall input combinations,
+// so the reachable shape (chains, loops, traps) varies per seed.
+func genFuzzFSM(s FuzzSpec, name string) string {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	states := s.A
+	w := bitsFor(states)
+	rstPort, rstEvent, rstGuard := resetStyle(s.NegReset)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %d-state random-shape FSM\n", name, states)
+	fmt.Fprintf(&sb, "module %s(clk, %s, go, stall, state, active);\n", name, rstPort)
+	fmt.Fprintf(&sb, "input clk, %s, go, stall;\n", rstPort)
+	fmt.Fprintf(&sb, "output [%d:0] state;\n", w-1)
+	sb.WriteString("output active;\n")
+	fmt.Fprintf(&sb, "reg [%d:0] state, next;\n", w-1)
+	sb.WriteString("assign active = state != 0;\n")
+	sb.WriteString("always @(*)\n  case (state)\n")
+	for st := 0; st < states; st++ {
+		onGo := rng.Intn(states)
+		onStall := st
+		onElse := rng.Intn(states)
+		fmt.Fprintf(&sb, "    %d'd%d: next = go ? %d'd%d : (stall ? %d'd%d : %d'd%d);\n",
+			w, st, w, onGo, w, onStall, w, onElse)
+	}
+	fmt.Fprintf(&sb, "    default: next = %d'd0;\n", w)
+	sb.WriteString("  endcase\n")
+	fmt.Fprintf(&sb, "always @(posedge clk or %s)\n", rstEvent)
+	fmt.Fprintf(&sb, "  if (%s)\n    state <= 0;\n  else\n    state <= next;\n", rstGuard)
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// exprPool tracks the symbols a random expression may reference, with
+// their widths, so generated indices and part-selects stay in range.
+type exprPool struct {
+	names  []string
+	widths []int
+	rng    *rand.Rand
+}
+
+func (p *exprPool) add(name string, width int) {
+	p.names = append(p.names, name)
+	p.widths = append(p.widths, width)
+}
+
+// expr emits a random well-formed expression of bounded depth over the
+// pool's symbols.
+func (p *exprPool) expr(depth int) string {
+	if depth <= 0 || len(p.names) == 0 || p.rng.Intn(5) == 0 {
+		return p.atom()
+	}
+	switch p.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", p.expr(depth-1), p.binop(), p.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s %s %s)", p.expr(depth-1), p.cmpop(), p.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s ? %s : %s)", p.expr(depth-1), p.expr(depth-1), p.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(~%s)", p.expr(depth-1))
+	case 4:
+		ops := []string{"&", "|", "^"}
+		return fmt.Sprintf("(%s%s)", ops[p.rng.Intn(len(ops))], p.atom())
+	case 5:
+		return fmt.Sprintf("(%s >> %d)", p.expr(depth-1), p.rng.Intn(4))
+	case 6:
+		i := p.rng.Intn(len(p.names))
+		if p.widths[i] == 1 {
+			return p.names[i]
+		}
+		return fmt.Sprintf("%s[%d]", p.names[i], p.rng.Intn(p.widths[i]))
+	default:
+		return fmt.Sprintf("{%s, %s}", p.atom(), p.atom())
+	}
+}
+
+func (p *exprPool) atom() string {
+	if len(p.names) == 0 || p.rng.Intn(4) == 0 {
+		w := 1 + p.rng.Intn(6)
+		return fmt.Sprintf("%d'd%d", w, p.rng.Intn(1<<uint(w)))
+	}
+	return p.names[p.rng.Intn(len(p.names))]
+}
+
+func (p *exprPool) binop() string {
+	ops := []string{"+", "-", "&", "|", "^"}
+	return ops[p.rng.Intn(len(ops))]
+}
+
+func (p *exprPool) cmpop() string {
+	ops := []string{"==", "!=", "<", ">=", ">"}
+	return ops[p.rng.Intn(len(ops))]
+}
+
+// genFuzzMixed emits a module with seed-random structure: a few inputs,
+// B registers each driven by its own guarded always block, a layered set
+// of combinational assigns, and one @(*) case block — mixed sequential
+// and combinational logic with the requested reset polarity. Acyclicity
+// holds by construction: wires reference only inputs, registers, and
+// earlier wires; the case block reads only inputs and registers.
+func genFuzzMixed(s FuzzSpec, name string) string {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x3a7ed))
+	width := s.A
+	blocks := s.B
+	rstPort, rstEvent, rstGuard := resetStyle(s.NegReset)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: mixed comb/seq fuzz design (width %d, %d blocks)\n", name, width, blocks)
+	fmt.Fprintf(&sb, "module %s(clk, %s, en, a, b, y, q, f);\n", name, rstPort)
+	fmt.Fprintf(&sb, "input clk, %s, en;\n", rstPort)
+	fmt.Fprintf(&sb, "input [%d:0] a;\n", width-1)
+	sb.WriteString("input b;\n")
+	fmt.Fprintf(&sb, "output [%d:0] y;\n", width-1)
+	fmt.Fprintf(&sb, "output [%d:0] q;\n", width-1)
+	sb.WriteString("output f;\n")
+
+	// Registers, one driver block each.
+	seqPool := &exprPool{rng: rng}
+	seqPool.add("en", 1)
+	seqPool.add("a", width)
+	seqPool.add("b", 1)
+	for i := 0; i < blocks; i++ {
+		rw := 1 + rng.Intn(width)
+		fmt.Fprintf(&sb, "reg [%d:0] r%d;\n", rw-1, i)
+		seqPool.add(fmt.Sprintf("r%d", i), rw)
+	}
+	fmt.Fprintf(&sb, "reg [%d:0] c0;\n", width-1)
+
+	// Layered combinational wires over inputs, registers, earlier wires.
+	wirePool := &exprPool{rng: rng}
+	wirePool.add("en", 1)
+	wirePool.add("a", width)
+	wirePool.add("b", 1)
+	for i := 0; i < blocks; i++ {
+		wirePool.add(fmt.Sprintf("r%d", i), seqPool.widths[3+i])
+	}
+	for i := 0; i < blocks; i++ {
+		ww := 1 + rng.Intn(width)
+		fmt.Fprintf(&sb, "wire [%d:0] w%d;\n", ww-1, i)
+		fmt.Fprintf(&sb, "assign w%d = %s;\n", i, wirePool.expr(2))
+		wirePool.add(fmt.Sprintf("w%d", i), ww)
+	}
+	fmt.Fprintf(&sb, "assign y = %s;\n", wirePool.expr(2))
+	sb.WriteString("assign q = c0;\n")
+	fmt.Fprintf(&sb, "assign f = %s;\n", wirePool.expr(1))
+
+	// One guarded always block per register.
+	for i := 0; i < blocks; i++ {
+		fmt.Fprintf(&sb, "always @(posedge clk or %s)\n", rstEvent)
+		fmt.Fprintf(&sb, "  if (%s)\n    r%d <= 0;\n", rstGuard, i)
+		fmt.Fprintf(&sb, "  else if (%s)\n    r%d <= %s;\n", seqPool.expr(1), i, seqPool.expr(2))
+		fmt.Fprintf(&sb, "  else\n    r%d <= %s;\n", i, seqPool.expr(2))
+	}
+
+	// Combinational case block reading only inputs and registers.
+	sel := seqPool.expr(1)
+	arms := 2 + rng.Intn(3)
+	fmt.Fprintf(&sb, "always @(*)\n  case (%s)\n", sel)
+	for i := 0; i < arms; i++ {
+		fmt.Fprintf(&sb, "    %d: c0 = %s;\n", i, seqPool.expr(2))
+	}
+	fmt.Fprintf(&sb, "    default: c0 = %s;\n  endcase\n", seqPool.expr(1))
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}

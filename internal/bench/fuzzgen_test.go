@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+// Every family at its parameter extremes, plus a random sweep, must
+// elaborate and simulate: the differential harness relies on generated
+// designs being well-formed by construction.
+func TestFuzzSpecFamiliesElaborate(t *testing.T) {
+	t.Parallel()
+	var specs []FuzzSpec
+	for _, fam := range FuzzFamilies() {
+		specs = append(specs,
+			FuzzSpec{Family: fam, A: 0, B: 0},                          // clamped to minima
+			FuzzSpec{Family: fam, A: 1 << 20, B: 1 << 20, Seed: 3},     // clamped to maxima
+			FuzzSpec{Family: fam, A: 3, B: 2, NegReset: true, Seed: 9}, // active-low reset
+		)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		specs = append(specs, RandomFuzzSpec(rng))
+	}
+	for _, spec := range specs {
+		d := spec.Build()
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Fatalf("spec %s does not elaborate: %v\n%s", spec, err, d.Source)
+		}
+		s := sim.New(nl)
+		srng := rand.New(rand.NewSource(1))
+		for c := 0; c < 8; c++ {
+			if err := s.StepWith(sim.RandomInputs(nl, srng)); err != nil {
+				t.Fatalf("spec %s does not simulate: %v", spec, err)
+			}
+		}
+	}
+}
+
+func TestFuzzSpecBuildDeterministic(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		spec := RandomFuzzSpec(rng)
+		if a, b := spec.Build(), spec.Build(); a.Source != b.Source || a.Name != b.Name {
+			t.Fatalf("Build is not deterministic for %s", spec)
+		}
+	}
+}
+
+func TestFuzzSpecShrinkMovesTowardMinimum(t *testing.T) {
+	t.Parallel()
+	spec := FuzzSpec{Family: "mixed", A: 6, B: 4, NegReset: true, Seed: 1000}
+	seen := map[string]bool{spec.String(): true}
+	// Follow the first-candidate chain; it must terminate (no cycles) and
+	// every candidate must build.
+	for steps := 0; steps < 100; steps++ {
+		cands := spec.Shrink()
+		if len(cands) == 0 {
+			break
+		}
+		for _, c := range cands {
+			c.Build() // must not panic
+			if c == spec {
+				t.Fatalf("Shrink returned the input spec %s", spec)
+			}
+		}
+		spec = cands[0]
+		if seen[spec.String()] {
+			t.Fatalf("shrink cycle at %s", spec)
+		}
+		seen[spec.String()] = true
+	}
+	min := FuzzSpec{Family: "mixed", A: 1, B: 1, Seed: 0}.normalize()
+	if spec.normalize() != min {
+		t.Errorf("first-candidate shrink chain ended at %s, want %s", spec, min)
+	}
+}
+
+func TestFuzzSpecUnknownFamilyFallsBack(t *testing.T) {
+	t.Parallel()
+	d := FuzzSpec{Family: "no-such-family", A: 2, B: 2, Seed: 5}.Build()
+	if _, err := verilog.ElaborateSource(d.Source, d.Name); err != nil {
+		t.Fatalf("fallback family does not elaborate: %v", err)
+	}
+}

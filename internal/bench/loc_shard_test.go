@@ -1,0 +1,100 @@
+package bench
+
+import "testing"
+
+// Edge-case tests for the cloc-style line counter and the shard-spec
+// parser (the differential harness's satellite hardening pass).
+
+func TestCountLoCEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"empty", "", 0},
+		{"blank lines", "\n  \n\t\n", 0},
+		{"plain code", "assign a = b;\nassign c = d;", 2},
+		{"line comment only", "// just a comment", 0},
+		{"code then line comment", "assign a = b; // tail", 1},
+		{"block comment one line", "/* comment */", 0},
+		{"block close with trailing code", "/* open\nstill comment */ assign a = b;", 1},
+		{"block close trailing code same line", "/* c */ assign a = b;", 1},
+		// The bug the harness satellite fixed: a '//' inside '/* */' is
+		// comment text, not a line comment — the code after the close
+		// must still count, and the block must still close.
+		{"line marker inside block same line", "/* foo // bar */ assign a = b;", 1},
+		{"line marker inside multiline block", "/* foo // bar\nbaz */ assign a = b;\nassign c = d;", 2},
+		{"block marker after line comment is inert", "assign a = b; // trailing /* not a block\nassign c = d;", 2},
+		{"two blocks one line", "assign a = b; /* x */ assign c = d; /* y */", 1},
+		{"unterminated block swallows rest", "assign a = b; /* open\nassign c = d;\nassign e = f;", 1},
+		{"block reopened on close line", "/* a */ assign x = 1; /* b\nstill */ assign y = 2;", 2},
+		{"comment-only between markers", "/* a */   /* b */", 0},
+	}
+	for _, tc := range cases {
+		if got := CountLoC(tc.src); got != tc.want {
+			t.Errorf("%s: CountLoC = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseShardEdgeCases(t *testing.T) {
+	good := []struct {
+		in           string
+		index, count int
+	}{
+		{"", 0, 0},
+		{"0/1", 0, 1},
+		{"0/4", 0, 4},
+		{"3/4", 3, 4},
+	}
+	for _, tc := range good {
+		i, c, err := ParseShard(tc.in)
+		if err != nil || i != tc.index || c != tc.count {
+			t.Errorf("ParseShard(%q) = (%d, %d, %v), want (%d, %d, nil)", tc.in, i, c, err, tc.index, tc.count)
+		}
+	}
+	bad := []string{
+		"1",     // no slash
+		"/",     // empty fields
+		"1/",    // missing count
+		"/2",    // missing index
+		"a/2",   // non-numeric index
+		"1/b",   // non-numeric count
+		"1/2/3", // too many fields
+		"2/2",   // index == count
+		"3/2",   // index > count
+		"-1/2",  // negative index
+		"0/0",   // count zero
+		"0/-1",  // negative count
+		" 1/2",  // leading space
+		"1 /2",  // interior space
+	}
+	for _, in := range bad {
+		if _, _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted a malformed spec", in)
+		}
+	}
+}
+
+func TestShardBoundsDegenerate(t *testing.T) {
+	// n designs over more shards than designs: trailing shards are empty
+	// but concatenation still reproduces the corpus.
+	designs := TestCorpus()[:3]
+	var total int
+	for i := 0; i < 5; i++ {
+		s, err := Shard(designs, i, 5)
+		if err != nil {
+			t.Fatalf("shard %d/5: %v", i, err)
+		}
+		total += len(s)
+	}
+	if total != len(designs) {
+		t.Errorf("shards cover %d designs, want %d", total, len(designs))
+	}
+	if _, err := Shard(designs, 0, 0); err == nil {
+		t.Error("count 0 must be rejected")
+	}
+	if _, err := Shard(designs, 5, 5); err == nil {
+		t.Error("index out of range must be rejected")
+	}
+}

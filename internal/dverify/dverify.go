@@ -1,0 +1,213 @@
+// Package dverify is the differential verification harness: a generative
+// self-check of the stack every evaluation verdict depends on. It draws
+// seeded random well-formed designs from the corpus generator families
+// (bench.FuzzSpec), seeded random SVA properties over each design's nets,
+// and cross-checks three independent oracles:
+//
+//  1. print/parse round-trip — every generated design must survive
+//     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
+//     identical netlist (Netlist.Signature equality);
+//  2. sim vs monitor vs FPV — the SVA monitor's verdict over simulated
+//     traces must agree with the FPV engine's exhaustive verdict,
+//     counter-examples must replay on the event-driven simulator at the
+//     reported cycle, and bounded-mode FPV must never contradict
+//     exhaustive mode;
+//  3. determinism — the same seed must produce byte-identical
+//     eval.Stream outcomes across sequential, parallel and sharded runs
+//     over the generated corpus.
+//
+// A disagreement is shrunk (over the design genome) to a minimal
+// reproduction and optionally dumped as a .v/.sva pair. The public facade
+// is assertionbench.SelfCheck; the CLI is cmd/fuzzcheck.
+package dverify
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"assertionbench/internal/bench"
+)
+
+// Options configure one self-check run.
+type Options struct {
+	// Scenarios is the number of generated designs (default 50).
+	Scenarios int
+	// PropsPerDesign is the number of random properties checked against
+	// each design (default 3).
+	PropsPerDesign int
+	// Seed drives design and property generation; a run is a pure
+	// function of (Options, code under test). Default 1.
+	Seed int64
+	// DumpDir receives .v/.sva reproduction pairs for every disagreement
+	// ("" disables dumping).
+	DumpDir string
+	// TraceCount and TraceCycles bound the random simulation traces fed
+	// to the monitor per property (defaults 3 and 48).
+	TraceCount  int
+	TraceCycles int
+	// MaxShrinkSteps bounds the shrink loop per disagreement (default 64).
+	MaxShrinkSteps int
+	// SkipDeterminism disables oracle 3 (the eval.Stream comparison),
+	// for callers that only want the per-design oracles.
+	SkipDeterminism bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scenarios == 0 {
+		o.Scenarios = 50
+	}
+	if o.PropsPerDesign == 0 {
+		o.PropsPerDesign = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TraceCount == 0 {
+		o.TraceCount = 3
+	}
+	if o.TraceCycles == 0 {
+		o.TraceCycles = 48
+	}
+	if o.MaxShrinkSteps == 0 {
+		o.MaxShrinkSteps = 64
+	}
+	return o
+}
+
+// Oracle identifies which cross-check a disagreement came from.
+type Oracle string
+
+// Oracles.
+const (
+	OracleRoundTrip   Oracle = "roundtrip"
+	OracleAgreement   Oracle = "agreement"
+	OracleDeterminism Oracle = "determinism"
+)
+
+// Disagreement is one oracle violation, shrunk to a minimal genome.
+type Disagreement struct {
+	Oracle Oracle
+	// Spec is the (shrunk) design genome that reproduces the finding.
+	Spec bench.FuzzSpec
+	// Property is the assertion text involved ("" for design-level
+	// findings such as round-trip failures).
+	Property string
+	// Detail is a human-readable description of the contradiction.
+	Detail string
+	// DumpPath is the reproduction file pair's base path ("" if dumping
+	// was disabled).
+	DumpPath string
+}
+
+func (d Disagreement) String() string {
+	s := fmt.Sprintf("[%s]", d.Oracle)
+	if d.Spec.Family != "" {
+		s += fmt.Sprintf(" spec %s", d.Spec)
+	}
+	if d.Property != "" {
+		s += fmt.Sprintf(" property %q", d.Property)
+	}
+	s += ": " + d.Detail
+	if d.DumpPath != "" {
+		s += " (repro at " + d.DumpPath + ")"
+	}
+	return s
+}
+
+// Report summarizes one self-check run.
+type Report struct {
+	// Scenarios is the number of designs generated and checked.
+	Scenarios int
+	// Properties is the number of (design, property) pairs checked.
+	Properties int
+	// Exhaustive counts properties whose reference verdict was an
+	// exhaustive (closed product space) FPV run.
+	Exhaustive int
+	// CEXs counts counter-example verdicts replayed on the simulator.
+	CEXs int
+	// RefStatus tallies the reference engine's verdicts by status name
+	// (proven/vacuous/bounded_pass/cex) — the denominator context for
+	// Exhaustive: cex verdicts are definitive and replay-checked, so only
+	// the bounded_pass share is outside the strong oracles' reach.
+	RefStatus map[string]int
+	// DeterminismRuns counts the eval.Stream configurations compared.
+	DeterminismRuns int
+	// Disagreements holds every oracle violation (empty on a clean run).
+	Disagreements []Disagreement
+}
+
+// OK reports whether the run found no disagreements.
+func (r Report) OK() bool { return len(r.Disagreements) == 0 }
+
+func (r Report) String() string {
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.DeterminismRuns, len(r.Disagreements))
+}
+
+// refStatusString renders the verdict tally in a fixed order.
+func (r Report) refStatusString() string {
+	parts := make([]string, 0, 4)
+	for _, k := range []string{"proven", "vacuous", "bounded_pass", "cex"} {
+		if n := r.RefStatus[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Run executes the differential harness. The returned error reports
+// harness-level failures only (cancellation, dump I/O); oracle
+// disagreements are data, reported in the Report.
+func Run(ctx context.Context, opt Options) (Report, error) {
+	opt = opt.withDefaults()
+	h := &harness{opt: opt}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	report := Report{RefStatus: map[string]int{}}
+	var corpus []bench.Design
+	for i := 0; i < opt.Scenarios; i++ {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		spec := bench.RandomFuzzSpec(rng)
+		propSeed := rng.Int63()
+		res := h.checkScenario(ctx, spec, propSeed)
+		report.Scenarios++
+		report.Properties += res.properties
+		report.Exhaustive += res.exhaustive
+		report.CEXs += res.cexs
+		for k, v := range res.refStatus {
+			report.RefStatus[k] += v
+		}
+		for _, d := range res.disagreements {
+			d = h.shrink(ctx, d, propSeed)
+			// Dump files are numbered by the global disagreement count, not
+			// the scenario index: one scenario can trip several properties,
+			// and each reproduction must survive on disk.
+			if path, err := h.dump(d, len(report.Disagreements)); err != nil {
+				return report, err
+			} else {
+				d.DumpPath = path
+			}
+			report.Disagreements = append(report.Disagreements, d)
+		}
+		// The determinism corpus reuses the scenarios already generated,
+		// capped so oracle 3 stays a bounded fraction of the run.
+		if len(corpus) < 24 {
+			corpus = append(corpus, spec.Build())
+		}
+	}
+	if !opt.SkipDeterminism && len(corpus) > 0 {
+		runs, ds, err := h.checkDeterminism(ctx, corpus)
+		if err != nil {
+			return report, err
+		}
+		report.DeterminismRuns = runs
+		report.Disagreements = append(report.Disagreements, ds...)
+	}
+	return report, nil
+}

@@ -1,0 +1,207 @@
+package dverify
+
+import (
+	"context"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// The CI seed-matrix job varies this flag so three independent seeds run
+// under the race detector (see .github/workflows/ci.yml).
+var selfCheckSeed = flag.Int64("selfcheck-seed", 1, "seed for TestSelfCheckShortMode")
+
+func TestSelfCheckShortMode(t *testing.T) {
+	opt := Options{Scenarios: 25, PropsPerDesign: 2, Seed: *selfCheckSeed,
+		TraceCount: 1, TraceCycles: 24, MaxShrinkSteps: 8}
+	report, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Scenarios != 25 || report.Properties != 50 {
+		t.Fatalf("report counts wrong: %s", report)
+	}
+	if !report.OK() {
+		for _, d := range report.Disagreements {
+			t.Errorf("disagreement: %s", d)
+		}
+	}
+	if report.DeterminismRuns != 4 {
+		t.Errorf("determinism runs = %d, want 4", report.DeterminismRuns)
+	}
+}
+
+func TestRunDeterministicReport(t *testing.T) {
+	opt := Options{Scenarios: 8, PropsPerDesign: 2, Seed: 42, TraceCount: 1,
+		TraceCycles: 16, SkipDeterminism: true}
+	a, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same options, different reports:\n%s\n%s", a, b)
+	}
+}
+
+// TestMutatedMonitorIsCaught is the harness's own mutation test: a
+// deliberately injected monitor bug (violations silently swallowed) must
+// be caught by oracle 2 — the FPV engine still finds counter-examples,
+// and their simulator replays no longer observe the violation.
+func TestMutatedMonitorIsCaught(t *testing.T) {
+	orig := monitorStep
+	defer func() { monitorStep = orig }()
+	monitorStep = func(m *sva.Monitor, hist [][]uint64) sva.Outcome {
+		out := m.Step(hist)
+		out.Violated = false // the injected bug: drop every violation
+		return out
+	}
+	report, err := Run(context.Background(), Options{
+		Scenarios: 12, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 4, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleAgreement && strings.Contains(d.Detail, "does not violate the monitor") {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected monitor bug was not caught by oracle 2; report: %s", report)
+	}
+}
+
+// A second mutation: violations reported one attempt too old must trip
+// the exact-cycle replay check.
+func TestMutatedViolationAgeIsCaught(t *testing.T) {
+	orig := monitorStep
+	defer func() { monitorStep = orig }()
+	monitorStep = func(m *sva.Monitor, hist [][]uint64) sva.Outcome {
+		out := m.Step(hist)
+		if out.Violated {
+			out.ViolatedAge++
+		}
+		return out
+	}
+	report, err := Run(context.Background(), Options{
+		Scenarios: 12, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 4, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleAgreement && strings.Contains(d.Detail, "replays at cycle") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("injected attempt-age bug was not caught; report: %s", report)
+	}
+}
+
+func TestShrinkProducesMinimalRepro(t *testing.T) {
+	// Force a disagreement via the mutated monitor and verify the shrunk
+	// genome still reproduces it and is no larger than the original.
+	orig := monitorStep
+	defer func() { monitorStep = orig }()
+	monitorStep = func(m *sva.Monitor, hist [][]uint64) sva.Outcome {
+		out := m.Step(hist)
+		out.Violated = false
+		return out
+	}
+	h := &harness{opt: Options{PropsPerDesign: 3, TraceCount: 1, TraceCycles: 16, MaxShrinkSteps: 16}.withDefaults()}
+	spec := bench.FuzzSpec{Family: "mixed", A: 6, B: 4, Seed: 99}
+	res := h.checkScenario(context.Background(), spec, 7)
+	if len(res.disagreements) == 0 {
+		t.Skip("mutation did not trip on this genome (no CEX among generated properties)")
+	}
+	d := res.disagreements[0]
+	shrunk := h.shrink(context.Background(), d, 7)
+	if shrunk.Spec.A > spec.A || shrunk.Spec.B > spec.B {
+		t.Errorf("shrink grew the genome: %s -> %s", spec, shrunk.Spec)
+	}
+	// The shrunk genome must still reproduce under the same prop seed.
+	again := h.checkScenario(context.Background(), shrunk.Spec, 7)
+	if _, ok := firstOfOracle(again.disagreements, shrunk.Oracle); !ok {
+		t.Errorf("shrunk spec %s does not reproduce the disagreement", shrunk.Spec)
+	}
+}
+
+func TestDumpWritesReproPair(t *testing.T) {
+	dir := t.TempDir()
+	h := &harness{opt: Options{DumpDir: dir}.withDefaults()}
+	d := Disagreement{
+		Oracle:   OracleAgreement,
+		Spec:     bench.FuzzSpec{Family: "counter", A: 2},
+		Property: "en |-> ##1 tc",
+		Detail:   "synthetic",
+	}
+	base, err := h.dump(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := os.ReadFile(base + ".v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verilog.Parse(string(v)); err != nil {
+		t.Errorf("dumped design does not parse: %v", err)
+	}
+	svaText, err := os.ReadFile(base + ".sva")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svaText), d.Property) {
+		t.Errorf("dumped .sva missing property: %q", svaText)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "disagree_003_agreement.txt")); err != nil {
+		t.Errorf("missing .txt repro: %v", err)
+	}
+}
+
+func TestGeneratedPropertiesCompile(t *testing.T) {
+	// Every generated property must parse and compile against its design:
+	// that is the generator contract the agreement oracle relies on.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		spec := bench.RandomFuzzSpec(rng)
+		d := spec.Build()
+		nl, err := verilog.ElaborateSource(d.Source, d.Name)
+		if err != nil {
+			t.Fatalf("spec %s does not elaborate: %v", spec, err)
+		}
+		for _, src := range genProps(nl, int64(i), 4) {
+			a, err := sva.Parse(src)
+			if err != nil {
+				t.Fatalf("spec %s: property %q does not parse: %v", spec, src, err)
+			}
+			if _, err := sva.Compile(a, nl); err != nil {
+				t.Fatalf("spec %s: property %q does not compile: %v", spec, src, err)
+			}
+		}
+	}
+}
+
+func TestCanceledRunSurfacesContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Options{Scenarios: 4})
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+}

@@ -1,0 +1,366 @@
+package dverify
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// monitorStep is the seam between the harness's trace checks and the SVA
+// monitor. Production code always routes through this variable; the
+// mutation test swaps in a deliberately buggy stepper to prove oracle 2
+// catches monitor defects.
+var monitorStep = func(m *sva.Monitor, hist [][]uint64) sva.Outcome { return m.Step(hist) }
+
+type harness struct {
+	opt    Options
+	exhEng *fpv.Engine
+	bndEng *fpv.Engine
+}
+
+// Reference (deep) and adversary (deliberately starved) FPV budgets. The
+// reference budget is sized to close the product space on a solid
+// majority of generated designs (the family parameter bounds in
+// bench/fuzzgen.go are chosen against it), so the exhaustive-vs-bounded
+// and exhaustive-vs-trace checks engage routinely, not incidentally; the
+// starved budget forces input sampling and depth truncation so the
+// bounded code paths are exercised against the exhaustive verdicts.
+func (h *harness) exhOpt(seed int64) fpv.Options {
+	return fpv.Options{MaxProductStates: 60000, MaxInputBits: 12,
+		MaxInputSamples: 12, RandomRuns: 16, RandomDepth: 32, Seed: seed}
+}
+
+func (h *harness) bndOpt(seed int64) fpv.Options {
+	return fpv.Options{MaxProductStates: 160, MaxInputBits: 3,
+		MaxInputSamples: 5, RandomRuns: 8, RandomDepth: 20, Seed: seed + 7}
+}
+
+type scenarioResult struct {
+	properties    int
+	exhaustive    int
+	cexs          int
+	refStatus     map[string]int
+	disagreements []Disagreement
+}
+
+// checkScenario runs oracles 1 and 2 over one design genome. propSeed
+// fixes the property set so shrunk genomes are checked against the same
+// property generator stream.
+func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSeed int64) scenarioResult {
+	if h.exhEng == nil {
+		h.exhEng = fpv.NewEngine()
+		h.bndEng = fpv.NewEngine()
+	}
+	res := scenarioResult{refStatus: map[string]int{}}
+	d := spec.Build()
+	disagree := func(prop, detail string) {
+		res.disagreements = append(res.disagreements, Disagreement{
+			Oracle: OracleRoundTrip, Spec: spec, Property: prop, Detail: detail,
+		})
+	}
+
+	// Oracle 1: print/parse round-trip.
+	file, err := verilog.Parse(d.Source)
+	if err != nil {
+		disagree("", fmt.Sprintf("generated design does not parse: %v", err))
+		return res
+	}
+	nl, err := verilog.Elaborate(file, d.Name, nil)
+	if err != nil {
+		disagree("", fmt.Sprintf("generated design does not elaborate: %v", err))
+		return res
+	}
+	if detail := roundTrip(file, nl, d.Name); detail != "" {
+		disagree("", detail)
+	}
+
+	// Oracle 2: sim vs monitor vs FPV agreement per property.
+	props := genProps(nl, propSeed, h.opt.PropsPerDesign)
+	for i, src := range props {
+		if ctx.Err() != nil {
+			return res
+		}
+		res.properties++
+		detail, exh, cexs, status := h.agreement(ctx, nl, src, propSeed+int64(i))
+		res.exhaustive += exh
+		res.cexs += cexs
+		if status != "" {
+			res.refStatus[status]++
+		}
+		if detail != "" && ctx.Err() == nil {
+			res.disagreements = append(res.disagreements, Disagreement{
+				Oracle: OracleAgreement, Spec: spec, Property: src, Detail: detail,
+			})
+		}
+	}
+	return res
+}
+
+// roundTrip checks PrintFile -> Parse -> Elaborate netlist identity and
+// printer idempotence.
+func roundTrip(file *verilog.SourceFile, nl *verilog.Netlist, top string) string {
+	printed := verilog.PrintFile(file)
+	file2, err := verilog.Parse(printed)
+	if err != nil {
+		return fmt.Sprintf("printed design does not re-parse: %v", err)
+	}
+	nl2, err := verilog.Elaborate(file2, top, nil)
+	if err != nil {
+		return fmt.Sprintf("printed design does not re-elaborate: %v", err)
+	}
+	if !verilog.SignatureEqual(nl, nl2) {
+		return "netlist signature changed across print/parse round-trip:\n" +
+			firstDiff(nl.Signature(), nl2.Signature())
+	}
+	if printed2 := verilog.PrintFile(file2); printed2 != printed {
+		return "printer is not idempotent:\n" + firstDiff(printed, printed2)
+	}
+	return ""
+}
+
+// agreement cross-checks one property: exhaustive FPV vs bounded FPV vs
+// the monitor over simulated traces vs counter-example replay. Returns a
+// non-empty detail on the first contradiction, plus counters for the
+// report (exhaustive runs, replayed CEXs) and the reference engine's
+// verdict name ("" when the property never reached verification).
+func (h *harness) agreement(ctx context.Context, nl *verilog.Netlist, src string, seed int64) (detail string, nExh, nCEX int, refStatus string) {
+	a, err := sva.Parse(src)
+	if err != nil {
+		return fmt.Sprintf("generated property does not parse: %v", err), 0, 0, ""
+	}
+	// The assertion's canonical rendering must itself re-parse to the
+	// same canonical form (the monitor-facing analogue of oracle 1).
+	canon := a.String()
+	if a2, err := sva.Parse(canon); err != nil {
+		return fmt.Sprintf("canonical rendering %q does not re-parse: %v", canon, err), 0, 0, ""
+	} else if a2.String() != canon {
+		return fmt.Sprintf("canonical rendering is unstable: %q -> %q", canon, a2.String()), 0, 0, ""
+	}
+	c, err := sva.Compile(a, nl)
+	if err != nil {
+		return fmt.Sprintf("generated property does not compile: %v", err), 0, 0, ""
+	}
+
+	exh := h.exhEng.VerifyCompiled(ctx, nl, c, h.exhOpt(seed))
+	bnd := h.bndEng.VerifyCompiled(ctx, nl, c, h.bndOpt(seed))
+	if ctx.Err() != nil {
+		return "", 0, 0, ""
+	}
+	if exh.Status == fpv.StatusError {
+		return fmt.Sprintf("reference FPV errored on a well-formed property: %v", exh.Err), 0, 0, ""
+	}
+	if bnd.Status == fpv.StatusError {
+		return fmt.Sprintf("bounded FPV errored on a well-formed property: %v", bnd.Err), 0, 0, ""
+	}
+
+	refStatus = exh.Status.String()
+	if exh.Exhaustive {
+		nExh++
+	}
+
+	// Bounded mode must never contradict exhaustive mode: a bounded CEX
+	// is a concrete witness, and a bounded non-vacuity witness is real.
+	if exh.Exhaustive {
+		if bnd.Status == fpv.StatusCEX && exh.Status != fpv.StatusCEX {
+			return fmt.Sprintf("bounded FPV found a CEX but exhaustive verdict is %v", exh.Status), nExh, nCEX, refStatus
+		}
+		if bnd.NonVacuous && exh.Status == fpv.StatusVacuous {
+			return "bounded FPV witnessed the antecedent but exhaustive verdict is vacuous", nExh, nCEX, refStatus
+		}
+	}
+
+	// Every CEX must replay on the event-driven simulator with the
+	// monitor flagging the violation at the reported cycle.
+	for _, r := range []struct {
+		label string
+		res   fpv.Result
+	}{{"exhaustive", exh}, {"bounded", bnd}} {
+		if r.res.Status != fpv.StatusCEX {
+			continue
+		}
+		nCEX++
+		violated, cycle, attempt, err := replayViolation(nl, c, r.res.CEX.Inputs)
+		if err != nil {
+			return fmt.Sprintf("%s FPV CEX stimulus cannot be driven on the simulator: %v", r.label, err), nExh, nCEX, refStatus
+		}
+		if !violated {
+			return fmt.Sprintf("%s FPV CEX does not violate the monitor when replayed on the simulator", r.label), nExh, nCEX, refStatus
+		}
+		if cycle != r.res.CEX.ViolationCycle || attempt != r.res.CEX.AttemptCycle {
+			return fmt.Sprintf("%s FPV CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d)",
+				r.label, cycle, attempt, r.res.CEX.ViolationCycle, r.res.CEX.AttemptCycle), nExh, nCEX, refStatus
+		}
+	}
+
+	// The monitor over random simulation traces must agree with the
+	// exhaustive verdict: a trace violation refutes a proof, and a trace
+	// antecedent witness refutes vacuity. The trace must start at the
+	// power-on state (resetCycles = 0): the checker zero-pads pre-trace
+	// history, which matches the FPV root exactly at power-on, whereas a
+	// warm-up prefix would fabricate (state, zero-history) product states
+	// no real path exhibits and let $past/$fell atoms witness antecedents
+	// the exhaustive search correctly calls unreachable — the harness
+	// found exactly that as a false vacuity "disagreement" on the reset
+	// synchronizer family before this alignment.
+	for t := 0; t < h.opt.TraceCount; t++ {
+		tr, err := sim.RandomTrace(nl, h.opt.TraceCycles, 0, seed*31+int64(t))
+		if err != nil {
+			return fmt.Sprintf("random trace simulation failed: %v", err), nExh, nCEX, refStatus
+		}
+		violations, nonVacuous := fpv.CheckTraceCompiled(nl, c, tr, monitorStep)
+		if exh.Exhaustive {
+			if len(violations) > 0 && exh.Status != fpv.StatusCEX {
+				return fmt.Sprintf("monitor violation at trace cycle %d but exhaustive verdict is %v",
+					violations[0].ViolationCycle, exh.Status), nExh, nCEX, refStatus
+			}
+			if nonVacuous && exh.Status == fpv.StatusVacuous {
+				return "monitor witnessed the antecedent on a trace but exhaustive verdict is vacuous", nExh, nCEX, refStatus
+			}
+		}
+	}
+	return "", nExh, nCEX, refStatus
+}
+
+// replayViolation drives the recorded per-cycle inputs through a fresh
+// simulator, then checks the sampled trace with the production trace
+// checker (through the mutation seam), returning whether (and where) the
+// first violation fired. This is the independent re-derivation of an FPV
+// CEX: it shares no state with the engine that produced it, and the
+// checking loop is the very one trace-based ABV uses in production.
+func replayViolation(nl *verilog.Netlist, c *sva.Compiled, inputs [][]uint64) (bool, int, int, error) {
+	s := sim.New(nl)
+	var sampled [][]uint64
+	for t, in := range inputs {
+		if err := s.SetInputs(in); err != nil {
+			// A stimulus the engine recorded but the simulator rejects is a
+			// finding of its own; surface it instead of reporting a
+			// no-violation replay.
+			return false, 0, 0, fmt.Errorf("cycle %d: %w", t, err)
+		}
+		s.Settle()
+		sampled = append(sampled, append([]uint64(nil), s.Env()...))
+		s.Step()
+	}
+	violations, _ := fpv.CheckTraceCompiled(nl, c, sim.TraceFromSamples(nl, sampled), monitorStep)
+	if len(violations) == 0 {
+		return false, 0, 0, nil
+	}
+	return true, violations[0].ViolationCycle, violations[0].AttemptCycle, nil
+}
+
+// --- oracle 3: determinism across eval.Stream configurations ---
+
+// selfCheckExamples are fixed in-context examples for the determinism
+// runs: known-good assertions over the training arbiter, so oracle 3
+// needs no miner pass.
+func selfCheckExamples() []llm.Example {
+	return []llm.Example{{
+		Name:   "arb2",
+		Source: bench.TrainArbiter,
+		Assertions: []string{
+			"req1 == 1 && req2 == 0 |-> gnt1 == 1;",
+			"gnt2 == 1 |-> req2 == 1;",
+		},
+	}}
+}
+
+// checkDeterminism runs the generated corpus through eval.Stream in
+// sequential, parallel and sharded configurations and compares the
+// rendered outcome streams byte for byte.
+func (h *harness) checkDeterminism(ctx context.Context, corpus []bench.Design) (int, []Disagreement, error) {
+	gen := eval.NewModelGenerator(llm.GPT4o())
+	icl := selfCheckExamples()
+	base := eval.RunOptions{
+		Shots: 1, Seed: h.opt.Seed, UseCorrector: true,
+		FPV: fpv.Options{MaxProductStates: 1500, MaxInputBits: 8,
+			MaxInputSamples: 8, RandomRuns: 8, RandomDepth: 24, Seed: h.opt.Seed},
+	}
+	collect := func(opt eval.RunOptions) (string, error) {
+		var sb strings.Builder
+		for o, err := range eval.Stream(ctx, gen, icl, corpus, opt) {
+			if err != nil {
+				return "", err
+			}
+			renderOutcome(&sb, o)
+		}
+		return sb.String(), nil
+	}
+
+	runs := 0
+	run := func(label string, opt eval.RunOptions) (string, error) {
+		s, err := collect(opt)
+		if err != nil {
+			return "", fmt.Errorf("determinism %s run: %w", label, err)
+		}
+		runs++
+		return s, nil
+	}
+
+	seqOpt := base
+	seqOpt.Workers = 1
+	seq, err := run("sequential", seqOpt)
+	if err != nil {
+		return runs, nil, err
+	}
+	parOpt := base
+	parOpt.Workers = 4
+	par, err := run("parallel", parOpt)
+	if err != nil {
+		return runs, nil, err
+	}
+	var shards strings.Builder
+	for i := 0; i < 2; i++ {
+		shOpt := base
+		shOpt.Workers = 2
+		shOpt.ShardIndex, shOpt.ShardCount = i, 2
+		s, err := run(fmt.Sprintf("shard %d/2", i), shOpt)
+		if err != nil {
+			return runs, nil, err
+		}
+		shards.WriteString(s)
+	}
+
+	var ds []Disagreement
+	if par != seq {
+		ds = append(ds, Disagreement{Oracle: OracleDeterminism,
+			Detail: "parallel eval.Stream differs from sequential at the same seed:\n" + firstDiff(seq, par)})
+	}
+	if shards.String() != seq {
+		ds = append(ds, Disagreement{Oracle: OracleDeterminism,
+			Detail: "concatenated shard streams differ from the unsharded stream:\n" + firstDiff(seq, shards.String())})
+	}
+	return runs, ds, nil
+}
+
+// renderOutcome serializes one DesignOutcome canonically for comparison.
+func renderOutcome(sb *strings.Builder, o eval.DesignOutcome) {
+	fmt.Fprintf(sb, "#%d %s|gen=%q|corr=%q|verdicts=", o.Index, o.Design, o.Generated, o.Corrected)
+	for _, v := range o.Verdicts {
+		sb.WriteString(v.String())
+		sb.WriteByte(',')
+	}
+	fmt.Fprintf(sb, "|off=%d|gnd=%d\n", o.OffTask, o.Grounded)
+}
+
+// firstDiff locates the first differing line of two renderings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

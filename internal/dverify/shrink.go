@@ -1,0 +1,78 @@
+package dverify
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// shrink greedily minimizes a disagreement's design genome: it tries each
+// candidate from FuzzSpec.Shrink (same property seed, so the property
+// stream regenerates against the smaller design) and descends into the
+// first candidate that still trips the same oracle, until no candidate
+// does or the step budget runs out. Determinism findings are corpus-level
+// and are not shrunk.
+func (h *harness) shrink(ctx context.Context, d Disagreement, propSeed int64) Disagreement {
+	if d.Oracle == OracleDeterminism {
+		return d
+	}
+	cur := d
+	for step := 0; step < h.opt.MaxShrinkSteps; step++ {
+		if ctx.Err() != nil {
+			return cur
+		}
+		improved := false
+		for _, cand := range cur.Spec.Shrink() {
+			res := h.checkScenario(ctx, cand, propSeed)
+			if dd, ok := firstOfOracle(res.disagreements, cur.Oracle); ok {
+				cur = dd
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+	return cur
+}
+
+func firstOfOracle(ds []Disagreement, o Oracle) (Disagreement, bool) {
+	for _, d := range ds {
+		if d.Oracle == o {
+			return d, true
+		}
+	}
+	return Disagreement{}, false
+}
+
+// dump writes the reproduction files for a disagreement: the generated
+// design as .v, the property as .sva, and the full finding as .txt.
+// Returns the base path ("" when dumping is disabled).
+func (h *harness) dump(d Disagreement, idx int) (string, error) {
+	if h.opt.DumpDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(h.opt.DumpDir, 0o755); err != nil {
+		return "", fmt.Errorf("dverify: dump dir: %w", err)
+	}
+	base := filepath.Join(h.opt.DumpDir, fmt.Sprintf("disagree_%03d_%s", idx, d.Oracle))
+	if d.Spec.Family != "" {
+		design := d.Spec.Build()
+		if err := os.WriteFile(base+".v", []byte(design.Source), 0o644); err != nil {
+			return "", fmt.Errorf("dverify: dump: %w", err)
+		}
+	}
+	if d.Property != "" {
+		sva := fmt.Sprintf("// repro for %s disagreement on spec %s\n%s;\n", d.Oracle, d.Spec, d.Property)
+		if err := os.WriteFile(base+".sva", []byte(sva), 0o644); err != nil {
+			return "", fmt.Errorf("dverify: dump: %w", err)
+		}
+	}
+	txt := fmt.Sprintf("oracle: %s\nspec: %s\nproperty: %s\ndetail:\n%s\n", d.Oracle, d.Spec, d.Property, d.Detail)
+	if err := os.WriteFile(base+".txt", []byte(txt), 0o644); err != nil {
+		return "", fmt.Errorf("dverify: dump: %w", err)
+	}
+	return base, nil
+}

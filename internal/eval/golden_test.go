@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/llm"
+)
+
+// Golden-file tests pin the paper-facing numbers: a fixed-seed run's
+// metrics and every figure/table renderer are compared byte-for-byte
+// against checked-in goldens, so a refactor cannot silently drift the
+// reproduced results. Regenerate intentionally with:
+//
+//	go test ./internal/eval -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden %s\n-- got --\n%s\n-- want --\n%s", name, path, got, want)
+	}
+}
+
+// goldenRuns is the fixed-seed COTS grid over a truncated corpus. The
+// grid is cached per test binary because four runs share it.
+var goldenGrid []RunResult
+
+func goldenResults(t *testing.T) []RunResult {
+	t.Helper()
+	if goldenGrid != nil {
+		return goldenGrid
+	}
+	e := testExperiment(t, 10)
+	for _, p := range []llm.Profile{llm.GPT35(), llm.GPT4o()} {
+		for _, k := range []int{1, 5} {
+			r, err := e.RunCOTS(context.Background(), p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenGrid = append(goldenGrid, r)
+		}
+	}
+	return goldenGrid
+}
+
+func TestGoldenTableAndFigure3(t *testing.T) {
+	corpus := bench.TestCorpus()
+	goldenCompare(t, "table1", TableI(corpus))
+	goldenCompare(t, "figure3", Figure3(corpus))
+}
+
+func TestGoldenFigures(t *testing.T) {
+	results := goldenResults(t)
+	goldenCompare(t, "figure6", Figure6(results))
+	goldenCompare(t, "figure7", Figure7(results))
+	goldenCompare(t, "observations", Observations(results, nil))
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	results := goldenResults(t)
+	type row struct {
+		Model   string  `json:"model"`
+		Shots   int     `json:"shots"`
+		Metrics Metrics `json:"metrics"`
+	}
+	rows := make([]row, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, row{Model: r.Model, Shots: r.Shots, Metrics: r.Metrics})
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "metrics", string(b)+"\n")
+}

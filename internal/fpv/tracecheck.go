@@ -24,6 +24,24 @@ func CheckTrace(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace) ([]TraceVi
 	if err != nil {
 		return nil, false, err
 	}
+	violations, nonVacuous := CheckTraceCompiled(nl, c, tr, nil)
+	return violations, nonVacuous, nil
+}
+
+// StepFunc advances a monitor by one sampled cycle. The differential
+// harness (internal/dverify) injects mutated steppers through this seam
+// to prove its oracles catch monitor defects; nil means Monitor.Step.
+type StepFunc func(m *sva.Monitor, hist [][]uint64) sva.Outcome
+
+// CheckTraceCompiled is the single trace-checking loop behind CheckTrace
+// and the differential harness: history is zero-padded before the trace
+// start (the power-on convention the model checker's root shares), so a
+// trace recorded from power-on is checked exactly as the engine would
+// explore it.
+func CheckTraceCompiled(nl *verilog.Netlist, c *sva.Compiled, tr *sim.Trace, step StepFunc) ([]TraceViolation, bool) {
+	if step == nil {
+		step = func(m *sva.Monitor, hist [][]uint64) sva.Outcome { return m.Step(hist) }
+	}
 	var violations []TraceViolation
 	nonVacuous := false
 	zero := make([]uint64, len(nl.Nets))
@@ -38,7 +56,7 @@ func CheckTrace(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace) ([]TraceVi
 				hist[k] = zero
 			}
 		}
-		out := mon.Step(hist)
+		out := step(mon, hist)
 		if out.AnteCompleted {
 			nonVacuous = true
 		}
@@ -49,5 +67,5 @@ func CheckTrace(nl *verilog.Netlist, a *sva.Assertion, tr *sim.Trace) ([]TraceVi
 			})
 		}
 	}
-	return violations, nonVacuous, nil
+	return violations, nonVacuous
 }

@@ -1,0 +1,42 @@
+package sva
+
+import "testing"
+
+// FuzzParseSVA drives the assertion parser (both the native SVA surface
+// syntax and the paper's LTL-style form) with arbitrary text. Invariants:
+// parsing never panics, and the canonical rendering of any parsed
+// assertion re-parses to the same canonical form (the fixpoint the FPV
+// pipeline and the miners rely on). Seed corpus under testdata/fuzz/.
+func FuzzParseSVA(f *testing.F) {
+	f.Add("req1 == 1 && req2 == 0 |-> gnt1 == 1")
+	f.Add("a ##1 b |=> c")
+	f.Add("a |-> ##2 &rst")
+	f.Add("start |-> ##[1:3] done == 1")
+	f.Add("$rose(req) ##1 $stable(cfg) |-> $past(ack) == ack")
+	f.Add("assert property (@(posedge clk) a |-> b);")
+	f.Add("G((req2 == 0 && gnt == 1) && X(req1 == 1) -> X(X(gnt1 == 1)))")
+	f.Add("G(a -> b)")
+	f.Add("always ( a |-> b )")
+	f.Add("a ##")
+	f.Add("|-> b")
+	f.Add("a |-> ##[3:1] b")
+	f.Add("a[0] ##2 !b |-> {c, d} != 0")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := a.String()
+		a2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering does not re-parse: %v\nsource: %q\ncanonical: %q", err, src, canon)
+		}
+		if got := a2.String(); got != canon {
+			t.Fatalf("canonical rendering is unstable\nsource: %q\nfirst: %q\nsecond: %q", src, canon, got)
+		}
+	})
+}

@@ -252,23 +252,36 @@ func (p *propParser) parseDelay(allowRange bool) (int, int, error) {
 	return n, 0, err
 }
 
+// parseDelayCount reads the N of ##N as a single number token, with
+// optional parentheses ("##(2)" is legal SVA). The full expression
+// parser must not be used here: it would greedily absorb a following
+// unary step expression ("##2 &rst" would mis-parse as the binary AND
+// "2 & rst" and then fail the literal check). Found by the differential
+// harness (internal/dverify).
 func (p *propParser) parseDelayCount() (int, error) {
+	if p.tp.AcceptSym("(") {
+		n, err := p.parseDelayCount()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.tp.ExpectSym(")"); err != nil {
+			return 0, perr(p.src, "%v", err)
+		}
+		return n, nil
+	}
 	t := p.tp.CurToken()
 	if t.Kind != verilog.TokNumber {
 		return 0, perr(p.src, "expected cycle count after '##', got %s", t)
 	}
-	e, err := p.tp.ParseExpression()
+	p.tp.Advance()
+	v, _, err := verilog.ParseNumber(t)
 	if err != nil {
 		return 0, perr(p.src, "%v", err)
 	}
-	num, ok := e.(*verilog.Number)
-	if !ok {
-		return 0, perr(p.src, "##N delay must be a literal")
+	if v > 64 {
+		return 0, perr(p.src, "##%d delay exceeds the supported window of 64 cycles", v)
 	}
-	if num.Value > 64 {
-		return 0, perr(p.src, "##%d delay exceeds the supported window of 64 cycles", num.Value)
-	}
-	return int(num.Value), nil
+	return int(v), nil
 }
 
 // parseBool parses a full boolean expression (the design expression

@@ -57,6 +57,37 @@ func TestParseLeadingConsequentDelay(t *testing.T) {
 	}
 }
 
+// Delay counts are single number tokens (optionally parenthesized), so a
+// step expression starting with a unary operator is not absorbed into the
+// delay — the mis-parse the differential harness found.
+func TestParseDelayBeforeUnaryStep(t *testing.T) {
+	a := mustParseA(t, "a ##1 b |=> ##2 &rst")
+	if a.Cons[0].Delay != 2 {
+		t.Fatalf("cons lead delay = %d, want 2", a.Cons[0].Delay)
+	}
+	if got := a.String(); got != "a ##1 b |=> ##2 &rst" {
+		t.Errorf("canonical form = %q", got)
+	}
+	// The canonical rendering must re-parse to itself.
+	b := mustParseA(t, a.String())
+	if b.String() != a.String() {
+		t.Errorf("canonical form unstable: %q -> %q", a.String(), b.String())
+	}
+}
+
+func TestParseParenthesizedDelay(t *testing.T) {
+	a := mustParseA(t, "start |-> ##(3) done")
+	if a.Cons[0].Delay != 3 {
+		t.Fatalf("cons lead delay = %d, want 3", a.Cons[0].Delay)
+	}
+	if a2 := mustParseA(t, "p ##((2)) q |-> r"); a2.Ante[1].Delay != 2 {
+		t.Fatalf("nested paren delay = %d, want 2", a2.Ante[1].Delay)
+	}
+	if _, err := Parse("a |-> ##(2 b"); err == nil {
+		t.Error("unclosed paren delay must fail")
+	}
+}
+
 func TestParseAssertPropertyWrapper(t *testing.T) {
 	a := mustParseA(t, "assert property (@(posedge clk) full |-> !w_en);")
 	if a.Clock != "clk" {

@@ -1,0 +1,54 @@
+package verilog
+
+import "testing"
+
+// FuzzParseVerilog drives the lexer/parser (and, for valid inputs, the
+// printer and elaborator) with arbitrary source text. Invariants:
+// parsing never panics; the printed form of any parse re-parses; and a
+// design that elaborates keeps an identical netlist signature across the
+// print/parse round-trip. Seed corpus under testdata/fuzz/.
+func FuzzParseVerilog(f *testing.F) {
+	f.Add("module m(a, y); input a; output y; assign y = ~a; endmodule")
+	f.Add("module m(clk, rst, q); input clk, rst; output q; reg q;\n" +
+		"always @(posedge clk or posedge rst) if (rst) q <= 0; else q <= ~q; endmodule")
+	f.Add("module m #(parameter W = 3) (d, y); input [W-1:0] d; output y; assign y = ^d; endmodule")
+	f.Add("module a(x, y); input x; output y; assign y = x; endmodule\n" +
+		"module b(p, q); input p; output q; a u (.x(p), .y(q)); endmodule")
+	f.Add("module m(s, y); input [1:0] s; output y; reg y;\n" +
+		"always @(*) casez (s) 2'b0?: y = 0; default: y = 1; endcase endmodule")
+	f.Add("module m(d, o); input [3:0] d; output o; reg o; integer i;\n" +
+		"always @(*) begin o = 0; for (i = 0; i < 4; i = i + 1) o = o ^ d[i]; end endmodule")
+	f.Add("module m(a, y); input [7:0] a; output [15:0] y; assign y = {2{a}}; endmodule")
+	f.Add("module m(); endmodule")
+	f.Add("always @(")
+	f.Add("module m(a; input a; endmodule")
+	f.Add("module m(a, y); input a; output y; assign y = 64'hffffffffffffffff; endmodule")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return // bound parser recursion and elaboration cost
+		}
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := PrintFile(file)
+		file2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of a valid parse does not re-parse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		top := file.Modules[len(file.Modules)-1].Name
+		nl, err := Elaborate(file, top, nil)
+		if err != nil {
+			return
+		}
+		nl2, err := Elaborate(file2, top, nil)
+		if err != nil {
+			t.Fatalf("printed form of an elaborable design does not re-elaborate: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		if !SignatureEqual(nl, nl2) {
+			t.Fatalf("netlist signature changed across print/parse round-trip\nsource: %q\nprinted: %q\n-- original --\n%s\n-- reprinted --\n%s",
+				src, printed, nl.Signature(), nl2.Signature())
+		}
+	})
+}

@@ -2,6 +2,7 @@ package verilog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -13,6 +14,235 @@ func ExprString(e Expr) string {
 	var sb strings.Builder
 	writeExpr(&sb, e)
 	return sb.String()
+}
+
+// PrintFile renders a parsed source file back to concrete Verilog syntax.
+// The output is canonical: re-lexing and re-parsing it yields a source
+// file whose elaboration is structurally identical to the original's
+// (Netlist.Signature equality), which is the print/parse round-trip
+// contract the differential harness checks. Formatting details of the
+// original source (whitespace, comments, ANSI vs non-ANSI ports) are not
+// preserved; semantics are.
+func PrintFile(f *SourceFile) string {
+	var sb strings.Builder
+	for i, m := range f.Modules {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		writeModule(&sb, m)
+	}
+	return sb.String()
+}
+
+// PrintModule renders one module declaration.
+func PrintModule(m *Module) string {
+	var sb strings.Builder
+	writeModule(&sb, m)
+	return sb.String()
+}
+
+func writeModule(sb *strings.Builder, m *Module) {
+	fmt.Fprintf(sb, "module %s", m.Name)
+	if len(m.Ports) > 0 {
+		sb.WriteByte('(')
+		for i, p := range m.Ports {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Name)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteString(";\n")
+	// Parameters first: the elaborator resolves them before ranges, and
+	// printing them ahead of the port declarations keeps any parameterized
+	// range readable in source order.
+	for _, par := range m.Params {
+		kw := "parameter"
+		if par.Local {
+			kw = "localparam"
+		}
+		fmt.Fprintf(sb, "%s %s = %s;\n", kw, par.Name, ExprString(par.Value))
+	}
+	// Non-ANSI port declarations. A reg port additionally gets a matching
+	// reg declaration, which is how the parser records Port.IsReg.
+	for _, p := range m.Ports {
+		fmt.Fprintf(sb, "%s%s %s;\n", p.Dir.String(), rangeString(p.Range), p.Name)
+		if p.IsReg {
+			fmt.Fprintf(sb, "reg%s %s;\n", rangeString(p.Range), p.Name)
+		}
+	}
+	for _, d := range m.Decls {
+		switch d.Kind {
+		case DeclWire:
+			fmt.Fprintf(sb, "wire%s %s", rangeString(d.Range), d.Name)
+		case DeclReg:
+			fmt.Fprintf(sb, "reg%s %s", rangeString(d.Range), d.Name)
+		default:
+			fmt.Fprintf(sb, "integer %s", d.Name)
+		}
+		if d.Init != nil {
+			fmt.Fprintf(sb, " = %s", ExprString(d.Init))
+		}
+		sb.WriteString(";\n")
+	}
+	for _, item := range m.Items {
+		writeItem(sb, item)
+	}
+	sb.WriteString("endmodule\n")
+}
+
+func rangeString(r *Range) string {
+	if r == nil {
+		return ""
+	}
+	return fmt.Sprintf(" [%s:%s]", ExprString(r.MSB), ExprString(r.LSB))
+}
+
+func writeItem(sb *strings.Builder, item ModuleItem) {
+	switch it := item.(type) {
+	case *AssignItem:
+		fmt.Fprintf(sb, "assign %s = %s;\n", ExprString(it.LHS), ExprString(it.RHS))
+	case *AlwaysItem:
+		sb.WriteString("always @(")
+		if it.Star {
+			sb.WriteByte('*')
+		} else {
+			for i, ev := range it.Events {
+				if i > 0 {
+					sb.WriteString(" or ")
+				}
+				switch ev.Edge {
+				case EdgePos:
+					sb.WriteString("posedge ")
+				case EdgeNeg:
+					sb.WriteString("negedge ")
+				}
+				sb.WriteString(ev.Signal)
+			}
+		}
+		sb.WriteString(")\n")
+		writeStmt(sb, it.Body, 1)
+	case *InitialItem:
+		sb.WriteString("initial\n")
+		writeStmt(sb, it.Body, 1)
+	case *InstanceItem:
+		sb.WriteString(it.ModName)
+		if len(it.ParamsPos) > 0 || len(it.Params) > 0 {
+			sb.WriteString(" #(")
+			writeConnList(sb, it.ParamsPos, it.Params)
+			sb.WriteByte(')')
+		}
+		fmt.Fprintf(sb, " %s (", it.InstName)
+		writeConnList(sb, it.ConnsPos, it.Conns)
+		sb.WriteString(");\n")
+	}
+}
+
+// writeConnList renders positional then named connections. Named entries
+// are sorted so the output is deterministic; binding is by name, so the
+// order carries no meaning.
+func writeConnList(sb *strings.Builder, positional []Expr, named map[string]Expr) {
+	n := 0
+	for _, e := range positional {
+		if n > 0 {
+			sb.WriteString(", ")
+		}
+		writeExpr(sb, e)
+		n++
+	}
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, ".%s(", name)
+		if e := named[name]; e != nil {
+			writeExpr(sb, e)
+		}
+		sb.WriteByte(')')
+		n++
+	}
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		indent(sb, depth)
+		sb.WriteString("begin\n")
+		for _, sub := range st.Stmts {
+			writeStmt(sb, sub, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("end\n")
+	case *AssignStmt:
+		indent(sb, depth)
+		writeAssignStmt(sb, st)
+		sb.WriteString(";\n")
+	case *IfStmt:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "if (%s)\n", ExprString(st.Cond))
+		writeStmt(sb, st.Then, depth+1)
+		if st.Else != nil {
+			indent(sb, depth)
+			sb.WriteString("else\n")
+			writeStmt(sb, st.Else, depth+1)
+		}
+	case *CaseStmt:
+		indent(sb, depth)
+		kw := "case"
+		if st.Wild {
+			kw = "casez"
+		}
+		fmt.Fprintf(sb, "%s (%s)\n", kw, ExprString(st.Subject))
+		for _, item := range st.Items {
+			indent(sb, depth+1)
+			for i, l := range item.Labels {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, l)
+			}
+			sb.WriteString(":\n")
+			writeStmt(sb, item.Body, depth+2)
+		}
+		if st.Default != nil {
+			indent(sb, depth+1)
+			sb.WriteString("default:\n")
+			writeStmt(sb, st.Default, depth+2)
+		}
+		indent(sb, depth)
+		sb.WriteString("endcase\n")
+	case *ForStmt:
+		indent(sb, depth)
+		sb.WriteString("for (")
+		writeAssignStmt(sb, st.Init)
+		fmt.Fprintf(sb, "; %s; ", ExprString(st.Cond))
+		writeAssignStmt(sb, st.Step)
+		sb.WriteString(")\n")
+		writeStmt(sb, st.Body, depth+1)
+	case *NullStmt:
+		indent(sb, depth)
+		sb.WriteString(";\n")
+	}
+}
+
+func writeAssignStmt(sb *strings.Builder, st *AssignStmt) {
+	op := "="
+	if !st.Blocking {
+		op = "<="
+	}
+	fmt.Fprintf(sb, "%s %s %s", ExprString(st.LHS), op, ExprString(st.RHS))
 }
 
 func writeExpr(sb *strings.Builder, e Expr) {
@@ -49,12 +279,12 @@ func writeExpr(sb *strings.Builder, e Expr) {
 		sb.WriteString(" : ")
 		writeOperand(sb, v.Else)
 	case *Index:
-		writeExpr(sb, v.Base)
+		writeSelectBase(sb, v.Base)
 		sb.WriteByte('[')
 		writeExpr(sb, v.Idx)
 		sb.WriteByte(']')
 	case *PartSelect:
-		writeExpr(sb, v.Base)
+		writeSelectBase(sb, v.Base)
 		sb.WriteByte('[')
 		writeExpr(sb, v.MSB)
 		sb.WriteByte(':')
@@ -87,6 +317,20 @@ func writeExpr(sb *strings.Builder, e Expr) {
 		sb.WriteByte(')')
 	default:
 		sb.WriteString("<?expr?>")
+	}
+}
+
+// writeSelectBase renders the base of a bit/part select. A select binds
+// tighter than any operator, so a compound base ("(a + b)[0]") must keep
+// its parentheses to re-parse as the same tree.
+func writeSelectBase(sb *strings.Builder, e Expr) {
+	switch e.(type) {
+	case *Ident, *Index, *PartSelect, *Concat, *Number:
+		writeExpr(sb, e)
+	default:
+		sb.WriteByte('(')
+		writeExpr(sb, e)
+		sb.WriteByte(')')
 	}
 }
 

@@ -42,6 +42,15 @@ func (p *Parser) SetPos(pos int) { p.pos = pos }
 // ParseExpression parses a full expression (ternary level).
 func (p *Parser) ParseExpression() (Expr, error) { return p.parseExpr() }
 
+// ParseNumber interprets a numeric literal token (sized, based, or plain
+// decimal). The SVA layer uses it to read ##N delay counts as single
+// tokens: handing the delay to the expression parser instead would
+// greedily consume a following unary step expression ("##2 &rst" would
+// mis-parse as the binary AND "2 & rst").
+func ParseNumber(t Token) (value uint64, width int, err error) {
+	return parseNumberLiteral(t)
+}
+
 // ParseExpressionPrec parses a binary expression whose operators all bind
 // at least as tightly as minPrec (see binaryPrec; '||' is 1, '&&' is 2).
 // The SVA layer uses minPrec=3 so it can give '&&'/'||' temporal handling.

@@ -1,0 +1,187 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Signature renders the elaborated netlist in a canonical, line-free text
+// form: every net with its width and role flags, every compiled continuous
+// assignment, and every process body. Two netlists with equal signatures
+// are structurally identical as far as simulation and verification are
+// concerned (CombOrder and the read/write sets are derived data and are
+// excluded; source line numbers are excluded so a reprinted design
+// signature-matches its original).
+func (nl *Netlist) Signature() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design %s\n", nl.Name)
+	for _, n := range nl.Nets {
+		fmt.Fprintf(&sb, "net %d %s w=%d", n.Index, n.Name, n.Width)
+		if n.IsInput {
+			sb.WriteString(" in")
+		}
+		if n.IsOut {
+			sb.WriteString(" out")
+		}
+		if n.IsReg {
+			sb.WriteString(" reg")
+		}
+		if n.IsClock {
+			sb.WriteString(" clk")
+		}
+		sb.WriteByte('\n')
+	}
+	for _, a := range nl.Assigns {
+		sb.WriteString("assign ")
+		writeLRefs(&sb, a.LHS)
+		sb.WriteString(" = ")
+		writeEExpr(&sb, a.RHS)
+		sb.WriteByte('\n')
+	}
+	for _, p := range nl.Combs {
+		sb.WriteString("comb\n")
+		writeEStmt(&sb, p.Body, 1)
+	}
+	for _, p := range nl.Seqs {
+		sb.WriteString("seq\n")
+		writeEStmt(&sb, p.Body, 1)
+	}
+	return sb.String()
+}
+
+// SignatureEqual reports whether two netlists are structurally identical.
+func SignatureEqual(a, b *Netlist) bool {
+	return a != nil && b != nil && a.Signature() == b.Signature()
+}
+
+func writeLRefs(sb *strings.Builder, refs []LRef) {
+	for i, l := range refs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		switch {
+		case l.IsBit:
+			fmt.Fprintf(sb, "n%d[", l.Net)
+			writeEExpr(sb, l.BitIdx)
+			sb.WriteByte(']')
+		case l.IsPart:
+			fmt.Fprintf(sb, "n%d[%d+:%d]", l.Net, l.Lo, l.W)
+		default:
+			fmt.Fprintf(sb, "n%d", l.Net)
+		}
+	}
+}
+
+// eopNames maps compiled ops to stable mnemonic tags for signatures.
+var eopNames = map[EOp]string{
+	OpConst: "const", OpNet: "net", OpIndex: "index", OpPart: "part",
+	OpNot: "not", OpLogNot: "lognot", OpNeg: "neg",
+	OpRedAnd: "rand", OpRedOr: "ror", OpRedXor: "rxor",
+	OpRedNand: "rnand", OpRedNor: "rnor", OpRedXnor: "rxnor",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpPow: "pow", OpAnd: "and", OpOr: "or", OpXor: "xor", OpXnor: "xnor",
+	OpLogAnd: "logand", OpLogOr: "logor",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpShl: "shl", OpShr: "shr", OpTernary: "mux", OpConcat: "cat",
+}
+
+func writeEExpr(sb *strings.Builder, e *EExpr) {
+	if e == nil {
+		sb.WriteString("nil")
+		return
+	}
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(sb, "%d:w%d", e.Val, e.W)
+		return
+	case OpNet:
+		fmt.Fprintf(sb, "n%d", e.Net)
+		return
+	case OpPart:
+		fmt.Fprintf(sb, "n%d[%d+:%d]", e.Net, e.Lo, e.W)
+		return
+	case OpIndex:
+		fmt.Fprintf(sb, "n%d[", e.Net)
+		writeEExpr(sb, e.A)
+		sb.WriteByte(']')
+		return
+	}
+	fmt.Fprintf(sb, "%s:w%d(", eopNames[e.Op], e.W)
+	args := []*EExpr{e.A, e.B, e.C}
+	first := true
+	for _, a := range args {
+		if a == nil {
+			continue
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		writeEExpr(sb, a)
+	}
+	for _, p := range e.Parts {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		writeEExpr(sb, p)
+	}
+	sb.WriteByte(')')
+}
+
+func writeEStmt(sb *strings.Builder, s *EStmt, depth int) {
+	if s == nil {
+		return
+	}
+	ind := strings.Repeat(" ", depth)
+	switch s.Op {
+	case SAssign:
+		sb.WriteString(ind)
+		writeLRefs(sb, s.LHS)
+		if s.Blocking {
+			sb.WriteString(" = ")
+		} else {
+			sb.WriteString(" <= ")
+		}
+		writeEExpr(sb, s.RHS)
+		sb.WriteByte('\n')
+	case SIf:
+		sb.WriteString(ind)
+		sb.WriteString("if ")
+		writeEExpr(sb, s.Cond)
+		sb.WriteByte('\n')
+		writeEStmt(sb, s.Then, depth+1)
+		if s.Else != nil {
+			sb.WriteString(ind)
+			sb.WriteString("else\n")
+			writeEStmt(sb, s.Else, depth+1)
+		}
+	case SCase:
+		sb.WriteString(ind)
+		sb.WriteString("case ")
+		writeEExpr(sb, s.Subject)
+		sb.WriteByte('\n')
+		for i, labels := range s.Labels {
+			sb.WriteString(ind)
+			for j, l := range labels {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(sb, "%d/%d", l.value, l.mask)
+			}
+			sb.WriteString(":\n")
+			writeEStmt(sb, s.Arms[i], depth+1)
+		}
+		if s.Default != nil {
+			sb.WriteString(ind)
+			sb.WriteString("default:\n")
+			writeEStmt(sb, s.Default, depth+1)
+		}
+	case SBlock:
+		sb.WriteString(ind)
+		sb.WriteString("block\n")
+		for _, sub := range s.Stmts {
+			writeEStmt(sb, sub, depth+1)
+		}
+	}
+}

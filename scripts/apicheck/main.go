@@ -84,5 +84,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(assertionbench.TableI(b.Corpus()))
+
+	selfReport, err := assertionbench.SelfCheck(ctx, assertionbench.SelfCheckOptions{
+		Scenarios: 2, PropsPerDesign: 1, Short: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !selfReport.OK() {
+		log.Fatalf("selfcheck found %d disagreement(s): %v", len(selfReport.Disagreements), selfReport.Disagreements)
+	}
+	fmt.Printf("selfcheck ok (%d scenarios)\n", selfReport.Scenarios)
 	fmt.Println("apicheck ok")
 }
