@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench race apicheck fuzz selfcheck
+.PHONY: check fmt vet build test bench bench-json race apicheck fuzz selfcheck
 
 check: fmt vet build test apicheck
 
@@ -19,8 +19,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The dverify suite under the race detector legitimately runs long (the
+# backend oracle re-verifies every property on both engines), hence the
+# explicit timeout.
 race:
-	$(GO) test -race ./internal/eval/ ./internal/llm/ ./internal/bench/ ./internal/dverify/
+	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/llm/ ./internal/bench/ ./internal/dverify/
 
 # Differential self-check: seeded design/property fuzzing with
 # cross-engine oracles. SEED/N are overridable: make selfcheck SEED=7
@@ -40,3 +43,9 @@ apicheck:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Interp-vs-compiled backend measurements (sim ns/cycle, the FPV-bound
+# full-corpus verification pass, end-to-end eval wall time), written to
+# the checked-in BENCH_pr4.json. QUICK=1 selects CI smoke sizes.
+bench-json:
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -out BENCH_pr4.json

@@ -396,30 +396,70 @@ func BenchmarkParseElaborate(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorSteps measures cycle throughput on the CAN CRC.
+// BenchmarkSimulatorSteps measures cycle throughput on the CAN CRC, per
+// execution backend.
 func BenchmarkSimulatorSteps(b *testing.B) {
 	nl, err := verilog.ElaborateSource(bench.TestCorpus()[23].Source, "")
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := sim.New(nl)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Step()
+	for _, bk := range []struct {
+		name string
+		mk   func(*verilog.Netlist) *sim.Simulator
+	}{{"interp", sim.New}, {"compiled", sim.NewCompiled}} {
+		b.Run(bk.name, func(b *testing.B) {
+			s := bk.mk(nl)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
 	}
 }
 
-// BenchmarkFPVProve measures exhaustive model checking of a true property.
+// BenchmarkFPVProve measures exhaustive model checking of a true
+// property, per execution backend.
 func BenchmarkFPVProve(b *testing.B) {
 	nl, err := verilog.ElaborateSource(bench.TrainArbiter, "arb2")
 	if err != nil {
 		b.Fatal(err)
 	}
-	for i := 0; i < b.N; i++ {
-		r := fpv.VerifySource(context.Background(), nl, "rst == 1 |=> gnt_ == 0", fpv.Options{})
-		if r.Status != fpv.StatusProven {
-			b.Fatalf("unexpected status %v", r.Status)
-		}
+	for _, backend := range []string{fpv.BackendInterp, fpv.BackendCompiled} {
+		b.Run(backend, func(b *testing.B) {
+			eng := fpv.NewEngine()
+			for i := 0; i < b.N; i++ {
+				r := eng.VerifySource(context.Background(), nl, "rst == 1 |=> gnt_ == 0", fpv.Options{Backend: backend})
+				if r.Status != fpv.StatusProven {
+					b.Fatalf("unexpected status %v", r.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFPVBounded measures a bounded search (sampled inputs + random
+// hunt) on the widest corpus design, per execution backend.
+func BenchmarkFPVBounded(b *testing.B) {
+	d := bench.TestCorpus()[23]
+	nl, err := verilog.ElaborateSource(d.Source, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := nl.Nets[nl.Outputs[0]].Name
+	src := "1 |-> " + out + " == " + out + ";"
+	for _, backend := range []string{fpv.BackendInterp, fpv.BackendCompiled} {
+		b.Run(backend, func(b *testing.B) {
+			eng := fpv.NewEngine()
+			for i := 0; i < b.N; i++ {
+				r := eng.VerifySource(context.Background(), nl, src, fpv.Options{
+					MaxProductStates: 2000, MaxInputBits: 8, MaxInputSamples: 12,
+					RandomRuns: 24, RandomDepth: 48, Backend: backend,
+				})
+				if r.Status == fpv.StatusError {
+					b.Fatalf("unexpected error: %v", r.Err)
+				}
+			}
+		})
 	}
 }
 

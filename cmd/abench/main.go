@@ -39,6 +39,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
+	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,6 +76,7 @@ func main() {
 				Workers:      *workers,
 				ShardIndex:   shardIndex,
 				ShardCount:   shardCount,
+				Backend:      *backend,
 			})
 			var r assertionbench.RunResult
 			if *stream {

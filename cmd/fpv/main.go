@@ -29,6 +29,7 @@ func main() {
 	showCEX := flag.Bool("cex", false, "print counter-example traces")
 	vcd := flag.String("vcd", "", "write the first counter-example as a VCD waveform to this file")
 	states := flag.Int("states", 0, "max product states (0 = default)")
+	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
@@ -53,7 +54,7 @@ func main() {
 	defer stop()
 
 	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
-		assertionbench.VerifyOptions{MaxProductStates: *states})
+		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))

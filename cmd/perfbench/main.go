@@ -1,0 +1,327 @@
+// Command perfbench measures the compiled execution backend against the
+// tree-walking reference interpreter and emits a machine-readable report
+// (BENCH_pr4.json in the repository root records the checked-in numbers):
+//
+//   - sim: simulator ns/cycle on a spread of corpus designs;
+//   - fpv: the FPV-bound full-corpus pass — formal verification of every
+//     (pre-generated, corrected) candidate assertion over the whole
+//     corpus on one engine, reported as verdicts/second; generation and
+//     correction are excluded so the section times verification alone;
+//   - eval_full_corpus: the end-to-end evaluation pass (generation,
+//     correction, verification) at the default worker-pool size, i.e.
+//     the wall time a user sees for one (model, shot) sweep.
+//
+// Usage:
+//
+//	perfbench -out BENCH_pr4.json
+//	perfbench -quick          # CI smoke sizes
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/corrector"
+	"assertionbench/internal/eval"
+	"assertionbench/internal/fpv"
+	"assertionbench/internal/llm"
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+type simRow struct {
+	Design             string  `json:"design"`
+	Cycles             int     `json:"cycles"`
+	InterpNsPerCycle   float64 `json:"interp_ns_per_cycle"`
+	CompiledNsPerCycle float64 `json:"compiled_ns_per_cycle"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type fpvSection struct {
+	Designs                int     `json:"designs"`
+	Verdicts               int     `json:"verdicts"`
+	InterpMs               float64 `json:"interp_ms"`
+	CompiledMs             float64 `json:"compiled_ms"`
+	InterpVerdictsPerSec   float64 `json:"interp_verdicts_per_sec"`
+	CompiledVerdictsPerSec float64 `json:"compiled_verdicts_per_sec"`
+	Speedup                float64 `json:"speedup"`
+	// Optional externally measured baseline of the same pass on the
+	// pre-backend engine (see -baseline-ms and EXPERIMENTS.md).
+	BaselineMs        float64 `json:"baseline_ms,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type evalSection struct {
+	Workers    int     `json:"workers"`
+	InterpMs   float64 `json:"interp_ms"`
+	CompiledMs float64 `json:"compiled_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type report struct {
+	Description string `json:"description"`
+	Host        struct {
+		GoOS   string `json:"goos"`
+		GoArch string `json:"goarch"`
+		NumCPU int    `json:"num_cpu"`
+	} `json:"host"`
+	Quick            bool        `json:"quick"`
+	Sim              []simRow    `json:"sim"`
+	SimMedianSpeedup float64     `json:"sim_median_speedup"`
+	FPV              fpvSection  `json:"fpv"`
+	EvalFullCorpus   evalSection `json:"eval_full_corpus"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfbench: ")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	quick := flag.Bool("quick", false, "CI smoke sizes (fewer cycles, truncated corpus)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	baselineMs := flag.Float64("baseline-ms", 0, "externally measured pre-backend (PR 3 engine) time for the fpv pass, recorded alongside the A/B numbers")
+	flag.Parse()
+
+	rep := report{Description: "compiled register-machine backend vs tree-walk interpreter (PR 4)", Quick: *quick}
+	rep.Host.GoOS, rep.Host.GoArch, rep.Host.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+
+	corpus := bench.TestCorpus()
+	simCycles, evalDesigns := 200000, 0
+	if *quick {
+		simCycles, evalDesigns = 5000, 12
+	}
+
+	// --- sim ns/cycle over a spread of designs (small comb, mid seq,
+	// the CAN CRC hot design, and the largest-LoC entry). ---
+	picks := map[string]bool{corpus[23].Name: true}
+	byLoC := append([]bench.Design(nil), corpus...)
+	sort.Slice(byLoC, func(i, j int) bool { return byLoC[i].LoC > byLoC[j].LoC })
+	picks[byLoC[0].Name] = true
+	picks[byLoC[len(byLoC)/2].Name] = true
+	picks[byLoC[len(byLoC)-1].Name] = true
+	for _, d := range corpus {
+		if !picks[d.Name] {
+			continue
+		}
+		nl, err := verilog.ElaborateSource(d.Source, "")
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		// Minimum of five interleaved measurements per backend: the work
+		// is deterministic, so the minimum is the throttle-free estimate
+		// on shared machines (the CI and dev containers burst-throttle
+		// CPU, which stretches wall time by whole runs at a time).
+		interp, compiled := math.Inf(1), math.Inf(1)
+		for r := 0; r < 5; r++ {
+			interp = math.Min(interp, timeSim(sim.New(nl), nl, simCycles, *seed))
+			compiled = math.Min(compiled, timeSim(sim.NewCompiled(nl), nl, simCycles, *seed))
+		}
+		rep.Sim = append(rep.Sim, simRow{
+			Design:             d.Name,
+			Cycles:             simCycles,
+			InterpNsPerCycle:   interp,
+			CompiledNsPerCycle: compiled,
+			Speedup:            round2(interp / compiled),
+		})
+		log.Printf("sim %-22s interp %7.1f ns/cycle  compiled %7.1f ns/cycle  (%.2fx)",
+			d.Name, interp, compiled, interp/compiled)
+	}
+	speeds := make([]float64, len(rep.Sim))
+	for i, r := range rep.Sim {
+		speeds[i] = r.Speedup
+	}
+	sort.Float64s(speeds)
+	rep.SimMedianSpeedup = speeds[len(speeds)/2]
+
+	// --- FPV-bound full-corpus pass: pre-generate and correct every
+	// candidate assertion (backend-independent), then time verification
+	// alone. Verdicts are identical across backends by construction
+	// (dverify oracle 4). ---
+	gen := eval.NewModelGenerator(llm.GPT4o())
+	icl := trainExamples()
+	type vjob struct {
+		d     bench.Design
+		lines []string
+	}
+	var jobs []vjob
+	verdicts := 0
+	nDesigns := len(corpus)
+	if evalDesigns > 0 && evalDesigns < nDesigns {
+		nDesigns = evalDesigns
+	}
+	for gi, d := range corpus[:nDesigns] {
+		nl, err := bench.Elaborate(d)
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		out, err := gen.Generate(context.Background(), d, icl, eval.GenOptions{
+			Shots: 5, Seed: *seed*1000003 + int64(gi)*7919 + 5})
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		fixed, _ := corrector.New(nl).CorrectAll(out.Assertions)
+		jobs = append(jobs, vjob{d, fixed})
+		verdicts += len(fixed)
+	}
+	verifyRun := func(backend string) time.Duration {
+		eng := fpv.NewEngine()
+		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
+			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: backend}
+		start := time.Now()
+		for _, j := range jobs {
+			nl, _ := bench.Elaborate(j.d)
+			for _, line := range j.lines {
+				eng.VerifySource(context.Background(), nl, line, opt)
+			}
+		}
+		return time.Since(start)
+	}
+	verifyRun(fpv.BackendCompiled) // warm caches and lowerings
+	iDur, cDur := minPair(verifyRun, 7)
+	rep.FPV = fpvSection{
+		Designs:                nDesigns,
+		Verdicts:               verdicts,
+		InterpMs:               ms(iDur),
+		CompiledMs:             ms(cDur),
+		InterpVerdictsPerSec:   round2(float64(verdicts) / iDur.Seconds()),
+		CompiledVerdictsPerSec: round2(float64(verdicts) / cDur.Seconds()),
+		Speedup:                round2(float64(iDur) / float64(cDur)),
+	}
+	if *baselineMs > 0 {
+		rep.FPV.BaselineMs = *baselineMs
+		rep.FPV.SpeedupVsBaseline = round2(*baselineMs / ms(cDur))
+	}
+	log.Printf("fpv  %d verdicts: interp %.0f ms (%.0f verdicts/s), compiled %.0f ms (%.0f verdicts/s)  (%.2fx)",
+		verdicts, ms(iDur), float64(verdicts)/iDur.Seconds(), ms(cDur), float64(verdicts)/cDur.Seconds(),
+		float64(iDur)/float64(cDur))
+
+	// --- end-to-end evaluation pass (generation + correction + FPV). ---
+	evalRun := func(backend string, workers int) (time.Duration, int) {
+		opt := eval.RunOptions{
+			Shots: 5, Seed: *seed, UseCorrector: true, Workers: workers,
+			MaxDesigns: evalDesigns,
+			FPV:        fpv.Options{Backend: backend},
+		}
+		start := time.Now()
+		res, err := eval.Run(context.Background(), eval.NewModelGenerator(llm.GPT4o()), icl, corpus, opt)
+		if err != nil {
+			log.Fatalf("eval (%s): %v", backend, err)
+		}
+		n := 0
+		for _, d := range res.Designs {
+			n += len(d.Verdicts)
+		}
+		return time.Since(start), n
+	}
+
+	// --- default-worker wall time (what one sweep costs end to end). ---
+	ipDur, cpDur := medianPair(func(backend string) time.Duration {
+		d, _ := evalRun(backend, 0)
+		return d
+	})
+	rep.EvalFullCorpus = evalSection{
+		Workers:    runtime.GOMAXPROCS(0),
+		InterpMs:   ms(ipDur),
+		CompiledMs: ms(cpDur),
+		Speedup:    round2(float64(ipDur) / float64(cpDur)),
+	}
+	log.Printf("eval full corpus (workers=%d): interp %.0f ms, compiled %.0f ms  (%.2fx)",
+		rep.EvalFullCorpus.Workers, ms(ipDur), ms(cpDur), float64(ipDur)/float64(cpDur))
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// timeSim measures ns/cycle of random-stimulus stepping.
+func timeSim(s *sim.Simulator, nl *verilog.Netlist, cycles int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]uint64, 64)
+	for i := range vecs {
+		vecs[i] = sim.RandomInputs(nl, rng)
+	}
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		_ = s.SetInputs(vecs[c&63])
+		s.Step()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(cycles)
+}
+
+// trainExamples builds the fixed in-context examples without the mining
+// pass (assertions verified in the corpus tests), keeping perfbench's
+// timed region to generation + correction + FPV.
+func trainExamples() []llm.Example {
+	var icl []llm.Example
+	for _, d := range bench.TrainDesigns() {
+		icl = append(icl, llm.Example{
+			Name:   d.Name,
+			Source: d.Source,
+			Assertions: []string{
+				"rst == 1 |=> gnt_ == 0;",
+				"req1 == 1 && req2 == 0 |-> gnt1 == 1;",
+				"gnt2 == 1 |-> req2 == 1;",
+				"sum == a ^ b;",
+				"cout == (a & b);",
+			},
+		})
+	}
+	return icl
+}
+
+func ms(d time.Duration) float64 { return round2(float64(d.Microseconds()) / 1000) }
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+// minPair times the two backends in tightly alternating runs and
+// returns each one's minimum: the workloads are deterministic, so the
+// minimum estimates throttle-free cost on shared machines whose CPU
+// quota stretches wall time by whole runs at a time.
+func minPair(run func(backend string) time.Duration, reps int) (interp, compiled time.Duration) {
+	interp, compiled = time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < reps; r++ {
+		if d := run(fpv.BackendInterp); d < interp {
+			interp = d
+		}
+		if d := run(fpv.BackendCompiled); d < compiled {
+			compiled = d
+		}
+	}
+	return interp, compiled
+}
+
+// medianPair is minPair's median-based sibling for parallel sections,
+// where the minimum would overstate scheduler luck.
+func medianPair(run func(backend string) time.Duration) (interp, compiled time.Duration) {
+	const reps = 5
+	var is, cs []time.Duration
+	for r := 0; r < reps; r++ {
+		is = append(is, run(fpv.BackendInterp))
+		cs = append(cs, run(fpv.BackendCompiled))
+	}
+	sort.Slice(is, func(i, j int) bool { return is[i] < is[j] })
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return is[reps/2], cs[reps/2]
+}

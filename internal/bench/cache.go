@@ -36,12 +36,18 @@ func cacheKey(name, source string) string {
 	return fmt.Sprintf("%s\x00%x", name, sha256.Sum256([]byte(source)))
 }
 
-// Elaborate returns the design's netlist, elaborating on first use.
+// Elaborate returns the design's netlist, elaborating on first use. The
+// compiled execution program is lowered here too (cached on the netlist),
+// so per-design compilation happens once per process no matter how many
+// workers or runs request the design.
 func (c *ElabCache) Elaborate(d Design) (*verilog.Netlist, error) {
 	v, _ := c.m.LoadOrStore(cacheKey(d.Name, d.Source), &elabEntry{})
 	e := v.(*elabEntry)
 	e.once.Do(func() {
 		e.nl, e.err = verilog.ElaborateSource(d.Source, d.Name)
+		if e.err == nil {
+			e.nl.Program()
+		}
 	})
 	return e.nl, e.err
 }

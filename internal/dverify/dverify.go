@@ -84,6 +84,12 @@ const (
 	OracleRoundTrip   Oracle = "roundtrip"
 	OracleAgreement   Oracle = "agreement"
 	OracleDeterminism Oracle = "determinism"
+	// OracleBackend cross-checks the compiled register-machine backend
+	// against the tree-walking interpreter: simulators must track each
+	// other bit for bit along random runs, monitors must flag identical
+	// violations over identical traces, and FPV verdicts (every result
+	// field, down to the CEX stimulus) must be identical per seed.
+	OracleBackend Oracle = "backend"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -134,6 +140,9 @@ type Report struct {
 	RefStatus map[string]int
 	// DeterminismRuns counts the eval.Stream configurations compared.
 	DeterminismRuns int
+	// BackendChecks counts compiled-vs-interpreted comparisons (lockstep
+	// simulator runs, monitor trace checks, full FPV verdicts).
+	BackendChecks int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -142,8 +151,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.DeterminismRuns, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -180,6 +189,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		report.Properties += res.properties
 		report.Exhaustive += res.exhaustive
 		report.CEXs += res.cexs
+		report.BackendChecks += res.backend
 		for k, v := range res.refStatus {
 			report.RefStatus[k] += v
 		}

@@ -24,6 +24,9 @@ type harness struct {
 	opt    Options
 	exhEng *fpv.Engine
 	bndEng *fpv.Engine
+	// intEng runs the tree-walking reference backend for oracle 4
+	// (compiled-vs-interpreted agreement).
+	intEng *fpv.Engine
 }
 
 // Reference (deep) and adversary (deliberately starved) FPV budgets. The
@@ -47,17 +50,19 @@ type scenarioResult struct {
 	properties    int
 	exhaustive    int
 	cexs          int
+	backend       int
 	refStatus     map[string]int
 	disagreements []Disagreement
 }
 
-// checkScenario runs oracles 1 and 2 over one design genome. propSeed
+// checkScenario runs oracles 1, 2 and 4 over one design genome. propSeed
 // fixes the property set so shrunk genomes are checked against the same
 // property generator stream.
 func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSeed int64) scenarioResult {
 	if h.exhEng == nil {
 		h.exhEng = fpv.NewEngine()
 		h.bndEng = fpv.NewEngine()
+		h.intEng = fpv.NewEngine()
 	}
 	res := scenarioResult{refStatus: map[string]int{}}
 	d := spec.Build()
@@ -82,22 +87,33 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 		disagree("", detail)
 	}
 
-	// Oracle 2: sim vs monitor vs FPV agreement per property.
+	// Oracle 4 (design level): the compiled simulator must track the
+	// tree-walking interpreter bit for bit along a random stimulus run.
+	res.backend++
+	if detail := sim.CompareBackends(nl, h.opt.TraceCycles, propSeed); detail != "" {
+		res.disagreements = append(res.disagreements, Disagreement{
+			Oracle: OracleBackend, Spec: spec, Detail: detail,
+		})
+	}
+
+	// Oracles 2 and 4 per property: sim vs monitor vs FPV agreement, and
+	// compiled-vs-interpreted verdict identity.
 	props := genProps(nl, propSeed, h.opt.PropsPerDesign)
 	for i, src := range props {
 		if ctx.Err() != nil {
 			return res
 		}
 		res.properties++
-		detail, exh, cexs, status := h.agreement(ctx, nl, src, propSeed+int64(i))
-		res.exhaustive += exh
-		res.cexs += cexs
-		if status != "" {
-			res.refStatus[status]++
+		pc := h.checkProperty(ctx, nl, src, propSeed+int64(i))
+		res.exhaustive += pc.exhaustive
+		res.cexs += pc.cexs
+		res.backend += pc.backend
+		if pc.refStatus != "" {
+			res.refStatus[pc.refStatus]++
 		}
-		if detail != "" && ctx.Err() == nil {
+		if pc.detail != "" && ctx.Err() == nil {
 			res.disagreements = append(res.disagreements, Disagreement{
-				Oracle: OracleAgreement, Spec: spec, Property: src, Detail: detail,
+				Oracle: pc.oracle, Spec: spec, Property: src, Detail: pc.detail,
 			})
 		}
 	}
@@ -126,54 +142,85 @@ func roundTrip(file *verilog.SourceFile, nl *verilog.Netlist, top string) string
 	return ""
 }
 
-// agreement cross-checks one property: exhaustive FPV vs bounded FPV vs
-// the monitor over simulated traces vs counter-example replay. Returns a
-// non-empty detail on the first contradiction, plus counters for the
-// report (exhaustive runs, replayed CEXs) and the reference engine's
-// verdict name ("" when the property never reached verification).
-func (h *harness) agreement(ctx context.Context, nl *verilog.Netlist, src string, seed int64) (detail string, nExh, nCEX int, refStatus string) {
+// propCheck carries one property's cross-check outcome: the first
+// contradiction (with the oracle it belongs to) and the report counters.
+type propCheck struct {
+	detail     string
+	oracle     Oracle
+	exhaustive int
+	cexs       int
+	backend    int
+	refStatus  string
+}
+
+func (p *propCheck) fail(oracle Oracle, format string, args ...any) propCheck {
+	p.oracle = oracle
+	p.detail = fmt.Sprintf(format, args...)
+	return *p
+}
+
+// checkProperty cross-checks one property: exhaustive FPV vs bounded FPV
+// vs the monitor over simulated traces vs counter-example replay
+// (oracle 2), and the compiled execution backend vs the tree-walking
+// interpreter (oracle 4). Returns on the first contradiction.
+func (h *harness) checkProperty(ctx context.Context, nl *verilog.Netlist, src string, seed int64) propCheck {
+	var pc propCheck
 	a, err := sva.Parse(src)
 	if err != nil {
-		return fmt.Sprintf("generated property does not parse: %v", err), 0, 0, ""
+		return pc.fail(OracleAgreement, "generated property does not parse: %v", err)
 	}
 	// The assertion's canonical rendering must itself re-parse to the
 	// same canonical form (the monitor-facing analogue of oracle 1).
 	canon := a.String()
 	if a2, err := sva.Parse(canon); err != nil {
-		return fmt.Sprintf("canonical rendering %q does not re-parse: %v", canon, err), 0, 0, ""
+		return pc.fail(OracleAgreement, "canonical rendering %q does not re-parse: %v", canon, err)
 	} else if a2.String() != canon {
-		return fmt.Sprintf("canonical rendering is unstable: %q -> %q", canon, a2.String()), 0, 0, ""
+		return pc.fail(OracleAgreement, "canonical rendering is unstable: %q -> %q", canon, a2.String())
 	}
 	c, err := sva.Compile(a, nl)
 	if err != nil {
-		return fmt.Sprintf("generated property does not compile: %v", err), 0, 0, ""
+		return pc.fail(OracleAgreement, "generated property does not compile: %v", err)
 	}
 
 	exh := h.exhEng.VerifyCompiled(ctx, nl, c, h.exhOpt(seed))
 	bnd := h.bndEng.VerifyCompiled(ctx, nl, c, h.bndOpt(seed))
 	if ctx.Err() != nil {
-		return "", 0, 0, ""
+		return pc
 	}
 	if exh.Status == fpv.StatusError {
-		return fmt.Sprintf("reference FPV errored on a well-formed property: %v", exh.Err), 0, 0, ""
+		return pc.fail(OracleAgreement, "reference FPV errored on a well-formed property: %v", exh.Err)
 	}
 	if bnd.Status == fpv.StatusError {
-		return fmt.Sprintf("bounded FPV errored on a well-formed property: %v", bnd.Err), 0, 0, ""
+		return pc.fail(OracleAgreement, "bounded FPV errored on a well-formed property: %v", bnd.Err)
 	}
 
-	refStatus = exh.Status.String()
+	pc.refStatus = exh.Status.String()
 	if exh.Exhaustive {
-		nExh++
+		pc.exhaustive++
+	}
+
+	// Oracle 4: re-verify on the interpreting backend at the reference
+	// budget — every field of the result, down to state counts, search
+	// depth and the CEX stimulus, must be identical to the compiled run.
+	intOpt := h.exhOpt(seed)
+	intOpt.Backend = fpv.BackendInterp
+	intp := h.intEng.VerifyCompiled(ctx, nl, c, intOpt)
+	if ctx.Err() != nil {
+		return pc
+	}
+	pc.backend++
+	if d := diffResults(exh, intp); d != "" {
+		return pc.fail(OracleBackend, "compiled and interpreted FPV disagree: %s", d)
 	}
 
 	// Bounded mode must never contradict exhaustive mode: a bounded CEX
 	// is a concrete witness, and a bounded non-vacuity witness is real.
 	if exh.Exhaustive {
 		if bnd.Status == fpv.StatusCEX && exh.Status != fpv.StatusCEX {
-			return fmt.Sprintf("bounded FPV found a CEX but exhaustive verdict is %v", exh.Status), nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "bounded FPV found a CEX but exhaustive verdict is %v", exh.Status)
 		}
 		if bnd.NonVacuous && exh.Status == fpv.StatusVacuous {
-			return "bounded FPV witnessed the antecedent but exhaustive verdict is vacuous", nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "bounded FPV witnessed the antecedent but exhaustive verdict is vacuous")
 		}
 	}
 
@@ -186,17 +233,17 @@ func (h *harness) agreement(ctx context.Context, nl *verilog.Netlist, src string
 		if r.res.Status != fpv.StatusCEX {
 			continue
 		}
-		nCEX++
+		pc.cexs++
 		violated, cycle, attempt, err := replayViolation(nl, c, r.res.CEX.Inputs)
 		if err != nil {
-			return fmt.Sprintf("%s FPV CEX stimulus cannot be driven on the simulator: %v", r.label, err), nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "%s FPV CEX stimulus cannot be driven on the simulator: %v", r.label, err)
 		}
 		if !violated {
-			return fmt.Sprintf("%s FPV CEX does not violate the monitor when replayed on the simulator", r.label), nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "%s FPV CEX does not violate the monitor when replayed on the simulator", r.label)
 		}
 		if cycle != r.res.CEX.ViolationCycle || attempt != r.res.CEX.AttemptCycle {
-			return fmt.Sprintf("%s FPV CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d)",
-				r.label, cycle, attempt, r.res.CEX.ViolationCycle, r.res.CEX.AttemptCycle), nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "%s FPV CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d)",
+				r.label, cycle, attempt, r.res.CEX.ViolationCycle, r.res.CEX.AttemptCycle)
 		}
 	}
 
@@ -213,20 +260,76 @@ func (h *harness) agreement(ctx context.Context, nl *verilog.Netlist, src string
 	for t := 0; t < h.opt.TraceCount; t++ {
 		tr, err := sim.RandomTrace(nl, h.opt.TraceCycles, 0, seed*31+int64(t))
 		if err != nil {
-			return fmt.Sprintf("random trace simulation failed: %v", err), nExh, nCEX, refStatus
+			return pc.fail(OracleAgreement, "random trace simulation failed: %v", err)
 		}
 		violations, nonVacuous := fpv.CheckTraceCompiled(nl, c, tr, monitorStep)
 		if exh.Exhaustive {
 			if len(violations) > 0 && exh.Status != fpv.StatusCEX {
-				return fmt.Sprintf("monitor violation at trace cycle %d but exhaustive verdict is %v",
-					violations[0].ViolationCycle, exh.Status), nExh, nCEX, refStatus
+				return pc.fail(OracleAgreement, "monitor violation at trace cycle %d but exhaustive verdict is %v",
+					violations[0].ViolationCycle, exh.Status)
 			}
 			if nonVacuous && exh.Status == fpv.StatusVacuous {
-				return "monitor witnessed the antecedent on a trace but exhaustive verdict is vacuous", nExh, nCEX, refStatus
+				return pc.fail(OracleAgreement, "monitor witnessed the antecedent on a trace but exhaustive verdict is vacuous")
+			}
+		}
+		// Oracle 4: the compiled and interpreting monitors must flag the
+		// same violations at the same cycles over the same trace.
+		iv, inv, err := fpv.CheckTraceBackend(nl, c, tr, monitorStep, fpv.BackendInterp)
+		if err != nil {
+			return pc.fail(OracleBackend, "interpreting trace check errored: %v", err)
+		}
+		pc.backend++
+		if len(iv) != len(violations) || inv != nonVacuous {
+			return pc.fail(OracleBackend, "monitor backends disagree on a trace: compiled %d violations (nonvacuous=%v), interp %d (nonvacuous=%v)",
+				len(violations), nonVacuous, len(iv), inv)
+		}
+		for k := range iv {
+			if iv[k] != violations[k] {
+				return pc.fail(OracleBackend, "monitor backends disagree on violation %d: compiled cycle %d (attempt %d), interp cycle %d (attempt %d)",
+					k, violations[k].ViolationCycle, violations[k].AttemptCycle, iv[k].ViolationCycle, iv[k].AttemptCycle)
 			}
 		}
 	}
-	return "", nExh, nCEX, refStatus
+	return pc
+}
+
+// diffResults compares two FPV results field by field (including the CEX
+// stimulus), returning a human-readable description of the first
+// difference or "" when identical.
+func diffResults(a, b fpv.Result) string {
+	switch {
+	case a.Status != b.Status:
+		return fmt.Sprintf("status %v vs %v", a.Status, b.Status)
+	case a.NonVacuous != b.NonVacuous:
+		return fmt.Sprintf("nonvacuous %v vs %v", a.NonVacuous, b.NonVacuous)
+	case a.Exhaustive != b.Exhaustive:
+		return fmt.Sprintf("exhaustive %v vs %v", a.Exhaustive, b.Exhaustive)
+	case a.States != b.States:
+		return fmt.Sprintf("visited states %d vs %d", a.States, b.States)
+	case a.Depth != b.Depth:
+		return fmt.Sprintf("depth %d vs %d", a.Depth, b.Depth)
+	case (a.CEX == nil) != (b.CEX == nil):
+		return fmt.Sprintf("cex presence %v vs %v", a.CEX != nil, b.CEX != nil)
+	}
+	if a.CEX == nil {
+		return ""
+	}
+	if a.CEX.ViolationCycle != b.CEX.ViolationCycle || a.CEX.AttemptCycle != b.CEX.AttemptCycle {
+		return fmt.Sprintf("cex at cycle %d (attempt %d) vs cycle %d (attempt %d)",
+			a.CEX.ViolationCycle, a.CEX.AttemptCycle, b.CEX.ViolationCycle, b.CEX.AttemptCycle)
+	}
+	if len(a.CEX.Inputs) != len(b.CEX.Inputs) {
+		return fmt.Sprintf("cex stimulus length %d vs %d", len(a.CEX.Inputs), len(b.CEX.Inputs))
+	}
+	for t := range a.CEX.Inputs {
+		for i := range a.CEX.Inputs[t] {
+			if a.CEX.Inputs[t][i] != b.CEX.Inputs[t][i] {
+				return fmt.Sprintf("cex stimulus differs at cycle %d input %d: %#x vs %#x",
+					t, i, a.CEX.Inputs[t][i], b.CEX.Inputs[t][i])
+			}
+		}
+	}
+	return ""
 }
 
 // replayViolation drives the recorded per-cycle inputs through a fresh

@@ -10,6 +10,7 @@ import (
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/corrector"
+	"assertionbench/internal/fpv"
 	"assertionbench/internal/llm"
 )
 
@@ -180,6 +181,13 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 		opt = opt.withDefaults()
 		if opt.Shots > len(examples) {
 			yield(DesignOutcome{}, fmt.Errorf("eval: %d-shot requested but only %d examples", opt.Shots, len(examples)))
+			return
+		}
+		// A bad backend string would otherwise surface as StatusError on
+		// every single verdict — a "successful" run of garbage metrics.
+		if !fpv.ValidBackend(opt.FPV.Backend) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: unknown execution backend %q (want %q or %q)",
+				opt.FPV.Backend, fpv.BackendCompiled, fpv.BackendInterp))
 			return
 		}
 		designs := corpus

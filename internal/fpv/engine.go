@@ -3,6 +3,7 @@ package fpv
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 
 	"assertionbench/internal/sim"
@@ -20,11 +21,15 @@ import (
 // An Engine is NOT safe for concurrent use; pool one per worker.
 type Engine struct {
 	// Per-netlist state, rebuilt only when the design under verification
-	// changes (Bind).
-	nl      *verilog.Netlist
-	sim     *sim.Simulator // BFS state loader
-	hunt    *sim.Simulator // random-walk / CEX-replay simulator
-	zeroEnv []uint64
+	// (or the execution backend) changes (Bind).
+	nl        *verilog.Netlist
+	backend   string
+	sim       *sim.Simulator // BFS state loader
+	hunt      *sim.Simulator // random-walk / CEX-replay simulator
+	zeroEnv   []uint64
+	regWidths []int    // per-register widths (state packing plan)
+	packBuf   []uint64 // bit-packed register scratch (StateBits() bits)
+	resetLike []bool   // per data input: name looks reset-ish (hunt bias)
 
 	// Per-call state.
 	c       *sva.Compiled
@@ -36,8 +41,8 @@ type Engine struct {
 	src          rand.Source
 	rng          *rand.Rand
 	nodes        []node
-	visitedExact map[string]struct{} // exhaustive mode: exact state keys
-	visitedHash  map[uint64]struct{} // bounded mode: hash compaction
+	visitedExact exactSet // exhaustive mode: exact state keys
+	visitedHash  u64Set   // bounded mode: hash compaction
 	keyBuf       []byte
 	histBuf      [][]uint64
 	regBuf       []uint64   // post-step register snapshot
@@ -95,31 +100,158 @@ func (e *Engine) copyU64(src []uint64) []uint64 {
 func NewEngine() *Engine {
 	src := rand.NewSource(1)
 	return &Engine{
-		src:          src,
-		rng:          rand.New(src),
-		visitedExact: map[string]struct{}{},
-		visitedHash:  map[uint64]struct{}{},
+		src: src,
+		rng: rand.New(src),
 	}
 }
 
-// Bind points the engine at a design. Binding the netlist it already holds
-// is free; a new netlist rebuilds the simulator pair. Verify* calls bind
-// automatically — this is exposed for callers that want to front-load the
-// cost.
-func (e *Engine) Bind(nl *verilog.Netlist) {
-	if e.nl == nl {
+// exactSet is a reused open-addressed set of exact state keys for
+// exhaustive mode: keys live in one flat arena (fixed length per call,
+// since a state key's layout is constant per (design, property)), slots
+// hold the key's arena index, and probing uses the 64-bit state hash the
+// engine computes anyway — collisions fall back to byte comparison, so
+// membership stays exact and proofs stay sound.
+type exactSet struct {
+	slots  []int32 // key ordinal+1; 0 = empty
+	hashes []uint64
+	arena  []byte
+	keyLen int
+	n      int
+}
+
+func (s *exactSet) reset(keyLen int) {
+	if s.slots == nil {
+		s.slots = make([]int32, 1<<10)
+		s.hashes = make([]uint64, 0, 1<<10)
+	}
+	clear(s.slots)
+	s.hashes = s.hashes[:0]
+	s.arena = s.arena[:0]
+	s.keyLen = keyLen
+	s.n = 0
+}
+
+// insert adds the (hash, key) pair and reports prior membership.
+func (s *exactSet) insert(h uint64, key []byte) bool {
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ord := s.slots[i]
+		if ord == 0 {
+			s.slots[i] = int32(s.n + 1)
+			s.hashes = append(s.hashes, h)
+			s.arena = append(s.arena, key...)
+			s.n++
+			if s.n*4 > len(s.slots)*3 {
+				s.grow()
+			}
+			return false
+		}
+		k := int(ord - 1)
+		if s.hashes[k] == h && string(s.arena[k*s.keyLen:(k+1)*s.keyLen]) == string(key) {
+			return true
+		}
+	}
+}
+
+func (s *exactSet) grow() {
+	s.slots = make([]int32, len(s.slots)*2)
+	mask := uint64(len(s.slots) - 1)
+	for k, h := range s.hashes {
+		for i := h & mask; ; i = (i + 1) & mask {
+			if s.slots[i] == 0 {
+				s.slots[i] = int32(k + 1)
+				break
+			}
+		}
+	}
+}
+
+// u64Set is a reused open-addressed set of non-zero 64-bit fingerprints:
+// the bounded-mode visited set sits on the hottest dedup path, and linear
+// probing over a flat slice beats a Go map there (no hashing of the
+// already-hashed key, no bucket indirection). Zero is reserved as the
+// empty slot; fingerprints are remapped off zero by the caller.
+type u64Set struct {
+	slots []uint64
+	n     int
+}
+
+func (s *u64Set) reset() {
+	if s.slots == nil {
+		s.slots = make([]uint64, 1<<10)
+	}
+	clear(s.slots)
+	s.n = 0
+}
+
+// insert adds v (non-zero) and reports whether it was already present.
+func (s *u64Set) insert(v uint64) bool {
+	mask := uint64(len(s.slots) - 1)
+	for i := v & mask; ; i = (i + 1) & mask {
+		switch s.slots[i] {
+		case v:
+			return true
+		case 0:
+			s.slots[i] = v
+			s.n++
+			if s.n*4 > len(s.slots)*3 {
+				s.grow()
+			}
+			return false
+		}
+	}
+}
+
+func (s *u64Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, len(old)*2)
+	mask := uint64(len(s.slots) - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		for i := v & mask; ; i = (i + 1) & mask {
+			if s.slots[i] == 0 {
+				s.slots[i] = v
+				break
+			}
+		}
+	}
+}
+
+// Bind points the engine at a design on the default (compiled) backend.
+// Binding the netlist it already holds is free; a new netlist rebuilds
+// the simulator pair. Verify* calls bind automatically — this is exposed
+// for callers that want to front-load the cost.
+func (e *Engine) Bind(nl *verilog.Netlist) { e.bind(nl, BackendCompiled) }
+
+func (e *Engine) bind(nl *verilog.Netlist, backend string) {
+	if e.nl == nl && e.backend == backend {
 		return
 	}
 	e.nl = nl
-	e.sim = sim.New(nl)
-	e.hunt = sim.New(nl)
+	e.backend = backend
+	if backend == BackendInterp {
+		e.sim = sim.New(nl)
+		e.hunt = sim.New(nl)
+	} else {
+		e.sim = sim.NewCompiled(nl)
+		e.hunt = sim.NewCompiled(nl)
+	}
 	e.zeroEnv = make([]uint64, len(nl.Nets))
 	e.regBuf = make([]uint64, len(nl.Regs))
 	e.envScratch = make([]uint64, len(nl.Nets))
 	e.widths = make([]int, len(nl.Inputs))
+	e.resetLike = make([]bool, len(nl.Inputs))
 	for i, idx := range nl.Inputs {
 		e.widths[i] = nl.Nets[idx].Width
+		e.resetLike[i] = isResetLike(nl.Nets[idx].Name)
 	}
+	e.regWidths = make([]int, len(nl.Regs))
+	for i, idx := range nl.Regs {
+		e.regWidths[i] = nl.Nets[idx].Width
+	}
+	e.packBuf = make([]uint64, (nl.StateBits()+63)/64)
 	e.enumVecs = nil
 	e.sampleVecs = nil
 	e.huntRing = nil
@@ -164,9 +296,20 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 		return Result{Status: StatusError, Err: err}
 	}
 	opt = opt.withDefaults()
-	e.Bind(nl)
+	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
+		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown backend %q", opt.Backend)}
+	}
+	e.bind(nl, opt.Backend)
 	e.c = c
-	e.mon = sva.NewMonitor(c)
+	if opt.Backend == BackendCompiled {
+		mon, err := sva.NewMonitorCompiled(c)
+		if err != nil {
+			return Result{Status: StatusError, Err: err}
+		}
+		e.mon = mon
+	} else {
+		e.mon = sva.NewMonitor(c)
+	}
 	e.opt = opt
 	e.support = nil
 	if c.PastDepth > 0 {
@@ -223,22 +366,23 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 	// uses exact state keys, so proofs are sound; bounded mode — already
 	// approximate by construction — uses 64-bit hash compaction to keep
 	// the visited set allocation-free.
-	clear(e.visitedExact)
-	clear(e.visitedHash)
+	e.visitedExact.reset(e.stateKeyLen())
+	e.visitedHash.reset()
 	nVisited := 0
 	seen := func(regs []uint64, alive, sat uint64, hist [][]uint64) bool {
 		if enumerate {
-			k := e.stateKey(regs, alive, sat, hist)
-			if _, ok := e.visitedExact[string(k)]; ok {
+			k, h := e.stateKeyHash(regs, alive, sat, hist)
+			if e.visitedExact.insert(h, k) {
 				return true
 			}
-			e.visitedExact[string(k)] = struct{}{}
 		} else {
 			h := e.stateHash(regs, alive, sat, hist)
-			if _, ok := e.visitedHash[h]; ok {
+			if h == 0 {
+				h = 1 // 0 is the set's empty-slot sentinel
+			}
+			if e.visitedHash.insert(h) {
 				return true
 			}
-			e.visitedHash[h] = struct{}{}
 		}
 		nVisited++
 		return false
@@ -349,35 +493,81 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 	return res
 }
 
-// stateKey encodes a product state exactly, into the engine's reused key
-// buffer: register values, the monitor's alive mask, and (when $past is
-// used) the history of the assertion's support nets. Exhaustive mode uses
-// these exact keys so Proven/Vacuous verdicts are sound; the caller
-// converts to string only on insertion (map lookups on string(buf) do
-// not allocate).
-func (e *Engine) stateKey(regs []uint64, alive, sat uint64, hist [][]uint64) []byte {
+// packRegs bit-packs the register values into the engine's scratch
+// buffer: one bit per state bit (StateBits() total) instead of one word
+// per register, in netlist Regs order. Values are invariantly masked to
+// their widths, so packing is injective — exact keys stay exact — while
+// visited-set keys and hashing shrink to the information-theoretic size
+// (a design with 40 one-bit registers keys on 5 bytes, not 320).
+func (e *Engine) packRegs(regs []uint64) []uint64 {
+	buf := e.packBuf
+	for i := range buf {
+		buf[i] = 0
+	}
+	pos := 0
+	for i, v := range regs {
+		w := e.regWidths[i]
+		word, off := pos>>6, uint(pos&63)
+		buf[word] |= v << off
+		if off+uint(w) > 64 {
+			buf[word+1] |= v >> (64 - off)
+		}
+		pos += w
+	}
+	return buf
+}
+
+// stateKeyHash encodes a product state exactly into the engine's reused
+// key buffer — bit-packed register values, the monitor's alive mask, and
+// (when $past is used) the history of the assertion's support nets — and
+// computes the probing hash over the same words in the same pass.
+// Exhaustive mode uses these exact keys so Proven/Vacuous verdicts are
+// sound.
+func (e *Engine) stateKeyHash(regs []uint64, alive, sat uint64, hist [][]uint64) ([]byte, uint64) {
 	buf := e.keyBuf[:0]
+	h := uint64(0x9E3779B97F4A7C15)
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
 	}
-	for _, v := range regs {
+	for _, v := range e.packRegs(regs) {
 		put(v)
 	}
 	put(alive)
 	if e.c.Ranged {
 		put(sat)
 	}
-	if e.c.PastDepth > 0 {
-		for _, h := range hist {
-			for _, idx := range e.support {
-				put(h[idx])
-			}
+	// Histories shorter than PastDepth pad with the zero env — exactly
+	// what the monitor substitutes for missing history, so the padded
+	// key identifies behaviourally identical states (and keys keep one
+	// fixed length per call, which the exact set's arena relies on).
+	for k := 0; k < e.c.PastDepth; k++ {
+		row := e.zeroEnv
+		if k < len(hist) {
+			row = hist[k]
+		}
+		for _, idx := range e.support {
+			put(row[idx])
 		}
 	}
 	e.keyBuf = buf
-	return buf
+	return buf, h
+}
+
+// stateKeyLen is the fixed byte length of this call's state keys.
+func (e *Engine) stateKeyLen() int {
+	words := len(e.packBuf) + 1
+	if e.c != nil && e.c.Ranged {
+		words++
+	}
+	if e.c != nil {
+		words += e.c.PastDepth * len(e.support)
+	}
+	return words * 8
 }
 
 // stateHash fingerprints a product state for bounded-mode deduplication.
@@ -395,18 +585,22 @@ func (e *Engine) stateHash(regs []uint64, alive, sat uint64, hist [][]uint64) ui
 		h *= 0xff51afd7ed558ccd
 		h ^= h >> 33
 	}
-	for _, v := range regs {
+	for _, v := range e.packRegs(regs) {
 		mix(v)
 	}
 	mix(alive)
 	if e.c.Ranged {
 		mix(sat)
 	}
-	if e.c.PastDepth > 0 {
-		for _, hh := range hist {
-			for _, idx := range e.support {
-				mix(hh[idx])
-			}
+	// Zero-pad short histories exactly as stateKey does: equal keys must
+	// hash equally for the exact set's probing to be correct.
+	for k := 0; k < e.c.PastDepth; k++ {
+		row := e.zeroEnv
+		if k < len(hist) {
+			row = hist[k]
+		}
+		for _, idx := range e.support {
+			mix(row[idx])
 		}
 	}
 	return h
@@ -585,7 +779,7 @@ func (e *Engine) randomStimulus(t int) []uint64 {
 	for i, idx := range e.nl.Inputs {
 		n := e.nl.Nets[idx]
 		vals[i] = e.rng.Uint64() & n.Mask()
-		if isResetLike(n.Name) {
+		if e.resetLike[i] {
 			if t < 2 {
 				vals[i] = 1 & n.Mask()
 			} else if e.rng.Intn(16) != 0 {

@@ -134,6 +134,25 @@ type Options struct {
 	RandomDepth int
 	// Seed makes bounded exploration deterministic. Default 1.
 	Seed int64
+	// Backend selects the execution engine for the search's hot loops:
+	// BackendCompiled (the default) runs design and monitor on the
+	// lowered register-machine programs, BackendInterp on the reference
+	// tree-walk. Verdicts are bit-identical (dverify oracle 4).
+	Backend string
+}
+
+// Execution backends.
+const (
+	BackendCompiled = "compiled"
+	BackendInterp   = "interp"
+)
+
+// ValidBackend reports whether s names an execution backend ("" selects
+// the default). Callers that accept user input (CLIs, the evaluation
+// runner) check this up front so a typo fails fast instead of turning
+// every verdict into StatusError.
+func ValidBackend(s string) bool {
+	return s == "" || s == BackendCompiled || s == BackendInterp
 }
 
 // withDefaults fills zero fields.
@@ -155,6 +174,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Backend == "" {
+		o.Backend = BackendCompiled
 	}
 	return o
 }

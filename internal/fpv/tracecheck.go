@@ -37,15 +37,37 @@ type StepFunc func(m *sva.Monitor, hist [][]uint64) sva.Outcome
 // and the differential harness: history is zero-padded before the trace
 // start (the power-on convention the model checker's root shares), so a
 // trace recorded from power-on is checked exactly as the engine would
-// explore it.
+// explore it. The monitor runs on the default compiled backend (falling
+// back to the closure evaluators only if lowering fails, which the
+// dverify harness would flag); CheckTraceBackend selects explicitly.
 func CheckTraceCompiled(nl *verilog.Netlist, c *sva.Compiled, tr *sim.Trace, step StepFunc) ([]TraceViolation, bool) {
+	v, nonVacuous, err := CheckTraceBackend(nl, c, tr, step, BackendCompiled)
+	if err != nil {
+		v, nonVacuous, _ = CheckTraceBackend(nl, c, tr, step, BackendInterp)
+	}
+	return v, nonVacuous
+}
+
+// CheckTraceBackend runs the trace-checking loop with the monitor on the
+// chosen execution backend. The only possible error is a lowering failure
+// on the compiled backend.
+func CheckTraceBackend(nl *verilog.Netlist, c *sva.Compiled, tr *sim.Trace, step StepFunc, backend string) ([]TraceViolation, bool, error) {
+	var mon *sva.Monitor
+	if backend == BackendCompiled {
+		m, err := sva.NewMonitorCompiled(c)
+		if err != nil {
+			return nil, false, err
+		}
+		mon = m
+	} else {
+		mon = sva.NewMonitor(c)
+	}
 	if step == nil {
 		step = func(m *sva.Monitor, hist [][]uint64) sva.Outcome { return m.Step(hist) }
 	}
 	var violations []TraceViolation
 	nonVacuous := false
 	zero := make([]uint64, len(nl.Nets))
-	mon := sva.NewMonitor(c)
 	hist := make([][]uint64, c.PastDepth+1)
 	for t := 0; t < tr.Len(); t++ {
 		hist[0] = tr.Cycles[t]
@@ -67,5 +89,5 @@ func CheckTraceCompiled(nl *verilog.Netlist, c *sva.Compiled, tr *sim.Trace, ste
 			})
 		}
 	}
-	return violations, nonVacuous
+	return violations, nonVacuous, nil
 }

@@ -21,27 +21,79 @@ import (
 	"assertionbench/internal/verilog"
 )
 
-// Simulator drives one elaborated netlist.
+// Simulator drives one elaborated netlist. Two execution backends share
+// the one Simulator type and behave bit-identically (the dverify harness
+// cross-checks them): New interprets the EExpr/EStmt tree directly (the
+// reference), NewCompiled executes the netlist's lowered register-machine
+// program (the default on hot paths).
 type Simulator struct {
 	nl  *verilog.Netlist
 	env []uint64
 	nba []verilog.NBWrite
+	// mach executes the compiled program when non-nil; env then aliases
+	// the machine frame's net slots.
+	mach *verilog.Machine
 	// settleLimit bounds fixpoint iteration for cyclic comb logic.
 	settleLimit int
 	cycle       int
+	// snapBuf is the reused change-detection scratch for the cyclic
+	// fixpoint fallback (no per-iteration allocation).
+	snapBuf []uint64
+	// regMasks/inMasks are the width masks of Regs/Inputs in netlist
+	// order, precomputed so the state-load hot path (the FPV search
+	// calls it once per explored input vector) touches no Net structs.
+	regMasks []uint64
+	inMasks  []uint64
+	// settled tracks whether comb logic is settled for the current env.
+	// Settle is a pure, idempotent function of the environment, so a
+	// repeated settle with no intervening write is skipped — the FPV
+	// search's load-observe-step cycle otherwise settles twice per
+	// explored input vector.
+	settled bool
 }
 
-// New returns a simulator in the power-on (all zero) state, with
-// combinational logic settled.
+func (s *Simulator) initMasks() {
+	s.regMasks = make([]uint64, len(s.nl.Regs))
+	for i, idx := range s.nl.Regs {
+		s.regMasks[i] = s.nl.Nets[idx].Mask()
+	}
+	s.inMasks = make([]uint64, len(s.nl.Inputs))
+	for i, idx := range s.nl.Inputs {
+		s.inMasks[i] = s.nl.Nets[idx].Mask()
+	}
+}
+
+// New returns a tree-walking simulator in the power-on (all zero) state,
+// with combinational logic settled.
 func New(nl *verilog.Netlist) *Simulator {
 	s := &Simulator{
 		nl:          nl,
 		env:         make([]uint64, len(nl.Nets)),
 		settleLimit: 64 + len(nl.Assigns) + len(nl.Combs),
 	}
+	s.initMasks()
 	s.settle()
 	return s
 }
+
+// NewCompiled returns a simulator executing the netlist's compiled
+// program (lowered once per netlist and shared), in the power-on state
+// with combinational logic settled. Verdict-for-verdict equivalent to
+// New; roughly an order of magnitude less interpretation overhead.
+func NewCompiled(nl *verilog.Netlist) *Simulator {
+	m := verilog.NewMachine(nl.Program())
+	s := &Simulator{
+		nl:   nl,
+		mach: m,
+		env:  m.Frame[:len(nl.Nets)],
+	}
+	s.initMasks()
+	s.settle()
+	return s
+}
+
+// Compiled reports whether the simulator runs the compiled backend.
+func (s *Simulator) Compiled() bool { return s.mach != nil }
 
 // Netlist returns the design under simulation.
 func (s *Simulator) Netlist() *verilog.Netlist { return s.nl }
@@ -76,6 +128,7 @@ func (s *Simulator) SetInput(name string, v uint64) error {
 		return fmt.Errorf("sim: net %q is not an input", name)
 	}
 	s.env[i] = v & n.Mask()
+	s.settled = false
 	return nil
 }
 
@@ -86,8 +139,9 @@ func (s *Simulator) SetInputs(vals []uint64) error {
 		return fmt.Errorf("sim: got %d input values, design has %d data inputs", len(vals), len(s.nl.Inputs))
 	}
 	for k, idx := range s.nl.Inputs {
-		s.env[idx] = vals[k] & s.nl.Nets[idx].Mask()
+		s.env[idx] = vals[k] & s.inMasks[k]
 	}
+	s.settled = false
 	return nil
 }
 
@@ -95,6 +149,14 @@ func (s *Simulator) SetInputs(vals []uint64) error {
 // acyclic order a single forward pass suffices (plus nothing else); cyclic
 // logic falls back to bounded fixpoint iteration.
 func (s *Simulator) settle() {
+	if s.settled {
+		return
+	}
+	s.settled = true
+	if s.mach != nil {
+		s.mach.Settle()
+		return
+	}
 	nets := s.nl.Nets
 	if s.nl.CombOrder != nil {
 		for _, item := range s.nl.CombOrder {
@@ -111,14 +173,14 @@ func (s *Simulator) settle() {
 		changed := false
 		for i := range s.nl.Assigns {
 			a := &s.nl.Assigns[i]
-			before := snapshotNets(s.env, a.LHS)
+			before := s.snapshotNets(a.LHS)
 			verilog.ExecAssign(a, nets, s.env)
 			if !sameNets(s.env, a.LHS, before) {
 				changed = true
 			}
 		}
 		for _, p := range s.nl.Combs {
-			before := snapshotIdx(s.env, p.Writes)
+			before := s.snapshotIdx(p.Writes)
 			verilog.ExecStmt(p.Body, nets, s.env, &s.nba)
 			if !sameIdx(s.env, p.Writes, before) {
 				changed = true
@@ -130,12 +192,17 @@ func (s *Simulator) settle() {
 	}
 }
 
-func snapshotNets(env []uint64, refs []verilog.LRef) []uint64 {
-	out := make([]uint64, len(refs))
-	for i, r := range refs {
-		out[i] = env[r.Net]
+// snapshotNets and snapshotIdx capture the about-to-be-written values
+// into the simulator's reused scratch buffer: the fixpoint fallback runs
+// them once per unit per iteration, so per-call allocation would dominate
+// cyclic designs. Only one snapshot is live at a time.
+func (s *Simulator) snapshotNets(refs []verilog.LRef) []uint64 {
+	buf := s.snapBuf[:0]
+	for _, r := range refs {
+		buf = append(buf, s.env[r.Net])
 	}
-	return out
+	s.snapBuf = buf
+	return buf
 }
 
 func sameNets(env []uint64, refs []verilog.LRef, before []uint64) bool {
@@ -147,12 +214,13 @@ func sameNets(env []uint64, refs []verilog.LRef, before []uint64) bool {
 	return true
 }
 
-func snapshotIdx(env []uint64, idx []int) []uint64 {
-	out := make([]uint64, len(idx))
-	for i, n := range idx {
-		out[i] = env[n]
+func (s *Simulator) snapshotIdx(idx []int) []uint64 {
+	buf := s.snapBuf[:0]
+	for _, n := range idx {
+		buf = append(buf, s.env[n])
 	}
-	return out
+	s.snapBuf = buf
+	return buf
 }
 
 func sameIdx(env []uint64, idx []int, before []uint64) bool {
@@ -172,13 +240,22 @@ func (s *Simulator) Settle() { s.settle() }
 // Step advances one clock cycle with the currently driven inputs.
 func (s *Simulator) Step() {
 	s.settle()
-	s.nba = s.nba[:0]
-	for _, p := range s.nl.Seqs {
-		verilog.ExecStmt(p.Body, s.nl.Nets, s.env, &s.nba)
+	if s.mach != nil {
+		// Drop comb-settle NB writes (never applied, matching the
+		// interpreter), run the seq section, commit the edge's writes.
+		s.mach.NBA = s.mach.NBA[:0]
+		s.mach.ExecSeq()
+		s.mach.CommitNBA()
+	} else {
+		s.nba = s.nba[:0]
+		for _, p := range s.nl.Seqs {
+			verilog.ExecStmt(p.Body, s.nl.Nets, s.env, &s.nba)
+		}
+		for _, w := range s.nba {
+			w.Apply(s.env)
+		}
 	}
-	for _, w := range s.nba {
-		w.Apply(s.env)
-	}
+	s.settled = false
 	s.settle()
 	s.cycle++
 }
@@ -219,7 +296,11 @@ func (s *Simulator) ResetState() {
 		s.env[i] = 0
 	}
 	s.nba = s.nba[:0]
+	if s.mach != nil {
+		s.mach.NBA = s.mach.NBA[:0]
+	}
 	s.cycle = 0
+	s.settled = false
 	s.settle()
 }
 
@@ -245,8 +326,9 @@ func (s *Simulator) LoadState(state []uint64) error {
 		return fmt.Errorf("sim: state has %d entries, design has %d registers", len(state), len(s.nl.Regs))
 	}
 	for i, idx := range s.nl.Regs {
-		s.env[idx] = state[i] & s.nl.Nets[idx].Mask()
+		s.env[idx] = state[i] & s.regMasks[i]
 	}
+	s.settled = false
 	s.settle()
 	return nil
 }
@@ -262,11 +344,12 @@ func (s *Simulator) LoadStateWithInputs(state, inputs []uint64) error {
 		return fmt.Errorf("sim: got %d input values, design has %d data inputs", len(inputs), len(s.nl.Inputs))
 	}
 	for i, idx := range s.nl.Regs {
-		s.env[idx] = state[i] & s.nl.Nets[idx].Mask()
+		s.env[idx] = state[i] & s.regMasks[i]
 	}
 	for i, idx := range s.nl.Inputs {
-		s.env[idx] = inputs[i] & s.nl.Nets[idx].Mask()
+		s.env[idx] = inputs[i] & s.inMasks[i]
 	}
+	s.settled = false
 	s.settle()
 	return nil
 }

@@ -2,6 +2,7 @@ package sva
 
 import (
 	"fmt"
+	"sync"
 
 	"assertionbench/internal/verilog"
 )
@@ -51,6 +52,13 @@ type Compiled struct {
 	anteFns []EvalFn
 	consFns []EvalFn
 	support map[int]bool
+	nl      *verilog.Netlist
+
+	// Program-backed evaluators, lowered lazily (see lower.go) and shared
+	// by every compiled-backend monitor over this assertion.
+	lowerOnce sync.Once
+	low       *loweredChecker
+	lowErr    error
 }
 
 // RangedConsHolds evaluates the single ranged consequent at the current
@@ -61,7 +69,7 @@ func (c *Compiled) RangedConsHolds(hist [][]uint64) bool {
 
 // Compile type-checks a parsed assertion against nl and builds evaluators.
 func Compile(a *Assertion, nl *verilog.Netlist) (*Compiled, error) {
-	c := &Compiled{Assertion: a, support: map[int]bool{}}
+	c := &Compiled{Assertion: a, support: map[int]bool{}, nl: nl}
 
 	anteOffs := make([]int, len(a.Ante))
 	off := 0

@@ -1,0 +1,364 @@
+package sva
+
+// Lowering of compiled assertion evaluators into the flat register-machine
+// program of internal/verilog. Each boolean-layer function (one per
+// antecedent/consequent step) becomes a program fragment reading sampled
+// histories through IHist; a program-backed Monitor then evaluates a step
+// as a fragment call instead of a closure-tree walk, so the FPV engine and
+// the trace checker run netlist and monitor on the same machine model.
+//
+// Every case mirrors compileVal's width and masking rules exactly — the
+// closure evaluators stay as the reference interpreter, and the dverify
+// backend oracle plus the operator tests cross-check the two.
+
+import (
+	"fmt"
+
+	"assertionbench/internal/verilog"
+)
+
+// loweredChecker is the compiled-program form of a Compiled assertion's
+// evaluators, built once per Compiled and shared by all its machines.
+type loweredChecker struct {
+	prog      *verilog.Program
+	anteFrags []verilog.Frag
+	consFrags []verilog.Frag
+}
+
+// lower returns the assertion's program fragments, lowering on first use.
+// Concurrent monitors over one Compiled share a single lowering.
+func (c *Compiled) lower() (*loweredChecker, error) {
+	c.lowerOnce.Do(func() { c.low, c.lowErr = lowerCompiled(c) })
+	return c.low, c.lowErr
+}
+
+func lowerCompiled(c *Compiled) (*loweredChecker, error) {
+	b := verilog.NewProgBuilder(0)
+	lc := &loweredChecker{}
+	frag := func(e verilog.Expr) (verilog.Frag, error) {
+		start := b.PC()
+		mark := b.Mark()
+		slot, _, err := lowerVal(b, e, c.nl, 0)
+		b.Release(mark)
+		if err != nil {
+			return verilog.Frag{}, err
+		}
+		return verilog.Frag{Start: start, End: b.PC(), Result: slot}, nil
+	}
+	for _, s := range c.Assertion.Ante {
+		f, err := frag(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lc.anteFrags = append(lc.anteFrags, f)
+	}
+	for _, s := range c.Assertion.Cons {
+		f, err := frag(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lc.consFrags = append(lc.consFrags, f)
+	}
+	lc.prog = b.Build()
+	return lc, nil
+}
+
+// lowerVal lowers one boolean-layer expression, returning the result slot
+// and its width. shift is the accumulated $past depth: every signal read
+// at this point samples hist[shift+...]. The width arithmetic tracks
+// compileVal line for line.
+func lowerVal(b *verilog.ProgBuilder, e verilog.Expr, nl *verilog.Netlist, shift int) (int32, int, error) {
+	mark := b.Mark()
+	res := func(op verilog.IOp, a, bb int32, imm uint64) int32 {
+		b.Release(mark)
+		dst := b.Temp()
+		b.Emit(op, dst, a, bb, imm)
+		return dst
+	}
+	switch v := e.(type) {
+	case *verilog.Number:
+		w := numWidth(v)
+		return res(verilog.IConst, 0, 0, v.Value&verilog.WidthMask(w)), w, nil
+
+	case *verilog.Ident:
+		idx := nl.NetIndex(v.Name)
+		if idx < 0 {
+			return 0, 0, fmt.Errorf("unknown signal %q", v.Name)
+		}
+		return res(verilog.IHist, int32(idx), int32(shift), 0), nl.Nets[idx].Width, nil
+
+	case *verilog.Call:
+		return lowerCall(b, v, nl, shift)
+
+	case *verilog.Index:
+		base, baseW, err := lowerVal(b, v.Base, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lit, ok := litValue(v.Idx); ok && int(lit) >= baseW {
+			return 0, 0, fmt.Errorf("bit index %d out of range (width %d)", lit, baseW)
+		}
+		idx, _, err := lowerVal(b, v.Idx, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res(verilog.IBitRead, base, idx, 0), 1, nil
+
+	case *verilog.PartSelect:
+		base, baseW, err := lowerVal(b, v.Base, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		msb, ok1 := litValue(v.MSB)
+		lsb, ok2 := litValue(v.LSB)
+		if !ok1 || !ok2 || msb < lsb || int(msb) >= baseW {
+			return 0, 0, fmt.Errorf("invalid part-select bounds")
+		}
+		w := int(msb-lsb) + 1
+		return res(verilog.IPartRead, base, int32(lsb), verilog.WidthMask(w)), w, nil
+
+	case *verilog.Unary:
+		x, xw, err := lowerVal(b, v.X, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch v.Op {
+		case "~":
+			return res(verilog.INot, x, 0, verilog.WidthMask(xw)), xw, nil
+		case "!":
+			return res(verilog.ILogNot, x, 0, 0), 1, nil
+		case "-":
+			return res(verilog.INeg, x, 0, verilog.WidthMask(xw)), xw, nil
+		case "&":
+			return res(verilog.IRedAnd, x, 0, verilog.WidthMask(xw)), 1, nil
+		case "|":
+			return res(verilog.IRedOr, x, 0, 0), 1, nil
+		case "^":
+			return res(verilog.IRedXor, x, 0, 0), 1, nil
+		case "~&":
+			return res(verilog.IRedNand, x, 0, verilog.WidthMask(xw)), 1, nil
+		case "~|":
+			return res(verilog.IRedNor, x, 0, 0), 1, nil
+		case "~^", "^~":
+			return res(verilog.IRedXnor, x, 0, 0), 1, nil
+		}
+		return 0, 0, fmt.Errorf("unsupported unary operator %q", v.Op)
+
+	case *verilog.Binary:
+		// Equality against a literal (the dominant SVA atom, `sig == N`)
+		// fuses the constant into the compare's immediate. The literal's
+		// value is masked exactly as compileVal's Number case masks it.
+		if v.Op == "==" || v.Op == "===" || v.Op == "!=" || v.Op == "!==" {
+			other, num := v.X, v.Y
+			if _, ok := other.(*verilog.Number); ok {
+				other, num = v.Y, v.X
+			}
+			if n, ok := num.(*verilog.Number); ok {
+				imm := n.Value & verilog.WidthMask(numWidth(n))
+				ne := v.Op == "!=" || v.Op == "!=="
+				// `sig ==/!= K` collapses to one fused history compare.
+				if id, ok := other.(*verilog.Ident); ok {
+					if idx := nl.NetIndex(id.Name); idx >= 0 {
+						op := verilog.IHistCmpEqImm
+						if ne {
+							op = verilog.IHistCmpNeImm
+						}
+						return res(op, int32(idx), int32(shift), imm), 1, nil
+					}
+				}
+				x, _, err := lowerVal(b, other, nl, shift)
+				if err != nil {
+					return 0, 0, err
+				}
+				op := verilog.ICmpEqImm
+				if ne {
+					op = verilog.ICmpNeImm
+				}
+				return res(op, x, 0, imm), 1, nil
+			}
+		}
+		x, xw, err := lowerVal(b, v.X, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		y, yw, err := lowerVal(b, v.Y, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		w := maxi(xw, yw)
+		mask := verilog.WidthMask(w)
+		bin := func(op verilog.IOp, rw int, imm uint64) (int32, int, error) {
+			return res(op, x, y, imm), rw, nil
+		}
+		switch v.Op {
+		case "+":
+			return bin(verilog.IAdd, w, mask)
+		case "-":
+			return bin(verilog.ISub, w, mask)
+		case "*":
+			return bin(verilog.IMul, w, mask)
+		case "/":
+			return bin(verilog.IDiv, w, mask)
+		case "%":
+			return bin(verilog.IMod, w, mask)
+		case "&":
+			return bin(verilog.IAnd, w, 0)
+		case "|":
+			return bin(verilog.IOr, w, 0)
+		case "^":
+			return bin(verilog.IXor, w, 0)
+		case "~^", "^~":
+			return bin(verilog.IXnor, w, mask)
+		case "&&":
+			return bin(verilog.ILogAnd, 1, 0)
+		case "||":
+			return bin(verilog.ILogOr, 1, 0)
+		case "==", "===":
+			return bin(verilog.IEq, 1, 0)
+		case "!=", "!==":
+			return bin(verilog.INe, 1, 0)
+		case "<":
+			return bin(verilog.ILt, 1, 0)
+		case "<=":
+			return bin(verilog.ILe, 1, 0)
+		case ">":
+			return bin(verilog.IGt, 1, 0)
+		case ">=":
+			return bin(verilog.IGe, 1, 0)
+		case "<<":
+			// Shifts mask with the LEFT operand's width, like compileVal.
+			return bin(verilog.IShl, xw, verilog.WidthMask(xw))
+		case ">>":
+			return bin(verilog.IShr, xw, 0)
+		}
+		return 0, 0, fmt.Errorf("unsupported binary operator %q", v.Op)
+
+	case *verilog.Ternary:
+		cond, _, err := lowerVal(b, v.Cond, nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		b.Release(mark)
+		dst := b.Temp()
+		jz := b.Emit(verilog.IJz, 0, cond, 0, 0)
+		_, tw, err := lowerInto(b, v.Then, nl, shift, dst)
+		if err != nil {
+			return 0, 0, err
+		}
+		jend := b.Emit(verilog.IJmp, 0, 0, 0, 0)
+		b.Patch(jz, b.PC())
+		_, ew, err := lowerInto(b, v.Else, nl, shift, dst)
+		if err != nil {
+			return 0, 0, err
+		}
+		b.Patch(jend, b.PC())
+		return dst, maxi(tw, ew), nil
+
+	case *verilog.Concat:
+		b.Release(mark)
+		dst := b.Temp()
+		b.Emit(verilog.IConst, dst, 0, 0, 0)
+		total := 0
+		inner := b.Mark()
+		for _, part := range v.Parts {
+			p, w, err := lowerVal(b, part, nl, shift)
+			if err != nil {
+				return 0, 0, err
+			}
+			b.Emit(verilog.IConcat, dst, p, int32(w), verilog.WidthMask(w))
+			b.Release(inner)
+			total += w
+		}
+		if total > 64 {
+			return 0, 0, fmt.Errorf("concatenation wider than 64 bits")
+		}
+		return dst, total, nil
+	}
+	return 0, 0, fmt.Errorf("unsupported expression form %T", e)
+}
+
+// numWidth is the boolean layer's self-determined literal width — the
+// same rule compileVal's Number case applies, kept in one place so the
+// closure and compiled backends cannot drift.
+func numWidth(n *verilog.Number) int {
+	if n.Width != 0 {
+		return n.Width
+	}
+	if n.Value >= 1<<32 {
+		return 64
+	}
+	return 32
+}
+
+// lowerInto lowers e forcing the result into dst.
+func lowerInto(b *verilog.ProgBuilder, e verilog.Expr, nl *verilog.Netlist, shift int, dst int32) (int32, int, error) {
+	mark := b.Mark()
+	s, w, err := lowerVal(b, e, nl, shift)
+	b.Release(mark)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s != dst {
+		b.Emit(verilog.IMove, dst, s, 0, 0)
+	}
+	return dst, w, nil
+}
+
+func lowerCall(b *verilog.ProgBuilder, v *verilog.Call, nl *verilog.Netlist, shift int) (int32, int, error) {
+	mark := b.Mark()
+	switch v.Name {
+	case "$past":
+		n := 1
+		if len(v.Args) == 2 {
+			lit, ok := litValue(v.Args[1])
+			if !ok {
+				return 0, 0, fmt.Errorf("$past depth must be a literal")
+			}
+			n = int(lit)
+		}
+		return lowerVal(b, v.Args[0], nl, shift+n)
+	case "$rose", "$fell":
+		cur, _, err := lowerVal(b, v.Args[0], nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		prev, _, err := lowerVal(b, v.Args[0], nl, shift+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		// LSB edge detect: both operands reduce to bit 0, so the result
+		// is (cur&1) &^ (prev&1) for $rose and the mirror for $fell.
+		c0 := b.Temp()
+		b.Emit(verilog.IAndImm, c0, cur, 0, 1)
+		p0 := b.Temp()
+		b.Emit(verilog.IAndImm, p0, prev, 0, 1)
+		b.Release(mark)
+		dst := b.Temp()
+		if v.Name == "$rose" {
+			b.Emit(verilog.ILogNot, dst, p0, 0, 0)
+			b.Emit(verilog.IAnd, dst, c0, dst, 0)
+		} else {
+			b.Emit(verilog.ILogNot, dst, c0, 0, 0)
+			b.Emit(verilog.IAnd, dst, p0, dst, 0)
+		}
+		return dst, 1, nil
+	case "$stable", "$changed":
+		cur, _, err := lowerVal(b, v.Args[0], nl, shift)
+		if err != nil {
+			return 0, 0, err
+		}
+		prev, _, err := lowerVal(b, v.Args[0], nl, shift+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		b.Release(mark)
+		dst := b.Temp()
+		if v.Name == "$stable" {
+			b.Emit(verilog.IEq, dst, cur, prev, 0)
+		} else {
+			b.Emit(verilog.INe, dst, cur, prev, 0)
+		}
+		return dst, 1, nil
+	}
+	return 0, 0, fmt.Errorf("unsupported system function %s", v.Name)
+}

@@ -6,6 +6,12 @@ import "assertionbench/internal/verilog"
 // window of evaluation attempts, one started per cycle. It is the single
 // monitor implementation shared by the FPV engine (where its state enters
 // the product state space), the trace checker, and the coverage analysis.
+//
+// Two evaluation backends share the one stepping algorithm and behave
+// bit-identically (cross-checked by internal/dverify): NewMonitor walks
+// the closure evaluators built at Compile time (the reference), and
+// NewMonitorCompiled runs the assertion's lowered register-machine
+// program, making each antecedent/consequent check a flat program call.
 type Monitor struct {
 	c *Compiled
 	// alive bit k: the attempt of age k is still matching.
@@ -13,11 +19,28 @@ type Monitor struct {
 	// sat bit k: a ranged consequent already held for the age-k attempt.
 	sat  uint64
 	mask uint64
+	// mach executes the lowered evaluator program when non-nil.
+	mach *verilog.Machine
+	low  *loweredChecker
 }
 
-// NewMonitor returns a monitor in the no-attempts state.
+// NewMonitor returns a closure-evaluating monitor in the no-attempts
+// state.
 func NewMonitor(c *Compiled) *Monitor {
 	return &Monitor{c: c, mask: verilog.WidthMask(c.Window)}
+}
+
+// NewMonitorCompiled returns a monitor evaluating the assertion's lowered
+// program (shared per Compiled; the machine frame is this monitor's own).
+func NewMonitorCompiled(c *Compiled) (*Monitor, error) {
+	low, err := c.lower()
+	if err != nil {
+		return nil, err
+	}
+	m := NewMonitor(c)
+	m.low = low
+	m.mach = verilog.NewMachine(low.prog)
+	return m, nil
 }
 
 // Compiled returns the assertion the monitor runs.
@@ -31,6 +54,22 @@ func (m *Monitor) SetState(alive, sat uint64) { m.alive, m.sat = alive, sat }
 
 // Reset clears all attempts.
 func (m *Monitor) Reset() { m.alive, m.sat = 0, 0 }
+
+// evalAnte evaluates antecedent step i over hist on the monitor's backend.
+func (m *Monitor) evalAnte(i int, hist [][]uint64) uint64 {
+	if m.mach != nil {
+		return m.mach.ExecFrag(m.low.anteFrags[i], hist)
+	}
+	return m.c.anteFns[i](hist)
+}
+
+// evalCons evaluates consequent step i over hist on the monitor's backend.
+func (m *Monitor) evalCons(i int, hist [][]uint64) uint64 {
+	if m.mach != nil {
+		return m.mach.ExecFrag(m.low.consFrags[i], hist)
+	}
+	return m.c.consFns[i](hist)
+}
 
 // Outcome reports what one monitor step observed.
 type Outcome struct {
@@ -62,7 +101,7 @@ func (m *Monitor) Step(hist [][]uint64) Outcome {
 		// Antecedent checks scheduled at this age.
 		failed := false
 		for _, i := range c.AtAge[age].Ante {
-			if c.anteFns[i](hist) == 0 {
+			if m.evalAnte(i, hist) == 0 {
 				failed = true
 				break
 			}
@@ -76,7 +115,7 @@ func (m *Monitor) Step(hist [][]uint64) Outcome {
 			out.AnteCompleted = true
 		}
 		if c.Ranged {
-			if age >= c.ConsLoAge && age <= c.ConsHiAge && c.RangedConsHolds(hist) {
+			if age >= c.ConsLoAge && age <= c.ConsHiAge && m.evalCons(0, hist) != 0 {
 				sat |= bit
 			}
 			if age == c.ConsHiAge && sat&bit == 0 {
@@ -89,7 +128,7 @@ func (m *Monitor) Step(hist [][]uint64) Outcome {
 			continue
 		}
 		for _, i := range c.AtAge[age].Cons {
-			if c.consFns[i](hist) == 0 {
+			if m.evalCons(i, hist) == 0 {
 				if !out.Violated {
 					out.Violated = true
 					out.ViolatedAge = age

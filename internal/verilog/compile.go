@@ -1,0 +1,573 @@
+package verilog
+
+// Lowering from the elaborated EExpr/EStmt forms to the flat program of
+// ir.go. The rules mirror the interpreter in exec.go operation for
+// operation (same masks, same division-by-zero and out-of-range-shift
+// conventions, same case-label ordering), which the differential operator
+// tests and the dverify backend oracle enforce.
+
+// ProgBuilder assembles a Program. The zero temp watermark sits just
+// above the net slots; expression lowering allocates temporaries
+// stack-wise (Mark/Release) so one statement's temps are reused by the
+// next and the frame stays small.
+type ProgBuilder struct {
+	code     []Instr
+	cases    []caseTable
+	nbConsts []NBWrite
+	roms     []romTable
+	numNets  int
+	tempTop  int32
+	maxSlot  int32
+}
+
+// NewProgBuilder starts a program whose first numNets slots alias nets.
+func NewProgBuilder(numNets int) *ProgBuilder {
+	return &ProgBuilder{numNets: numNets, tempTop: int32(numNets), maxSlot: int32(numNets)}
+}
+
+// PC returns the next instruction's index.
+func (b *ProgBuilder) PC() int { return len(b.code) }
+
+// Emit appends one instruction and returns its index.
+func (b *ProgBuilder) Emit(op IOp, dst, a, bb int32, imm uint64) int {
+	b.code = append(b.code, Instr{Op: op, Dst: dst, A: a, B: bb, Imm: imm})
+	return len(b.code) - 1
+}
+
+// Patch sets the jump target of the branch at pc.
+func (b *ProgBuilder) Patch(pc, target int) { b.code[pc].Dst = int32(target) }
+
+// Temp allocates the next temporary slot.
+func (b *ProgBuilder) Temp() int32 {
+	s := b.tempTop
+	b.tempTop++
+	if b.tempTop > b.maxSlot {
+		b.maxSlot = b.tempTop
+	}
+	return s
+}
+
+// Mark returns the temp watermark; Release rewinds to it, recycling every
+// temporary allocated since the matching Mark.
+func (b *ProgBuilder) Mark() int32        { return b.tempTop }
+func (b *ProgBuilder) Release(mark int32) { b.tempTop = mark }
+
+// Build finalizes the shared fields. Section bounds and fragments are the
+// caller's to fill in.
+func (b *ProgBuilder) Build() *Program {
+	return &Program{Code: b.code, Cases: b.cases, Roms: b.roms, NBConsts: b.nbConsts, NumNets: b.numNets, NumSlots: int(b.maxSlot)}
+}
+
+// CompileNetlist lowers an elaborated netlist into its execution program:
+// the comb section holds continuous assigns and combinational processes
+// (in CombOrder when acyclic, as fixpoint fragments otherwise), the seq
+// section every edge-triggered process.
+func CompileNetlist(nl *Netlist) *Program {
+	b := NewProgBuilder(len(nl.Nets))
+	c := &netCompiler{b: b, nl: nl}
+
+	var frags []Frag
+	combStart := b.PC()
+	if nl.CombOrder != nil {
+		for _, item := range nl.CombOrder {
+			if item < len(nl.Assigns) {
+				c.assign(&nl.Assigns[item])
+			} else {
+				c.stmt(nl.Combs[item-len(nl.Assigns)].Body)
+			}
+		}
+	} else {
+		// Cyclic comb logic: one fragment per unit, in the interpreter's
+		// fixpoint order (assigns first, then processes).
+		for i := range nl.Assigns {
+			a := &nl.Assigns[i]
+			start := b.PC()
+			c.assign(a)
+			writes := make([]int32, len(a.LHS))
+			for k, r := range a.LHS {
+				writes[k] = int32(r.Net)
+			}
+			frags = append(frags, Frag{Start: start, End: b.PC(), Writes: writes})
+		}
+		for _, p := range nl.Combs {
+			start := b.PC()
+			c.stmt(p.Body)
+			writes := make([]int32, len(p.Writes))
+			for k, n := range p.Writes {
+				writes[k] = int32(n)
+			}
+			frags = append(frags, Frag{Start: start, End: b.PC(), Writes: writes})
+		}
+	}
+	combEnd := b.PC()
+
+	seqStart := b.PC()
+	for _, p := range nl.Seqs {
+		c.stmt(p.Body)
+	}
+	seqEnd := b.PC()
+
+	p := b.Build()
+	p.CombStart, p.CombEnd = combStart, combEnd
+	p.SeqStart, p.SeqEnd = seqStart, seqEnd
+	p.Acyclic = nl.CombOrder != nil
+	p.CombFrags = frags
+	p.SettleLimit = 64 + len(nl.Assigns) + len(nl.Combs)
+	return p
+}
+
+type netCompiler struct {
+	b  *ProgBuilder
+	nl *Netlist
+}
+
+// expr lowers e and returns the slot holding its value. Net reads return
+// the net slot itself (no copy); everything else lands in a temporary at
+// the caller's current watermark. The emitting instruction reads all
+// operands before writing Dst, so a result slot may alias an operand.
+func (c *netCompiler) expr(e *EExpr) int32 {
+	b := c.b
+	mark := b.Mark()
+	res := func(op IOp, a, bb int32, imm uint64) int32 {
+		b.Release(mark)
+		dst := b.Temp()
+		b.Emit(op, dst, a, bb, imm)
+		return dst
+	}
+	switch e.Op {
+	case OpConst:
+		return res(IConst, 0, 0, e.Val)
+	case OpNet:
+		return int32(e.Net)
+	case OpIndex:
+		idx := c.expr(e.A)
+		return res(IBitRead, int32(e.Net), idx, 0)
+	case OpPart:
+		return res(IPartRead, int32(e.Net), int32(e.Lo), WidthMask(e.W))
+	case OpNot:
+		return res(INot, c.expr(e.A), 0, WidthMask(e.W))
+	case OpLogNot:
+		return res(ILogNot, c.expr(e.A), 0, 0)
+	case OpNeg:
+		return res(INeg, c.expr(e.A), 0, WidthMask(e.W))
+	case OpRedAnd:
+		return res(IRedAnd, c.expr(e.A), 0, WidthMask(e.A.W))
+	case OpRedOr:
+		return res(IRedOr, c.expr(e.A), 0, 0)
+	case OpRedXor:
+		return res(IRedXor, c.expr(e.A), 0, 0)
+	case OpRedNand:
+		return res(IRedNand, c.expr(e.A), 0, WidthMask(e.A.W))
+	case OpRedNor:
+		return res(IRedNor, c.expr(e.A), 0, 0)
+	case OpRedXnor:
+		return res(IRedXnor, c.expr(e.A), 0, 0)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpPow, OpXnor:
+		ops := map[EOp]IOp{OpAdd: IAdd, OpSub: ISub, OpMul: IMul, OpDiv: IDiv, OpMod: IMod, OpPow: IPow, OpXnor: IXnor}
+		a := c.expr(e.A)
+		bb := c.expr(e.B)
+		return res(ops[e.Op], a, bb, WidthMask(e.W))
+	case OpAnd, OpOr, OpXor, OpLogAnd, OpLogOr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		// Equality against a constant (the dominant condition shape)
+		// fuses the operand into the compare's immediate.
+		if e.Op == OpEq || e.Op == OpNe {
+			op := ICmpEqImm
+			if e.Op == OpNe {
+				op = ICmpNeImm
+			}
+			if e.B.Op == OpConst {
+				return res(op, c.expr(e.A), 0, e.B.Val)
+			}
+			if e.A.Op == OpConst {
+				return res(op, c.expr(e.B), 0, e.A.Val)
+			}
+		}
+		ops := map[EOp]IOp{OpAnd: IAnd, OpOr: IOr, OpXor: IXor, OpLogAnd: ILogAnd, OpLogOr: ILogOr,
+			OpEq: IEq, OpNe: INe, OpLt: ILt, OpLe: ILe, OpGt: IGt, OpGe: IGe}
+		a := c.expr(e.A)
+		bb := c.expr(e.B)
+		return res(ops[e.Op], a, bb, 0)
+	case OpShl:
+		a := c.expr(e.A)
+		s := c.expr(e.B)
+		return res(IShl, a, s, WidthMask(e.W))
+	case OpShr:
+		a := c.expr(e.A)
+		s := c.expr(e.B)
+		return res(IShr, a, s, 0)
+	case OpTernary:
+		cond := c.expr(e.A)
+		b.Release(mark)
+		dst := b.Temp()
+		jz := b.Emit(IJz, 0, cond, 0, 0)
+		c.exprInto(e.B, dst)
+		jend := b.Emit(IJmp, 0, 0, 0, 0)
+		b.Patch(jz, b.PC())
+		c.exprInto(e.C, dst)
+		b.Patch(jend, b.PC())
+		return dst
+	case OpConcat:
+		b.Release(mark)
+		dst := b.Temp()
+		b.Emit(IConst, dst, 0, 0, 0)
+		inner := b.Mark()
+		for _, part := range e.Parts {
+			p := c.expr(part)
+			b.Emit(IConcat, dst, p, int32(part.W), WidthMask(part.W))
+			b.Release(inner)
+		}
+		b.Emit(IAndImm, dst, dst, 0, WidthMask(e.W))
+		return dst
+	}
+	panic("verilog: unknown expression op in lowering")
+}
+
+// exprInto lowers e, forcing the result into dst.
+func (c *netCompiler) exprInto(e *EExpr, dst int32) {
+	mark := c.b.Mark()
+	s := c.expr(e)
+	c.b.Release(mark)
+	if s != dst {
+		c.b.Emit(IMove, dst, s, 0, 0)
+	}
+}
+
+// storeRef emits the store of the value in slot v through one LRef,
+// blocking or non-blocking.
+func (c *netCompiler) storeRef(l *LRef, v int32, blocking bool) {
+	b := c.b
+	net := int32(l.Net)
+	width := c.nl.Nets[l.Net].Width
+	switch {
+	case l.IsBit:
+		idx := c.expr(l.BitIdx)
+		if blocking {
+			b.Emit(IStoreBit, net, v, idx, uint64(width))
+		} else {
+			b.Emit(INBStoreBit, net, v, idx, uint64(width))
+		}
+	case l.IsPart:
+		if blocking {
+			b.Emit(IStorePart, net, v, int32(l.Lo), WidthMask(l.W))
+		} else {
+			b.Emit(INBStorePart, net, v, int32(l.Lo), WidthMask(l.W))
+		}
+	default:
+		if blocking {
+			b.Emit(IStore, net, v, 0, WidthMask(width))
+		} else {
+			b.Emit(INBStore, net, v, 0, WidthMask(width))
+		}
+	}
+}
+
+// assignRefs distributes the value in slot v over the (possibly
+// concatenated, MSB-first) LHS refs, from the LSB end — the interpreter's
+// exact order, including the order NB writes are appended in.
+func (c *netCompiler) assignRefs(lhs []LRef, v int32, blocking bool) {
+	b := c.b
+	if len(lhs) == 1 {
+		c.storeRef(&lhs[0], v, blocking)
+		return
+	}
+	shift := 0
+	for i := len(lhs) - 1; i >= 0; i-- {
+		l := &lhs[i]
+		w := refWidth(l, c.nl.Nets)
+		mark := b.Mark()
+		part := b.Temp()
+		b.Emit(IPartRead, part, v, int32(shift), WidthMask(w))
+		c.storeRef(l, part, blocking)
+		b.Release(mark)
+		shift += w
+	}
+}
+
+// emitBranchIfFalse emits a branch taken when the condition in slot cond
+// is zero, fusing a condition that just compiled to an immediate compare
+// or logical-not into the branch itself. Returns the branch's pc for
+// patching.
+func (c *netCompiler) emitBranchIfFalse(cond int32) int {
+	b := c.b
+	if last := b.PC() - 1; last >= 0 && cond >= int32(b.numNets) {
+		in := &b.code[last]
+		if in.Dst == cond {
+			switch in.Op {
+			case ICmpEqImm:
+				// (x == K) is false  <=>  x != K.
+				op, a, imm := IJneImm, in.A, in.Imm
+				b.code[last] = Instr{Op: op, A: a, Imm: imm}
+				return last
+			case ICmpNeImm:
+				op, a, imm := IJeqImm, in.A, in.Imm
+				b.code[last] = Instr{Op: op, A: a, Imm: imm}
+				return last
+			case ILogNot:
+				// (!x) is false  <=>  x != 0.
+				a := in.A
+				b.code[last] = Instr{Op: IJnz, A: a}
+				return last
+			}
+		}
+	}
+	return b.Emit(IJz, 0, cond, 0, 0)
+}
+
+// assign lowers one continuous assignment.
+func (c *netCompiler) assign(a *CompiledAssign) {
+	c.lowerAssign(a.LHS, a.RHS, true)
+}
+
+// lowerAssign lowers one assignment with two peepholes on the dominant
+// whole-net single-LHS shape: a blocking store retargets a
+// single-instruction RHS to write the net slot directly (dropping the
+// temp + IStore pair) when the instruction's result provably fits the
+// net width, and a non-blocking constant store (the reset-chain shape
+// `reg <= 0`) becomes one side-table append.
+func (c *netCompiler) lowerAssign(lhs []LRef, rhs *EExpr, blocking bool) {
+	b := c.b
+	if len(lhs) == 1 && !lhs[0].IsBit && !lhs[0].IsPart {
+		net := int32(lhs[0].Net)
+		netMask := WidthMask(c.nl.Nets[lhs[0].Net].Width)
+		if !blocking && rhs.Op == OpConst {
+			idx := len(b.nbConsts)
+			b.nbConsts = append(b.nbConsts, NBWrite{Net: lhs[0].Net, Mask: netMask, Val: rhs.Val & netMask})
+			b.Emit(INBStoreConst, 0, 0, int32(idx), 0)
+			return
+		}
+		if blocking {
+			mark := b.Mark()
+			v := c.expr(rhs)
+			// Retarget the RHS's final instruction to write the net slot
+			// directly when that is provably equivalent to the masked
+			// store: the value fits the net width (elaboration's width
+			// invariant — every expression value is <= WidthMask(e.W)),
+			// the result is a temp whose last write is the final
+			// instruction (ternaries write from two branch paths, so
+			// they are excluded), and the temp dies here.
+			last := b.PC() - 1
+			if v >= int32(b.numNets) && rhs.Op != OpTernary &&
+				last >= 0 && b.code[last].Dst == v &&
+				WidthMask(rhs.W)&^netMask == 0 {
+				b.code[last].Dst = net
+			} else {
+				b.Emit(IStore, net, v, 0, netMask)
+			}
+			b.Release(mark)
+			return
+		}
+	}
+	mark := b.Mark()
+	v := c.expr(rhs)
+	c.assignRefs(lhs, v, blocking)
+	b.Release(mark)
+}
+
+// romLimit caps the dense ROM index space (the corpus's widest decode
+// tables are 12-bit); cases with larger label values use the generic
+// dispatch path.
+const romLimit = 1 << 13
+
+// netConst is one compile-time-resolved constant whole-net assignment.
+type netConst struct {
+	net int
+	val uint64
+}
+
+// constAssigns flattens a case arm into its constant whole-net blocking
+// assignments, or reports the arm non-conforming. A nil statement is an
+// empty (conforming) arm.
+func constAssigns(s *EStmt, nets []*Net, out []netConst) ([]netConst, bool) {
+	if s == nil {
+		return out, true
+	}
+	switch s.Op {
+	case SBlock:
+		for _, sub := range s.Stmts {
+			var ok bool
+			if out, ok = constAssigns(sub, nets, out); !ok {
+				return nil, false
+			}
+		}
+		return out, true
+	case SAssign:
+		if !s.Blocking || len(s.LHS) != 1 || s.LHS[0].IsBit || s.LHS[0].IsPart || s.RHS.Op != OpConst {
+			return nil, false
+		}
+		net := s.LHS[0].Net
+		return append(out, netConst{net: net, val: s.RHS.Val & WidthMask(nets[net].Width)}), true
+	}
+	return nil, false
+}
+
+// tryRomCase lowers a case statement whose arms only assign constants to
+// whole nets — the corpus's big decode tables — into one IRom per target
+// net: a dense write-enabled value table indexed by the subject, with
+// unlabeled and out-of-range subjects taking the default arm (or leaving
+// the net untouched when there is none). Semantically identical to the
+// dispatch path (first matching label wins, unassigned nets keep their
+// values, later assignments in an arm win) but executes in O(targets)
+// instead of O(arm body) with no branching.
+func (c *netCompiler) tryRomCase(s *EStmt) bool {
+	b := c.b
+	maxLabel := uint64(0)
+	for _, labels := range s.Labels {
+		for _, lab := range labels {
+			if lab.mask != ^uint64(0) {
+				return false
+			}
+			if lab.value > maxLabel {
+				maxLabel = lab.value
+			}
+		}
+	}
+	if maxLabel >= romLimit {
+		return false
+	}
+	arms := make([][]netConst, len(s.Arms))
+	for i, arm := range s.Arms {
+		a, ok := constAssigns(arm, c.nl.Nets, nil)
+		if !ok {
+			return false
+		}
+		arms[i] = a
+	}
+	def, ok := constAssigns(s.Default, c.nl.Nets, nil)
+	if !ok {
+		return false
+	}
+
+	// Ordered union of assigned nets; per-arm final values (blocking
+	// semantics: the arm's last assignment to a net wins).
+	var targets []int
+	seen := map[int]int{}
+	final := func(list []netConst) map[int]uint64 {
+		m := make(map[int]uint64, len(list))
+		for _, a := range list {
+			if _, ok := seen[a.net]; !ok {
+				seen[a.net] = len(targets)
+				targets = append(targets, a.net)
+			}
+			m[a.net] = a.val
+		}
+		return m
+	}
+	armVals := make([]map[int]uint64, len(arms))
+	for i, a := range arms {
+		armVals[i] = final(a)
+	}
+	defVals := final(def)
+	if len(targets) == 0 {
+		// No assignment anywhere: the whole case is a no-op.
+		return true
+	}
+
+	size := int(maxLabel) + 1
+	romIdx := make([]int, len(targets))
+	for k, net := range targets {
+		t := romTable{vals: make([]uint64, size), write: make([]bool, size)}
+		if v, ok := defVals[net]; ok {
+			t.defVal, t.defWrite = v, true
+		}
+		for i := range t.vals {
+			t.vals[i], t.write[i] = t.defVal, t.defWrite
+		}
+		romIdx[k] = len(b.roms)
+		b.roms = append(b.roms, t)
+	}
+	claimed := make([]bool, size)
+	for i, labels := range s.Labels {
+		for _, lab := range labels {
+			v := lab.value
+			if claimed[v] {
+				continue // first matching label wins
+			}
+			claimed[v] = true
+			for k, net := range targets {
+				t := &b.roms[romIdx[k]]
+				if val, ok := armVals[i][net]; ok {
+					t.vals[v], t.write[v] = val, true
+				} else {
+					t.write[v] = false
+				}
+			}
+		}
+	}
+
+	mark := b.Mark()
+	subj := c.expr(s.Subject)
+	for k, net := range targets {
+		b.Emit(IRom, int32(net), subj, int32(romIdx[k]), 0)
+	}
+	b.Release(mark)
+	return true
+}
+
+// stmt lowers one behavioural statement.
+func (c *netCompiler) stmt(s *EStmt) {
+	if s == nil {
+		return
+	}
+	b := c.b
+	switch s.Op {
+	case SBlock:
+		for _, sub := range s.Stmts {
+			c.stmt(sub)
+		}
+	case SAssign:
+		c.lowerAssign(s.LHS, s.RHS, s.Blocking)
+	case SIf:
+		mark := b.Mark()
+		cond := c.expr(s.Cond)
+		b.Release(mark)
+		jz := c.emitBranchIfFalse(cond)
+		c.stmt(s.Then)
+		if s.Else == nil {
+			b.Patch(jz, b.PC())
+			return
+		}
+		jend := b.Emit(IJmp, 0, 0, 0, 0)
+		b.Patch(jz, b.PC())
+		c.stmt(s.Else)
+		b.Patch(jend, b.PC())
+	case SCase:
+		if c.tryRomCase(s) {
+			return
+		}
+		mark := b.Mark()
+		subj := c.expr(s.Subject)
+		b.Release(mark)
+		// Dispatch through a side table holding either the exact-label
+		// map (the interpreter's labelMap fast path) or the in-order
+		// masked scan list — the same first-match semantics and data
+		// layout, so huge decoder tables stay O(1)/cache-friendly.
+		tableIdx := len(b.cases)
+		b.cases = append(b.cases, caseTable{})
+		ic := b.Emit(ICase, 0, subj, int32(tableIdx), 0)
+		armTargets := make([]int32, len(s.Arms))
+		var ends []int
+		for i, arm := range s.Arms {
+			armTargets[i] = int32(b.PC())
+			c.stmt(arm)
+			ends = append(ends, b.Emit(IJmp, 0, 0, 0, 0))
+		}
+		b.Patch(ic, b.PC())
+		c.stmt(s.Default)
+		for _, pc := range ends {
+			b.Patch(pc, b.PC())
+		}
+		ct := &b.cases[tableIdx]
+		if s.labelMap != nil {
+			ct.m = make(map[uint64]int32, len(s.labelMap))
+			for v, arm := range s.labelMap {
+				ct.m[v] = armTargets[arm]
+			}
+		} else {
+			for i, labels := range s.Labels {
+				for _, lab := range labels {
+					ct.scan = append(ct.scan, caseScanEntry{val: lab.value & lab.mask, mask: lab.mask, target: armTargets[i]})
+				}
+			}
+		}
+	}
+}

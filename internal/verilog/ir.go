@@ -1,0 +1,475 @@
+package verilog
+
+// The compiled execution backend: netlists and SVA evaluators lower into
+// one flat register-machine program — a dense opcode slice executed over a
+// []uint64 frame — replacing the recursive EExpr/EStmt tree-walk on the
+// hot paths (simulator settle/step, FPV search, monitor stepping). The
+// tree-walk in exec.go stays as the reference interpreter; the
+// differential harness (internal/dverify) cross-checks the two
+// instruction for instruction.
+//
+// Frame layout: slots [0, NumNets) alias the netlist's value environment
+// one-to-one (slot i is net i, masked to its width), so a machine frame
+// doubles as a simulator env with zero marshalling. Slots at and above
+// NumNets are expression temporaries; every temporary is written before
+// it is read within one execution, so frames never need clearing between
+// runs. SVA programs read sampled histories through IHist instead of net
+// slots and use the same temp discipline.
+
+// IOp enumerates program opcodes. Operand conventions (f = frame):
+//
+//	Dst, A, B are frame slots (Dst doubles as the jump target on
+//	branches); Imm carries width masks, literal values, or compare
+//	immediates. ALU ops that can overflow their result width mask with
+//	Imm; reductions receive the operand's width mask in Imm.
+type IOp uint8
+
+// Opcodes.
+const (
+	INop IOp = iota
+	// IConst: f[Dst] = Imm.
+	IConst
+	// IMove: f[Dst] = f[A].
+	IMove
+	// IHist: f[Dst] = hist[B][A] — sampled-history load (SVA programs
+	// only; A is a net index, B the $past depth).
+	IHist
+
+	// Masked binary ALU (f[Dst] = (f[A] op f[B]) & Imm).
+	IAdd
+	ISub
+	IMul
+	IPow
+	IXnor
+	// IDiv, IMod: zero divisor yields 0 (the interpreter's convention).
+	IDiv
+	IMod
+	// Unmasked binary bitwise (operands already width-masked).
+	IAnd
+	IOr
+	IXor
+	// Comparisons and logical ops produce 0/1.
+	ILogAnd
+	ILogOr
+	IEq
+	INe
+	ILt
+	ILe
+	IGt
+	IGe
+	// IShl masks the result with Imm; both shifts yield 0 for shift >= 64.
+	IShl
+	IShr
+
+	// Masked unary ALU.
+	INot
+	INeg
+	ILogNot
+	// Reductions: Imm is the OPERAND's width mask.
+	IRedAnd
+	IRedOr
+	IRedXor
+	IRedNand
+	IRedNor
+	IRedXnor
+
+	// IBitRead: idx = f[B]; f[Dst] = idx < 64 ? (f[A]>>idx)&1 : 0.
+	IBitRead
+	// IPartRead: f[Dst] = (f[A] >> uint(B)) & Imm.
+	IPartRead
+	// IConcat: f[Dst] = (f[Dst] << uint(B)) | (f[A] & Imm) — accumulate
+	// concatenation parts MSB-first into Dst (initialised by IConst 0).
+	IConcat
+	// IAndImm: f[Dst] = f[A] & Imm.
+	IAndImm
+	// Immediate compares (fused constant operand): f[Dst] = 0/1.
+	ICmpEqImm
+	ICmpNeImm
+	// Fused history-load compares — the dominant SVA atom `sig == K`
+	// (`sig != K`) as one instruction: f[Dst] = b2u(hist[B][A] ==/!= Imm).
+	IHistCmpEqImm
+	IHistCmpNeImm
+
+	// Branches: Dst is the absolute jump target.
+	IJmp
+	// IJz jumps when f[A] == 0; IJnz when f[A] != 0; IJeqImm when
+	// f[A] == Imm; IJneImm when f[A] != Imm (the last two are the fused
+	// forms of an immediate compare feeding a branch).
+	IJz
+	IJnz
+	IJeqImm
+	IJneImm
+	// ICase dispatches f[A] through case table B (exact-label map or
+	// in-order masked scan, mirroring the interpreter's two case paths);
+	// Dst is the default arm's target.
+	ICase
+	// IRom: extracted constant lookup table. One net write of a case
+	// statement whose arms only assign constants: f[Dst] receives ROM
+	// table B indexed by f[A] (rows carry a write-enable so arms that
+	// leave the net alone, and absent defaults, keep the old value).
+	IRom
+
+	// Blocking stores into net slots (Dst is the net slot).
+	// IStore: f[Dst] = f[A] & Imm (Imm = net width mask).
+	IStore
+	// IStorePart: f[Dst] = (f[Dst] &^ (Imm<<B)) | ((f[A]&Imm) << B).
+	IStorePart
+	// IStoreBit: idx = f[B]; if idx < Imm (net width) and idx < 64, set
+	// bit idx of f[Dst] to f[A]&1; out-of-range writes are dropped.
+	IStoreBit
+
+	// Non-blocking stores append an NBWrite to the machine's NBA list
+	// instead of writing the frame; CommitNBA applies and clears it.
+	// Operand conventions mirror the blocking forms. INBStoreConst
+	// appends the precomputed NBWrite at side-table index B (the
+	// `reg <= constant` reset-chain fast path).
+	INBStore
+	INBStorePart
+	INBStoreBit
+	INBStoreConst
+)
+
+// Instr is one program instruction.
+type Instr struct {
+	Op  IOp
+	Dst int32
+	A   int32
+	B   int32
+	Imm uint64
+}
+
+// Frag is a contiguous program region: an expression fragment leaving its
+// value in Result (SVA evaluators), or one comb unit with its written net
+// slots (the cyclic-settle fixpoint granularity).
+type Frag struct {
+	Start, End int
+	Result     int32
+	Writes     []int32
+}
+
+// caseTable is one ICase dispatch target set: either an exact-label map
+// (the labelMap fast path for dense case statements) or an in-order
+// masked scan list (casez/casex and small cases). Targets are absolute
+// instruction indices.
+type caseTable struct {
+	m    map[uint64]int32
+	scan []caseScanEntry
+}
+
+type caseScanEntry struct {
+	val, mask uint64 // val is pre-masked
+	target    int32
+}
+
+// romTable is one IRom target: vals[idx]/write[idx] give the value (and
+// whether to write at all) for in-range subject values; defVal/defWrite
+// cover subjects beyond the table.
+type romTable struct {
+	vals     []uint64
+	write    []bool
+	defVal   uint64
+	defWrite bool
+}
+
+// Program is a compiled, immutable netlist or SVA evaluator program.
+// Netlist programs have a comb section (settle) and a seq section (clock
+// edge); SVA programs have one Frag per compiled boolean function.
+type Program struct {
+	Code     []Instr
+	Cases    []caseTable
+	Roms     []romTable
+	NBConsts []NBWrite
+	NumNets  int
+	NumSlots int
+
+	// Netlist-program sections. With Acyclic set, one forward pass over
+	// [CombStart, CombEnd) settles the design; otherwise CombFrags holds
+	// the per-assign/per-process units for bounded fixpoint iteration
+	// (SettleLimit passes), mirroring the interpreter's fallback.
+	CombStart, CombEnd int
+	SeqStart, SeqEnd   int
+	Acyclic            bool
+	CombFrags          []Frag
+	SettleLimit        int
+
+	// SVA-program fragments (one per lowered evaluator).
+	Frags []Frag
+}
+
+// Machine executes a Program over its own frame. Machines are cheap
+// (one []uint64) and not safe for concurrent use; every simulator or
+// monitor owns one.
+type Machine struct {
+	// Frame is the register file; Frame[:NumNets] is the live net
+	// environment for netlist programs.
+	Frame []uint64
+	// NBA accumulates non-blocking writes appended by INBStore*.
+	NBA []NBWrite
+
+	prog *Program
+	snap []uint64 // cyclic-settle change-detection scratch
+}
+
+// NewMachine returns a machine with a zeroed frame.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{prog: p, Frame: make([]uint64, p.NumSlots)}
+	if !p.Acyclic {
+		max := 0
+		for _, fr := range p.CombFrags {
+			if len(fr.Writes) > max {
+				max = len(fr.Writes)
+			}
+		}
+		m.snap = make([]uint64, max)
+	}
+	return m
+}
+
+// Program returns the program under execution.
+func (m *Machine) Program() *Program { return m.prog }
+
+// Exec runs instructions in [start, end). hist is only consulted by IHist
+// (nil for netlist programs).
+func (m *Machine) Exec(start, end int, hist [][]uint64) {
+	f := m.Frame
+	code := m.prog.Code
+	for pc := start; pc < end; {
+		in := &code[pc]
+		pc++
+		switch in.Op {
+		case INop:
+		case IConst:
+			f[in.Dst] = in.Imm
+		case IMove:
+			f[in.Dst] = f[in.A]
+		case IHist:
+			f[in.Dst] = hist[in.B][in.A]
+		case IAdd:
+			f[in.Dst] = (f[in.A] + f[in.B]) & in.Imm
+		case ISub:
+			f[in.Dst] = (f[in.A] - f[in.B]) & in.Imm
+		case IMul:
+			f[in.Dst] = (f[in.A] * f[in.B]) & in.Imm
+		case IPow:
+			f[in.Dst] = ipow(f[in.A], f[in.B]) & in.Imm
+		case IXnor:
+			f[in.Dst] = (^(f[in.A] ^ f[in.B])) & in.Imm
+		case IDiv:
+			if d := f[in.B]; d == 0 {
+				f[in.Dst] = 0
+			} else {
+				f[in.Dst] = (f[in.A] / d) & in.Imm
+			}
+		case IMod:
+			if d := f[in.B]; d == 0 {
+				f[in.Dst] = 0
+			} else {
+				f[in.Dst] = (f[in.A] % d) & in.Imm
+			}
+		case IAnd:
+			f[in.Dst] = f[in.A] & f[in.B]
+		case IOr:
+			f[in.Dst] = f[in.A] | f[in.B]
+		case IXor:
+			f[in.Dst] = f[in.A] ^ f[in.B]
+		case ILogAnd:
+			f[in.Dst] = b2u(f[in.A] != 0 && f[in.B] != 0)
+		case ILogOr:
+			f[in.Dst] = b2u(f[in.A] != 0 || f[in.B] != 0)
+		case IEq:
+			f[in.Dst] = b2u(f[in.A] == f[in.B])
+		case INe:
+			f[in.Dst] = b2u(f[in.A] != f[in.B])
+		case ILt:
+			f[in.Dst] = b2u(f[in.A] < f[in.B])
+		case ILe:
+			f[in.Dst] = b2u(f[in.A] <= f[in.B])
+		case IGt:
+			f[in.Dst] = b2u(f[in.A] > f[in.B])
+		case IGe:
+			f[in.Dst] = b2u(f[in.A] >= f[in.B])
+		case IShl:
+			if s := f[in.B]; s >= 64 {
+				f[in.Dst] = 0
+			} else {
+				f[in.Dst] = (f[in.A] << s) & in.Imm
+			}
+		case IShr:
+			if s := f[in.B]; s >= 64 {
+				f[in.Dst] = 0
+			} else {
+				f[in.Dst] = f[in.A] >> s
+			}
+		case INot:
+			f[in.Dst] = (^f[in.A]) & in.Imm
+		case INeg:
+			f[in.Dst] = (-f[in.A]) & in.Imm
+		case ILogNot:
+			f[in.Dst] = b2u(f[in.A] == 0)
+		case IRedAnd:
+			f[in.Dst] = b2u(f[in.A] == in.Imm)
+		case IRedOr:
+			f[in.Dst] = b2u(f[in.A] != 0)
+		case IRedXor:
+			f[in.Dst] = parity(f[in.A])
+		case IRedNand:
+			f[in.Dst] = b2u(f[in.A] != in.Imm)
+		case IRedNor:
+			f[in.Dst] = b2u(f[in.A] == 0)
+		case IRedXnor:
+			f[in.Dst] = parity(f[in.A]) ^ 1
+		case IBitRead:
+			if idx := f[in.B]; idx >= 64 {
+				f[in.Dst] = 0
+			} else {
+				f[in.Dst] = (f[in.A] >> idx) & 1
+			}
+		case IPartRead:
+			f[in.Dst] = (f[in.A] >> uint32(in.B)) & in.Imm
+		case IConcat:
+			f[in.Dst] = (f[in.Dst] << uint32(in.B)) | (f[in.A] & in.Imm)
+		case IAndImm:
+			f[in.Dst] = f[in.A] & in.Imm
+		case ICmpEqImm:
+			f[in.Dst] = b2u(f[in.A] == in.Imm)
+		case ICmpNeImm:
+			f[in.Dst] = b2u(f[in.A] != in.Imm)
+		case IHistCmpEqImm:
+			f[in.Dst] = b2u(hist[in.B][in.A] == in.Imm)
+		case IHistCmpNeImm:
+			f[in.Dst] = b2u(hist[in.B][in.A] != in.Imm)
+		case IJmp:
+			pc = int(in.Dst)
+		case IJz:
+			if f[in.A] == 0 {
+				pc = int(in.Dst)
+			}
+		case IJnz:
+			if f[in.A] != 0 {
+				pc = int(in.Dst)
+			}
+		case IJeqImm:
+			if f[in.A] == in.Imm {
+				pc = int(in.Dst)
+			}
+		case IJneImm:
+			if f[in.A] != in.Imm {
+				pc = int(in.Dst)
+			}
+		case ICase:
+			t := &m.prog.Cases[in.B]
+			v := f[in.A]
+			if t.m != nil {
+				if tgt, ok := t.m[v]; ok {
+					pc = int(tgt)
+				} else {
+					pc = int(in.Dst)
+				}
+				break
+			}
+			pc = int(in.Dst)
+			for i := range t.scan {
+				if e := &t.scan[i]; v&e.mask == e.val {
+					pc = int(e.target)
+					break
+				}
+			}
+		case IRom:
+			t := &m.prog.Roms[in.B]
+			if idx := f[in.A]; idx < uint64(len(t.vals)) {
+				if t.write[idx] {
+					f[in.Dst] = t.vals[idx]
+				}
+			} else if t.defWrite {
+				f[in.Dst] = t.defVal
+			}
+		case IStore:
+			f[in.Dst] = f[in.A] & in.Imm
+		case IStorePart:
+			f[in.Dst] = (f[in.Dst] &^ (in.Imm << uint32(in.B))) | ((f[in.A] & in.Imm) << uint32(in.B))
+		case IStoreBit:
+			if idx := f[in.B]; idx < in.Imm && idx < 64 {
+				f[in.Dst] = (f[in.Dst] &^ (1 << idx)) | ((f[in.A] & 1) << idx)
+			}
+		case INBStore:
+			m.NBA = append(m.NBA, NBWrite{Net: int(in.Dst), Mask: in.Imm, Val: f[in.A] & in.Imm})
+		case INBStorePart:
+			m.NBA = append(m.NBA, NBWrite{Net: int(in.Dst), Mask: in.Imm << uint32(in.B), Val: (f[in.A] & in.Imm) << uint32(in.B)})
+		case INBStoreBit:
+			if idx := f[in.B]; idx < in.Imm && idx < 64 {
+				m.NBA = append(m.NBA, NBWrite{Net: int(in.Dst), Mask: 1 << idx, Val: (f[in.A] & 1) << idx})
+			} else {
+				// The interpreter appends a zero-mask write for an
+				// out-of-range index; applying it is a no-op either way.
+				m.NBA = append(m.NBA, NBWrite{Net: int(in.Dst)})
+			}
+		case INBStoreConst:
+			m.NBA = append(m.NBA, m.prog.NBConsts[in.B])
+		}
+	}
+}
+
+// ExecFrag runs one expression fragment and returns its result. The
+// single-instruction forms — what most SVA atoms fuse down to — skip the
+// dispatch loop entirely, putting a fragment call on par with a closure
+// call.
+func (m *Machine) ExecFrag(fr Frag, hist [][]uint64) uint64 {
+	if fr.End-fr.Start == 1 {
+		switch in := &m.prog.Code[fr.Start]; in.Op {
+		case IHist:
+			return hist[in.B][in.A]
+		case IHistCmpEqImm:
+			return b2u(hist[in.B][in.A] == in.Imm)
+		case IHistCmpNeImm:
+			return b2u(hist[in.B][in.A] != in.Imm)
+		case IConst:
+			return in.Imm
+		}
+	}
+	m.Exec(fr.Start, fr.End, hist)
+	return m.Frame[fr.Result]
+}
+
+// Settle evaluates the comb section: one forward pass when the design is
+// acyclic, bounded fixpoint iteration over CombFrags otherwise (the same
+// fallback, in the same unit order with the same change detection, as the
+// interpreting simulator).
+func (m *Machine) Settle() {
+	if m.prog.Acyclic {
+		m.Exec(m.prog.CombStart, m.prog.CombEnd, nil)
+		return
+	}
+	for iter := 0; iter < m.prog.SettleLimit; iter++ {
+		changed := false
+		for i := range m.prog.CombFrags {
+			fr := &m.prog.CombFrags[i]
+			snap := m.snap[:len(fr.Writes)]
+			for k, w := range fr.Writes {
+				snap[k] = m.Frame[w]
+			}
+			m.Exec(fr.Start, fr.End, nil)
+			for k, w := range fr.Writes {
+				if m.Frame[w] != snap[k] {
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// ExecSeq runs the seq section, accumulating non-blocking writes in NBA.
+func (m *Machine) ExecSeq() {
+	m.Exec(m.prog.SeqStart, m.prog.SeqEnd, nil)
+}
+
+// CommitNBA applies and clears the accumulated non-blocking writes.
+func (m *Machine) CommitNBA() {
+	for _, w := range m.NBA {
+		w.Apply(m.Frame)
+	}
+	m.NBA = m.NBA[:0]
+}

@@ -1,6 +1,9 @@
 package verilog
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Net is one elaborated scalar or vector signal. Values are two-valued
 // bit vectors of Width <= 64 bits, stored masked in a uint64.
@@ -340,6 +343,19 @@ type Netlist struct {
 	// (indices len(Assigns)..). Empty when the comb logic is cyclic, in
 	// which case the simulator falls back to fixpoint iteration.
 	CombOrder []int
+
+	// The compiled execution program, lowered once on first use and
+	// shared by every simulator/engine over this netlist (programs are
+	// immutable; machines keep their own frames).
+	progOnce sync.Once
+	prog     *Program
+}
+
+// Program returns the netlist's compiled execution program, lowering it
+// on first use. Concurrent callers share one compilation.
+func (nl *Netlist) Program() *Program {
+	nl.progOnce.Do(func() { nl.prog = CompileNetlist(nl) })
+	return nl.prog
 }
 
 // NetByName returns the net with the given flattened name, or nil.

@@ -29,6 +29,11 @@ type RunOptions struct {
 	// reproduces the unsharded run exactly.
 	ShardIndex int
 	ShardCount int
+	// Backend selects the execution engine for simulation and formal
+	// verification: BackendCompiled (default) or BackendInterp (the
+	// reference tree-walk, for cross-checking). Overrides
+	// Verify.Backend when non-empty.
+	Backend string
 	// Verify bounds the built-in FPV verifier; zero fields select the
 	// evaluation-grade budget.
 	Verify VerifyOptions
@@ -48,6 +53,9 @@ func (o RunOptions) internal() eval.RunOptions {
 		Workers:      o.Workers,
 		ShardIndex:   o.ShardIndex,
 		ShardCount:   o.ShardCount,
+	}
+	if o.Backend != "" {
+		opt.FPV.Backend = o.Backend
 	}
 	if o.Verifier != nil {
 		a := verifierAdapter{v: o.Verifier}

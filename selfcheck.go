@@ -42,6 +42,9 @@ type SelfCheckReport struct {
 	Verdicts map[string]int
 	// DeterminismRuns counts the eval stream configurations compared.
 	DeterminismRuns int
+	// BackendChecks counts compiled-vs-interpreted execution comparisons
+	// (lockstep simulator runs, monitor trace checks, FPV verdicts).
+	BackendChecks int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -51,14 +54,16 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through three
+// well-formed designs and SVA properties are cross-checked through four
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
-// consistency), and byte-identical determinism of sequential, parallel
-// and sharded evaluation streams. The returned error covers harness
-// failures (cancellation, dump I/O) only; oracle violations are reported
-// as data in the report.
+// consistency), byte-identical determinism of sequential, parallel and
+// sharded evaluation streams, and bit-identical agreement of the
+// compiled register-machine backend with the tree-walking interpreter
+// (lockstep simulation, monitor trace checks, full FPV verdicts). The
+// returned error covers harness failures (cancellation, dump I/O) only;
+// oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
 	iopt := dverify.Options{
 		Scenarios:      opt.Scenarios,
@@ -82,6 +87,7 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		CEXs:            rep.CEXs,
 		Verdicts:        rep.RefStatus,
 		DeterminismRuns: rep.DeterminismRuns,
+		BackendChecks:   rep.BackendChecks,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

@@ -167,7 +167,18 @@ type VerifyOptions struct {
 	RandomDepth int
 	// Seed makes bounded exploration deterministic.
 	Seed int64
+	// Backend selects the execution engine: BackendCompiled (default,
+	// the lowered register-machine programs) or BackendInterp (the
+	// reference tree-walk). Verdicts are bit-identical across backends;
+	// the interpreter exists for cross-checking and debugging.
+	Backend string
 }
+
+// Execution backends for VerifyOptions.Backend / RunOptions.Backend.
+const (
+	BackendCompiled = "compiled"
+	BackendInterp   = "interp"
+)
 
 func (o VerifyOptions) internal() fpv.Options {
 	return fpv.Options(o)
@@ -225,6 +236,10 @@ var _ eval.Verifier = verifierAdapter{}
 // stops the batch and returns the completed prefix alongside ctx.Err(),
 // so interruption is never mistaken for per-assertion failures.
 func VerifyAssertions(ctx context.Context, designSource string, assertions []string, opt VerifyOptions) ([]VerifyResult, error) {
+	if !fpv.ValidBackend(opt.Backend) {
+		return nil, fmt.Errorf("assertionbench: unknown execution backend %q (want %q or %q)",
+			opt.Backend, BackendCompiled, BackendInterp)
+	}
 	nl, err := elaborateSource(designSource)
 	if err != nil {
 		return nil, err
