@@ -44,8 +44,10 @@ apicheck:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Interp-vs-compiled backend measurements (sim ns/cycle, the FPV-bound
-# full-corpus verification pass, end-to-end eval wall time), written to
-# the checked-in BENCH_pr4.json. QUICK=1 selects CI smoke sizes.
+# Batched-vs-per-property and interp-vs-compiled measurements (sim
+# ns/cycle, the FPV-bound full-corpus verification pass cold and warm,
+# end-to-end eval wall time), written to the checked-in BENCH_pr5.json.
+# QUICK=1 selects CI smoke sizes. The baseline is BENCH_pr4.json's
+# compiled fpv pass on the same host (see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -out BENCH_pr4.json
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 405.55 -out BENCH_pr5.json

@@ -40,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
 	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
+	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,6 +78,7 @@ func main() {
 				ShardIndex:   shardIndex,
 				ShardCount:   shardCount,
 				Backend:      *backend,
+				Batch:        *batch,
 			})
 			var r assertionbench.RunResult
 			if *stream {

@@ -30,6 +30,7 @@ func main() {
 	vcd := flag.String("vcd", "", "write the first counter-example as a VCD waveform to this file")
 	states := flag.Int("states", 0, "max product states (0 = default)")
 	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
+	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
@@ -54,7 +55,7 @@ func main() {
 	defer stop()
 
 	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
-		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend})
+		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))

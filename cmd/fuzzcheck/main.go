@@ -1,8 +1,9 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// four oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
+// five oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
 // with counter-example replay, sequential/parallel/sharded stream
-// determinism, and compiled-vs-interpreted backend identity). A clean
+// determinism, compiled-vs-interpreted backend identity, and
+// batched-vs-per-property FPV identity). A clean
 // exit means every generated scenario agreed;
 // disagreements are shrunk, dumped as .v/.sva reproduction pairs, and
 // fail the run. Ctrl-C cancels gracefully.
@@ -63,6 +64,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("backend checks:   %d (compiled vs interpreted)\n", report.BackendChecks)
+	fmt.Printf("batch checks:     %d (shared-graph batched vs per-property)\n", report.BatchChecks)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
 	if report.OK() {
 		fmt.Println("all oracles agree")

@@ -1,20 +1,25 @@
-// Command perfbench measures the compiled execution backend against the
-// tree-walking reference interpreter and emits a machine-readable report
-// (BENCH_pr4.json in the repository root records the checked-in numbers):
+// Command perfbench measures the batched shared-reachability verifier
+// against per-property search, and the compiled execution backend
+// against the tree-walking reference interpreter, emitting a
+// machine-readable report (BENCH_pr5.json in the repository root
+// records the checked-in numbers):
 //
 //   - sim: simulator ns/cycle on a spread of corpus designs;
 //   - fpv: the FPV-bound full-corpus pass — formal verification of every
 //     (pre-generated, corrected) candidate assertion over the whole
 //     corpus on one engine, reported as verdicts/second; generation and
-//     correction are excluded so the section times verification alone;
+//     correction are excluded so the section times verification alone.
+//     Batched columns cover the cold pass (graphs built inside the timed
+//     region) and the warm pass (populated graph cache);
 //   - eval_full_corpus: the end-to-end evaluation pass (generation,
 //     correction, verification) at the default worker-pool size, i.e.
-//     the wall time a user sees for one (model, shot) sweep.
+//     the wall time a user sees for one (model, shot) sweep, batched and
+//     per-property.
 //
 // Usage:
 //
-//	perfbench -out BENCH_pr4.json
-//	perfbench -quick          # CI smoke sizes
+//	perfbench -baseline-ms 405.55 -out BENCH_pr5.json
+//	perfbench -quick -min-batch-speedup 1.0   # CI smoke + regression gate
 package main
 
 import (
@@ -55,17 +60,38 @@ type fpvSection struct {
 	InterpVerdictsPerSec   float64 `json:"interp_verdicts_per_sec"`
 	CompiledVerdictsPerSec float64 `json:"compiled_verdicts_per_sec"`
 	Speedup                float64 `json:"speedup"`
+	// Batched columns: the shared-reachability batched verifier on the
+	// compiled backend. BatchedMs rebuilds every graph within the timed
+	// region (a cold, single-sweep pass); BatchedWarmMs reuses a
+	// populated graph cache (what the 2nd..Nth run of a model/shot sweep
+	// sees). BatchSpeedup is per-property compiled / batched cold.
+	BatchedMs             float64 `json:"batched_ms"`
+	BatchedWarmMs         float64 `json:"batched_warm_ms"`
+	BatchedVerdictsPerSec float64 `json:"batched_verdicts_per_sec"`
+	BatchSpeedup          float64 `json:"batch_speedup"`
 	// Optional externally measured baseline of the same pass on the
-	// pre-backend engine (see -baseline-ms and EXPERIMENTS.md).
+	// previous PR's engine (see -baseline-ms and EXPERIMENTS.md);
+	// SpeedupVsBaseline compares it to the batched cold pass.
 	BaselineMs        float64 `json:"baseline_ms,omitempty"`
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
+// NOTE: unlike BENCH_pr4.json's identically named fields (measured
+// per-property, the only mode that existed), interp_ms and compiled_ms
+// here run the DEFAULT configuration — batching on for both backends —
+// so speedup isolates the backend at the current default. The
+// per-property compiled time is carried explicitly in per_property_ms;
+// compare that against BENCH_pr4's compiled_ms for the cross-PR
+// trajectory.
 type evalSection struct {
 	Workers    int     `json:"workers"`
 	InterpMs   float64 `json:"interp_ms"`
 	CompiledMs float64 `json:"compiled_ms"`
 	Speedup    float64 `json:"speedup"`
+	// PerPropertyMs is the compiled backend with batching forced off;
+	// BatchSpeedup relates it to CompiledMs (the batched default).
+	PerPropertyMs float64 `json:"per_property_ms"`
+	BatchSpeedup  float64 `json:"batch_speedup"`
 }
 
 type report struct {
@@ -88,10 +114,11 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	quick := flag.Bool("quick", false, "CI smoke sizes (fewer cycles, truncated corpus)")
 	seed := flag.Int64("seed", 1, "workload seed")
-	baselineMs := flag.Float64("baseline-ms", 0, "externally measured pre-backend (PR 3 engine) time for the fpv pass, recorded alongside the A/B numbers")
+	baselineMs := flag.Float64("baseline-ms", 0, "externally measured previous-engine time for the fpv pass, recorded alongside the A/B numbers")
+	minBatchSpeedup := flag.Float64("min-batch-speedup", 0, "exit non-zero if the batched fpv pass is below this speedup vs per-property (CI regression gate; 0 disables)")
 	flag.Parse()
 
-	rep := report{Description: "compiled register-machine backend vs tree-walk interpreter (PR 4)", Quick: *quick}
+	rep := report{Description: "batched FPV over a shared reachability graph vs per-property search, compiled backend vs interpreter (PR 5)", Quick: *quick}
 	rep.Host.GoOS, rep.Host.GoArch, rep.Host.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 
 	corpus := bench.TestCorpus()
@@ -175,7 +202,7 @@ func main() {
 	verifyRun := func(backend string) time.Duration {
 		eng := fpv.NewEngine()
 		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
-			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: backend}
+			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: backend, Batch: fpv.BatchOff}
 		start := time.Now()
 		for _, j := range jobs {
 			nl, _ := bench.Elaborate(j.d)
@@ -185,8 +212,35 @@ func main() {
 		}
 		return time.Since(start)
 	}
+	// The batched pass: one engine, each design's candidate list through
+	// the shared reachability graph. warm reuses a populated cache (what
+	// later runs of a sweep see); cold rebuilds every graph inside the
+	// timed region.
+	batchCache := &fpv.GraphCache{}
+	batchRun := func(warm bool) time.Duration {
+		eng := fpv.NewEngine()
+		eng.Graphs = batchCache
+		if !warm {
+			batchCache.Purge()
+		}
+		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
+			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: fpv.BackendCompiled}
+		start := time.Now()
+		for _, j := range jobs {
+			nl, _ := bench.Elaborate(j.d)
+			eng.VerifyAll(context.Background(), nl, j.lines, opt)
+		}
+		return time.Since(start)
+	}
 	verifyRun(fpv.BackendCompiled) // warm caches and lowerings
-	iDur, cDur := minPair(verifyRun, 7)
+	iDur, cDur := time.Duration(1<<62), time.Duration(1<<62)
+	bDur, wDur := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < 7; r++ {
+		iDur = min(iDur, verifyRun(fpv.BackendInterp))
+		cDur = min(cDur, verifyRun(fpv.BackendCompiled))
+		bDur = min(bDur, batchRun(false))
+		wDur = min(wDur, batchRun(true))
+	}
 	rep.FPV = fpvSection{
 		Designs:                nDesigns,
 		Verdicts:               verdicts,
@@ -195,21 +249,28 @@ func main() {
 		InterpVerdictsPerSec:   round2(float64(verdicts) / iDur.Seconds()),
 		CompiledVerdictsPerSec: round2(float64(verdicts) / cDur.Seconds()),
 		Speedup:                round2(float64(iDur) / float64(cDur)),
+		BatchedMs:              ms(bDur),
+		BatchedWarmMs:          ms(wDur),
+		BatchedVerdictsPerSec:  round2(float64(verdicts) / bDur.Seconds()),
+		BatchSpeedup:           round2(float64(cDur) / float64(bDur)),
 	}
 	if *baselineMs > 0 {
 		rep.FPV.BaselineMs = *baselineMs
-		rep.FPV.SpeedupVsBaseline = round2(*baselineMs / ms(cDur))
+		rep.FPV.SpeedupVsBaseline = round2(*baselineMs / ms(bDur))
 	}
-	log.Printf("fpv  %d verdicts: interp %.0f ms (%.0f verdicts/s), compiled %.0f ms (%.0f verdicts/s)  (%.2fx)",
+	log.Printf("fpv  %d verdicts: interp %.0f ms (%.0f/s), compiled per-property %.0f ms (%.0f/s), batched %.0f ms cold / %.0f ms warm (%.0f/s)  (batch %.2fx)",
 		verdicts, ms(iDur), float64(verdicts)/iDur.Seconds(), ms(cDur), float64(verdicts)/cDur.Seconds(),
-		float64(iDur)/float64(cDur))
+		ms(bDur), ms(wDur), float64(verdicts)/bDur.Seconds(), float64(cDur)/float64(bDur))
 
 	// --- end-to-end evaluation pass (generation + correction + FPV). ---
-	evalRun := func(backend string, workers int) (time.Duration, int) {
+	evalRun := func(backend, batch string, workers int) (time.Duration, int) {
+		// Fresh graph cache per run so the batched e2e number is a cold
+		// sweep, not an artifact of the previous repetition.
+		bench.DefaultElab.Graphs().Purge()
 		opt := eval.RunOptions{
 			Shots: 5, Seed: *seed, UseCorrector: true, Workers: workers,
 			MaxDesigns: evalDesigns,
-			FPV:        fpv.Options{Backend: backend},
+			FPV:        fpv.Options{Backend: backend, Batch: batch},
 		}
 		start := time.Now()
 		res, err := eval.Run(context.Background(), eval.NewModelGenerator(llm.GPT4o()), icl, corpus, opt)
@@ -224,18 +285,27 @@ func main() {
 	}
 
 	// --- default-worker wall time (what one sweep costs end to end). ---
-	ipDur, cpDur := medianPair(func(backend string) time.Duration {
-		d, _ := evalRun(backend, 0)
-		return d
-	})
-	rep.EvalFullCorpus = evalSection{
-		Workers:    runtime.GOMAXPROCS(0),
-		InterpMs:   ms(ipDur),
-		CompiledMs: ms(cpDur),
-		Speedup:    round2(float64(ipDur) / float64(cpDur)),
+	const evalReps = 5
+	var is, cs, ps []time.Duration
+	for r := 0; r < evalReps; r++ {
+		d, _ := evalRun(fpv.BackendInterp, fpv.BatchAuto, 0)
+		is = append(is, d)
+		d, _ = evalRun(fpv.BackendCompiled, fpv.BatchAuto, 0)
+		cs = append(cs, d)
+		d, _ = evalRun(fpv.BackendCompiled, fpv.BatchOff, 0)
+		ps = append(ps, d)
 	}
-	log.Printf("eval full corpus (workers=%d): interp %.0f ms, compiled %.0f ms  (%.2fx)",
-		rep.EvalFullCorpus.Workers, ms(ipDur), ms(cpDur), float64(ipDur)/float64(cpDur))
+	ipDur, cpDur, ppDur := median(is), median(cs), median(ps)
+	rep.EvalFullCorpus = evalSection{
+		Workers:       runtime.GOMAXPROCS(0),
+		InterpMs:      ms(ipDur),
+		CompiledMs:    ms(cpDur),
+		Speedup:       round2(float64(ipDur) / float64(cpDur)),
+		PerPropertyMs: ms(ppDur),
+		BatchSpeedup:  round2(float64(ppDur) / float64(cpDur)),
+	}
+	log.Printf("eval full corpus (workers=%d): interp %.0f ms, compiled %.0f ms, per-property %.0f ms  (batch %.2fx)",
+		rep.EvalFullCorpus.Workers, ms(ipDur), ms(cpDur), ms(ppDur), float64(ppDur)/float64(cpDur))
 
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
@@ -252,6 +322,10 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *minBatchSpeedup > 0 && rep.FPV.BatchSpeedup < *minBatchSpeedup {
+		log.Fatalf("batched fpv pass regressed: %.2fx vs per-property, want >= %.2fx",
+			rep.FPV.BatchSpeedup, *minBatchSpeedup)
 	}
 }
 
@@ -295,33 +369,13 @@ func ms(d time.Duration) float64 { return round2(float64(d.Microseconds()) / 100
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
 
-// minPair times the two backends in tightly alternating runs and
-// returns each one's minimum: the workloads are deterministic, so the
-// minimum estimates throttle-free cost on shared machines whose CPU
-// quota stretches wall time by whole runs at a time.
-func minPair(run func(backend string) time.Duration, reps int) (interp, compiled time.Duration) {
-	interp, compiled = time.Duration(1<<62), time.Duration(1<<62)
-	for r := 0; r < reps; r++ {
-		if d := run(fpv.BackendInterp); d < interp {
-			interp = d
-		}
-		if d := run(fpv.BackendCompiled); d < compiled {
-			compiled = d
-		}
-	}
-	return interp, compiled
-}
-
-// medianPair is minPair's median-based sibling for parallel sections,
-// where the minimum would overstate scheduler luck.
-func medianPair(run func(backend string) time.Duration) (interp, compiled time.Duration) {
-	const reps = 5
-	var is, cs []time.Duration
-	for r := 0; r < reps; r++ {
-		is = append(is, run(fpv.BackendInterp))
-		cs = append(cs, run(fpv.BackendCompiled))
-	}
-	sort.Slice(is, func(i, j int) bool { return is[i] < is[j] })
-	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
-	return is[reps/2], cs[reps/2]
+// median of a sample set: the parallel sections use it instead of the
+// minimum, where the minimum would overstate scheduler luck. (The serial
+// sections take tightly alternating minimums instead: the workloads are
+// deterministic, so the minimum estimates throttle-free cost on shared
+// machines whose CPU quota stretches wall time by whole runs at a time.)
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }

@@ -32,6 +32,14 @@
 //     shard streams concatenate to the unsharded run — determinism
 //     guarantees are test-enforced across both modes.
 //
+// Verification of a design's candidate list is batched by default: all
+// its assertions share one reachability exploration of the design's
+// state space (cached across runs under a memory bound), which is what
+// keeps the verdict matrix FPV-bound pass fast. [RunOptions.Batch] /
+// [VerifyOptions.Batch] select the per-property reference search
+// instead; verdicts are bit-identical either way, enforced by the
+// differential self-check ([SelfCheck], oracle 5).
+//
 // A minimal evaluation:
 //
 //	b, _ := assertionbench.Load(ctx, assertionbench.Options{})

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"assertionbench/internal/fpv"
 	"assertionbench/internal/verilog"
 )
 
@@ -21,7 +22,16 @@ import (
 // The zero value is ready to use.
 type ElabCache struct {
 	m sync.Map // cache key -> *elabEntry
+	// graphs caches FPV reachability graphs next to the compiled
+	// programs, under fpv.GraphCache's memory bound. Graphs are keyed by
+	// netlist pointer, so a design whose source hash changes elaborates
+	// to a fresh netlist and its stale graphs age out of the LRU.
+	graphs fpv.GraphCache
 }
+
+// Graphs exposes the cache's reachability-graph store for wiring into
+// pooled FPV engines (fpv.Engine.Graphs).
+func (c *ElabCache) Graphs() *fpv.GraphCache { return &c.graphs }
 
 type elabEntry struct {
 	once sync.Once
@@ -60,9 +70,10 @@ func (c *ElabCache) Len() int {
 	return n
 }
 
-// Purge empties the cache.
+// Purge empties the cache, including its reachability graphs.
 func (c *ElabCache) Purge() {
 	c.m.Range(func(k, _ any) bool { c.m.Delete(k); return true })
+	c.graphs.Purge()
 }
 
 // DefaultElab is the process-wide elaboration cache the evaluation runner

@@ -90,6 +90,13 @@ const (
 	// violations over identical traces, and FPV verdicts (every result
 	// field, down to the CEX stimulus) must be identical per seed.
 	OracleBackend Oracle = "backend"
+	// OracleBatch cross-checks the batched verifier (shared reachability
+	// graph + shared hunt traces, fpv.VerifyBatch) against the
+	// per-property reference search: every result field, down to the CEX
+	// stimulus, must be identical per seed at both the deep and the
+	// starved budget, and batched counter-examples must replay on the
+	// simulator.
+	OracleBatch Oracle = "batch"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -143,6 +150,9 @@ type Report struct {
 	// BackendChecks counts compiled-vs-interpreted comparisons (lockstep
 	// simulator runs, monitor trace checks, full FPV verdicts).
 	BackendChecks int
+	// BatchChecks counts batched-vs-per-property FPV result comparisons
+	// (oracle 5).
+	BatchChecks int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -151,8 +161,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.DeterminismRuns, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -190,6 +200,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		report.Exhaustive += res.exhaustive
 		report.CEXs += res.cexs
 		report.BackendChecks += res.backend
+		report.BatchChecks += res.batch
 		for k, v := range res.refStatus {
 			report.RefStatus[k] += v
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"assertionbench/internal/bench"
+	"assertionbench/internal/fpv"
 	"assertionbench/internal/sva"
 	"assertionbench/internal/verilog"
 )
@@ -203,5 +204,41 @@ func TestCanceledRunSurfacesContextError(t *testing.T) {
 	_, err := Run(ctx, Options{Scenarios: 4})
 	if err == nil {
 		t.Fatal("canceled run returned nil error")
+	}
+}
+
+// TestMutatedBatchVerifierIsCaught: a deliberately injected batched-path
+// bug (bounded passes reported one state too high — the kind of drift a
+// broken graph mirror would produce) must be caught by oracle 5's full
+// result comparison against the per-property reference.
+func TestMutatedBatchVerifierIsCaught(t *testing.T) {
+	orig := batchVerify
+	defer func() { batchVerify = orig }()
+	batchVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt fpv.Options) []fpv.Result {
+		rs := orig(e, ctx, nl, cs, opt)
+		for i := range rs {
+			if rs[i].Status != fpv.StatusError {
+				rs[i].States++ // the injected bug: a skewed exploration count
+			}
+		}
+		return rs
+	}
+	report, err := Run(context.Background(), Options{
+		// Every property trips the oracle under this mutation, and each
+		// finding pays a shrink pass, so a couple of scenarios suffice.
+		Scenarios: 2, PropsPerDesign: 2, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleBatch && strings.Contains(d.Detail, "batched and per-property FPV disagree") {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected batch bug was not caught by oracle 5; report: %s", report)
 	}
 }

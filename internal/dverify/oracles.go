@@ -20,6 +20,14 @@ import (
 // catches monitor defects.
 var monitorStep = func(m *sva.Monitor, hist [][]uint64) sva.Outcome { return m.Step(hist) }
 
+// batchVerify is the seam between the harness and the batched verifier.
+// Production code always routes through this variable; the mutation test
+// swaps in a result-corrupting wrapper to prove oracle 5 catches batched
+// verdict drift.
+var batchVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt fpv.Options) []fpv.Result {
+	return e.VerifyBatch(ctx, nl, cs, opt)
+}
+
 type harness struct {
 	opt    Options
 	exhEng *fpv.Engine
@@ -27,6 +35,13 @@ type harness struct {
 	// intEng runs the tree-walking reference backend for oracle 4
 	// (compiled-vs-interpreted agreement).
 	intEng *fpv.Engine
+	// batchEng runs the shared-reachability batched verifier for oracle
+	// 5, through its own graph cache so the cache paths are exercised.
+	batchEng   *fpv.Engine
+	batchCache fpv.GraphCache
+	// refEng re-verifies per property at the batch's seed (the oracle-5
+	// reference side).
+	refEng *fpv.Engine
 }
 
 // Reference (deep) and adversary (deliberately starved) FPV budgets. The
@@ -51,6 +66,7 @@ type scenarioResult struct {
 	exhaustive    int
 	cexs          int
 	backend       int
+	batch         int
 	refStatus     map[string]int
 	disagreements []Disagreement
 }
@@ -63,6 +79,9 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 		h.exhEng = fpv.NewEngine()
 		h.bndEng = fpv.NewEngine()
 		h.intEng = fpv.NewEngine()
+		h.refEng = fpv.NewEngine()
+		h.batchEng = fpv.NewEngine()
+		h.batchEng.Graphs = &h.batchCache
 	}
 	res := scenarioResult{refStatus: map[string]int{}}
 	d := spec.Build()
@@ -117,7 +136,74 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 			})
 		}
 	}
+
+	// Oracle 5: the batched verifier (shared reachability graph + shared
+	// hunt traces) against per-property search, at both budgets.
+	nBatch, ds := h.checkBatch(ctx, nl, spec, props, propSeed)
+	res.batch += nBatch
+	res.disagreements = append(res.disagreements, ds...)
 	return res
+}
+
+// checkBatch cross-checks fpv.VerifyBatch against per-property
+// VerifyCompiled over the scenario's compilable properties: every result
+// field must match (diffResults, CEX stimulus included), and batched
+// counter-examples must independently replay on the simulator.
+func (h *harness) checkBatch(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, props []string, seed int64) (int, []Disagreement) {
+	var cs []*sva.Compiled
+	var srcs []string
+	for _, src := range props {
+		a, err := sva.Parse(src)
+		if err != nil {
+			continue // already reported by checkProperty
+		}
+		c, err := sva.Compile(a, nl)
+		if err != nil {
+			continue
+		}
+		cs = append(cs, c)
+		srcs = append(srcs, src)
+	}
+	if len(cs) == 0 {
+		return 0, nil
+	}
+	checks := 0
+	var ds []Disagreement
+	disagree := func(prop, detail string) {
+		ds = append(ds, Disagreement{Oracle: OracleBatch, Spec: spec, Property: prop, Detail: detail})
+	}
+	for _, label := range []struct {
+		name string
+		opt  fpv.Options
+	}{{"deep", h.exhOpt(seed)}, {"starved", h.bndOpt(seed)}} {
+		batch := batchVerify(h.batchEng, ctx, nl, cs, label.opt)
+		for i, c := range cs {
+			ref := h.refEng.VerifyCompiled(ctx, nl, c, label.opt)
+			if ctx.Err() != nil {
+				return checks, ds
+			}
+			checks++
+			if d := diffResults(batch[i], ref); d != "" {
+				disagree(srcs[i], fmt.Sprintf("batched and per-property FPV disagree at the %s budget: %s", label.name, d))
+				continue
+			}
+			if batch[i].Status != fpv.StatusCEX {
+				continue
+			}
+			// Identity with the reference already pins the stimulus; the
+			// replay is the independent re-derivation on the simulator.
+			violated, cycle, attempt, err := replayViolation(nl, c, batch[i].CEX.Inputs)
+			if err != nil {
+				disagree(srcs[i], fmt.Sprintf("batched CEX stimulus cannot be driven on the simulator: %v", err))
+			} else if !violated {
+				disagree(srcs[i], "batched CEX does not violate the monitor when replayed on the simulator")
+			} else if cycle != batch[i].CEX.ViolationCycle || attempt != batch[i].CEX.AttemptCycle {
+				disagree(srcs[i], fmt.Sprintf("batched CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d)",
+					cycle, attempt, batch[i].CEX.ViolationCycle, batch[i].CEX.AttemptCycle))
+			}
+		}
+	}
+	return checks, ds
 }
 
 // roundTrip checks PrintFile -> Parse -> Elaborate netlist identity and

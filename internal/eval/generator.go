@@ -141,6 +141,15 @@ type Verifier interface {
 	Verify(ctx context.Context, d bench.Design, nl *verilog.Netlist, assertion string, opt fpv.Options) fpv.Result
 }
 
+// BatchVerifier is the optional batched extension of Verifier: verify a
+// design's whole candidate list in one call, so implementations can
+// amortize design-state exploration across the batch. The runner uses it
+// when available; fpv.Options.Batch still selects per-property search
+// inside the call (verdicts are identical either way).
+type BatchVerifier interface {
+	VerifyBatch(ctx context.Context, d bench.Design, nl *verilog.Netlist, assertions []string, opt fpv.Options) []fpv.Result
+}
+
 type engineVerifier struct {
 	eng *fpv.Engine
 }
@@ -149,8 +158,15 @@ func (v engineVerifier) Verify(ctx context.Context, _ bench.Design, nl *verilog.
 	return v.eng.VerifySource(ctx, nl, assertion, opt)
 }
 
+func (v engineVerifier) VerifyBatch(ctx context.Context, _ bench.Design, nl *verilog.Netlist, assertions []string, opt fpv.Options) []fpv.Result {
+	return v.eng.VerifyAll(ctx, nl, assertions, opt)
+}
+
 // NewEngineVerifier returns the default FPV-backed Verifier: one reusable
-// fpv.Engine, reset between calls. Not safe for concurrent use.
+// fpv.Engine, reset between calls, sharing the process-wide reachability
+// graph cache. Not safe for concurrent use.
 func NewEngineVerifier() Verifier {
-	return engineVerifier{eng: fpv.NewEngine()}
+	eng := fpv.NewEngine()
+	eng.Graphs = bench.DefaultElab.Graphs()
+	return engineVerifier{eng: eng}
 }

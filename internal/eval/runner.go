@@ -183,11 +183,17 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 			yield(DesignOutcome{}, fmt.Errorf("eval: %d-shot requested but only %d examples", opt.Shots, len(examples)))
 			return
 		}
-		// A bad backend string would otherwise surface as StatusError on
-		// every single verdict — a "successful" run of garbage metrics.
+		// A bad backend or batch string would otherwise surface as
+		// StatusError on every single verdict — a "successful" run of
+		// garbage metrics.
 		if !fpv.ValidBackend(opt.FPV.Backend) {
 			yield(DesignOutcome{}, fmt.Errorf("eval: unknown execution backend %q (want %q or %q)",
 				opt.FPV.Backend, fpv.BackendCompiled, fpv.BackendInterp))
+			return
+		}
+		if !fpv.ValidBatch(opt.FPV.Batch) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: unknown batch mode %q (want %q or %q)",
+				opt.FPV.Batch, fpv.BatchAuto, fpv.BatchOff))
 			return
 		}
 		designs := corpus
@@ -244,11 +250,25 @@ func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Exampl
 		outcome.Corrected = fixed
 		checked = fixed
 	}
+	// The design's whole candidate list goes through the batched verifier
+	// when the Verifier supports it, sharing one reachability exploration
+	// across the assertions (verdicts are identical to the per-property
+	// loop; fpv.Options.Batch == BatchOff forces the reference path
+	// inside the call). A canceled verification surfaces as StatusError
+	// results; abort the whole job rather than record verdicts a
+	// completed run would never contain.
+	if bv, ok := v.(BatchVerifier); ok {
+		rs := bv.VerifyBatch(ctx, d, nl, checked, opt.FPV)
+		if err := ctx.Err(); err != nil {
+			return jobResult{err: err}
+		}
+		for _, r := range rs {
+			outcome.Verdicts = append(outcome.Verdicts, Classify(r))
+		}
+		return jobResult{outcome: outcome}
+	}
 	for _, line := range checked {
 		r := v.Verify(ctx, d, nl, line, opt.FPV)
-		// A canceled verification surfaces as a StatusError result; abort
-		// the whole job rather than record a verdict a completed run would
-		// never contain.
 		if err := ctx.Err(); err != nil {
 			return jobResult{err: err}
 		}

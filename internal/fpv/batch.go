@@ -1,0 +1,556 @@
+package fpv
+
+import (
+	"context"
+	"fmt"
+
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// The batched verification path: all properties of one design share a
+// single demand-driven reachability exploration (graph.go) instead of
+// re-simulating the design's state space once per assertion. Each
+// property runs a monitor-only product BFS over the graph (expanding
+// nodes on first use), and — in bounded mode — the unresolved remainder
+// of the batch steps over one shared random-hunt trace, simulated run by
+// run as consumed. Verdicts are bit-identical to the per-property
+// reference search, field for field including CEX stimulus (dverify
+// oracle 5 enforces this); only the work is amortized.
+
+// gnode is one product state of the batched search: a graph node times
+// the monitor state, plus the sampled-history window its property reads
+// (rows are graph-owned union rows, most recent first).
+type gnode struct {
+	node   int32
+	alive  uint64
+	sat    uint64
+	parent int32
+	edge   int32 // graph edge taken into this state (-1 at the root)
+	depth  int32
+	hist   [][]uint64
+}
+
+// batchState carries one VerifyBatch call's exploration: the graph and
+// hunt trace in use, whether they are private clones (extendable) or
+// still the cache's immutable copies, and whether anything grew and so
+// is worth republishing.
+type batchState struct {
+	key     graphKey
+	g       *Graph
+	ht      *HuntTrace
+	gOwned  bool
+	htOwned bool
+	dirty   bool
+	// failed marks an exploration that hit an engine error; it must not
+	// be republished.
+	failed bool
+}
+
+// VerifyBatch model-checks a batch of compiled assertions against the
+// netlist with one shared design-state exploration, returning one result
+// per input in order. Results are identical to calling VerifyCompiled per
+// assertion with the same Options. Cancellation marks every undecided
+// result StatusError with ctx.Err().
+func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt Options) []Result {
+	out := make([]Result, len(cs))
+	opt = opt.withDefaults()
+	fail := func(from int, err error) []Result {
+		for i := from; i < len(out); i++ {
+			out[i] = Result{Status: StatusError, Err: err}
+		}
+		return out
+	}
+	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
+		return fail(0, fmt.Errorf("fpv: unknown backend %q", opt.Backend))
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(0, err)
+	}
+	if len(cs) == 0 {
+		return out
+	}
+	e.bind(nl, opt.Backend)
+	e.opt = opt
+
+	union := []int{}
+	for _, c := range cs {
+		union = mergeSorted(union, c.SupportNets())
+	}
+	enumerate := nl.InputBits() <= opt.MaxInputBits
+	bs := e.openBatch(union, enumerate)
+	defer e.publishBatch(bs)
+
+	// unionPos maps a net index to its row position in the graph's
+	// support union (which may be a cached superset of this batch's).
+	if len(e.unionPos) != len(nl.Nets) {
+		e.unionPos = make([]int32, len(nl.Nets))
+	}
+	for pos, idx := range bs.g.Support {
+		e.unionPos[idx] = int32(pos)
+	}
+
+	// Phase 1: monitor-only product BFS per property over the graph.
+	type pendingProp struct {
+		i   int
+		c   *sva.Compiled
+		mon *sva.Monitor
+	}
+	var pending []pendingProp
+	for i, c := range cs {
+		if err := ctx.Err(); err != nil {
+			// Undecided earlier properties hold interim results awaiting
+			// the hunt phase; they must surface as canceled too — the
+			// zero Status value is StatusProven, never a verdict to leak.
+			for _, p := range pending {
+				out[p.i] = Result{Status: StatusError, Err: err}
+			}
+			return fail(i, err)
+		}
+		var mon *sva.Monitor
+		if opt.Backend == BackendCompiled {
+			m, err := sva.NewMonitorCompiled(c)
+			if err != nil {
+				out[i] = Result{Status: StatusError, Err: err}
+				continue
+			}
+			mon = m
+		} else {
+			mon = sva.NewMonitor(c)
+		}
+		res := e.graphSearch(ctx, bs, c, mon, enumerate)
+		if res.Status == StatusCEX || res.Status == StatusError {
+			out[i] = res
+			continue
+		}
+		if res.Exhaustive {
+			if res.NonVacuous {
+				res.Status = StatusProven
+			} else {
+				res.Status = StatusVacuous
+			}
+			out[i] = res
+			continue
+		}
+		out[i] = res
+		pending = append(pending, pendingProp{i: i, c: c, mon: mon})
+	}
+	if len(pending) == 0 {
+		return out
+	}
+
+	// Phase 2: the shared random hunt for everything still undecided,
+	// simulated run by run as long as anything remains pending — exactly
+	// the per-run stimulus every per-property hunt would drive.
+	maxPast := 0
+	for _, p := range pending {
+		if p.c.PastDepth > maxPast {
+			maxPast = p.c.PastDepth
+		}
+	}
+	ring := e.ensureScatter(maxPast + 1)
+	histBuf := make([][]uint64, maxPast+1)
+	for run := 0; run < opt.RandomRuns && len(pending) > 0; run++ {
+		if err := ctx.Err(); err != nil {
+			for _, p := range pending {
+				out[p.i] = Result{Status: StatusError, Err: err}
+			}
+			return out
+		}
+		e.ensureHuntRun(bs, run)
+		ht := bs.ht
+		for _, p := range pending {
+			p.mon.Reset()
+		}
+		for t := 0; t < ht.Depth && len(pending) > 0; t++ {
+			slot := t % (maxPast + 1)
+			e.scatterRow(ring[slot], ht.Support, ht.row(run, t))
+			for k := 0; k <= maxPast; k++ {
+				if t-k >= 0 {
+					histBuf[k] = ring[(t-k)%(maxPast+1)]
+				} else {
+					histBuf[k] = e.zeroEnv
+				}
+			}
+			for pi := 0; pi < len(pending); pi++ {
+				p := pending[pi]
+				r := &out[p.i]
+				mo := p.mon.Step(histBuf)
+				if mo.AnteCompleted {
+					r.NonVacuous = true
+				}
+				if mo.Violated {
+					full := *r
+					full.Status = StatusCEX
+					full.CEX = e.replayCEX(huntInputs(ht, run, t), t, mo.ViolatedAge)
+					if t > full.Depth {
+						full.Depth = t
+					}
+					out[p.i] = full
+					pending = append(pending[:pi], pending[pi+1:]...)
+					pi--
+					continue
+				}
+				if t > r.Depth {
+					r.Depth = t
+				}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		for _, p := range pending {
+			out[p.i] = Result{Status: StatusError, Err: err}
+		}
+		return out
+	}
+	for _, p := range pending {
+		out[p.i].Status = StatusBoundedPass
+	}
+	return out
+}
+
+// VerifyBatch model-checks a batch of compiled assertions with a one-shot
+// engine sharing one reachability exploration.
+func VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt Options) []Result {
+	return NewEngine().VerifyBatch(ctx, nl, cs, opt)
+}
+
+// openBatch fetches (or starts) the exploration for the engine's bound
+// design and current options. A cache hit whose support union misses
+// nets of this batch is rebuilt over the merged union, so unions grow
+// monotonically per key; a cached hunt trace is kept only if its run
+// budget matches.
+func (e *Engine) openBatch(union []int, enumerate bool) *batchState {
+	bs := &batchState{key: e.graphKey(enumerate)}
+	if e.Graphs != nil {
+		g, ht, stale := e.Graphs.lookup(bs.key, union)
+		if g != nil {
+			bs.g = g
+			if ht != nil && ht.Runs == e.opt.RandomRuns && ht.Depth == e.opt.RandomDepth && ht.Seed == e.opt.Seed {
+				bs.ht = ht
+			}
+			return bs
+		}
+		if stale != nil {
+			union = mergeSorted(union, stale)
+		}
+	}
+	bs.g = e.newGraph(union, enumerate)
+	bs.gOwned = true
+	bs.dirty = true
+	return bs
+}
+
+// ensureExpanded makes node u's edges available, cloning a cache-owned
+// graph before the first private extension (copy-on-write).
+func (e *Engine) ensureExpanded(bs *batchState, u int32) error {
+	if bs.g.EdgeOff[u] >= 0 {
+		return nil
+	}
+	if !bs.gOwned {
+		bs.g = bs.g.clone()
+		bs.gOwned = true
+	}
+	if err := e.expandNode(bs.g, u); err != nil {
+		bs.failed = true
+		return err
+	}
+	bs.dirty = true
+	return nil
+}
+
+// ensureHuntRun makes hunt run `run` available in the trace.
+func (e *Engine) ensureHuntRun(bs *batchState, run int) {
+	if bs.ht == nil {
+		bs.ht = &HuntTrace{
+			Runs: e.opt.RandomRuns, Depth: e.opt.RandomDepth, Seed: e.opt.Seed,
+			Support: bs.g.Support, NumInputs: len(e.nl.Inputs),
+		}
+		bs.htOwned = true
+	}
+	if run < bs.ht.RunsDone {
+		return
+	}
+	if !bs.htOwned {
+		bs.ht = bs.ht.clone()
+		bs.htOwned = true
+	}
+	e.extendHunt(bs.ht, run)
+	bs.dirty = true
+}
+
+// publishBatch republishes a grown exploration to the cache.
+func (e *Engine) publishBatch(bs *batchState) {
+	if e.Graphs == nil || !bs.dirty || bs.failed {
+		return
+	}
+	e.Graphs.store(bs.key, bs.g, bs.ht)
+	if e.gVisitedFor == bs.g {
+		// The published graph is now shared and immutable; drop the
+		// engine's extension index so a later batch re-syncs on a clone.
+		e.gVisitedFor = nil
+	}
+}
+
+func (e *Engine) graphKey(enumerate bool) graphKey {
+	k := graphKey{nl: e.nl, backend: e.backend, enumerate: enumerate}
+	if !enumerate {
+		// Bounded graphs store per-state sampled vectors, a pure function
+		// of (seed, state, sample count); enumerate graphs are a pure
+		// function of the netlist alone and share across seeds.
+		k.maxSamples = e.opt.MaxInputSamples
+		k.seed = e.opt.Seed
+	}
+	return k
+}
+
+// graphSearch is the monitor-only mirror of Engine.bfs over the shared
+// graph: identical state keys, identical discovery order, identical cap
+// and counter bookkeeping — the simulator work is simply replaced by
+// edge lookups (nodes expand on first use, then stay shared).
+func (e *Engine) graphSearch(ctx context.Context, bs *batchState, c *sva.Compiled, mon *sva.Monitor, enumerate bool) Result {
+	res := Result{}
+	e.c = c
+	e.mon = mon
+	e.support = nil
+	if c.PastDepth > 0 {
+		e.support = c.SupportNets()
+	}
+	e.visitedExact.reset(e.stateKeyLen())
+	e.visitedHash.reset()
+	nVisited := 0
+	seen := func(node []uint64, alive, sat uint64, hist [][]uint64) bool {
+		if enumerate {
+			k, h := e.graphKeyHash(node, alive, sat, hist)
+			if _, existed := e.visitedExact.insert(h, k); existed {
+				return true
+			}
+		} else {
+			h := e.graphHash(node, alive, sat, hist)
+			if h == 0 {
+				h = 1
+			}
+			if e.visitedHash.insert(h) {
+				return true
+			}
+		}
+		nVisited++
+		return false
+	}
+	nodes := e.gnodes[:0]
+	nodes = append(nodes, gnode{node: 0, parent: -1, edge: -1})
+	seen(bs.g.node(0), 0, 0, nil)
+	closed := true
+
+	rows := e.ensureScatter(c.PastDepth + 1)
+	if cap(e.histBuf) < c.PastDepth+1 {
+		e.histBuf = make([][]uint64, c.PastDepth+1)
+	}
+	histBuf := e.histBuf[:c.PastDepth+1]
+
+	for head := 0; head < len(nodes); head++ {
+		if head&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				e.gnodes = releaseGnodes(nodes)
+				return Result{Status: StatusError, Err: err}
+			}
+		}
+		if nVisited >= e.opt.MaxProductStates {
+			closed = false
+			break
+		}
+		cur := nodes[head]
+		if int(cur.depth) > res.Depth {
+			res.Depth = int(cur.depth)
+		}
+		if err := e.ensureExpanded(bs, cur.node); err != nil {
+			// Mirrors the per-property path's treatment of a simulator
+			// load failure: an engine error, never a partial verdict.
+			e.gnodes = releaseGnodes(nodes)
+			return Result{Status: StatusError, Err: err}
+		}
+		g := bs.g
+		// Scatter the history rows once per popped state; row 0 varies per
+		// edge below.
+		histBuf[0] = rows[0]
+		for k := 1; k <= c.PastDepth; k++ {
+			if k-1 < len(cur.hist) {
+				e.scatterRow(rows[k], g.Support, cur.hist[k-1])
+				histBuf[k] = rows[k]
+			} else {
+				histBuf[k] = e.zeroEnv
+			}
+		}
+		off := g.EdgeOff[cur.node]
+		for ei := off; ei < off+int32(g.EdgesPerNode); ei++ {
+			urow := g.row(ei)
+			e.scatterRow(rows[0], g.Support, urow)
+			mon.SetState(cur.alive, cur.sat)
+			mo := mon.Step(histBuf)
+			if mo.AnteCompleted {
+				res.NonVacuous = true
+			}
+			if mo.Violated {
+				res.Status = StatusCEX
+				res.States = nVisited
+				res.CEX = e.buildGraphCEX(g, nodes, head, ei, int(cur.depth), mo.ViolatedAge)
+				e.gnodes = releaseGnodes(nodes)
+				return res
+			}
+			alive, sat := mon.State()
+			childHist := e.histScratch[:0]
+			if c.PastDepth > 0 {
+				childHist = append(childHist, urow)
+				for k := 0; k < c.PastDepth-1 && k < len(cur.hist); k++ {
+					childHist = append(childHist, cur.hist[k])
+				}
+				e.histScratch = childHist
+			}
+			if !seen(g.node(g.Dst[ei]), alive, sat, childHist) {
+				child := gnode{
+					node:   g.Dst[ei],
+					alive:  alive,
+					sat:    sat,
+					parent: int32(head),
+					edge:   ei,
+					depth:  cur.depth + 1,
+				}
+				if c.PastDepth > 0 {
+					// Rows are graph-owned and immutable; retaining the
+					// slice header list is enough (no deep copies).
+					child.hist = append(make([][]uint64, 0, len(childHist)), childHist...)
+				}
+				nodes = append(nodes, child)
+			}
+		}
+	}
+	e.gnodes = releaseGnodes(nodes)
+	res.States = nVisited
+	res.Exhaustive = enumerate && closed
+	return res
+}
+
+// releaseGnodes drops the nodes' history references before the slice is
+// retained as engine scratch, so an evicted graph's row arrays are not
+// pinned in memory until the next batch happens to overwrite every
+// entry.
+func releaseGnodes(nodes []gnode) []gnode {
+	for i := range nodes {
+		nodes[i].hist = nil
+	}
+	return nodes
+}
+
+// graphKeyHash is stateKeyHash over a graph product state: byte-identical
+// to the per-property encoding of the same (registers, monitor, history)
+// state, reading packed registers from the graph and history values from
+// union rows.
+func (e *Engine) graphKeyHash(packed []uint64, alive, sat uint64, hist [][]uint64) ([]byte, uint64) {
+	buf := e.keyBuf[:0]
+	h := uint64(stateHashSeed)
+	put := func(v uint64) {
+		buf = le64Append(buf, v)
+		h = stateMix(h, v)
+	}
+	for _, v := range packed {
+		put(v)
+	}
+	put(alive)
+	if e.c.Ranged {
+		put(sat)
+	}
+	for k := 0; k < e.c.PastDepth; k++ {
+		if k < len(hist) {
+			row := hist[k]
+			for _, idx := range e.support {
+				put(row[e.unionPos[idx]])
+			}
+		} else {
+			// Histories shorter than PastDepth pad with the zero env,
+			// exactly as the per-property key does.
+			for range e.support {
+				put(0)
+			}
+		}
+	}
+	e.keyBuf = buf
+	return buf, h
+}
+
+// graphHash is stateHash over a graph product state (bounded-mode
+// fingerprint), matching graphKeyHash's mixing.
+func (e *Engine) graphHash(packed []uint64, alive, sat uint64, hist [][]uint64) uint64 {
+	h := uint64(stateHashSeed)
+	mix := func(v uint64) {
+		h = stateMix(h, v)
+	}
+	for _, v := range packed {
+		mix(v)
+	}
+	mix(alive)
+	if e.c.Ranged {
+		mix(sat)
+	}
+	for k := 0; k < e.c.PastDepth; k++ {
+		if k < len(hist) {
+			row := hist[k]
+			for _, idx := range e.support {
+				mix(row[e.unionPos[idx]])
+			}
+		} else {
+			for range e.support {
+				mix(0)
+			}
+		}
+	}
+	return h
+}
+
+// buildGraphCEX reconstructs the refuting stimulus from the product-BFS
+// parent chain (edge labels carry the input vectors) and replays it on
+// the simulator, exactly as the per-property buildCEX does.
+func (e *Engine) buildGraphCEX(g *Graph, nodes []gnode, head int, lastEdge int32, depth, violatedAge int) *CEX {
+	var inputs [][]uint64
+	for i := head; i >= 0 && nodes[i].parent >= 0; i = int(nodes[i].parent) {
+		inputs = append(inputs, e.edgeVec(g, nodes[int(nodes[i].parent)].node, nodes[i].edge))
+	}
+	for l, r := 0, len(inputs)-1; l < r; l, r = l+1, r-1 {
+		inputs[l], inputs[r] = inputs[r], inputs[l]
+	}
+	inputs = append(inputs, e.edgeVec(g, nodes[head].node, lastEdge))
+	return e.replayCEX(inputs, depth, violatedAge)
+}
+
+// edgeVec returns the input vector labelling edge ei out of src.
+func (e *Engine) edgeVec(g *Graph, src, ei int32) []uint64 {
+	if g.Enumerate {
+		return e.enumInputVectors()[int(ei-g.EdgeOff[src])]
+	}
+	return g.vec(ei)
+}
+
+// huntInputs builds the per-cycle stimulus view of run's first t+1 cycles.
+func huntInputs(ht *HuntTrace, run, t int) [][]uint64 {
+	vecs := make([][]uint64, t+1)
+	for k := range vecs {
+		vecs[k] = ht.input(run, k)
+	}
+	return vecs
+}
+
+// scatterRow writes a union-support row into a full-width env row at the
+// support nets' positions (other positions are never read: monitors only
+// evaluate their support nets).
+func (e *Engine) scatterRow(dst []uint64, support []int, urow []uint64) {
+	for j, idx := range support {
+		dst[idx] = urow[j]
+	}
+}
+
+// ensureScatter returns n reusable full-env scratch rows.
+func (e *Engine) ensureScatter(n int) [][]uint64 {
+	for len(e.scatterRows) < n {
+		e.scatterRows = append(e.scatterRows, make([]uint64, len(e.nl.Nets)))
+	}
+	return e.scatterRows[:n]
+}

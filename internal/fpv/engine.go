@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 
 	"assertionbench/internal/sim"
 	"assertionbench/internal/sva"
@@ -20,6 +19,11 @@ import (
 //
 // An Engine is NOT safe for concurrent use; pool one per worker.
 type Engine struct {
+	// Graphs, when non-nil, caches shared reachability graphs (and hunt
+	// traces) for the batched verification path across calls and engines;
+	// nil engines still batch, but rebuild the graph per VerifyBatch call.
+	Graphs *GraphCache
+
 	// Per-netlist state, rebuilt only when the design under verification
 	// (or the execution backend) changes (Bind).
 	nl        *verilog.Netlist
@@ -38,13 +42,17 @@ type Engine struct {
 	support []int // c.SupportNets(), computed once per call
 
 	// Reused scratch.
-	src          rand.Source
-	rng          *rand.Rand
 	nodes        []node
 	visitedExact exactSet // exhaustive mode: exact state keys
 	visitedHash  u64Set   // bounded mode: hash compaction
 	keyBuf       []byte
 	histBuf      [][]uint64
+	gVisited     exactSet   // graph expansion: exact design-state dedup
+	gVisitedFor  *Graph     // the graph gVisited currently indexes
+	expandRegs   []uint64   // unpacked register scratch for node expansion
+	gnodes       []gnode    // batched product-BFS node list
+	scatterRows  [][]uint64 // batched search: union rows scattered to full env width
+	unionPos     []int32    // net index -> position in the active graph's Support
 	regBuf       []uint64   // post-step register snapshot
 	envScratch   []uint64   // pre-step env snapshot for $past history
 	widths       []int      // data-input widths (per netlist)
@@ -98,11 +106,56 @@ func (e *Engine) copyU64(src []uint64) []uint64 {
 
 // NewEngine returns an empty reusable engine.
 func NewEngine() *Engine {
-	src := rand.NewSource(1)
-	return &Engine{
-		src: src,
-		rng: rand.New(src),
+	return &Engine{}
+}
+
+// The engine's randomness is pure: every sampled input vector and hunt
+// stimulus is a splitmix64 function of (Options.Seed, design state or run
+// index), never a draw from a shared stream. That is what makes verdicts
+// reproducible per seed with zero per-call reseeding cost, and — more
+// importantly — what lets the batched verifier share one reachability
+// graph across a batch: the vectors tried from a design state depend on
+// the state alone, so per-property search and graph replay explore
+// byte-identical product spaces (dverify oracle 5).
+
+// sm64 is a splitmix64 stream.
+type sm64 uint64
+
+func (s *sm64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// mix64 finalizes a 64-bit hash (the same mixer the state hashes use).
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// sampleSeed derives the per-state sampling stream from the run seed and
+// the bit-packed register state.
+func sampleSeed(seed int64, packed []uint64) uint64 {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range packed {
+		h = mix64(h ^ v)
 	}
+	return h
+}
+
+// huntSeed derives the stimulus stream of one random-hunt run. It depends
+// only on (seed, run), so hunt traces are identical for every property —
+// the batched verifier simulates each run once and replays it for the
+// whole batch.
+func huntSeed(seed int64, run int) uint64 {
+	return mix64(uint64(seed)*0x9E3779B97F4A7C15 + uint64(run) + 1)
 }
 
 // exactSet is a reused open-addressed set of exact state keys for
@@ -131,8 +184,10 @@ func (s *exactSet) reset(keyLen int) {
 	s.n = 0
 }
 
-// insert adds the (hash, key) pair and reports prior membership.
-func (s *exactSet) insert(h uint64, key []byte) bool {
+// insert adds the (hash, key) pair, returning the key's ordinal (its
+// insertion index — the graph builder uses it as the node id) and whether
+// it was already present.
+func (s *exactSet) insert(h uint64, key []byte) (int, bool) {
 	mask := uint64(len(s.slots) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
 		ord := s.slots[i]
@@ -144,11 +199,11 @@ func (s *exactSet) insert(h uint64, key []byte) bool {
 			if s.n*4 > len(s.slots)*3 {
 				s.grow()
 			}
-			return false
+			return s.n - 1, false
 		}
 		k := int(ord - 1)
 		if s.hashes[k] == h && string(s.arena[k*s.keyLen:(k+1)*s.keyLen]) == string(key) {
-			return true
+			return k, true
 		}
 	}
 }
@@ -255,6 +310,33 @@ func (e *Engine) bind(nl *verilog.Netlist, backend string) {
 	e.enumVecs = nil
 	e.sampleVecs = nil
 	e.huntRing = nil
+	e.scatterRows = nil
+	e.unionPos = nil
+	e.gVisitedFor = nil
+}
+
+// le64Append appends v little-endian to buf.
+func le64Append(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+// stateHashSeed and stateMix are THE visited-state hash: every state
+// key/fingerprint — per-property (stateKeyHash/stateHash) and batched
+// (graphKeyHash/graphHash) — folds its words through this one
+// definition, in the same field order, so the two search paths produce
+// byte-identical keys for identical product states by construction.
+// Oracle 5's verdict-identity guarantee (and exhaustive-mode proof
+// soundness under shared graphs) rests on that identity; change the
+// encodings only in lockstep.
+const stateHashSeed = 0x9E3779B97F4A7C15
+
+func stateMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
 }
 
 // Verify model-checks an already-parsed assertion against the netlist.
@@ -276,11 +358,58 @@ func (e *Engine) VerifySource(ctx context.Context, nl *verilog.Netlist, src stri
 }
 
 // VerifyAll verifies a batch of assertion texts, one result per input.
-// A context cancellation mid-batch marks the remaining results canceled.
+// Parsing and compilation are hoisted out of the search loop, and with
+// batching on (Options.Batch, the default) the compiled assertions run
+// through VerifyBatch's shared reachability graph with duplicate texts
+// verified once (the engine is deterministic per (netlist, text, opt),
+// so duplicates share a result — exactly what per-property verification
+// would compute for each). Options.Batch == BatchOff keeps the
+// per-property reference search, with the netlist bound once for the
+// whole batch either way. A context cancellation mid-batch marks the
+// remaining results canceled.
 func (e *Engine) VerifyAll(ctx context.Context, nl *verilog.Netlist, srcs []string, opt Options) []Result {
+	opt = opt.withDefaults()
 	out := make([]Result, len(srcs))
+	cs := make([]*sva.Compiled, 0, len(srcs))
+	idx := make([]int, 0, len(srcs))
+	batch := opt.Batch != BatchOff
+	first := make(map[string]int, len(srcs)) // text -> slot in cs (batch dedup)
+	dup := make(map[int]int)                 // out index -> slot in cs
 	for i, s := range srcs {
-		out[i] = e.VerifySource(ctx, nl, s, opt)
+		if batch {
+			if k, ok := first[s]; ok {
+				dup[i] = k
+				continue
+			}
+		}
+		a, err := sva.Parse(s)
+		if err != nil {
+			out[i] = Result{Status: StatusError, Err: err}
+			continue
+		}
+		c, err := sva.Compile(a, nl)
+		if err != nil {
+			out[i] = Result{Status: StatusError, Err: err}
+			continue
+		}
+		if batch {
+			first[s] = len(cs)
+		}
+		cs = append(cs, c)
+		idx = append(idx, i)
+	}
+	if batch {
+		results := e.VerifyBatch(ctx, nl, cs, opt)
+		for k, r := range results {
+			out[idx[k]] = r
+		}
+		for i, k := range dup {
+			out[i] = results[k]
+		}
+		return out
+	}
+	for k, c := range cs {
+		out[idx[k]] = e.VerifyCompiled(ctx, nl, c, opt)
 	}
 	return out
 }
@@ -315,9 +444,6 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 	if c.PastDepth > 0 {
 		e.support = c.SupportNets()
 	}
-	// Reseeding the shared source makes every call deterministic in
-	// Options.Seed regardless of what ran on this engine before.
-	e.src.Seed(opt.Seed)
 
 	exhaustive := nl.InputBits() <= opt.MaxInputBits
 	res := e.bfs(ctx, exhaustive)
@@ -372,7 +498,7 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 	seen := func(regs []uint64, alive, sat uint64, hist [][]uint64) bool {
 		if enumerate {
 			k, h := e.stateKeyHash(regs, alive, sat, hist)
-			if e.visitedExact.insert(h, k) {
+			if _, existed := e.visitedExact.insert(h, k); existed {
 				return true
 			}
 		} else {
@@ -417,7 +543,16 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 		if int(cur.depth) > res.Depth {
 			res.Depth = int(cur.depth)
 		}
-		for _, inputs := range e.inputVectors(enumerate) {
+		var vecs [][]uint64
+		if enumerate {
+			vecs = e.enumInputVectors()
+		} else {
+			// Sampled vectors are a pure function of the design state (see
+			// sampleSeed): compute the seed before child expansion reuses
+			// the packing scratch.
+			vecs = e.sampleInputVectors(sampleSeed(e.opt.Seed, e.packRegs(cur.regs)))
+		}
+		for _, inputs := range vecs {
 			if err := e.sim.LoadStateWithInputs(cur.regs, inputs); err != nil {
 				// Impossible by construction; treat as engine error.
 				return Result{Status: StatusError, Err: err}
@@ -525,14 +660,10 @@ func (e *Engine) packRegs(regs []uint64) []uint64 {
 // sound.
 func (e *Engine) stateKeyHash(regs []uint64, alive, sat uint64, hist [][]uint64) ([]byte, uint64) {
 	buf := e.keyBuf[:0]
-	h := uint64(0x9E3779B97F4A7C15)
-	var tmp [8]byte
+	h := uint64(stateHashSeed)
 	put := func(v uint64) {
-		binary.LittleEndian.PutUint64(tmp[:], v)
-		buf = append(buf, tmp[:]...)
-		h ^= v
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
+		buf = le64Append(buf, v)
+		h = stateMix(h, v)
 	}
 	for _, v := range e.packRegs(regs) {
 		put(v)
@@ -579,11 +710,9 @@ func (e *Engine) stateKeyLen() int {
 // function of the state, so verdicts stay deterministic and identical
 // across sequential and parallel runs.
 func (e *Engine) stateHash(regs []uint64, alive, sat uint64, hist [][]uint64) uint64 {
-	h := uint64(0x9E3779B97F4A7C15)
+	h := uint64(stateHashSeed)
 	mix := func(v uint64) {
-		h ^= v
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
+		h = stateMix(h, v)
 	}
 	for _, v := range e.packRegs(regs) {
 		mix(v)
@@ -606,38 +735,53 @@ func (e *Engine) stateHash(regs []uint64, alive, sat uint64, hist [][]uint64) ui
 	return h
 }
 
-// inputVectors yields the data-input vectors to try from one state: the
-// full enumeration when feasible, otherwise corner patterns plus random
-// samples. The enumeration is a pure function of the netlist and is
-// cached across states and calls; sampled vectors are drawn into reused
-// scratch (consumers must copy what they retain).
-func (e *Engine) inputVectors(enumerate bool) [][]uint64 {
-	widths := e.widths
+// unpackInputs splits a packed bit vector into per-input values by the
+// given widths (inputs beyond 64 packed bits read as zero).
+func unpackInputs(vals []uint64, widths []int, bits uint64) {
+	for i, w := range widths {
+		vals[i] = bits & verilog.WidthMask(w)
+		bits >>= uint(w)
+	}
+}
+
+// enumInputVectors yields the full data-input enumeration — a pure
+// function of the netlist, cached across states and calls.
+func (e *Engine) enumInputVectors() [][]uint64 {
+	total := 0
+	for _, w := range e.widths {
+		total += w
+	}
+	n := 1 << uint(total)
+	if len(e.enumVecs) != n {
+		e.enumVecs = enumerateInputs(e.widths)
+	}
+	return e.enumVecs
+}
+
+// enumerateInputs builds the full input enumeration for the widths.
+func enumerateInputs(widths []int) [][]uint64 {
 	total := 0
 	for _, w := range widths {
 		total += w
 	}
-	unpackInto := func(vals []uint64, bits uint64) {
-		for i, w := range widths {
-			vals[i] = bits & verilog.WidthMask(w)
-			bits >>= uint(w)
-		}
-	}
-	newVec := func(bits uint64) []uint64 {
+	n := 1 << uint(total)
+	out := make([][]uint64, 0, n)
+	for b := 0; b < n; b++ {
 		vals := make([]uint64, len(widths))
-		unpackInto(vals, bits)
-		return vals
+		unpackInputs(vals, widths, uint64(b))
+		out = append(out, vals)
 	}
-	if enumerate {
-		n := 1 << uint(total)
-		if len(e.enumVecs) != n {
-			e.enumVecs = make([][]uint64, 0, n)
-			for b := 0; b < n; b++ {
-				e.enumVecs = append(e.enumVecs, newVec(uint64(b)))
-			}
-		}
-		return e.enumVecs
-	}
+	return out
+}
+
+// sampleInputVectors yields the bounded-mode vectors to try from one
+// state — the all-zeros and all-ones corners plus MaxInputSamples
+// splitmix draws from the state's sampling stream — into reused scratch
+// (consumers must copy what they retain). The same smSeed always yields
+// the same vectors, which is what keeps bounded search identical between
+// the per-property path and the shared-graph batched path.
+func (e *Engine) sampleInputVectors(smSeed uint64) [][]uint64 {
+	widths := e.widths
 	n := e.opt.MaxInputSamples + 2
 	if len(e.sampleVecs) != n || (n > 0 && len(e.sampleVecs[0]) != len(widths)) {
 		e.sampleVecs = make([][]uint64, n)
@@ -645,12 +789,20 @@ func (e *Engine) inputVectors(enumerate bool) [][]uint64 {
 			e.sampleVecs[i] = make([]uint64, len(widths))
 		}
 	}
-	unpackInto(e.sampleVecs[0], 0)
-	unpackInto(e.sampleVecs[1], ^uint64(0))
-	for i := 0; i < e.opt.MaxInputSamples; i++ {
-		unpackInto(e.sampleVecs[i+2], e.rng.Uint64())
-	}
+	fillSampleVectors(e.sampleVecs, widths, smSeed)
 	return e.sampleVecs
+}
+
+// fillSampleVectors writes the bounded-mode vector set for one state into
+// vecs (len MaxInputSamples+2): shared by the per-property engine and the
+// graph builder so both derive identical edges.
+func fillSampleVectors(vecs [][]uint64, widths []int, smSeed uint64) {
+	unpackInputs(vecs[0], widths, 0)
+	unpackInputs(vecs[1], widths, ^uint64(0))
+	sm := sm64(smSeed)
+	for i := 2; i < len(vecs); i++ {
+		unpackInputs(vecs[i], widths, sm.next())
+	}
 }
 
 // buildCEX reconstructs the refuting stimulus from parent links and
@@ -724,8 +876,12 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 		e.mon.Reset()
 		histLen := 0
 		inputs := e.huntInputs[:0]
+		// Each run's stimulus is its own pure splitmix stream — identical
+		// across properties at the same seed, so the batched verifier can
+		// simulate the run once for a whole batch.
+		sm := sm64(huntSeed(e.opt.Seed, run))
 		for t := 0; t < e.opt.RandomDepth; t++ {
-			u := e.randomStimulus(t)
+			u := e.randomStimulus(&sm, t)
 			inputs = append(inputs, u)
 			e.huntInputs = inputs
 			if err := s.SetInputs(u); err != nil {
@@ -772,22 +928,31 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 	return nil
 }
 
-// randomStimulus biases early cycles toward asserting reset-like inputs so
-// deep FSM behaviour past reset is exercised.
-func (e *Engine) randomStimulus(t int) []uint64 {
+// randomStimulus draws one hunt stimulus vector from the run's stream,
+// biasing early cycles toward asserting reset-like inputs so deep FSM
+// behaviour past reset is exercised. The draw pattern is fixed (one word
+// per input, plus one for the reset bias) so a stream position depends
+// only on the cycle index.
+func (e *Engine) randomStimulus(sm *sm64, t int) []uint64 {
 	vals := e.allocU64(len(e.nl.Inputs))
+	e.fillStimulus(sm, t, vals)
+	return vals
+}
+
+// fillStimulus is randomStimulus without the arena allocation (shared
+// with the batched hunt-trace builder, which must draw identical vectors).
+func (e *Engine) fillStimulus(sm *sm64, t int, vals []uint64) {
 	for i, idx := range e.nl.Inputs {
 		n := e.nl.Nets[idx]
-		vals[i] = e.rng.Uint64() & n.Mask()
+		vals[i] = sm.next() & n.Mask()
 		if e.resetLike[i] {
 			if t < 2 {
 				vals[i] = 1 & n.Mask()
-			} else if e.rng.Intn(16) != 0 {
+			} else if sm.next()&15 != 0 {
 				vals[i] = 0
 			}
 		}
 	}
-	return vals
 }
 
 func isResetLike(name string) bool {

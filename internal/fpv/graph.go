@@ -1,0 +1,497 @@
+package fpv
+
+import (
+	"sync"
+
+	"assertionbench/internal/verilog"
+)
+
+// The shared reachability layer behind VerifyBatch. All properties of a
+// batch share one exploration of the design's state space — bit-packed
+// register states, input-vector-labelled edges, and per-edge sampled
+// values for the union of the batch's support nets — after which each
+// property is decided by a monitor-only product search over the graph,
+// with zero netlist re-simulation of states another property (or a
+// previous run) already explored. Bounded mode adds a shared random-hunt
+// trace, simulated once per run for the whole batch.
+//
+// Exploration is demand-driven: a node's edges are simulated the first
+// time any property's product search pops it, and hunt runs the first
+// time any pending property consumes them, so a batch never does more
+// netlist simulation than the costliest single per-property search would
+// (it typically does far less, since properties overlap heavily). Graphs
+// and hunt traces live in a GraphCache under an explicit memory bound
+// with copy-on-write extension: cached entries are immutable, an engine
+// that needs more depth clones, extends privately and republishes.
+//
+// Equivalence with the per-property reference search rests on one
+// invariant: the input vectors tried from a design state are a pure
+// function of (Options.Seed, state) — see sampleSeed — and hunt stimulus
+// a pure function of (Options.Seed, run) — see huntSeed. The product
+// space reachable through graph edges is then exactly the product space
+// the per-property BFS explores, in the same discovery order, and the
+// shared hunt trace is byte-identical to every per-property hunt.
+// dverify oracle 5 cross-checks the whole construction per fuzzed
+// scenario, full result identity down to the CEX stimulus.
+
+// Graph is one design's (partially explored) reachability graph: nodes
+// are bit-packed register states (node 0 is the all-zero power-on
+// state); an expanded node carries one edge per input vector tried from
+// it, in vector order. Graphs published to a cache are immutable and
+// safe to share; extension happens on private clones.
+type Graph struct {
+	// Support is the sorted union of support-net indices whose sampled
+	// (pre-edge, settled) values every edge records.
+	Support []int
+	// PackWords is the per-node width of Packed in 64-bit words.
+	PackWords int
+	// NumInputs is the design's data-input count (edge vector width).
+	NumInputs int
+	// Enumerate marks a graph whose edges enumerate every input vector;
+	// bounded graphs store their per-state sampled vectors in Vecs.
+	Enumerate bool
+	// EdgesPerNode is the constant per-node edge count: the enumeration
+	// size, or MaxInputSamples+2 corner/sampled vectors.
+	EdgesPerNode int
+
+	// Packed holds node i's registers at [i*PackWords, (i+1)*PackWords).
+	Packed []uint64
+	// EdgeOff[i] indexes node i's first edge (-1 while unexpanded); its
+	// EdgesPerNode edges are contiguous.
+	EdgeOff []int32
+	// Dst[e] is edge e's destination node.
+	Dst []int32
+	// Rows holds edge e's sampled support values at [e*len(Support), ...).
+	Rows []uint64
+	// Vecs holds edge e's input vector at [e*NumInputs, ...) for bounded
+	// graphs (nil when Enumerate).
+	Vecs []uint64
+
+	// Expanded counts expanded nodes; Nodes counts all discovered states.
+	Expanded int
+	Nodes    int
+}
+
+func (g *Graph) node(i int32) []uint64 {
+	return g.Packed[int(i)*g.PackWords : (int(i)+1)*g.PackWords]
+}
+
+func (g *Graph) row(e int32) []uint64 {
+	n := len(g.Support)
+	return g.Rows[int(e)*n : (int(e)+1)*n]
+}
+
+func (g *Graph) vec(e int32) []uint64 {
+	return g.Vecs[int(e)*g.NumInputs : (int(e)+1)*g.NumInputs]
+}
+
+// Bytes estimates the graph's retained memory for the cache bound.
+func (g *Graph) Bytes() int64 {
+	return int64(8*(len(g.Packed)+len(g.Rows)+len(g.Vecs)+len(g.Support)) +
+		4*(len(g.EdgeOff)+len(g.Dst)) + 96)
+}
+
+// clone deep-copies the graph for private extension.
+func (g *Graph) clone() *Graph {
+	c := *g
+	c.Packed = append([]uint64(nil), g.Packed...)
+	c.EdgeOff = append([]int32(nil), g.EdgeOff...)
+	c.Dst = append([]int32(nil), g.Dst...)
+	c.Rows = append([]uint64(nil), g.Rows...)
+	c.Vecs = append([]uint64(nil), g.Vecs...)
+	if g.Vecs == nil {
+		c.Vecs = nil
+	}
+	return &c
+}
+
+// newGraph starts an unexplored graph holding only the power-on state.
+func (e *Engine) newGraph(union []int, enumerate bool) *Graph {
+	edges := e.opt.MaxInputSamples + 2
+	if enumerate {
+		edges = len(e.enumInputVectors())
+	}
+	g := &Graph{
+		Support:      union,
+		PackWords:    len(e.packBuf),
+		NumInputs:    len(e.nl.Inputs),
+		Enumerate:    enumerate,
+		EdgesPerNode: edges,
+		EdgeOff:      []int32{-1},
+		Nodes:        1,
+	}
+	zero := make([]uint64, len(e.nl.Regs))
+	g.Packed = append(g.Packed, e.packRegs(zero)...)
+	return g
+}
+
+// syncGraphVisited (re)builds the engine's packed-state index for g, so
+// demand-driven expansion can dedup newly discovered states against the
+// graph's existing nodes. Cheap relative to the simulation it brokers;
+// called once per batch (or after adopting a cloned graph).
+func (e *Engine) syncGraphVisited(g *Graph) {
+	e.gVisited.reset(g.PackWords * 8)
+	for i := 0; i < g.Nodes; i++ {
+		k, h := e.packedKeyHash(g.node(int32(i)))
+		e.gVisited.insert(h, k)
+	}
+	e.gVisitedFor = g
+}
+
+// expandNode simulates node u's input vectors, appending its edges (and
+// any newly discovered states) to the graph. The caller owns g. A
+// simulator load failure (impossible by construction — vector widths
+// match the netlist) surfaces as an error, exactly as the per-property
+// search treats it, so a half-expanded node can never enter the cache.
+func (e *Engine) expandNode(g *Graph, u int32) error {
+	if e.gVisitedFor != g {
+		e.syncGraphVisited(g)
+	}
+	var vecs [][]uint64
+	if g.Enumerate {
+		vecs = e.enumInputVectors()
+	} else {
+		vecs = e.sampleInputVectors(sampleSeed(e.opt.Seed, g.node(u)))
+	}
+	// Unpack the node's registers to drive the simulator.
+	e.unpackRegs(g.node(u), e.regBuf)
+	cur := append(e.expandRegs[:0], e.regBuf...)
+	e.expandRegs = cur
+	mark := len(g.Dst)
+	g.EdgeOff[u] = int32(mark)
+	for _, in := range vecs {
+		if err := e.sim.LoadStateWithInputs(cur, in); err != nil {
+			// Roll the half-expanded node back entirely.
+			g.EdgeOff[u] = -1
+			g.Dst = g.Dst[:mark]
+			g.Rows = g.Rows[:mark*len(g.Support)]
+			if !g.Enumerate {
+				g.Vecs = g.Vecs[:mark*g.NumInputs]
+			}
+			return err
+		}
+		env := e.sim.Env()
+		for _, idx := range g.Support {
+			g.Rows = append(g.Rows, env[idx])
+		}
+		if !g.Enumerate {
+			g.Vecs = append(g.Vecs, in...)
+		}
+		e.sim.Step()
+		e.sim.CopyStateInto(e.regBuf)
+		k, h := e.packedKeyHash(e.packRegs(e.regBuf))
+		ord, existed := e.gVisited.insert(h, k)
+		if !existed {
+			g.Packed = append(g.Packed, e.packBuf...)
+			g.EdgeOff = append(g.EdgeOff, -1)
+			g.Nodes++
+		}
+		g.Dst = append(g.Dst, int32(ord))
+	}
+	g.Expanded++
+	return nil
+}
+
+// unpackRegs reverses packRegs into dst (one value per register).
+func (e *Engine) unpackRegs(packed []uint64, dst []uint64) {
+	pos := 0
+	for i, w := range e.regWidths {
+		word, off := pos>>6, uint(pos&63)
+		v := packed[word] >> off
+		if off+uint(w) > 64 {
+			v |= packed[word+1] << (64 - off)
+		}
+		dst[i] = v & verilog.WidthMask(w)
+		pos += w
+	}
+}
+
+// HuntTrace is the shared bounded-mode random hunt: runs of RandomDepth
+// cycles simulated on demand (RunsDone of Runs so far), recording each
+// cycle's stimulus and the sampled values of the support union, so every
+// unresolved property of a batch replays the exact trace the
+// per-property hunt would drive. Published traces are immutable;
+// extension happens on private clones.
+type HuntTrace struct {
+	Runs, Depth int
+	RunsDone    int
+	// Seed is the stimulus stream's seed: hunt traces always depend on
+	// it even when their graph does not (enumerate-mode keys zero the
+	// seed), so lookups must validate it.
+	Seed      int64
+	Support   []int
+	NumInputs int
+	// Inputs and Rows are (run*Depth+t)-major, len RunsDone*Depth*width.
+	Inputs []uint64
+	Rows   []uint64
+}
+
+func (h *HuntTrace) input(run, t int) []uint64 {
+	e := run*h.Depth + t
+	return h.Inputs[e*h.NumInputs : (e+1)*h.NumInputs]
+}
+
+func (h *HuntTrace) row(run, t int) []uint64 {
+	e := run*h.Depth + t
+	n := len(h.Support)
+	return h.Rows[e*n : (e+1)*n]
+}
+
+// Bytes estimates the trace's retained memory for the cache bound.
+func (h *HuntTrace) Bytes() int64 {
+	return int64(8*(len(h.Inputs)+len(h.Rows)+len(h.Support)) + 64)
+}
+
+func (h *HuntTrace) clone() *HuntTrace {
+	c := *h
+	c.Inputs = append([]uint64(nil), h.Inputs...)
+	c.Rows = append([]uint64(nil), h.Rows...)
+	return &c
+}
+
+// extendHunt simulates runs [ht.RunsDone, upto] into the trace — the
+// same per-run splitmix stimulus streams the per-property hunt draws.
+// The caller owns ht.
+func (e *Engine) extendHunt(ht *HuntTrace, upto int) {
+	vals := make([]uint64, ht.NumInputs)
+	s := e.hunt
+	for run := ht.RunsDone; run <= upto; run++ {
+		s.ResetState()
+		sm := sm64(huntSeed(e.opt.Seed, run))
+		for t := 0; t < ht.Depth; t++ {
+			e.fillStimulus(&sm, t, vals)
+			ht.Inputs = append(ht.Inputs, vals...)
+			// SetInputs cannot fail (vals is sized to the netlist); keep
+			// Inputs/Rows aligned by construction.
+			_ = s.SetInputs(vals)
+			s.Settle()
+			env := s.Env()
+			for _, idx := range ht.Support {
+				ht.Rows = append(ht.Rows, env[idx])
+			}
+			s.Step()
+		}
+		ht.RunsDone = run + 1
+	}
+}
+
+// packedKeyHash encodes packed register words into the engine's reused
+// key buffer with the probing hash, for the graph's exact design-state
+// dedup.
+func (e *Engine) packedKeyHash(packed []uint64) ([]byte, uint64) {
+	buf := e.keyBuf[:0]
+	h := uint64(stateHashSeed)
+	for _, v := range packed {
+		buf = le64Append(buf, v)
+		h = stateMix(h, v)
+	}
+	e.keyBuf = buf
+	return buf, h
+}
+
+// --- cache ---
+
+// DefaultGraphMemory bounds a zero-value GraphCache's retained bytes.
+const DefaultGraphMemory = 64 << 20
+
+// graphKey identifies one cached exploration. The netlist pointer stands
+// in for (design name, source hash): the elaboration cache interns
+// netlists per source hash, so a source change yields a new pointer and
+// the stale graph simply ages out of the LRU. The key deliberately
+// excludes every option that does not change graph content: search
+// budgets (exploration is demand-driven with copy-on-write extension,
+// so a deeper budget extends the same graph), and — for enumerate-mode
+// graphs, which sample nothing — the seed and sample count (those are
+// zeroed by Engine.graphKey; hunt traces, which always depend on the
+// seed, record it themselves and are validated on lookup).
+type graphKey struct {
+	nl         *verilog.Netlist
+	backend    string
+	enumerate  bool
+	maxSamples int
+	seed       int64
+}
+
+type graphEntry struct {
+	key        graphKey
+	g          *Graph
+	hunt       *HuntTrace
+	bytes      int64
+	prev, next *graphEntry
+}
+
+// GraphCache holds reachability graphs (and their hunt traces) under an
+// explicit memory bound with LRU eviction. The zero value is ready to
+// use with the DefaultGraphMemory bound; it is safe for concurrent use.
+// Entries are immutable: engines that need deeper exploration clone,
+// extend privately and republish (store replaces in place). A cached
+// graph whose support union lacks nets a new batch reads is discarded
+// and rebuilt over the merged union, so unions only grow per key.
+type GraphCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	total    int64
+	m        map[graphKey]*graphEntry
+	head     *graphEntry // most recently used
+	tail     *graphEntry
+}
+
+// SetMaxBytes sets the memory bound (0 restores DefaultGraphMemory) and
+// evicts immediately if the cache is over it.
+func (c *GraphCache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	c.evictOver()
+}
+
+func (c *GraphCache) limit() int64 {
+	if c.maxBytes <= 0 {
+		return DefaultGraphMemory
+	}
+	return c.maxBytes
+}
+
+// Len reports how many explorations the cache holds.
+func (c *GraphCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Bytes reports the cache's current retained estimate.
+func (c *GraphCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Purge empties the cache.
+func (c *GraphCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = nil
+	c.head, c.tail = nil, nil
+	c.total = 0
+}
+
+// lookup returns the cached graph and hunt trace for key if the graph's
+// support union covers union; on a union miss it returns the stale
+// support set so the caller can rebuild over the merge.
+func (c *GraphCache) lookup(key graphKey, union []int) (*Graph, *HuntTrace, []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.m[key]
+	if e == nil {
+		return nil, nil, nil
+	}
+	if !subsetOf(union, e.g.Support) {
+		return nil, nil, e.g.Support
+	}
+	c.touch(e)
+	return e.g, e.hunt, nil
+}
+
+// store inserts (or replaces) key's exploration and evicts LRU entries
+// beyond the memory bound. ht may be nil (no hunt ran yet); a hunt whose
+// budget mismatches the verifying options is the caller's to discard.
+func (c *GraphCache) store(key graphKey, g *Graph, ht *HuntTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.m[key]; old != nil {
+		c.remove(old)
+	}
+	if c.m == nil {
+		c.m = make(map[graphKey]*graphEntry)
+	}
+	e := &graphEntry{key: key, g: g, hunt: ht, bytes: g.Bytes()}
+	if ht != nil {
+		e.bytes += ht.Bytes()
+	}
+	c.m[key] = e
+	c.attach(e)
+	c.total += e.bytes
+	c.evictOver()
+}
+
+func (c *GraphCache) touch(e *graphEntry) {
+	if c.head == e {
+		return
+	}
+	c.detach(e)
+	c.attach(e)
+}
+
+func (c *GraphCache) attach(e *graphEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *GraphCache) detach(e *graphEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *GraphCache) remove(e *graphEntry) {
+	c.detach(e)
+	delete(c.m, e.key)
+	c.total -= e.bytes
+}
+
+func (c *GraphCache) evictOver() {
+	for c.total > c.limit() && c.tail != nil {
+		c.remove(c.tail)
+	}
+}
+
+// subsetOf reports whether every element of a (sorted) appears in b
+// (sorted).
+func subsetOf(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j == len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// mergeSorted unions two sorted int slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

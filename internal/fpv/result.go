@@ -139,6 +139,12 @@ type Options struct {
 	// lowered register-machine programs, BackendInterp on the reference
 	// tree-walk. Verdicts are bit-identical (dverify oracle 4).
 	Backend string
+	// Batch selects whether multi-assertion entry points (VerifyAll,
+	// VerifyBatch callers) amortize design-state exploration across the
+	// batch through a shared reachability graph: BatchAuto (the default)
+	// batches, BatchOff forces the per-property reference search.
+	// Verdicts are bit-identical either way (dverify oracle 5).
+	Batch string
 }
 
 // Execution backends.
@@ -153,6 +159,18 @@ const (
 // every verdict into StatusError.
 func ValidBackend(s string) bool {
 	return s == "" || s == BackendCompiled || s == BackendInterp
+}
+
+// Batching modes for Options.Batch.
+const (
+	BatchAuto = "auto"
+	BatchOff  = "off"
+)
+
+// ValidBatch reports whether s names a batching mode ("" selects the
+// default, BatchAuto).
+func ValidBatch(s string) bool {
+	return s == "" || s == BatchAuto || s == BatchOff
 }
 
 // withDefaults fills zero fields.
@@ -177,6 +195,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Backend == "" {
 		o.Backend = BackendCompiled
+	}
+	if o.Batch == "" {
+		o.Batch = BatchAuto
 	}
 	return o
 }

@@ -240,6 +240,16 @@ func (s *Simulator) Settle() { s.settle() }
 // Step advances one clock cycle with the currently driven inputs.
 func (s *Simulator) Step() {
 	s.settle()
+	if s.mach != nil && s.mach.Program().HasStepTail() {
+		// Short-program fast path: the fused step tail runs seq (with
+		// shadowed non-blocking stores), commit and the comb re-settle as
+		// one straight dispatch — no NBA traffic, no extra call layers.
+		// Eligibility guarantees settle never queued NB writes, and the
+		// tail ends settled.
+		s.mach.ExecStepTail()
+		s.cycle++
+		return
+	}
 	if s.mach != nil {
 		// Drop comb-settle NB writes (never applied, matching the
 		// interpreter), run the seq section, commit the edge's writes.

@@ -1,0 +1,167 @@
+package sim_test
+
+// The short-program step-tail fast path: tiny acyclic designs fuse
+// settle/seq/commit into one straight dispatch run with shadowed
+// non-blocking stores. These tests pin (a) when the tail engages, (b)
+// that every shadow-transform corner (conditional NB stores, multiple NB
+// writes to one net, part-selects, reset const chains, blocking writes)
+// stays bit-identical to the interpreter.
+
+import (
+	"testing"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+func programFor(t *testing.T, src string) *verilog.Program {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl.Program()
+}
+
+const rstSyncSrc = `
+module rst_sync(clk, arst_n, rst_n);
+input clk, arst_n;
+output rst_n;
+reg [3:0] sync;
+assign rst_n = sync[3];
+always @(posedge clk)
+  if (!arst_n) sync <= 4'b0;
+  else sync <= {sync[2:0], 1'b1};
+endmodule
+`
+
+func TestStepTailEngagesOnTinyDesigns(t *testing.T) {
+	if !programFor(t, rstSyncSrc).HasStepTail() {
+		t.Error("reset synchronizer (the fast path's target shape) has no step tail")
+	}
+	// A blocking+non-blocking mix on one net is ineligible: commit-time
+	// read-modify-write would observe the blocking write. Both store
+	// shapes must be caught — the explicit IStore form (q = q + 1, whose
+	// result width exceeds the net's so it cannot fuse) and the
+	// store-fused form (q = a & b, where the ALU op writes the net slot
+	// directly and no IStore exists to match on).
+	for name, src := range map[string]string{
+		"explicit_store": `
+module mix(clk, a, q);
+input clk, a;
+output reg [3:0] q;
+always @(posedge clk) begin
+  q = q + 1;
+  q[0] <= a;
+end
+endmodule
+`,
+		"fused_store": `
+module mixf(clk, a, b, c, q);
+input clk, a, b, c;
+output reg [1:0] q;
+always @(posedge clk) begin
+  q = {a, b};
+  q[0] <= c;
+end
+endmodule
+`,
+	} {
+		if programFor(t, src).HasStepTail() {
+			t.Errorf("%s: blocking+NB mix on one net must be ineligible for the step tail", name)
+		}
+	}
+}
+
+// TestStepTailFusedBlockingStoreLockstep pins the bug where a
+// store-fused blocking write (no IStore instruction) to an NB-stored net
+// slipped past eligibility and the shadowed NB commit clobbered the
+// blocking result: the design must verify bit-identically across
+// backends whether or not the tail engages.
+func TestStepTailFusedBlockingStoreLockstep(t *testing.T) {
+	src := `
+module fb(clk, a, b, c, q);
+input clk, a, b, c;
+output reg [1:0] q;
+always @(posedge clk) begin
+  q = {a, b};
+  q[0] <= c;
+end
+endmodule
+`
+	nl, err := verilog.ElaborateSource(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sim.CompareBackends(nl, 128, 99); d != "" {
+		t.Fatal(d)
+	}
+}
+
+func TestStepTailLockstep(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"rst_sync", rstSyncSrc},
+		{"conditional_nb", `
+module cnb(clk, en, d, q);
+input clk, en, d;
+output reg q;
+always @(posedge clk) if (en) q <= d;
+endmodule
+`},
+		{"double_write", `
+module dw(clk, a, b, sel, q);
+input clk, a, b, sel;
+output reg q;
+always @(posedge clk) begin
+  q <= a;
+  if (sel) q <= b;
+end
+endmodule
+`},
+		{"part_select_nb", `
+module ps(clk, d, q);
+input clk;
+input [1:0] d;
+output reg [3:0] q;
+always @(posedge clk) begin
+  q[1:0] <= d;
+  q[3:2] <= q[1:0];
+end
+endmodule
+`},
+		{"const_reset_chain", `
+module crc(clk, rst, en, a, q);
+input clk, rst, en, a;
+output reg [2:0] q;
+always @(posedge clk)
+  if (rst) q <= 3'd0;
+  else if (en) q <= {q[1:0], a};
+endmodule
+`},
+		{"blocking_disjoint", `
+module bd(clk, a, q, s);
+input clk, a;
+output reg q;
+output reg [1:0] s;
+always @(posedge clk) begin
+  s = s + 1;
+  q <= a ^ s[0];
+end
+endmodule
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := verilog.ElaborateSource(tc.src, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !nl.Program().HasStepTail() {
+				t.Fatalf("%s: expected the step-tail fast path to engage", tc.name)
+			}
+			if d := sim.CompareBackends(nl, 128, 42); d != "" {
+				t.Fatalf("%s: %s", tc.name, d)
+			}
+		})
+	}
+}

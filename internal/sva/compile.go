@@ -2,6 +2,7 @@ package sva
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"assertionbench/internal/verilog"
@@ -158,12 +159,16 @@ func (c *Compiled) CheckAge(age int, hist [][]uint64) AgeResult {
 	return r
 }
 
-// SupportNets returns the indices of all nets the assertion reads.
+// SupportNets returns the indices of all nets the assertion reads, in
+// ascending order. The FPV engine folds these into visited-state keys
+// and the batched verifier merges them across a batch, so a stable order
+// keeps hashes and union layouts deterministic across calls.
 func (c *Compiled) SupportNets() []int {
 	out := make([]int, 0, len(c.support))
 	for n := range c.support {
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out
 }
 

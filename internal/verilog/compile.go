@@ -107,13 +107,149 @@ func CompileNetlist(nl *Netlist) *Program {
 	}
 	seqEnd := b.PC()
 
+	acyclic := nl.CombOrder != nil
+	// A design with no comb units at all is trivially acyclic for the
+	// step-tail transform even though CombOrder is nil.
+	tailOK := acyclic || len(nl.Assigns)+len(nl.Combs) == 0
+	stepStart, stepEnd := buildStepTail(b, nl, tailOK, combStart, combEnd, seqStart, seqEnd)
+
 	p := b.Build()
 	p.CombStart, p.CombEnd = combStart, combEnd
 	p.SeqStart, p.SeqEnd = seqStart, seqEnd
-	p.Acyclic = nl.CombOrder != nil
+	p.Acyclic = acyclic
 	p.CombFrags = frags
 	p.SettleLimit = 64 + len(nl.Assigns) + len(nl.Combs)
+	p.StepStart, p.StepEnd = stepStart, stepEnd
 	return p
+}
+
+// stepTailMaxInstrs bounds the comb+seq size eligible for the fused
+// step-tail fast path: the transform's win is fixed per-cycle overhead
+// (NBA append/commit traffic, three dispatch-loop entries), which only
+// matters when the program itself is tiny — reset synchronizers, small
+// pipelines, glue FFs.
+const stepTailMaxInstrs = 48
+
+// buildStepTail appends the fused clock-edge section for short acyclic
+// programs and returns its bounds (0,0 when ineligible). The transform:
+//
+//	prologue:  shadow[n] = n            for every NB-stored net n
+//	seq':      the seq section with INBStore/INBStorePart/INBStoreBit/
+//	           INBStoreConst rewritten as blocking stores into shadows
+//	epilogue:  n = shadow[n]
+//	comb':     the comb section re-targeted (branch fixup)
+//
+// Equivalence holds because (a) shadows are initialized from the nets, so
+// a conditionally skipped NB store leaves the net unchanged through the
+// unconditional move-back; (b) seq reads of NB-stored nets see pre-edge
+// values either way (seq' only writes shadows); (c) NB stores to the same
+// net apply in program order on the shadow exactly as CommitNBA applies
+// them on the net; (d) eligibility (below) excludes the cases where
+// commit-time read-modify-write could observe a blocking write. The
+// dverify backend oracle and the corpus lockstep tests cross-check the
+// result instruction for instruction against the interpreter.
+func buildStepTail(b *ProgBuilder, nl *Netlist, acyclic bool, combStart, combEnd, seqStart, seqEnd int) (int, int) {
+	if !acyclic || combEnd-combStart+seqEnd-seqStart > stepTailMaxInstrs {
+		return 0, 0
+	}
+	// Eligibility: no case dispatch (case tables hold absolute targets and
+	// would need duplication), no NB stores during settle (the tail never
+	// clears NBA), and no net both blocking- and NB-stored in seq (the NB
+	// commit would read the blocking write at commit time; the shadow
+	// reads the pre-edge value).
+	nbNets := []int32{}
+	nbSeen := map[int32]bool{}
+	blockNets := map[int32]bool{}
+	markNB := func(net int32) {
+		if !nbSeen[net] {
+			nbSeen[net] = true
+			nbNets = append(nbNets, net)
+		}
+	}
+	for pc := combStart; pc < seqEnd; pc++ {
+		in := &b.code[pc]
+		switch in.Op {
+		case ICase:
+			return 0, 0
+		case INop, IJmp, IJz, IJnz, IJeqImm, IJneImm:
+			// No frame write; Dst is a jump target (or unused).
+		case INBStore, INBStorePart, INBStoreBit, INBStoreConst:
+			if pc < combEnd {
+				return 0, 0
+			}
+			if in.Op == INBStoreConst {
+				w := b.nbConsts[in.B]
+				if w.Mask != nl.Nets[w.Net].Mask() {
+					// A masked const write would expand to three
+					// instructions and break the 1:1 branch fixup.
+					return 0, 0
+				}
+				markNB(int32(w.Net))
+			} else {
+				markNB(in.Dst)
+			}
+		default:
+			// Every other opcode writes frame slot Dst. A seq-section
+			// write to a net slot is a blocking net store — including the
+			// store-fused forms, where an ALU/const/ROM result is
+			// retargeted straight to the net (so matching only IStore*
+			// here would miss most blocking writes).
+			if pc >= seqStart && int(in.Dst) < b.numNets {
+				blockNets[in.Dst] = true
+			}
+		}
+	}
+	for _, n := range nbNets {
+		if blockNets[n] {
+			return 0, 0
+		}
+	}
+
+	// Shadow slots sit above every temp the copied code uses.
+	b.tempTop = b.maxSlot
+	shadow := map[int32]int32{}
+	for _, n := range nbNets {
+		shadow[n] = b.Temp()
+	}
+
+	start := b.PC()
+	for _, n := range nbNets {
+		b.Emit(IMove, shadow[n], n, 0, 0)
+	}
+	seqDelta := b.PC() - seqStart
+	for pc := seqStart; pc < seqEnd; pc++ {
+		in := b.code[pc]
+		switch in.Op {
+		case IJmp, IJz, IJnz, IJeqImm, IJneImm:
+			in.Dst += int32(seqDelta)
+			b.code = append(b.code, in)
+		case INBStore:
+			b.Emit(IStore, shadow[in.Dst], in.A, 0, in.Imm)
+		case INBStorePart:
+			b.Emit(IStorePart, shadow[in.Dst], in.A, in.B, in.Imm)
+		case INBStoreBit:
+			b.Emit(IStoreBit, shadow[in.Dst], in.A, in.B, in.Imm)
+		case INBStoreConst:
+			// Full-mask by eligibility: the commit is a plain overwrite.
+			w := b.nbConsts[in.B]
+			b.Emit(IConst, shadow[int32(w.Net)], 0, 0, w.Val)
+		default:
+			b.code = append(b.code, in)
+		}
+	}
+	for _, n := range nbNets {
+		b.Emit(IMove, n, shadow[n], 0, 0)
+	}
+	combDelta := b.PC() - combStart
+	for pc := combStart; pc < combEnd; pc++ {
+		in := b.code[pc]
+		switch in.Op {
+		case IJmp, IJz, IJnz, IJeqImm, IJneImm:
+			in.Dst += int32(combDelta)
+		}
+		b.code = append(b.code, in)
+	}
+	return start, b.PC()
 }
 
 type netCompiler struct {

@@ -194,7 +194,21 @@ type Program struct {
 
 	// SVA-program fragments (one per lowered evaluator).
 	Frags []Frag
+
+	// Step-tail section [StepStart, StepEnd): a fused clock edge for
+	// short acyclic programs — non-blocking stores rewritten as blocking
+	// stores into shadow slots between a net->shadow prologue and a
+	// shadow->net epilogue, followed by a re-targeted copy of the comb
+	// section — so one straight dispatch run replaces the seq/commit/
+	// settle call sequence and its NBA traffic. Equivalent by
+	// construction (see buildStepTail's eligibility rules); absent
+	// (StepEnd == 0) for programs where the transform is invalid or not
+	// worth it.
+	StepStart, StepEnd int
 }
+
+// HasStepTail reports whether the program carries a fused step section.
+func (p *Program) HasStepTail() bool { return p.StepEnd > p.StepStart }
 
 // Machine executes a Program over its own frame. Machines are cheap
 // (one []uint64) and not safe for concurrent use; every simulator or
@@ -464,6 +478,13 @@ func (m *Machine) Settle() {
 // ExecSeq runs the seq section, accumulating non-blocking writes in NBA.
 func (m *Machine) ExecSeq() {
 	m.Exec(m.prog.SeqStart, m.prog.SeqEnd, nil)
+}
+
+// ExecStepTail runs the fused clock-edge section (valid only when
+// HasStepTail): seq with shadowed non-blocking stores, commit moves, and
+// the comb re-settle, as one dispatch run that touches NBA not at all.
+func (m *Machine) ExecStepTail() {
+	m.Exec(m.prog.StepStart, m.prog.StepEnd, nil)
 }
 
 // CommitNBA applies and clears the accumulated non-blocking writes.

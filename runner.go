@@ -34,6 +34,11 @@ type RunOptions struct {
 	// reference tree-walk, for cross-checking). Overrides
 	// Verify.Backend when non-empty.
 	Backend string
+	// Batch selects whether each design's candidate list is verified
+	// over a shared reachability graph (BatchAuto, default) or one
+	// assertion at a time (BatchOff, the reference path). Verdicts are
+	// identical either way. Overrides Verify.Batch when non-empty.
+	Batch string
 	// Verify bounds the built-in FPV verifier; zero fields select the
 	// evaluation-grade budget.
 	Verify VerifyOptions
@@ -56,6 +61,9 @@ func (o RunOptions) internal() eval.RunOptions {
 	}
 	if o.Backend != "" {
 		opt.FPV.Backend = o.Backend
+	}
+	if o.Batch != "" {
+		opt.FPV.Batch = o.Batch
 	}
 	if o.Verifier != nil {
 		a := verifierAdapter{v: o.Verifier}

@@ -45,6 +45,9 @@ type SelfCheckReport struct {
 	// BackendChecks counts compiled-vs-interpreted execution comparisons
 	// (lockstep simulator runs, monitor trace checks, FPV verdicts).
 	BackendChecks int
+	// BatchChecks counts batched-vs-per-property FPV result comparisons
+	// (the shared-reachability verifier against the reference search).
+	BatchChecks int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -54,16 +57,19 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through four
+// well-formed designs and SVA properties are cross-checked through five
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
 // consistency), byte-identical determinism of sequential, parallel and
-// sharded evaluation streams, and bit-identical agreement of the
-// compiled register-machine backend with the tree-walking interpreter
-// (lockstep simulation, monitor trace checks, full FPV verdicts). The
-// returned error covers harness failures (cancellation, dump I/O) only;
-// oracle violations are reported as data in the report.
+// sharded evaluation streams, bit-identical agreement of the compiled
+// register-machine backend with the tree-walking interpreter (lockstep
+// simulation, monitor trace checks, full FPV verdicts), and bit-identical
+// agreement of the batched shared-reachability verifier with the
+// per-property reference search (full result identity plus independent
+// counter-example replay). The returned error covers harness failures
+// (cancellation, dump I/O) only; oracle violations are reported as data
+// in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
 	iopt := dverify.Options{
 		Scenarios:      opt.Scenarios,
@@ -88,6 +94,7 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		Verdicts:        rep.RefStatus,
 		DeterminismRuns: rep.DeterminismRuns,
 		BackendChecks:   rep.BackendChecks,
+		BatchChecks:     rep.BatchChecks,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

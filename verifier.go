@@ -2,6 +2,7 @@ package assertionbench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -172,12 +173,24 @@ type VerifyOptions struct {
 	// reference tree-walk). Verdicts are bit-identical across backends;
 	// the interpreter exists for cross-checking and debugging.
 	Backend string
+	// Batch selects whether multi-assertion verification amortizes
+	// design-state exploration across the batch through a shared
+	// reachability graph: BatchAuto (default) batches, BatchOff forces
+	// the per-property reference search. Verdicts are bit-identical
+	// either way; the per-property path exists for cross-checking.
+	Batch string
 }
 
 // Execution backends for VerifyOptions.Backend / RunOptions.Backend.
 const (
 	BackendCompiled = "compiled"
 	BackendInterp   = "interp"
+)
+
+// Batching modes for VerifyOptions.Batch / RunOptions.Batch.
+const (
+	BatchAuto = "auto"
+	BatchOff  = "off"
 )
 
 func (o VerifyOptions) internal() fpv.Options {
@@ -201,10 +214,16 @@ type fpvVerifier struct {
 }
 
 // NewVerifier returns the built-in FPV-backed Verifier with the given
-// bounds. It is safe for concurrent use.
+// bounds. It is safe for concurrent use, and batch-capable: when the
+// evaluation runner hands it a design's whole candidate list it shares
+// one reachability exploration across the batch (VerifyOptions.Batch).
 func NewVerifier(opt VerifyOptions) Verifier {
 	v := &fpvVerifier{opt: opt.internal()}
-	v.pool.New = func() any { return fpv.NewEngine() }
+	v.pool.New = func() any {
+		eng := fpv.NewEngine()
+		eng.Graphs = bench.DefaultElab.Graphs()
+		return eng
+	}
 	return v
 }
 
@@ -219,7 +238,33 @@ func (v *fpvVerifier) Verify(ctx context.Context, design Design, assertion strin
 	return newVerifyResult(nl, assertion, eng.VerifySource(ctx, nl, assertion, v.opt))
 }
 
+// verifyBatch is the internal batch seam NewVerifier's verifiers expose
+// to the runner adapter.
+func (v *fpvVerifier) verifyBatch(ctx context.Context, design Design, assertions []string) []fpv.Result {
+	nl, err := bench.Elaborate(design.internal())
+	if err != nil {
+		out := make([]fpv.Result, len(assertions))
+		for i := range out {
+			out[i] = fpv.Result{Status: fpv.StatusError,
+				Err: fmt.Errorf("design %s does not elaborate: %w", design.Name, err)}
+		}
+		return out
+	}
+	eng := v.pool.Get().(*fpv.Engine)
+	defer v.pool.Put(eng)
+	return eng.VerifyAll(ctx, nl, assertions, v.opt)
+}
+
+// batchCapable marks public Verifiers that can verify a whole candidate
+// list in one call (the built-in FPV verifier qualifies).
+type batchCapable interface {
+	verifyBatch(ctx context.Context, design Design, assertions []string) []fpv.Result
+}
+
 // verifierAdapter lowers a public Verifier into the evaluation runner.
+// It always satisfies eval.BatchVerifier: batch-capable verifiers get the
+// whole candidate list, everything else falls back to the per-assertion
+// loop the runner would otherwise drive itself.
 type verifierAdapter struct {
 	v Verifier
 }
@@ -228,30 +273,57 @@ func (a verifierAdapter) Verify(ctx context.Context, d bench.Design, _ *verilog.
 	return a.v.Verify(ctx, newDesign(d), assertion).internal()
 }
 
+func (a verifierAdapter) VerifyBatch(ctx context.Context, d bench.Design, nl *verilog.Netlist, assertions []string, opt fpv.Options) []fpv.Result {
+	if bc, ok := a.v.(batchCapable); ok {
+		return bc.verifyBatch(ctx, newDesign(d), assertions)
+	}
+	out := make([]fpv.Result, 0, len(assertions))
+	for _, s := range assertions {
+		out = append(out, a.Verify(ctx, d, nl, s, opt))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	for len(out) < len(assertions) {
+		out = append(out, fpv.Result{Status: fpv.StatusError, Err: ctx.Err()})
+	}
+	return out
+}
+
 var _ eval.Verifier = verifierAdapter{}
+var _ eval.BatchVerifier = verifierAdapter{}
 
 // VerifyAssertions formally verifies assertion texts against a design
-// given as Verilog source, one result per input in order. Elaboration
-// goes through the process-wide cache (see PurgeCaches). Cancelling ctx
-// stops the batch and returns the completed prefix alongside ctx.Err(),
-// so interruption is never mistaken for per-assertion failures.
+// given as Verilog source, one result per input in order. The batch
+// shares one reachability exploration by default (VerifyOptions.Batch);
+// elaboration and the exploration go through the process-wide caches
+// (see PurgeCaches). Cancelling ctx stops the batch and returns the
+// completed prefix alongside ctx.Err(), so interruption is never
+// mistaken for per-assertion failures.
 func VerifyAssertions(ctx context.Context, designSource string, assertions []string, opt VerifyOptions) ([]VerifyResult, error) {
 	if !fpv.ValidBackend(opt.Backend) {
 		return nil, fmt.Errorf("assertionbench: unknown execution backend %q (want %q or %q)",
 			opt.Backend, BackendCompiled, BackendInterp)
+	}
+	if !fpv.ValidBatch(opt.Batch) {
+		return nil, fmt.Errorf("assertionbench: unknown batch mode %q (want %q or %q)",
+			opt.Batch, BatchAuto, BatchOff)
 	}
 	nl, err := elaborateSource(designSource)
 	if err != nil {
 		return nil, err
 	}
 	eng := fpv.NewEngine()
+	eng.Graphs = bench.DefaultElab.Graphs()
+	results := eng.VerifyAll(ctx, nl, assertions, opt.internal())
 	out := make([]VerifyResult, 0, len(assertions))
-	for _, a := range assertions {
-		r := eng.VerifySource(ctx, nl, a, opt.internal())
-		if err := ctx.Err(); err != nil {
-			return out, err
+	for i, r := range results {
+		// Preserve the documented prefix contract under cancellation: the
+		// first canceled result ends the batch.
+		if ctxErr := ctx.Err(); ctxErr != nil && r.Status == fpv.StatusError && errors.Is(r.Err, ctxErr) {
+			return out, ctxErr
 		}
-		out = append(out, newVerifyResult(nl, a, r))
+		out = append(out, newVerifyResult(nl, assertions[i], r))
 	}
 	return out, nil
 }
