@@ -44,10 +44,11 @@ apicheck:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Batched-vs-per-property and interp-vs-compiled measurements (sim
-# ns/cycle, the FPV-bound full-corpus verification pass cold and warm,
-# end-to-end eval wall time), written to the checked-in BENCH_pr5.json.
-# QUICK=1 selects CI smoke sizes. The baseline is BENCH_pr4.json's
-# compiled fpv pass on the same host (see EXPERIMENTS.md).
+# Cone+sliced vs legacy, batched-vs-per-property and interp-vs-compiled
+# measurements (sim ns/cycle, the FPV-bound full-corpus verification
+# pass cold and warm with cone/sliced attribution, end-to-end eval wall
+# time), written to the checked-in BENCH_pr6.json. QUICK=1 selects CI
+# smoke sizes. The baseline is BENCH_pr5.json's batched cold fpv pass
+# on the same host (see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 405.55 -out BENCH_pr5.json
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 252.12 -out BENCH_pr6.json

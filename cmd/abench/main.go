@@ -41,6 +41,8 @@ func main() {
 	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
 	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
 	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
+	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
+	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -79,6 +81,8 @@ func main() {
 				ShardCount:   shardCount,
 				Backend:      *backend,
 				Batch:        *batch,
+				Cone:         *cone,
+				Slices:       *slices,
 			})
 			var r assertionbench.RunResult
 			if *stream {

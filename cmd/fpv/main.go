@@ -31,6 +31,8 @@ func main() {
 	states := flag.Int("states", 0, "max product states (0 = default)")
 	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
 	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
+	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
+	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
@@ -55,7 +57,7 @@ func main() {
 	defer stop()
 
 	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
-		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch})
+		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))

@@ -1,9 +1,10 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// five oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
+// seven oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
 // with counter-example replay, sequential/parallel/sharded stream
-// determinism, compiled-vs-interpreted backend identity, and
-// batched-vs-per-property FPV identity). A clean
+// determinism, compiled-vs-interpreted backend identity,
+// batched-vs-per-property FPV identity, cone-reduced-vs-full-design
+// semantic agreement, and bit-sliced-vs-scalar FPV identity). A clean
 // exit means every generated scenario agreed;
 // disagreements are shrunk, dumped as .v/.sva reproduction pairs, and
 // fail the run. Ctrl-C cancels gracefully.
@@ -65,6 +66,8 @@ func main() {
 	fmt.Println()
 	fmt.Printf("backend checks:   %d (compiled vs interpreted)\n", report.BackendChecks)
 	fmt.Printf("batch checks:     %d (shared-graph batched vs per-property)\n", report.BatchChecks)
+	fmt.Printf("cone checks:      %d (cone-reduced vs full-design)\n", report.ConeChecks)
+	fmt.Printf("sliced checks:    %d (64-way bit-sliced vs scalar)\n", report.SlicedChecks)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
 	if report.OK() {
 		fmt.Println("all oracles agree")

@@ -1,8 +1,9 @@
 // Command perfbench measures the batched shared-reachability verifier
-// against per-property search, and the compiled execution backend
-// against the tree-walking reference interpreter, emitting a
-// machine-readable report (BENCH_pr5.json in the repository root
-// records the checked-in numbers):
+// against per-property search, the compiled execution backend against
+// the tree-walking reference interpreter, and the cone-of-influence +
+// bit-sliced exploration against the full-design scalar engine,
+// emitting a machine-readable report (BENCH_pr6.json in the repository
+// root records the checked-in numbers):
 //
 //   - sim: simulator ns/cycle on a spread of corpus designs;
 //   - fpv: the FPV-bound full-corpus pass — formal verification of every
@@ -18,8 +19,9 @@
 //
 // Usage:
 //
-//	perfbench -baseline-ms 405.55 -out BENCH_pr5.json
+//	perfbench -baseline-ms 252.12 -out BENCH_pr6.json
 //	perfbench -quick -min-batch-speedup 1.0   # CI smoke + regression gate
+//	perfbench -quick -min-coi-speedup 1.0     # cone+sliced regression gate
 package main
 
 import (
@@ -69,6 +71,20 @@ type fpvSection struct {
 	BatchedWarmMs         float64 `json:"batched_warm_ms"`
 	BatchedVerdictsPerSec float64 `json:"batched_verdicts_per_sec"`
 	BatchSpeedup          float64 `json:"batch_speedup"`
+	// Cone/sliced attribution columns: the same batched cold pass with
+	// the cone-of-influence reduction and the 64-way bit-sliced
+	// exploration toggled independently. LegacyMs is both off (the PR-5
+	// engine configuration); ConeOnlyMs and SlicedOnlyMs enable exactly
+	// one; BatchedMs above is the production default (both on).
+	// CoiSpeedup is LegacyMs / BatchedMs — what the two optimizations
+	// buy together on top of batching. BatchedDesignP95Ms is the 95th
+	// percentile single-design latency inside the production cold pass
+	// (tail designs are where cone reduction matters most).
+	LegacyMs           float64 `json:"legacy_ms"`
+	ConeOnlyMs         float64 `json:"cone_only_ms"`
+	SlicedOnlyMs       float64 `json:"sliced_only_ms"`
+	CoiSpeedup         float64 `json:"coi_speedup"`
+	BatchedDesignP95Ms float64 `json:"batched_design_p95_ms"`
 	// Optional externally measured baseline of the same pass on the
 	// previous PR's engine (see -baseline-ms and EXPERIMENTS.md);
 	// SpeedupVsBaseline compares it to the batched cold pass.
@@ -116,9 +132,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	baselineMs := flag.Float64("baseline-ms", 0, "externally measured previous-engine time for the fpv pass, recorded alongside the A/B numbers")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 0, "exit non-zero if the batched fpv pass is below this speedup vs per-property (CI regression gate; 0 disables)")
+	minCoiSpeedup := flag.Float64("min-coi-speedup", 0, "exit non-zero if the cone+sliced fpv pass is below this speedup vs the legacy full-design scalar pass (CI regression gate; 0 disables)")
 	flag.Parse()
 
-	rep := report{Description: "batched FPV over a shared reachability graph vs per-property search, compiled backend vs interpreter (PR 5)", Quick: *quick}
+	rep := report{Description: "cone-of-influence reduction and 64-way bit-sliced exploration vs the full-design scalar engine, batched FPV vs per-property search, compiled backend vs interpreter (PR 6)", Quick: *quick}
 	rep.Host.GoOS, rep.Host.GoArch, rep.Host.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 
 	corpus := bench.TestCorpus()
@@ -215,32 +232,50 @@ func main() {
 	// The batched pass: one engine, each design's candidate list through
 	// the shared reachability graph. warm reuses a populated cache (what
 	// later runs of a sweep see); cold rebuilds every graph inside the
-	// timed region.
+	// timed region. cone/slices select the engine configuration; the
+	// perDesign slice, when non-nil, accumulates the per-design minimum
+	// wall time for the tail-latency column.
 	batchCache := &fpv.GraphCache{}
-	batchRun := func(warm bool) time.Duration {
+	batchRun := func(warm bool, cone, slices string, perDesign []time.Duration) time.Duration {
 		eng := fpv.NewEngine()
 		eng.Graphs = batchCache
 		if !warm {
 			batchCache.Purge()
 		}
 		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
-			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: fpv.BackendCompiled}
+			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: fpv.BackendCompiled,
+			Cone: cone, Slices: slices}
 		start := time.Now()
-		for _, j := range jobs {
+		for ji, j := range jobs {
 			nl, _ := bench.Elaborate(j.d)
+			ds := time.Now()
 			eng.VerifyAll(context.Background(), nl, j.lines, opt)
+			if perDesign != nil {
+				perDesign[ji] = min(perDesign[ji], time.Since(ds))
+			}
 		}
 		return time.Since(start)
 	}
 	verifyRun(fpv.BackendCompiled) // warm caches and lowerings
+	perDesign := make([]time.Duration, len(jobs))
+	for i := range perDesign {
+		perDesign[i] = 1 << 62
+	}
 	iDur, cDur := time.Duration(1<<62), time.Duration(1<<62)
 	bDur, wDur := time.Duration(1<<62), time.Duration(1<<62)
+	lgDur, coDur, soDur := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
 	for r := 0; r < 7; r++ {
 		iDur = min(iDur, verifyRun(fpv.BackendInterp))
 		cDur = min(cDur, verifyRun(fpv.BackendCompiled))
-		bDur = min(bDur, batchRun(false))
-		wDur = min(wDur, batchRun(true))
+		lgDur = min(lgDur, batchRun(false, fpv.ConeOff, fpv.SlicesOff, nil))
+		coDur = min(coDur, batchRun(false, fpv.ConeAuto, fpv.SlicesOff, nil))
+		soDur = min(soDur, batchRun(false, fpv.ConeOff, fpv.SlicesAuto, nil))
+		bDur = min(bDur, batchRun(false, fpv.ConeAuto, fpv.SlicesAuto, perDesign))
+		wDur = min(wDur, batchRun(true, fpv.ConeAuto, fpv.SlicesAuto, nil))
 	}
+	sortedPD := append([]time.Duration(nil), perDesign...)
+	sort.Slice(sortedPD, func(i, j int) bool { return sortedPD[i] < sortedPD[j] })
+	p95 := sortedPD[(len(sortedPD)*95+99)/100-1]
 	rep.FPV = fpvSection{
 		Designs:                nDesigns,
 		Verdicts:               verdicts,
@@ -253,6 +288,11 @@ func main() {
 		BatchedWarmMs:          ms(wDur),
 		BatchedVerdictsPerSec:  round2(float64(verdicts) / bDur.Seconds()),
 		BatchSpeedup:           round2(float64(cDur) / float64(bDur)),
+		LegacyMs:               ms(lgDur),
+		ConeOnlyMs:             ms(coDur),
+		SlicedOnlyMs:           ms(soDur),
+		CoiSpeedup:             round2(float64(lgDur) / float64(bDur)),
+		BatchedDesignP95Ms:     ms(p95),
 	}
 	if *baselineMs > 0 {
 		rep.FPV.BaselineMs = *baselineMs
@@ -261,6 +301,8 @@ func main() {
 	log.Printf("fpv  %d verdicts: interp %.0f ms (%.0f/s), compiled per-property %.0f ms (%.0f/s), batched %.0f ms cold / %.0f ms warm (%.0f/s)  (batch %.2fx)",
 		verdicts, ms(iDur), float64(verdicts)/iDur.Seconds(), ms(cDur), float64(verdicts)/cDur.Seconds(),
 		ms(bDur), ms(wDur), float64(verdicts)/bDur.Seconds(), float64(cDur)/float64(bDur))
+	log.Printf("fpv  attribution: legacy %.0f ms, cone-only %.0f ms, sliced-only %.0f ms, cone+sliced %.0f ms  (coi %.2fx, design p95 %.2f ms)",
+		ms(lgDur), ms(coDur), ms(soDur), ms(bDur), float64(lgDur)/float64(bDur), ms(p95))
 
 	// --- end-to-end evaluation pass (generation + correction + FPV). ---
 	evalRun := func(backend, batch string, workers int) (time.Duration, int) {
@@ -326,6 +368,10 @@ func main() {
 	if *minBatchSpeedup > 0 && rep.FPV.BatchSpeedup < *minBatchSpeedup {
 		log.Fatalf("batched fpv pass regressed: %.2fx vs per-property, want >= %.2fx",
 			rep.FPV.BatchSpeedup, *minBatchSpeedup)
+	}
+	if *minCoiSpeedup > 0 && rep.FPV.CoiSpeedup < *minCoiSpeedup {
+		log.Fatalf("cone+sliced fpv pass regressed: %.2fx vs legacy full-design scalar, want >= %.2fx",
+			rep.FPV.CoiSpeedup, *minCoiSpeedup)
 	}
 }
 

@@ -2,7 +2,7 @@
 // self-check of the stack every evaluation verdict depends on. It draws
 // seeded random well-formed designs from the corpus generator families
 // (bench.FuzzSpec), seeded random SVA properties over each design's nets,
-// and cross-checks three independent oracles:
+// and cross-checks seven independent oracles:
 //
 //  1. print/parse round-trip — every generated design must survive
 //     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
@@ -14,7 +14,15 @@
 //     exhaustive mode;
 //  3. determinism — the same seed must produce byte-identical
 //     eval.Stream outcomes across sequential, parallel and sharded runs
-//     over the generated corpus.
+//     over the generated corpus;
+//  4. backend — the compiled register machine must agree bit for bit
+//     with the tree-walking interpreter (OracleBackend);
+//  5. batch — the batched shared-reachability verifier must reproduce
+//     the per-property search field for field (OracleBatch);
+//  6. cone — cone-of-influence-reduced FPV must agree semantically with
+//     the full-design search, counter-examples included (OracleCone);
+//  7. sliced — 64-way bit-sliced bounded exploration must reproduce the
+//     scalar loops field for field (OracleSliced).
 //
 // A disagreement is shrunk (over the design genome) to a minimal
 // reproduction and optionally dumped as a .v/.sva pair. The public facade
@@ -97,6 +105,19 @@ const (
 	// starved budget, and batched counter-examples must replay on the
 	// simulator.
 	OracleBatch Oracle = "batch"
+	// OracleCone cross-checks cone-of-influence-reduced FPV against the
+	// full-design search. The reduction changes the explored space, so
+	// the contract is semantic agreement rather than field identity:
+	// exhaustive verdicts must coincide, bounded findings must not
+	// contradict exhaustive ones, the reduced search must close whenever
+	// the full one does, and every counter-example from either side must
+	// replay on the full design.
+	OracleCone Oracle = "cone"
+	// OracleSliced cross-checks the 64-way bit-sliced bounded
+	// exploration against the scalar reference loops: every result
+	// field, down to the CEX stimulus, must be identical per seed at
+	// both budgets.
+	OracleSliced Oracle = "sliced"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -153,6 +174,12 @@ type Report struct {
 	// BatchChecks counts batched-vs-per-property FPV result comparisons
 	// (oracle 5).
 	BatchChecks int
+	// ConeChecks counts cone-reduced-vs-full-design FPV comparisons
+	// (oracle 6).
+	ConeChecks int
+	// SlicedChecks counts bit-sliced-vs-scalar FPV result comparisons
+	// (oracle 7).
+	SlicedChecks int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -161,8 +188,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.DeterminismRuns, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -201,6 +228,8 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		report.CEXs += res.cexs
 		report.BackendChecks += res.backend
 		report.BatchChecks += res.batch
+		report.ConeChecks += res.cone
+		report.SlicedChecks += res.sliced
 		for k, v := range res.refStatus {
 			report.RefStatus[k] += v
 		}

@@ -68,8 +68,12 @@ func TestMutatedMonitorIsCaught(t *testing.T) {
 		return out
 	}
 	report, err := Run(context.Background(), Options{
-		Scenarios: 12, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
-		TraceCycles: 16, MaxShrinkSteps: 4, SkipDeterminism: true,
+		// The early seed-1 scenarios are CEX-dense and every CEX replay
+		// trips this mutation (across several oracles), so a few
+		// scenarios suffice — and every finding pays a shrink pass, so
+		// more would just burn time.
+		Scenarios: 3, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -98,8 +102,9 @@ func TestMutatedViolationAgeIsCaught(t *testing.T) {
 		return out
 	}
 	report, err := Run(context.Background(), Options{
-		Scenarios: 12, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
-		TraceCycles: 16, MaxShrinkSteps: 4, SkipDeterminism: true,
+		// Same scenario economics as TestMutatedMonitorIsCaught above.
+		Scenarios: 3, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +209,82 @@ func TestCanceledRunSurfacesContextError(t *testing.T) {
 	_, err := Run(ctx, Options{Scenarios: 4})
 	if err == nil {
 		t.Fatal("canceled run returned nil error")
+	}
+}
+
+// TestMutatedConeVerifierIsCaught: a deliberately injected cone-path bug
+// (counter-example stimulus zeroed — what an over-aggressive projection
+// that cuts a driving input would record) must be caught by oracle 6's
+// independent replay of every cone-side CEX on the full design.
+func TestMutatedConeVerifierIsCaught(t *testing.T) {
+	orig := coneVerify
+	defer func() { coneVerify = orig }()
+	coneVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+		r := orig(e, ctx, nl, c, opt)
+		if r.Status == fpv.StatusCEX && len(r.CEX.Inputs) > 0 {
+			// The injected bug: the witness stimulus loses every driving
+			// input, as if the cone had cut a net the property depends on.
+			cex := *r.CEX
+			cex.Inputs = make([][]uint64, len(r.CEX.Inputs))
+			for t := range cex.Inputs {
+				cex.Inputs[t] = make([]uint64, len(r.CEX.Inputs[t]))
+			}
+			r.CEX = &cex
+		}
+		return r
+	}
+	report, err := Run(context.Background(), Options{
+		// Every CEX-status property trips the replay check under this
+		// mutation, and each finding pays a shrink pass, so a couple of
+		// scenarios suffice.
+		Scenarios: 2, PropsPerDesign: 2, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleCone {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected cone bug was not caught by oracle 6; report: %s", report)
+	}
+}
+
+// TestMutatedSlicedVerifierIsCaught: a deliberately injected sliced-path
+// bug (search depth off by one — the kind of drift a broken lane
+// accumulation would produce) must be caught by oracle 7's full result
+// comparison against the scalar reference.
+func TestMutatedSlicedVerifierIsCaught(t *testing.T) {
+	orig := slicedVerify
+	defer func() { slicedVerify = orig }()
+	slicedVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+		r := orig(e, ctx, nl, c, opt)
+		if r.Status != fpv.StatusError {
+			r.Depth++ // the injected bug: a skewed exploration depth
+		}
+		return r
+	}
+	report, err := Run(context.Background(), Options{
+		// Every property trips the oracle under this mutation, and each
+		// finding pays a shrink pass, so a couple of scenarios suffice.
+		Scenarios: 2, PropsPerDesign: 2, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleSliced && strings.Contains(d.Detail, "bit-sliced and scalar FPV disagree") {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected sliced bug was not caught by oracle 7; report: %s", report)
 	}
 }
 

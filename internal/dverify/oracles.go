@@ -28,6 +28,24 @@ var batchVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, 
 	return e.VerifyBatch(ctx, nl, cs, opt)
 }
 
+// coneVerify is the seam between the harness and the cone-of-influence
+// production path (oracle 6's reduced side). Production code always
+// routes through this variable; the mutation test swaps in a
+// verdict-corrupting wrapper to prove oracle 6 catches unsound cone
+// projections.
+var coneVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+	return e.VerifyCompiled(ctx, nl, c, opt)
+}
+
+// slicedVerify is the seam between the harness and the bit-sliced
+// production path (oracle 7's sliced side). Production code always
+// routes through this variable; the mutation test swaps in a
+// result-corrupting wrapper to prove oracle 7 catches sliced-vs-scalar
+// drift.
+var slicedVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+	return e.VerifyCompiled(ctx, nl, c, opt)
+}
+
 type harness struct {
 	opt    Options
 	exhEng *fpv.Engine
@@ -42,6 +60,11 @@ type harness struct {
 	// refEng re-verifies per property at the batch's seed (the oracle-5
 	// reference side).
 	refEng *fpv.Engine
+	// coneEng/fullEng run the cone-reduced production path and the
+	// full-design reference for oracle 6; slcEng/sclEng run the
+	// bit-sliced production path and the scalar reference for oracle 7.
+	coneEng, fullEng *fpv.Engine
+	slcEng, sclEng   *fpv.Engine
 }
 
 // Reference (deep) and adversary (deliberately starved) FPV budgets. The
@@ -67,6 +90,8 @@ type scenarioResult struct {
 	cexs          int
 	backend       int
 	batch         int
+	cone          int
+	sliced        int
 	refStatus     map[string]int
 	disagreements []Disagreement
 }
@@ -82,6 +107,10 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 		h.refEng = fpv.NewEngine()
 		h.batchEng = fpv.NewEngine()
 		h.batchEng.Graphs = &h.batchCache
+		h.coneEng = fpv.NewEngine()
+		h.fullEng = fpv.NewEngine()
+		h.slcEng = fpv.NewEngine()
+		h.sclEng = fpv.NewEngine()
 	}
 	res := scenarioResult{refStatus: map[string]int{}}
 	d := spec.Build()
@@ -137,25 +166,42 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 		}
 	}
 
+	// Oracles 5, 6 and 7 compare whole verifier configurations per
+	// property, so they share one compilation pass over the scenario's
+	// compilable properties (parse/compile failures were already
+	// reported by checkProperty).
+	cs, srcs := compileProps(nl, props)
+
 	// Oracle 5: the batched verifier (shared reachability graph + shared
 	// hunt traces) against per-property search, at both budgets.
-	nBatch, ds := h.checkBatch(ctx, nl, spec, props, propSeed)
+	nBatch, ds := h.checkBatch(ctx, nl, spec, cs, srcs, propSeed)
 	res.batch += nBatch
 	res.disagreements = append(res.disagreements, ds...)
+
+	// Oracle 6: cone-of-influence-reduced search against the full-design
+	// reference, at both budgets.
+	nCone, ds6 := h.checkCone(ctx, nl, spec, cs, srcs, propSeed)
+	res.cone += nCone
+	res.disagreements = append(res.disagreements, ds6...)
+
+	// Oracle 7: bit-sliced bounded exploration against the scalar
+	// reference loops, at both budgets.
+	nSliced, ds7 := h.checkSliced(ctx, nl, spec, cs, srcs, propSeed)
+	res.sliced += nSliced
+	res.disagreements = append(res.disagreements, ds7...)
 	return res
 }
 
-// checkBatch cross-checks fpv.VerifyBatch against per-property
-// VerifyCompiled over the scenario's compilable properties: every result
-// field must match (diffResults, CEX stimulus included), and batched
-// counter-examples must independently replay on the simulator.
-func (h *harness) checkBatch(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, props []string, seed int64) (int, []Disagreement) {
+// compileProps compiles the scenario's properties, dropping the ones that
+// do not parse or compile (those are checkProperty findings, not input for
+// the configuration-comparison oracles).
+func compileProps(nl *verilog.Netlist, props []string) ([]*sva.Compiled, []string) {
 	var cs []*sva.Compiled
 	var srcs []string
 	for _, src := range props {
 		a, err := sva.Parse(src)
 		if err != nil {
-			continue // already reported by checkProperty
+			continue
 		}
 		c, err := sva.Compile(a, nl)
 		if err != nil {
@@ -164,6 +210,14 @@ func (h *harness) checkBatch(ctx context.Context, nl *verilog.Netlist, spec benc
 		cs = append(cs, c)
 		srcs = append(srcs, src)
 	}
+	return cs, srcs
+}
+
+// checkBatch cross-checks fpv.VerifyBatch against per-property
+// VerifyCompiled over the scenario's compilable properties: every result
+// field must match (diffResults, CEX stimulus included), and batched
+// counter-examples must independently replay on the simulator.
+func (h *harness) checkBatch(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, cs []*sva.Compiled, srcs []string, seed int64) (int, []Disagreement) {
 	if len(cs) == 0 {
 		return 0, nil
 	}
@@ -200,6 +254,124 @@ func (h *harness) checkBatch(ctx context.Context, nl *verilog.Netlist, spec benc
 			} else if cycle != batch[i].CEX.ViolationCycle || attempt != batch[i].CEX.AttemptCycle {
 				disagree(srcs[i], fmt.Sprintf("batched CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d)",
 					cycle, attempt, batch[i].CEX.ViolationCycle, batch[i].CEX.AttemptCycle))
+			}
+		}
+	}
+	return checks, ds
+}
+
+// checkCone cross-checks the cone-of-influence-reduced search against
+// the full-design reference (oracle 6). Cone reduction changes the
+// explored state space — state counts, search depth, sampled stimulus
+// and even the exhaustiveness decision legitimately differ — so the
+// check is semantic agreement, not field identity:
+//
+//   - the reduced product space is a projection of the full one, so
+//     whenever the full search closes exhaustively the reduced search
+//     must too;
+//   - two exhaustive verdicts are both sound, so they must name the
+//     same status and vacuity;
+//   - a bounded finding (CEX, antecedent witness) on either side is a
+//     concrete witness and must not contradict an exhaustive verdict
+//     from the other side;
+//   - every counter-example from either side must replay on the FULL
+//     design — the cone engine reports stimuli in full input layout, so
+//     the replay needs no translation.
+func (h *harness) checkCone(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, cs []*sva.Compiled, srcs []string, seed int64) (int, []Disagreement) {
+	checks := 0
+	var ds []Disagreement
+	disagree := func(prop, detail string) {
+		ds = append(ds, Disagreement{Oracle: OracleCone, Spec: spec, Property: prop, Detail: detail})
+	}
+	for _, label := range []struct {
+		name string
+		opt  fpv.Options
+	}{{"deep", h.exhOpt(seed)}, {"starved", h.bndOpt(seed)}} {
+		refOpt := label.opt
+		refOpt.Cone = fpv.ConeOff
+		for i, c := range cs {
+			cone := coneVerify(h.coneEng, ctx, nl, c, label.opt)
+			full := h.fullEng.VerifyCompiled(ctx, nl, c, refOpt)
+			if ctx.Err() != nil {
+				return checks, ds
+			}
+			checks++
+			if cone.Status == fpv.StatusError || full.Status == fpv.StatusError {
+				if cone.Status != full.Status {
+					disagree(srcs[i], fmt.Sprintf("cone-reduced FPV status %v vs full-design %v at the %s budget",
+						cone.Status, full.Status, label.name))
+				}
+				continue
+			}
+			switch {
+			case full.Exhaustive && !cone.Exhaustive:
+				disagree(srcs[i], fmt.Sprintf("full-design search closed exhaustively at the %s budget but the cone-reduced search did not (the reduced space is a projection and cannot be larger)", label.name))
+				continue
+			case cone.Exhaustive && full.Exhaustive:
+				if cone.Status != full.Status || cone.NonVacuous != full.NonVacuous {
+					disagree(srcs[i], fmt.Sprintf("cone-reduced and full-design FPV disagree at the %s budget: %v (nonvacuous=%v) vs %v (nonvacuous=%v)",
+						label.name, cone.Status, cone.NonVacuous, full.Status, full.NonVacuous))
+					continue
+				}
+			case cone.Exhaustive:
+				// Full-design bounded findings are concrete witnesses.
+				if full.Status == fpv.StatusCEX && cone.Status != fpv.StatusCEX {
+					disagree(srcs[i], fmt.Sprintf("full-design bounded FPV found a CEX at the %s budget but the exhaustive cone-reduced verdict is %v", label.name, cone.Status))
+					continue
+				}
+				if full.NonVacuous && cone.Status == fpv.StatusVacuous {
+					disagree(srcs[i], fmt.Sprintf("full-design bounded FPV witnessed the antecedent at the %s budget but the exhaustive cone-reduced verdict is vacuous", label.name))
+					continue
+				}
+			}
+			// Both-bounded runs carry no comparable verdict, but every CEX
+			// is independently checkable.
+			for _, r := range []struct {
+				side string
+				res  fpv.Result
+			}{{"cone-reduced", cone}, {"full-design", full}} {
+				if r.res.Status != fpv.StatusCEX {
+					continue
+				}
+				violated, cycle, attempt, err := replayViolation(nl, c, r.res.CEX.Inputs)
+				if err != nil {
+					disagree(srcs[i], fmt.Sprintf("%s CEX stimulus cannot be driven on the simulator (%s budget): %v", r.side, label.name, err))
+				} else if !violated {
+					disagree(srcs[i], fmt.Sprintf("%s CEX does not violate the monitor when replayed on the simulator (%s budget)", r.side, label.name))
+				} else if cycle != r.res.CEX.ViolationCycle || attempt != r.res.CEX.AttemptCycle {
+					disagree(srcs[i], fmt.Sprintf("%s CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d) (%s budget)",
+						r.side, cycle, attempt, r.res.CEX.ViolationCycle, r.res.CEX.AttemptCycle, label.name))
+				}
+			}
+		}
+	}
+	return checks, ds
+}
+
+// checkSliced cross-checks the bit-sliced bounded exploration against the
+// scalar reference loops (oracle 7). Slicing is a pure execution-strategy
+// change — 64 trajectories per pass instead of one, drawn from the same
+// seeded streams — so unlike the cone the results must be identical field
+// for field, down to the CEX stimulus.
+func (h *harness) checkSliced(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, cs []*sva.Compiled, srcs []string, seed int64) (int, []Disagreement) {
+	checks := 0
+	var ds []Disagreement
+	for _, label := range []struct {
+		name string
+		opt  fpv.Options
+	}{{"deep", h.exhOpt(seed)}, {"starved", h.bndOpt(seed)}} {
+		refOpt := label.opt
+		refOpt.Slices = fpv.SlicesOff
+		for i, c := range cs {
+			sliced := slicedVerify(h.slcEng, ctx, nl, c, label.opt)
+			scalar := h.sclEng.VerifyCompiled(ctx, nl, c, refOpt)
+			if ctx.Err() != nil {
+				return checks, ds
+			}
+			checks++
+			if d := diffResults(sliced, scalar); d != "" {
+				ds = append(ds, Disagreement{Oracle: OracleSliced, Spec: spec, Property: srcs[i],
+					Detail: fmt.Sprintf("bit-sliced and scalar FPV disagree at the %s budget: %s", label.name, d)})
 			}
 		}
 	}

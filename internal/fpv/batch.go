@@ -48,10 +48,18 @@ type batchState struct {
 }
 
 // VerifyBatch model-checks a batch of compiled assertions against the
-// netlist with one shared design-state exploration, returning one result
-// per input in order. Results are identical to calling VerifyCompiled per
-// assertion with the same Options. Cancellation marks every undecided
-// result StatusError with ctx.Err().
+// netlist with one shared design-state exploration per cone of influence,
+// returning one result per input in order. Results are identical to
+// calling VerifyCompiled per assertion with the same Options.
+// Cancellation marks every undecided result StatusError with ctx.Err().
+//
+// With cone reduction on (the default) the batch is partitioned by each
+// property's canonical cone pointer (verilog.Cone is interned per
+// closure): properties sharing a closure share one reduced design, one
+// reachability graph and one hunt trace, so the shared exploration is
+// built per cone rather than per full design — and since the graph cache
+// keys on the engine's bound netlist pointer, cone-reduced graphs get
+// their own (smaller, correctly charged) cache entries for free.
 func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt Options) []Result {
 	out := make([]Result, len(cs))
 	opt = opt.withDefaults()
@@ -64,22 +72,107 @@ func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva
 	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
 		return fail(0, fmt.Errorf("fpv: unknown backend %q", opt.Backend))
 	}
+	if opt.Cone != ConeAuto && opt.Cone != ConeOff {
+		return fail(0, fmt.Errorf("fpv: unknown cone mode %q", opt.Cone))
+	}
+	if opt.Slices != SlicesAuto && opt.Slices != SlicesOff {
+		return fail(0, fmt.Errorf("fpv: unknown slices mode %q", opt.Slices))
+	}
 	if err := ctx.Err(); err != nil {
 		return fail(0, err)
 	}
 	if len(cs) == 0 {
 		return out
 	}
-	e.bind(nl, opt.Backend)
+	// Partition by canonical cone (identity cones fold into the nil/full
+	// group), preserving first-appearance order for determinism.
+	type group struct {
+		cone *verilog.Cone
+		idx  []int
+	}
+	var groups []group
+	gidx := make(map[*verilog.Cone]int)
+	for i, c := range cs {
+		var cone *verilog.Cone
+		if opt.Cone != ConeOff {
+			cone = nl.ConeFor(c.SupportNets())
+			if cone.Identity || !coneWorthwhile(cone, nl, opt) {
+				cone = nil
+			}
+		}
+		k, ok := gidx[cone]
+		if !ok {
+			k = len(groups)
+			gidx[cone] = k
+			groups = append(groups, group{cone: cone})
+		}
+		groups[k].idx = append(groups[k].idx, i)
+	}
+	for _, grp := range groups {
+		sub := make([]*sva.Compiled, len(grp.idx))
+		for j, i := range grp.idx {
+			sub[j] = cs[i]
+		}
+		res := e.verifyBatchGroup(ctx, nl, grp.cone, sub, opt)
+		for j, i := range grp.idx {
+			out[i] = res[j]
+		}
+	}
+	return out
+}
+
+// coneWorthwhile reports whether exploring a property's cone pays for
+// giving up the full-design group's shared graph and hunt trace. A cone
+// always shrinks per-step simulation a little, but a private graph and a
+// re-simulated hunt cost a fixed multiple of the batch's shared ones, so
+// the reduction must buy something exponential: at least halving the
+// packed register state (shrinking the reachable set quadratically or
+// better), or pulling the input space under the exhaustive-enumeration
+// bound that the full design exceeds. Both batched and per-property
+// verification apply the same gate, so verdicts stay identical across
+// the two paths (dverify oracle 5).
+func coneWorthwhile(cone *verilog.Cone, nl *verilog.Netlist, opt Options) bool {
+	if cone.Reduced.StateBits()*2 <= nl.StateBits() {
+		return true
+	}
+	return cone.Reduced.InputBits() <= opt.MaxInputBits && nl.InputBits() > opt.MaxInputBits
+}
+
+// verifyBatchGroup runs one cone's share of a batch: every property here
+// has the same closure, so they share the reduced design, graph and hunt
+// trace.
+func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone *verilog.Cone, cs []*sva.Compiled, opt Options) []Result {
+	out := make([]Result, len(cs))
+	fail := func(from int, err error) []Result {
+		for i := from; i < len(out); i++ {
+			out[i] = Result{Status: StatusError, Err: err}
+		}
+		return out
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(0, err)
+	}
+	e.bindCone(nl, cone, opt.Backend)
 	e.opt = opt
 
 	union := []int{}
 	for _, c := range cs {
 		union = mergeSorted(union, c.SupportNets())
 	}
-	enumerate := nl.InputBits() <= opt.MaxInputBits
+	enumerate := e.nl.InputBits() <= opt.MaxInputBits
 	bs := e.openBatch(union, enumerate)
 	defer e.publishBatch(bs)
+
+	// supportSrc maps the graph's support positions (full-design indices)
+	// to the bound netlist the simulators run over.
+	e.supportSrc = e.supportSrc[:0]
+	for _, idx := range bs.g.Support {
+		if e.cone != nil {
+			e.supportSrc = append(e.supportSrc, e.cone.Map[idx])
+		} else {
+			e.supportSrc = append(e.supportSrc, idx)
+		}
+	}
 
 	// unionPos maps a net index to its row position in the graph's
 	// support union (which may be a cached superset of this batch's).
@@ -259,12 +352,65 @@ func (e *Engine) ensureExpanded(bs *batchState, u int32) error {
 	return nil
 }
 
+// ensureExpandedAhead is ensureExpanded for the popped node, plus
+// frontier lookahead on the 64-lane machine: bounded-mode nodes carry
+// only MaxInputSamples+2 edges, so expanding one node at a time leaves
+// most lanes idle. When the sliced machine is active and a pass has room
+// for k nodes, the next k-1 distinct unexpanded design nodes already
+// sitting in the BFS queue ride along in the same pass. Queue order is
+// exactly the order the one-at-a-time flow would expand them in (pops
+// are FIFO and expansion happens only on first pop), so the graph bytes
+// are identical; the only waste is a few expansions ahead of an early
+// counterexample exit, which the shared cache amortizes anyway.
+func (e *Engine) ensureExpandedAhead(bs *batchState, nodes []gnode, head int) error {
+	u := nodes[head].node
+	if bs.g.EdgeOff[u] >= 0 {
+		return nil
+	}
+	msl := e.slicedGraphMachine(bs.g)
+	k := 0
+	if msl != nil && bs.g.EdgesPerNode > 0 {
+		k = verilog.SlicedLanes / bs.g.EdgesPerNode
+	}
+	if k <= 1 {
+		return e.ensureExpanded(bs, u)
+	}
+	if !bs.gOwned {
+		bs.g = bs.g.clone()
+		bs.gOwned = true
+	}
+	us := append(e.expandUs[:0], u)
+	for i := head + 1; i < len(nodes) && len(us) < k; i++ {
+		v := nodes[i].node
+		if bs.g.EdgeOff[v] >= 0 {
+			continue
+		}
+		dup := false
+		for _, w := range us {
+			if w == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			us = append(us, v)
+		}
+	}
+	e.expandUs = us
+	e.expandNodesSliced(bs.g, msl, us)
+	bs.dirty = true
+	return nil
+}
+
 // ensureHuntRun makes hunt run `run` available in the trace.
 func (e *Engine) ensureHuntRun(bs *batchState, run int) {
 	if bs.ht == nil {
+		// Stimulus is recorded over the FULL input layout even under a
+		// cone (fillStimulus draws full vectors), so traces replay on the
+		// full design and CEX inputs match the per-property hunt's.
 		bs.ht = &HuntTrace{
 			Runs: e.opt.RandomRuns, Depth: e.opt.RandomDepth, Seed: e.opt.Seed,
-			Support: bs.g.Support, NumInputs: len(e.nl.Inputs),
+			Support: bs.g.Support, NumInputs: len(e.fullNl.Inputs),
 		}
 		bs.htOwned = true
 	}
@@ -363,7 +509,7 @@ func (e *Engine) graphSearch(ctx context.Context, bs *batchState, c *sva.Compile
 		if int(cur.depth) > res.Depth {
 			res.Depth = int(cur.depth)
 		}
-		if err := e.ensureExpanded(bs, cur.node); err != nil {
+		if err := e.ensureExpandedAhead(bs, nodes, head); err != nil {
 			// Mirrors the per-property path's treatment of a simulator
 			// load failure: an engine error, never a partial verdict.
 			e.gnodes = releaseGnodes(nodes)
@@ -381,9 +527,13 @@ func (e *Engine) graphSearch(ctx context.Context, bs *batchState, c *sva.Compile
 				histBuf[k] = e.zeroEnv
 			}
 		}
-		off := g.EdgeOff[cur.node]
-		for ei := off; ei < off+int32(g.EdgesPerNode); ei++ {
-			urow := g.row(ei)
+		// Walk representative edges only: duplicate (row, destination)
+		// edges repeat the exact same monitor transition and child state
+		// (see Graph.dedupEdges), so skipping them changes nothing but
+		// the work.
+		ds := g.DedupOff[cur.node]
+		for j, ei := range g.Dedup[ds : ds+g.DedupN[cur.node]] {
+			urow := g.repRow(ds + int32(j))
 			e.scatterRow(rows[0], g.Support, urow)
 			mon.SetState(cur.alive, cur.sat)
 			mo := mon.Step(histBuf)
@@ -518,6 +668,13 @@ func (e *Engine) buildGraphCEX(g *Graph, nodes []gnode, head int, lastEdge int32
 		inputs[l], inputs[r] = inputs[r], inputs[l]
 	}
 	inputs = append(inputs, e.edgeVec(g, nodes[head].node, lastEdge))
+	if e.cone != nil {
+		// Edge vectors are reduced-layout; counter-examples are reported
+		// (and replayed) in full-design terms.
+		for i, u := range inputs {
+			inputs[i] = e.expandInputVec(u)
+		}
+	}
 	return e.replayCEX(inputs, depth, violatedAge)
 }
 
@@ -547,10 +704,12 @@ func (e *Engine) scatterRow(dst []uint64, support []int, urow []uint64) {
 	}
 }
 
-// ensureScatter returns n reusable full-env scratch rows.
+// ensureScatter returns n reusable scratch rows at the monitor-facing
+// (full-design) width — monitors read full net indices even when the
+// simulators run over a cone.
 func (e *Engine) ensureScatter(n int) [][]uint64 {
 	for len(e.scatterRows) < n {
-		e.scatterRows = append(e.scatterRows, make([]uint64, len(e.nl.Nets)))
+		e.scatterRows = append(e.scatterRows, make([]uint64, e.monNets))
 	}
 	return e.scatterRows[:n]
 }

@@ -26,20 +26,45 @@ type Engine struct {
 
 	// Per-netlist state, rebuilt only when the design under verification
 	// (or the execution backend) changes (Bind).
-	nl        *verilog.Netlist
-	backend   string
-	sim       *sim.Simulator // BFS state loader
-	hunt      *sim.Simulator // random-walk / CEX-replay simulator
-	zeroEnv   []uint64
-	regWidths []int    // per-register widths (state packing plan)
-	packBuf   []uint64 // bit-packed register scratch (StateBits() bits)
-	resetLike []bool   // per data input: name looks reset-ish (hunt bias)
+	nl         *verilog.Netlist
+	backend    string
+	sim        *sim.Simulator // BFS state loader
+	hunt       *sim.Simulator // random-walk / CEX-replay simulator
+	zeroEnv    []uint64
+	regWidths  []int    // per-register widths (state packing plan)
+	packBuf    []uint64 // bit-packed register scratch (StateBits() bits)
+	lanePacked []uint64 // per-lane packed-register scratch for sliced expansion
+	resetLike  []bool   // per data input: name looks reset-ish (hunt bias)
+
+	// Cone-of-influence state. With a cone active the simulators, the
+	// register packing and the input sampling all run over cone.Reduced
+	// (e.nl), while everything the caller observes — monitor history
+	// rows, hunt stimulus, counter-examples — stays in full-design
+	// terms: support values scatter into full-width rows, hunt vectors
+	// are drawn over the full input layout and projected onto the cone,
+	// and CEXs replay on a full-design simulator.
+	cone       *verilog.Cone    // nil when exploring the full design
+	fullNl     *verilog.Netlist // the design as the caller passed it (== nl without a cone)
+	monNets    int              // monitor-facing env row width: len(fullNl.Nets)
+	fullReset  []bool           // per full data input: reset-like (hunt bias)
+	inProj     []int            // reduced input position -> full input position
+	coneDrive  []uint64         // projected (reduced-layout) stimulus scratch
+	coneRowBuf []uint64         // full-width scatter row for cone-mode BFS
+	replay     *sim.Simulator   // lazy full-design CEX replay sim (cone mode)
+
+	// Sliced (64-lane) execution state.
+	slicedSim *verilog.SlicedMachine // cached per bound netlist (nil if unsupported)
+	slicedFor *verilog.Netlist
+	slMons    []*sva.Monitor // per-lane monitors for the sliced hunt
+	slMonsFor *sva.Compiled
 
 	// Per-call state.
-	c       *sva.Compiled
-	mon     *sva.Monitor
-	opt     Options
-	support []int // c.SupportNets(), computed once per call
+	c          *sva.Compiled
+	mon        *sva.Monitor
+	opt        Options
+	support    []int // c.SupportNets() when PastDepth > 0 (state-key rows)
+	monSupport []int // c.SupportNets() (full indices), always set per call
+	coneSrc    []int // monSupport mapped to reduced indices (cone mode)
 
 	// Reused scratch.
 	nodes        []node
@@ -49,7 +74,11 @@ type Engine struct {
 	histBuf      [][]uint64
 	gVisited     exactSet   // graph expansion: exact design-state dedup
 	gVisitedFor  *Graph     // the graph gVisited currently indexes
+	supportSrc   []int      // active graph's Support mapped to bound-netlist indices
 	expandRegs   []uint64   // unpacked register scratch for node expansion
+	expandUs     []int32    // frontier-batch scratch: nodes expanded per sliced pass
+	expandVecBuf []uint64   // frontier-batch scratch: flat per-edge input vectors
+	expandRowBuf []uint64   // expansion scratch: all-edge support rows pre-dedup
 	gnodes       []gnode    // batched product-BFS node list
 	scatterRows  [][]uint64 // batched search: union rows scattered to full env width
 	unionPos     []int32    // net index -> position in the active graph's Support
@@ -58,6 +87,8 @@ type Engine struct {
 	widths       []int      // data-input widths (per netlist)
 	histScratch  [][]uint64 // assembled child history
 	enumVecs     [][]uint64 // cached exhaustive input enumeration (per netlist)
+	enumPlanes   []uint64   // cached enumerate input bit-planes, pattern-major (per netlist)
+	enumPlaneW   int        // words per cached pattern (sum of input widths)
 	sampleVecs   [][]uint64 // reusable sampled input vectors
 	arena        [][]uint64 // bump-arena chunks for retained per-node data
 	arenaCur     int
@@ -308,11 +339,112 @@ func (e *Engine) bind(nl *verilog.Netlist, backend string) {
 	}
 	e.packBuf = make([]uint64, (nl.StateBits()+63)/64)
 	e.enumVecs = nil
+	e.enumPlanes = e.enumPlanes[:0]
+	e.enumPlaneW = 0
 	e.sampleVecs = nil
 	e.huntRing = nil
 	e.scatterRows = nil
 	e.unionPos = nil
 	e.gVisitedFor = nil
+	// Plain binds explore the full design; bindCone overrides these.
+	e.cone = nil
+	e.fullNl = nl
+	e.monNets = len(nl.Nets)
+	e.fullReset = e.resetLike
+	e.inProj = nil
+	e.coneDrive = nil
+	e.coneRowBuf = nil
+	e.replay = nil
+}
+
+// bindCone points the engine at full's cone: the simulators and state
+// packing run over cone.Reduced while every monitor-facing buffer stays
+// full-design width. A nil or identity cone degenerates to bind(full).
+func (e *Engine) bindCone(full *verilog.Netlist, cone *verilog.Cone, backend string) {
+	if cone == nil || cone.Identity {
+		e.bind(full, backend)
+		return
+	}
+	if e.nl == cone.Reduced && e.backend == backend && e.cone == cone {
+		return
+	}
+	e.bind(cone.Reduced, backend)
+	e.cone = cone
+	e.fullNl = full
+	e.monNets = len(full.Nets)
+	// Monitors read full-design net indices: resize every row they see.
+	e.zeroEnv = make([]uint64, e.monNets)
+	e.envScratch = make([]uint64, e.monNets)
+	e.coneRowBuf = make([]uint64, e.monNets)
+	e.fullReset = make([]bool, len(full.Inputs))
+	for i, idx := range full.Inputs {
+		e.fullReset[i] = isResetLike(full.Nets[idx].Name)
+	}
+	// Reduced inputs are a subsequence of the full inputs (projection
+	// preserves order), so the position map is a linear merge.
+	e.inProj = make([]int, len(cone.Reduced.Inputs))
+	fp := 0
+	for ri, rIdx := range cone.Reduced.Inputs {
+		fIdx := cone.Inv[rIdx]
+		for full.Inputs[fp] != fIdx {
+			fp++
+		}
+		e.inProj[ri] = fp
+	}
+	e.coneDrive = make([]uint64, len(cone.Reduced.Inputs))
+}
+
+// projectInputs gathers a full-layout stimulus vector onto the cone's
+// input layout (reused scratch).
+func (e *Engine) projectInputs(full []uint64) []uint64 {
+	if e.cone == nil {
+		return full
+	}
+	for i, p := range e.inProj {
+		e.coneDrive[i] = full[p]
+	}
+	return e.coneDrive
+}
+
+// expandInputVec lifts a reduced-layout input vector to the full layout
+// (cut inputs read zero — they are unobservable by construction).
+func (e *Engine) expandInputVec(v []uint64) []uint64 {
+	full := make([]uint64, len(e.fullNl.Inputs))
+	for i, p := range e.inProj {
+		full[p] = v[i]
+	}
+	return full
+}
+
+// sliceRow maps a reduced env onto a full-width row at the property's
+// support positions (all a monitor ever reads). Without a cone the env
+// is returned as-is.
+func (e *Engine) sliceRow(env []uint64) []uint64 {
+	if e.cone == nil {
+		return env
+	}
+	row := e.coneRowBuf
+	for j, idx := range e.monSupport {
+		row[idx] = env[e.coneSrc[j]]
+	}
+	return row
+}
+
+// replaySim returns the simulator CEX replay runs on: the hunt sim when
+// exploring the full design, a lazily built full-design sim under a cone
+// (counter-examples are always reported in full-design terms).
+func (e *Engine) replaySim() *sim.Simulator {
+	if e.cone == nil {
+		return e.hunt
+	}
+	if e.replay == nil {
+		if e.backend == BackendInterp {
+			e.replay = sim.New(e.fullNl)
+		} else {
+			e.replay = sim.NewCompiled(e.fullNl)
+		}
+	}
+	return e.replay
 }
 
 // le64Append appends v little-endian to buf.
@@ -428,7 +560,20 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
 		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown backend %q", opt.Backend)}
 	}
-	e.bind(nl, opt.Backend)
+	if opt.Cone != ConeAuto && opt.Cone != ConeOff {
+		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown cone mode %q", opt.Cone)}
+	}
+	if opt.Slices != SlicesAuto && opt.Slices != SlicesOff {
+		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown slices mode %q", opt.Slices)}
+	}
+	var cone *verilog.Cone
+	if opt.Cone != ConeOff {
+		cone = nl.ConeFor(c.SupportNets())
+		if cone.Identity || !coneWorthwhile(cone, nl, opt) {
+			cone = nil
+		}
+	}
+	e.bindCone(nl, cone, opt.Backend)
 	e.c = c
 	if opt.Backend == BackendCompiled {
 		mon, err := sva.NewMonitorCompiled(c)
@@ -444,8 +589,15 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 	if c.PastDepth > 0 {
 		e.support = c.SupportNets()
 	}
+	e.monSupport = c.SupportNets()
+	e.coneSrc = e.coneSrc[:0]
+	if e.cone != nil {
+		for _, idx := range e.monSupport {
+			e.coneSrc = append(e.coneSrc, e.cone.Map[idx])
+		}
+	}
 
-	exhaustive := nl.InputBits() <= opt.MaxInputBits
+	exhaustive := e.nl.InputBits() <= opt.MaxInputBits
 	res := e.bfs(ctx, exhaustive)
 	if res.Status == StatusCEX || res.Status == StatusError {
 		return res
@@ -460,7 +612,11 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 	}
 	// Bounded: hunt violations along randomized deep runs before settling
 	// for a bounded pass.
-	if r := e.randomHunt(ctx, &res); r != nil {
+	if r, sliced := e.slicedHunt(ctx, &res); sliced {
+		if r != nil {
+			return *r
+		}
+	} else if r := e.randomHunt(ctx, &res); r != nil {
 		return *r
 	}
 	if err := ctx.Err(); err != nil {
@@ -558,7 +714,10 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 				return Result{Status: StatusError, Err: err}
 			}
 			env := e.sim.Env()
-			histBuf[0] = env
+			// Monitors read full-design indices: under a cone, scatter the
+			// support values into a full-width row first.
+			row := e.sliceRow(env)
+			histBuf[0] = row
 			for k := 1; k <= e.c.PastDepth; k++ {
 				if k-1 < len(cur.hist) {
 					histBuf[k] = cur.hist[k-1]
@@ -579,10 +738,10 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 			}
 			alive, sat := e.mon.State()
 
-			// Snapshot the sampled env (into reused scratch) before Step
-			// mutates the live slice.
+			// Snapshot the sampled row (into reused scratch) before Step
+			// mutates the live env behind it.
 			if e.c.PastDepth > 0 {
-				copy(e.envScratch, env)
+				copy(e.envScratch, row)
 			}
 			e.sim.Step()
 
@@ -735,13 +894,35 @@ func (e *Engine) stateHash(regs []uint64, alive, sat uint64, hist [][]uint64) ui
 	return h
 }
 
-// unpackInputs splits a packed bit vector into per-input values by the
-// given widths (inputs beyond 64 packed bits read as zero).
-func unpackInputs(vals []uint64, widths []int, bits uint64) {
+// unpackInputs splits a packed bit vector (little-endian across words)
+// into per-input values by the given widths. Packing is positional, so
+// designs wider than 64 input bits unpack every input — the old
+// single-word form silently zeroed everything past bit 63.
+func unpackInputs(vals []uint64, widths []int, words []uint64) {
+	pos := 0
 	for i, w := range widths {
-		vals[i] = bits & verilog.WidthMask(w)
-		bits >>= uint(w)
+		word, off := pos>>6, uint(pos&63)
+		v := words[word] >> off
+		if off+uint(w) > 64 {
+			v |= words[word+1] << (64 - off)
+		}
+		vals[i] = v & verilog.WidthMask(w)
+		pos += w
 	}
+}
+
+// inputWords is the packed-word count for a set of input widths (at
+// least 1, so zero-input designs still have a draw buffer).
+func inputWords(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	n := (total + 63) / 64
+	if n == 0 {
+		n = 1
+	}
+	return n
 }
 
 // enumInputVectors yields the full data-input enumeration — a pure
@@ -768,7 +949,7 @@ func enumerateInputs(widths []int) [][]uint64 {
 	out := make([][]uint64, 0, n)
 	for b := 0; b < n; b++ {
 		vals := make([]uint64, len(widths))
-		unpackInputs(vals, widths, uint64(b))
+		unpackInputs(vals, widths, []uint64{uint64(b)})
 		out = append(out, vals)
 	}
 	return out
@@ -795,13 +976,30 @@ func (e *Engine) sampleInputVectors(smSeed uint64) [][]uint64 {
 
 // fillSampleVectors writes the bounded-mode vector set for one state into
 // vecs (len MaxInputSamples+2): shared by the per-property engine and the
-// graph builder so both derive identical edges.
+// graph builder so both derive identical edges. Designs up to 64 input
+// bits draw exactly one stream word per vector (the historical pattern);
+// wider designs draw one word per 64 packed bits so every input is
+// randomized.
 func fillSampleVectors(vecs [][]uint64, widths []int, smSeed uint64) {
-	unpackInputs(vecs[0], widths, 0)
-	unpackInputs(vecs[1], widths, ^uint64(0))
+	var buf [4]uint64
+	nWords := inputWords(widths)
+	words := buf[:]
+	if nWords > len(buf) {
+		words = make([]uint64, nWords)
+	}
+	words = words[:nWords]
+	clear(words)
+	unpackInputs(vecs[0], widths, words)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	unpackInputs(vecs[1], widths, words)
 	sm := sm64(smSeed)
 	for i := 2; i < len(vecs); i++ {
-		unpackInputs(vecs[i], widths, sm.next())
+		for j := range words {
+			words[j] = sm.next()
+		}
+		unpackInputs(vecs[i], widths, words)
 	}
 }
 
@@ -817,6 +1015,13 @@ func (e *Engine) buildCEX(head int, lastInputs []uint64, depth, violatedAge int)
 		inputs[l], inputs[r] = inputs[r], inputs[l]
 	}
 	inputs = append(inputs, lastInputs)
+	if e.cone != nil {
+		// BFS vectors are reduced-layout; counter-examples are reported
+		// (and replayed) in full-design terms.
+		for i, u := range inputs {
+			inputs[i] = e.expandInputVec(u)
+		}
+	}
 	return e.replayCEX(inputs, depth, violatedAge)
 }
 
@@ -833,7 +1038,7 @@ func (e *Engine) replayCEX(inputs [][]uint64, depth, violatedAge int) *CEX {
 		ViolationCycle: depth,
 		AttemptCycle:   depth - violatedAge,
 	}
-	s := e.hunt
+	s := e.replaySim()
 	s.ResetState()
 	for _, u := range inputs {
 		if err := s.SetInputs(u); err != nil {
@@ -863,7 +1068,7 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 	if histDepth > 0 && len(e.huntRing) < histDepth {
 		e.huntRing = make([][]uint64, histDepth)
 		for i := range e.huntRing {
-			e.huntRing[i] = make([]uint64, len(e.nl.Nets))
+			e.huntRing[i] = make([]uint64, e.monNets)
 		}
 	}
 	ring := e.huntRing[:histDepth]
@@ -881,15 +1086,19 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 		// simulate the run once for a whole batch.
 		sm := sm64(huntSeed(e.opt.Seed, run))
 		for t := 0; t < e.opt.RandomDepth; t++ {
+			// Stimulus is always drawn over the full input layout (so runs
+			// are identical with and without a cone, and CEXs replay on the
+			// full design) and projected onto the cone for driving.
 			u := e.randomStimulus(&sm, t)
 			inputs = append(inputs, u)
 			e.huntInputs = inputs
-			if err := s.SetInputs(u); err != nil {
+			if err := s.SetInputs(e.projectInputs(u)); err != nil {
 				break
 			}
 			s.Settle()
 			env := s.Env()
-			histBuf[0] = env
+			row := e.sliceRow(env)
+			histBuf[0] = row
 			for k := 1; k <= histDepth; k++ {
 				if k-1 < histLen {
 					histBuf[k] = ring[k-1]
@@ -912,7 +1121,7 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 			}
 			if histDepth > 0 {
 				head := ring[histDepth-1]
-				copy(head, env)
+				copy(head, row)
 				copy(ring[1:], ring[:histDepth-1])
 				ring[0] = head
 				if histLen < histDepth {
@@ -928,24 +1137,212 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 	return nil
 }
 
+// ensureSliced returns the 64-lane machine for the bound netlist, or nil
+// if the design cannot be sliced (cyclic comb logic). Cached per netlist.
+func (e *Engine) ensureSliced() *verilog.SlicedMachine {
+	if e.slicedFor != e.nl {
+		e.slicedSim = verilog.NewSlicedMachine(e.nl)
+		e.slicedFor = e.nl
+	}
+	return e.slicedSim
+}
+
+// laneMonitors returns SlicedLanes compiled monitors for the current
+// property — one per lane, since monitor state is scalar per trajectory.
+func (e *Engine) laneMonitors() []*sva.Monitor {
+	if e.slMonsFor == e.c && len(e.slMons) == verilog.SlicedLanes {
+		return e.slMons
+	}
+	mons := make([]*sva.Monitor, verilog.SlicedLanes)
+	for i := range mons {
+		m, err := sva.NewMonitorCompiled(e.c)
+		if err != nil {
+			return nil
+		}
+		mons[i] = m
+	}
+	e.slMons, e.slMonsFor = mons, e.c
+	return mons
+}
+
+// slicedHunt is randomHunt on the 64-lane machine: one pass through the
+// design advances 64 runs at once (lane l of block r0 is scalar run
+// r0+l), with per-lane monitors stepping over gathered support rows. It
+// emulates the scalar hunt exactly — identical per-run stimulus streams,
+// run-major accumulation of NonVacuous/Depth, and the first violation in
+// run order wins — so verdicts are bit-identical (dverify oracle 7).
+// Returns (result, true) when the sliced path ran; (nil, false) defers
+// to the scalar hunt.
+func (e *Engine) slicedHunt(ctx context.Context, res *Result) (*Result, bool) {
+	if e.opt.Slices == SlicesOff || e.backend != BackendCompiled {
+		return nil, false
+	}
+	msl := e.ensureSliced()
+	if msl == nil {
+		return nil, false
+	}
+	mons := e.laneMonitors()
+	if mons == nil {
+		return nil, false
+	}
+	const lanes = verilog.SlicedLanes
+	histDepth := e.c.PastDepth
+	if cap(e.histBuf) < histDepth+1 {
+		e.histBuf = make([][]uint64, histDepth+1)
+	}
+	histBuf := e.histBuf[:histDepth+1]
+	// Per-lane history: a ring of histDepth+1 full-width rows per lane
+	// (slot t mod histDepth+1 holds cycle t's row). Only support
+	// positions are ever written; monitors read nothing else.
+	rows := make([][]uint64, lanes*(histDepth+1))
+	for i := range rows {
+		rows[i] = e.allocU64(e.monNets)
+	}
+	rowAt := func(l, slot int) []uint64 { return rows[l*(histDepth+1)+slot] }
+	// Machine-side support indices (reduced under a cone).
+	src := e.monSupport
+	if e.cone != nil {
+		src = e.coneSrc
+	}
+	nIn := len(e.fullNl.Inputs)
+	var (
+		sms     [lanes]sm64
+		violT   [lanes]int
+		violAge [lanes]int
+		ante    [lanes]bool
+		laneBuf [lanes]uint64
+		inputs  [lanes][][]uint64
+	)
+	for r0 := 0; r0 < e.opt.RandomRuns; r0 += lanes {
+		if err := ctx.Err(); err != nil {
+			return &Result{Status: StatusError, Err: err}, true
+		}
+		n := lanes
+		if e.opt.RandomRuns-r0 < n {
+			n = e.opt.RandomRuns - r0
+		}
+		msl.ResetState()
+		for l := 0; l < n; l++ {
+			mons[l].Reset()
+			sms[l] = sm64(huntSeed(e.opt.Seed, r0+l))
+			violT[l] = -1
+			ante[l] = false
+			inputs[l] = inputs[l][:0]
+		}
+		for t := 0; t < e.opt.RandomDepth; t++ {
+			alive := 0
+			for l := 0; l < n; l++ {
+				if violT[l] < 0 {
+					alive++
+				}
+			}
+			if alive == 0 {
+				break
+			}
+			// Draw each live lane's stimulus from its own stream (full
+			// input layout, exactly as the scalar hunt). A violated lane's
+			// run already ended in run-order terms; its machine lanes keep
+			// stale values that influence nothing.
+			for l := 0; l < n; l++ {
+				if violT[l] >= 0 {
+					continue
+				}
+				u := e.allocU64(nIn)
+				e.fillStimulus(&sms[l], t, u)
+				inputs[l] = append(inputs[l], u)
+			}
+			for pos := range e.nl.Inputs {
+				fullPos := pos
+				if e.cone != nil {
+					fullPos = e.inProj[pos]
+				}
+				for l := 0; l < n; l++ {
+					if violT[l] < 0 {
+						laneBuf[l] = inputs[l][t][fullPos]
+					} else {
+						laneBuf[l] = 0
+					}
+				}
+				msl.SetInputLanes(pos, laneBuf[:n])
+			}
+			msl.Settle()
+			slot := t % (histDepth + 1)
+			for j, fullIdx := range e.monSupport {
+				msl.Lanes(src[j], laneBuf[:n])
+				for l := 0; l < n; l++ {
+					if violT[l] < 0 {
+						rowAt(l, slot)[fullIdx] = laneBuf[l]
+					}
+				}
+			}
+			for l := 0; l < n; l++ {
+				if violT[l] >= 0 {
+					continue
+				}
+				histBuf[0] = rowAt(l, slot)
+				for k := 1; k <= histDepth; k++ {
+					if t-k >= 0 {
+						histBuf[k] = rowAt(l, (t-k)%(histDepth+1))
+					} else {
+						histBuf[k] = e.zeroEnv
+					}
+				}
+				out := mons[l].Step(histBuf)
+				if out.AnteCompleted {
+					ante[l] = true
+				}
+				if out.Violated {
+					violT[l] = t
+					violAge[l] = out.ViolatedAge
+				}
+			}
+			msl.Step()
+		}
+		// Run-major accumulation: lane l's contributions land exactly when
+		// scalar run r0+l's would, and the first violation in run order
+		// returns before later runs (which the scalar hunt never executed)
+		// can contribute anything.
+		for l := 0; l < n; l++ {
+			if ante[l] {
+				res.NonVacuous = true
+			}
+			if violT[l] >= 0 {
+				full := *res
+				full.Status = StatusCEX
+				full.CEX = e.replayCEX(inputs[l][:violT[l]+1], violT[l], violAge[l])
+				if violT[l] > full.Depth {
+					full.Depth = violT[l]
+				}
+				return &full, true
+			}
+			if e.opt.RandomDepth-1 > res.Depth {
+				res.Depth = e.opt.RandomDepth - 1
+			}
+		}
+	}
+	return nil, true
+}
+
 // randomStimulus draws one hunt stimulus vector from the run's stream,
 // biasing early cycles toward asserting reset-like inputs so deep FSM
 // behaviour past reset is exercised. The draw pattern is fixed (one word
 // per input, plus one for the reset bias) so a stream position depends
 // only on the cycle index.
 func (e *Engine) randomStimulus(sm *sm64, t int) []uint64 {
-	vals := e.allocU64(len(e.nl.Inputs))
+	vals := e.allocU64(len(e.fullNl.Inputs))
 	e.fillStimulus(sm, t, vals)
 	return vals
 }
 
 // fillStimulus is randomStimulus without the arena allocation (shared
 // with the batched hunt-trace builder, which must draw identical vectors).
+// Vectors cover the FULL input layout even under a cone, so the stream is
+// cone-independent.
 func (e *Engine) fillStimulus(sm *sm64, t int, vals []uint64) {
-	for i, idx := range e.nl.Inputs {
-		n := e.nl.Nets[idx]
+	for i, idx := range e.fullNl.Inputs {
+		n := e.fullNl.Nets[idx]
 		vals[i] = sm.next() & n.Mask()
-		if e.resetLike[i] {
+		if e.fullReset[i] {
 			if t < 2 {
 				vals[i] = 1 & n.Mask()
 			} else if sm.next()&15 != 0 {

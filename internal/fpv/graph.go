@@ -66,6 +66,16 @@ type Graph struct {
 	// Vecs holds edge e's input vector at [e*NumInputs, ...) for bounded
 	// graphs (nil when Enumerate).
 	Vecs []uint64
+	// Dedup[DedupOff[i] : DedupOff[i]+DedupN[i]] lists node i's
+	// representative edges: the first edge of each distinct (destination,
+	// support row) class in edge order. A monitor transition depends on
+	// nothing but the row, and the child product state on nothing but
+	// (destination, monitor state, history), so product searches step
+	// once per class — duplicate edges could only repeat the exact same
+	// transition (dedupEdges proves the order argument).
+	Dedup    []int32
+	DedupOff []int32
+	DedupN   []int32
 
 	// Expanded counts expanded nodes; Nodes counts all discovered states.
 	Expanded int
@@ -76,9 +86,12 @@ func (g *Graph) node(i int32) []uint64 {
 	return g.Packed[int(i)*g.PackWords : (int(i)+1)*g.PackWords]
 }
 
-func (g *Graph) row(e int32) []uint64 {
+// repRow returns the support row of the representative edge at dedup
+// index ri (Rows is stored compactly, one row per representative, in
+// Dedup order — see dedupEdges).
+func (g *Graph) repRow(ri int32) []uint64 {
 	n := len(g.Support)
-	return g.Rows[int(e)*n : (int(e)+1)*n]
+	return g.Rows[int(ri)*n : (int(ri)+1)*n]
 }
 
 func (g *Graph) vec(e int32) []uint64 {
@@ -88,7 +101,7 @@ func (g *Graph) vec(e int32) []uint64 {
 // Bytes estimates the graph's retained memory for the cache bound.
 func (g *Graph) Bytes() int64 {
 	return int64(8*(len(g.Packed)+len(g.Rows)+len(g.Vecs)+len(g.Support)) +
-		4*(len(g.EdgeOff)+len(g.Dst)) + 96)
+		4*(len(g.EdgeOff)+len(g.Dst)+len(g.Dedup)+len(g.DedupOff)+len(g.DedupN)) + 96)
 }
 
 // clone deep-copies the graph for private extension.
@@ -102,7 +115,76 @@ func (g *Graph) clone() *Graph {
 	if g.Vecs == nil {
 		c.Vecs = nil
 	}
+	c.Dedup = append([]int32(nil), g.Dedup...)
+	c.DedupOff = append([]int32(nil), g.DedupOff...)
+	c.DedupN = append([]int32(nil), g.DedupN...)
 	return &c
+}
+
+// dedupEdges appends node u's representative-edge list after expansion.
+// rows holds the node's freshly simulated support rows, local-edge-major
+// (EdgesPerNode × len(Support)); only the representatives' rows are
+// retained, appended to g.Rows in Dedup order, so the graph never stores
+// the duplicate bulk (an enumerate node's 256 edges typically collapse
+// to a handful of classes).
+// Walking representatives preserves the full edge walk bit-for-bit: a
+// class's members share one row (same monitor outcome, including the
+// first-violation decision — if any member violates, every member does,
+// so the scalar walk's first violating edge is its class's first
+// member) and one destination (same child product state, so the visited
+// filter admits the same children in the same first-occurrence order).
+func (g *Graph) dedupEdges(u int32, rows []uint64) {
+	off := g.EdgeOff[u]
+	nSup := len(g.Support)
+	start := len(g.Dedup)
+	g.DedupOff[u] = int32(start)
+outer:
+	for le := 0; le < g.EdgesPerNode; le++ {
+		e := off + int32(le)
+		row := rows[le*nSup : (le+1)*nSup]
+		for ri, r := range g.Dedup[start:] {
+			if g.Dst[r] != g.Dst[e] {
+				continue
+			}
+			rrow := g.Rows[(start+ri)*nSup : (start+ri+1)*nSup]
+			same := true
+			for j := 0; j < nSup; j++ {
+				if rrow[j] != row[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue outer
+			}
+		}
+		g.Dedup = pushI32(g.Dedup, e)
+		g.Rows = pushU64s(g.Rows, row)
+	}
+	g.DedupN[u] = int32(len(g.Dedup) - start)
+}
+
+// pushI32 appends one value with capacity doubling. The graph's arrays
+// reach megabytes, where plain append's large-slice growth factor
+// re-copies the whole array far more often; doubling keeps total copy
+// work linear with a small constant (profiled: slice growth was ~15% of
+// a cold full-corpus pass before these helpers).
+func pushI32(s []int32, v int32) []int32 {
+	if len(s) == cap(s) {
+		t := make([]int32, len(s), 2*len(s)+16)
+		copy(t, s)
+		s = t
+	}
+	return append(s, v)
+}
+
+// pushU64s appends a short word run with the same doubling policy
+// (extendU64 doubles on growth).
+func pushU64s(s, vs []uint64) []uint64 {
+	n := len(s)
+	s = extendU64(s, len(vs))
+	copy(s[n:], vs)
+	return s
 }
 
 // newGraph starts an unexplored graph holding only the power-on state.
@@ -118,6 +200,8 @@ func (e *Engine) newGraph(union []int, enumerate bool) *Graph {
 		Enumerate:    enumerate,
 		EdgesPerNode: edges,
 		EdgeOff:      []int32{-1},
+		DedupOff:     []int32{-1},
+		DedupN:       []int32{0},
 		Nodes:        1,
 	}
 	zero := make([]uint64, len(e.nl.Regs))
@@ -159,37 +243,323 @@ func (e *Engine) expandNode(g *Graph, u int32) error {
 	e.expandRegs = cur
 	mark := len(g.Dst)
 	g.EdgeOff[u] = int32(mark)
-	for _, in := range vecs {
+	nSup := len(g.Support)
+	rows := e.rowScratch(g.EdgesPerNode * nSup)
+	if msl := e.slicedGraphMachine(g); msl != nil {
+		e.expandNodeSliced(g, msl, cur, vecs, rows)
+		g.dedupEdges(u, rows)
+		g.Expanded++
+		return nil
+	}
+	for vi, in := range vecs {
 		if err := e.sim.LoadStateWithInputs(cur, in); err != nil {
-			// Roll the half-expanded node back entirely.
+			// Roll the half-expanded node back entirely (rows only live
+			// in scratch until dedupEdges, so g.Rows needs no rollback).
 			g.EdgeOff[u] = -1
 			g.Dst = g.Dst[:mark]
-			g.Rows = g.Rows[:mark*len(g.Support)]
 			if !g.Enumerate {
 				g.Vecs = g.Vecs[:mark*g.NumInputs]
 			}
 			return err
 		}
 		env := e.sim.Env()
-		for _, idx := range g.Support {
-			g.Rows = append(g.Rows, env[idx])
+		for j, src := range e.supportSrc {
+			rows[vi*nSup+j] = env[src]
 		}
 		if !g.Enumerate {
-			g.Vecs = append(g.Vecs, in...)
+			g.Vecs = pushU64s(g.Vecs, in)
 		}
 		e.sim.Step()
 		e.sim.CopyStateInto(e.regBuf)
 		k, h := e.packedKeyHash(e.packRegs(e.regBuf))
 		ord, existed := e.gVisited.insert(h, k)
 		if !existed {
-			g.Packed = append(g.Packed, e.packBuf...)
-			g.EdgeOff = append(g.EdgeOff, -1)
+			g.Packed = pushU64s(g.Packed, e.packBuf)
+			g.EdgeOff = pushI32(g.EdgeOff, -1)
+			g.DedupOff = pushI32(g.DedupOff, -1)
+			g.DedupN = pushI32(g.DedupN, 0)
 			g.Nodes++
 		}
-		g.Dst = append(g.Dst, int32(ord))
+		g.Dst = pushI32(g.Dst, int32(ord))
 	}
+	g.dedupEdges(u, rows)
 	g.Expanded++
 	return nil
+}
+
+// slicedWarmupEdges is the scalar-first warm-up: a graph's first
+// expansions run on the scalar simulator, and only once this many edges
+// have been simulated does exploration switch to the 64-lane machine.
+// Small graphs — quick smoke workloads, trivially-closed properties —
+// finish before lane batching amortizes machine compilation and
+// per-chunk transposes. Both paths build byte-identical graphs, so the
+// switch point is pure heuristic.
+const slicedWarmupEdges = 1024
+
+// slicedGraphMachine returns the 64-lane machine when sliced exploration
+// is on for this call's options, supported by the bound design, and g is
+// past the scalar-first warm-up; nil means use the scalar simulator.
+func (e *Engine) slicedGraphMachine(g *Graph) *verilog.SlicedMachine {
+	if e.opt.Slices == SlicesOff || e.backend != BackendCompiled {
+		return nil
+	}
+	if g.Expanded*g.EdgesPerNode < slicedWarmupEdges {
+		return nil
+	}
+	return e.ensureSliced()
+}
+
+// slicedHuntMachine is the hunt-side gate: hunts fill whole 64-run
+// blocks of full-depth stimulus, so they amortize the machine
+// immediately and skip the graph warm-up.
+func (e *Engine) slicedHuntMachine() *verilog.SlicedMachine {
+	if e.opt.Slices == SlicesOff || e.backend != BackendCompiled {
+		return nil
+	}
+	return e.ensureSliced()
+}
+
+// expandNodeSliced simulates a node's input vectors in 64-wide chunks:
+// the source state broadcasts to every lane, each lane drives one vector,
+// and one settle+step pass yields 64 edges. Rows, vectors and discovered
+// states land in exactly the per-vector order the scalar loop produces.
+func (e *Engine) expandNodeSliced(g *Graph, msl *verilog.SlicedMachine, cur []uint64, vecs [][]uint64, rows []uint64) {
+	const lanes = verilog.SlicedLanes
+	var laneBuf [lanes]uint64
+	words := g.PackWords
+	if cap(e.lanePacked) < lanes*words {
+		e.lanePacked = make([]uint64, lanes*words)
+	}
+	lanePacked := e.lanePacked[:lanes*words]
+	for v0 := 0; v0 < len(vecs); v0 += lanes {
+		n := len(vecs) - v0
+		if n > lanes {
+			n = lanes
+		}
+		msl.LoadRegsBroadcast(cur)
+		if g.Enumerate {
+			// Exhaustive vectors are position-determined, so the driven
+			// input planes repeat node to node: re-apply the cached
+			// pattern as a plane copy instead of re-transposing lanes.
+			msl.RestoreNets(e.nl.Inputs, e.enumPlanePattern(msl, v0/lanes))
+		} else {
+			for pos := 0; pos < len(e.nl.Inputs); pos++ {
+				for l := 0; l < n; l++ {
+					laneBuf[l] = vecs[v0+l][pos]
+				}
+				msl.SetInputLanes(pos, laneBuf[:n])
+			}
+		}
+		msl.Settle()
+		// Rows land in the caller's local-edge-major scratch, one
+		// support column (live lanes only) at a time; dedupEdges keeps
+		// only the representatives' rows.
+		nSup := len(g.Support)
+		for j := range g.Support {
+			msl.Lanes(e.supportSrc[j], laneBuf[:n])
+			for l := 0; l < n; l++ {
+				rows[(v0+l)*nSup+j] = laneBuf[l]
+			}
+		}
+		if !g.Enumerate {
+			for l := 0; l < n; l++ {
+				g.Vecs = pushU64s(g.Vecs, vecs[v0+l])
+			}
+		}
+		msl.Step()
+		// One transposing gather hands back every lane's registers
+		// already in packed layout (PackedLanes matches packRegs'
+		// little-endian concatenation).
+		msl.PackedLanes(e.nl.Regs, n, words, lanePacked)
+		for l := 0; l < n; l++ {
+			packed := lanePacked[l*words : (l+1)*words]
+			k, h := e.packedKeyHash(packed)
+			ord, existed := e.gVisited.insert(h, k)
+			if !existed {
+				g.Packed = pushU64s(g.Packed, packed)
+				g.EdgeOff = pushI32(g.EdgeOff, -1)
+				g.DedupOff = pushI32(g.DedupOff, -1)
+				g.DedupN = pushI32(g.DedupN, 0)
+				g.Nodes++
+			}
+			g.Dst = pushI32(g.Dst, int32(ord))
+		}
+	}
+}
+
+// expandNodesSliced expands several nodes in shared 64-lane passes:
+// the flat (node, vector) work list is chunked by 64 and every lane
+// carries its own source registers (SetNetLanes), so bounded-sample
+// nodes — whose 14-odd vectors leave a single-node pass mostly idle —
+// fill the machine. Edges land node-major at pre-assigned offsets and
+// new states are interned in flat work-list order, which is exactly the
+// order the one-at-a-time flow discovers them in (callers pass nodes in
+// first-demand order), so the resulting graph is byte-identical.
+func (e *Engine) expandNodesSliced(g *Graph, msl *verilog.SlicedMachine, us []int32) {
+	if e.gVisitedFor != g {
+		e.syncGraphVisited(g)
+	}
+	const lanes = verilog.SlicedLanes
+	edges := g.EdgesPerNode
+	nIn := len(e.nl.Inputs)
+	words := g.PackWords
+	total := len(us) * edges
+	if cap(e.expandVecBuf) < total*nIn {
+		e.expandVecBuf = make([]uint64, total*nIn)
+	}
+	vecBuf := e.expandVecBuf[:total*nIn]
+	// Materialize every node's vectors up front (the sample buffer is
+	// engine-shared) and claim edge offsets node-major before any
+	// simulation.
+	base := len(g.Dst)
+	for ui, u := range us {
+		// Enumerate chunks are driven from the cached plane pattern, so
+		// only sampled vectors need materializing here.
+		if !g.Enumerate {
+			vecs := e.sampleInputVectors(sampleSeed(e.opt.Seed, g.node(u)))
+			for vi, in := range vecs {
+				copy(vecBuf[(ui*edges+vi)*nIn:], in)
+			}
+		}
+		g.EdgeOff[u] = int32(base + ui*edges)
+	}
+	nSup := len(g.Support)
+	rowBuf := e.rowScratch(total * nSup)
+	// Every extended slot is written below before it is read, so the
+	// extension skips the zeroed temporary an append(..., make(...))
+	// would allocate per expansion.
+	g.Dst = extendI32(g.Dst, total)
+	if !g.Enumerate {
+		vb := len(g.Vecs)
+		g.Vecs = extendU64(g.Vecs, total*nIn)
+		copy(g.Vecs[vb:], vecBuf)
+	}
+	if cap(e.lanePacked) < lanes*words {
+		e.lanePacked = make([]uint64, lanes*words)
+	}
+	lanePacked := e.lanePacked[:lanes*words]
+	var laneBuf [lanes]uint64
+	for c0 := 0; c0 < total; c0 += lanes {
+		n := total - c0
+		if n > lanes {
+			n = lanes
+		}
+		// Each lane's source registers load straight from the packed
+		// node bytes; one transposing scatter replaces a per-register
+		// SetNetLanes sweep. (lanePacked is free until the PackedLanes
+		// gather below.)
+		for l := 0; l < n; l++ {
+			copy(lanePacked[l*words:(l+1)*words], g.node(us[(c0+l)/edges]))
+		}
+		msl.SetPackedLanes(e.nl.Regs, n, words, lanePacked)
+		if g.Enumerate {
+			// Multi-node enumerate chunks start at node boundaries, and
+			// 64 is a multiple of the (power-of-two) edge count, so every
+			// chunk sees the same periodic vector pattern: one cached
+			// plane set serves them all.
+			msl.RestoreNets(e.nl.Inputs, e.enumPlanePattern(msl, 0))
+		} else {
+			for pos := 0; pos < nIn; pos++ {
+				for l := 0; l < n; l++ {
+					laneBuf[l] = vecBuf[(c0+l)*nIn+pos]
+				}
+				msl.SetInputLanes(pos, laneBuf[:n])
+			}
+		}
+		msl.Settle()
+		for j := range g.Support {
+			msl.Lanes(e.supportSrc[j], laneBuf[:n])
+			for l := 0; l < n; l++ {
+				rowBuf[(c0+l)*nSup+j] = laneBuf[l]
+			}
+		}
+		msl.Step()
+		msl.PackedLanes(e.nl.Regs, n, words, lanePacked)
+		for l := 0; l < n; l++ {
+			packed := lanePacked[l*words : (l+1)*words]
+			k, h := e.packedKeyHash(packed)
+			ord, existed := e.gVisited.insert(h, k)
+			if !existed {
+				g.Packed = pushU64s(g.Packed, packed)
+				g.EdgeOff = pushI32(g.EdgeOff, -1)
+				g.DedupOff = pushI32(g.DedupOff, -1)
+				g.DedupN = pushI32(g.DedupN, 0)
+				g.Nodes++
+			}
+			g.Dst[base+c0+l] = int32(ord)
+		}
+	}
+	for ui, u := range us {
+		g.dedupEdges(u, rowBuf[ui*edges*nSup:(ui+1)*edges*nSup])
+	}
+	g.Expanded += len(us)
+}
+
+// enumPlanePattern returns the cached input bit-planes for enumerate
+// chunk pattern pi: lane l carries vector (pi*64+l) mod edges. The
+// periodic fill covers all 64 lanes, so one cached pattern serves full
+// and partial chunks alike (extra lanes are simulated and ignored).
+// Patterns are built lazily — the machine is driven once through
+// SetInputLanes and its input planes snapshotted — and every later
+// enumerate chunk of any node re-applies them as a flat plane copy,
+// which is what makes exhaustive expansion input marshalling O(input
+// bits) words instead of a per-lane re-transpose.
+func (e *Engine) enumPlanePattern(msl *verilog.SlicedMachine, pi int) []uint64 {
+	const lanes = verilog.SlicedLanes
+	if len(e.nl.Inputs) == 0 {
+		return nil
+	}
+	vecs := e.enumInputVectors()
+	edges := len(vecs)
+	if e.enumPlaneW == 0 {
+		for _, idx := range e.nl.Inputs {
+			e.enumPlaneW += e.nl.Nets[idx].Width
+		}
+	}
+	w := e.enumPlaneW
+	for built := len(e.enumPlanes) / w; built <= pi; built++ {
+		var laneBuf [lanes]uint64
+		for pos := range e.nl.Inputs {
+			for l := 0; l < lanes; l++ {
+				laneBuf[l] = vecs[(built*lanes+l)%edges][pos]
+			}
+			msl.SetInputLanes(pos, laneBuf[:])
+		}
+		e.enumPlanes = extendU64(e.enumPlanes, w)
+		msl.SnapshotNets(e.nl.Inputs, e.enumPlanes[built*w:])
+	}
+	return e.enumPlanes[pi*w : (pi+1)*w]
+}
+
+// rowScratch returns an n-word engine-owned buffer for freshly simulated
+// support rows; contents are only valid until the next expansion.
+func (e *Engine) rowScratch(n int) []uint64 {
+	if cap(e.expandRowBuf) < n {
+		e.expandRowBuf = make([]uint64, n)
+	}
+	return e.expandRowBuf[:n]
+}
+
+// extendU64 grows s by n entries without zero-filling a temporary; the
+// reused-capacity fast path exposes stale words, so callers must write
+// every extended slot before reading it.
+func extendU64(s []uint64, n int) []uint64 {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	t := make([]uint64, len(s)+n, (len(s)+n)*2)
+	copy(t, s)
+	return t
+}
+
+// extendI32 is extendU64 for int32 slices.
+func extendI32(s []int32, n int) []int32 {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	t := make([]int32, len(s)+n, (len(s)+n)*2)
+	copy(t, s)
+	return t
 }
 
 // unpackRegs reverses packRegs into dst (one value per register).
@@ -249,29 +619,112 @@ func (h *HuntTrace) clone() *HuntTrace {
 	return &c
 }
 
+// huntWarmupRuns is the scalar-first hunt warm-up: counterexample-heavy
+// workloads usually die within the first few runs, and the sliced path
+// rounds every demand up to a whole 64-run block, so the first runs are
+// simulated exactly as demanded and lane blocks only engage once demand
+// shows the hunt is going deep. Trace content is identical either way.
+const huntWarmupRuns = 8
+
 // extendHunt simulates runs [ht.RunsDone, upto] into the trace — the
 // same per-run splitmix stimulus streams the per-property hunt draws.
-// The caller owns ht.
+// The caller owns ht. Trace content is identical whichever execution
+// path extends it (scalar or 64-lane sliced); the sliced path merely
+// rounds the demand up to its block size.
 func (e *Engine) extendHunt(ht *HuntTrace, upto int) {
-	vals := make([]uint64, ht.NumInputs)
+	if msl := e.slicedHuntMachine(); msl != nil && upto >= huntWarmupRuns {
+		end := ht.RunsDone + ((upto-ht.RunsDone)/verilog.SlicedLanes+1)*verilog.SlicedLanes - 1
+		if end > ht.Runs-1 {
+			end = ht.Runs - 1
+		}
+		e.extendHuntSliced(ht, end, msl)
+		return
+	}
+	start := ht.RunsDone
+	// Size the full extension up front (every slot is written below
+	// before it is read) and fill positionally — per-cycle appends grew
+	// the megabyte-scale trace arrays incrementally.
+	ht.Inputs = extendU64(ht.Inputs, (upto+1-start)*ht.Depth*ht.NumInputs)
+	ht.Rows = extendU64(ht.Rows, (upto+1-start)*ht.Depth*len(ht.Support))
+	ht.RunsDone = upto + 1
 	s := e.hunt
-	for run := ht.RunsDone; run <= upto; run++ {
+	for run := start; run <= upto; run++ {
 		s.ResetState()
 		sm := sm64(huntSeed(e.opt.Seed, run))
 		for t := 0; t < ht.Depth; t++ {
+			vals := ht.input(run, t)
 			e.fillStimulus(&sm, t, vals)
-			ht.Inputs = append(ht.Inputs, vals...)
 			// SetInputs cannot fail (vals is sized to the netlist); keep
-			// Inputs/Rows aligned by construction.
-			_ = s.SetInputs(vals)
+			// Inputs/Rows aligned by construction. Under a cone the trace
+			// records the full-layout vector and drives its projection.
+			_ = s.SetInputs(e.projectInputs(vals))
 			s.Settle()
 			env := s.Env()
-			for _, idx := range ht.Support {
-				ht.Rows = append(ht.Rows, env[idx])
+			row := ht.row(run, t)
+			for j := range ht.Support {
+				row[j] = env[e.supportSrc[j]]
 			}
 			s.Step()
 		}
-		ht.RunsDone = run + 1
+	}
+}
+
+// extendHuntSliced is extendHunt on the 64-lane machine: lane l of a
+// block starting at run r0 is scalar run r0+l, so one pass through the
+// design advances 64 runs. Inputs and rows are written positionally into
+// the (run, t)-major trace layout, byte-identical to the scalar loop's.
+func (e *Engine) extendHuntSliced(ht *HuntTrace, upto int, msl *verilog.SlicedMachine) {
+	const lanes = verilog.SlicedLanes
+	start := ht.RunsDone
+	if upto < start {
+		return
+	}
+	// Size the extension without the zeroed temporary an append(make)
+	// pair allocates — huntBlock writes every slot before it is read.
+	ht.Inputs = extendU64(ht.Inputs, (upto+1-start)*ht.Depth*ht.NumInputs)
+	ht.Rows = extendU64(ht.Rows, (upto+1-start)*ht.Depth*len(ht.Support))
+	ht.RunsDone = upto + 1 // input()/row() now index the extended arrays
+	for r0 := start; r0 <= upto; r0 += lanes {
+		n := upto + 1 - r0
+		if n > lanes {
+			n = lanes
+		}
+		e.huntBlock(ht, msl, r0, n)
+	}
+}
+
+// huntBlock simulates hunt runs [r0, r0+n) into ht's already sized
+// arrays on msl — lane l is scalar run r0+l.
+func (e *Engine) huntBlock(ht *HuntTrace, msl *verilog.SlicedMachine, r0, n int) {
+	const lanes = verilog.SlicedLanes
+	var sms [lanes]sm64
+	var laneBuf [lanes]uint64
+	msl.ResetState()
+	for l := 0; l < n; l++ {
+		sms[l] = sm64(huntSeed(e.opt.Seed, r0+l))
+	}
+	for t := 0; t < ht.Depth; t++ {
+		for l := 0; l < n; l++ {
+			e.fillStimulus(&sms[l], t, ht.input(r0+l, t))
+		}
+		for pos := 0; pos < len(e.nl.Inputs); pos++ {
+			fullPos := pos
+			if e.cone != nil {
+				fullPos = e.inProj[pos]
+			}
+			for l := 0; l < n; l++ {
+				laneBuf[l] = ht.input(r0+l, t)[fullPos]
+			}
+			msl.SetInputLanes(pos, laneBuf[:n])
+		}
+		msl.Settle()
+		for j := range ht.Support {
+			msl.Lanes(e.supportSrc[j], laneBuf[:n])
+			for l := 0; l < n; l++ {
+				ht.row(r0+l, t)[j] = laneBuf[l]
+			}
+		}
+		msl.Step()
 	}
 }
 

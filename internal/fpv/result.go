@@ -145,6 +145,20 @@ type Options struct {
 	// batches, BatchOff forces the per-property reference search.
 	// Verdicts are bit-identical either way (dverify oracle 5).
 	Batch string
+	// Cone selects cone-of-influence reduction: ConeAuto (the default)
+	// projects each property's search onto the transitive fan-in of its
+	// support nets (verilog.Cone), ConeOff explores the full design.
+	// Verdicts agree semantically either way — identical when both runs
+	// are exhaustive, and any counter-example replays on the full design
+	// (dverify oracle 6).
+	Cone string
+	// Slices selects 64-way bit-parallel exploration of the bounded
+	// random hunt and graph edge expansion: SlicesAuto (the default)
+	// runs 64 stimulus trajectories per pass through the design on the
+	// bit-sliced machine where the design supports it, SlicesOff forces
+	// the scalar reference loops. Verdicts are bit-identical either way
+	// (dverify oracle 7); only the compiled backend slices.
+	Slices string
 }
 
 // Execution backends.
@@ -173,6 +187,30 @@ func ValidBatch(s string) bool {
 	return s == "" || s == BatchAuto || s == BatchOff
 }
 
+// Cone-of-influence modes for Options.Cone.
+const (
+	ConeAuto = "auto"
+	ConeOff  = "off"
+)
+
+// ValidCone reports whether s names a cone mode ("" selects the default,
+// ConeAuto).
+func ValidCone(s string) bool {
+	return s == "" || s == ConeAuto || s == ConeOff
+}
+
+// Bit-slicing modes for Options.Slices.
+const (
+	SlicesAuto = "auto"
+	SlicesOff  = "off"
+)
+
+// ValidSlices reports whether s names a slicing mode ("" selects the
+// default, SlicesAuto).
+func ValidSlices(s string) bool {
+	return s == "" || s == SlicesAuto || s == SlicesOff
+}
+
 // withDefaults fills zero fields.
 func (o Options) withDefaults() Options {
 	if o.MaxProductStates == 0 {
@@ -198,6 +236,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Batch == "" {
 		o.Batch = BatchAuto
+	}
+	if o.Cone == "" {
+		o.Cone = ConeAuto
+	}
+	if o.Slices == "" {
+		o.Slices = SlicesAuto
 	}
 	return o
 }

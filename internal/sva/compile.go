@@ -53,7 +53,11 @@ type Compiled struct {
 	anteFns []EvalFn
 	consFns []EvalFn
 	support map[int]bool
-	nl      *verilog.Netlist
+	// supportSorted is the sorted support-net list, memoized at compile
+	// time: the FPV engine asks for it on every Verify call (state keys,
+	// batch unions, cone projection), so SupportNets must not re-sort.
+	supportSorted []int
+	nl            *verilog.Netlist
 
 	// Program-backed evaluators, lowered lazily (see lower.go) and shared
 	// by every compiled-backend monitor over this assertion.
@@ -130,6 +134,11 @@ func Compile(a *Assertion, nl *verilog.Netlist) (*Compiled, error) {
 		c.ConsLoAge = consOffs[0]
 		c.ConsHiAge = consOffs[0] + a.ConsDelaySpan
 	}
+	c.supportSorted = make([]int, 0, len(c.support))
+	for n := range c.support {
+		c.supportSorted = append(c.supportSorted, n)
+	}
+	sort.Ints(c.supportSorted)
 	return c, nil
 }
 
@@ -160,16 +169,12 @@ func (c *Compiled) CheckAge(age int, hist [][]uint64) AgeResult {
 }
 
 // SupportNets returns the indices of all nets the assertion reads, in
-// ascending order. The FPV engine folds these into visited-state keys
-// and the batched verifier merges them across a batch, so a stable order
-// keeps hashes and union layouts deterministic across calls.
+// ascending order. The FPV engine folds these into visited-state keys,
+// the batched verifier merges them across a batch, and the cone-of-
+// influence pass projects the design onto their fan-in, so the list is
+// memoized sorted at compile time. Callers must not mutate it.
 func (c *Compiled) SupportNets() []int {
-	out := make([]int, 0, len(c.support))
-	for n := range c.support {
-		out = append(out, n)
-	}
-	sort.Ints(out)
-	return out
+	return c.supportSorted
 }
 
 // Check verifies an assertion's signals against a design without building

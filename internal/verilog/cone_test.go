@@ -1,0 +1,155 @@
+package verilog
+
+import "testing"
+
+// coneTestSrc has three independent islands of logic: a constant-driven
+// status net (idle), a reset-synchronized register (q) fed by rst/en/d,
+// and a free-running counter (junk) no property output depends on.
+const coneTestSrc = `
+module m(clk, rst, en, d, q, junk, idle);
+input clk, rst, en, d;
+output q; reg q;
+output [7:0] junk; reg [7:0] junk;
+output idle;
+assign idle = 1'b0;
+always @(posedge clk) begin
+  if (rst) q <= 1'b0;
+  else if (en) q <= d;
+end
+always @(posedge clk) junk <= junk + 8'd1;
+endmodule`
+
+func coneOf(t *testing.T, nl *Netlist, names ...string) *Cone {
+	t.Helper()
+	support := make([]int, len(names))
+	for i, n := range names {
+		if support[i] = nl.NetIndex(n); support[i] < 0 {
+			t.Fatalf("no net %q", n)
+		}
+	}
+	return nl.ConeFor(support)
+}
+
+// A support set fed only by a constant collapses to a minimal cone: the
+// net itself, its constant driver, and the clock — no inputs, no state.
+func TestConeConstantNetMinimal(t *testing.T) {
+	nl := mustElaborate(t, coneTestSrc, "m")
+	c := coneOf(t, nl, "idle")
+	if c.Identity {
+		t.Fatal("constant-net cone should not be the identity")
+	}
+	if n := len(c.Reduced.Nets); n != 2 { // clk + idle
+		t.Errorf("reduced nets = %d, want 2 (clk + idle)", n)
+	}
+	if len(c.Reduced.Inputs) != 0 || len(c.Reduced.Regs) != 0 {
+		t.Errorf("minimal cone has %d inputs, %d regs, want none",
+			len(c.Reduced.Inputs), len(c.Reduced.Regs))
+	}
+	if c.Map[nl.NetIndex("idle")] < 0 {
+		t.Error("support net cut from its own cone")
+	}
+	for _, name := range []string{"q", "junk", "rst", "en", "d"} {
+		if c.Map[nl.NetIndex(name)] >= 0 {
+			t.Errorf("net %q should be cut from the idle cone", name)
+		}
+	}
+}
+
+// The register cone must pull in its whole control fan-in — reset,
+// enable and data — while cutting the unrelated counter.
+func TestConeResetFanIn(t *testing.T) {
+	nl := mustElaborate(t, coneTestSrc, "m")
+	c := coneOf(t, nl, "q")
+	for _, name := range []string{"q", "rst", "en", "d", "clk"} {
+		if c.Map[nl.NetIndex(name)] < 0 {
+			t.Errorf("net %q should be in the q cone", name)
+		}
+	}
+	for _, name := range []string{"junk", "idle"} {
+		if c.Map[nl.NetIndex(name)] >= 0 {
+			t.Errorf("net %q should be cut from the q cone", name)
+		}
+	}
+	if len(c.Reduced.Inputs) != 3 || len(c.Reduced.Regs) != 1 {
+		t.Errorf("reduced has %d inputs, %d regs, want 3 and 1",
+			len(c.Reduced.Inputs), len(c.Reduced.Regs))
+	}
+	// The projection preserves relative net order: Inv is strictly
+	// increasing, so a topological order of the full design remains one
+	// of the reduced design.
+	for i := 1; i < len(c.Inv); i++ {
+		if c.Inv[i] <= c.Inv[i-1] {
+			t.Fatalf("Inv not strictly increasing at %d: %v", i, c.Inv)
+		}
+	}
+	// Map and Inv are mutually inverse over kept nets.
+	for r, f := range c.Inv {
+		if c.Map[f] != r {
+			t.Fatalf("Map[Inv[%d]] = %d, want %d", r, c.Map[f], r)
+		}
+	}
+}
+
+// Cones are interned per netlist: the same support — and any support
+// with the same closure — yields the same canonical pointer, so batch
+// grouping and graph-cache keying can compare cones by identity.
+func TestConeInterning(t *testing.T) {
+	nl := mustElaborate(t, coneTestSrc, "m")
+	a := coneOf(t, nl, "q")
+	if b := coneOf(t, nl, "q"); b != a {
+		t.Error("same support built two cones")
+	}
+	// {q, en} closes to the same net set as {q} (en is already in q's
+	// fan-in), so the overlapping support shares the canonical cone.
+	if b := coneOf(t, nl, "q", "en"); b != a {
+		t.Error("same closure from a different support built a second cone")
+	}
+	// A genuinely different closure gets its own cone.
+	if b := coneOf(t, nl, "idle"); b == a {
+		t.Error("distinct closures share a cone")
+	}
+	// Overlapping but different: {q, junk} strictly contains {q}.
+	wide := coneOf(t, nl, "q", "junk")
+	if wide == a {
+		t.Error("wider closure shares the narrow cone")
+	}
+	if wide.Map[nl.NetIndex("junk")] < 0 || wide.Map[nl.NetIndex("rst")] < 0 {
+		t.Error("union cone must keep both islands' fan-in")
+	}
+}
+
+// A support whose closure covers every net degenerates to the identity
+// cone: no projection, Reduced is the full netlist itself.
+func TestConeIdentityWhenAllKept(t *testing.T) {
+	nl := mustElaborate(t, coneTestSrc, "m")
+	support := make([]int, len(nl.Nets))
+	for i := range support {
+		support[i] = i
+	}
+	c := nl.ConeFor(support)
+	if !c.Identity || c.Reduced != nl {
+		t.Fatal("all-net support should yield the identity cone")
+	}
+	for i, m := range c.Map {
+		if m != i || c.Inv[i] != i {
+			t.Fatalf("identity cone Map/Inv not the identity at %d", i)
+		}
+	}
+}
+
+// Designs with combinational cycles are never sliced: projection could
+// split a fixpoint group, so ConeFor refuses and returns the identity.
+func TestConeIdentityForCyclicDesign(t *testing.T) {
+	nl := mustElaborate(t, `
+module loopy(input a, output x, output y);
+assign x = y | a;
+assign y = x & a;
+endmodule`, "loopy")
+	if nl.CombOrder != nil {
+		t.Fatal("test design is not cyclic")
+	}
+	c := coneOf(t, nl, "x")
+	if !c.Identity || c.Reduced != nl {
+		t.Error("cyclic design must get the identity cone")
+	}
+}

@@ -349,6 +349,14 @@ type Netlist struct {
 	// immutable; machines keep their own frames).
 	progOnce sync.Once
 	prog     *Program
+
+	// Cone interning (cone.go): one canonical *Cone per kept-net
+	// signature, plus a support-set memo so repeated projections for the
+	// same property are two map lookups. Guarded by coneMu.
+	coneMu    sync.Mutex
+	coneByKey map[string]*Cone
+	coneBySig map[string]*Cone
+	idCone    *Cone
 }
 
 // Program returns the netlist's compiled execution program, lowering it

@@ -1,0 +1,1095 @@
+package verilog
+
+import "math/bits"
+
+// 64-way bit-sliced execution. A SlicedMachine simulates 64 independent
+// stimulus trajectories of one netlist at once by transposing every
+// value: a net of width W is held as W uint64 bit planes, where bit l of
+// plane b is bit b of the net's value in lane l. One pass over the
+// design then advances all 64 lanes — bitwise operators map to single
+// plane ops, arithmetic/comparisons to ripple carry/borrow chains over
+// the planes, and control flow to branch-free predication (every
+// assignment is a masked store under the conjunction of its enclosing
+// branch conditions, so divergent lanes coexist in one pass). The rare
+// ops with no cheap plane form (*, /, %, **) unslice: they gather each
+// lane's scalar operands, apply the scalar semantics verbatim, and
+// scatter the results back into planes.
+//
+// The machine reproduces the scalar Simulator bit-for-bit per lane
+// (dverify oracle 7 and TestSlicedMatchesScalar enforce this): settle is
+// the same single pass over CombOrder, a step runs the sequential
+// processes in order with blocking writes visible immediately and
+// non-blocking writes latched into shadow planes that commit after the
+// edge, and comb-settle non-blocking writes are dropped exactly like
+// both scalar backends. Cyclic comb logic (fixpoint settling) is not
+// sliced: NewSlicedMachine returns nil and callers fall back to the
+// scalar path.
+
+// SlicedLanes is the trajectory count of one sliced pass.
+const SlicedLanes = 64
+
+// SlicedSupported reports whether the design can run bit-sliced: the
+// combinational logic must be acyclic (one ordered settle pass).
+func SlicedSupported(nl *Netlist) bool {
+	return len(nl.CombOrder) == len(nl.Assigns)+len(nl.Combs)
+}
+
+// SlicedMachine is a 64-lane simulator instance. Not safe for
+// concurrent use; each engine builds its own.
+type SlicedMachine struct {
+	nl *Netlist
+	// vals[n] holds net n's planes (Width planes).
+	vals [][]uint64
+	// Non-blocking shadow planes, allocated for nets written
+	// non-blockingly by a sequential process. nbMask accumulates the
+	// lanes with a pending write per (net, bit).
+	nbVal   [][]uint64
+	nbMask  [][]uint64
+	nbNets  []int
+	settle  []func()
+	seqs    []func(mask uint64)
+	settled bool
+}
+
+// NewSlicedMachine compiles a 64-lane machine for nl, or returns nil if
+// the design is not sliceable (cyclic combinational logic).
+func NewSlicedMachine(nl *Netlist) *SlicedMachine {
+	if !SlicedSupported(nl) {
+		return nil
+	}
+	m := &SlicedMachine{nl: nl, vals: make([][]uint64, len(nl.Nets))}
+	for i, n := range nl.Nets {
+		m.vals[i] = make([]uint64, n.Width)
+	}
+	m.nbVal = make([][]uint64, len(nl.Nets))
+	m.nbMask = make([][]uint64, len(nl.Nets))
+	for _, item := range nl.CombOrder {
+		if item < len(nl.Assigns) {
+			m.settle = append(m.settle, m.compileAssign(&nl.Assigns[item]))
+		} else {
+			body := m.compileStmt(nl.Combs[item-len(nl.Assigns)].Body, false)
+			m.settle = append(m.settle, func() { body(^uint64(0)) })
+		}
+	}
+	for _, p := range nl.Seqs {
+		m.seqs = append(m.seqs, m.compileStmt(p.Body, true))
+	}
+	return m
+}
+
+// Netlist returns the design under simulation.
+func (m *SlicedMachine) Netlist() *Netlist { return m.nl }
+
+// ResetState returns every lane to the power-on (all-zero) state with
+// combinational logic unsettled; the next Settle re-evaluates.
+func (m *SlicedMachine) ResetState() {
+	for _, p := range m.vals {
+		for b := range p {
+			p[b] = 0
+		}
+	}
+	for _, n := range m.nbNets {
+		for b := range m.nbMask[n] {
+			m.nbMask[n][b] = 0
+			m.nbVal[n][b] = 0
+		}
+	}
+	m.settled = false
+}
+
+// SetInputLanes drives data input position pos (netlist input order)
+// with one value per lane; lanes past len(lanes) are driven to zero, so
+// callers with fewer live trajectories pay only for those.
+func (m *SlicedMachine) SetInputLanes(pos int, lanes []uint64) {
+	m.setLanes(m.vals[m.nl.Inputs[pos]], lanes)
+	m.settled = false
+}
+
+// SetNetLanes drives an arbitrary net (by netlist index) with one value
+// per lane; lanes past len(lanes) are driven to zero. Loading register
+// nets this way gives every lane its own state, so one pass can explore
+// from several design states at once.
+func (m *SlicedMachine) SetNetLanes(idx int, lanes []uint64) {
+	m.setLanes(m.vals[idx], lanes)
+	m.settled = false
+}
+
+// SnapshotNets copies the current bit-planes of nets (netlist indices)
+// into dst, concatenated in argument order, and returns the word count
+// (the sum of the nets' widths). Paired with RestoreNets it lets a
+// caller cache a driven input pattern and re-apply it as a straight
+// plane copy instead of re-transposing per-lane values every chunk.
+func (m *SlicedMachine) SnapshotNets(nets []int, dst []uint64) int {
+	k := 0
+	for _, idx := range nets {
+		k += copy(dst[k:], m.vals[idx])
+	}
+	return k
+}
+
+// RestoreNets writes planes previously captured by SnapshotNets back
+// onto nets and leaves combinational logic unsettled.
+func (m *SlicedMachine) RestoreNets(nets []int, src []uint64) int {
+	k := 0
+	for _, idx := range nets {
+		p := m.vals[idx]
+		copy(p, src[k:k+len(p)])
+		k += len(p)
+	}
+	m.settled = false
+	return k
+}
+
+func (m *SlicedMachine) setLanes(p, lanes []uint64) {
+	w := len(p)
+	n := len(lanes)
+	if n > SlicedLanes {
+		n = SlicedLanes
+	}
+	if n*w > transposeCut {
+		var a [SlicedLanes]uint64
+		copy(a[:], lanes[:n])
+		transpose64(&a)
+		copy(p, a[:w])
+	} else {
+		for b := 0; b < w; b++ {
+			var plane uint64
+			for l := 0; l < n; l++ {
+				plane |= ((lanes[l] >> uint(b)) & 1) << uint(l)
+			}
+			p[b] = plane
+		}
+	}
+}
+
+// BroadcastInput drives data input position pos with the same value in
+// every lane.
+func (m *SlicedMachine) BroadcastInput(pos int, v uint64) {
+	m.broadcast(m.nl.Inputs[pos], v)
+	m.settled = false
+}
+
+// LoadRegsBroadcast loads the register state (netlist Regs order) into
+// every lane.
+func (m *SlicedMachine) LoadRegsBroadcast(state []uint64) {
+	for i, idx := range m.nl.Regs {
+		m.broadcast(idx, state[i])
+	}
+	m.settled = false
+}
+
+func (m *SlicedMachine) broadcast(idx int, v uint64) {
+	p := m.vals[idx]
+	for b := range p {
+		if (v>>uint(b))&1 == 1 {
+			p[b] = ^uint64(0)
+		} else {
+			p[b] = 0
+		}
+	}
+}
+
+// Lane gathers net idx's value in one lane.
+func (m *SlicedMachine) Lane(idx, lane int) uint64 {
+	return gatherLane(m.vals[idx], lane)
+}
+
+// Lanes gathers net idx's value in the first len(dst) lanes into dst:
+// a bit-matrix transpose of the net's planes when that pays, else a
+// per-lane gather over just the lanes asked for.
+func (m *SlicedMachine) Lanes(idx int, dst []uint64) {
+	p := m.vals[idx]
+	if len(dst)*len(p) > transposeCut {
+		var a [SlicedLanes]uint64
+		copy(a[:], p)
+		transpose64(&a)
+		copy(dst, a[:])
+		return
+	}
+	for l := range dst {
+		dst[l] = gatherLane(p, l)
+	}
+}
+
+// PackedLanes gathers, for each of the first nLanes lanes, the
+// little-endian bit-concatenation of the given nets' values (net order,
+// each contributing Width bits) into dst[l*words : (l+1)*words] — the
+// sliced counterpart of reading every net per lane and bit-packing the
+// results. words must be ceil(total bits / 64); dst needs nLanes*words
+// entries. One 64x64 transpose per output word replaces
+// nLanes*totalBits single-bit probes.
+func (m *SlicedMachine) PackedLanes(nets []int, nLanes, words int, dst []uint64) {
+	var a [SlicedLanes]uint64
+	word, fill := 0, 0
+	flush := func() {
+		for i := fill; i < SlicedLanes; i++ {
+			a[i] = 0
+		}
+		transpose64(&a)
+		for l := 0; l < nLanes; l++ {
+			dst[l*words+word] = a[l]
+		}
+		word++
+		fill = 0
+	}
+	for _, idx := range nets {
+		for _, pb := range m.vals[idx] {
+			a[fill] = pb
+			fill++
+			if fill == SlicedLanes {
+				flush()
+			}
+		}
+	}
+	if fill > 0 || word < words {
+		flush()
+	}
+}
+
+// SetPackedLanes drives the given nets from per-lane little-endian
+// bit-concatenations — the exact inverse of PackedLanes: lane l's value
+// src[l*words : (l+1)*words] is taken apart into the nets' planes (net
+// order, each consuming Width bits), and lanes past nLanes are driven
+// to zero. Loading bit-packed register states this way costs one 64x64
+// transpose per packed word instead of one per register.
+func (m *SlicedMachine) SetPackedLanes(nets []int, nLanes, words int, src []uint64) {
+	if words == 0 {
+		return // no packed bits: nothing to drive (register-free design)
+	}
+	var a [SlicedLanes]uint64
+	word, fill := 0, 0
+	load := func() {
+		for l := 0; l < nLanes; l++ {
+			a[l] = src[l*words+word]
+		}
+		for l := nLanes; l < SlicedLanes; l++ {
+			a[l] = 0
+		}
+		transpose64(&a)
+		word++
+		fill = 0
+	}
+	load()
+	for _, idx := range nets {
+		p := m.vals[idx]
+		for b := range p {
+			if fill == SlicedLanes {
+				load()
+			}
+			p[b] = a[fill]
+			fill++
+		}
+	}
+	m.settled = false
+}
+
+// transposeCut is the lanes*bits area above which a fixed-cost 64x64
+// transpose beats the per-bit gather/scatter loops.
+const transposeCut = 448
+
+// transpose64 transposes a as a 64x64 bit matrix in place (bit j of
+// a[i] swaps with bit i of a[j], LSB-first) by recursive block swaps:
+// at stride s, the high s bits of rows with bit s clear trade places
+// with the low s bits of their partner rows s below.
+func transpose64(a *[SlicedLanes]uint64) {
+	mask := uint64(0x00000000FFFFFFFF)
+	for s := uint(32); s != 0; s >>= 1 {
+		for k := uint(0); k < SlicedLanes; k = (k + s + 1) &^ s {
+			t := ((a[k] >> s) ^ a[k+s]) & mask
+			a[k+s] ^= t
+			a[k] ^= t << s
+		}
+		mask ^= mask << (s >> 1)
+	}
+}
+
+// Settle evaluates combinational logic (one ordered pass, all lanes).
+func (m *SlicedMachine) Settle() {
+	if m.settled {
+		return
+	}
+	m.settled = true
+	for _, f := range m.settle {
+		f()
+	}
+}
+
+// Step advances one clock cycle in every lane: settle, run sequential
+// processes in order (blocking writes immediate, non-blocking latched),
+// commit the non-blocking writes, and leave comb logic unsettled.
+func (m *SlicedMachine) Step() {
+	m.Settle()
+	full := ^uint64(0)
+	for _, f := range m.seqs {
+		f(full)
+	}
+	for _, n := range m.nbNets {
+		dst, val, msk := m.vals[n], m.nbVal[n], m.nbMask[n]
+		for b := range dst {
+			dst[b] = (dst[b] &^ msk[b]) | (val[b] & msk[b])
+			msk[b] = 0
+			val[b] = 0
+		}
+	}
+	m.settled = false
+}
+
+func gatherLane(p []uint64, lane int) uint64 {
+	var v uint64
+	for b, pb := range p {
+		v |= ((pb >> uint(lane)) & 1) << uint(b)
+	}
+	return v
+}
+
+func pl(p []uint64, b int) uint64 {
+	if b >= 0 && b < len(p) {
+		return p[b]
+	}
+	return 0
+}
+
+func orAll(p []uint64) uint64 {
+	var v uint64
+	for _, pb := range p {
+		v |= pb
+	}
+	return v
+}
+
+// eqConstMask returns the lanes whose value in p equals k.
+func eqConstMask(p []uint64, k uint64) uint64 {
+	if len(p) < 64 && k>>uint(len(p)) != 0 {
+		return 0
+	}
+	mask := ^uint64(0)
+	for b := 0; b < len(p) && mask != 0; b++ {
+		if (k>>uint(b))&1 == 1 {
+			mask &= p[b]
+		} else {
+			mask &^= p[b]
+		}
+	}
+	return mask
+}
+
+// labelMatchMask returns the lanes where subj&mask == value&mask,
+// visiting only the mask's set bits.
+func labelMatchMask(p []uint64, lab caseLabel) uint64 {
+	mask := ^uint64(0)
+	v := lab.value & lab.mask
+	for m := lab.mask; m != 0 && mask != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		pb := pl(p, b)
+		if (v>>uint(b))&1 == 1 {
+			mask &= pb
+		} else {
+			mask &^= pb
+		}
+	}
+	return mask
+}
+
+// sval is a compiled sliced expression: eval (nil for constants and
+// direct net reads) refreshes planes, which holds the bits that can be
+// non-zero; higher bits read as zero via pl().
+type sval struct {
+	eval   func()
+	planes []uint64
+}
+
+func (v *sval) get() []uint64 {
+	if v.eval != nil {
+		v.eval()
+	}
+	return v.planes
+}
+
+func (m *SlicedMachine) compileExpr(e *EExpr) *sval {
+	switch e.Op {
+	case OpConst:
+		var p []uint64
+		for b := 0; b < 64; b++ {
+			if (e.Val>>uint(b))&1 == 1 {
+				for len(p) < b+1 {
+					p = append(p, 0)
+				}
+				p[b] = ^uint64(0)
+			}
+		}
+		return &sval{planes: p}
+	case OpNet:
+		return &sval{planes: m.vals[e.Net]}
+	case OpPart:
+		src := m.vals[e.Net]
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			for b := range out {
+				out[b] = pl(src, e.Lo+b)
+			}
+		}}
+	case OpIndex:
+		src := m.vals[e.Net]
+		idx := m.compileExpr(e.A)
+		out := make([]uint64, 1)
+		return &sval{planes: out, eval: func() {
+			ip := idx.get()
+			var v uint64
+			for b := range src {
+				v |= eqConstMask(ip, uint64(b)) & src[b]
+			}
+			out[0] = v
+		}}
+	case OpConcat:
+		parts := make([]*sval, len(e.Parts))
+		widths := make([]int, len(e.Parts))
+		for i, p := range e.Parts {
+			parts[i] = m.compileExpr(p)
+			widths[i] = p.W
+		}
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			// Parts are MSB-first; tile from the LSB end, zeroing any
+			// result planes above the total concatenated width.
+			off := 0
+			for i := len(parts) - 1; i >= 0; i-- {
+				pp := parts[i].get()
+				for k := 0; k < widths[i] && off+k < len(out); k++ {
+					out[off+k] = pl(pp, k)
+				}
+				off += widths[i]
+			}
+			for b := off; b < len(out); b++ {
+				out[b] = 0
+			}
+		}}
+	}
+
+	var a, b, c *sval
+	if e.A != nil {
+		a = m.compileExpr(e.A)
+	}
+	if e.B != nil {
+		b = m.compileExpr(e.B)
+	}
+	if e.C != nil {
+		c = m.compileExpr(e.C)
+	}
+
+	switch e.Op {
+	case OpNot:
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			ap := a.get()
+			for i := range out {
+				out[i] = ^pl(ap, i)
+			}
+		}}
+	case OpLogNot:
+		return unary1(a, func(ap []uint64) uint64 { return ^orAll(ap) })
+	case OpNeg:
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			subPlanes(out, nil, a.get())
+		}}
+	case OpRedAnd:
+		w := e.A.W
+		return unary1(a, func(ap []uint64) uint64 { return redAndMask(ap, w) })
+	case OpRedOr:
+		return unary1(a, orAll)
+	case OpRedXor:
+		return unary1(a, xorAll)
+	case OpRedNand:
+		w := e.A.W
+		return unary1(a, func(ap []uint64) uint64 { return ^redAndMask(ap, w) })
+	case OpRedNor:
+		return unary1(a, func(ap []uint64) uint64 { return ^orAll(ap) })
+	case OpRedXnor:
+		return unary1(a, func(ap []uint64) uint64 { return ^xorAll(ap) })
+	case OpAdd:
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			addPlanes(out, a.get(), b.get())
+		}}
+	case OpSub:
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			subPlanes(out, a.get(), b.get())
+		}}
+	case OpMul, OpDiv, OpMod, OpPow:
+		// No cheap plane form: unslice, apply the scalar op per lane,
+		// re-slice. Matches EExpr.Eval including the /0 and %0 rules.
+		op := e.Op
+		w := e.W
+		out := make([]uint64, w)
+		return &sval{planes: out, eval: func() {
+			ap, bp := a.get(), b.get()
+			for i := range out {
+				out[i] = 0
+			}
+			for l := 0; l < SlicedLanes; l++ {
+				av, bv := gatherLane(ap, l), gatherLane(bp, l)
+				var r uint64
+				switch op {
+				case OpMul:
+					r = av * bv
+				case OpDiv:
+					if bv != 0 {
+						r = av / bv
+					}
+				case OpMod:
+					if bv != 0 {
+						r = av % bv
+					}
+				case OpPow:
+					r = ipow(av, bv)
+				}
+				r &= WidthMask(w)
+				for bit := 0; bit < w; bit++ {
+					out[bit] |= ((r >> uint(bit)) & 1) << uint(l)
+				}
+			}
+		}}
+	case OpAnd:
+		return binPlane(a, b, func(x, y uint64) uint64 { return x & y })
+	case OpOr:
+		return binPlane(a, b, func(x, y uint64) uint64 { return x | y })
+	case OpXor:
+		return binPlane(a, b, func(x, y uint64) uint64 { return x ^ y })
+	case OpXnor:
+		out := make([]uint64, e.W)
+		return &sval{planes: out, eval: func() {
+			ap, bp := a.get(), b.get()
+			for i := range out {
+				out[i] = ^(pl(ap, i) ^ pl(bp, i))
+			}
+		}}
+	case OpLogAnd:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return orAll(ap) & orAll(bp) })
+	case OpLogOr:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return orAll(ap) | orAll(bp) })
+	case OpEq:
+		return bin1(a, b, eqMask)
+	case OpNe:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return ^eqMask(ap, bp) })
+	case OpLt:
+		return bin1(a, b, ltMask)
+	case OpLe:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return ltMask(ap, bp) | eqMask(ap, bp) })
+	case OpGt:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return ltMask(bp, ap) })
+	case OpGe:
+		return bin1(a, b, func(ap, bp []uint64) uint64 { return ltMask(bp, ap) | eqMask(ap, bp) })
+	case OpShl:
+		if e.B.Op == OpConst {
+			s := e.B.Val
+			out := make([]uint64, e.W)
+			return &sval{planes: out, eval: func() {
+				ap := a.get()
+				for i := range out {
+					if s >= 64 || uint64(i) < s {
+						out[i] = 0
+					} else {
+						out[i] = pl(ap, i-int(s))
+					}
+				}
+			}}
+		}
+		return m.dynShift(a, b, e.W, true)
+	case OpShr:
+		if e.B.Op == OpConst {
+			s := e.B.Val
+			out := make([]uint64, len(a.planes))
+			return &sval{planes: out, eval: func() {
+				ap := a.get()
+				for i := range out {
+					if s >= 64 {
+						out[i] = 0
+					} else {
+						out[i] = pl(ap, i+int(s))
+					}
+				}
+			}}
+		}
+		return m.dynShift(a, b, len(a.planes), false)
+	case OpTernary:
+		nw := len(b.planes)
+		if len(c.planes) > nw {
+			nw = len(c.planes)
+		}
+		out := make([]uint64, nw)
+		return &sval{planes: out, eval: func() {
+			cm := orAll(a.get())
+			bp, cp := b.get(), c.get()
+			for i := range out {
+				out[i] = (pl(bp, i) & cm) | (pl(cp, i) &^ cm)
+			}
+		}}
+	}
+	panic("verilog: unknown expression op in sliced compile")
+}
+
+// redAndMask returns the lanes whose value has all w low bits set and no
+// higher bit (matching the scalar value == WidthMask(w) comparison).
+func redAndMask(ap []uint64, w int) uint64 {
+	v := ^uint64(0)
+	for i := 0; i < w; i++ {
+		v &= pl(ap, i)
+	}
+	for i := w; i < len(ap); i++ {
+		v &^= ap[i]
+	}
+	return v
+}
+
+// dynShift compiles a barrel shifter over the shift amount's planes:
+// each amount bit k conditionally relocates the planes by 1<<k in the
+// lanes where it is set, and amounts >= 64 zero their lanes.
+func (m *SlicedMachine) dynShift(a, b *sval, w int, left bool) *sval {
+	out := make([]uint64, w)
+	return &sval{planes: out, eval: func() {
+		ap, bp := a.get(), b.get()
+		for i := range out {
+			out[i] = pl(ap, i)
+		}
+		levels := len(bp)
+		if levels > 6 {
+			levels = 6
+		}
+		for k := 0; k < levels; k++ {
+			sk := bp[k]
+			if sk == 0 {
+				continue
+			}
+			sh := 1 << uint(k)
+			if left {
+				for i := len(out) - 1; i >= 0; i-- {
+					out[i] = (pl(out, i-sh) & sk) | (out[i] &^ sk)
+				}
+			} else {
+				for i := range out {
+					out[i] = (pl(out, i+sh) & sk) | (out[i] &^ sk)
+				}
+			}
+		}
+		var zm uint64
+		for k := 6; k < len(bp); k++ {
+			zm |= bp[k]
+		}
+		if zm != 0 {
+			for i := range out {
+				out[i] &^= zm
+			}
+		}
+	}}
+}
+
+func unary1(a *sval, f func([]uint64) uint64) *sval {
+	out := make([]uint64, 1)
+	return &sval{planes: out, eval: func() { out[0] = f(a.get()) }}
+}
+
+func bin1(a, b *sval, f func(_, _ []uint64) uint64) *sval {
+	out := make([]uint64, 1)
+	return &sval{planes: out, eval: func() { out[0] = f(a.get(), b.get()) }}
+}
+
+func binPlane(a, b *sval, f func(_, _ uint64) uint64) *sval {
+	nw := len(a.planes)
+	if len(b.planes) > nw {
+		nw = len(b.planes)
+	}
+	out := make([]uint64, nw)
+	return &sval{planes: out, eval: func() {
+		ap, bp := a.get(), b.get()
+		for i := range out {
+			out[i] = f(pl(ap, i), pl(bp, i))
+		}
+	}}
+}
+
+// addPlanes writes a+b (ripple carry) into dst over len(dst) planes.
+func addPlanes(dst, a, b []uint64) {
+	var carry uint64
+	for i := range dst {
+		ai, bi := pl(a, i), pl(b, i)
+		dst[i] = ai ^ bi ^ carry
+		carry = (ai & bi) | (carry & (ai ^ bi))
+	}
+}
+
+// subPlanes writes a-b (ripple borrow) into dst over len(dst) planes.
+// a == nil negates b (0 - b).
+func subPlanes(dst, a, b []uint64) {
+	var borrow uint64
+	for i := range dst {
+		ai, bi := pl(a, i), pl(b, i)
+		dst[i] = ai ^ bi ^ borrow
+		borrow = (^ai & bi) | (^(ai ^ bi) & borrow)
+	}
+}
+
+// eqMask returns the lanes where a == b as full 64-bit values.
+func eqMask(a, b []uint64) uint64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	mask := ^uint64(0)
+	for i := 0; i < n && mask != 0; i++ {
+		mask &= ^(pl(a, i) ^ pl(b, i))
+	}
+	return mask
+}
+
+// ltMask returns the lanes where a < b (unsigned): the borrow out of
+// a - b over the joint width.
+func ltMask(a, b []uint64) uint64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		ai, bi := pl(a, i), pl(b, i)
+		borrow = (^ai & bi) | (^(ai ^ bi) & borrow)
+	}
+	return borrow
+}
+
+func xorAll(p []uint64) uint64 {
+	var v uint64
+	for _, pb := range p {
+		v ^= pb
+	}
+	return v
+}
+
+// compileAssign compiles a continuous assignment (always blocking, full
+// lane mask).
+func (m *SlicedMachine) compileAssign(a *CompiledAssign) func() {
+	rhs := m.rhsVal(a.RHS, a.LHS, true)
+	stores := m.compileStores(a.LHS, false)
+	return func() {
+		rp := rhs.get()
+		for _, st := range stores {
+			st(^uint64(0), rp)
+		}
+	}
+}
+
+// rhsVal compiles an assignment's right-hand side. A blocking store whose
+// RHS is a bare net read would otherwise hand the stores a live alias of
+// the target planes (the scalar semantics read the value first), so that
+// case snapshots into a private buffer.
+func (m *SlicedMachine) rhsVal(rhs *EExpr, lhs []LRef, blocking bool) *sval {
+	v := m.compileExpr(rhs)
+	if !blocking || rhs.Op != OpNet {
+		return v
+	}
+	aliased := false
+	for _, l := range lhs {
+		if l.Net == rhs.Net {
+			aliased = true
+		}
+	}
+	if !aliased {
+		return v
+	}
+	out := make([]uint64, len(v.planes))
+	return &sval{planes: out, eval: func() { copy(out, v.get()) }}
+}
+
+// compileStmt compiles a behavioural statement into a predicated
+// executor: mask selects the lanes the statement runs in. seq marks a
+// sequential process (non-blocking writes latch into shadow planes;
+// in comb processes they are dropped, matching the scalar backends).
+func (m *SlicedMachine) compileStmt(s *EStmt, seq bool) func(mask uint64) {
+	if s == nil {
+		return func(uint64) {}
+	}
+	switch s.Op {
+	case SBlock:
+		subs := make([]func(uint64), len(s.Stmts))
+		for i, sub := range s.Stmts {
+			subs[i] = m.compileStmt(sub, seq)
+		}
+		return func(mask uint64) {
+			if mask == 0 {
+				return
+			}
+			for _, f := range subs {
+				f(mask)
+			}
+		}
+	case SAssign:
+		if !s.Blocking && !seq {
+			// Comb-settle non-blocking writes are never applied.
+			return func(uint64) {}
+		}
+		rhs := m.rhsVal(s.RHS, s.LHS, s.Blocking)
+		stores := m.compileStores(s.LHS, !s.Blocking)
+		return func(mask uint64) {
+			if mask == 0 {
+				return
+			}
+			rp := rhs.get()
+			for _, st := range stores {
+				st(mask, rp)
+			}
+		}
+	case SIf:
+		cond := m.compileExpr(s.Cond)
+		then := m.compileStmt(s.Then, seq)
+		els := m.compileStmt(s.Else, seq)
+		return func(mask uint64) {
+			if mask == 0 {
+				return
+			}
+			cm := orAll(cond.get())
+			then(mask & cm)
+			els(mask &^ cm)
+		}
+	case SCase:
+		if f, ok := m.tryRomCase(s); ok {
+			return f
+		}
+		subj := m.compileExpr(s.Subject)
+		arms := make([]func(uint64), len(s.Arms))
+		for i, a := range s.Arms {
+			arms[i] = m.compileStmt(a, seq)
+		}
+		labels := s.Labels
+		def := m.compileStmt(s.Default, seq)
+		return func(mask uint64) {
+			if mask == 0 {
+				return
+			}
+			sp := subj.get()
+			var taken uint64
+			for i, labs := range labels {
+				var match uint64
+				for _, lab := range labs {
+					match |= labelMatchMask(sp, lab)
+				}
+				arms[i](mask & match &^ taken)
+				taken |= match
+			}
+			def(mask &^ taken)
+		}
+	}
+	panic("verilog: unknown statement op in sliced compile")
+}
+
+// slicedRom is one target net's dense constant-case table (the sliced
+// counterpart of the scalar backend's romTable): vals/write indexed by
+// the subject value, defVal/defWrite for unlabeled or out-of-range
+// subjects.
+type slicedRom struct {
+	net      int
+	vals     []uint64
+	write    []bool
+	defVal   uint64
+	defWrite bool
+}
+
+// tryRomCase compiles a case statement whose arms only assign constants
+// to whole nets — the corpus's big decode tables — into per-lane table
+// lookups: the subject unslices once (one 64x64 transpose), each live
+// lane's value indexes the dense table, and each target's results
+// re-slice with one transpose and a masked plane store. Semantically
+// identical to the label-dispatch path (first matching label wins,
+// unassigned nets keep their values, blocking semantics) but costs two
+// transposes plus O(lanes) lookups instead of O(labels × arm body) plane
+// sweeps per pass. Mirrors compile.go's tryRomCase table construction.
+func (m *SlicedMachine) tryRomCase(s *EStmt) (func(mask uint64), bool) {
+	maxLabel := uint64(0)
+	for _, labels := range s.Labels {
+		for _, lab := range labels {
+			if lab.mask != ^uint64(0) {
+				return nil, false
+			}
+			if lab.value > maxLabel {
+				maxLabel = lab.value
+			}
+		}
+	}
+	if maxLabel >= romLimit {
+		return nil, false
+	}
+	arms := make([][]netConst, len(s.Arms))
+	for i, arm := range s.Arms {
+		a, ok := constAssigns(arm, m.nl.Nets, nil)
+		if !ok {
+			return nil, false
+		}
+		arms[i] = a
+	}
+	def, ok := constAssigns(s.Default, m.nl.Nets, nil)
+	if !ok {
+		return nil, false
+	}
+
+	var targets []int
+	seen := map[int]int{}
+	final := func(list []netConst) map[int]uint64 {
+		fm := make(map[int]uint64, len(list))
+		for _, a := range list {
+			if _, ok := seen[a.net]; !ok {
+				seen[a.net] = len(targets)
+				targets = append(targets, a.net)
+			}
+			fm[a.net] = a.val
+		}
+		return fm
+	}
+	armVals := make([]map[int]uint64, len(arms))
+	for i, a := range arms {
+		armVals[i] = final(a)
+	}
+	defVals := final(def)
+	if len(targets) == 0 {
+		return func(uint64) {}, true
+	}
+
+	size := int(maxLabel) + 1
+	roms := make([]slicedRom, len(targets))
+	for k, net := range targets {
+		t := slicedRom{net: net, vals: make([]uint64, size), write: make([]bool, size)}
+		if v, ok := defVals[net]; ok {
+			t.defVal, t.defWrite = v, true
+		}
+		for i := range t.vals {
+			t.vals[i], t.write[i] = t.defVal, t.defWrite
+		}
+		roms[k] = t
+	}
+	claimed := make([]bool, size)
+	for i, labels := range s.Labels {
+		for _, lab := range labels {
+			v := lab.value
+			if claimed[v] {
+				continue // first matching label wins
+			}
+			claimed[v] = true
+			for k := range roms {
+				t := &roms[k]
+				if val, ok := armVals[i][t.net]; ok {
+					t.vals[v], t.write[v] = val, true
+				} else {
+					t.write[v] = false
+				}
+			}
+		}
+	}
+
+	subj := m.compileExpr(s.Subject)
+	return func(mask uint64) {
+		if mask == 0 {
+			return
+		}
+		var subjLanes [SlicedLanes]uint64
+		copy(subjLanes[:], subj.get())
+		transpose64(&subjLanes)
+		for k := range roms {
+			t := &roms[k]
+			var wm uint64
+			var outLanes [SlicedLanes]uint64
+			for mm := mask; mm != 0; mm &= mm - 1 {
+				l := bits.TrailingZeros64(mm)
+				v := subjLanes[l]
+				val, w := t.defVal, t.defWrite
+				if v < uint64(len(t.vals)) {
+					val, w = t.vals[v], t.write[v]
+				}
+				if w {
+					wm |= 1 << uint(l)
+					outLanes[l] = val
+				}
+			}
+			if wm == 0 {
+				continue
+			}
+			transpose64(&outLanes)
+			p := m.vals[t.net]
+			for b := range p {
+				p[b] = (p[b] &^ wm) | (outLanes[b] & wm)
+			}
+		}
+	}, true
+}
+
+// compileStores compiles the store side of an assignment: one masked
+// store per LRef, receiving the already-evaluated RHS planes. A
+// concatenated LHS (MSB-first refs) distributes from the LSB end in the
+// same ref order as the scalar ExecStmt, so dynamic bit indices see the
+// same partially-updated environment.
+func (m *SlicedMachine) compileStores(lhs []LRef, nb bool) []func(mask uint64, rp []uint64) {
+	nets := m.nl.Nets
+	var out []func(uint64, []uint64)
+	shift := 0
+	for i := len(lhs) - 1; i >= 0; i-- {
+		out = append(out, m.compileStore(lhs[i], shift, nb))
+		shift += refWidth(&lhs[i], nets)
+	}
+	return out
+}
+
+func (m *SlicedMachine) compileStore(l LRef, shift int, nb bool) func(mask uint64, rp []uint64) {
+	netW := m.nl.Nets[l.Net].Width
+	dstIdx := l.Net
+	if nb {
+		m.ensureShadow(dstIdx)
+	}
+	switch {
+	case l.IsBit:
+		idx := m.compileExpr(l.BitIdx)
+		return func(mask uint64, rp []uint64) {
+			ip := idx.get()
+			src := pl(rp, shift)
+			for b := 0; b < netW; b++ {
+				em := mask & eqConstMask(ip, uint64(b))
+				if em == 0 {
+					continue
+				}
+				m.store(dstIdx, b, em, src, nb)
+			}
+		}
+	case l.IsPart:
+		lo, pw := l.Lo, l.W
+		return func(mask uint64, rp []uint64) {
+			for k := 0; k < pw; k++ {
+				if lo+k >= netW {
+					break
+				}
+				m.store(dstIdx, lo+k, mask, pl(rp, shift+k), nb)
+			}
+		}
+	default:
+		return func(mask uint64, rp []uint64) {
+			for b := 0; b < netW; b++ {
+				m.store(dstIdx, b, mask, pl(rp, shift+b), nb)
+			}
+		}
+	}
+}
+
+func (m *SlicedMachine) ensureShadow(idx int) {
+	if m.nbVal[idx] != nil {
+		return
+	}
+	w := m.nl.Nets[idx].Width
+	m.nbVal[idx] = make([]uint64, w)
+	m.nbMask[idx] = make([]uint64, w)
+	m.nbNets = append(m.nbNets, idx)
+}
+
+func (m *SlicedMachine) store(idx, bit int, mask, val uint64, nb bool) {
+	if nb {
+		m.nbVal[idx][bit] = (m.nbVal[idx][bit] &^ mask) | (val & mask)
+		m.nbMask[idx][bit] |= mask
+		return
+	}
+	p := m.vals[idx]
+	p[bit] = (p[bit] &^ mask) | (val & mask)
+}

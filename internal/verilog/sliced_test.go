@@ -1,0 +1,151 @@
+package verilog_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"assertionbench/internal/sim"
+	"assertionbench/internal/verilog"
+)
+
+// slicedTestSrcs cover the sliced compiler's op space: carry arithmetic,
+// the per-lane scalar escapes (mul/div/mod), barrel shifts, reductions,
+// comparisons, ternaries, case dispatch, part-select and concat writes,
+// blocking chains inside comb always blocks, and nonblocking state.
+var slicedTestSrcs = []struct {
+	name, src, top string
+}{
+	{"alu", `
+module alu(input [7:0] a, input [7:0] b, input [2:0] op, output reg [7:0] y);
+always @(*)
+  case (op)
+    3'd0: y = a + b;
+    3'd1: y = a - b;
+    3'd2: y = a * b;
+    3'd3: y = a / b;
+    3'd4: y = a % b;
+    3'd5: y = a << b[2:0];
+    3'd6: y = a >> b[2:0];
+    default: y = (a < b) ? ~a : (a & b);
+  endcase
+endmodule`, "alu"},
+	{"acc", `
+module acc(clk, rst, en, d, q, flags);
+input clk, rst, en;
+input [7:0] d;
+output [15:0] q; reg [15:0] q;
+output [3:0] flags;
+wire parity; wire allset; wire [7:0] mix;
+assign parity = ^d;
+assign allset = &q[7:0];
+assign mix = {d[3:0], q[3:0]} ^ (d >> 2);
+assign flags = {parity, allset, |mix, q == 16'd0};
+always @(posedge clk) begin
+  if (rst) q <= 16'd0;
+  else if (en) q <= q + {8'd0, d} + {15'd0, parity};
+end
+endmodule`, "acc"},
+	{"branchy", `
+module branchy(input [7:0] a, input [7:0] b, output reg [7:0] y, output reg [7:0] z);
+wire [7:0] t;
+assign t = (a ^ b) + a;
+always @(*) begin
+  if (t[7]) y = t; else y = b - t;
+  z = t ^ b;
+end
+endmodule`, "branchy"},
+	{"seqblocking", `
+module seqblocking(clk, d, q, r);
+input clk; input [7:0] d;
+output [7:0] q; reg [7:0] q;
+output [7:0] r; reg [7:0] r;
+reg [7:0] t;
+always @(posedge clk) begin
+  t = q ^ d;
+  t = t + d;
+  q <= t;
+  r <= q;
+end
+endmodule`, "seqblocking"},
+	{"wideshift", `
+module wideshift(input [7:0] a, input [7:0] s, output [7:0] l, output [7:0] r, output [7:0] p);
+assign l = a << s;
+assign r = a >> s;
+assign p = a ** s[1:0];
+endmodule`, "wideshift"},
+}
+
+// TestSlicedMatchesScalar drives all 64 lanes of the bit-sliced machine
+// with independent random stimulus and checks every net against 64
+// scalar interpreter runs, cycle by cycle. This is the per-net, per-lane
+// version of the agreement dverify oracle 7 enforces on whole verdicts.
+func TestSlicedMatchesScalar(t *testing.T) {
+	for _, tc := range slicedTestSrcs {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := verilog.ElaborateSource(tc.src, tc.top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msl := verilog.NewSlicedMachine(nl)
+			if msl == nil {
+				t.Fatal("design unexpectedly unsupported by the sliced machine")
+			}
+			sims := make([]*sim.Simulator, verilog.SlicedLanes)
+			for l := range sims {
+				sims[l] = sim.New(nl)
+			}
+			rng := rand.New(rand.NewSource(11))
+			lanes := make([]uint64, verilog.SlicedLanes)
+			vals := make([][]uint64, verilog.SlicedLanes)
+			for l := range vals {
+				vals[l] = make([]uint64, len(nl.Inputs))
+			}
+			for cycle := 0; cycle < 24; cycle++ {
+				for pos, idx := range nl.Inputs {
+					mask := nl.Nets[idx].Mask()
+					for l := 0; l < verilog.SlicedLanes; l++ {
+						v := rng.Uint64() & mask
+						lanes[l] = v
+						vals[l][pos] = v
+					}
+					msl.SetInputLanes(pos, lanes)
+				}
+				msl.Settle()
+				for l, s := range sims {
+					if err := s.SetInputs(vals[l]); err != nil {
+						t.Fatal(err)
+					}
+					s.Settle()
+					env := s.Env()
+					for idx := range nl.Nets {
+						if got, want := msl.Lane(idx, l), env[idx]; got != want {
+							t.Fatalf("cycle %d lane %d net %s: sliced %#x, scalar %#x",
+								cycle, l, nl.Nets[idx].Name, got, want)
+						}
+					}
+					s.Step()
+				}
+				msl.Step()
+			}
+		})
+	}
+}
+
+// Cyclic designs need the fixpoint interpreter; the sliced compiler must
+// refuse them rather than mis-evaluate.
+func TestSlicedRefusesCyclicDesign(t *testing.T) {
+	nl, err := verilog.ElaborateSource(`
+module loopy(input a, output x, output y);
+assign x = y | a;
+assign y = x & a;
+endmodule`, "loopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verilog.SlicedSupported(nl) {
+		t.Error("SlicedSupported true for a cyclic design")
+	}
+	if verilog.NewSlicedMachine(nl) != nil {
+		t.Error("NewSlicedMachine built a machine for a cyclic design")
+	}
+}

@@ -39,6 +39,16 @@ type RunOptions struct {
 	// assertion at a time (BatchOff, the reference path). Verdicts are
 	// identical either way. Overrides Verify.Batch when non-empty.
 	Batch string
+	// Cone selects cone-of-influence reduction (ConeAuto, default) or
+	// full-design exploration (ConeOff, the reference path). Verdicts
+	// agree semantically either way. Overrides Verify.Cone when
+	// non-empty.
+	Cone string
+	// Slices selects 64-way bit-parallel bounded exploration
+	// (SlicesAuto, default) or the scalar reference loops (SlicesOff).
+	// Verdicts are identical either way. Overrides Verify.Slices when
+	// non-empty.
+	Slices string
 	// Verify bounds the built-in FPV verifier; zero fields select the
 	// evaluation-grade budget.
 	Verify VerifyOptions
@@ -64,6 +74,12 @@ func (o RunOptions) internal() eval.RunOptions {
 	}
 	if o.Batch != "" {
 		opt.FPV.Batch = o.Batch
+	}
+	if o.Cone != "" {
+		opt.FPV.Cone = o.Cone
+	}
+	if o.Slices != "" {
+		opt.FPV.Slices = o.Slices
 	}
 	if o.Verifier != nil {
 		a := verifierAdapter{v: o.Verifier}

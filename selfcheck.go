@@ -48,6 +48,12 @@ type SelfCheckReport struct {
 	// BatchChecks counts batched-vs-per-property FPV result comparisons
 	// (the shared-reachability verifier against the reference search).
 	BatchChecks int
+	// ConeChecks counts cone-of-influence comparisons (the reduced
+	// search against the full-design reference).
+	ConeChecks int
+	// SlicedChecks counts bit-sliced-vs-scalar FPV result comparisons
+	// (the 64-way bounded exploration against the scalar loops).
+	SlicedChecks int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -57,19 +63,23 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through five
+// well-formed designs and SVA properties are cross-checked through seven
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
 // consistency), byte-identical determinism of sequential, parallel and
 // sharded evaluation streams, bit-identical agreement of the compiled
 // register-machine backend with the tree-walking interpreter (lockstep
-// simulation, monitor trace checks, full FPV verdicts), and bit-identical
+// simulation, monitor trace checks, full FPV verdicts), bit-identical
 // agreement of the batched shared-reachability verifier with the
 // per-property reference search (full result identity plus independent
-// counter-example replay). The returned error covers harness failures
-// (cancellation, dump I/O) only; oracle violations are reported as data
-// in the report.
+// counter-example replay), semantic agreement of cone-of-influence-
+// reduced FPV with the full-design search (exhaustive verdicts coincide,
+// bounded findings never contradict them, counter-examples from either
+// side replay on the full design), and bit-identical agreement of the
+// 64-way bit-sliced bounded exploration with the scalar reference loops.
+// The returned error covers harness failures (cancellation, dump I/O)
+// only; oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
 	iopt := dverify.Options{
 		Scenarios:      opt.Scenarios,
@@ -95,6 +105,8 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		DeterminismRuns: rep.DeterminismRuns,
 		BackendChecks:   rep.BackendChecks,
 		BatchChecks:     rep.BatchChecks,
+		ConeChecks:      rep.ConeChecks,
+		SlicedChecks:    rep.SlicedChecks,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

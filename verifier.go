@@ -179,6 +179,17 @@ type VerifyOptions struct {
 	// the per-property reference search. Verdicts are bit-identical
 	// either way; the per-property path exists for cross-checking.
 	Batch string
+	// Cone selects cone-of-influence reduction: ConeAuto (default)
+	// projects each property's search onto the transitive fan-in of its
+	// support nets, ConeOff explores the full design. Verdicts agree
+	// semantically either way; the full-design path exists for
+	// cross-checking.
+	Cone string
+	// Slices selects 64-way bit-parallel bounded exploration: SlicesAuto
+	// (default) runs 64 stimulus trajectories per pass where the design
+	// supports it, SlicesOff forces the scalar reference loops. Verdicts
+	// are bit-identical either way.
+	Slices string
 }
 
 // Execution backends for VerifyOptions.Backend / RunOptions.Backend.
@@ -191,6 +202,18 @@ const (
 const (
 	BatchAuto = "auto"
 	BatchOff  = "off"
+)
+
+// Cone-of-influence modes for VerifyOptions.Cone / RunOptions.Cone.
+const (
+	ConeAuto = "auto"
+	ConeOff  = "off"
+)
+
+// Bit-slicing modes for VerifyOptions.Slices / RunOptions.Slices.
+const (
+	SlicesAuto = "auto"
+	SlicesOff  = "off"
 )
 
 func (o VerifyOptions) internal() fpv.Options {
@@ -308,6 +331,14 @@ func VerifyAssertions(ctx context.Context, designSource string, assertions []str
 	if !fpv.ValidBatch(opt.Batch) {
 		return nil, fmt.Errorf("assertionbench: unknown batch mode %q (want %q or %q)",
 			opt.Batch, BatchAuto, BatchOff)
+	}
+	if !fpv.ValidCone(opt.Cone) {
+		return nil, fmt.Errorf("assertionbench: unknown cone mode %q (want %q or %q)",
+			opt.Cone, ConeAuto, ConeOff)
+	}
+	if !fpv.ValidSlices(opt.Slices) {
+		return nil, fmt.Errorf("assertionbench: unknown slices mode %q (want %q or %q)",
+			opt.Slices, SlicesAuto, SlicesOff)
 	}
 	nl, err := elaborateSource(designSource)
 	if err != nil {
