@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-json race apicheck fuzz selfcheck
+.PHONY: check fmt vet abenchvet build test bench bench-json race apicheck fuzz selfcheck
 
-check: fmt vet build test apicheck
+check: fmt vet abenchvet build test apicheck
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -13,17 +13,25 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Project vet suite: determinism invariants (no math/rand, no time.Now,
+# no map-order-dependent iteration) over the verification core.
+abenchvet:
+	$(GO) run ./cmd/abenchvet
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
 
-# The dverify suite under the race detector legitimately runs long (the
-# backend oracle re-verifies every property on both engines), hence the
-# explicit timeout.
+# The dverify suite under the race detector legitimately runs long —
+# the backend, batch, cone, sliced and static oracles each re-verify
+# every fuzzed property on two engine configurations (~38 min on the
+# 1-CPU CI container) — hence the explicit timeout. CI's selfcheck
+# matrix covers dverify-under-race per push; this target is the full
+# local sweep.
 race:
-	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/llm/ ./internal/bench/ ./internal/dverify/
+	$(GO) test -race -timeout 60m ./internal/eval/ ./internal/llm/ ./internal/bench/ ./internal/dverify/
 
 # Differential self-check: seeded design/property fuzzing with
 # cross-engine oracles. SEED/N are overridable: make selfcheck SEED=7
@@ -44,11 +52,12 @@ apicheck:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Cone+sliced vs legacy, batched-vs-per-property and interp-vs-compiled
-# measurements (sim ns/cycle, the FPV-bound full-corpus verification
-# pass cold and warm with cone/sliced attribution, end-to-end eval wall
-# time), written to the checked-in BENCH_pr6.json. QUICK=1 selects CI
-# smoke sizes. The baseline is BENCH_pr5.json's batched cold fpv pass
-# on the same host (see EXPERIMENTS.md).
+# Static-vs-search, cone+sliced vs legacy, batched-vs-per-property and
+# interp-vs-compiled measurements (sim ns/cycle, the FPV-bound
+# full-corpus verification pass cold and warm with static and
+# cone/sliced attribution, end-to-end eval wall time), written to the
+# checked-in BENCH_pr7.json. QUICK=1 selects CI smoke sizes. The
+# baseline is BENCH_pr6.json's batched cold fpv pass on the same host
+# (see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 252.12 -out BENCH_pr6.json
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 186.21 -out BENCH_pr7.json

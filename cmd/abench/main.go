@@ -43,6 +43,7 @@ func main() {
 	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
 	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
+	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -83,6 +84,7 @@ func main() {
 				Batch:        *batch,
 				Cone:         *cone,
 				Slices:       *slices,
+				Static:       *static,
 			})
 			var r assertionbench.RunResult
 			if *stream {

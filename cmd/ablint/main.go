@@ -1,0 +1,93 @@
+// Command ablint statically audits SVA assertions against a Verilog
+// design — no state-space search, just the abstract-interpretation
+// fixpoint behind the FPV engine's static pre-verification. It flags
+// properties that cannot do useful verification work (contradictory
+// antecedents, tautologies, statically refuted consequents), suspicious
+// comparisons (literals that cannot fit the compared signal's width),
+// references to statically constant signals, and ##N windows beyond the
+// 64-cycle evaluation horizon.
+//
+// Usage:
+//
+//	ablint design.v 'req == 1 |-> gnt == 1' ...
+//	ablint -f assertions.sva design.v
+//	ablint -json design.v 'cnt <= 255'
+//
+// Exit status is 0 when every assertion is clean, 1 when anything was
+// flagged, 2 on usage or design errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"assertionbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablint: ")
+	file := flag.String("f", "", "file of assertions (one per line)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Print("usage: ablint [-f assertions.sva] [-json] design.v [assertion ...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	assertions := flag.Args()[1:]
+	if *file != "" {
+		text, err := os.ReadFile(*file)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
+	}
+	if len(assertions) == 0 {
+		log.Print("no assertions given")
+		os.Exit(2)
+	}
+
+	results, err := assertionbench.Lint(string(src), assertions)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	flagged := 0
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		for _, r := range results {
+			if !r.Clean() {
+				flagged++
+			}
+		}
+	} else {
+		for _, r := range results {
+			if r.Clean() {
+				fmt.Printf("%-12s %s\n", "clean", r.Assertion)
+				continue
+			}
+			flagged++
+			for _, d := range r.Diagnostics {
+				fmt.Printf("%-12s %s\n             %s: %s\n", "flagged", r.Assertion, d.Rule, d.Msg)
+			}
+		}
+		fmt.Printf("\n%d of %d assertions flagged\n", flagged, len(results))
+	}
+	if flagged > 0 {
+		os.Exit(1)
+	}
+}

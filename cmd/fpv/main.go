@@ -33,6 +33,7 @@ func main() {
 	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
 	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
+	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
@@ -57,7 +58,7 @@ func main() {
 	defer stop()
 
 	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
-		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices})
+		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices, Static: *static})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))
@@ -77,6 +78,9 @@ func main() {
 		default:
 			pass++
 			detail = fmt.Sprintf("states=%d exhaustive=%v", r.States, r.Exhaustive)
+		}
+		if r.Static {
+			detail += " (static)"
 		}
 		fmt.Printf("%-12s %-60s %s\n", r.Status, r.Assertion, detail)
 		if *showCEX && r.CEX != nil {

@@ -1,11 +1,14 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// seven oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
+// eight oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
 // with counter-example replay, sequential/parallel/sharded stream
 // determinism, compiled-vs-interpreted backend identity,
 // batched-vs-per-property FPV identity, cone-reduced-vs-full-design
-// semantic agreement, and bit-sliced-vs-scalar FPV identity). A clean
-// exit means every generated scenario agreed;
+// semantic agreement, bit-sliced-vs-scalar FPV identity, and
+// static-pass-vs-pure-search semantic agreement). A clean
+// exit means every generated scenario agreed AND every oracle actually
+// ran — an oracle that checked nothing is reported and fails the run,
+// so a refactor cannot silently disconnect a cross-check;
 // disagreements are shrunk, dumped as .v/.sva reproduction pairs, and
 // fail the run. Ctrl-C cancels gracefully.
 //
@@ -68,8 +71,33 @@ func main() {
 	fmt.Printf("batch checks:     %d (shared-graph batched vs per-property)\n", report.BatchChecks)
 	fmt.Printf("cone checks:      %d (cone-reduced vs full-design)\n", report.ConeChecks)
 	fmt.Printf("sliced checks:    %d (64-way bit-sliced vs scalar)\n", report.SlicedChecks)
+	fmt.Printf("static checks:    %d (static pass vs pure search, %d discharged without search)\n",
+		report.StaticChecks, report.StaticDischarged)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
+	// A silent zero is as bad as a disagreement: it means an oracle was
+	// disconnected, not that the code under test is healthy.
+	idle := 0
+	for _, o := range []struct {
+		name string
+		n    int
+	}{
+		{"roundtrip/agreement (properties)", report.Properties},
+		{"backend", report.BackendChecks},
+		{"batch", report.BatchChecks},
+		{"cone", report.ConeChecks},
+		{"sliced", report.SlicedChecks},
+		{"static", report.StaticChecks},
+		{"determinism", report.DeterminismRuns},
+	} {
+		if o.n == 0 {
+			fmt.Printf("oracle %s ran 0 checks\n", o.name)
+			idle++
+		}
+	}
 	if report.OK() {
+		if idle > 0 {
+			os.Exit(1)
+		}
 		fmt.Println("all oracles agree")
 		return
 	}

@@ -1,8 +1,9 @@
-// Command perfbench measures the batched shared-reachability verifier
-// against per-property search, the compiled execution backend against
+// Command perfbench measures the static pre-verification pass against
+// pure search, the batched shared-reachability verifier against
+// per-property search, the compiled execution backend against
 // the tree-walking reference interpreter, and the cone-of-influence +
 // bit-sliced exploration against the full-design scalar engine,
-// emitting a machine-readable report (BENCH_pr6.json in the repository
+// emitting a machine-readable report (BENCH_pr7.json in the repository
 // root records the checked-in numbers):
 //
 //   - sim: simulator ns/cycle on a spread of corpus designs;
@@ -19,9 +20,10 @@
 //
 // Usage:
 //
-//	perfbench -baseline-ms 252.12 -out BENCH_pr6.json
+//	perfbench -baseline-ms 186.21 -out BENCH_pr7.json
 //	perfbench -quick -min-batch-speedup 1.0   # CI smoke + regression gate
 //	perfbench -quick -min-coi-speedup 1.0     # cone+sliced regression gate
+//	perfbench -quick -min-static-speedup 1.0  # static pass no-regression gate
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 	"assertionbench/internal/llm"
 	"assertionbench/internal/sim"
 	"assertionbench/internal/verilog"
+	"assertionbench/internal/vstatic"
 )
 
 type simRow struct {
@@ -73,9 +76,10 @@ type fpvSection struct {
 	BatchSpeedup          float64 `json:"batch_speedup"`
 	// Cone/sliced attribution columns: the same batched cold pass with
 	// the cone-of-influence reduction and the 64-way bit-sliced
-	// exploration toggled independently. LegacyMs is both off (the PR-5
-	// engine configuration); ConeOnlyMs and SlicedOnlyMs enable exactly
-	// one; BatchedMs above is the production default (both on).
+	// exploration toggled independently. LegacyMs is cone, slices and the
+	// static pass all off (the PR-5 engine configuration); ConeOnlyMs and
+	// SlicedOnlyMs enable exactly one; BatchedMs above is the production
+	// default (cone, slices and static all on).
 	// CoiSpeedup is LegacyMs / BatchedMs — what the two optimizations
 	// buy together on top of batching. BatchedDesignP95Ms is the 95th
 	// percentile single-design latency inside the production cold pass
@@ -85,6 +89,18 @@ type fpvSection struct {
 	SlicedOnlyMs       float64 `json:"sliced_only_ms"`
 	CoiSpeedup         float64 `json:"coi_speedup"`
 	BatchedDesignP95Ms float64 `json:"batched_design_p95_ms"`
+	// Static pre-verification columns: StaticOffMs is the production
+	// batched cold pass with the static pass disabled; StaticDischarged
+	// counts the properties the static pass settled without any search
+	// (abstract-interpretation proof, vacuity, or replayed CEX) in the
+	// production pass; StaticSpeedup is static_off_ms / batched_ms — what
+	// the pass buys end to end (>= 1.0 means auto is no slower than off);
+	// StaticAnalysisMs is the summed per-design ternary fixpoint latency,
+	// the up-front cost FPV pays before any discharge can happen.
+	StaticOffMs      float64 `json:"static_off_ms"`
+	StaticDischarged int     `json:"static_discharged"`
+	StaticSpeedup    float64 `json:"static_speedup"`
+	StaticAnalysisMs float64 `json:"static_analysis_ms"`
 	// Optional externally measured baseline of the same pass on the
 	// previous PR's engine (see -baseline-ms and EXPERIMENTS.md);
 	// SpeedupVsBaseline compares it to the batched cold pass.
@@ -133,9 +149,11 @@ func main() {
 	baselineMs := flag.Float64("baseline-ms", 0, "externally measured previous-engine time for the fpv pass, recorded alongside the A/B numbers")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 0, "exit non-zero if the batched fpv pass is below this speedup vs per-property (CI regression gate; 0 disables)")
 	minCoiSpeedup := flag.Float64("min-coi-speedup", 0, "exit non-zero if the cone+sliced fpv pass is below this speedup vs the legacy full-design scalar pass (CI regression gate; 0 disables)")
+	minStaticSpeedup := flag.Float64("min-static-speedup", 0, "exit non-zero if the production pass with the static pre-verification pass is below this speedup vs the same pass with it disabled (CI no-regression gate; 0 disables)")
+	minStaticDischarged := flag.Float64("min-static-discharged", 0, "exit non-zero if fewer than this fraction of corpus properties discharge statically (0 disables)")
 	flag.Parse()
 
-	rep := report{Description: "cone-of-influence reduction and 64-way bit-sliced exploration vs the full-design scalar engine, batched FPV vs per-property search, compiled backend vs interpreter (PR 6)", Quick: *quick}
+	rep := report{Description: "static pre-verification (abstract-interpretation discharge) vs pure search, cone-of-influence reduction and 64-way bit-sliced exploration vs the full-design scalar engine, batched FPV vs per-property search, compiled backend vs interpreter (PR 7)", Quick: *quick}
 	rep.Host.GoOS, rep.Host.GoArch, rep.Host.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 
 	corpus := bench.TestCorpus()
@@ -236,7 +254,8 @@ func main() {
 	// perDesign slice, when non-nil, accumulates the per-design minimum
 	// wall time for the tail-latency column.
 	batchCache := &fpv.GraphCache{}
-	batchRun := func(warm bool, cone, slices string, perDesign []time.Duration) time.Duration {
+	staticDischarged := 0
+	batchRun := func(warm bool, cone, slices, static string, perDesign []time.Duration) time.Duration {
 		eng := fpv.NewEngine()
 		eng.Graphs = batchCache
 		if !warm {
@@ -244,15 +263,33 @@ func main() {
 		}
 		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
 			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: fpv.BackendCompiled,
-			Cone: cone, Slices: slices}
+			Cone: cone, Slices: slices, Static: static}
+		nStatic := 0
 		start := time.Now()
 		for ji, j := range jobs {
 			nl, _ := bench.Elaborate(j.d)
 			ds := time.Now()
-			eng.VerifyAll(context.Background(), nl, j.lines, opt)
+			for _, r := range eng.VerifyAll(context.Background(), nl, j.lines, opt) {
+				if r.Static {
+					nStatic++
+				}
+			}
 			if perDesign != nil {
 				perDesign[ji] = min(perDesign[ji], time.Since(ds))
 			}
+		}
+		if static != fpv.StaticOff {
+			staticDischarged = nStatic
+		}
+		return time.Since(start)
+	}
+	// The ternary fixpoint alone, forced cold per design (vstatic.For
+	// memoizes on the interned netlist, so time the unmemoized entry).
+	staticAnalysisRun := func() time.Duration {
+		start := time.Now()
+		for _, j := range jobs {
+			nl, _ := bench.Elaborate(j.d)
+			vstatic.Analyze(nl)
 		}
 		return time.Since(start)
 	}
@@ -264,14 +301,17 @@ func main() {
 	iDur, cDur := time.Duration(1<<62), time.Duration(1<<62)
 	bDur, wDur := time.Duration(1<<62), time.Duration(1<<62)
 	lgDur, coDur, soDur := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
+	sfDur, saDur := time.Duration(1<<62), time.Duration(1<<62)
 	for r := 0; r < 7; r++ {
 		iDur = min(iDur, verifyRun(fpv.BackendInterp))
 		cDur = min(cDur, verifyRun(fpv.BackendCompiled))
-		lgDur = min(lgDur, batchRun(false, fpv.ConeOff, fpv.SlicesOff, nil))
-		coDur = min(coDur, batchRun(false, fpv.ConeAuto, fpv.SlicesOff, nil))
-		soDur = min(soDur, batchRun(false, fpv.ConeOff, fpv.SlicesAuto, nil))
-		bDur = min(bDur, batchRun(false, fpv.ConeAuto, fpv.SlicesAuto, perDesign))
-		wDur = min(wDur, batchRun(true, fpv.ConeAuto, fpv.SlicesAuto, nil))
+		lgDur = min(lgDur, batchRun(false, fpv.ConeOff, fpv.SlicesOff, fpv.StaticOff, nil))
+		coDur = min(coDur, batchRun(false, fpv.ConeAuto, fpv.SlicesOff, fpv.StaticAuto, nil))
+		soDur = min(soDur, batchRun(false, fpv.ConeOff, fpv.SlicesAuto, fpv.StaticAuto, nil))
+		sfDur = min(sfDur, batchRun(false, fpv.ConeAuto, fpv.SlicesAuto, fpv.StaticOff, nil))
+		bDur = min(bDur, batchRun(false, fpv.ConeAuto, fpv.SlicesAuto, fpv.StaticAuto, perDesign))
+		wDur = min(wDur, batchRun(true, fpv.ConeAuto, fpv.SlicesAuto, fpv.StaticAuto, nil))
+		saDur = min(saDur, staticAnalysisRun())
 	}
 	sortedPD := append([]time.Duration(nil), perDesign...)
 	sort.Slice(sortedPD, func(i, j int) bool { return sortedPD[i] < sortedPD[j] })
@@ -293,6 +333,10 @@ func main() {
 		SlicedOnlyMs:           ms(soDur),
 		CoiSpeedup:             round2(float64(lgDur) / float64(bDur)),
 		BatchedDesignP95Ms:     ms(p95),
+		StaticOffMs:            ms(sfDur),
+		StaticDischarged:       staticDischarged,
+		StaticSpeedup:          round2(float64(sfDur) / float64(bDur)),
+		StaticAnalysisMs:       ms(saDur),
 	}
 	if *baselineMs > 0 {
 		rep.FPV.BaselineMs = *baselineMs
@@ -303,6 +347,8 @@ func main() {
 		ms(bDur), ms(wDur), float64(verdicts)/bDur.Seconds(), float64(cDur)/float64(bDur))
 	log.Printf("fpv  attribution: legacy %.0f ms, cone-only %.0f ms, sliced-only %.0f ms, cone+sliced %.0f ms  (coi %.2fx, design p95 %.2f ms)",
 		ms(lgDur), ms(coDur), ms(soDur), ms(bDur), float64(lgDur)/float64(bDur), ms(p95))
+	log.Printf("fpv  static: %d/%d discharged without search, off %.0f ms vs auto %.0f ms (%.2fx), fixpoint %.2f ms",
+		staticDischarged, verdicts, ms(sfDur), ms(bDur), float64(sfDur)/float64(bDur), ms(saDur))
 
 	// --- end-to-end evaluation pass (generation + correction + FPV). ---
 	evalRun := func(backend, batch string, workers int) (time.Duration, int) {
@@ -372,6 +418,14 @@ func main() {
 	if *minCoiSpeedup > 0 && rep.FPV.CoiSpeedup < *minCoiSpeedup {
 		log.Fatalf("cone+sliced fpv pass regressed: %.2fx vs legacy full-design scalar, want >= %.2fx",
 			rep.FPV.CoiSpeedup, *minCoiSpeedup)
+	}
+	if *minStaticSpeedup > 0 && rep.FPV.StaticSpeedup < *minStaticSpeedup {
+		log.Fatalf("static pre-verification regressed the fpv pass: %.2fx vs static-off, want >= %.2fx",
+			rep.FPV.StaticSpeedup, *minStaticSpeedup)
+	}
+	if *minStaticDischarged > 0 && float64(rep.FPV.StaticDischarged) < *minStaticDischarged*float64(rep.FPV.Verdicts) {
+		log.Fatalf("static discharge rate too low: %d of %d properties (want >= %.0f%%)",
+			rep.FPV.StaticDischarged, rep.FPV.Verdicts, *minStaticDischarged*100)
 	}
 }
 

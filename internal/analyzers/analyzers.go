@@ -1,0 +1,290 @@
+// Package analyzers is the project vet suite: small AST analyzers that
+// enforce determinism invariants the standard toolchain cannot see.
+// The FPV engine, the netlist layer and the SVA monitor must be pure
+// functions of their inputs — a run is reproducible from (design,
+// property, seed) alone — so their production code must not draw from
+// ambient entropy (math/rand), wall-clock time (time.Now), or Go's
+// randomized map iteration order when that order can reach an output.
+//
+// The suite is built on the standard library only (go/ast, go/parser,
+// go/token, go/types): no golang.org/x/tools dependency, so it runs in
+// sealed build environments. Sanctioned exceptions are annotated in
+// place with a `//ab:allow <analyzer>` comment on the offending line or
+// the line directly above it; the annotation names the analyzer it
+// silences, so an allow for one rule cannot mask another.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one vet rule over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in findings and //ab:allow directives.
+	Name string
+	// Doc states the invariant the rule protects.
+	Doc string
+	// Run inspects the pass and reports violations.
+	Run func(*Pass)
+}
+
+// Pass is one package's worth of parsed, leniently type-checked files
+// handed to each analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Info holds whatever the lenient type-check could resolve. Types of
+	// expressions involving unresolved cross-package imports are absent;
+	// analyzers must treat a missing type as "unknown", never as a
+	// violation.
+	Info *types.Info
+
+	analyzer string
+	allow    map[string]map[int]map[string]bool // file -> line -> names
+	findings *[]Finding
+}
+
+// Report files a finding unless an //ab:allow directive for the current
+// analyzer covers the position (same line or the line directly above).
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	lines := p.allow[position.Filename]
+	for _, l := range []int{position.Line, position.Line - 1} {
+		if lines[l][p.analyzer] || lines[l]["all"] {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the suite, in reporting order.
+var All = []*Analyzer{NoRand, NoTime, MapRange}
+
+// CheckDirs runs the whole suite over every non-test .go file in each
+// directory (one directory = one package) and returns the combined
+// findings sorted by position. The error covers I/O and parse failures
+// only; findings are data.
+func CheckDirs(dirs []string) ([]Finding, error) {
+	var findings []Finding
+	for _, dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+func checkDir(dir string) ([]Finding, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range paths {
+		// Test files may use seeded math/rand freely; the determinism
+		// contract is about production code.
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyzers: no non-test Go files in %s", dir)
+	}
+
+	// Lenient type-check: cross-package imports resolve to empty stub
+	// packages, so only locally decidable types land in Info. That is
+	// exactly the right failure mode for a vet rule — an expression whose
+	// type cannot be established is not reported.
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Error:                    func(error) {},
+		Importer:                 stubImporter{},
+		DisableUnusedImportCheck: true,
+	}
+	conf.Check(dir, fset, files, info) // errors intentionally ignored
+
+	var findings []Finding
+	pass := &Pass{
+		Fset:     fset,
+		Files:    files,
+		Info:     info,
+		allow:    collectAllows(fset, files),
+		findings: &findings,
+	}
+	for _, a := range All {
+		pass.analyzer = a.Name
+		a.Run(pass)
+	}
+	return findings, nil
+}
+
+// collectAllows indexes every //ab:allow directive by file and line.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ab:allow") {
+					continue
+				}
+				names := strings.Fields(strings.TrimPrefix(text, "ab:allow"))
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stubImporter satisfies every import with an empty, complete package.
+// Identifiers drawn from such a package type-check as invalid, which
+// analyzers treat as unknown.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+// NoRand forbids math/rand in production code: any randomness in the
+// verification core would make verdicts irreproducible from (design,
+// property, seed).
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "production code must not import math/rand; verdicts are pure functions of (design, property, seed)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Report(imp.Pos(), "import of %s: the verification core must not draw ambient randomness", path)
+				}
+			}
+		}
+	},
+}
+
+// NoTime forbids time.Now in production code: wall-clock reads make
+// runs irreproducible and leak into verdict-adjacent state.
+var NoTime = &Analyzer{
+	Name: "notime",
+	Doc:  "production code must not call time.Now; wall-clock reads break run reproducibility",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Now" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != "time" {
+					return true
+				}
+				// Respect shadowing when the type-checker resolved the
+				// identifier: only a package name is the time package.
+				if obj, resolved := p.Info.Uses[id]; resolved {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+				p.Report(sel.Pos(), "call of time.Now: wall-clock reads are forbidden in the verification core")
+				return true
+			})
+		}
+	},
+}
+
+// MapRange forbids iterating a map directly: Go randomizes map order,
+// so any map iteration whose effects can reach an output is a
+// nondeterminism hazard. Sanctioned sites (key collection immediately
+// followed by a sort, order-insensitive folds) carry //ab:allow
+// maprange annotations.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "production code must not range over a map; iteration order is randomized",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, known := p.Info.Types[rs.X]
+				if !known || tv.Type == nil {
+					return true
+				}
+				if m, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Report(rs.Pos(), "range over map %s: iteration order is randomized; collect and sort the keys, or annotate an order-insensitive site with //ab:allow maprange", types.TypeString(m, nil))
+				}
+				return true
+			})
+		}
+	},
+}

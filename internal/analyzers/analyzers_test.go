@@ -1,0 +1,147 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSuite(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A test file in the same directory must be invisible to the suite.
+	testSrc := "package fixture\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n"
+	if err := os.WriteFile(filepath.Join(dir, "fixture_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func byAnalyzer(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Analyzer]++
+	}
+	return out
+}
+
+func TestSuiteFlagsEachRule(t *testing.T) {
+	findings := runSuite(t, `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	m := map[string]int{"a": 1}
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return time.Now().UnixNano() + int64(rand.Int()) + int64(s)
+}
+`)
+	got := byAnalyzer(findings)
+	for _, want := range []string{"norand", "notime", "maprange"} {
+		if got[want] != 1 {
+			t.Errorf("rule %s: %d findings, want 1 (all: %v)", want, got[want], findings)
+		}
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	findings := runSuite(t, `package fixture
+
+func fold(m map[int]int) int {
+	s := 0
+	//ab:allow maprange
+	for _, v := range m {
+		s += v
+	}
+	for _, v := range m { //ab:allow maprange
+		s += v
+	}
+	return s
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("allowed sites still reported: %v", findings)
+	}
+}
+
+func TestAllowIsPerRule(t *testing.T) {
+	findings := runSuite(t, `package fixture
+
+import "math/rand"
+
+func bad(m map[int]int) int {
+	//ab:allow norand
+	for range m {
+	}
+	return rand.Int()
+}
+`)
+	got := byAnalyzer(findings)
+	if got["maprange"] != 1 {
+		t.Errorf("an allow for norand must not silence maprange: %v", findings)
+	}
+	if got["norand"] != 1 {
+		t.Errorf("the import site itself carries no allow and must be reported: %v", findings)
+	}
+}
+
+func TestUnresolvableTypesAreNotFlagged(t *testing.T) {
+	findings := runSuite(t, `package fixture
+
+import "example.invalid/nowhere"
+
+func unknown() {
+	for range nowhere.Mystery {
+	}
+}
+`)
+	if got := byAnalyzer(findings); got["maprange"] != 0 {
+		t.Fatalf("expression of unknown type was flagged: %v", findings)
+	}
+}
+
+func TestShadowedTimeIsNotFlagged(t *testing.T) {
+	findings := runSuite(t, `package fixture
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func ok() int {
+	var time clock
+	return time.Now()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("shadowed time identifier was flagged: %v", findings)
+	}
+}
+
+func TestRepositoryPackagesStayClean(t *testing.T) {
+	dirs := []string{"../fpv", "../verilog", "../sva"}
+	findings, err := CheckDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString("\n  " + f.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("determinism-critical packages have vet findings:%s", sb.String())
+	}
+}

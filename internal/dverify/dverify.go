@@ -2,7 +2,7 @@
 // self-check of the stack every evaluation verdict depends on. It draws
 // seeded random well-formed designs from the corpus generator families
 // (bench.FuzzSpec), seeded random SVA properties over each design's nets,
-// and cross-checks seven independent oracles:
+// and cross-checks eight independent oracles:
 //
 //  1. print/parse round-trip — every generated design must survive
 //     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
@@ -22,7 +22,11 @@
 //  6. cone — cone-of-influence-reduced FPV must agree semantically with
 //     the full-design search, counter-examples included (OracleCone);
 //  7. sliced — 64-way bit-sliced bounded exploration must reproduce the
-//     scalar loops field for field (OracleSliced).
+//     scalar loops field for field (OracleSliced);
+//  8. static — FPV with the static pre-verification pass (abstract-
+//     interpretation discharge + constant-swept cones) must agree
+//     semantically with the pure-search reference, statically produced
+//     counter-examples included (OracleStatic).
 //
 // A disagreement is shrunk (over the design genome) to a minimal
 // reproduction and optionally dumped as a .v/.sva pair. The public facade
@@ -118,6 +122,19 @@ const (
 	// field, down to the CEX stimulus, must be identical per seed at
 	// both budgets.
 	OracleSliced Oracle = "sliced"
+	// OracleStatic cross-checks FPV with the static pre-verification pass
+	// (vstatic abstract interpretation: property discharge before search
+	// plus constant-swept cone projections) against the pure-search
+	// reference (Static=off). The pass changes what gets searched — and a
+	// discharged property is never searched at all — so the contract is
+	// semantic agreement rather than field identity: a pure search that
+	// closes exhaustively forces the static side to close too, two
+	// exhaustive verdicts must name the same status and vacuity, bounded
+	// findings must not contradict exhaustive verdicts from the other
+	// side, and every counter-example — including the zero-stimulus
+	// witnesses the static pass fabricates without any search — must
+	// replay on the simulator at the reported cycle.
+	OracleStatic Oracle = "static"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -180,6 +197,11 @@ type Report struct {
 	// SlicedChecks counts bit-sliced-vs-scalar FPV result comparisons
 	// (oracle 7).
 	SlicedChecks int
+	// StaticChecks counts static-pass-vs-pure-search FPV comparisons
+	// (oracle 8); StaticDischarged counts how many of those the static
+	// side settled without any search.
+	StaticChecks     int
+	StaticDischarged int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -188,8 +210,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.DeterminismRuns, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -230,6 +252,8 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		report.BatchChecks += res.batch
 		report.ConeChecks += res.cone
 		report.SlicedChecks += res.sliced
+		report.StaticChecks += res.static
+		report.StaticDischarged += res.staticDischarged
 		for k, v := range res.refStatus {
 			report.RefStatus[k] += v
 		}

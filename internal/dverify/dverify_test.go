@@ -69,10 +69,10 @@ func TestMutatedMonitorIsCaught(t *testing.T) {
 	}
 	report, err := Run(context.Background(), Options{
 		// The early seed-1 scenarios are CEX-dense and every CEX replay
-		// trips this mutation (across several oracles), so a few
+		// trips this mutation (across several oracles), so a couple of
 		// scenarios suffice — and every finding pays a shrink pass, so
 		// more would just burn time.
-		Scenarios: 3, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		Scenarios: 2, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
 		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
 	})
 	if err != nil {
@@ -103,7 +103,7 @@ func TestMutatedViolationAgeIsCaught(t *testing.T) {
 	}
 	report, err := Run(context.Background(), Options{
 		// Same scenario economics as TestMutatedMonitorIsCaught above.
-		Scenarios: 3, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		Scenarios: 2, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
 		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
 	})
 	if err != nil {
@@ -285,6 +285,44 @@ func TestMutatedSlicedVerifierIsCaught(t *testing.T) {
 	}
 	if caught == 0 {
 		t.Fatalf("injected sliced bug was not caught by oracle 7; report: %s", report)
+	}
+}
+
+// TestMutatedStaticVerifierIsCaught: a deliberately injected static-pass
+// bug (vacuity flipped on statically discharged verdicts — what an
+// unsound abstract fixpoint would report) must be caught by oracle 8's
+// semantic comparison against the pure-search reference.
+func TestMutatedStaticVerifierIsCaught(t *testing.T) {
+	orig := staticVerify
+	defer func() { staticVerify = orig }()
+	staticVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+		r := orig(e, ctx, nl, c, opt)
+		if r.Static {
+			r.NonVacuous = !r.NonVacuous // the injected bug: unsound discharge
+		}
+		return r
+	}
+	report, err := Run(context.Background(), Options{
+		// Enough scenarios for the generator's statically-decidable arm
+		// (~1 in 8 properties) to yield a proven or vacuous discharge,
+		// which the deep-budget exhaustive comparison then contradicts.
+		Scenarios: 8, PropsPerDesign: 3, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StaticDischarged == 0 {
+		t.Fatalf("no property was statically discharged, the mutation never engaged; report: %s", report)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleStatic {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected static-pass bug was not caught by oracle 8; report: %s", report)
 	}
 }
 

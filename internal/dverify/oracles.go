@@ -46,6 +46,15 @@ var slicedVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist,
 	return e.VerifyCompiled(ctx, nl, c, opt)
 }
 
+// staticVerify is the seam between the harness and the static
+// pre-verification production path (oracle 8's static side). Production
+// code always routes through this variable; the mutation test swaps in a
+// verdict-corrupting wrapper to prove oracle 8 catches unsound static
+// discharges.
+var staticVerify = func(e *fpv.Engine, ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt fpv.Options) fpv.Result {
+	return e.VerifyCompiled(ctx, nl, c, opt)
+}
+
 type harness struct {
 	opt    Options
 	exhEng *fpv.Engine
@@ -62,9 +71,12 @@ type harness struct {
 	refEng *fpv.Engine
 	// coneEng/fullEng run the cone-reduced production path and the
 	// full-design reference for oracle 6; slcEng/sclEng run the
-	// bit-sliced production path and the scalar reference for oracle 7.
+	// bit-sliced production path and the scalar reference for oracle 7;
+	// stEng/pureEng run the static-pass production path and the
+	// pure-search reference for oracle 8.
 	coneEng, fullEng *fpv.Engine
 	slcEng, sclEng   *fpv.Engine
+	stEng, pureEng   *fpv.Engine
 }
 
 // Reference (deep) and adversary (deliberately starved) FPV budgets. The
@@ -85,15 +97,17 @@ func (h *harness) bndOpt(seed int64) fpv.Options {
 }
 
 type scenarioResult struct {
-	properties    int
-	exhaustive    int
-	cexs          int
-	backend       int
-	batch         int
-	cone          int
-	sliced        int
-	refStatus     map[string]int
-	disagreements []Disagreement
+	properties       int
+	exhaustive       int
+	cexs             int
+	backend          int
+	batch            int
+	cone             int
+	sliced           int
+	static           int
+	staticDischarged int
+	refStatus        map[string]int
+	disagreements    []Disagreement
 }
 
 // checkScenario runs oracles 1, 2 and 4 over one design genome. propSeed
@@ -111,6 +125,8 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 		h.fullEng = fpv.NewEngine()
 		h.slcEng = fpv.NewEngine()
 		h.sclEng = fpv.NewEngine()
+		h.stEng = fpv.NewEngine()
+		h.pureEng = fpv.NewEngine()
 	}
 	res := scenarioResult{refStatus: map[string]int{}}
 	d := spec.Build()
@@ -189,6 +205,13 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 	nSliced, ds7 := h.checkSliced(ctx, nl, spec, cs, srcs, propSeed)
 	res.sliced += nSliced
 	res.disagreements = append(res.disagreements, ds7...)
+
+	// Oracle 8: the static pre-verification pass against the pure-search
+	// reference, at both budgets.
+	nStatic, nDischarged, ds8 := h.checkStatic(ctx, nl, spec, cs, srcs, propSeed)
+	res.static += nStatic
+	res.staticDischarged += nDischarged
+	res.disagreements = append(res.disagreements, ds8...)
 	return res
 }
 
@@ -378,6 +401,99 @@ func (h *harness) checkSliced(ctx context.Context, nl *verilog.Netlist, spec ben
 	return checks, ds
 }
 
+// checkStatic cross-checks FPV with the static pre-verification pass
+// against the pure-search reference (oracle 8). The pass may settle a
+// property without any search (an abstract-interpretation discharge, or a
+// zero-stimulus witness) and it sweeps statically constant nets out of
+// the cone, so state counts, depth and stimulus legitimately differ; the
+// contract is semantic, like the cone oracle's:
+//
+//   - a swept cone keeps a subset of the unswept cone's nets and a
+//     discharge is always exhaustive, so whenever the pure search closes
+//     exhaustively the static side must too;
+//   - two exhaustive verdicts are both sound, so they must name the same
+//     status and vacuity;
+//   - a bounded finding (CEX, antecedent witness) on either side is a
+//     concrete witness and must not contradict an exhaustive verdict
+//     from the other side;
+//   - every counter-example from either side — in particular the
+//     zero-stimulus witnesses the static pass fabricates without
+//     searching — must replay on the full design at the reported cycle.
+func (h *harness) checkStatic(ctx context.Context, nl *verilog.Netlist, spec bench.FuzzSpec, cs []*sva.Compiled, srcs []string, seed int64) (int, int, []Disagreement) {
+	checks, discharged := 0, 0
+	var ds []Disagreement
+	disagree := func(prop, detail string) {
+		ds = append(ds, Disagreement{Oracle: OracleStatic, Spec: spec, Property: prop, Detail: detail})
+	}
+	for _, label := range []struct {
+		name string
+		opt  fpv.Options
+	}{{"deep", h.exhOpt(seed)}, {"starved", h.bndOpt(seed)}} {
+		refOpt := label.opt
+		refOpt.Static = fpv.StaticOff
+		for i, c := range cs {
+			st := staticVerify(h.stEng, ctx, nl, c, label.opt)
+			pure := h.pureEng.VerifyCompiled(ctx, nl, c, refOpt)
+			if ctx.Err() != nil {
+				return checks, discharged, ds
+			}
+			checks++
+			if st.Static && label.name == "deep" {
+				discharged++
+			}
+			if st.Status == fpv.StatusError || pure.Status == fpv.StatusError {
+				if st.Status != pure.Status {
+					disagree(srcs[i], fmt.Sprintf("static-pass FPV status %v vs pure-search %v at the %s budget",
+						st.Status, pure.Status, label.name))
+				}
+				continue
+			}
+			switch {
+			case pure.Exhaustive && !st.Exhaustive:
+				disagree(srcs[i], fmt.Sprintf("pure search closed exhaustively at the %s budget but the static-pass search did not (discharges are exhaustive and the swept cone cannot be larger)", label.name))
+				continue
+			case st.Exhaustive && pure.Exhaustive:
+				if st.Status != pure.Status || st.NonVacuous != pure.NonVacuous {
+					disagree(srcs[i], fmt.Sprintf("static-pass and pure-search FPV disagree at the %s budget: %v (nonvacuous=%v) vs %v (nonvacuous=%v)",
+						label.name, st.Status, st.NonVacuous, pure.Status, pure.NonVacuous))
+					continue
+				}
+			case st.Exhaustive:
+				// Pure-search bounded findings are concrete witnesses.
+				if pure.Status == fpv.StatusCEX && st.Status != fpv.StatusCEX {
+					disagree(srcs[i], fmt.Sprintf("pure-search bounded FPV found a CEX at the %s budget but the exhaustive static-pass verdict is %v", label.name, st.Status))
+					continue
+				}
+				if pure.NonVacuous && st.Status == fpv.StatusVacuous {
+					disagree(srcs[i], fmt.Sprintf("pure-search bounded FPV witnessed the antecedent at the %s budget but the exhaustive static-pass verdict is vacuous", label.name))
+					continue
+				}
+			}
+			// Every CEX from either side is independently checkable — for a
+			// statically fabricated witness this replay is the only dynamic
+			// evidence it ever gets.
+			for _, r := range []struct {
+				side string
+				res  fpv.Result
+			}{{"static-pass", st}, {"pure-search", pure}} {
+				if r.res.Status != fpv.StatusCEX {
+					continue
+				}
+				violated, cycle, attempt, err := replayViolation(nl, c, r.res.CEX.Inputs)
+				if err != nil {
+					disagree(srcs[i], fmt.Sprintf("%s CEX stimulus cannot be driven on the simulator (%s budget): %v", r.side, label.name, err))
+				} else if !violated {
+					disagree(srcs[i], fmt.Sprintf("%s CEX does not violate the monitor when replayed on the simulator (%s budget)", r.side, label.name))
+				} else if cycle != r.res.CEX.ViolationCycle || attempt != r.res.CEX.AttemptCycle {
+					disagree(srcs[i], fmt.Sprintf("%s CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d) (%s budget)",
+						r.side, cycle, attempt, r.res.CEX.ViolationCycle, r.res.CEX.AttemptCycle, label.name))
+				}
+			}
+		}
+	}
+	return checks, discharged, ds
+}
+
 // roundTrip checks PrintFile -> Parse -> Elaborate netlist identity and
 // printer idempotence.
 func roundTrip(file *verilog.SourceFile, nl *verilog.Netlist, top string) string {
@@ -562,6 +678,8 @@ func diffResults(a, b fpv.Result) string {
 		return fmt.Sprintf("nonvacuous %v vs %v", a.NonVacuous, b.NonVacuous)
 	case a.Exhaustive != b.Exhaustive:
 		return fmt.Sprintf("exhaustive %v vs %v", a.Exhaustive, b.Exhaustive)
+	case a.Static != b.Static:
+		return fmt.Sprintf("statically discharged %v vs %v", a.Static, b.Static)
 	case a.States != b.States:
 		return fmt.Sprintf("visited states %d vs %d", a.States, b.States)
 	case a.Depth != b.Depth:

@@ -57,6 +57,11 @@ func genProps(nl *verilog.Netlist, seed int64, count int) []string {
 // the proof-side oracles — trace-vs-proven and bounded-vs-vacuous — see
 // real Proven verdicts routinely, not just counter-examples.
 func genProp(rng *rand.Rand, nets []propNet) string {
+	if rng.Intn(8) == 0 {
+		if p := genStaticProp(rng, nets); p != "" {
+			return p
+		}
+	}
 	if rng.Intn(4) == 0 {
 		if p := genLikelyTrueProp(rng, nets); p != "" {
 			return p
@@ -126,6 +131,61 @@ func genLikelyTrueProp(rng *rand.Rand, nets []propNet) string {
 		}
 		r := regs[rng.Intn(len(regs))]
 		return fmt.Sprintf("%s |=> %s == %d'd0", guard, r.name, r.width)
+	}
+}
+
+// genStaticProp emits a property the abstract interpreter can decide
+// without search: a compare against a bare literal beyond the signal's
+// value range folds to a constant in the ternary lattice. A tautological
+// antecedent and consequent yield a static proof, an impossible
+// antecedent a static vacuity, and an impossible consequent a static
+// refutation (which the engine must concretize into a replayable
+// counter-example or fall through to search). These shapes keep dverify
+// oracle 8's discharge paths — not just its fall-through path —
+// routinely exercised.
+func genStaticProp(rng *rand.Rand, nets []propNet) string {
+	var ok []propNet
+	for _, n := range nets {
+		if n.width <= 30 {
+			ok = append(ok, n)
+		}
+	}
+	if len(ok) == 0 {
+		return ""
+	}
+	pick := func() propNet { return ok[rng.Intn(len(ok))] }
+	// over is strictly above every representable value of the net, so
+	// cmpTruth/eqTruth fold the compare regardless of the net's dynamics.
+	over := func(n propNet) int { return (1 << uint(n.width)) + rng.Intn(7) }
+	taut := func(n propNet) string {
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s != %d", n.name, over(n))
+		}
+		return fmt.Sprintf("%s <= %d", n.name, over(n))
+	}
+	contra := func(n propNet) string {
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s == %d", n.name, over(n))
+		}
+		return fmt.Sprintf("%s > %d", n.name, over(n))
+	}
+	impl := " |-> "
+	if rng.Intn(3) == 0 {
+		impl = " |=> "
+	}
+	switch rng.Intn(3) {
+	case 0: // statically proven: every step a tautology
+		return taut(pick()) + impl + taut(pick())
+	case 1: // statically vacuous: the antecedent can never hold
+		return contra(pick()) + impl + atom(rng, nets, 1)
+	default: // statically refuted: the consequent can never hold
+		ante := atom(rng, nets, 1)
+		if rng.Intn(2) == 0 {
+			// A tautological antecedent fires on the zero-stimulus
+			// trajectory, so the static pass fabricates the CEX itself.
+			ante = taut(pick())
+		}
+		return ante + impl + contra(pick())
 	}
 }
 

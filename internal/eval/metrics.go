@@ -54,21 +54,28 @@ type Metrics struct {
 	NPass  int `json:"n_pass"`
 	NCEX   int `json:"n_cex"`
 	NError int `json:"n_error"`
+	// NStatic counts verdicts (across all three classes) discharged by
+	// the static pre-verification pass without any state-space search.
+	// It is an overlay on the other counters, not a fourth class: a
+	// statically proven property still counts in NPass.
+	NStatic int `json:"n_static"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
 func (m Metrics) MarshalJSON() ([]byte, error) {
 	type out struct {
-		NPass  int     `json:"n_pass"`
-		NCEX   int     `json:"n_cex"`
-		NError int     `json:"n_error"`
-		Pass   float64 `json:"pass"`
-		CEX    float64 `json:"cex"`
-		Error  float64 `json:"error"`
+		NPass   int     `json:"n_pass"`
+		NCEX    int     `json:"n_cex"`
+		NError  int     `json:"n_error"`
+		NStatic int     `json:"n_static"`
+		Pass    float64 `json:"pass"`
+		CEX     float64 `json:"cex"`
+		Error   float64 `json:"error"`
+		Static  float64 `json:"static"`
 	}
 	return json.Marshal(out{
-		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError,
-		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(),
+		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError, NStatic: m.NStatic,
+		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(), Static: m.Static(),
 	})
 }
 
@@ -95,6 +102,10 @@ func (m Metrics) CEX() float64 { return frac(m.NCEX, m.Total()) }
 
 // Error is the fraction of syntactically/semantically broken assertions.
 func (m Metrics) Error() float64 { return frac(m.NError, m.Total()) }
+
+// Static is the fraction of verdicts discharged by the static
+// pre-verification pass.
+func (m Metrics) Static() float64 { return frac(m.NStatic, m.Total()) }
 
 func frac(n, d int) float64 {
 	if d == 0 {

@@ -89,6 +89,9 @@ type DesignOutcome struct {
 	Generated []string
 	Corrected []string
 	Verdicts  []Verdict
+	// StaticDischarged counts this design's verdicts decided by the
+	// static pre-verification pass without any state-space search.
+	StaticDischarged int
 	// Channel bookkeeping from the generator (for ablation analysis).
 	OffTask  int
 	Grounded int
@@ -119,6 +122,7 @@ func Run(ctx context.Context, gen Generator, examples []llm.Example, corpus []be
 		for _, v := range outcome.Verdicts {
 			res.Metrics.Add(v)
 		}
+		res.Metrics.NStatic += outcome.StaticDischarged
 		res.Designs = append(res.Designs, outcome)
 	}
 	return res, nil

@@ -196,6 +196,11 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 				opt.FPV.Batch, fpv.BatchAuto, fpv.BatchOff))
 			return
 		}
+		if !fpv.ValidStatic(opt.FPV.Static) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: unknown static mode %q (want %q or %q)",
+				opt.FPV.Static, fpv.StaticAuto, fpv.StaticOff))
+			return
+		}
 		designs := corpus
 		if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
 			designs = designs[:opt.MaxDesigns]
@@ -264,6 +269,9 @@ func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Exampl
 		}
 		for _, r := range rs {
 			outcome.Verdicts = append(outcome.Verdicts, Classify(r))
+			if r.Static {
+				outcome.StaticDischarged++
+			}
 		}
 		return jobResult{outcome: outcome}
 	}
@@ -273,6 +281,9 @@ func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Exampl
 			return jobResult{err: err}
 		}
 		outcome.Verdicts = append(outcome.Verdicts, Classify(r))
+		if r.Static {
+			outcome.StaticDischarged++
+		}
 	}
 	return jobResult{outcome: outcome}
 }

@@ -63,6 +63,7 @@ func TestShardedRunsConcatenateToFullRun(t *testing.T) {
 		merged.Metrics.NPass += part.Metrics.NPass
 		merged.Metrics.NCEX += part.Metrics.NCEX
 		merged.Metrics.NError += part.Metrics.NError
+		merged.Metrics.NStatic += part.Metrics.NStatic
 	}
 	if !reflect.DeepEqual(full, merged) {
 		t.Errorf("concatenated shards differ from the full run\nfull:   %+v\nmerged: %+v",

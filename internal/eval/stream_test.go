@@ -20,6 +20,7 @@ func collectStream(t *testing.T, ctx context.Context, gen Generator, examples []
 		for _, v := range o.Verdicts {
 			res.Metrics.Add(v)
 		}
+		res.Metrics.NStatic += o.StaticDischarged
 		res.Designs = append(res.Designs, o)
 	}
 	return res

@@ -78,6 +78,9 @@ func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva
 	if opt.Slices != SlicesAuto && opt.Slices != SlicesOff {
 		return fail(0, fmt.Errorf("fpv: unknown slices mode %q", opt.Slices))
 	}
+	if opt.Static != StaticAuto && opt.Static != StaticOff {
+		return fail(0, fmt.Errorf("fpv: unknown static mode %q", opt.Static))
+	}
 	if err := ctx.Err(); err != nil {
 		return fail(0, err)
 	}
@@ -86,6 +89,11 @@ func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva
 	}
 	// Partition by canonical cone (identity cones fold into the nil/full
 	// group), preserving first-appearance order for determinism.
+	// Statically discharged properties never join a group: their verdicts
+	// come straight from the fixpoint, identical to what VerifyCompiled
+	// returns for the same options (Classify is a pure function of the
+	// netlist and property, so batched and per-property runs agree —
+	// dverify oracle 5).
 	type group struct {
 		cone *verilog.Cone
 		idx  []int
@@ -93,13 +101,13 @@ func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva
 	var groups []group
 	gidx := make(map[*verilog.Cone]int)
 	for i, c := range cs {
-		var cone *verilog.Cone
-		if opt.Cone != ConeOff {
-			cone = nl.ConeFor(c.SupportNets())
-			if cone.Identity || !coneWorthwhile(cone, nl, opt) {
-				cone = nil
+		if opt.Static != StaticOff {
+			if res, ok := staticResult(nl, c); ok {
+				out[i] = res
+				continue
 			}
 		}
+		cone := coneFor(nl, c, opt)
 		k, ok := gidx[cone]
 		if !ok {
 			k = len(groups)

@@ -192,7 +192,9 @@ func TestGraphCacheUnionGrowth(t *testing.T) {
 	var cache GraphCache
 	e := NewEngine()
 	e.Graphs = &cache
-	e.VerifyBatch(context.Background(), nl, []*sva.Compiled{narrow}, Options{})
+	// Reset-shaped properties discharge statically and would never build
+	// a graph, so this test pins the search path explicitly.
+	e.VerifyBatch(context.Background(), nl, []*sva.Compiled{narrow}, Options{Static: StaticOff})
 	key := e.graphKey(true)
 	g1, _, _ := cache.lookup(key, narrow.SupportNets())
 	if g1 == nil {
@@ -201,7 +203,7 @@ func TestGraphCacheUnionGrowth(t *testing.T) {
 	if g, _, _ := cache.lookup(key, wide.SupportNets()); g != nil {
 		t.Fatal("test premise: wide union should miss the narrow graph")
 	}
-	e.VerifyBatch(context.Background(), nl, []*sva.Compiled{wide, narrow}, Options{})
+	e.VerifyBatch(context.Background(), nl, []*sva.Compiled{wide, narrow}, Options{Static: StaticOff})
 	g2, _, _ := cache.lookup(key, wide.SupportNets())
 	if g2 == nil {
 		t.Fatal("merged-union graph not cached")
@@ -227,7 +229,9 @@ func TestGraphCacheEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e.VerifyBatch(context.Background(), nl, []*sva.Compiled{c}, Options{})
+		// Static discharge skips graph building; the LRU bound only
+		// matters on the search path.
+		e.VerifyBatch(context.Background(), nl, []*sva.Compiled{c}, Options{Static: StaticOff})
 	}
 	verify(counter, "rst == 1 |=> count == 0")
 	if cache.Len() != 1 || cache.Bytes() <= 0 {
@@ -272,7 +276,10 @@ func TestGraphCacheInvalidationOnSourceChange(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return e.VerifyBatch(context.Background(), nl, []*sva.Compiled{c}, Options{})[0]
+		// Static discharge would bypass graph building entirely (the
+		// refined walk proves A's property without search), so force
+		// the search path: this test is about graph cache keying.
+		return e.VerifyBatch(context.Background(), nl, []*sva.Compiled{c}, Options{Static: StaticOff})[0]
 	}
 	if r := run(nlA); r.Status != StatusProven {
 		t.Fatalf("source A: %v, want proven", r.Status)

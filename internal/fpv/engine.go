@@ -535,6 +535,8 @@ func (e *Engine) VerifyAll(ctx context.Context, nl *verilog.Netlist, srcs []stri
 		for k, r := range results {
 			out[idx[k]] = r
 		}
+		// Each duplicate writes its own slot.
+		//ab:allow maprange
 		for i, k := range dup {
 			out[i] = results[k]
 		}
@@ -566,13 +568,15 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 	if opt.Slices != SlicesAuto && opt.Slices != SlicesOff {
 		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown slices mode %q", opt.Slices)}
 	}
-	var cone *verilog.Cone
-	if opt.Cone != ConeOff {
-		cone = nl.ConeFor(c.SupportNets())
-		if cone.Identity || !coneWorthwhile(cone, nl, opt) {
-			cone = nil
+	if opt.Static != StaticAuto && opt.Static != StaticOff {
+		return Result{Status: StatusError, Err: fmt.Errorf("fpv: unknown static mode %q", opt.Static)}
+	}
+	if opt.Static != StaticOff {
+		if res, ok := staticResult(nl, c); ok {
+			return res
 		}
 	}
+	cone := coneFor(nl, c, opt)
 	e.bindCone(nl, cone, opt.Backend)
 	e.c = c
 	if opt.Backend == BackendCompiled {

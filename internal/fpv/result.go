@@ -115,6 +115,12 @@ type Result struct {
 	States int
 	// Depth is the deepest cycle reached.
 	Depth int
+	// Static reports that the verdict was discharged by the static
+	// pre-verification pass (internal/vstatic) without any state-space
+	// search. Static results are always sound: proofs and vacuity come
+	// from the abstract fixpoint, and counter-examples are confirmed by
+	// concrete replay before being reported.
+	Static bool
 }
 
 // Options configure the engine.
@@ -159,6 +165,16 @@ type Options struct {
 	// the scalar reference loops. Verdicts are bit-identical either way
 	// (dverify oracle 7); only the compiled backend slices.
 	Slices string
+	// Static selects the abstract-interpretation pre-verification pass:
+	// StaticAuto (the default) classifies each property against the
+	// design's ternary-lattice fixpoint before any search — statically
+	// decided properties return without exploring a single state, and
+	// proven-constant nets sharpen cone-of-influence reduction —
+	// StaticOff skips the pass entirely. Verdicts agree semantically
+	// either way (dverify oracle 8): static proofs/vacuity match what
+	// exhaustive search would conclude, and static counter-examples are
+	// confirmed by concrete replay before being reported.
+	Static string
 }
 
 // Execution backends.
@@ -211,6 +227,18 @@ func ValidSlices(s string) bool {
 	return s == "" || s == SlicesAuto || s == SlicesOff
 }
 
+// Static pre-verification modes for Options.Static.
+const (
+	StaticAuto = "auto"
+	StaticOff  = "off"
+)
+
+// ValidStatic reports whether s names a static-analysis mode ("" selects
+// the default, StaticAuto).
+func ValidStatic(s string) bool {
+	return s == "" || s == StaticAuto || s == StaticOff
+}
+
 // withDefaults fills zero fields.
 func (o Options) withDefaults() Options {
 	if o.MaxProductStates == 0 {
@@ -242,6 +270,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Slices == "" {
 		o.Slices = SlicesAuto
+	}
+	if o.Static == "" {
+		o.Static = StaticAuto
 	}
 	return o
 }

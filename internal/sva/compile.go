@@ -135,7 +135,7 @@ func Compile(a *Assertion, nl *verilog.Netlist) (*Compiled, error) {
 		c.ConsHiAge = consOffs[0] + a.ConsDelaySpan
 	}
 	c.supportSorted = make([]int, 0, len(c.support))
-	for n := range c.support {
+	for n := range c.support { //ab:allow maprange
 		c.supportSorted = append(c.supportSorted, n)
 	}
 	sort.Ints(c.supportSorted)

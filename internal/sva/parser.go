@@ -558,7 +558,7 @@ func groupAtoms(atoms []atom) (steps []Step, min, max int) {
 		}
 	}
 	offs := make([]int, 0, len(byOff))
-	for o := range byOff {
+	for o := range byOff { //ab:allow maprange
 		offs = append(offs, o)
 	}
 	sort.Ints(offs)

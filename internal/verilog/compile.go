@@ -695,6 +695,8 @@ func (c *netCompiler) stmt(s *EStmt) {
 		ct := &b.cases[tableIdx]
 		if s.labelMap != nil {
 			ct.m = make(map[uint64]int32, len(s.labelMap))
+			// Map-to-map copy, no order dependence.
+			//ab:allow maprange
 			for v, arm := range s.labelMap {
 				ct.m[v] = armTargets[arm]
 			}

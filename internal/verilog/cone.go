@@ -142,17 +142,44 @@ func (nl *Netlist) coneClosure(support []int) []bool {
 		add(n)
 	}
 
-	// writers[n] lists the driver units (assign index, or len(Assigns)+
-	// comb index, or a negative seq tag) that write net n.
-	type unit struct {
-		reads  []int
-		writes []int
+	units, writers := nl.driverUnits()
+
+	done := make([]bool, len(units))
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range writers[n] {
+			if done[u] {
+				continue
+			}
+			done[u] = true
+			for _, r := range units[u].reads {
+				add(r)
+			}
+			for _, w := range units[u].writes {
+				add(w)
+			}
+		}
 	}
-	units := make([]unit, 0, len(nl.Assigns)+len(nl.Combs)+len(nl.Seqs))
+	return kept
+}
+
+// driverUnit is one driver of nets: a continuous assignment or an
+// always block, with the nets it reads and writes.
+type driverUnit struct {
+	reads  []int
+	writes []int
+}
+
+// driverUnits builds the unit table shared by cone closure and constant
+// sweeping: units are indexed assigns first (0..len(Assigns)-1), then
+// combs, then seqs, and writers[n] lists the units writing net n.
+func (nl *Netlist) driverUnits() ([]driverUnit, [][]int) {
+	units := make([]driverUnit, 0, len(nl.Assigns)+len(nl.Combs)+len(nl.Seqs))
 	writers := make([][]int, len(nl.Nets))
 	addUnit := func(reads, writes []int) {
 		u := len(units)
-		units = append(units, unit{reads: reads, writes: writes})
+		units = append(units, driverUnit{reads: reads, writes: writes})
 		for _, w := range writes {
 			writers[w] = append(writers[w], u)
 		}
@@ -176,30 +203,14 @@ func (nl *Netlist) coneClosure(support []int) []bool {
 	for _, p := range nl.Seqs {
 		addUnit(p.Reads, p.Writes)
 	}
-
-	done := make([]bool, len(units))
-	for len(queue) > 0 {
-		n := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		for _, u := range writers[n] {
-			if done[u] {
-				continue
-			}
-			done[u] = true
-			for _, r := range units[u].reads {
-				add(r)
-			}
-			for _, w := range units[u].writes {
-				add(w)
-			}
-		}
-	}
-	return kept
+	return units, writers
 }
 
+// mapKeys returns the keys in arbitrary order; consumers (the cone
+// closure, a set-valued fixpoint) are order-insensitive.
 func mapKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
-	for k := range m {
+	for k := range m { //ab:allow maprange
 		out = append(out, k)
 	}
 	return out

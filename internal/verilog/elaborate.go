@@ -237,6 +237,8 @@ func (el *elaborator) compileInstance(it *InstanceItem, sc *scope, depth int) er
 	}
 	// Parameter overrides, const-evaluated in the parent scope.
 	ov := map[string]uint64{}
+	// Map-to-map copy, no order dependence.
+	//ab:allow maprange
 	for name, e := range it.Params {
 		v, err := el.constEval(e, sc)
 		if err != nil {
@@ -291,6 +293,8 @@ func (el *elaborator) compileInstance(it *InstanceItem, sc *scope, depth int) er
 			}
 		}
 	}
+	// Each connection binds its own port.
+	//ab:allow maprange
 	for name, e := range it.Conns {
 		var port *Port
 		for _, cp := range child.Ports {
@@ -394,7 +398,8 @@ func stmtReadsWrites(s *EStmt, reads, writes map[int]bool) {
 
 func keys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
-	for k := range m {
+	for k := range m { //ab:allow maprange
+
 		out = append(out, k)
 	}
 	sort.Ints(out)
@@ -468,6 +473,9 @@ func (el *elaborator) orderComb() {
 	succ := make([][]int, n)
 	for v := 0; v < n; v++ {
 		seen := map[int]bool{}
+		// succ[u] still fills in ascending v (the outer loop), and indeg
+		// is a pure count, so the edge set is order-insensitive.
+		//ab:allow maprange
 		for net := range readsOf[v] {
 			for _, u := range writers[net] {
 				if u == v {

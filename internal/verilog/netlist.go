@@ -308,6 +308,11 @@ type caseLabel struct {
 	mask  uint64 // bits to compare (for casez/casex wildcards mask excludes z/x)
 }
 
+// Matches reports whether a case subject value selects this label,
+// mirroring the ExecStmt comparison exactly. Exported as a method so
+// analysis packages can interpret SCase without access to the fields.
+func (l caseLabel) Matches(subj uint64) bool { return subj&l.mask == l.value&l.mask }
+
 // Process is an elaborated always block.
 type Process struct {
 	Seq  bool // edge-triggered (state-updating) vs combinational
@@ -357,6 +362,21 @@ type Netlist struct {
 	coneByKey map[string]*Cone
 	coneBySig map[string]*Cone
 	idCone    *Cone
+
+	// Static-analysis memo (internal/vstatic): the abstract fixpoint is
+	// a pure function of the netlist, computed once and shared by every
+	// consumer. Held as `any` so the analysis package can depend on this
+	// one without a cycle.
+	analysisOnce sync.Once
+	analysis     any
+}
+
+// Analysis returns the netlist's memoized static-analysis artifact,
+// computing it with build on first use. Concurrent callers share one
+// computation; build must be a pure function of the netlist.
+func (nl *Netlist) Analysis(build func(*Netlist) any) any {
+	nl.analysisOnce.Do(func() { nl.analysis = build(nl) })
+	return nl.analysis
 }
 
 // Program returns the netlist's compiled execution program, lowering it

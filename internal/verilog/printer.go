@@ -152,7 +152,7 @@ func writeConnList(sb *strings.Builder, positional []Expr, named map[string]Expr
 		n++
 	}
 	names := make([]string, 0, len(named))
-	for name := range named {
+	for name := range named { //ab:allow maprange
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -65,6 +65,8 @@ func (p *Parser) ParseExpressionPrec(minPrec int) (Expr, error) {
 func (nl *Netlist) CompileExpr(e Expr) (*EExpr, error) {
 	el := &elaborator{nl: nl}
 	sc := &scope{consts: map[string]uint64{}, netOf: map[string]int{}}
+	// Map-to-map copy, no order dependence.
+	//ab:allow maprange
 	for name, idx := range nl.byName {
 		sc.netOf[name] = idx
 	}

@@ -1,0 +1,232 @@
+package vstatic
+
+import (
+	"math/rand"
+	"testing"
+
+	"assertionbench/internal/verilog"
+)
+
+// The transfer-function soundness contract: for every abstract operand
+// pair and every concrete valuation they admit, the concrete EExpr.Eval
+// result must be admitted by the abstract evalExpr result. The width-2
+// tables are exhaustive — every abstract value, every concrete member,
+// every operator — and the randomized pass covers wide (up to 64-bit)
+// operands where the carry-run and shift transfers have their edge
+// cases.
+
+// allBits enumerates every valid abstract value of width w: high bits
+// known zero, Val a subset of Known.
+func allBits(w int) []Bits {
+	m := verilog.WidthMask(w)
+	var out []Bits
+	for known := uint64(0); known <= m; known++ {
+		val := known
+		for {
+			out = append(out, Bits{Known: known | ^m, Val: val})
+			if val == 0 {
+				break
+			}
+			val = (val - 1) & known
+		}
+	}
+	return out
+}
+
+// gamma lists the concrete width-w values an abstract value admits.
+func gamma(b Bits, w int) []uint64 {
+	var out []uint64
+	for v := uint64(0); v <= verilog.WidthMask(w); v++ {
+		if b.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func checkSound(t *testing.T, name string, e *verilog.EExpr, abs []Bits, conc [][]uint64) {
+	t.Helper()
+	res := evalExpr(e, abs)
+	if res.Val&^res.Known != 0 {
+		t.Fatalf("%s: abstract result %+v breaks the Val ⊆ Known invariant", name, res)
+	}
+	env := make([]uint64, len(conc))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(conc) {
+			got := e.Eval(env)
+			if !res.Contains(got) {
+				t.Fatalf("%s: concrete env %v evaluates to %#x, outside abstract %+v (operands %+v)",
+					name, env, got, res, abs)
+			}
+			return
+		}
+		for _, v := range conc[i] {
+			env[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+}
+
+func TestTransferSoundnessExhaustiveWidth2(t *testing.T) {
+	const w = 2
+	net := func(i int) *verilog.EExpr { return &verilog.EExpr{Op: verilog.OpNet, Net: i, W: w} }
+
+	unary := []struct {
+		name string
+		op   verilog.EOp
+		resW int
+	}{
+		{"not", verilog.OpNot, w}, {"lognot", verilog.OpLogNot, 1}, {"neg", verilog.OpNeg, w},
+		{"redand", verilog.OpRedAnd, 1}, {"rednand", verilog.OpRedNand, 1},
+		{"redor", verilog.OpRedOr, 1}, {"rednor", verilog.OpRedNor, 1},
+		{"redxor", verilog.OpRedXor, 1}, {"redxnor", verilog.OpRedXnor, 1},
+	}
+	vals := allBits(w)
+	for _, u := range unary {
+		e := &verilog.EExpr{Op: u.op, A: net(0), W: u.resW}
+		for _, a := range vals {
+			checkSound(t, u.name, e, []Bits{a}, [][]uint64{gamma(a, w)})
+		}
+	}
+
+	binary := []struct {
+		name string
+		op   verilog.EOp
+		resW int
+	}{
+		{"add", verilog.OpAdd, w}, {"sub", verilog.OpSub, w}, {"mul", verilog.OpMul, w},
+		{"div", verilog.OpDiv, w}, {"mod", verilog.OpMod, w}, {"pow", verilog.OpPow, w},
+		{"and", verilog.OpAnd, w}, {"or", verilog.OpOr, w}, {"xor", verilog.OpXor, w},
+		{"xnor", verilog.OpXnor, w}, {"logand", verilog.OpLogAnd, 1}, {"logor", verilog.OpLogOr, 1},
+		{"eq", verilog.OpEq, 1}, {"ne", verilog.OpNe, 1},
+		{"lt", verilog.OpLt, 1}, {"le", verilog.OpLe, 1}, {"gt", verilog.OpGt, 1}, {"ge", verilog.OpGe, 1},
+		{"shl", verilog.OpShl, w}, {"shr", verilog.OpShr, w},
+	}
+	for _, b := range binary {
+		e := &verilog.EExpr{Op: b.op, A: net(0), B: net(1), W: b.resW}
+		for _, a := range vals {
+			ga := gamma(a, w)
+			for _, bb := range vals {
+				checkSound(t, b.name, e, []Bits{a, bb}, [][]uint64{ga, gamma(bb, w)})
+			}
+		}
+	}
+
+	// Structural forms: index (constant and dynamic), part select,
+	// ternary, concat.
+	idx := &verilog.EExpr{Op: verilog.OpIndex, Net: 0, A: net(1), W: 1}
+	part := &verilog.EExpr{Op: verilog.OpPart, Net: 0, Lo: 1, W: 1}
+	tern := &verilog.EExpr{Op: verilog.OpTernary,
+		A: &verilog.EExpr{Op: verilog.OpNet, Net: 0, W: 1}, B: net(1), C: net(1), W: w}
+	ternAB := &verilog.EExpr{Op: verilog.OpTernary,
+		A: &verilog.EExpr{Op: verilog.OpNet, Net: 0, W: 1}, B: net(0), C: net(1), W: w}
+	cat := &verilog.EExpr{Op: verilog.OpConcat, Parts: []*verilog.EExpr{net(0), net(1)}, W: 2 * w}
+	for _, a := range vals {
+		ga := gamma(a, w)
+		for _, bb := range vals {
+			gb := gamma(bb, w)
+			env, conc := []Bits{a, bb}, [][]uint64{ga, gb}
+			checkSound(t, "index", idx, env, conc)
+			checkSound(t, "part", part, env, conc)
+			checkSound(t, "ternary", tern, env, conc)
+			checkSound(t, "ternary-mixed", ternAB, env, conc)
+			checkSound(t, "concat", cat, env, conc)
+		}
+	}
+
+	// Shift-by-constant out-of-range and in-range amounts.
+	for _, s := range []uint64{0, 1, 3, 63, 64, 70} {
+		amt := &verilog.EExpr{Op: verilog.OpConst, Val: s, W: 7}
+		shl := &verilog.EExpr{Op: verilog.OpShl, A: net(0), B: amt, W: w}
+		shr := &verilog.EExpr{Op: verilog.OpShr, A: net(0), B: amt, W: w}
+		for _, a := range vals {
+			checkSound(t, "shl-const", shl, []Bits{a}, [][]uint64{gamma(a, w)})
+			checkSound(t, "shr-const", shr, []Bits{a}, [][]uint64{gamma(a, w)})
+		}
+	}
+}
+
+// TestTransferSoundnessRandomWide drives the same contract at random
+// widths up to 64 bits with sampled (not exhaustive) concretizations, so
+// the carry-run arithmetic, comparison bounds and shift transfers are
+// exercised where uint64 edge cases live.
+func TestTransferSoundnessRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randBits := func(w int) Bits {
+		m := verilog.WidthMask(w)
+		known := (rng.Uint64() & m) | ^m
+		return Bits{Known: known, Val: rng.Uint64() & known & m}
+	}
+	sample := func(b Bits, w int) uint64 {
+		return b.Val | (rng.Uint64() &^ b.Known & verilog.WidthMask(w))
+	}
+	ops := []verilog.EOp{verilog.OpAdd, verilog.OpSub, verilog.OpMul, verilog.OpDiv,
+		verilog.OpMod, verilog.OpPow, verilog.OpAnd, verilog.OpOr, verilog.OpXor,
+		verilog.OpXnor, verilog.OpLogAnd, verilog.OpLogOr, verilog.OpEq, verilog.OpNe,
+		verilog.OpLt, verilog.OpLe, verilog.OpGt, verilog.OpGe, verilog.OpShl, verilog.OpShr}
+	for round := 0; round < 400; round++ {
+		w := 1 + rng.Intn(64)
+		op := ops[rng.Intn(len(ops))]
+		resW := w
+		switch op {
+		case verilog.OpLogAnd, verilog.OpLogOr, verilog.OpEq, verilog.OpNe,
+			verilog.OpLt, verilog.OpLe, verilog.OpGt, verilog.OpGe:
+			resW = 1
+		}
+		bw := w
+		if op == verilog.OpShl || op == verilog.OpShr {
+			bw = 7
+		}
+		e := &verilog.EExpr{Op: op,
+			A: &verilog.EExpr{Op: verilog.OpNet, Net: 0, W: w},
+			B: &verilog.EExpr{Op: verilog.OpNet, Net: 1, W: bw},
+			W: resW}
+		a, b := randBits(w), randBits(bw)
+		res := evalExpr(e, []Bits{a, b})
+		if res.Val&^res.Known != 0 {
+			t.Fatalf("op %v: abstract result %+v breaks the Val ⊆ Known invariant", op, res)
+		}
+		for i := 0; i < 16; i++ {
+			env := []uint64{sample(a, w), sample(b, bw)}
+			if got := e.Eval(env); !res.Contains(got) {
+				t.Fatalf("op %v width %d: concrete env %v evaluates to %#x, outside abstract %+v (operands %+v, %+v)",
+					op, w, env, got, res, a, b)
+			}
+		}
+	}
+}
+
+// TestJoinAndLatticeHelpers pins the small algebra the fixpoint relies
+// on: join is the least upper bound on the concretization order, and
+// Min/Max/Contains agree with the definition of gamma.
+func TestJoinAndLatticeHelpers(t *testing.T) {
+	const w = 3
+	vals := allBits(w)
+	for _, a := range vals {
+		for _, b := range vals {
+			j := Join(a, b)
+			for _, v := range gamma(a, w) {
+				if !j.Contains(v) {
+					t.Fatalf("join %+v ⊔ %+v = %+v loses %#x from the left side", a, b, j, v)
+				}
+			}
+			for _, v := range gamma(b, w) {
+				if !j.Contains(v) {
+					t.Fatalf("join %+v ⊔ %+v = %+v loses %#x from the right side", a, b, j, v)
+				}
+			}
+		}
+		g := gamma(a, w)
+		if a.Min() != g[0] || a.Max() != g[len(g)-1] {
+			t.Fatalf("%+v: Min/Max %d/%d but concretization spans %d..%d", a, a.Min(), a.Max(), g[0], g[len(g)-1])
+		}
+	}
+	if got := Top(2); got.Contains(4) {
+		t.Error("Top(2) admits a value above its width")
+	}
+	if c := Const(5); !c.IsConst() || c.Min() != 5 || c.Max() != 5 {
+		t.Errorf("Const(5) misbehaves: %+v", c)
+	}
+}

@@ -1,0 +1,180 @@
+package vstatic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"assertionbench/internal/sva"
+	"assertionbench/internal/verilog"
+)
+
+// Diagnostic is one structured lint finding about an assertion.
+type Diagnostic struct {
+	// Rule is the stable machine-readable rule name.
+	Rule string
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+// Lint rule names.
+const (
+	RuleContradictoryAntecedent = "contradictory-antecedent"
+	RuleTriviallyTrue           = "trivially-true"
+	RuleStaticallyRefuted       = "statically-refuted"
+	RuleWidthTruncatingCompare  = "width-truncating-compare"
+	RuleConstantNetReference    = "constant-net-reference"
+	RuleUnreachableWindow       = "unreachable-window"
+	RuleSemanticError           = "semantic-error"
+)
+
+// Lint statically audits one parsed assertion against a design and
+// returns structured diagnostics in deterministic order. An empty slice
+// means the property is clean as far as the analysis can see.
+func Lint(nl *verilog.Netlist, a *sva.Assertion) []Diagnostic {
+	var diags []Diagnostic
+	c, err := sva.Compile(a, nl)
+	if err != nil {
+		var serr *sva.SemanticError
+		if errors.As(err, &serr) && strings.Contains(serr.Msg, "window exceeds") {
+			return []Diagnostic{{
+				Rule: RuleUnreachableWindow,
+				Msg: fmt.Sprintf("##N delays span %s — beyond the 64-cycle evaluation horizon, so no attempt can ever be checked",
+					serr.Msg),
+			}}
+		}
+		return []Diagnostic{{Rule: RuleSemanticError, Msg: err.Error()}}
+	}
+
+	an := For(nl)
+	switch an.Classify(c) {
+	case PropVacuous:
+		diags = append(diags, Diagnostic{
+			Rule: RuleContradictoryAntecedent,
+			Msg:  "an antecedent step is statically false: the property can never be exercised (vacuous pass)",
+		})
+	case PropProven:
+		diags = append(diags, Diagnostic{
+			Rule: RuleTriviallyTrue,
+			Msg:  "every antecedent and consequent step is statically true: the property proves without exploring any state",
+		})
+	case PropRefuted:
+		diags = append(diags, Diagnostic{
+			Rule: RuleStaticallyRefuted,
+			Msg:  "a consequent step is statically false: any completed attempt violates the property",
+		})
+	case PropHolds:
+		// The antecedent-refined walk proved the consequent in every
+		// environment the antecedent admits: the property cannot fail,
+		// only pass or pass vacuously.
+		diags = append(diags, Diagnostic{
+			Rule: RuleTriviallyTrue,
+			Msg:  "the consequent is statically true in every state the antecedent admits: the property can never fail",
+		})
+	}
+
+	for _, s := range a.Ante {
+		diags = append(diags, widthCompareDiags(an, s.Expr)...)
+	}
+	for _, s := range a.Cons {
+		diags = append(diags, widthCompareDiags(an, s.Expr)...)
+	}
+
+	for _, net := range c.SupportNets() {
+		if v, ok := an.ConstOf(net); ok {
+			diags = append(diags, Diagnostic{
+				Rule: RuleConstantNetReference,
+				Msg: fmt.Sprintf("signal %q is statically constant (value %d): the property cannot observe it changing",
+					nl.Nets[net].Name, v),
+			})
+		}
+	}
+	return diags
+}
+
+// compareOps lists the comparison operators audited for width
+// truncation.
+var compareOps = map[string]bool{
+	"==": true, "===": true, "!=": true, "!==": true,
+	"<": true, "<=": true, ">": true, ">=": true,
+}
+
+// widthCompareDiags walks a surface expression and flags comparisons
+// where a literal operand cannot fit the other operand's bit width —
+// the compare folds to a constant, which is almost never what the
+// assertion author meant.
+func widthCompareDiags(an *Analysis, e verilog.Expr) []Diagnostic {
+	var diags []Diagnostic
+	walkExpr(e, func(e verilog.Expr) {
+		b, ok := e.(*verilog.Binary)
+		if !ok || !compareOps[b.Op] {
+			return
+		}
+		lit, litSide, other := literalOperand(b)
+		if other == nil {
+			return
+		}
+		_, w, ok := an.evalProp(other, 0)
+		if !ok || lit.Value <= verilog.WidthMask(w) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Rule: RuleWidthTruncatingCompare,
+			Msg: fmt.Sprintf("literal %d in %q exceeds the %d-bit range of the %s operand: the comparison is constant",
+				lit.Value, verilog.ExprString(e), w, litSide),
+		})
+	})
+	return diags
+}
+
+// literalOperand returns the literal side of a binary compare (if any),
+// which side it is on, and the non-literal operand.
+func literalOperand(b *verilog.Binary) (*verilog.Number, string, verilog.Expr) {
+	if n, ok := b.X.(*verilog.Number); ok {
+		if _, alsoLit := b.Y.(*verilog.Number); !alsoLit {
+			return n, "right", b.Y
+		}
+		return nil, "", nil
+	}
+	if n, ok := b.Y.(*verilog.Number); ok {
+		return n, "left", b.X
+	}
+	return nil, "", nil
+}
+
+// walkExpr visits e and every subexpression in source order.
+func walkExpr(e verilog.Expr, visit func(verilog.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch v := e.(type) {
+	case *verilog.Unary:
+		walkExpr(v.X, visit)
+	case *verilog.Binary:
+		walkExpr(v.X, visit)
+		walkExpr(v.Y, visit)
+	case *verilog.Ternary:
+		walkExpr(v.Cond, visit)
+		walkExpr(v.Then, visit)
+		walkExpr(v.Else, visit)
+	case *verilog.Index:
+		walkExpr(v.Base, visit)
+		walkExpr(v.Idx, visit)
+	case *verilog.PartSelect:
+		walkExpr(v.Base, visit)
+		walkExpr(v.MSB, visit)
+		walkExpr(v.LSB, visit)
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			walkExpr(p, visit)
+		}
+	case *verilog.Repl:
+		walkExpr(v.Count, visit)
+		walkExpr(v.Value, visit)
+	case *verilog.Call:
+		for _, arg := range v.Args {
+			walkExpr(arg, visit)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package assertionbench
+
+import (
+	"assertionbench/internal/sva"
+	"assertionbench/internal/vstatic"
+)
+
+// LintDiagnostic is one structured finding about an assertion: a stable
+// machine-readable rule name plus a human-readable explanation.
+type LintDiagnostic struct {
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Lint rule names, stable for machine consumption.
+const (
+	// LintParseError: the assertion does not parse as the supported SVA
+	// subset.
+	LintParseError = "parse-error"
+	// LintSemanticError: the assertion parses but does not compile
+	// against the design (unknown signal, bad width, ...).
+	LintSemanticError = vstatic.RuleSemanticError
+	// LintUnreachableWindow: the ##N delays span more than the 64-cycle
+	// evaluation horizon, so no attempt can ever complete.
+	LintUnreachableWindow = vstatic.RuleUnreachableWindow
+	// LintContradictoryAntecedent: an antecedent step is statically
+	// false; the property can only pass vacuously.
+	LintContradictoryAntecedent = vstatic.RuleContradictoryAntecedent
+	// LintTriviallyTrue: the property is statically true — it can never
+	// fail regardless of stimulus.
+	LintTriviallyTrue = vstatic.RuleTriviallyTrue
+	// LintStaticallyRefuted: a consequent step is statically false; any
+	// completed attempt violates the property.
+	LintStaticallyRefuted = vstatic.RuleStaticallyRefuted
+	// LintWidthTruncatingCompare: a literal in a comparison exceeds the
+	// other operand's bit range, folding the compare to a constant.
+	LintWidthTruncatingCompare = vstatic.RuleWidthTruncatingCompare
+	// LintConstantNetReference: the property reads a signal the design
+	// holds statically constant.
+	LintConstantNetReference = vstatic.RuleConstantNetReference
+)
+
+// LintResult is one assertion's static audit.
+type LintResult struct {
+	// Assertion is the text that was audited.
+	Assertion string `json:"assertion"`
+	// Diagnostics is empty when the assertion is clean as far as the
+	// analysis can see.
+	Diagnostics []LintDiagnostic `json:"diagnostics,omitempty"`
+}
+
+// Clean reports whether the audit found nothing to flag.
+func (r LintResult) Clean() bool { return len(r.Diagnostics) == 0 }
+
+// Lint statically audits candidate assertions against a design given as
+// Verilog source, without running any state-space search: the design's
+// abstract fixpoint (the same analysis the FPV engine's static
+// pre-verification uses) flags contradictory antecedents, trivially true
+// or statically refuted properties, width-truncating comparisons,
+// references to constant nets, and windows beyond the evaluation
+// horizon. One result per input assertion, in order.
+func Lint(designSource string, assertions []string) ([]LintResult, error) {
+	nl, err := elaborateSource(designSource)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LintResult, 0, len(assertions))
+	for _, text := range assertions {
+		res := LintResult{Assertion: text}
+		a, err := sva.Parse(text)
+		if err != nil {
+			res.Diagnostics = []LintDiagnostic{{Rule: LintParseError, Msg: err.Error()}}
+			out = append(out, res)
+			continue
+		}
+		for _, d := range vstatic.Lint(nl, a) {
+			res.Diagnostics = append(res.Diagnostics, LintDiagnostic{Rule: d.Rule, Msg: d.Msg})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -49,6 +49,10 @@ type Metrics struct {
 	NPass  int `json:"n_pass"`
 	NCEX   int `json:"n_cex"`
 	NError int `json:"n_error"`
+	// NStatic counts verdicts discharged by the static pre-verification
+	// pass without any state-space search — an overlay on the other
+	// counters, not a fourth class.
+	NStatic int `json:"n_static"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
@@ -74,6 +78,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.NPass += o.NPass
 	m.NCEX += o.NCEX
 	m.NError += o.NError
+	m.NStatic += o.NStatic
 }
 
 // Total is the number of classified assertions.
@@ -87,6 +92,10 @@ func (m Metrics) CEX() float64 { return eval.Metrics(m).CEX() }
 
 // Error is the fraction of syntactically/semantically broken assertions.
 func (m Metrics) Error() float64 { return eval.Metrics(m).Error() }
+
+// Static is the fraction of verdicts discharged by the static
+// pre-verification pass.
+func (m Metrics) Static() float64 { return eval.Metrics(m).Static() }
 
 func (m Metrics) String() string { return eval.Metrics(m).String() }
 
@@ -102,6 +111,9 @@ type DesignOutcome struct {
 	Generated []string
 	Corrected []string
 	Verdicts  []Verdict
+	// StaticDischarged counts this design's verdicts decided by the
+	// static pre-verification pass without any state-space search.
+	StaticDischarged int
 	// Channel bookkeeping from the generator (for ablation analysis).
 	OffTask  int
 	Grounded int
@@ -113,17 +125,19 @@ func (o DesignOutcome) Metrics() Metrics {
 	for _, v := range o.Verdicts {
 		m.Add(v.internal())
 	}
+	m.NStatic = o.StaticDischarged
 	return Metrics(m)
 }
 
 func newDesignOutcome(o eval.DesignOutcome) DesignOutcome {
 	out := DesignOutcome{
-		Index:     o.Index,
-		Design:    o.Design,
-		Generated: o.Generated,
-		Corrected: o.Corrected,
-		OffTask:   o.OffTask,
-		Grounded:  o.Grounded,
+		Index:            o.Index,
+		Design:           o.Design,
+		Generated:        o.Generated,
+		Corrected:        o.Corrected,
+		StaticDischarged: o.StaticDischarged,
+		OffTask:          o.OffTask,
+		Grounded:         o.Grounded,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]Verdict, len(o.Verdicts))
@@ -136,12 +150,13 @@ func newDesignOutcome(o eval.DesignOutcome) DesignOutcome {
 
 func (o DesignOutcome) internal() eval.DesignOutcome {
 	out := eval.DesignOutcome{
-		Index:     o.Index,
-		Design:    o.Design,
-		Generated: o.Generated,
-		Corrected: o.Corrected,
-		OffTask:   o.OffTask,
-		Grounded:  o.Grounded,
+		Index:            o.Index,
+		Design:           o.Design,
+		Generated:        o.Generated,
+		Corrected:        o.Corrected,
+		StaticDischarged: o.StaticDischarged,
+		OffTask:          o.OffTask,
+		Grounded:         o.Grounded,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]eval.Verdict, len(o.Verdicts))

@@ -49,6 +49,11 @@ type RunOptions struct {
 	// Verdicts are identical either way. Overrides Verify.Slices when
 	// non-empty.
 	Slices string
+	// Static selects the abstract-interpretation pre-verification pass
+	// (StaticAuto, default) or skips it (StaticOff, the pure-search
+	// reference path). Verdicts agree semantically either way. Overrides
+	// Verify.Static when non-empty.
+	Static string
 	// Verify bounds the built-in FPV verifier; zero fields select the
 	// evaluation-grade budget.
 	Verify VerifyOptions
@@ -80,6 +85,9 @@ func (o RunOptions) internal() eval.RunOptions {
 	}
 	if o.Slices != "" {
 		opt.FPV.Slices = o.Slices
+	}
+	if o.Static != "" {
+		opt.FPV.Static = o.Static
 	}
 	if o.Verifier != nil {
 		a := verifierAdapter{v: o.Verifier}

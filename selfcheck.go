@@ -54,6 +54,12 @@ type SelfCheckReport struct {
 	// SlicedChecks counts bit-sliced-vs-scalar FPV result comparisons
 	// (the 64-way bounded exploration against the scalar loops).
 	SlicedChecks int
+	// StaticChecks counts static-pass-vs-pure-search FPV comparisons (the
+	// abstract-interpretation pre-verification against the search with the
+	// pass disabled); StaticDischarged counts how many of those the static
+	// side settled without any search.
+	StaticChecks     int
+	StaticDischarged int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -63,7 +69,7 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through seven
+// well-formed designs and SVA properties are cross-checked through eight
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
@@ -76,8 +82,12 @@ func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 // counter-example replay), semantic agreement of cone-of-influence-
 // reduced FPV with the full-design search (exhaustive verdicts coincide,
 // bounded findings never contradict them, counter-examples from either
-// side replay on the full design), and bit-identical agreement of the
-// 64-way bit-sliced bounded exploration with the scalar reference loops.
+// side replay on the full design), bit-identical agreement of the
+// 64-way bit-sliced bounded exploration with the scalar reference loops,
+// and semantic agreement of the static pre-verification pass (abstract-
+// interpretation discharge plus constant-swept cones) with the
+// pure-search reference, statically fabricated counter-examples replayed
+// like searched ones.
 // The returned error covers harness failures (cancellation, dump I/O)
 // only; oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
@@ -97,16 +107,18 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 	}
 	rep, err := dverify.Run(ctx, iopt)
 	out := SelfCheckReport{
-		Scenarios:       rep.Scenarios,
-		Properties:      rep.Properties,
-		Exhaustive:      rep.Exhaustive,
-		CEXs:            rep.CEXs,
-		Verdicts:        rep.RefStatus,
-		DeterminismRuns: rep.DeterminismRuns,
-		BackendChecks:   rep.BackendChecks,
-		BatchChecks:     rep.BatchChecks,
-		ConeChecks:      rep.ConeChecks,
-		SlicedChecks:    rep.SlicedChecks,
+		Scenarios:        rep.Scenarios,
+		Properties:       rep.Properties,
+		Exhaustive:       rep.Exhaustive,
+		CEXs:             rep.CEXs,
+		Verdicts:         rep.RefStatus,
+		DeterminismRuns:  rep.DeterminismRuns,
+		BackendChecks:    rep.BackendChecks,
+		BatchChecks:      rep.BatchChecks,
+		ConeChecks:       rep.ConeChecks,
+		SlicedChecks:     rep.SlicedChecks,
+		StaticChecks:     rep.StaticChecks,
+		StaticDischarged: rep.StaticDischarged,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

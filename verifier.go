@@ -116,6 +116,9 @@ type VerifyResult struct {
 	// deepest cycle reached.
 	States int
 	Depth  int
+	// Static reports that the verdict came from the static
+	// pre-verification pass without any state-space search.
+	Static bool
 }
 
 func newVerifyResult(nl *verilog.Netlist, assertion string, r fpv.Result) VerifyResult {
@@ -127,6 +130,7 @@ func newVerifyResult(nl *verilog.Netlist, assertion string, r fpv.Result) Verify
 		Exhaustive: r.Exhaustive,
 		States:     r.States,
 		Depth:      r.Depth,
+		Static:     r.Static,
 	}
 	if r.CEX != nil {
 		out.CEX = &Counterexample{nl: nl, cex: r.CEX}
@@ -142,6 +146,7 @@ func (r VerifyResult) internal() fpv.Result {
 		Exhaustive: r.Exhaustive,
 		States:     r.States,
 		Depth:      r.Depth,
+		Static:     r.Static,
 	}
 	if r.CEX != nil {
 		out.CEX = r.CEX.cex
@@ -190,6 +195,13 @@ type VerifyOptions struct {
 	// supports it, SlicesOff forces the scalar reference loops. Verdicts
 	// are bit-identical either way.
 	Slices string
+	// Static selects the abstract-interpretation pre-verification pass:
+	// StaticAuto (default) classifies each property against the design's
+	// ternary-lattice fixpoint before any search, discharging statically
+	// decided properties without exploring a state and sharpening cone
+	// reduction with proven-constant nets; StaticOff skips the pass.
+	// Verdicts agree semantically either way.
+	Static string
 }
 
 // Execution backends for VerifyOptions.Backend / RunOptions.Backend.
@@ -214,6 +226,13 @@ const (
 const (
 	SlicesAuto = "auto"
 	SlicesOff  = "off"
+)
+
+// Static pre-verification modes for VerifyOptions.Static /
+// RunOptions.Static.
+const (
+	StaticAuto = "auto"
+	StaticOff  = "off"
 )
 
 func (o VerifyOptions) internal() fpv.Options {
@@ -339,6 +358,10 @@ func VerifyAssertions(ctx context.Context, designSource string, assertions []str
 	if !fpv.ValidSlices(opt.Slices) {
 		return nil, fmt.Errorf("assertionbench: unknown slices mode %q (want %q or %q)",
 			opt.Slices, SlicesAuto, SlicesOff)
+	}
+	if !fpv.ValidStatic(opt.Static) {
+		return nil, fmt.Errorf("assertionbench: unknown static mode %q (want %q or %q)",
+			opt.Static, StaticAuto, StaticOff)
 	}
 	nl, err := elaborateSource(designSource)
 	if err != nil {
