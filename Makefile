@@ -52,12 +52,13 @@ apicheck:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Static-vs-search, cone+sliced vs legacy, batched-vs-per-property and
-# interp-vs-compiled measurements (sim ns/cycle, the FPV-bound
-# full-corpus verification pass cold and warm with static and
-# cone/sliced attribution, end-to-end eval wall time), written to the
-# checked-in BENCH_pr7.json. QUICK=1 selects CI smoke sizes. The
-# baseline is BENCH_pr6.json's batched cold fpv pass on the same host
-# (see EXPERIMENTS.md).
+# Disk-warm-vs-cold persistent store, static-vs-search, cone+sliced vs
+# legacy, batched-vs-per-property and interp-vs-compiled measurements
+# (sim ns/cycle, the FPV-bound full-corpus verification pass cold and
+# warm with static and cone/sliced attribution plus the artifact-store
+# disk columns, end-to-end eval wall time), written to the checked-in
+# BENCH_pr8.json. QUICK=1 selects CI smoke sizes. The baseline is
+# BENCH_pr7.json's batched cold fpv pass on the same host (see
+# EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 186.21 -out BENCH_pr7.json
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 153.78 -out BENCH_pr8.json

@@ -12,6 +12,7 @@
 //	abench -stream              # print outcomes as designs complete
 //	abench -workers 8           # evaluation worker-pool size
 //	abench -shard 1/4           # evaluate the 2nd of 4 corpus shards
+//	abench -cache-dir /var/abench-cache  # persistent artifact store: start warm
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs and reachability graphs are read from and written to it, so repeated invocations start warm (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,6 +80,7 @@ func main() {
 				Seed:         *seed,
 				UseCorrector: true,
 				Workers:      *workers,
+				CacheDir:     *cacheDir,
 				ShardIndex:   shardIndex,
 				ShardCount:   shardCount,
 				Backend:      *backend,

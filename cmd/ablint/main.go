@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -34,40 +35,21 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Print("usage: ablint [-f assertions.sva] [-json] design.v [assertion ...]")
-		os.Exit(2)
+		cliutil.Usage("usage: ablint [-f assertions.sva] [-json] design.v [assertion ...]")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Print(err)
-		os.Exit(2)
-	}
-	assertions := flag.Args()[1:]
-	if *file != "" {
-		text, err := os.ReadFile(*file)
-		if err != nil {
-			log.Print(err)
-			os.Exit(2)
-		}
-		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
-	}
-	if len(assertions) == 0 {
-		log.Print("no assertions given")
-		os.Exit(2)
-	}
+	src := cliutil.ReadFile(flag.Arg(0))
+	assertions := cliutil.Assertions(*file, flag.Args()[1:])
 
 	results, err := assertionbench.Lint(string(src), assertions)
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		cliutil.Fatal(err)
 	}
 	flagged := 0
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			log.Print(err)
-			os.Exit(2)
+			cliutil.Fatal(err)
 		}
 		for _, r := range results {
 			if !r.Clean() {

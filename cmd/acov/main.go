@@ -6,6 +6,8 @@
 //
 //	acov design.v 'rst == 1 |=> count == 0' ...
 //	acov -f assertions.sva [-verified] design.v
+//
+// Exit status is 0 on success, 2 on usage or design errors.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -28,23 +31,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace seed")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: acov [-f assertions.sva] [-verified] design.v [assertion ...]")
+		cliutil.Usage("usage: acov [-f assertions.sva] [-verified] design.v [assertion ...]")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	assertions := flag.Args()[1:]
-	if *file != "" {
-		text, err := os.ReadFile(*file)
-		if err != nil {
-			log.Fatal(err)
-		}
-		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
-	}
-	if len(assertions) == 0 {
-		log.Fatal("no assertions given")
-	}
+	src := cliutil.ReadFile(flag.Arg(0))
+	assertions := cliutil.Assertions(*file, flag.Args()[1:])
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -54,7 +44,7 @@ func main() {
 		VerifiedOnly: *verified,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	fmt.Println(rep)
 	fmt.Printf("covered signals: %v\n", rep.CoveredSignals)

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	assertgen -model gpt4o -shots 5 [-seed N] [-raw] design.v
+//
+// Exit status is 0 on success, 2 on usage or design errors.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -28,15 +31,12 @@ func main() {
 	raw := flag.Bool("raw", false, "print the uncorrected candidate lines")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: assertgen [-model M] [-shots K] design.v")
+		cliutil.Usage("usage: assertgen [-model M] [-shots K] design.v")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
+	src := cliutil.ReadFile(flag.Arg(0))
 	p, err := assertionbench.ProfileByName(*model)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -44,11 +44,11 @@ func main() {
 
 	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	gen, err := b.GenerateAssertions(ctx, assertionbench.NewModelGenerator(p), string(src), *shots, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	lines := gen.Assertions
 	if !*raw {

@@ -7,6 +7,10 @@
 //	fpv design.v 'req == 1 |-> gnt == 1' ...
 //	fpv -f assertions.sva design.v
 //	fpv -cex design.v 'en == 1 |=> count == 0'
+//	fpv -cache-dir ~/.cache/abench design.v 'rst |=> count == 0'
+//
+// Exit status is 0 when every assertion proves, 1 when any assertion is
+// refuted or errors, 2 on usage or design errors.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -34,24 +39,17 @@ func main() {
 	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs and reachability graphs are read from and written to it, so repeated invocations start warm (empty = off)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: fpv [-f assertions.sva] [-cex] design.v [assertion ...]")
+		cliutil.Usage("usage: fpv [-f assertions.sva] [-cex] [-cache-dir DIR] design.v [assertion ...]")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	assertions := flag.Args()[1:]
-	if *file != "" {
-		text, err := os.ReadFile(*file)
-		if err != nil {
-			log.Fatal(err)
+	src := cliutil.ReadFile(flag.Arg(0))
+	assertions := cliutil.Assertions(*file, flag.Args()[1:])
+	if *cacheDir != "" {
+		if err := assertionbench.SetCacheDir(*cacheDir); err != nil {
+			cliutil.Fatal(err)
 		}
-		assertions = append(assertions, assertionbench.SplitAssertions(string(text))...)
-	}
-	if len(assertions) == 0 {
-		log.Fatal("no assertions given")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,7 +61,7 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))
 		}
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	pass, cex, errs := 0, 0, 0
 	for _, r := range results {
@@ -89,13 +87,13 @@ func main() {
 		if *vcd != "" && r.CEX != nil {
 			f, err := os.Create(*vcd)
 			if err != nil {
-				log.Fatal(err)
+				cliutil.Fatal(err)
 			}
 			if err := r.CEX.WriteVCD(f); err != nil {
-				log.Fatal(err)
+				cliutil.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				cliutil.Fatal(err)
 			}
 			fmt.Printf("wrote counter-example waveform to %s\n", *vcd)
 			*vcd = "" // only the first CEX

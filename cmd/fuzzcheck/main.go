@@ -1,11 +1,13 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// eight oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
+// nine oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
 // with counter-example replay, sequential/parallel/sharded stream
 // determinism, compiled-vs-interpreted backend identity,
 // batched-vs-per-property FPV identity, cone-reduced-vs-full-design
-// semantic agreement, bit-sliced-vs-scalar FPV identity, and
-// static-pass-vs-pure-search semantic agreement). A clean
+// semantic agreement, bit-sliced-vs-scalar FPV identity,
+// static-pass-vs-pure-search semantic agreement, and
+// disk-served-vs-store-free FPV identity through the persistent
+// artifact store). A clean
 // exit means every generated scenario agreed AND every oracle actually
 // ran — an oracle that checked nothing is reported and fails the run,
 // so a refactor cannot silently disconnect a cross-check;
@@ -73,6 +75,8 @@ func main() {
 	fmt.Printf("sliced checks:    %d (64-way bit-sliced vs scalar)\n", report.SlicedChecks)
 	fmt.Printf("static checks:    %d (static pass vs pure search, %d discharged without search)\n",
 		report.StaticChecks, report.StaticDischarged)
+	fmt.Printf("store checks:     %d (disk-served vs store-free, %d blobs served from disk)\n",
+		report.StoreChecks, report.StoreLoads)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
 	// A silent zero is as bad as a disagreement: it means an oracle was
 	// disconnected, not that the code under test is healthy.
@@ -87,6 +91,8 @@ func main() {
 		{"cone", report.ConeChecks},
 		{"sliced", report.SlicedChecks},
 		{"static", report.StaticChecks},
+		{"store", report.StoreChecks},
+		{"store disk loads", report.StoreLoads},
 		{"determinism", report.DeterminismRuns},
 	} {
 		if o.n == 0 {

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mine [-miner goldmine|harm|security|both] [-max N] design.v
+//
+// Exit status is 0 on success, 2 on usage or design errors.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -29,12 +32,9 @@ func main() {
 	lockedVal := flag.Uint64("locked", 1, "guard value meaning 'locked' for -taint")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: mine [-miner M] design.v")
+		cliutil.Usage("usage: mine [-miner M] design.v")
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
+	src := cliutil.ReadFile(flag.Arg(0))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -42,7 +42,7 @@ func main() {
 	if *taintGuard != "" {
 		leaks, err := assertionbench.TaintCheck(ctx, string(src), *taintGuard, *lockedVal, 32, 48, *seed)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal(err)
 		}
 		if len(leaks) == 0 {
 			fmt.Println("no information-flow violations found")
@@ -58,7 +58,7 @@ func main() {
 		MaxAssertions: *max,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	for _, m := range mined {
 		fmt.Printf("rank=%.4f support=%-4d cx=%-3d %s  [%s]\n",

@@ -24,6 +24,7 @@
 //	perfbench -quick -min-batch-speedup 1.0   # CI smoke + regression gate
 //	perfbench -quick -min-coi-speedup 1.0     # cone+sliced regression gate
 //	perfbench -quick -min-static-speedup 1.0  # static pass no-regression gate
+//	perfbench -quick -min-disk-speedup 1.0    # persistent-store warm-start gate
 package main
 
 import (
@@ -39,6 +40,7 @@ import (
 	"sort"
 	"time"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/bench"
 	"assertionbench/internal/corrector"
 	"assertionbench/internal/eval"
@@ -101,6 +103,16 @@ type fpvSection struct {
 	StaticDischarged int     `json:"static_discharged"`
 	StaticSpeedup    float64 `json:"static_speedup"`
 	StaticAnalysisMs float64 `json:"static_analysis_ms"`
+	// Persistent artifact-store columns: DiskColdMs runs the production
+	// batched pass through a fresh memory cache over an empty store
+	// directory (every graph is built inside the timed region and written
+	// behind to disk); DiskWarmMs runs it through another fresh memory
+	// cache over the populated store, so every graph it serves is a disk
+	// read — the "new process, warm disk" start -cache-dir exists for.
+	// DiskSpeedup is cold/warm.
+	DiskColdMs  float64 `json:"disk_cold_ms"`
+	DiskWarmMs  float64 `json:"disk_warm_ms"`
+	DiskSpeedup float64 `json:"disk_speedup"`
 	// Optional externally measured baseline of the same pass on the
 	// previous PR's engine (see -baseline-ms and EXPERIMENTS.md);
 	// SpeedupVsBaseline compares it to the batched cold pass.
@@ -151,9 +163,11 @@ func main() {
 	minCoiSpeedup := flag.Float64("min-coi-speedup", 0, "exit non-zero if the cone+sliced fpv pass is below this speedup vs the legacy full-design scalar pass (CI regression gate; 0 disables)")
 	minStaticSpeedup := flag.Float64("min-static-speedup", 0, "exit non-zero if the production pass with the static pre-verification pass is below this speedup vs the same pass with it disabled (CI no-regression gate; 0 disables)")
 	minStaticDischarged := flag.Float64("min-static-discharged", 0, "exit non-zero if fewer than this fraction of corpus properties discharge statically (0 disables)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory for the disk warm-start columns (default: a private temp dir, removed on exit)")
+	minDiskSpeedup := flag.Float64("min-disk-speedup", 0, "exit non-zero if the disk-warm fpv pass is below this speedup vs the disk-cold pass (CI warm-start gate; 0 disables)")
 	flag.Parse()
 
-	rep := report{Description: "static pre-verification (abstract-interpretation discharge) vs pure search, cone-of-influence reduction and 64-way bit-sliced exploration vs the full-design scalar engine, batched FPV vs per-property search, compiled backend vs interpreter (PR 7)", Quick: *quick}
+	rep := report{Description: "persistent artifact store (disk-warm vs disk-cold FPV), static pre-verification vs pure search, cone-of-influence reduction and 64-way bit-sliced exploration vs the full-design scalar engine, batched FPV vs per-property search, compiled backend vs interpreter (PR 8)", Quick: *quick}
 	rep.Host.GoOS, rep.Host.GoArch, rep.Host.NumCPU = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 
 	corpus := bench.TestCorpus()
@@ -283,6 +297,42 @@ func main() {
 		}
 		return time.Since(start)
 	}
+	// The disk-tier pass: a fresh engine and a fresh memory cache per
+	// repetition simulate a new process attaching -cache-dir. A cold
+	// repetition starts from an empty store directory and writes every
+	// exploration behind; a warm one reads every graph back from disk.
+	diskDir := *cacheDir
+	if diskDir == "" {
+		d, err := os.MkdirTemp("", "perfbench-store-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		diskDir = d
+	}
+	diskRun := func(warm bool) time.Duration {
+		if !warm {
+			if err := os.RemoveAll(diskDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		store, err := astore.Open(diskDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng := fpv.NewEngine()
+		cache := &fpv.GraphCache{}
+		cache.SetDisk(store)
+		eng.Graphs = cache
+		opt := fpv.Options{MaxProductStates: 3000, MaxInputBits: 8, MaxInputSamples: 12,
+			RandomRuns: 128, RandomDepth: 64, Seed: *seed, Backend: fpv.BackendCompiled}
+		start := time.Now()
+		for _, j := range jobs {
+			nl, _ := bench.Elaborate(j.d)
+			eng.VerifyAll(context.Background(), nl, j.lines, opt)
+		}
+		return time.Since(start)
+	}
 	// The ternary fixpoint alone, forced cold per design (vstatic.For
 	// memoizes on the interned netlist, so time the unmemoized entry).
 	staticAnalysisRun := func() time.Duration {
@@ -302,6 +352,7 @@ func main() {
 	bDur, wDur := time.Duration(1<<62), time.Duration(1<<62)
 	lgDur, coDur, soDur := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
 	sfDur, saDur := time.Duration(1<<62), time.Duration(1<<62)
+	dcDur, dwDur := time.Duration(1<<62), time.Duration(1<<62)
 	for r := 0; r < 7; r++ {
 		iDur = min(iDur, verifyRun(fpv.BackendInterp))
 		cDur = min(cDur, verifyRun(fpv.BackendCompiled))
@@ -312,6 +363,8 @@ func main() {
 		bDur = min(bDur, batchRun(false, fpv.ConeAuto, fpv.SlicesAuto, fpv.StaticAuto, perDesign))
 		wDur = min(wDur, batchRun(true, fpv.ConeAuto, fpv.SlicesAuto, fpv.StaticAuto, nil))
 		saDur = min(saDur, staticAnalysisRun())
+		dcDur = min(dcDur, diskRun(false))
+		dwDur = min(dwDur, diskRun(true))
 	}
 	sortedPD := append([]time.Duration(nil), perDesign...)
 	sort.Slice(sortedPD, func(i, j int) bool { return sortedPD[i] < sortedPD[j] })
@@ -337,6 +390,9 @@ func main() {
 		StaticDischarged:       staticDischarged,
 		StaticSpeedup:          round2(float64(sfDur) / float64(bDur)),
 		StaticAnalysisMs:       ms(saDur),
+		DiskColdMs:             ms(dcDur),
+		DiskWarmMs:             ms(dwDur),
+		DiskSpeedup:            round2(float64(dcDur) / float64(dwDur)),
 	}
 	if *baselineMs > 0 {
 		rep.FPV.BaselineMs = *baselineMs
@@ -349,6 +405,8 @@ func main() {
 		ms(lgDur), ms(coDur), ms(soDur), ms(bDur), float64(lgDur)/float64(bDur), ms(p95))
 	log.Printf("fpv  static: %d/%d discharged without search, off %.0f ms vs auto %.0f ms (%.2fx), fixpoint %.2f ms",
 		staticDischarged, verdicts, ms(sfDur), ms(bDur), float64(sfDur)/float64(bDur), ms(saDur))
+	log.Printf("fpv  store: disk-cold %.0f ms vs disk-warm %.0f ms (%.2fx) over %s",
+		ms(dcDur), ms(dwDur), float64(dcDur)/float64(dwDur), diskDir)
 
 	// --- end-to-end evaluation pass (generation + correction + FPV). ---
 	evalRun := func(backend, batch string, workers int) (time.Duration, int) {
@@ -426,6 +484,10 @@ func main() {
 	if *minStaticDischarged > 0 && float64(rep.FPV.StaticDischarged) < *minStaticDischarged*float64(rep.FPV.Verdicts) {
 		log.Fatalf("static discharge rate too low: %d of %d properties (want >= %.0f%%)",
 			rep.FPV.StaticDischarged, rep.FPV.Verdicts, *minStaticDischarged*100)
+	}
+	if *minDiskSpeedup > 0 && rep.FPV.DiskSpeedup < *minDiskSpeedup {
+		log.Fatalf("persistent-store warm start regressed: %.2fx vs disk-cold, want >= %.2fx",
+			rep.FPV.DiskSpeedup, *minDiskSpeedup)
 	}
 }
 

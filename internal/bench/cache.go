@@ -3,10 +3,10 @@ package bench
 import (
 	"crypto/sha256"
 	"fmt"
-	"strconv"
 	"strings"
 	"sync"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/verilog"
 )
@@ -19,9 +19,21 @@ import (
 // elaboration, so sharing one across goroutines is safe (simulators and
 // FPV engines keep their own value environments).
 //
+// With a cache directory attached (SetCacheDir), the cache gains a
+// persistent tier: compiled programs are loaded from (and written to)
+// an on-disk artifact store instead of recompiled, and the graph cache
+// gets the same treatment, so a fresh process starts warm.
+//
 // The zero value is ready to use.
 type ElabCache struct {
-	m sync.Map // cache key -> *elabEntry
+	mu sync.Mutex
+	m  map[string]*elabEntry
+	// gen counts Purges. Entries record the generation they were
+	// registered under; Elaborate uses it to detect a purge that raced
+	// an in-flight elaboration (see the re-registration step there).
+	gen uint64
+	// disk, when set, is the persistent program tier.
+	disk *astore.Store
 	// graphs caches FPV reachability graphs next to the compiled
 	// programs, under fpv.GraphCache's memory bound. Graphs are keyed by
 	// netlist pointer, so a design whose source hash changes elaborates
@@ -33,7 +45,13 @@ type ElabCache struct {
 // pooled FPV engines (fpv.Engine.Graphs).
 func (c *ElabCache) Graphs() *fpv.GraphCache { return &c.graphs }
 
+// elaborateSource is a seam for the purge-race test: swapping it lets a
+// test hold an elaboration in flight while Purge runs. Production code
+// never changes it.
+var elaborateSource = verilog.ElaborateSource
+
 type elabEntry struct {
+	gen  uint64
 	once sync.Once
 	nl   *verilog.Netlist
 	err  error
@@ -46,34 +64,133 @@ func cacheKey(name, source string) string {
 	return fmt.Sprintf("%s\x00%x", name, sha256.Sum256([]byte(source)))
 }
 
+// SetCacheDir attaches the persistent artifact store at dir as the
+// read-through/write-behind tier below this cache and its graph cache
+// ("" detaches both). Entries already elaborated keep the programs
+// they have; the tier applies to subsequent work.
+func (c *ElabCache) SetCacheDir(dir string) error {
+	var s *astore.Store
+	if dir != "" {
+		var err error
+		if s, err = astore.Open(dir); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.disk = s
+	c.mu.Unlock()
+	c.graphs.SetDisk(s)
+	return nil
+}
+
 // Elaborate returns the design's netlist, elaborating on first use. The
-// compiled execution program is lowered here too (cached on the netlist),
-// so per-design compilation happens once per process no matter how many
-// workers or runs request the design.
+// compiled execution program is attached here too — decoded from the
+// persistent tier when one is attached and holds a good blob, lowered
+// and written behind otherwise — so per-design compilation happens once
+// per process (and, with a cache directory, once per source change
+// across processes) no matter how many workers or runs request the
+// design.
 func (c *ElabCache) Elaborate(d Design) (*verilog.Netlist, error) {
-	v, _ := c.m.LoadOrStore(cacheKey(d.Name, d.Source), &elabEntry{})
-	e := v.(*elabEntry)
-	e.once.Do(func() {
-		e.nl, e.err = verilog.ElaborateSource(d.Source, d.Name)
+	key := cacheKey(d.Name, d.Source)
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		if c.m == nil {
+			c.m = make(map[string]*elabEntry)
+		}
+		e = &elabEntry{gen: c.gen}
+		c.m[key] = e
+	}
+	disk := c.disk
+	c.mu.Unlock()
+
+	e.once.Do(func() { c.elaborate(e, d, disk) })
+
+	// A Purge may have raced the elaboration: it dropped e from the map
+	// and purged the graph cache, but this goroutine still holds e. Two
+	// hazards follow. If the slot stayed empty, a later Elaborate would
+	// mint a second netlist for the same source while our caller keeps
+	// using e.nl — graphs the caller publishes under e.nl's pointer key
+	// would then be unreachable dead weight. So re-register the finished
+	// entry, keeping e.nl canonical. If instead a post-purge Elaborate
+	// already won the slot, converge on the winner so every caller
+	// shares one netlist pointer (its Do blocks until the winning
+	// elaboration finishes and runs nothing on a completed entry).
+	c.mu.Lock()
+	cur := c.m[key]
+	if cur == nil {
+		if c.m == nil {
+			c.m = make(map[string]*elabEntry)
+		}
+		e.gen = c.gen
+		c.m[key] = e
+		cur = e
+	}
+	c.mu.Unlock()
+	if cur != e {
+		cur.once.Do(func() {})
+		return cur.nl, cur.err
+	}
+	return e.nl, e.err
+}
+
+// elaborate fills e: parse + elaborate, then attach the compiled
+// program — from the persistent tier when possible, compiling (and
+// writing behind) otherwise. A blob that fails verification, decoding
+// or shape validation is simply recompiled; the write-behind replaces
+// it.
+func (c *ElabCache) elaborate(e *elabEntry, d Design, disk *astore.Store) {
+	e.nl, e.err = elaborateSource(d.Source, d.Name)
+	if e.err != nil || disk == nil {
 		if e.err == nil {
 			e.nl.Program()
 		}
-	})
-	return e.nl, e.err
+		return
+	}
+	key := progDiskKey(d.Name, d.Source)
+	if blob, ok := disk.Get(astore.KindProgram, key); ok {
+		if p, err := verilog.DecodeProgram(blob); err == nil && e.nl.AdoptProgram(p) {
+			return
+		}
+	}
+	_ = disk.Put(astore.KindProgram, key, verilog.EncodeProgram(e.nl.Program()))
+}
+
+// progDiskKey is the persistent-tier key for a design's compiled
+// program: the same (name, source hash) pair cacheKey uses. Backend,
+// cone and slicing options don't enter the key because none of them
+// change the compiled program; codec versioning is the payload's job
+// (DecodeProgram rejects stale layouts).
+func progDiskKey(name, source string) string {
+	return fmt.Sprintf("p\x00%s\x00%x", name, sha256.Sum256([]byte(source)))
 }
 
 // Len reports how many designs the cache holds (including failed
 // elaborations, which are cached too).
 func (c *ElabCache) Len() int {
-	n := 0
-	c.m.Range(func(_, _ any) bool { n++; return true })
-	return n
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
-// Purge empties the cache, including its reachability graphs.
+// Purge empties the cache, including its reachability graphs, in one
+// generation step. The persistent tier (SetCacheDir) is deliberately
+// not cleared: purging frees memory; the disk store exists to survive
+// exactly this.
 func (c *ElabCache) Purge() {
-	c.m.Range(func(k, _ any) bool { c.m.Delete(k); return true })
+	c.mu.Lock()
+	c.gen++
+	c.m = nil
+	c.mu.Unlock()
 	c.graphs.Purge()
+}
+
+// generation reports the purge count (test hook for the purge-race
+// regression tests).
+func (c *ElabCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // DefaultElab is the process-wide elaboration cache the evaluation runner
@@ -84,6 +201,12 @@ var DefaultElab ElabCache
 // Elaborate elaborates a design through the process-wide cache.
 func Elaborate(d Design) (*verilog.Netlist, error) {
 	return DefaultElab.Elaborate(d)
+}
+
+// SetCacheDir attaches the persistent artifact store at dir to the
+// process-wide cache (see ElabCache.SetCacheDir).
+func SetCacheDir(dir string) error {
+	return DefaultElab.SetCacheDir(dir)
 }
 
 // Shard returns the index-th of count contiguous, balanced corpus shards.
@@ -100,7 +223,10 @@ func Shard(designs []Design, index, count int) ([]Design, error) {
 }
 
 // ParseShard parses the "index/count" shard spec the CLIs accept for
-// their -shard flags. "" means unsharded (0, 0).
+// their -shard flags. "" means unsharded (0, 0). Both fields must be
+// plain decimal digits: strconv would also accept signed forms like
+// "+0/2" or "-0/2" (the index >= 0 check passes for -0), which are not
+// specs any shard launcher writes and would mask typos.
 func ParseShard(s string) (index, count int, err error) {
 	if s == "" {
 		return 0, 0, nil
@@ -108,15 +234,32 @@ func ParseShard(s string) (index, count int, err error) {
 	slash := strings.IndexByte(s, '/')
 	ok := slash > 0 && strings.Count(s, "/") == 1
 	if ok {
-		var ei, ec error
-		index, ei = strconv.Atoi(s[:slash])
-		count, ec = strconv.Atoi(s[slash+1:])
-		ok = ei == nil && ec == nil && count >= 1 && index >= 0 && index < count
+		var oki, okc bool
+		index, oki = parseDigits(s[:slash])
+		count, okc = parseDigits(s[slash+1:])
+		ok = oki && okc && count >= 1 && index < count
 	}
 	if !ok {
 		return 0, 0, fmt.Errorf("bench: bad shard spec %q, want index/count with 0 <= index < count", s)
 	}
 	return index, count, nil
+}
+
+// parseDigits parses a non-empty all-digit decimal string. The length
+// cap rejects values that could not be a sane shard field long before
+// int overflow becomes a concern.
+func parseDigits(s string) (int, bool) {
+	if s == "" || len(s) > 9 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, true
 }
 
 // ShardStart returns the global corpus index of shard index's first design.

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"assertionbench/internal/verilog"
+)
+
+// TestElabCachePurgeRaceReregisters pins the Purge/in-flight-Elaborate
+// contract: when a Purge lands while an elaboration is in flight, the
+// finishing Elaborate re-registers its entry, so a later Elaborate of
+// the same design shares the same netlist pointer instead of minting a
+// second one (which would strand any reachability graphs published
+// under the first pointer).
+func TestElabCachePurgeRaceReregisters(t *testing.T) {
+	orig := elaborateSource
+	defer func() { elaborateSource = orig }()
+
+	var c ElabCache
+	d := TrainDesigns()[0]
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	elaborateSource = func(src, top string) (*verilog.Netlist, error) {
+		close(inFlight)
+		<-release
+		return orig(src, top)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var raced *verilog.Netlist
+	go func() {
+		defer wg.Done()
+		raced, _ = c.Elaborate(d)
+	}()
+	<-inFlight
+	// The purge lands mid-elaboration: it must bump the generation and
+	// leave the racer to re-register when it finishes.
+	c.Purge()
+	if g := c.generation(); g != 1 {
+		t.Fatalf("generation after purge = %d, want 1", g)
+	}
+	elaborateSource = orig // later elaborations run unblocked
+	close(release)
+	wg.Wait()
+
+	if raced == nil {
+		t.Fatal("raced elaboration failed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after raced elaboration, want 1 (re-registered)", c.Len())
+	}
+	after, err := c.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != raced {
+		t.Fatal("post-purge Elaborate minted a second netlist; the raced entry was not re-registered")
+	}
+}
+
+// TestElabCachePurgeRaceConvergesOnWinner covers the other interleaving:
+// the purge lands mid-elaboration AND a fresh Elaborate completes before
+// the raced one finishes. The raced caller must converge on the winner's
+// netlist rather than re-registering its own.
+func TestElabCachePurgeRaceConvergesOnWinner(t *testing.T) {
+	orig := elaborateSource
+	defer func() { elaborateSource = orig }()
+
+	var c ElabCache
+	d := TrainDesigns()[0]
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	elaborateSource = func(src, top string) (*verilog.Netlist, error) {
+		close(inFlight)
+		<-release
+		return orig(src, top)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var raced *verilog.Netlist
+	go func() {
+		defer wg.Done()
+		raced, _ = c.Elaborate(d)
+	}()
+	<-inFlight
+	c.Purge()
+	elaborateSource = orig
+	winner, err := c.Elaborate(d) // completes while the racer is still blocked
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	wg.Wait()
+
+	if raced != winner {
+		t.Fatal("raced caller did not converge on the post-purge winner's netlist")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestElabCacheDiskTier: with a cache directory attached, a second cache
+// (a fresh process) adopts the compiled program from disk instead of
+// recompiling, and the adopted program is the decoded blob.
+func TestElabCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	d := TrainDesigns()[0]
+
+	var cold ElabCache
+	if err := cold.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	nl1, err := cold.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := nl1.Program()
+
+	var warm ElabCache
+	if err := warm.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := warm.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl2 == nl1 {
+		t.Fatal("fresh cache shared a netlist pointer; want independent elaboration")
+	}
+	p2 := nl2.Program()
+	if p2 == p1 {
+		t.Fatal("programs share a pointer across caches; want a decoded copy")
+	}
+	// The decoded program must be byte-identical to the compiled one.
+	if string(verilog.EncodeProgram(p2)) != string(verilog.EncodeProgram(p1)) {
+		t.Fatal("disk-loaded program differs from freshly compiled")
+	}
+	// A corrupted store must fall back to recompilation transparently.
+	var rebuilt ElabCache
+	if err := rebuilt.SetCacheDir(t.TempDir()); err != nil { // empty dir: all misses
+		t.Fatal(err)
+	}
+	nl3, err := rebuilt.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(verilog.EncodeProgram(nl3.Program())) != string(verilog.EncodeProgram(p1)) {
+		t.Fatal("recompiled program differs")
+	}
+	// Detaching restores the plain in-memory behaviour.
+	if err := warm.SetCacheDir(""); err != nil {
+		t.Fatal(err)
+	}
+}

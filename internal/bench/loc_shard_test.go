@@ -98,3 +98,34 @@ func TestShardBoundsDegenerate(t *testing.T) {
 		t.Error("index out of range must be rejected")
 	}
 }
+
+// TestParseShardRejectsSignedComponents pins the digit-only contract:
+// strconv.Atoi used to slip signed forms through ("+0/2", and "-0/2"
+// via the index >= 0 check holding for -0), which no shard launcher
+// writes and which would mask typos in shard specs.
+func TestParseShardRejectsSignedComponents(t *testing.T) {
+	bad := []string{
+		"+0/2", // signed zero index
+		"-0/2", // negative zero index parses to 0 and passed index >= 0
+		"+1/2", // signed index
+		"1/+2", // signed count
+		"0/+1", // signed count on the unsharded-looking spec
+		"-0/-0",
+		"+0/+2",
+		"0x1/2",        // hex-ish
+		"1_0/20",       // digit separator
+		"0/2147483648", // implausibly long count field
+	}
+	for _, in := range bad {
+		if _, _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted a signed/malformed spec", in)
+		}
+	}
+	// The unsigned forms these mutate from still parse.
+	if i, c, err := ParseShard("0/2"); err != nil || i != 0 || c != 2 {
+		t.Errorf("ParseShard(0/2) = (%d, %d, %v)", i, c, err)
+	}
+	if i, c, err := ParseShard("1/2"); err != nil || i != 1 || c != 2 {
+		t.Errorf("ParseShard(1/2) = (%d, %d, %v)", i, c, err)
+	}
+}

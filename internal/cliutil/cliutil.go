@@ -1,0 +1,70 @@
+// Package cliutil centralizes the error-path conventions the
+// repository's CLIs share. Every tool follows the same contract:
+//
+//   - Usage, flag-validation, input-reading and design errors print one
+//     "tool: message" line to stderr (through the standard logger, whose
+//     prefix each main sets) and exit with status 2, before anything is
+//     written to stdout.
+//   - Verification findings — counter-examples, lint flags — exit 1.
+//   - Success exits 0.
+//
+// Before this package each CLI hand-rolled the first bullet and they
+// had drifted: ablint exited 2 where fpv/acov/mine/assertgen exited 1
+// via log.Fatal, so scripts could not tell "you invoked me wrong" from
+// "the design has a bug". The table-driven harness in cliutil_test.go
+// pins the contract for every tool at once.
+package cliutil
+
+import (
+	"log"
+	"os"
+
+	"assertionbench"
+)
+
+// exit is a seam so unit tests can observe the status without dying.
+var exit = os.Exit
+
+// Fatal prints its arguments through the standard logger (one line on
+// stderr with the tool's prefix) and exits 2 — the shared convention
+// for usage, environment and design errors.
+func Fatal(v ...any) {
+	log.Print(v...)
+	exit(2)
+}
+
+// Fatalf is Fatal with formatting.
+func Fatalf(format string, args ...any) {
+	log.Printf(format, args...)
+	exit(2)
+}
+
+// Usage prints the tool's usage line and exits 2. It exists so grep
+// finds every usage exit through one name.
+func Usage(line string) {
+	Fatal(line)
+}
+
+// ReadFile is os.ReadFile under the shared failure convention.
+func ReadFile(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		Fatal(err)
+	}
+	return data
+}
+
+// Assertions gathers assertion texts the way every assertion-consuming
+// CLI does: positional arguments after the design file, plus the
+// optional -f file split into candidate lines. An empty result is a
+// usage error.
+func Assertions(file string, args []string) []string {
+	assertions := append([]string(nil), args...)
+	if file != "" {
+		assertions = append(assertions, assertionbench.SplitAssertions(string(ReadFile(file)))...)
+	}
+	if len(assertions) == 0 {
+		Fatal("no assertions given")
+	}
+	return assertions
+}

@@ -1,0 +1,149 @@
+package cliutil
+
+import (
+	"bytes"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureFatal runs f with the exit seam and logger redirected,
+// returning the exit status and stderr line.
+func captureFatal(t *testing.T, f func()) (status int, msg string) {
+	t.Helper()
+	origExit := exit
+	origOut := log.Writer()
+	origFlags := log.Flags()
+	origPrefix := log.Prefix()
+	defer func() {
+		exit = origExit
+		log.SetOutput(origOut)
+		log.SetFlags(origFlags)
+		log.SetPrefix(origPrefix)
+	}()
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	log.SetFlags(0)
+	log.SetPrefix("tool: ")
+	status = -1
+	exit = func(code int) {
+		status = code
+		panic("exit")
+	}
+	func() {
+		defer func() { recover() }()
+		f()
+	}()
+	return status, buf.String()
+}
+
+func TestFatalConvention(t *testing.T) {
+	status, msg := captureFatal(t, func() { Fatal("boom") })
+	if status != 2 {
+		t.Errorf("Fatal exit = %d, want 2", status)
+	}
+	if msg != "tool: boom\n" {
+		t.Errorf("Fatal stderr = %q", msg)
+	}
+	status, msg = captureFatal(t, func() { Fatalf("bad %s", "flag") })
+	if status != 2 || msg != "tool: bad flag\n" {
+		t.Errorf("Fatalf = (%d, %q)", status, msg)
+	}
+	status, msg = captureFatal(t, func() { ReadFile(filepath.Join(t.TempDir(), "absent.v")) })
+	if status != 2 || !strings.Contains(msg, "absent.v") {
+		t.Errorf("ReadFile = (%d, %q)", status, msg)
+	}
+	status, msg = captureFatal(t, func() { Assertions("", nil) })
+	if status != 2 || !strings.Contains(msg, "no assertions") {
+		t.Errorf("empty Assertions = (%d, %q)", status, msg)
+	}
+}
+
+func TestAssertionsGathering(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.sva")
+	if err := os.WriteFile(file, []byte("a |-> b\nc |=> d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := Assertions(file, []string{"x == 1"})
+	if len(got) != 3 || got[0] != "x == 1" {
+		t.Fatalf("Assertions = %q", got)
+	}
+}
+
+// TestCLIErrorPaths is the table-driven harness over the real binaries:
+// every CLI must exit 2 with a single "tool: ..." stderr line and an
+// empty stdout for usage, missing-file and bad-flag-value failures.
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binaries")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	binDir := t.TempDir()
+	tools := []string{"fpv", "ablint", "acov", "mine", "assertgen"}
+	for _, tool := range tools {
+		cmd := exec.Command(goTool, "build", "-o", filepath.Join(binDir, tool), "assertionbench/cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	missing := filepath.Join(binDir, "no-such-design.v")
+	badDesign := filepath.Join(binDir, "bad.v")
+	if err := os.WriteFile(badDesign, []byte("module m(; endmodule"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tool string
+		args []string
+	}{
+		{"fpv-no-args", "fpv", nil},
+		{"fpv-missing-design", "fpv", []string{missing, "a |-> b"}},
+		{"fpv-missing-assertion-file", "fpv", []string{"-f", missing, badDesign}},
+		{"fpv-no-assertions", "fpv", []string{badDesign}},
+		{"fpv-bad-design", "fpv", []string{badDesign, "a |-> b"}},
+		{"ablint-no-args", "ablint", nil},
+		{"ablint-missing-design", "ablint", []string{missing, "a |-> b"}},
+		{"ablint-missing-assertion-file", "ablint", []string{"-f", missing, badDesign}},
+		{"ablint-no-assertions", "ablint", []string{badDesign}},
+		{"ablint-bad-design", "ablint", []string{badDesign, "a |-> b"}},
+		{"acov-no-args", "acov", nil},
+		{"acov-missing-design", "acov", []string{missing, "a |-> b"}},
+		{"acov-no-assertions", "acov", []string{badDesign}},
+		{"acov-bad-design", "acov", []string{badDesign, "a |-> b"}},
+		{"mine-no-args", "mine", nil},
+		{"mine-missing-design", "mine", []string{missing}},
+		{"mine-bad-design", "mine", []string{badDesign}},
+		{"assertgen-no-args", "assertgen", nil},
+		{"assertgen-missing-design", "assertgen", []string{missing}},
+		{"assertgen-bad-model", "assertgen", []string{"-model", "nonesuch", badDesign}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(filepath.Join(binDir, tc.tool), tc.args...)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want a non-zero exit, got %v (stderr %q)", err, stderr.String())
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit status = %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("partial output on stdout: %q", stdout.String())
+			}
+			if !strings.HasPrefix(stderr.String(), tc.tool+": ") {
+				t.Errorf("stderr = %q, want prefix %q", stderr.String(), tc.tool+": ")
+			}
+		})
+	}
+}

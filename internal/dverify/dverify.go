@@ -2,7 +2,7 @@
 // self-check of the stack every evaluation verdict depends on. It draws
 // seeded random well-formed designs from the corpus generator families
 // (bench.FuzzSpec), seeded random SVA properties over each design's nets,
-// and cross-checks eight independent oracles:
+// and cross-checks nine independent oracles:
 //
 //  1. print/parse round-trip — every generated design must survive
 //     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
@@ -26,7 +26,11 @@
 //  8. static — FPV with the static pre-verification pass (abstract-
 //     interpretation discharge + constant-swept cones) must agree
 //     semantically with the pure-search reference, statically produced
-//     counter-examples included (OracleStatic).
+//     counter-examples included (OracleStatic);
+//  9. store — FPV served from the persistent artifact store (programs
+//     and reachability graphs round-tripped through internal/astore
+//     blobs and read back by a fresh cache) must reproduce the
+//     store-free search field for field (OracleStore).
 //
 // A disagreement is shrunk (over the design genome) to a minimal
 // reproduction and optionally dumped as a .v/.sva pair. The public facade
@@ -37,8 +41,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/bench"
 )
 
@@ -135,6 +141,17 @@ const (
 	// witnesses the static pass fabricates without any search — must
 	// replay on the simulator at the reported cycle.
 	OracleStatic Oracle = "static"
+	// OracleStore cross-checks FPV served from the persistent artifact
+	// store against a store-free reference: the compiled execution
+	// program must survive an encode/Put/Get/decode round trip byte for
+	// byte and be adopted by a fresh elaboration of the same source, and
+	// a batch verified through a cold memory cache over a populated disk
+	// store — every graph it touches a disk read — must reproduce the
+	// store-free search's results field for field, down to the CEX
+	// stimulus, with counter-examples independently replayed on the
+	// simulator. The mutation seam is astore.LoadHook: a corrupting hook
+	// behind the checksum must surface as a disagreement here.
+	OracleStore Oracle = "store"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -202,6 +219,12 @@ type Report struct {
 	// side settled without any search.
 	StaticChecks     int
 	StaticDischarged int
+	// StoreChecks counts disk-served-vs-store-free FPV comparisons
+	// (oracle 9); StoreLoads counts the blobs the warm runs actually
+	// served from disk — zero loads would mean the oracle compared two
+	// in-memory runs and proved nothing about the store.
+	StoreChecks int
+	StoreLoads  int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -210,8 +233,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d store checks (%d disk loads), %d determinism runs, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.StoreChecks, r.StoreLoads, r.DeterminismRuns, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -236,6 +259,19 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 	h := &harness{opt: opt}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	report := Report{RefStatus: map[string]int{}}
+	// Oracle 9 exercises a real on-disk store. It lives for the whole run
+	// so shrink re-checks replay against the same blobs a full-size
+	// scenario wrote.
+	storeDir, err := os.MkdirTemp("", "dverify-store-")
+	if err != nil {
+		return report, fmt.Errorf("dverify: store dir: %w", err)
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := astore.Open(storeDir)
+	if err != nil {
+		return report, fmt.Errorf("dverify: store: %w", err)
+	}
+	h.store = store
 	var corpus []bench.Design
 	for i := 0; i < opt.Scenarios; i++ {
 		if err := ctx.Err(); err != nil {
@@ -254,6 +290,8 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		report.SlicedChecks += res.sliced
 		report.StaticChecks += res.static
 		report.StaticDischarged += res.staticDischarged
+		report.StoreChecks += res.store
+		report.StoreLoads += res.storeLoads
 		for k, v := range res.refStatus {
 			report.RefStatus[k] += v
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/bench"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/sva"
@@ -359,5 +360,51 @@ func TestMutatedBatchVerifierIsCaught(t *testing.T) {
 	}
 	if caught == 0 {
 		t.Fatalf("injected batch bug was not caught by oracle 5; report: %s", report)
+	}
+}
+
+// TestCorruptedStoreBlobIsCaught: a blob-corrupting astore.LoadHook
+// (well-formed payload, silently flipped sampled support values — what
+// an undetected media error past the checksum would look like) must be
+// caught by oracle 9's comparison against the store-free reference. The
+// reference side never touches the store, so the corruption cannot
+// cancel out of the comparison.
+func TestCorruptedStoreBlobIsCaught(t *testing.T) {
+	orig := astore.LoadHook
+	defer func() { astore.LoadHook = orig }()
+	astore.LoadHook = func(kind, key string, payload []byte) []byte {
+		if kind != astore.KindGraph {
+			return payload
+		}
+		g, ht, err := fpv.DecodeGraph(payload)
+		if err != nil {
+			return payload
+		}
+		for i := range g.Rows {
+			g.Rows[i] ^= 1
+		}
+		return fpv.EncodeGraph(g, ht)
+	}
+	report, err := Run(context.Background(), Options{
+		// The corruption skews every sampled support value the warm side
+		// evaluates, so a handful of scenarios suffice for a verdict or
+		// state-count mismatch at one of the budgets.
+		Scenarios: 4, PropsPerDesign: 2, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2, SkipDeterminism: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StoreLoads == 0 {
+		t.Fatalf("no blob was served from disk, the corruption never engaged; report: %s", report)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleStore {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected store corruption was not caught by oracle 9; report: %s", report)
 	}
 }

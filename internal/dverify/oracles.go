@@ -1,10 +1,12 @@
 package dverify
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/bench"
 	"assertionbench/internal/eval"
 	"assertionbench/internal/fpv"
@@ -77,6 +79,12 @@ type harness struct {
 	coneEng, fullEng *fpv.Engine
 	slcEng, sclEng   *fpv.Engine
 	stEng, pureEng   *fpv.Engine
+	// store is the persistent artifact store oracle 9 round-trips
+	// programs and reachability graphs through (one temp-dir store per
+	// Run). The engines on either side of that comparison are built fresh
+	// per scenario: the warm side must start with an empty memory cache
+	// so every graph it serves is a disk read.
+	store *astore.Store
 }
 
 // Reference (deep) and adversary (deliberately starved) FPV budgets. The
@@ -106,6 +114,8 @@ type scenarioResult struct {
 	sliced           int
 	static           int
 	staticDischarged int
+	store            int
+	storeLoads       int
 	refStatus        map[string]int
 	disagreements    []Disagreement
 }
@@ -212,6 +222,13 @@ func (h *harness) checkScenario(ctx context.Context, spec bench.FuzzSpec, propSe
 	res.static += nStatic
 	res.staticDischarged += nDischarged
 	res.disagreements = append(res.disagreements, ds8...)
+
+	// Oracle 9: FPV served from the persistent artifact store against
+	// the store-free reference, at both budgets.
+	nStore, nLoads, ds9 := h.checkStore(ctx, nl, d.Source, d.Name, spec, cs, srcs, propSeed)
+	res.store += nStore
+	res.storeLoads += nLoads
+	res.disagreements = append(res.disagreements, ds9...)
 	return res
 }
 
@@ -492,6 +509,105 @@ func (h *harness) checkStatic(ctx context.Context, nl *verilog.Netlist, spec ben
 		}
 	}
 	return checks, discharged, ds
+}
+
+// checkStore cross-checks FPV served from the persistent artifact store
+// against a store-free reference (oracle 9). The compiled execution
+// program rides through the store first — encode, Put, Get (through the
+// astore.LoadHook mutation seam), decode, byte-stable re-encode, and
+// adoption by a fresh elaboration of the same source — then each budget
+// runs the batch three ways: a store-free reference over the original
+// netlist, a populate pass whose cache writes its exploration behind to
+// disk, and a warm pass through another empty memory cache over the same
+// store, so every graph the warm pass touches is a disk read. The warm
+// results must reproduce the reference field for field (a disk-loaded
+// graph replays the exact exploration the search would redo), and warm
+// counter-examples must independently replay on the simulator.
+func (h *harness) checkStore(ctx context.Context, nl *verilog.Netlist, src, top string, spec bench.FuzzSpec, cs []*sva.Compiled, srcs []string, seed int64) (checks, loads int, ds []Disagreement) {
+	if h.store == nil || len(cs) == 0 {
+		return 0, 0, nil
+	}
+	hits0 := h.store.Hits()
+	defer func() { loads = int(h.store.Hits() - hits0) }()
+	disagree := func(prop, detail string) {
+		ds = append(ds, Disagreement{Oracle: OracleStore, Spec: spec, Property: prop, Detail: detail})
+	}
+
+	// A fresh elaboration stands in for the "other process" that reads
+	// the blobs back: it shares no pointers with nl, only source text.
+	file2, err := verilog.Parse(src)
+	if err != nil {
+		return checks, loads, ds // oracle 1's finding, not ours
+	}
+	nl2, err := verilog.Elaborate(file2, top, nil)
+	if err != nil {
+		return checks, loads, ds
+	}
+	progKey := fmt.Sprintf("dv\x00%x", nl.ContentHash())
+	blob := verilog.EncodeProgram(nl.Program())
+	if err := h.store.Put(astore.KindProgram, progKey, blob); err != nil {
+		disagree("", fmt.Sprintf("program blob does not write to the store: %v", err))
+		return checks, loads, ds
+	}
+	if back, ok := h.store.Get(astore.KindProgram, progKey); !ok {
+		disagree("", "program blob written to the store does not read back")
+	} else if p2, err := verilog.DecodeProgram(back); err != nil {
+		disagree("", fmt.Sprintf("stored program blob does not decode: %v", err))
+	} else if re := verilog.EncodeProgram(p2); !bytes.Equal(re, blob) {
+		disagree("", "program blob is not byte-stable across a store round-trip")
+	} else if !nl2.AdoptProgram(p2) {
+		// The miss contract (discard and rebuild) covers corrupt blobs,
+		// but a healthy blob a same-source netlist rejects means the
+		// shape check or the codec is wrong.
+		disagree("", "fresh elaboration of the same source rejects the stored program")
+	}
+	cs2, _ := compileProps(nl2, srcs)
+	if len(cs2) != len(cs) {
+		disagree("", fmt.Sprintf("only %d of %d properties recompile against the fresh elaboration", len(cs2), len(cs)))
+		return checks, loads, ds
+	}
+
+	for _, label := range []struct {
+		name string
+		opt  fpv.Options
+	}{{"deep", h.exhOpt(seed)}, {"starved", h.bndOpt(seed)}} {
+		refE := fpv.NewEngine()
+		refE.Graphs = &fpv.GraphCache{}
+		ref := refE.VerifyBatch(ctx, nl, cs, label.opt)
+
+		popE := fpv.NewEngine()
+		popE.Graphs = &fpv.GraphCache{}
+		popE.Graphs.SetDisk(h.store)
+		popE.VerifyBatch(ctx, nl2, cs2, label.opt)
+
+		warmE := fpv.NewEngine()
+		warmE.Graphs = &fpv.GraphCache{}
+		warmE.Graphs.SetDisk(h.store)
+		warm := warmE.VerifyBatch(ctx, nl2, cs2, label.opt)
+		if ctx.Err() != nil {
+			return checks, loads, ds
+		}
+		for i := range cs {
+			checks++
+			if d := diffResults(warm[i], ref[i]); d != "" {
+				disagree(srcs[i], fmt.Sprintf("disk-served and store-free FPV disagree at the %s budget: %s", label.name, d))
+				continue
+			}
+			if warm[i].Status != fpv.StatusCEX {
+				continue
+			}
+			violated, cycle, attempt, err := replayViolation(nl, cs[i], warm[i].CEX.Inputs)
+			if err != nil {
+				disagree(srcs[i], fmt.Sprintf("disk-served CEX stimulus cannot be driven on the simulator (%s budget): %v", label.name, err))
+			} else if !violated {
+				disagree(srcs[i], fmt.Sprintf("disk-served CEX does not violate the monitor when replayed on the simulator (%s budget)", label.name))
+			} else if cycle != warm[i].CEX.ViolationCycle || attempt != warm[i].CEX.AttemptCycle {
+				disagree(srcs[i], fmt.Sprintf("disk-served CEX replays at cycle %d (attempt %d), engine reported cycle %d (attempt %d) (%s budget)",
+					cycle, attempt, warm[i].CEX.ViolationCycle, warm[i].CEX.AttemptCycle, label.name))
+			}
+		}
+	}
+	return checks, loads, ds
 }
 
 // roundTrip checks PrintFile -> Parse -> Elaborate netlist identity and

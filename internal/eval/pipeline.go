@@ -39,6 +39,14 @@ type RunOptions struct {
 	// the rest of the pipeline; each instance is owned by a single worker,
 	// so implementations need not be concurrency-safe.
 	NewVerifier func() Verifier
+	// CacheDir, when non-empty, attaches the persistent artifact store
+	// at that directory to the process-wide elaboration cache before the
+	// run: compiled programs and reachability graphs are read from (and
+	// written behind to) disk, so a fresh process starts warm. The
+	// attachment is process-wide and sticky — it outlives the run, and
+	// later runs without CacheDir keep using it (pass a new dir to
+	// move it; detaching mid-process is not supported through here).
+	CacheDir string
 }
 
 func (o RunOptions) withDefaults() RunOptions {

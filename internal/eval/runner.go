@@ -201,6 +201,12 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 				opt.FPV.Static, fpv.StaticAuto, fpv.StaticOff))
 			return
 		}
+		if opt.CacheDir != "" {
+			if err := bench.SetCacheDir(opt.CacheDir); err != nil {
+				yield(DesignOutcome{}, fmt.Errorf("eval: cache dir: %w", err))
+				return
+			}
+		}
 		designs := corpus
 		if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {
 			designs = designs[:opt.MaxDesigns]

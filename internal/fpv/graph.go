@@ -1,8 +1,10 @@
 package fpv
 
 import (
+	"fmt"
 	"sync"
 
+	"assertionbench/internal/astore"
 	"assertionbench/internal/verilog"
 )
 
@@ -61,7 +63,10 @@ type Graph struct {
 	EdgeOff []int32
 	// Dst[e] is edge e's destination node.
 	Dst []int32
-	// Rows holds edge e's sampled support values at [e*len(Support), ...).
+	// Rows holds one support row per representative edge, in Dedup
+	// order: dedup index ri's row lives at [ri*len(Support), ...) (see
+	// repRow and dedupEdges — duplicate edges share their class's row,
+	// so the graph never stores the duplicate bulk).
 	Rows []uint64
 	// Vecs holds edge e's input vector at [e*NumInputs, ...) for bounded
 	// graphs (nil when Enumerate).
@@ -787,6 +792,40 @@ type GraphCache struct {
 	m        map[graphKey]*graphEntry
 	head     *graphEntry // most recently used
 	tail     *graphEntry
+
+	// disk, when set, is the persistent tier: lookup falls through to
+	// it on a memory miss, and store writes every published exploration
+	// behind. See SetDisk.
+	disk *astore.Store
+}
+
+// SetDisk attaches an on-disk artifact store as a read-through /
+// write-behind tier under the memory cache (nil detaches it). Disk
+// blobs are keyed by netlist content hash rather than pointer, so
+// explorations written by one process are read back by any other
+// process elaborating the same source (see graphKey.diskKey). Blob
+// integrity and corruption fallback are the store's job; a loaded
+// graph that fails decoding or structural validation is treated as a
+// plain miss and rebuilt.
+func (c *GraphCache) SetDisk(s *astore.Store) {
+	c.mu.Lock()
+	c.disk = s
+	c.mu.Unlock()
+}
+
+// diskKey is the process-independent form of a graphKey: the netlist
+// pointer (which the elaboration cache interns per source hash, but
+// which dies with the process) is replaced by the netlist's content
+// hash, which also absorbs cone reduction — a reduced netlist hashes
+// its reduced signature. The remaining fields mirror the memory key,
+// and for the same reasons exclude search budgets (demand-driven
+// copy-on-write extension) and slice/static modes (byte-identical
+// graphs). A codec version rides in front so layout changes invalidate
+// cleanly.
+func (k graphKey) diskKey() string {
+	h := k.nl.ContentHash()
+	return fmt.Sprintf("g%d\x00%x\x00%s\x00%t\x00%d\x00%d",
+		graphioVersion, h, k.backend, k.enumerate, k.maxSamples, k.seed)
 }
 
 // SetMaxBytes sets the memory bound (0 restores DefaultGraphMemory) and
@@ -830,25 +869,60 @@ func (c *GraphCache) Purge() {
 
 // lookup returns the cached graph and hunt trace for key if the graph's
 // support union covers union; on a union miss it returns the stale
-// support set so the caller can rebuild over the merge.
+// support set so the caller can rebuild over the merge. A memory miss
+// falls through to the disk tier when one is attached: a verified,
+// decodable blob is adopted into the memory cache (so publish and
+// copy-on-write extension flows see an ordinary hit) and served.
 func (c *GraphCache) lookup(key graphKey, union []int) (*Graph, *HuntTrace, []int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	e := c.m[key]
-	if e == nil {
+	if e := c.m[key]; e != nil {
+		defer c.mu.Unlock()
+		if !subsetOf(union, e.g.Support) {
+			return nil, nil, e.g.Support
+		}
+		c.touch(e)
+		return e.g, e.hunt, nil
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk == nil {
 		return nil, nil, nil
 	}
-	if !subsetOf(union, e.g.Support) {
-		return nil, nil, e.g.Support
+	blob, ok := disk.Get(astore.KindGraph, key.diskKey())
+	if !ok {
+		return nil, nil, nil
 	}
-	c.touch(e)
-	return e.g, e.hunt, nil
+	g, ht, err := DecodeGraph(blob)
+	if err != nil {
+		// Version skew or a foreign payload behind a valid checksum:
+		// a plain miss; the rebuild's write-behind replaces the blob.
+		return nil, nil, nil
+	}
+	if !subsetOf(union, g.Support) {
+		return nil, nil, g.Support
+	}
+	c.insert(key, g, ht)
+	return g, ht, nil
 }
 
-// store inserts (or replaces) key's exploration and evicts LRU entries
-// beyond the memory bound. ht may be nil (no hunt ran yet); a hunt whose
-// budget mismatches the verifying options is the caller's to discard.
+// store publishes key's exploration to the memory cache and, when a
+// disk tier is attached, writes the blob behind (outside the lock; a
+// failed write just means the next process rebuilds). ht may be nil
+// (no hunt ran yet); a hunt whose budget mismatches the verifying
+// options is the caller's to discard.
 func (c *GraphCache) store(key graphKey, g *Graph, ht *HuntTrace) {
+	c.insert(key, g, ht)
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		_ = disk.Put(astore.KindGraph, key.diskKey(), EncodeGraph(g, ht))
+	}
+}
+
+// insert places (or replaces) key's exploration in the memory tier and
+// evicts LRU entries beyond the memory bound.
+func (c *GraphCache) insert(key graphKey, g *Graph, ht *HuntTrace) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old := c.m[key]; old != nil {

@@ -1,6 +1,7 @@
 package verilog
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
 )
@@ -369,6 +370,10 @@ type Netlist struct {
 	// one without a cycle.
 	analysisOnce sync.Once
 	analysis     any
+
+	// Content-hash memo (see ContentHash).
+	hashOnce sync.Once
+	hash     [sha256.Size]byte
 }
 
 // Analysis returns the netlist's memoized static-analysis artifact,
@@ -384,6 +389,36 @@ func (nl *Netlist) Analysis(build func(*Netlist) any) any {
 func (nl *Netlist) Program() *Program {
 	nl.progOnce.Do(func() { nl.prog = CompileNetlist(nl) })
 	return nl.prog
+}
+
+// AdoptProgram installs a precompiled program — typically decoded from
+// the persistent artifact store — as this netlist's execution program,
+// skipping CompileNetlist. It reports whether p was installed: false
+// when p is nil, when its shape does not match the netlist (a stale or
+// foreign blob; the caller should compile normally), or when a program
+// already exists (the existing one stays canonical, so every engine
+// over the netlist keeps sharing a single program).
+func (nl *Netlist) AdoptProgram(p *Program) bool {
+	if p == nil || p.NumNets != len(nl.Nets) || p.NumSlots < p.NumNets {
+		return false
+	}
+	adopted := false
+	nl.progOnce.Do(func() {
+		nl.prog = p
+		adopted = true
+	})
+	return adopted
+}
+
+// ContentHash returns the SHA-256 of the netlist's canonical Signature,
+// memoized. Netlists with equal hashes are structurally identical for
+// simulation and verification (see SignatureEqual), which makes the
+// hash a process-independent cache key: unlike the pointer identity the
+// in-memory caches key on, it survives re-elaboration in another
+// process, and it works on derived netlists (cone reductions) too.
+func (nl *Netlist) ContentHash() [sha256.Size]byte {
+	nl.hashOnce.Do(func() { nl.hash = sha256.Sum256([]byte(nl.Signature())) })
+	return nl.hash
 }
 
 // NetByName returns the net with the given flattened name, or nil.

@@ -61,6 +61,12 @@ type RunOptions struct {
 	// instance is shared by all workers and must be safe for concurrent
 	// use.
 	Verifier Verifier
+	// CacheDir, when non-empty, attaches the persistent artifact store
+	// at that directory before the run (see SetCacheDir): compiled
+	// programs and FPV reachability graphs are read from and written
+	// behind to disk, so a fresh process starts warm. Off by default.
+	// The attachment is process-wide and sticky across runs.
+	CacheDir string
 }
 
 func (o RunOptions) internal() eval.RunOptions {
@@ -73,6 +79,7 @@ func (o RunOptions) internal() eval.RunOptions {
 		Workers:      o.Workers,
 		ShardIndex:   o.ShardIndex,
 		ShardCount:   o.ShardCount,
+		CacheDir:     o.CacheDir,
 	}
 	if o.Backend != "" {
 		opt.FPV.Backend = o.Backend

@@ -60,6 +60,12 @@ type SelfCheckReport struct {
 	// side settled without any search.
 	StaticChecks     int
 	StaticDischarged int
+	// StoreChecks counts disk-served-vs-store-free FPV comparisons (the
+	// persistent artifact store's blobs read back by a cold cache against
+	// the search that never touched disk); StoreLoads counts the blobs
+	// those warm runs actually served from disk.
+	StoreChecks int
+	StoreLoads  int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -69,7 +75,7 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through eight
+// well-formed designs and SVA properties are cross-checked through nine
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
@@ -87,7 +93,10 @@ func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 // and semantic agreement of the static pre-verification pass (abstract-
 // interpretation discharge plus constant-swept cones) with the
 // pure-search reference, statically fabricated counter-examples replayed
-// like searched ones.
+// like searched ones, and bit-identical agreement of FPV served from the
+// persistent artifact store — compiled programs and reachability graphs
+// round-tripped through disk blobs and read back by a cold cache — with
+// the store-free search.
 // The returned error covers harness failures (cancellation, dump I/O)
 // only; oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
@@ -119,6 +128,8 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		SlicedChecks:     rep.SlicedChecks,
 		StaticChecks:     rep.StaticChecks,
 		StaticDischarged: rep.StaticDischarged,
+		StoreChecks:      rep.StoreChecks,
+		StoreLoads:       rep.StoreLoads,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

@@ -129,6 +129,19 @@ func PurgeCaches() {
 	bench.DefaultElab.Purge()
 }
 
+// SetCacheDir attaches a persistent, content-addressed artifact store
+// at dir to the process-wide caches: compiled execution programs and
+// FPV reachability graphs are read through from (and written behind
+// to) disk, keyed by design source hash and verification options, so a
+// fresh process — a new CI job, a new worker sharing a cache volume —
+// serves its first request warm. "" detaches the store. Corrupt,
+// truncated or version-skewed blobs are discarded and rebuilt
+// transparently, and PurgeCaches only empties the in-memory tiers: the
+// disk store exists to survive exactly that.
+func SetCacheDir(dir string) error {
+	return bench.SetCacheDir(dir)
+}
+
 // ShardDesigns returns the index-th of count contiguous shards of a
 // design list — the same partitioning the evaluation runner uses, so a
 // report over shard i matches what a sharded run evaluates.
