@@ -56,9 +56,15 @@ bench:
 # legacy, batched-vs-per-property and interp-vs-compiled measurements
 # (sim ns/cycle, the FPV-bound full-corpus verification pass cold and
 # warm with static and cone/sliced attribution plus the artifact-store
-# disk columns, end-to-end eval wall time), written to the checked-in
-# BENCH_pr8.json. QUICK=1 selects CI smoke sizes. The baseline is
-# BENCH_pr7.json's batched cold fpv pass on the same host (see
+# disk columns, end-to-end eval wall time, and the cost-vs-contiguous
+# dispatcher tail-latency comparison), written to the checked-in
+# BENCH_pr9.json. QUICK=1 selects CI smoke sizes. The baseline is
+# BENCH_pr8.json's batched cold fpv pass on the same host (see
 # EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 153.78 -out BENCH_pr8.json
+	$(GO) run ./cmd/perfbench $(if $(QUICK),-quick) -baseline-ms 175.24 -out BENCH_pr9.json
+
+# Merge every checked-in BENCH_pr*.json into one markdown trajectory
+# table (cold/warm full-corpus pass and design p95 per PR).
+bench-trend:
+	sh scripts/benchtrend.sh

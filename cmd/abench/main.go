@@ -13,6 +13,12 @@
 //	abench -workers 8           # evaluation worker-pool size
 //	abench -shard 1/4           # evaluate the 2nd of 4 corpus shards
 //	abench -cache-dir /var/abench-cache  # persistent artifact store: start warm
+//	abench -deadline 2m         # anytime mode: bounded verdicts at the deadline
+//	abench -design-budget 5s    # cap each design's verification wall clock
+//	abench -dispatch contiguous # scheduling baseline (default: cost)
+//
+// Exit status is 0 on success, 1 on interruption, 2 on usage, flag or
+// design errors.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -39,13 +46,16 @@ func main() {
 	stream := flag.Bool("stream", false, "print each design outcome the moment it completes")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	dispatch := flag.String("dispatch", "", "worker-pool dispatch mode: cost (default; cost-model work stealing), contiguous (balanced static slices) or fifo (shared queue) — results are identical, only latency differs")
+	deadline := flag.Duration("deadline", 0, "anytime run budget: at expiry, completed designs keep their verdicts and the rest come back truncated/unknown (0 = off)")
+	designBudget := flag.Duration("design-budget", 0, "per-design verification wall-clock budget; undecided assertions come back unknown (0 = off)")
 	shard := flag.String("shard", "", "evaluate one corpus shard, as index/count (e.g. 0/4)")
 	backend := flag.String("backend", "", "execution backend: compiled (default) or interp (reference tree-walk)")
 	batch := flag.String("batch", "", "batched FPV over a shared reachability graph: auto (default) or off (per-property reference)")
 	cone := flag.String("cone", "", "cone-of-influence reduction: auto (default) or off (full-design reference)")
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
-	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs and reachability graphs are read from and written to it, so repeated invocations start warm (empty = off)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs, reachability graphs and the cost journal are read from and written to it, so repeated invocations start warm (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -53,7 +63,7 @@ func main() {
 
 	shardIndex, shardCount, err := assertionbench.ParseShard(*shard)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed, MaxDesigns: *designs})
 	if err != nil {
@@ -63,7 +73,7 @@ func main() {
 	if *model != "" {
 		p, err := assertionbench.ProfileByName(*model)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal(err)
 		}
 		profiles = []assertionbench.Profile{p}
 	}
@@ -80,6 +90,9 @@ func main() {
 				Seed:         *seed,
 				UseCorrector: true,
 				Workers:      *workers,
+				Dispatch:     *dispatch,
+				Deadline:     *deadline,
+				DesignBudget: *designBudget,
 				CacheDir:     *cacheDir,
 				ShardIndex:   shardIndex,
 				ShardCount:   shardCount,
@@ -104,7 +117,7 @@ func main() {
 					if err != nil {
 						fatal(err)
 					}
-					fmt.Fprintf(progress, "%-14s %d-shot  #%03d %-28s %v\n", p.Name(), k, o.Index, o.Design, o.Metrics())
+					fmt.Fprintf(progress, "%-14s %d-shot  #%03d %-28s %v%s\n", p.Name(), k, o.Index, o.Design, o.Metrics(), truncMark(o))
 					r.Metrics.Merge(o.Metrics())
 					r.Outcomes = append(r.Outcomes, o)
 				}
@@ -123,7 +136,7 @@ func main() {
 			// repeat them in a second format.
 			if *perDesign && !*stream {
 				for _, d := range r.Outcomes {
-					fmt.Printf("    %-28s %v\n", d.Design, d.Metrics())
+					fmt.Printf("    %-28s %v%s\n", d.Design, d.Metrics(), truncMark(d))
 				}
 			}
 		}
@@ -132,15 +145,24 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rows); err != nil {
-			log.Fatal(err)
+			cliutil.Fatal(err)
 		}
 	}
 }
 
-// fatal distinguishes interruption from real failures.
+// truncMark flags outcomes an anytime budget cut short.
+func truncMark(o assertionbench.DesignOutcome) string {
+	if o.Truncated {
+		return " [truncated]"
+	}
+	return ""
+}
+
+// fatal distinguishes interruption (exit 1, partial results are the
+// user's doing) from real failures (exit 2, the shared CLI convention).
 func fatal(err error) {
 	if errors.Is(err, context.Canceled) {
 		log.Fatal("interrupted; partial results discarded")
 	}
-	log.Fatal(err)
+	cliutil.Fatal(err)
 }

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	figures [-seed N] [-designs N] [-workers N] [-only table1|fig3|fig6|fig7|fig9|obs]
+//
+// Exit status is 0 on success, 1 on interruption, 2 on usage or flag
+// errors — an unknown -only value is rejected before any evaluation
+// runs.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -29,6 +34,14 @@ func main() {
 	only := flag.String("only", "", "emit a single artifact: table1|fig3|fig6|fig7|fig9|obs")
 	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+
+	// Reject a bad -only before the evaluation sweep, not after minutes
+	// of work have already printed.
+	switch *only {
+	case "", "table1", "fig3", "fig6", "fig7", "fig9", "obs":
+	default:
+		cliutil.Fatalf("unknown artifact %q (want table1|fig3|fig6|fig7|fig9|obs)", *only)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -65,19 +78,13 @@ func main() {
 	emit("fig7", assertionbench.Figure7(cots))
 	emit("fig9", assertionbench.Figure9(ft))
 	emit("obs", assertionbench.Observations(cots, ft))
-	if *only != "" {
-		switch *only {
-		case "table1", "fig3", "fig6", "fig7", "fig9", "obs":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
-			os.Exit(2)
-		}
-	}
 }
 
+// fatal distinguishes interruption (exit 1) from real failures (exit 2,
+// the shared CLI convention).
 func fatal(err error) {
 	if errors.Is(err, context.Canceled) {
 		log.Fatal("interrupted")
 	}
-	log.Fatal(err)
+	cliutil.Fatal(err)
 }

@@ -7,6 +7,9 @@
 // Usage:
 //
 //	finetune [-base codellama|llama3] [-epochs 20] [-seed N]
+//
+// Exit status is 0 on success, 1 on interruption, 2 on usage or flag
+// errors (unknown or non-LLaMa-family base model included).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -34,12 +38,12 @@ func main() {
 
 	profile, err := assertionbench.ProfileByName(*base)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	switch profile.Name() {
 	case "CodeLLaMa 2", "LLaMa3-70B":
 	default:
-		log.Fatalf("base must be a LLaMa-family model (codellama|llama3), not %s", profile.Name())
+		cliutil.Fatalf("base must be a LLaMa-family model (codellama|llama3), not %s", profile.Name())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,9 +89,11 @@ func main() {
 	}
 }
 
+// fatal distinguishes interruption (exit 1) from real failures (exit 2,
+// the shared CLI convention).
 func fatal(err error) {
 	if errors.Is(err, context.Canceled) {
 		log.Fatal("interrupted")
 	}
-	log.Fatal(err)
+	cliutil.Fatal(err)
 }

@@ -8,9 +8,12 @@
 //	fpv -f assertions.sva design.v
 //	fpv -cex design.v 'en == 1 |=> count == 0'
 //	fpv -cache-dir ~/.cache/abench design.v 'rst |=> count == 0'
+//	fpv -deadline 30s design.v 'req |-> ##[1:4] ack'
 //
-// Exit status is 0 when every assertion proves, 1 when any assertion is
-// refuted or errors, 2 on usage or design errors.
+// Exit status is 0 when every assertion proves (or, under -deadline,
+// ran out of budget undecided — unknown is an anytime answer, not a
+// failure), 1 when any assertion is refuted or errors, 2 on usage or
+// design errors.
 package main
 
 import (
@@ -40,9 +43,13 @@ func main() {
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs and reachability graphs are read from and written to it, so repeated invocations start warm (empty = off)")
+	deadline := flag.Duration("deadline", 0, "anytime wall-clock budget: assertions undecided at expiry report unknown instead of blocking (0 = off)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		cliutil.Usage("usage: fpv [-f assertions.sva] [-cex] [-cache-dir DIR] design.v [assertion ...]")
+		cliutil.Usage("usage: fpv [-f assertions.sva] [-cex] [-cache-dir DIR] [-deadline D] design.v [assertion ...]")
+	}
+	if *deadline < 0 {
+		cliutil.Fatalf("-deadline %v: budget must not be negative (0 disables it)", *deadline)
 	}
 	src := cliutil.ReadFile(flag.Arg(0))
 	assertions := cliutil.Assertions(*file, flag.Args()[1:])
@@ -54,6 +61,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
 		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices, Static: *static})
@@ -63,7 +75,7 @@ func main() {
 		}
 		cliutil.Fatal(err)
 	}
-	pass, cex, errs := 0, 0, 0
+	pass, cex, errs, unknown := 0, 0, 0, 0
 	for _, r := range results {
 		detail := ""
 		switch {
@@ -73,6 +85,9 @@ func main() {
 		case r.Status == assertionbench.StatusCEX:
 			cex++
 			detail = fmt.Sprintf("violation at cycle %d", r.CEX.ViolationCycle())
+		case r.Status == assertionbench.StatusUnknown:
+			unknown++
+			detail = "deadline expired before a verdict"
 		default:
 			pass++
 			detail = fmt.Sprintf("states=%d exhaustive=%v", r.States, r.Exhaustive)
@@ -99,7 +114,11 @@ func main() {
 			*vcd = "" // only the first CEX
 		}
 	}
-	fmt.Printf("\n%d pass, %d cex, %d error\n", pass, cex, errs)
+	if unknown > 0 {
+		fmt.Printf("\n%d pass, %d cex, %d error, %d unknown\n", pass, cex, errs, unknown)
+	} else {
+		fmt.Printf("\n%d pass, %d cex, %d error\n", pass, cex, errs)
+	}
 	if cex > 0 || errs > 0 {
 		os.Exit(1)
 	}

@@ -1,13 +1,14 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// nine oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
+// ten oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
 // with counter-example replay, sequential/parallel/sharded stream
 // determinism, compiled-vs-interpreted backend identity,
 // batched-vs-per-property FPV identity, cone-reduced-vs-full-design
 // semantic agreement, bit-sliced-vs-scalar FPV identity,
-// static-pass-vs-pure-search semantic agreement, and
+// static-pass-vs-pure-search semantic agreement,
 // disk-served-vs-store-free FPV identity through the persistent
-// artifact store). A clean
+// artifact store, and dispatch-order independence of the scheduled
+// evaluation stream). A clean
 // exit means every generated scenario agreed AND every oracle actually
 // ran — an oracle that checked nothing is reported and fails the run,
 // so a refactor cannot silently disconnect a cross-check;
@@ -18,6 +19,9 @@
 //
 //	fuzzcheck -n 200 -seed 1
 //	fuzzcheck -n 50 -seed 7 -props 5 -dump ./fuzz-crashes
+//
+// Exit status is 0 when every oracle ran and agreed, 1 on disagreement,
+// an idle oracle, or interruption, 2 on usage or harness errors.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/cliutil"
 )
 
 func main() {
@@ -42,6 +47,12 @@ func main() {
 	dump := flag.String("dump", "", "directory for .v/.sva reproduction pairs on disagreement")
 	short := flag.Bool("short", false, "trimmed per-design budgets (CI smoke mode)")
 	flag.Parse()
+	if *n <= 0 {
+		cliutil.Fatalf("-n %d: scenario count must be positive", *n)
+	}
+	if *props <= 0 {
+		cliutil.Fatalf("-props %d: property count must be positive", *props)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -57,7 +68,7 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			log.Fatalf("interrupted after %d of %d scenarios", report.Scenarios, *n)
 		}
-		log.Fatal(err)
+		cliutil.Fatal(err)
 	}
 	fmt.Printf("scenarios:        %d (seed %d)\n", report.Scenarios, *seed)
 	fmt.Printf("properties:       %d (%d exhaustive, %d counter-examples replayed)\n",
@@ -78,6 +89,7 @@ func main() {
 	fmt.Printf("store checks:     %d (disk-served vs store-free, %d blobs served from disk)\n",
 		report.StoreChecks, report.StoreLoads)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
+	fmt.Printf("sched checks:     %d (cost/contiguous dispatch vs sequential, sharded concat)\n", report.SchedChecks)
 	// A silent zero is as bad as a disagreement: it means an oracle was
 	// disconnected, not that the code under test is healthy.
 	idle := 0
@@ -94,6 +106,7 @@ func main() {
 		{"store", report.StoreChecks},
 		{"store disk loads", report.StoreLoads},
 		{"determinism", report.DeterminismRuns},
+		{"sched", report.SchedChecks},
 	} {
 		if o.n == 0 {
 			fmt.Printf("oracle %s ran 0 checks\n", o.name)

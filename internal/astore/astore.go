@@ -53,6 +53,15 @@ const (
 	// KindGraph holds an encoded fpv.Graph plus optional hunt trace
 	// (see fpv.EncodeGraph).
 	KindGraph = "grph"
+	// KindCost holds a cost-journal entry: the measured verification
+	// wall time of one design (8-byte big-endian microseconds), keyed by
+	// the design's content hash. Unlike programs and graphs — pure
+	// functions of their key — cost blobs are observations that later
+	// runs overwrite under a max-merge policy (truncated runs measure
+	// lower bounds, so the slowest observation is kept); the atomic
+	// rename still guarantees readers never see a torn entry, and a
+	// racing writer losing merely re-records on its next run.
+	KindCost = "cost"
 )
 
 // FormatVersion is the container version stamped into every blob

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"assertionbench/internal/astore"
+	"assertionbench/internal/verilog"
+)
+
+// The cost journal records each design's measured verification wall time
+// so later runs can schedule by predicted cost (internal/eval's
+// cost-aware dispatcher). Entries live in an in-memory map keyed by
+// verilog.Netlist.ContentHash() — a pure function of the elaborated
+// design, so a journal entry can never go stale against a source edit —
+// with the persistent artifact store (SetCacheDir) as a
+// read-through/write-behind tier: a fresh process over a warm store
+// plans its first run from the previous process's measurements.
+//
+// Merging is max: a budget-truncated run measures a lower bound on the
+// design's true cost, so the slowest observation wins. That also keeps
+// the journal stable between cold and warm passes — relative order, the
+// only thing scheduling needs, is preserved either way.
+
+// LoadCost returns the journal's wall-time estimate for the design, or
+// ok=false when neither the in-memory journal nor the persistent tier
+// has an observation.
+func (c *ElabCache) LoadCost(nl *verilog.Netlist) (time.Duration, bool) {
+	h := nl.ContentHash()
+	c.mu.Lock()
+	us, ok := c.costs[h]
+	disk := c.disk
+	c.mu.Unlock()
+	if ok {
+		return time.Duration(us) * time.Microsecond, true
+	}
+	if disk == nil {
+		return 0, false
+	}
+	blob, ok := disk.Get(astore.KindCost, costDiskKey(h))
+	if !ok || len(blob) != 8 {
+		return 0, false
+	}
+	us = binary.BigEndian.Uint64(blob)
+	if us == 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	if c.costs == nil {
+		c.costs = make(map[[32]byte]uint64)
+	}
+	if us > c.costs[h] {
+		c.costs[h] = us
+	} else {
+		us = c.costs[h]
+	}
+	c.mu.Unlock()
+	return time.Duration(us) * time.Microsecond, true
+}
+
+// StoreCost records a measured verification wall time for the design,
+// max-merged with prior observations in memory and (when attached)
+// written behind to the persistent tier. Non-positive measurements are
+// ignored; sub-microsecond ones round up so the design still counts as
+// observed.
+func (c *ElabCache) StoreCost(nl *verilog.Netlist, wall time.Duration) {
+	if wall <= 0 {
+		return
+	}
+	us := uint64(wall / time.Microsecond)
+	if us == 0 {
+		us = 1
+	}
+	h := nl.ContentHash()
+	c.mu.Lock()
+	if c.costs == nil {
+		c.costs = make(map[[32]byte]uint64)
+	}
+	if us <= c.costs[h] {
+		c.mu.Unlock()
+		return
+	}
+	c.costs[h] = us
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		// Max-merge against the tier too: another process may have
+		// journaled a slower observation this process never saw.
+		if blob, ok := disk.Get(astore.KindCost, costDiskKey(h)); ok && len(blob) == 8 {
+			if prior := binary.BigEndian.Uint64(blob); prior >= us {
+				return
+			}
+		}
+		var blob [8]byte
+		binary.BigEndian.PutUint64(blob[:], us)
+		_ = disk.Put(astore.KindCost, costDiskKey(h), blob[:])
+	}
+}
+
+// costDiskKey is the persistent-tier key for a design's journal entry.
+// Only the content hash enters the key: cost is a property of the
+// elaborated design, not of the (name, source-text) pair, so renamed or
+// reformatted sources share their measurements.
+func costDiskKey(h [32]byte) string {
+	return fmt.Sprintf("c\x00%x", h)
+}
+
+// LoadCost reads the process-wide journal (see ElabCache.LoadCost).
+func LoadCost(nl *verilog.Netlist) (time.Duration, bool) {
+	return DefaultElab.LoadCost(nl)
+}
+
+// StoreCost records into the process-wide journal (see
+// ElabCache.StoreCost).
+func StoreCost(nl *verilog.Netlist, wall time.Duration) {
+	DefaultElab.StoreCost(nl, wall)
+}

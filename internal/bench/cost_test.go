@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"assertionbench/internal/verilog"
+)
+
+const costTestSrc = `
+module costy(clk, rst, a, b);
+input clk, rst, a;
+output b;
+reg b;
+always @(posedge clk or posedge rst)
+  if (rst) b <= 0;
+  else b <= a;
+endmodule
+`
+
+func costNetlist(t *testing.T) *verilog.Netlist {
+	t.Helper()
+	nl, err := verilog.ElaborateSource(costTestSrc, "costy")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return nl
+}
+
+func TestCostJournalMaxMerge(t *testing.T) {
+	var c ElabCache
+	nl := costNetlist(t)
+
+	if _, ok := c.LoadCost(nl); ok {
+		t.Fatal("cold journal reported a cost")
+	}
+	c.StoreCost(nl, 5*time.Millisecond)
+	if got, ok := c.LoadCost(nl); !ok || got != 5*time.Millisecond {
+		t.Fatalf("LoadCost = %v, %v; want 5ms, true", got, ok)
+	}
+	// A faster (e.g. warm or truncated) observation must not shrink the
+	// journaled cost...
+	c.StoreCost(nl, 2*time.Millisecond)
+	if got, _ := c.LoadCost(nl); got != 5*time.Millisecond {
+		t.Fatalf("after faster observation: %v, want 5ms", got)
+	}
+	// ...but a slower one raises it.
+	c.StoreCost(nl, 9*time.Millisecond)
+	if got, _ := c.LoadCost(nl); got != 9*time.Millisecond {
+		t.Fatalf("after slower observation: %v, want 9ms", got)
+	}
+	// Non-positive and sub-microsecond measurements.
+	c.StoreCost(nl, 0)
+	c.StoreCost(nl, -time.Second)
+	if got, _ := c.LoadCost(nl); got != 9*time.Millisecond {
+		t.Fatalf("after degenerate observations: %v, want 9ms", got)
+	}
+
+	c.Purge()
+	if _, ok := c.LoadCost(nl); ok {
+		t.Fatal("journal survived Purge without a persistent tier")
+	}
+}
+
+func TestCostJournalPersistsAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	nl := costNetlist(t)
+
+	var writer ElabCache
+	if err := writer.SetCacheDir(dir); err != nil {
+		t.Fatalf("SetCacheDir: %v", err)
+	}
+	writer.StoreCost(nl, 7*time.Millisecond)
+
+	// A fresh cache over the same store (a "new process") reads the
+	// observation through the disk tier.
+	var reader ElabCache
+	if err := reader.SetCacheDir(dir); err != nil {
+		t.Fatalf("SetCacheDir: %v", err)
+	}
+	if got, ok := reader.LoadCost(nl); !ok || got != 7*time.Millisecond {
+		t.Fatalf("disk read-through: %v, %v; want 7ms, true", got, ok)
+	}
+
+	// Max-merge applies against the tier too: a faster observation from
+	// another cache leaves the stored maximum in place.
+	reader.StoreCost(nl, time.Millisecond)
+	var third ElabCache
+	if err := third.SetCacheDir(dir); err != nil {
+		t.Fatalf("SetCacheDir: %v", err)
+	}
+	if got, _ := third.LoadCost(nl); got != 7*time.Millisecond {
+		t.Fatalf("tier max-merge: %v, want 7ms", got)
+	}
+
+	// Purge drops memory but not the tier.
+	reader.Purge()
+	if got, ok := reader.LoadCost(nl); !ok || got != 7*time.Millisecond {
+		t.Fatalf("post-purge read-through: %v, %v; want 7ms, true", got, ok)
+	}
+
+	// A sub-microsecond positive measurement still counts as observed on
+	// a cache that has never seen the design.
+	var tiny ElabCache
+	tiny.StoreCost(nl, time.Nanosecond)
+	if got, ok := tiny.LoadCost(nl); !ok || got != time.Microsecond {
+		t.Fatalf("sub-microsecond observation: %v, %v; want 1µs, true", got, ok)
+	}
+}

@@ -86,7 +86,7 @@ func TestCLIErrorPaths(t *testing.T) {
 		t.Skip("go tool not available")
 	}
 	binDir := t.TempDir()
-	tools := []string{"fpv", "ablint", "acov", "mine", "assertgen"}
+	tools := []string{"fpv", "ablint", "acov", "mine", "assertgen", "abench", "figures", "finetune", "fuzzcheck"}
 	for _, tool := range tools {
 		cmd := exec.Command(goTool, "build", "-o", filepath.Join(binDir, tool), "assertionbench/cmd/"+tool)
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -123,6 +123,15 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"assertgen-no-args", "assertgen", nil},
 		{"assertgen-missing-design", "assertgen", []string{missing}},
 		{"assertgen-bad-model", "assertgen", []string{"-model", "nonesuch", badDesign}},
+		{"abench-bad-shard", "abench", []string{"-shard", "bogus"}},
+		{"abench-bad-model", "abench", []string{"-model", "nonesuch", "-designs", "1"}},
+		{"abench-bad-dispatch", "abench", []string{"-dispatch", "lifo", "-model", "gpt3.5", "-designs", "1"}},
+		{"abench-negative-deadline", "abench", []string{"-deadline", "-1s", "-model", "gpt3.5", "-designs", "1"}},
+		{"figures-bad-only", "figures", []string{"-only", "bogus"}},
+		{"finetune-unknown-base", "finetune", []string{"-base", "nonesuch"}},
+		{"finetune-non-llama-base", "finetune", []string{"-base", "gpt4o"}},
+		{"fuzzcheck-bad-n", "fuzzcheck", []string{"-n", "0"}},
+		{"fuzzcheck-bad-props", "fuzzcheck", []string{"-props", "-1"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,7 +2,7 @@
 // self-check of the stack every evaluation verdict depends on. It draws
 // seeded random well-formed designs from the corpus generator families
 // (bench.FuzzSpec), seeded random SVA properties over each design's nets,
-// and cross-checks nine independent oracles:
+// and cross-checks ten independent oracles:
 //
 //  1. print/parse round-trip — every generated design must survive
 //     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
@@ -30,7 +30,10 @@
 //  9. store — FPV served from the persistent artifact store (programs
 //     and reachability graphs round-tripped through internal/astore
 //     blobs and read back by a fresh cache) must reproduce the
-//     store-free search field for field (OracleStore).
+//     store-free search field for field (OracleStore);
+//  10. sched — the cost-model work-stealing dispatcher and the contiguous
+//     baseline must reproduce the sequential eval.Stream byte for byte,
+//     sharded concatenation included (OracleSched).
 //
 // A disagreement is shrunk (over the design genome) to a minimal
 // reproduction and optionally dumped as a .v/.sva pair. The public facade
@@ -152,6 +155,16 @@ const (
 	// simulator. The mutation seam is astore.LoadHook: a corrupting hook
 	// behind the checksum must surface as a disagreement here.
 	OracleStore Oracle = "store"
+	// OracleSched cross-checks the cost-model work-stealing dispatcher
+	// (eval.DispatchCost, the default) and the contiguous-partition
+	// baseline (eval.DispatchContiguous) against the sequential
+	// reference walk: at the same seed the rendered outcome streams must
+	// be byte-identical whatever the dispatch order, and concatenating
+	// sharded cost-dispatched streams must reproduce the unsharded one.
+	// The in-order reorder buffer is what this oracle pins down; its
+	// mutation seam is eval.SchedIndexHook — a hook that misroutes two
+	// buffer slots must surface as a disagreement here.
+	OracleSched Oracle = "sched"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -225,6 +238,10 @@ type Report struct {
 	// in-memory runs and proved nothing about the store.
 	StoreChecks int
 	StoreLoads  int
+	// SchedChecks counts the dispatch-mode stream comparisons (oracle
+	// 10): cost-vs-sequential, contiguous-vs-sequential, and the sharded
+	// cost-dispatched concatenation.
+	SchedChecks int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -233,8 +250,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d store checks (%d disk loads), %d determinism runs, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.StoreChecks, r.StoreLoads, r.DeterminismRuns, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d store checks (%d disk loads), %d determinism runs, %d sched checks, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.StoreChecks, r.StoreLoads, r.DeterminismRuns, r.SchedChecks, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -320,6 +337,12 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		}
 		report.DeterminismRuns = runs
 		report.Disagreements = append(report.Disagreements, ds...)
+		checks, sds, err := h.checkSched(ctx, corpus)
+		if err != nil {
+			return report, err
+		}
+		report.SchedChecks = checks
+		report.Disagreements = append(report.Disagreements, sds...)
 	}
 	return report, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"assertionbench/internal/astore"
 	"assertionbench/internal/bench"
+	"assertionbench/internal/eval"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/sva"
 	"assertionbench/internal/verilog"
@@ -37,6 +38,9 @@ func TestSelfCheckShortMode(t *testing.T) {
 	}
 	if report.DeterminismRuns != 4 {
 		t.Errorf("determinism runs = %d, want 4", report.DeterminismRuns)
+	}
+	if report.SchedChecks != 3 {
+		t.Errorf("sched checks = %d, want 3", report.SchedChecks)
 	}
 }
 
@@ -360,6 +364,44 @@ func TestMutatedBatchVerifierIsCaught(t *testing.T) {
 	}
 	if caught == 0 {
 		t.Fatalf("injected batch bug was not caught by oracle 5; report: %s", report)
+	}
+}
+
+// TestMutatedSchedulerIsCaught: a deliberately misrouted reorder buffer
+// (two slots swapped via eval.SchedIndexHook — what a broken index
+// mapping between dispatch order and corpus order would do) must be
+// caught by oracle 10's byte comparison against the sequential walk. The
+// swap is a bijection, so every slot still fills and the mutated runs
+// complete; only the stream contents betray the bug.
+func TestMutatedSchedulerIsCaught(t *testing.T) {
+	eval.SchedIndexHook = func(i int) int {
+		switch i {
+		case 0:
+			return 1
+		case 1:
+			return 0
+		}
+		return i
+	}
+	defer func() { eval.SchedIndexHook = nil }()
+	report, err := Run(context.Background(), Options{
+		// The scheduled-stream oracles need only a tiny corpus: any two
+		// adjacent designs render differently, so the swap is visible on
+		// the first line. Per-design oracles never touch the hook.
+		Scenarios: 3, PropsPerDesign: 1, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleSched {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("injected reorder-buffer bug was not caught by oracle 10; report: %s", report)
 	}
 }
 

@@ -24,6 +24,12 @@ const (
 	// VerdictError: the assertion is syntactically or semantically invalid
 	// even after correction.
 	VerdictError
+	// VerdictUnknown: a verification budget (RunOptions.Deadline or
+	// RunOptions.DesignBudget) expired before the engine decided the
+	// assertion. An anytime outcome, not a fourth quality class: rerunning
+	// without the budget (or resuming over the warm caches and cost
+	// journal) converges to one of the three paper verdicts.
+	VerdictUnknown
 )
 
 func (v Verdict) String() string {
@@ -32,6 +38,8 @@ func (v Verdict) String() string {
 		return "pass"
 	case VerdictCEX:
 		return "cex"
+	case VerdictUnknown:
+		return "unknown"
 	default:
 		return "error"
 	}
@@ -44,6 +52,8 @@ func Classify(r fpv.Result) Verdict {
 		return VerdictError
 	case r.Status == fpv.StatusCEX:
 		return VerdictCEX
+	case r.Status == fpv.StatusUnknown:
+		return VerdictUnknown
 	default:
 		return VerdictPass
 	}
@@ -59,23 +69,28 @@ type Metrics struct {
 	// It is an overlay on the other counters, not a fourth class: a
 	// statically proven property still counts in NPass.
 	NStatic int `json:"n_static"`
+	// NUnknown counts verdicts a budgeted (anytime) run left undecided.
+	// Always zero for unbudgeted runs.
+	NUnknown int `json:"n_unknown"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
 func (m Metrics) MarshalJSON() ([]byte, error) {
 	type out struct {
-		NPass   int     `json:"n_pass"`
-		NCEX    int     `json:"n_cex"`
-		NError  int     `json:"n_error"`
-		NStatic int     `json:"n_static"`
-		Pass    float64 `json:"pass"`
-		CEX     float64 `json:"cex"`
-		Error   float64 `json:"error"`
-		Static  float64 `json:"static"`
+		NPass    int     `json:"n_pass"`
+		NCEX     int     `json:"n_cex"`
+		NError   int     `json:"n_error"`
+		NStatic  int     `json:"n_static"`
+		NUnknown int     `json:"n_unknown"`
+		Pass     float64 `json:"pass"`
+		CEX      float64 `json:"cex"`
+		Error    float64 `json:"error"`
+		Static   float64 `json:"static"`
+		Unknown  float64 `json:"unknown"`
 	}
 	return json.Marshal(out{
-		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError, NStatic: m.NStatic,
-		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(), Static: m.Static(),
+		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError, NStatic: m.NStatic, NUnknown: m.NUnknown,
+		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(), Static: m.Static(), Unknown: m.Unknown(),
 	})
 }
 
@@ -86,13 +101,15 @@ func (m *Metrics) Add(v Verdict) {
 		m.NPass++
 	case VerdictCEX:
 		m.NCEX++
+	case VerdictUnknown:
+		m.NUnknown++
 	default:
 		m.NError++
 	}
 }
 
 // Total is the number of classified assertions.
-func (m Metrics) Total() int { return m.NPass + m.NCEX + m.NError }
+func (m Metrics) Total() int { return m.NPass + m.NCEX + m.NError + m.NUnknown }
 
 // Pass is the fraction of valid (incl. vacuous) assertions.
 func (m Metrics) Pass() float64 { return frac(m.NPass, m.Total()) }
@@ -107,6 +124,9 @@ func (m Metrics) Error() float64 { return frac(m.NError, m.Total()) }
 // pre-verification pass.
 func (m Metrics) Static() float64 { return frac(m.NStatic, m.Total()) }
 
+// Unknown is the fraction of verdicts a budgeted run left undecided.
+func (m Metrics) Unknown() float64 { return frac(m.NUnknown, m.Total()) }
+
 func frac(n, d int) float64 {
 	if d == 0 {
 		return 0
@@ -115,5 +135,9 @@ func frac(n, d int) float64 {
 }
 
 func (m Metrics) String() string {
+	if m.NUnknown != 0 {
+		return fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f unknown=%.3f (n=%d)",
+			m.Pass(), m.CEX(), m.Error(), m.Unknown(), m.Total())
+	}
 	return fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f (n=%d)", m.Pass(), m.CEX(), m.Error(), m.Total())
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"time"
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/fpv"
@@ -24,8 +25,34 @@ type RunOptions struct {
 	MaxDesigns int
 	// Workers sets the evaluation worker-pool size: 0 means
 	// runtime.GOMAXPROCS(0), 1 forces a sequential run. Any worker count
-	// produces byte-identical results at the same seed.
+	// produces byte-identical results at the same seed. Negative counts
+	// are an error, not a silent clamp.
 	Workers int
+	// Dispatch selects how jobs reach the workers: DispatchCost (the
+	// default) plans by predicted per-design cost over work-stealing
+	// deques, DispatchContiguous statically partitions the corpus into
+	// contiguous per-worker slices (no stealing), DispatchFIFO hands out
+	// indices in corpus order from one shared queue. All modes produce
+	// byte-identical output at the same seed (dverify oracle 10); they
+	// differ only in completion-latency profile.
+	Dispatch string
+	// Deadline, when positive, bounds the whole run's verification wall
+	// time (anytime mode): designs finished in budget keep their
+	// verdicts, a design caught mid-verification keeps its decided
+	// verdicts with the rest VerdictUnknown, and designs never reached
+	// stream as truncated stubs. The run ends without error; every
+	// outcome carries Truncated reporting whether the budget cut it.
+	// Zero disables; negative is an error.
+	Deadline time.Duration
+	// DesignBudget, when positive, bounds each design's verification
+	// wall time the same way. Zero disables; negative is an error.
+	DesignBudget time.Duration
+	// OnDesignDone, when non-nil, observes every completed design: its global
+	// corpus index, the job's own wall time, and the completion time
+	// since the run started. Workers invoke it concurrently the moment
+	// the design finishes (not in corpus order) — implementations must
+	// be concurrency-safe and fast. Error'd jobs are not reported.
+	OnDesignDone func(index int, wall, done time.Duration)
 	// ShardIndex/ShardCount restrict the run to the index-th of count
 	// contiguous corpus shards (after MaxDesigns truncation), for
 	// splitting a sweep across processes or machines. ShardCount 0 means
@@ -58,6 +85,9 @@ func (o RunOptions) withDefaults() RunOptions {
 	}
 	if o.ShardCount == 0 {
 		o.ShardCount = 1
+	}
+	if o.Dispatch == "" {
+		o.Dispatch = DispatchCost
 	}
 	// Evaluation-grade FPV budget (bounded verdicts on the big designs,
 	// exhaustive on the control-dominated ones), applied field-wise so a
@@ -103,6 +133,12 @@ type DesignOutcome struct {
 	// Channel bookkeeping from the generator (for ablation analysis).
 	OffTask  int
 	Grounded int
+	// Truncated reports that an anytime budget (RunOptions.Deadline or
+	// DesignBudget) expired before this design's verification finished:
+	// decided verdicts are kept, the rest are VerdictUnknown, and a
+	// design the run never reached has no verdicts at all. Always false
+	// in unbudgeted runs.
+	Truncated bool
 }
 
 // RunResult is one (generator, k) evaluation over the corpus.

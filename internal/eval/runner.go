@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/corrector"
@@ -15,26 +16,28 @@ import (
 )
 
 // The concurrent evaluation runner. A run decomposes into one job per
-// design; jobs are scheduled onto a bounded worker pool and their results
-// streamed back in corpus order, so both the incremental Stream and the
-// batch Run (a collector over the stream) are identical to a sequential
-// walk at the same seed:
+// design; jobs are planned onto a bounded worker pool by the cost-aware
+// dispatcher (sched.go) and their results streamed back in corpus order,
+// so both the incremental Stream and the batch Run (a collector over the
+// stream) are identical to a sequential walk at the same seed:
 //
 //   - every per-design random stream is seeded from the design's GLOBAL
-//     corpus index (not its position in a shard or the order workers
-//     happened to pick jobs up), and generation/verification allocate a
-//     fresh seeded rand.Rand per call — no worker ever touches a shared or
-//     unseeded source on the concurrent path;
+//     corpus index (not its position in a shard, a deque, or the order
+//     workers happened to pick jobs up), and generation/verification
+//     allocate a fresh seeded rand.Rand per call — no worker ever touches
+//     a shared or unseeded source on the concurrent path;
 //   - each worker owns one Verifier built by RunOptions.NewVerifier (the
 //     default reuses one fpv.Engine per worker instead of reallocating
 //     between assertions);
 //   - elaborated netlists come from the process-wide bench.DefaultElab
 //     cache and are immutable, so workers share them read-only.
 //
-// Cancellation: ctx is polled by the feeder, by every worker between and
-// inside jobs (generation loops and FPV search loops poll it too), and by
-// the in-order emitter. A canceled run stops within one design job per
-// worker, leaks no goroutines, and surfaces ctx.Err().
+// Cancellation: ctx is polled by every worker between and inside jobs
+// (generation loops and FPV search loops poll it too) and by the
+// in-order emitter. A canceled run stops within one design job per
+// worker, leaks no goroutines, and surfaces ctx.Err(). Anytime budgets
+// (RunOptions.Deadline / DesignBudget) ride the same plumbing as derived
+// context deadlines, but expiry is not an error: it truncates.
 
 type jobResult struct {
 	outcome DesignOutcome
@@ -60,10 +63,17 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 	if workers > len(designs) {
 		workers = len(designs)
 	}
+	start := time.Now()
 	if workers <= 1 {
+		runCtx := ctx
+		if opt.Deadline > 0 {
+			var rcancel context.CancelFunc
+			runCtx, rcancel = context.WithTimeout(ctx, opt.Deadline)
+			defer rcancel()
+		}
 		v := opt.NewVerifier()
 		for i := range designs {
-			jr := evalDesign(ctx, gen, v, icl, designs[i], base+i, opt)
+			jr := runJob(ctx, runCtx, gen, v, icl, designs[i], base+i, opt, start)
 			if jr.err != nil {
 				yield(DesignOutcome{}, jr.err)
 				return
@@ -75,62 +85,121 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 		return
 	}
 
-	// The concurrent path: a feeder hands out indices in corpus order, a
-	// pool of workers evaluates them, and the emitter below reorders
-	// completions back into corpus order. The derived context tears the
-	// pool down on any exit path (consumer break, external cancellation,
-	// first error); results is buffered to capacity so workers can never
-	// block on a consumer that has stopped reading.
-	ctx, cancel := context.WithCancel(ctx)
+	// The concurrent path: the dispatcher hands jobs to a pool of
+	// workers, and the emitter below reorders completions back into
+	// corpus order. The derived pool context tears the pool down on any
+	// exit path (consumer break, external cancellation, first error);
+	// the run-deadline context is layered inside it so budget expiry
+	// truncates without tearing anything down. results is buffered to
+	// capacity so workers can never block on a consumer that has stopped
+	// reading.
+	poolCtx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	defer cancel()
+	runCtx := context.Context(poolCtx)
+	if opt.Deadline > 0 {
+		var rcancel context.CancelFunc
+		runCtx, rcancel = context.WithTimeout(poolCtx, opt.Deadline)
+		defer rcancel()
+	}
 
-	jobs := make(chan int)
 	results := make(chan indexedResult, len(designs))
-	var failed atomic.Bool
-	for w := 0; w < workers; w++ {
+	post := func(i int, jr jobResult) {
+		// SchedIndexHook is the oracle-10 mutation seam: it misroutes a
+		// result to the wrong reorder slot, which scheduled-vs-sequential
+		// comparison must catch. Production leaves it nil.
+		slot := i
+		if SchedIndexHook != nil {
+			slot = SchedIndexHook(slot)
+		}
+		results <- indexedResult{idx: slot, res: jr}
+	}
+
+	if opt.Dispatch == DispatchFIFO {
+		// Legacy dispatch: a feeder hands out indices in corpus order
+		// over one shared channel; greedy pickup keeps the pool busy
+		// without any planning.
+		jobs := make(chan int)
+		var failed atomic.Bool
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v := opt.NewVerifier()
+				for i := range jobs {
+					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[i], base+i, opt, start)
+					if jr.err != nil {
+						// Stops the feeder. Jobs are fed in index order,
+						// so every job below the erroring index is already
+						// assigned and completes normally — the emitter
+						// (which stops at the lowest erroring index) sees
+						// exactly what a sequential run would have
+						// produced.
+						failed.Store(true)
+					}
+					post(i, jr)
+					if poolCtx.Err() != nil {
+						return
+					}
+				}
+			}()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v := opt.NewVerifier()
-			for i := range jobs {
-				jr := evalDesign(ctx, gen, v, icl, designs[i], base+i, opt)
-				if jr.err != nil {
-					// Stops the feeder. Jobs are fed in index order, so
-					// every job below the erroring index is already
-					// assigned and completes normally — the emitter (which
-					// stops at the lowest erroring index) sees exactly what
-					// a sequential run would have produced.
-					failed.Store(true)
+			defer close(jobs)
+			for i := range designs {
+				if failed.Load() {
+					return
 				}
-				results <- indexedResult{idx: i, res: jr}
-				if ctx.Err() != nil {
+				select {
+				case jobs <- i:
+				case <-poolCtx.Done():
 					return
 				}
 			}
 		}()
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer close(jobs)
-		// Jobs are handed out in corpus order; per-design cost is dominated
-		// by FPV search, which no static proxy (LoC, state bits) predicts
-		// well, so greedy FIFO work-stealing off the channel is what keeps
-		// the pool busy. Results are positioned by index, so pickup order
-		// never affects output.
-		for i := range designs {
-			if failed.Load() {
-				return
-			}
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
+	} else {
+		// Planned dispatch (cost or contiguous): per-worker deques,
+		// populated up front. Jobs run out of corpus order, so the
+		// first-error contract needs an atomic minimum instead of a stop
+		// flag: a job above the lowest erroring index is skipped (the
+		// emitter will never consume it), while everything below keeps
+		// running because the emitter needs the complete prefix.
+		sched := newScheduler(poolCtx, designs, workers, opt.Dispatch)
+		var minFailed atomic.Int64
+		minFailed.Store(int64(len(designs)))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				v := opt.NewVerifier()
+				for {
+					j, ok := sched.next(w)
+					if !ok {
+						return
+					}
+					if int64(j.idx) > minFailed.Load() {
+						continue
+					}
+					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[j.idx], base+j.idx, opt, start)
+					if jr.err != nil {
+						for {
+							cur := minFailed.Load()
+							if int64(j.idx) >= cur || minFailed.CompareAndSwap(cur, int64(j.idx)) {
+								break
+							}
+						}
+					}
+					post(j.idx, jr)
+					if poolCtx.Err() != nil {
+						return
+					}
+				}
+			}(w)
 		}
-	}()
+	}
 
 	// In-order emitter: completions arrive in whatever order workers
 	// finish; outcome i is yielded the moment it and all predecessors are
@@ -138,6 +207,13 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 	// sequence.
 	pending := make(map[int]jobResult, workers)
 	for next := 0; next < len(designs); next++ {
+		// The results channel is buffered, so completions can pile up ahead
+		// of the consumer; a cancellation must still win over drained
+		// results, exactly as the sequential path's per-job ctx check does.
+		if err := poolCtx.Err(); err != nil {
+			yield(DesignOutcome{}, err)
+			return
+		}
 		jr, ok := pending[next]
 		for !ok {
 			select {
@@ -147,8 +223,8 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 				} else {
 					pending[r.idx] = r.res
 				}
-			case <-ctx.Done():
-				yield(DesignOutcome{}, ctx.Err())
+			case <-poolCtx.Done():
+				yield(DesignOutcome{}, poolCtx.Err())
 				return
 			}
 		}
@@ -163,6 +239,26 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 	}
 }
 
+// runJob wraps one design evaluation with the anytime-mode and
+// observability concerns that are not the job's own: an exhausted run
+// deadline turns the design into a truncated stub instead of evaluating
+// it, and completed designs are reported to OnDesignDone with their wall
+// and completion-since-start times.
+func runJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions, start time.Time) jobResult {
+	if err := ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	if runCtx.Err() != nil {
+		return jobResult{outcome: DesignOutcome{Index: globalIdx, Design: d.Name, Truncated: true}}
+	}
+	t0 := time.Now()
+	jr := evalDesign(ctx, runCtx, gen, v, icl, d, globalIdx, opt)
+	if jr.err == nil && opt.OnDesignDone != nil {
+		opt.OnDesignDone(globalIdx, time.Since(t0), time.Since(start))
+	}
+	return jr
+}
+
 // Stream evaluates a Generator on the corpus and yields one DesignOutcome
 // per design, in corpus order, each delivered as soon as it (and every
 // design before it) finishes — the paper's Fig. 4 (with corrector) or
@@ -173,9 +269,15 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 // error are exactly the prefix a sequential run would have kept.
 //
 // The yielded stream is deterministic: at equal seed it is identical for
-// any Workers count, and shard streams concatenate to the unsharded
-// stream. Breaking out of the iteration early cancels and drains the
-// worker pool before the iterator returns.
+// any Workers count and any Dispatch mode, and shard streams concatenate
+// to the unsharded stream. Breaking out of the iteration early cancels
+// and drains the worker pool before the iterator returns.
+//
+// With an anytime budget set (RunOptions.Deadline / DesignBudget) the
+// stream still covers every design and still ends without error on
+// budget expiry: finished designs keep their verdicts, interrupted ones
+// carry decided verdicts plus VerdictUnknown with Truncated set, and
+// designs the deadline beat entirely stream as truncated stubs.
 func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus []bench.Design, opt RunOptions) iter.Seq2[DesignOutcome, error] {
 	return func(yield func(DesignOutcome, error) bool) {
 		opt = opt.withDefaults()
@@ -199,6 +301,27 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 		if !fpv.ValidStatic(opt.FPV.Static) {
 			yield(DesignOutcome{}, fmt.Errorf("eval: unknown static mode %q (want %q or %q)",
 				opt.FPV.Static, fpv.StaticAuto, fpv.StaticOff))
+			return
+		}
+		// Scheduler-adjacent knobs fail fast with a clear message rather
+		// than silently clamping: a negative worker count or budget is
+		// always a caller bug, and a mistyped dispatch mode would
+		// otherwise quietly fall back to the default plan.
+		if opt.Workers < 0 {
+			yield(DesignOutcome{}, fmt.Errorf("eval: negative Workers %d (0 means GOMAXPROCS, 1 forces sequential)", opt.Workers))
+			return
+		}
+		if !ValidDispatch(opt.Dispatch) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: unknown dispatch mode %q (want %q, %q or %q)",
+				opt.Dispatch, DispatchCost, DispatchContiguous, DispatchFIFO))
+			return
+		}
+		if opt.Deadline < 0 {
+			yield(DesignOutcome{}, fmt.Errorf("eval: negative Deadline %v (0 disables the run budget)", opt.Deadline))
+			return
+		}
+		if opt.DesignBudget < 0 {
+			yield(DesignOutcome{}, fmt.Errorf("eval: negative DesignBudget %v (0 disables the per-design budget)", opt.DesignBudget))
 			return
 		}
 		if opt.CacheDir != "" {
@@ -229,22 +352,39 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 
 // evalDesign is one job: elaborate (cached), generate, correct, and
 // verify one design. globalIdx seeds generation so the outcome is a
-// function of the design's corpus position and the run seed only.
-func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions) jobResult {
+// function of the design's corpus position and the run seed only. ctx is
+// the caller's (cancellation aborts the job with its error); runCtx
+// layers the run deadline on top, and the per-design budget derives from
+// it here — budget expiry truncates the outcome instead of failing it.
+// Completed jobs record their wall time in the cost journal
+// (bench.StoreCost) so later runs plan from measurements.
+func evalDesign(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions) jobResult {
 	if err := ctx.Err(); err != nil {
 		return jobResult{err: err}
 	}
+	vctx := runCtx
+	if opt.DesignBudget > 0 {
+		var vcancel context.CancelFunc
+		vctx, vcancel = context.WithTimeout(runCtx, opt.DesignBudget)
+		defer vcancel()
+	}
+	t0 := time.Now()
 	nl, err := bench.Elaborate(d)
 	if err != nil {
 		return jobResult{err: fmt.Errorf("eval: corpus design %s: %w", d.Name, err)}
 	}
-	out, err := gen.Generate(ctx, d, icl, GenOptions{
+	out, err := gen.Generate(vctx, d, icl, GenOptions{
 		Shots: opt.Shots,
 		Seed:  opt.Seed*1000003 + int64(globalIdx)*7919 + int64(opt.Shots),
 	})
 	if err != nil {
-		if ctx.Err() != nil {
-			return jobResult{err: ctx.Err()}
+		if cerr := ctx.Err(); cerr != nil {
+			return jobResult{err: cerr}
+		}
+		if vctx.Err() != nil {
+			// The budget beat generation: nothing to verify, stream a
+			// truncated stub rather than an error.
+			return jobResult{outcome: DesignOutcome{Index: globalIdx, Design: d.Name, Truncated: true}}
 		}
 		return jobResult{err: fmt.Errorf("eval: generator %s on %s: %w", gen.Name(), d.Name, err)}
 	}
@@ -267,9 +407,11 @@ func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Exampl
 	// loop; fpv.Options.Batch == BatchOff forces the reference path
 	// inside the call). A canceled verification surfaces as StatusError
 	// results; abort the whole job rather than record verdicts a
-	// completed run would never contain.
+	// completed run would never contain. A budget expiry, by contrast,
+	// surfaces as StatusUnknown — those classify to VerdictUnknown and
+	// the outcome is kept, truncated.
 	if bv, ok := v.(BatchVerifier); ok {
-		rs := bv.VerifyBatch(ctx, d, nl, checked, opt.FPV)
+		rs := bv.VerifyBatch(vctx, d, nl, checked, opt.FPV)
 		if err := ctx.Err(); err != nil {
 			return jobResult{err: err}
 		}
@@ -279,17 +421,23 @@ func evalDesign(ctx context.Context, gen Generator, v Verifier, icl []llm.Exampl
 				outcome.StaticDischarged++
 			}
 		}
-		return jobResult{outcome: outcome}
-	}
-	for _, line := range checked {
-		r := v.Verify(ctx, d, nl, line, opt.FPV)
-		if err := ctx.Err(); err != nil {
-			return jobResult{err: err}
+	} else {
+		for _, line := range checked {
+			r := v.Verify(vctx, d, nl, line, opt.FPV)
+			if err := ctx.Err(); err != nil {
+				return jobResult{err: err}
+			}
+			outcome.Verdicts = append(outcome.Verdicts, Classify(r))
+			if r.Static {
+				outcome.StaticDischarged++
+			}
 		}
-		outcome.Verdicts = append(outcome.Verdicts, Classify(r))
-		if r.Static {
-			outcome.StaticDischarged++
-		}
 	}
+	if vctx.Err() != nil {
+		outcome.Truncated = true
+	}
+	// Truncated measurements are lower bounds; the journal max-merges,
+	// so recording them is still sound.
+	bench.StoreCost(nl, time.Since(t0))
 	return jobResult{outcome: outcome}
 }

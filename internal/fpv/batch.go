@@ -51,7 +51,9 @@ type batchState struct {
 // netlist with one shared design-state exploration per cone of influence,
 // returning one result per input in order. Results are identical to
 // calling VerifyCompiled per assertion with the same Options.
-// Cancellation marks every undecided result StatusError with ctx.Err().
+// Cancellation marks every undecided result StatusError with ctx.Err();
+// an expired ctx deadline marks them StatusUnknown instead — the
+// budgeted anytime early-out (see ctxResult).
 //
 // With cone reduction on (the default) the batch is partitioned by each
 // property's canonical cone pointer (verilog.Cone is interned per
@@ -63,11 +65,14 @@ type batchState struct {
 func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva.Compiled, opt Options) []Result {
 	out := make([]Result, len(cs))
 	opt = opt.withDefaults()
-	fail := func(from int, err error) []Result {
+	fill := func(from int, r Result) []Result {
 		for i := from; i < len(out); i++ {
-			out[i] = Result{Status: StatusError, Err: err}
+			out[i] = r
 		}
 		return out
+	}
+	fail := func(from int, err error) []Result {
+		return fill(from, Result{Status: StatusError, Err: err})
 	}
 	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
 		return fail(0, fmt.Errorf("fpv: unknown backend %q", opt.Backend))
@@ -82,7 +87,7 @@ func (e *Engine) VerifyBatch(ctx context.Context, nl *verilog.Netlist, cs []*sva
 		return fail(0, fmt.Errorf("fpv: unknown static mode %q", opt.Static))
 	}
 	if err := ctx.Err(); err != nil {
-		return fail(0, err)
+		return fill(0, ctxResult(err))
 	}
 	if len(cs) == 0 {
 		return out
@@ -151,9 +156,12 @@ func coneWorthwhile(cone *verilog.Cone, nl *verilog.Netlist, opt Options) bool {
 // trace.
 func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone *verilog.Cone, cs []*sva.Compiled, opt Options) []Result {
 	out := make([]Result, len(cs))
+	// Every fail in this group is ctx-derived, so classification (deadline
+	// → StatusUnknown, cancellation → StatusError) applies throughout.
 	fail := func(from int, err error) []Result {
+		r := ctxResult(err)
 		for i := from; i < len(out); i++ {
-			out[i] = Result{Status: StatusError, Err: err}
+			out[i] = r
 		}
 		return out
 	}
@@ -201,10 +209,11 @@ func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone
 	for i, c := range cs {
 		if err := ctx.Err(); err != nil {
 			// Undecided earlier properties hold interim results awaiting
-			// the hunt phase; they must surface as canceled too — the
+			// the hunt phase; they must surface as interrupted too — the
 			// zero Status value is StatusProven, never a verdict to leak.
+			r := ctxResult(err)
 			for _, p := range pending {
-				out[p.i] = Result{Status: StatusError, Err: err}
+				out[p.i] = r
 			}
 			return fail(i, err)
 		}
@@ -220,7 +229,7 @@ func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone
 			mon = sva.NewMonitor(c)
 		}
 		res := e.graphSearch(ctx, bs, c, mon, enumerate)
-		if res.Status == StatusCEX || res.Status == StatusError {
+		if res.Status == StatusCEX || res.Status == StatusError || res.Status == StatusUnknown {
 			out[i] = res
 			continue
 		}
@@ -253,8 +262,9 @@ func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone
 	histBuf := make([][]uint64, maxPast+1)
 	for run := 0; run < opt.RandomRuns && len(pending) > 0; run++ {
 		if err := ctx.Err(); err != nil {
+			r := ctxResult(err)
 			for _, p := range pending {
-				out[p.i] = Result{Status: StatusError, Err: err}
+				out[p.i] = r
 			}
 			return out
 		}
@@ -299,8 +309,9 @@ func (e *Engine) verifyBatchGroup(ctx context.Context, nl *verilog.Netlist, cone
 		}
 	}
 	if err := ctx.Err(); err != nil {
+		r := ctxResult(err)
 		for _, p := range pending {
-			out[p.i] = Result{Status: StatusError, Err: err}
+			out[p.i] = r
 		}
 		return out
 	}
@@ -506,7 +517,7 @@ func (e *Engine) graphSearch(ctx context.Context, bs *batchState, c *sva.Compile
 		if head&63 == 0 {
 			if err := ctx.Err(); err != nil {
 				e.gnodes = releaseGnodes(nodes)
-				return Result{Status: StatusError, Err: err}
+				return ctxResult(err)
 			}
 		}
 		if nVisited >= e.opt.MaxProductStates {

@@ -552,11 +552,13 @@ func (e *Engine) VerifyAll(ctx context.Context, nl *verilog.Netlist, srcs []stri
 //
 // The search loops poll ctx: on cancellation the call stops early and
 // returns StatusError with Err set to ctx.Err() (never a partial pass or
-// proof). Callers that need to distinguish cancellation from an invalid
-// assertion should check ctx.Err() alongside the result.
+// proof), and when a ctx deadline expires mid-search the call returns
+// StatusUnknown — the budgeted anytime early-out (see ctxResult). Callers
+// that need to distinguish interruption from an invalid assertion should
+// check ctx.Err() alongside the result.
 func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva.Compiled, opt Options) Result {
 	if err := ctx.Err(); err != nil {
-		return Result{Status: StatusError, Err: err}
+		return ctxResult(err)
 	}
 	opt = opt.withDefaults()
 	if opt.Backend != BackendCompiled && opt.Backend != BackendInterp {
@@ -603,7 +605,7 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 
 	exhaustive := e.nl.InputBits() <= opt.MaxInputBits
 	res := e.bfs(ctx, exhaustive)
-	if res.Status == StatusCEX || res.Status == StatusError {
+	if res.Status == StatusCEX || res.Status == StatusError || res.Status == StatusUnknown {
 		return res
 	}
 	if res.Exhaustive {
@@ -624,7 +626,7 @@ func (e *Engine) VerifyCompiled(ctx context.Context, nl *verilog.Netlist, c *sva
 		return *r
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{Status: StatusError, Err: err}
+		return ctxResult(err)
 	}
 	res.Status = StatusBoundedPass
 	return res
@@ -692,7 +694,7 @@ func (e *Engine) bfs(ctx context.Context, enumerate bool) Result {
 		// atomic load never shows up in profiles.
 		if head&63 == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{Status: StatusError, Err: err}
+				return ctxResult(err)
 			}
 		}
 		if nVisited >= e.opt.MaxProductStates {
@@ -1078,7 +1080,8 @@ func (e *Engine) randomHunt(ctx context.Context, res *Result) *Result {
 	ring := e.huntRing[:histDepth]
 	for run := 0; run < e.opt.RandomRuns; run++ {
 		if err := ctx.Err(); err != nil {
-			return &Result{Status: StatusError, Err: err}
+			r := ctxResult(err)
+			return &r
 		}
 		s := e.hunt
 		s.ResetState()
@@ -1219,7 +1222,8 @@ func (e *Engine) slicedHunt(ctx context.Context, res *Result) (*Result, bool) {
 	)
 	for r0 := 0; r0 < e.opt.RandomRuns; r0 += lanes {
 		if err := ctx.Err(); err != nil {
-			return &Result{Status: StatusError, Err: err}, true
+			r := ctxResult(err)
+			return &r, true
 		}
 		n := lanes
 		if e.opt.RandomRuns-r0 < n {

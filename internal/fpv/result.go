@@ -13,6 +13,7 @@ package fpv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,15 @@ const (
 	StatusCEX
 	// StatusError: the assertion failed to parse or type-check.
 	StatusError
+	// StatusUnknown: a verification budget (a context deadline carried by
+	// ctx) expired before the search decided the property. Unlike
+	// StatusError-with-ctx.Err() — which marks an externally canceled call
+	// whose results a caller should discard — an unknown verdict is a
+	// well-defined anytime outcome: the property was neither proven nor
+	// refuted within the budget, and a rerun with a larger budget (warm
+	// caches and cost journal make it cheaper) converges to the
+	// unbudgeted verdict.
+	StatusUnknown
 )
 
 func (s Status) String() string {
@@ -52,6 +62,8 @@ func (s Status) String() string {
 		return "cex"
 	case StatusError:
 		return "error"
+	case StatusUnknown:
+		return "unknown"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -277,9 +289,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ctxResult classifies a context error into the result an interrupted
+// search returns: an expired deadline is a budget running out — a
+// legitimate anytime outcome, StatusUnknown — while a cancellation is an
+// external abort and stays StatusError, so existing callers that treat
+// canceled verdicts as discardable keep doing so. Every search loop in
+// the engine polls its context (each 64 BFS expansions, each hunt run),
+// so a budgeted call stops within microseconds of its deadline.
+func ctxResult(err error) Result {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Result{Status: StatusUnknown, Err: err}
+	}
+	return Result{Status: StatusError, Err: err}
+}
+
 // Verify parses nothing: it verifies an already-parsed assertion. The
 // search loops poll ctx; a canceled call returns StatusError with Err set
-// to ctx.Err().
+// to ctx.Err(), and a call whose ctx deadline expired returns
+// StatusUnknown (the budgeted early-out).
 func Verify(ctx context.Context, nl *verilog.Netlist, a *sva.Assertion, opt Options) Result {
 	c, err := sva.Compile(a, nl)
 	if err != nil {

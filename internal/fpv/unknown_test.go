@@ -1,0 +1,75 @@
+package fpv
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// An expired deadline is a budget running out: the engine reports the
+// anytime verdict StatusUnknown, never StatusError.
+func TestDeadlineReturnsUnknown(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+
+	r := VerifySource(ctx, nl, "rst == 1 |=> count == 0", Options{})
+	if r.Status != StatusUnknown {
+		t.Fatalf("deadline-expired verify: status %v, want unknown", r.Status)
+	}
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-expired verify: err %v, want DeadlineExceeded", r.Err)
+	}
+	if r.Status.IsPass() {
+		t.Error("unknown must not count as pass")
+	}
+}
+
+// Cancellation is an external abort, not a budget: the verdict stays
+// StatusError so callers that discard canceled results keep doing so.
+func TestCancellationStaysError(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	r := VerifySource(ctx, nl, "rst == 1 |=> count == 0", Options{})
+	if r.Status != StatusError {
+		t.Fatalf("canceled verify: status %v, want error", r.Status)
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("canceled verify: err %v, want Canceled", r.Err)
+	}
+}
+
+func TestBatchDeadlineReturnsUnknown(t *testing.T) {
+	nl := elab(t, counterSrc, "counter")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+
+	props := []string{"rst == 1 |=> count == 0", "en == 1 |=> count == 0"}
+	out := VerifyAll(ctx, nl, props, Options{})
+	if len(out) != len(props) {
+		t.Fatalf("got %d results, want %d", len(out), len(props))
+	}
+	for i, r := range out {
+		if r.Status != StatusUnknown {
+			t.Errorf("result %d: status %v, want unknown", i, r.Status)
+		}
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("result %d: err %v, want DeadlineExceeded", i, r.Err)
+		}
+	}
+}
+
+func TestCtxResultClassification(t *testing.T) {
+	if r := ctxResult(context.DeadlineExceeded); r.Status != StatusUnknown {
+		t.Errorf("DeadlineExceeded: status %v, want unknown", r.Status)
+	}
+	if r := ctxResult(context.Canceled); r.Status != StatusError {
+		t.Errorf("Canceled: status %v, want error", r.Status)
+	}
+	if got := StatusUnknown.String(); got != "unknown" {
+		t.Errorf("StatusUnknown.String() = %q, want %q", got, "unknown")
+	}
+}

@@ -20,6 +20,10 @@ const (
 	// VerdictError: the assertion is syntactically or semantically
 	// invalid even after correction.
 	VerdictError Verdict = "error"
+	// VerdictUnknown: an anytime budget (RunOptions.Deadline /
+	// DesignBudget) expired before the engine decided the assertion.
+	// Never produced by unbudgeted runs.
+	VerdictUnknown Verdict = "unknown"
 )
 
 func newVerdict(v eval.Verdict) Verdict {
@@ -28,6 +32,8 @@ func newVerdict(v eval.Verdict) Verdict {
 		return VerdictPass
 	case eval.VerdictCEX:
 		return VerdictCEX
+	case eval.VerdictUnknown:
+		return VerdictUnknown
 	default:
 		return VerdictError
 	}
@@ -39,6 +45,8 @@ func (v Verdict) internal() eval.Verdict {
 		return eval.VerdictPass
 	case VerdictCEX:
 		return eval.VerdictCEX
+	case VerdictUnknown:
+		return eval.VerdictUnknown
 	default:
 		return eval.VerdictError
 	}
@@ -53,6 +61,9 @@ type Metrics struct {
 	// pass without any state-space search — an overlay on the other
 	// counters, not a fourth class.
 	NStatic int `json:"n_static"`
+	// NUnknown counts verdicts a budgeted (anytime) run left undecided.
+	// Always zero for unbudgeted runs.
+	NUnknown int `json:"n_unknown"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
@@ -67,6 +78,8 @@ func (m *Metrics) Add(v Verdict) {
 		m.NPass++
 	case VerdictCEX:
 		m.NCEX++
+	case VerdictUnknown:
+		m.NUnknown++
 	default:
 		m.NError++
 	}
@@ -79,6 +92,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.NCEX += o.NCEX
 	m.NError += o.NError
 	m.NStatic += o.NStatic
+	m.NUnknown += o.NUnknown
 }
 
 // Total is the number of classified assertions.
@@ -96,6 +110,9 @@ func (m Metrics) Error() float64 { return eval.Metrics(m).Error() }
 // Static is the fraction of verdicts discharged by the static
 // pre-verification pass.
 func (m Metrics) Static() float64 { return eval.Metrics(m).Static() }
+
+// Unknown is the fraction of verdicts a budgeted run left undecided.
+func (m Metrics) Unknown() float64 { return eval.Metrics(m).Unknown() }
 
 func (m Metrics) String() string { return eval.Metrics(m).String() }
 
@@ -117,6 +134,12 @@ type DesignOutcome struct {
 	// Channel bookkeeping from the generator (for ablation analysis).
 	OffTask  int
 	Grounded int
+	// Truncated reports that an anytime budget (RunOptions.Deadline /
+	// DesignBudget) expired before this design's verification finished:
+	// decided verdicts are kept, the rest are VerdictUnknown, and a
+	// design the run never reached has no verdicts at all. Always false
+	// in unbudgeted runs.
+	Truncated bool
 }
 
 // Metrics folds the outcome's verdicts into counts.
@@ -138,6 +161,7 @@ func newDesignOutcome(o eval.DesignOutcome) DesignOutcome {
 		StaticDischarged: o.StaticDischarged,
 		OffTask:          o.OffTask,
 		Grounded:         o.Grounded,
+		Truncated:        o.Truncated,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]Verdict, len(o.Verdicts))
@@ -157,6 +181,7 @@ func (o DesignOutcome) internal() eval.DesignOutcome {
 		StaticDischarged: o.StaticDischarged,
 		OffTask:          o.OffTask,
 		Grounded:         o.Grounded,
+		Truncated:        o.Truncated,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]eval.Verdict, len(o.Verdicts))

@@ -3,6 +3,7 @@ package assertionbench
 import (
 	"context"
 	"iter"
+	"time"
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/eval"
@@ -24,6 +25,27 @@ type RunOptions struct {
 	// sequential run. Any worker count produces identical results at the
 	// same seed.
 	Workers int
+	// Dispatch selects how the worker pool divides the corpus:
+	// DispatchCost (default) plans per-design work from the cost model and
+	// lets idle workers steal, DispatchContiguous assigns balanced
+	// contiguous slices with no stealing, DispatchFIFO feeds a shared
+	// queue in corpus order. Every mode yields byte-identical results at
+	// the same seed; they differ only in completion-latency profile.
+	Dispatch string
+	// Deadline bounds the whole run's wall clock (anytime mode): when it
+	// expires, designs already verified keep their verdicts, in-flight
+	// designs keep decided verdicts with the rest Unknown, and unreached
+	// designs come back as Truncated stubs. Zero disables the budget.
+	Deadline time.Duration
+	// DesignBudget bounds each design's verification wall clock the same
+	// way, independent of Deadline. Zero disables it.
+	DesignBudget time.Duration
+	// OnDesignDone, when non-nil, observes every successfully completed
+	// design: its global corpus index, its own wall time, and the time
+	// since the run started. Called concurrently from worker goroutines —
+	// it must be safe for concurrent use and fast. Errored jobs and
+	// designs an expired Deadline never reached are not reported.
+	OnDesignDone func(index int, wall, sinceStart time.Duration)
 	// ShardIndex/ShardCount restrict the run to one of count contiguous
 	// corpus shards (ShardCount 0 = unsharded). Concatenating all shards
 	// reproduces the unsharded run exactly.
@@ -69,6 +91,20 @@ type RunOptions struct {
 	CacheDir string
 }
 
+// Dispatch modes for RunOptions.Dispatch.
+const (
+	// DispatchCost plans per-worker deques from the per-design cost model
+	// (journaled prior wall time, static structure otherwise) and lets
+	// idle workers steal the costliest pending job. The default.
+	DispatchCost = eval.DispatchCost
+	// DispatchContiguous assigns balanced contiguous corpus slices with
+	// no stealing — the pre-cost-model division, kept as the tail-latency
+	// baseline.
+	DispatchContiguous = eval.DispatchContiguous
+	// DispatchFIFO feeds a shared queue in corpus order.
+	DispatchFIFO = eval.DispatchFIFO
+)
+
 func (o RunOptions) internal() eval.RunOptions {
 	opt := eval.RunOptions{
 		Shots:        o.Shots,
@@ -77,6 +113,10 @@ func (o RunOptions) internal() eval.RunOptions {
 		FPV:          o.Verify.internal(),
 		MaxDesigns:   o.MaxDesigns,
 		Workers:      o.Workers,
+		Dispatch:     o.Dispatch,
+		Deadline:     o.Deadline,
+		DesignBudget: o.DesignBudget,
+		OnDesignDone: o.OnDesignDone,
 		ShardIndex:   o.ShardIndex,
 		ShardCount:   o.ShardCount,
 		CacheDir:     o.CacheDir,

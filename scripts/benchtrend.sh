@@ -1,0 +1,9 @@
+#!/bin/sh
+# Merge every checked-in BENCH_pr*.json into one markdown trajectory
+# table (cold/warm full-corpus pass, design p95 and dispatch tail
+# speedup per PR). Runs from any directory; the table goes to stdout so
+# it can be pasted into EXPERIMENTS.md or piped to a file.
+set -eu
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+exec go run ./scripts/benchtrend "$root"

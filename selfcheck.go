@@ -66,6 +66,11 @@ type SelfCheckReport struct {
 	// those warm runs actually served from disk.
 	StoreChecks int
 	StoreLoads  int
+	// SchedChecks counts dispatch-mode stream comparisons (the cost-model
+	// work-stealing dispatcher and the contiguous baseline against the
+	// sequential reference, plus the sharded cost-dispatched
+	// concatenation).
+	SchedChecks int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -75,7 +80,7 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through nine
+// well-formed designs and SVA properties are cross-checked through ten
 // oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
@@ -96,7 +101,9 @@ func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 // like searched ones, and bit-identical agreement of FPV served from the
 // persistent artifact store — compiled programs and reachability graphs
 // round-tripped through disk blobs and read back by a cold cache — with
-// the store-free search.
+// the store-free search, and byte-identical agreement of the cost-model
+// work-stealing dispatcher and the contiguous baseline with the
+// sequential evaluation walk, sharded concatenation included.
 // The returned error covers harness failures (cancellation, dump I/O)
 // only; oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
@@ -130,6 +137,7 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		StaticDischarged: rep.StaticDischarged,
 		StoreChecks:      rep.StoreChecks,
 		StoreLoads:       rep.StoreLoads,
+		SchedChecks:      rep.SchedChecks,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())

@@ -28,6 +28,9 @@ func TestSelfCheckFacade(t *testing.T) {
 	if report.DeterminismRuns == 0 {
 		t.Error("determinism oracle did not run")
 	}
+	if report.SchedChecks == 0 {
+		t.Error("sched oracle did not run")
+	}
 }
 
 func TestSelfCheckShortDefaultsAndDumpDir(t *testing.T) {

@@ -35,6 +35,11 @@ const (
 	// StatusError: the assertion failed to parse or type-check, or
 	// verification was canceled (Err holds ctx.Err() in that case).
 	StatusError VerifyStatus = "error"
+	// StatusUnknown: an anytime budget (a ctx deadline) expired before
+	// the engine decided the assertion. Unlike StatusError/cancellation,
+	// an Unknown is a legitimate bounded answer: the run completed, this
+	// assertion simply ran out of time.
+	StatusUnknown VerifyStatus = "unknown"
 )
 
 // IsPass reports whether the verdict counts toward the paper's Pass
@@ -53,6 +58,8 @@ func newVerifyStatus(s fpv.Status) VerifyStatus {
 		return StatusBoundedPass
 	case fpv.StatusCEX:
 		return StatusCEX
+	case fpv.StatusUnknown:
+		return StatusUnknown
 	default:
 		return StatusError
 	}
@@ -68,6 +75,8 @@ func (s VerifyStatus) internal() fpv.Status {
 		return fpv.StatusBoundedPass
 	case StatusCEX:
 		return fpv.StatusCEX
+	case StatusUnknown:
+		return fpv.StatusUnknown
 	default:
 		return fpv.StatusError
 	}
