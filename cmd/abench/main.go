@@ -16,9 +16,14 @@
 //	abench -deadline 2m         # anytime mode: bounded verdicts at the deadline
 //	abench -design-budget 5s    # cap each design's verification wall clock
 //	abench -dispatch contiguous # scheduling baseline (default: cost)
+//	abench -retries 2           # retry transient per-design failures with backoff
+//	abench -error-policy continue  # stream failed designs as errored outcomes
+//	abench -resume -cache-dir D # skip designs a previous run already decided
+//	abench -inject panic:3      # deterministic fault injection (chaos testing)
 //
-// Exit status is 0 on success, 1 on interruption, 2 on usage, flag or
-// design errors.
+// Exit status is 0 on success, 1 on interruption or when any design
+// errored under -error-policy continue (after the full output), 2 on
+// usage, flag or design errors.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"assertionbench"
 	"assertionbench/internal/cliutil"
+	"assertionbench/internal/faultinject"
 )
 
 func main() {
@@ -56,6 +62,10 @@ func main() {
 	slices := flag.String("slices", "", "64-way bit-parallel bounded exploration: auto (default) or off (scalar reference)")
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs, reachability graphs and the cost journal are read from and written to it, so repeated invocations start warm (empty = off)")
+	errorPolicy := flag.String("error-policy", "", "what a failed design job does to the run: fail (default; stop at the first error) or continue (stream it as an errored outcome and finish)")
+	retries := flag.Int("retries", 0, "retry budget for transient per-design failures, each retry after a deterministic seeded backoff (0 = no retry)")
+	resume := flag.Bool("resume", false, "serve designs a previous run over the same corpus, seed and options already decided from the run manifest and evaluate only the rest (requires -cache-dir)")
+	inject := flag.String("inject", "", "deterministic fault-injection plan, comma-separated mode:index[:attempts[:delay]] rules (modes: panic, error, delay) — for chaos testing the retry/error-policy machinery")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,6 +75,14 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	if *resume && *cacheDir == "" {
+		cliutil.Fatal(errors.New("-resume needs -cache-dir: the run manifest lives in the artifact store"))
+	}
+	plan, err := faultinject.ParseSpec(*inject)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	defer plan.Install()()
 	b, err := assertionbench.Load(ctx, assertionbench.Options{Seed: *seed, MaxDesigns: *designs})
 	if err != nil {
 		fatal(err)
@@ -83,6 +101,7 @@ func main() {
 		Metrics assertionbench.Metrics `json:"metrics"`
 	}
 	var rows []jsonRow
+	errored := 0
 	for _, p := range profiles {
 		for _, k := range []int{1, 5} {
 			runner := assertionbench.NewRunner(assertionbench.NewModelGenerator(p), b, assertionbench.RunOptions{
@@ -94,6 +113,9 @@ func main() {
 				Deadline:     *deadline,
 				DesignBudget: *designBudget,
 				CacheDir:     *cacheDir,
+				ErrorPolicy:  *errorPolicy,
+				Retries:      *retries,
+				Resume:       *resume,
 				ShardIndex:   shardIndex,
 				ShardCount:   shardCount,
 				Backend:      *backend,
@@ -127,6 +149,7 @@ func main() {
 					fatal(err)
 				}
 			}
+			errored += r.Metrics.NErrored
 			if *asJSON {
 				rows = append(rows, jsonRow{Model: p.Name(), Shots: k, Metrics: r.Metrics})
 				continue
@@ -148,14 +171,26 @@ func main() {
 			cliutil.Fatal(err)
 		}
 	}
+	// Under -error-policy continue the run finishes and prints everything,
+	// but errored designs make the invocation non-zero — scripts must not
+	// mistake a partially failed sweep for a clean one.
+	if errored > 0 {
+		log.Printf("%d design job(s) errored; metrics above exclude them", errored)
+		os.Exit(1)
+	}
 }
 
-// truncMark flags outcomes an anytime budget cut short.
+// truncMark flags outcomes an anytime budget cut short or a continue-
+// policy run converted from a failed job.
 func truncMark(o assertionbench.DesignOutcome) string {
+	s := ""
 	if o.Truncated {
-		return " [truncated]"
+		s += " [truncated]"
 	}
-	return ""
+	if o.Errored {
+		s += " [errored: " + o.Err + "]"
+	}
+	return s
 }
 
 // fatal distinguishes interruption (exit 1, partial results are the

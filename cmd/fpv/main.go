@@ -9,6 +9,12 @@
 //	fpv -cex design.v 'en == 1 |=> count == 0'
 //	fpv -cache-dir ~/.cache/abench design.v 'rst |=> count == 0'
 //	fpv -deadline 30s design.v 'req |-> ##[1:4] ack'
+//	fpv -resume -cache-dir DIR -f a.sva design.v   # skip decided assertions
+//
+// With -cache-dir, every decided verdict is journaled to a per-design
+// run manifest in the artifact store; -resume serves those assertions
+// from the manifest (marked "resumed") and verifies only the undecided
+// rest — assertions a -deadline run left unknown, or ones added since.
 //
 // Exit status is 0 when every assertion proves (or, under -deadline,
 // ran out of budget undecided — unknown is an anytime answer, not a
@@ -18,15 +24,21 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"assertionbench"
+	"assertionbench/internal/astore"
+	"assertionbench/internal/bench"
 	"assertionbench/internal/cliutil"
 )
 
@@ -44,12 +56,16 @@ func main() {
 	static := flag.String("static", "", "static pre-verification pass: auto (default) or off (pure-search reference)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: compiled programs and reachability graphs are read from and written to it, so repeated invocations start warm (empty = off)")
 	deadline := flag.Duration("deadline", 0, "anytime wall-clock budget: assertions undecided at expiry report unknown instead of blocking (0 = off)")
+	resume := flag.Bool("resume", false, "serve assertions a previous run over the same design and options already decided from the artifact store's run manifest and verify only the rest (requires -cache-dir)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		cliutil.Usage("usage: fpv [-f assertions.sva] [-cex] [-cache-dir DIR] [-deadline D] design.v [assertion ...]")
+		cliutil.Usage("usage: fpv [-f assertions.sva] [-cex] [-cache-dir DIR] [-deadline D] [-resume] design.v [assertion ...]")
 	}
 	if *deadline < 0 {
 		cliutil.Fatalf("-deadline %v: budget must not be negative (0 disables it)", *deadline)
+	}
+	if *resume && *cacheDir == "" {
+		cliutil.Fatalf("-resume needs -cache-dir: the run manifest lives in the artifact store")
 	}
 	src := cliutil.ReadFile(flag.Arg(0))
 	assertions := cliutil.Assertions(*file, flag.Args()[1:])
@@ -67,16 +83,55 @@ func main() {
 		defer cancel()
 	}
 
-	results, err := assertionbench.VerifyAssertions(ctx, string(src), assertions,
-		assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices, Static: *static})
+	vopt := assertionbench.VerifyOptions{MaxProductStates: *states, Backend: *backend, Batch: *batch, Cone: *cone, Slices: *slices, Static: *static}
+
+	// Run-manifest plumbing: with a store attached, every decided verdict
+	// is journaled under a key derived from the design source and options;
+	// -resume serves matching assertions straight from the manifest. A
+	// missing or corrupt manifest resumes from nothing.
+	store := bench.DiskStore()
+	var mkey string
+	journal := map[string]manifestEntry{}
+	if store != nil {
+		mkey = manifestKey(string(src), vopt)
+		if blob, ok := store.Get(astore.KindRun, mkey); ok {
+			_ = json.Unmarshal(blob, &journal)
+		}
+	}
+	pending := assertions
+	if *resume {
+		pending = make([]string, 0, len(assertions))
+		for _, a := range assertions {
+			if _, ok := journal[a]; !ok {
+				pending = append(pending, a)
+			}
+		}
+	}
+
+	results, err := assertionbench.VerifyAssertions(ctx, string(src), pending, vopt)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			log.Fatalf("interrupted after %d of %d assertions", len(results), len(assertions))
+			log.Fatalf("interrupted after %d of %d assertions", len(results), len(pending))
 		}
 		cliutil.Fatal(err)
 	}
 	pass, cex, errs, unknown := 0, 0, 0, 0
-	for _, r := range results {
+	next := 0
+	for _, a := range assertions {
+		if e, ok := journal[a]; *resume && ok {
+			switch e.Status {
+			case string(assertionbench.StatusCEX):
+				cex++
+			case string(assertionbench.StatusError):
+				errs++
+			default:
+				pass++
+			}
+			fmt.Printf("%-12s %-60s %s (resumed)\n", e.Status, a, e.Detail)
+			continue
+		}
+		r := results[next]
+		next++
 		detail := ""
 		switch {
 		case r.Status == assertionbench.StatusError:
@@ -94,6 +149,11 @@ func main() {
 		}
 		if r.Static {
 			detail += " (static)"
+		}
+		// Unknown is an anytime answer, not a verdict — it stays out of the
+		// manifest so a resume re-verifies it.
+		if r.Status != assertionbench.StatusUnknown {
+			journal[a] = manifestEntry{Status: string(r.Status), Detail: detail}
 		}
 		fmt.Printf("%-12s %-60s %s\n", r.Status, r.Assertion, detail)
 		if *showCEX && r.CEX != nil {
@@ -114,6 +174,14 @@ func main() {
 			*vcd = "" // only the first CEX
 		}
 	}
+	// Write-behind: the merged manifest (prior entries plus this run's
+	// decided verdicts) lands in the store in one atomic blob. Best
+	// effort — a failed journal write never fails the verification run.
+	if store != nil && len(journal) > 0 {
+		if blob, err := json.Marshal(journal); err == nil {
+			_ = store.Put(astore.KindRun, mkey, blob)
+		}
+	}
 	if unknown > 0 {
 		fmt.Printf("\n%d pass, %d cex, %d error, %d unknown\n", pass, cex, errs, unknown)
 	} else {
@@ -122,4 +190,27 @@ func main() {
 	if cex > 0 || errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// manifestEntry is one journaled verdict in the fpv run manifest:
+// enough to reprint and count the assertion on resume without
+// re-verifying it (counter-example traces are not stored; rerun
+// without -resume to regenerate one).
+type manifestEntry struct {
+	Status string `json:"status"`
+	Detail string `json:"detail"`
+}
+
+// manifestKey derives the run-manifest key from the design source and
+// every option that can change a verdict. The -deadline budget is
+// deliberately excluded: a decided verdict is budget-independent, so a
+// deadline-starved run's manifest resumes cleanly into an unbudgeted
+// rerun.
+func manifestKey(src string, opt assertionbench.VerifyOptions) string {
+	h := sha256.New()
+	io.WriteString(h, "fpvrun\x00")
+	io.WriteString(h, src)
+	fmt.Fprintf(h, "\x00states=%d backend=%s batch=%s cone=%s slices=%s static=%s",
+		opt.MaxProductStates, opt.Backend, opt.Batch, opt.Cone, opt.Slices, opt.Static)
+	return hex.EncodeToString(h.Sum(nil))
 }

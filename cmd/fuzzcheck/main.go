@@ -1,14 +1,16 @@
 // Command fuzzcheck runs the differential verification harness: seeded
 // random well-formed designs and SVA properties cross-checked through
-// ten oracles (print/parse round-trip, sim-vs-monitor-vs-FPV agreement
-// with counter-example replay, sequential/parallel/sharded stream
-// determinism, compiled-vs-interpreted backend identity,
+// eleven oracles (print/parse round-trip, sim-vs-monitor-vs-FPV
+// agreement with counter-example replay, sequential/parallel/sharded
+// stream determinism, compiled-vs-interpreted backend identity,
 // batched-vs-per-property FPV identity, cone-reduced-vs-full-design
 // semantic agreement, bit-sliced-vs-scalar FPV identity,
 // static-pass-vs-pure-search semantic agreement,
 // disk-served-vs-store-free FPV identity through the persistent
-// artifact store, and dispatch-order independence of the scheduled
-// evaluation stream). A clean
+// artifact store, dispatch-order independence of the scheduled
+// evaluation stream, and fault-tolerance convergence — injected faults
+// absorbed by retries, surfaced by the continue policy, and healed by
+// a manifest resume — against the fault-free stream). A clean
 // exit means every generated scenario agreed AND every oracle actually
 // ran — an oracle that checked nothing is reported and fails the run,
 // so a refactor cannot silently disconnect a cross-check;
@@ -90,6 +92,7 @@ func main() {
 		report.StoreChecks, report.StoreLoads)
 	fmt.Printf("determinism runs: %d\n", report.DeterminismRuns)
 	fmt.Printf("sched checks:     %d (cost/contiguous dispatch vs sequential, sharded concat)\n", report.SchedChecks)
+	fmt.Printf("fault checks:     %d (injected faults: retry absorption, continue policy, manifest resume)\n", report.FaultChecks)
 	// A silent zero is as bad as a disagreement: it means an oracle was
 	// disconnected, not that the code under test is healthy.
 	idle := 0
@@ -107,6 +110,7 @@ func main() {
 		{"store disk loads", report.StoreLoads},
 		{"determinism", report.DeterminismRuns},
 		{"sched", report.SchedChecks},
+		{"fault", report.FaultChecks},
 	} {
 		if o.n == 0 {
 			fmt.Printf("oracle %s ran 0 checks\n", o.name)

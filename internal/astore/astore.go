@@ -34,6 +34,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"hash/crc64"
 	"io/fs"
 	"os"
@@ -41,6 +42,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"assertionbench/internal/faults"
 )
 
 // Blob kinds. Exactly four bytes each; the kind is baked into both the
@@ -62,6 +65,13 @@ const (
 	// rename still guarantees readers never see a torn entry, and a
 	// racing writer losing merely re-records on its next run.
 	KindCost = "cost"
+	// KindRun holds a run manifest: the decided per-design outcomes of
+	// one evaluation run (JSON, see eval's manifest codec), keyed by the
+	// hash of corpus+seed+options. Like cost blobs it is an observation
+	// rewritten as the run progresses — the atomic rename means a
+	// resuming process always reads a complete, checksummed snapshot of
+	// some prefix of the run, never a torn one.
+	KindRun = "runm"
 )
 
 // FormatVersion is the container version stamped into every blob
@@ -116,8 +126,17 @@ func Open(dir string) (*Store, error) {
 	}
 	s := &Store{dir: dir, maxBytes: DefaultMaxBytes}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
+		if err != nil {
+			// A concurrent evictor (another process sharing the
+			// directory) may delete entries mid-walk; a vanished file is
+			// not an error, just a smaller footprint.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
 			return err
+		}
+		if d.IsDir() {
+			return nil
 		}
 		if strings.Contains(d.Name(), tmpMarker) {
 			os.Remove(path)
@@ -236,11 +255,13 @@ func verify(data []byte, kind string) ([]byte, bool) {
 // The write is atomic (temp file + rename): a crash mid-write leaves
 // only a temp file that the next Open sweeps. Errors are returned for
 // callers that care, but the cache contract is best-effort — a failed
-// Put just means the next process rebuilds.
+// Put just means the next process rebuilds. Returned errors are
+// classified faults.Transient: a store I/O hiccup (full disk, racing
+// cleanup) is exactly the class a caller's bounded retry can absorb.
 func (s *Store) Put(kind, key string, payload []byte) error {
 	path := s.path(kind, key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
+		return faults.Transient(err)
 	}
 	blob := make([]byte, headerSize+len(payload)+footerSize)
 	copy(blob[0:4], blobMagic)
@@ -255,16 +276,16 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	// reader mapping the file sees the codec's words aligned.
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+tmpMarker+"*")
 	if err != nil {
-		return err
+		return faults.Transient(err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return faults.Transient(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return faults.Transient(err)
 	}
 	var replaced int64
 	if info, err := os.Stat(path); err == nil {
@@ -272,7 +293,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return faults.Transient(err)
 	}
 	s.mu.Lock()
 	s.total += int64(len(blob)) - replaced
@@ -285,9 +306,11 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 }
 
 // discard removes a blob that failed verification and drops its bytes
-// from the footprint.
+// from the footprint. A blob a concurrent deleter already removed
+// counts as removed — the bytes are gone either way, and keeping them
+// in the total would inflate the footprint until eviction resyncs.
 func (s *Store) discard(path string, size int64) {
-	if os.Remove(path) == nil {
+	if err := os.Remove(path); err == nil || errors.Is(err, fs.ErrNotExist) {
 		s.mu.Lock()
 		s.total -= size
 		s.mu.Unlock()
@@ -341,7 +364,9 @@ func (s *Store) evictOver() {
 		if total <= budget {
 			break
 		}
-		if os.Remove(b.path) == nil {
+		// A racing remover (another evictor, a user rm) getting there
+		// first is success: the bytes are freed either way.
+		if err := os.Remove(b.path); err == nil || errors.Is(err, fs.ErrNotExist) {
 			total -= b.size
 		}
 	}

@@ -3,11 +3,14 @@ package astore
 import (
 	"bytes"
 	"encoding/binary"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"assertionbench/internal/faults"
 )
 
 func blobPath(t *testing.T, s *Store, kind, key string) string {
@@ -251,5 +254,100 @@ func TestLoadHookSeam(t *testing.T) {
 func TestPayloadAlignment(t *testing.T) {
 	if headerSize%8 != 0 {
 		t.Fatalf("payload offset %d is not 8-byte aligned; codec words would be misaligned under mmap", headerSize)
+	}
+}
+
+// TestEvictionToleratesRacingRemover: a concurrent deleter racing the
+// evictor (or the verification-failure discard path) must read as
+// success — the bytes are gone either way — not surface an error or
+// leave the footprint accounting inflated.
+func TestEvictionToleratesRacingRemover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 16; i++ {
+		key := strings.Repeat("k", i+1)
+		if err := s.Put(KindGraph, key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the eviction order is deterministic.
+		path := blobPath(t, s, KindGraph, key)
+		mod := time.Now().Add(time.Duration(i-32) * time.Hour)
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A racing remover takes the oldest half out from under the store.
+	for i := 0; i < 8; i++ {
+		if err := os.Remove(s.path(KindGraph, strings.Repeat("k", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// discard on an already-removed blob still releases its bytes.
+	before := func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.total }()
+	gone := s.path(KindGraph, "k")
+	s.discard(gone, 1024)
+	after := func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.total }()
+	if after != before-1024 {
+		t.Errorf("discard of a vanished blob kept its bytes: total %d -> %d", before, after)
+	}
+
+	// Squeezing the budget drives evictOver across the removed entries;
+	// it must converge to a correct footprint without error.
+	s.SetMaxBytes(3 * 1100)
+	var total int64
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), blobExt) {
+			return err
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 3*1100 {
+		t.Errorf("footprint %d still over the %d budget after eviction", total, 3*1100)
+	}
+	got := func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.total }()
+	if got != total {
+		t.Errorf("store total %d out of sync with on-disk footprint %d", got, total)
+	}
+
+	// Open over a directory whose files vanish concurrently must not
+	// fail either; simulate the worst case with a directory that holds
+	// survivors only.
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("re-Open after racing removals: %v", err)
+	}
+}
+
+// TestPutErrorsAreTransient: store write failures carry the transient
+// class so the eval runner's bounded retry can absorb them.
+func TestPutErrorsAreTransient(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn the fan-out path into a file so MkdirAll fails.
+	path := s.path(KindGraph, "key")
+	fan := filepath.Dir(path)
+	if err := os.WriteFile(fan, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	perr := s.Put(KindGraph, "key", []byte("payload"))
+	if perr == nil {
+		t.Fatal("Put through a blocked fan-out dir succeeded")
+	}
+	if !faults.IsTransient(perr) {
+		t.Errorf("Put error %v not classified transient", perr)
 	}
 }

@@ -86,6 +86,16 @@ func (c *ElabCache) SetCacheDir(dir string) error {
 	return nil
 }
 
+// Disk returns the attached persistent store, or nil when the cache is
+// memory-only. Callers that persist their own artifacts next to the
+// programs and graphs — the eval runner's run manifest — write through
+// this handle rather than opening the directory a second time.
+func (c *ElabCache) Disk() *astore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
+
 // Elaborate returns the design's netlist, elaborating on first use. The
 // compiled execution program is attached here too — decoded from the
 // persistent tier when one is attached and holds a good blob, lowered
@@ -211,6 +221,12 @@ func Elaborate(d Design) (*verilog.Netlist, error) {
 // process-wide cache (see ElabCache.SetCacheDir).
 func SetCacheDir(dir string) error {
 	return DefaultElab.SetCacheDir(dir)
+}
+
+// DiskStore returns the process-wide cache's persistent store, or nil
+// when no cache directory is attached (see ElabCache.Disk).
+func DiskStore() *astore.Store {
+	return DefaultElab.Disk()
 }
 
 // Shard returns the index-th of count contiguous, balanced corpus shards.

@@ -127,6 +127,11 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"abench-bad-model", "abench", []string{"-model", "nonesuch", "-designs", "1"}},
 		{"abench-bad-dispatch", "abench", []string{"-dispatch", "lifo", "-model", "gpt3.5", "-designs", "1"}},
 		{"abench-negative-deadline", "abench", []string{"-deadline", "-1s", "-model", "gpt3.5", "-designs", "1"}},
+		{"abench-bad-error-policy", "abench", []string{"-error-policy", "sometimes", "-model", "gpt3.5", "-designs", "1"}},
+		{"abench-negative-retries", "abench", []string{"-retries", "-1", "-model", "gpt3.5", "-designs", "1"}},
+		{"abench-resume-without-store", "abench", []string{"-resume", "-model", "gpt3.5", "-designs", "1"}},
+		{"abench-bad-inject", "abench", []string{"-inject", "explode:1", "-model", "gpt3.5", "-designs", "1"}},
+		{"fpv-resume-without-store", "fpv", []string{"-resume", badDesign, "a |-> b"}},
 		{"figures-bad-only", "figures", []string{"-only", "bogus"}},
 		{"finetune-unknown-base", "finetune", []string{"-base", "nonesuch"}},
 		{"finetune-non-llama-base", "finetune", []string{"-base", "gpt4o"}},
@@ -154,5 +159,52 @@ func TestCLIErrorPaths(t *testing.T) {
 				t.Errorf("stderr = %q, want prefix %q", stderr.String(), tc.tool+": ")
 			}
 		})
+	}
+}
+
+// TestContinuePolicyExitsOneWithFullOutput: an errored sweep under
+// -error-policy continue is the one non-zero exit that still prints
+// everything — the full stream and metrics on stdout, the errored tally
+// on stderr, exit status 1. Distinct from usage failures (exit 2, empty
+// stdout) so scripts can tell a partially failed run from a misuse.
+func TestContinuePolicyExitsOneWithFullOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the abench binary")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	binDir := t.TempDir()
+	bin := filepath.Join(binDir, "abench")
+	if out, err := exec.Command(goTool, "build", "-o", bin, "assertionbench/cmd/abench").CombinedOutput(); err != nil {
+		t.Fatalf("build abench: %v\n%s", err, out)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-model", "gpt3.5", "-designs", "2", "-stream",
+		"-inject", "panic:0", "-error-policy", "continue")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit 1, got %v (stderr %q)", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit status = %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[errored:") {
+		t.Errorf("stdout lacks the errored outcome mark:\n%s", out)
+	}
+	// Both designs stream for both shot counts, then the per-run metric
+	// lines — the failure must not cost any output.
+	for _, want := range []string{"#000", "#001", "1-shot:", "5-shot:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q — output was cut short:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "errored") {
+		t.Errorf("stderr = %q, want the errored tally", stderr.String())
 	}
 }

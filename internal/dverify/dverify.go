@@ -2,7 +2,7 @@
 // self-check of the stack every evaluation verdict depends on. It draws
 // seeded random well-formed designs from the corpus generator families
 // (bench.FuzzSpec), seeded random SVA properties over each design's nets,
-// and cross-checks ten independent oracles:
+// and cross-checks eleven independent oracles:
 //
 //  1. print/parse round-trip — every generated design must survive
 //     verilog.PrintFile -> Lex -> Parse -> Elaborate with a structurally
@@ -33,7 +33,13 @@
 //     store-free search field for field (OracleStore);
 //  10. sched — the cost-model work-stealing dispatcher and the contiguous
 //     baseline must reproduce the sequential eval.Stream byte for byte,
-//     sharded concatenation included (OracleSched).
+//     sharded concatenation included (OracleSched);
+//  11. fault — under deterministic injected faults, retries must absorb
+//     bounded transient failures invisibly, a permanent failure under
+//     the continue policy must surface as exactly one errored outcome
+//     at its corpus position, and a resumed run must serve every
+//     manifest-decided design without re-verification while converging
+//     field for field to the fault-free sequential stream (OracleFault).
 //
 // A disagreement is shrunk (over the design genome) to a minimal
 // reproduction and optionally dumped as a .v/.sva pair. The public facade
@@ -70,8 +76,9 @@ type Options struct {
 	TraceCycles int
 	// MaxShrinkSteps bounds the shrink loop per disagreement (default 64).
 	MaxShrinkSteps int
-	// SkipDeterminism disables oracle 3 (the eval.Stream comparison),
-	// for callers that only want the per-design oracles.
+	// SkipDeterminism disables the whole-corpus eval.Stream oracles —
+	// 3 (determinism), 10 (sched) and 11 (fault) — for callers that only
+	// want the per-design oracles.
 	SkipDeterminism bool
 }
 
@@ -165,6 +172,19 @@ const (
 	// mutation seam is eval.SchedIndexHook — a hook that misroutes two
 	// buffer slots must surface as a disagreement here.
 	OracleSched Oracle = "sched"
+	// OracleFault cross-checks the fault-tolerance layer against the
+	// fault-free sequential reference under deterministic injected
+	// faults (internal/faultinject): a chaos run whose transient faults
+	// all fit inside the retry budget must be byte-identical to the
+	// reference; a permanently failing design under ErrorPolicyContinue
+	// must stream as exactly one errored outcome at its corpus position
+	// with every other design untouched; and resuming that run after the
+	// fault clears must converge to the reference with zero verifier
+	// calls on manifest-decided designs (counted through a wrapping
+	// verifier). The mutation seams are eval.RetryDropHook (a dropped
+	// retry must surface here) and eval.ManifestDropHook (a skipped
+	// manifest entry must surface through the verify-call count).
+	OracleFault Oracle = "fault"
 )
 
 // Disagreement is one oracle violation, shrunk to a minimal genome.
@@ -242,6 +262,11 @@ type Report struct {
 	// 10): cost-vs-sequential, contiguous-vs-sequential, and the sharded
 	// cost-dispatched concatenation.
 	SchedChecks int
+	// FaultChecks counts the fault-tolerance comparisons (oracle 11):
+	// retry-absorbed chaos vs the fault-free reference, the
+	// continue-policy errored stream, and the resumed run with its
+	// verify-call accounting.
+	FaultChecks int
 	// Disagreements holds every oracle violation (empty on a clean run).
 	Disagreements []Disagreement
 }
@@ -250,8 +275,8 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d store checks (%d disk loads), %d determinism runs, %d sched checks, %d disagreements",
-		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.StoreChecks, r.StoreLoads, r.DeterminismRuns, r.SchedChecks, len(r.Disagreements))
+	return fmt.Sprintf("dverify: %d scenarios, %d properties (%d exhaustive, %d cex replayed, verdicts %s), %d backend checks, %d batch checks, %d cone checks, %d sliced checks, %d static checks (%d discharged), %d store checks (%d disk loads), %d determinism runs, %d sched checks, %d fault checks, %d disagreements",
+		r.Scenarios, r.Properties, r.Exhaustive, r.CEXs, r.refStatusString(), r.BackendChecks, r.BatchChecks, r.ConeChecks, r.SlicedChecks, r.StaticChecks, r.StaticDischarged, r.StoreChecks, r.StoreLoads, r.DeterminismRuns, r.SchedChecks, r.FaultChecks, len(r.Disagreements))
 }
 
 // refStatusString renders the verdict tally in a fixed order.
@@ -343,6 +368,12 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		}
 		report.SchedChecks = checks
 		report.Disagreements = append(report.Disagreements, sds...)
+		fchecks, fds, err := h.checkFault(ctx, corpus)
+		if err != nil {
+			return report, err
+		}
+		report.FaultChecks = fchecks
+		report.Disagreements = append(report.Disagreements, fds...)
 	}
 	return report, nil
 }

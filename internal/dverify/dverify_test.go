@@ -450,3 +450,61 @@ func TestCorruptedStoreBlobIsCaught(t *testing.T) {
 		t.Fatalf("injected store corruption was not caught by oracle 9; report: %s", report)
 	}
 }
+
+// TestDroppedRetryIsCaught: a retry layer that silently gives up
+// (eval.RetryDropHook discarding every re-attempt — what a broken
+// transient classification or an off-by-one retry bound would do) must
+// be caught by oracle 11's phase-1 comparison: the chaos run's bounded
+// transient faults are no longer absorbed, so a design streams errored
+// where the fault-free reference has verdicts.
+func TestDroppedRetryIsCaught(t *testing.T) {
+	eval.RetryDropHook = func(index, attempt int) bool { return true }
+	defer func() { eval.RetryDropHook = nil }()
+	report, err := Run(context.Background(), Options{
+		// The fault oracle needs only a tiny corpus: it places its three
+		// faults by seed and compares whole streams, so the first dropped
+		// retry is visible immediately. Per-design oracles never retry.
+		Scenarios: 3, PropsPerDesign: 1, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleFault {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("dropped retries were not caught by oracle 11; report: %s", report)
+	}
+}
+
+// TestDroppedManifestEntryIsCaught: a run manifest that silently loses
+// entries (eval.ManifestDropHook discarding every record — what a
+// failed write-behind or a key mismatch would look like) must be caught
+// by oracle 11's verify-call accounting: the resume re-verifies designs
+// the manifest should have decided. Stream comparison alone cannot see
+// this — re-verification reproduces the same verdicts — which is
+// exactly why the oracle counts verifier calls.
+func TestDroppedManifestEntryIsCaught(t *testing.T) {
+	eval.ManifestDropHook = func(index int) bool { return true }
+	defer func() { eval.ManifestDropHook = nil }()
+	report, err := Run(context.Background(), Options{
+		Scenarios: 3, PropsPerDesign: 1, Seed: 1, TraceCount: 1,
+		TraceCycles: 16, MaxShrinkSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, d := range report.Disagreements {
+		if d.Oracle == OracleFault {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("dropped manifest entries were not caught by oracle 11; report: %s", report)
+	}
+}

@@ -1013,7 +1013,7 @@ func renderOutcome(sb *strings.Builder, o eval.DesignOutcome) {
 		sb.WriteString(v.String())
 		sb.WriteByte(',')
 	}
-	fmt.Fprintf(sb, "|off=%d|gnd=%d|trunc=%v\n", o.OffTask, o.Grounded, o.Truncated)
+	fmt.Fprintf(sb, "|off=%d|gnd=%d|trunc=%v|err=%v:%q\n", o.OffTask, o.Grounded, o.Truncated, o.Errored, o.Err)
 }
 
 // firstDiff locates the first differing line of two renderings.

@@ -25,6 +25,8 @@ func TestRunOptionValidation(t *testing.T) {
 		{"bad dispatch", func(o *RunOptions) { o.Dispatch = "bogus" }, "unknown dispatch mode"},
 		{"negative deadline", func(o *RunOptions) { o.Deadline = -time.Second }, "negative Deadline"},
 		{"negative design budget", func(o *RunOptions) { o.DesignBudget = -time.Millisecond }, "negative DesignBudget"},
+		{"bad error policy", func(o *RunOptions) { o.ErrorPolicy = "sometimes" }, "unknown error policy"},
+		{"negative retries", func(o *RunOptions) { o.Retries = -1 }, "negative Retries"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -72,6 +72,12 @@ type Metrics struct {
 	// NUnknown counts verdicts a budgeted (anytime) run left undecided.
 	// Always zero for unbudgeted runs.
 	NUnknown int `json:"n_unknown"`
+	// NErrored counts designs (not assertions) whose job failed and was
+	// converted to an errored outcome by ErrorPolicyContinue. Like
+	// NStatic it is a design-level overlay, not part of Total: an
+	// errored design produced no classified assertions. Always zero
+	// under the default ErrorPolicyFail.
+	NErrored int `json:"n_errored"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
@@ -82,6 +88,7 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 		NError   int     `json:"n_error"`
 		NStatic  int     `json:"n_static"`
 		NUnknown int     `json:"n_unknown"`
+		NErrored int     `json:"n_errored"`
 		Pass     float64 `json:"pass"`
 		CEX      float64 `json:"cex"`
 		Error    float64 `json:"error"`
@@ -90,7 +97,8 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(out{
 		NPass: m.NPass, NCEX: m.NCEX, NError: m.NError, NStatic: m.NStatic, NUnknown: m.NUnknown,
-		Pass: m.Pass(), CEX: m.CEX(), Error: m.Error(), Static: m.Static(), Unknown: m.Unknown(),
+		NErrored: m.NErrored,
+		Pass:     m.Pass(), CEX: m.CEX(), Error: m.Error(), Static: m.Static(), Unknown: m.Unknown(),
 	})
 }
 
@@ -135,9 +143,13 @@ func frac(n, d int) float64 {
 }
 
 func (m Metrics) String() string {
+	s := fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f", m.Pass(), m.CEX(), m.Error())
 	if m.NUnknown != 0 {
-		return fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f unknown=%.3f (n=%d)",
-			m.Pass(), m.CEX(), m.Error(), m.Unknown(), m.Total())
+		s += fmt.Sprintf(" unknown=%.3f", m.Unknown())
 	}
-	return fmt.Sprintf("pass=%.3f cex=%.3f error=%.3f (n=%d)", m.Pass(), m.CEX(), m.Error(), m.Total())
+	s += fmt.Sprintf(" (n=%d)", m.Total())
+	if m.NErrored != 0 {
+		s += fmt.Sprintf(" [%d designs errored]", m.NErrored)
+	}
+	return s
 }

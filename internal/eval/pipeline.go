@@ -74,6 +74,36 @@ type RunOptions struct {
 	// later runs without CacheDir keep using it (pass a new dir to
 	// move it; detaching mid-process is not supported through here).
 	CacheDir string
+	// ErrorPolicy selects what a failed design job does to the rest of
+	// the run. ErrorPolicyFail (the default) keeps the original
+	// contract: the first per-design error — at the lowest corpus index,
+	// exactly as a sequential walk would hit it — ends the stream.
+	// ErrorPolicyContinue degrades gracefully instead: the failure (a
+	// generator error, a recovered panic, transient retries exhausted)
+	// becomes an errored DesignOutcome (Errored set, Err carrying the
+	// message, no verdicts), streamed at its corpus position, and the
+	// run finishes. Cancellation is never converted: ctx errors end the
+	// stream under either policy.
+	ErrorPolicy string
+	// Retries bounds how many times a design job whose failure is
+	// transient (faults.IsTransient: artifact-store I/O, injected
+	// faults) is re-attempted before ErrorPolicy applies. Each retry
+	// waits a deterministic splitmix64-jittered backoff derived from
+	// (Seed, corpus index, attempt) — no math/rand, no wall clock in
+	// the decision, so retried runs stay reproducible. 0 (the default)
+	// disables retry; negative is an error. Permanent failures (design
+	// errors, plain panics) never retry.
+	Retries int
+	// Resume skips designs that a previous run over the same generator,
+	// corpus, seed and options already decided: their outcomes are
+	// served from the run manifest — a blob the runner journals
+	// write-behind through the artifact store as designs complete — and
+	// workers evaluate only the undecided ones (Unknown, truncated,
+	// errored, or never reached). The resumed stream is byte-identical
+	// to a never-interrupted run. Requires an attached artifact store
+	// (CacheDir here, or a prior SetCacheDir); a missing or unreadable
+	// manifest resumes from nothing rather than failing.
+	Resume bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -88,6 +118,9 @@ func (o RunOptions) withDefaults() RunOptions {
 	}
 	if o.Dispatch == "" {
 		o.Dispatch = DispatchCost
+	}
+	if o.ErrorPolicy == "" {
+		o.ErrorPolicy = ErrorPolicyFail
 	}
 	// Evaluation-grade FPV budget (bounded verdicts on the big designs,
 	// exhaustive on the control-dominated ones), applied field-wise so a
@@ -139,6 +172,16 @@ type DesignOutcome struct {
 	// design the run never reached has no verdicts at all. Always false
 	// in unbudgeted runs.
 	Truncated bool
+	// Errored reports that this design's job failed — a design or
+	// generator error, a recovered panic, transient retries exhausted —
+	// and ErrorPolicyContinue converted the failure into an outcome
+	// instead of ending the stream. Err holds the failure message; an
+	// errored outcome carries no verdicts and is never recorded as
+	// decided in the run manifest, so a resumed run re-attempts it.
+	// Always false under the default ErrorPolicyFail, where the failure
+	// ends the stream instead.
+	Errored bool
+	Err     string
 }
 
 // RunResult is one (generator, k) evaluation over the corpus.
@@ -167,6 +210,9 @@ func Run(ctx context.Context, gen Generator, examples []llm.Example, corpus []be
 			res.Metrics.Add(v)
 		}
 		res.Metrics.NStatic += outcome.StaticDischarged
+		if outcome.Errored {
+			res.Metrics.NErrored++
+		}
 		res.Designs = append(res.Designs, outcome)
 	}
 	return res, nil

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"assertionbench/internal/bench"
+	"assertionbench/internal/faults"
+	"assertionbench/internal/llm"
+)
+
+// This file is the runner's fault-tolerance core: the error-policy
+// constants, panic isolation around each design job, and the bounded
+// deterministic retry schedule for transient failures. The invariants
+// are the same ones every other eval feature obeys — the decision path
+// is a pure function of the run identity (no math/rand, no wall clock
+// in any choice), so a run under retries converges field-for-field to
+// a fault-free sequential run (dverify oracle 11).
+
+// Error policies for RunOptions.ErrorPolicy.
+const (
+	// ErrorPolicyFail ends the stream at the first per-design error, at
+	// the lowest corpus index — exactly the sequential-walk semantics
+	// every run has had since PR 1. The default.
+	ErrorPolicyFail = "fail"
+	// ErrorPolicyContinue converts a failed design job (after retries)
+	// into an errored DesignOutcome at its corpus position and finishes
+	// the run. Cancellation still ends the stream.
+	ErrorPolicyContinue = "continue"
+)
+
+// ValidErrorPolicy reports whether s names an error policy ("" selects
+// the default, ErrorPolicyFail).
+func ValidErrorPolicy(s string) bool {
+	return s == "" || s == ErrorPolicyFail || s == ErrorPolicyContinue
+}
+
+// FaultHook, when non-nil, runs at the start of every design-job
+// attempt (design name, global corpus index, 1-based attempt number)
+// and may fail the attempt by returning an error or by panicking. It
+// is the worker-loop fault-injection seam, in astore.LoadHook's
+// lineage: internal/faultinject installs deterministic failure plans
+// through it, and dverify oracle 11 uses those plans to prove that the
+// retry/error-policy/resume machinery converges to the fault-free
+// stream. Never set in production.
+var FaultHook func(design string, index, attempt int) error
+
+// RetryDropHook, when non-nil, suppresses the retry it is asked about
+// (global corpus index, 1-based attempt that just failed). It exists
+// solely as a mutation seam: oracle 11's mutation test installs it to
+// prove that a runner silently dropping retries is caught. Never set
+// in production.
+var RetryDropHook func(index, attempt int) bool
+
+// splitmix64 is the SplitMix64 finalizer behind the backoff jitter — a
+// pure function, the same generator discipline the FPV engine uses, so
+// retry timing derives from (seed, index, attempt) alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoff is the delay before re-attempting after the attempt-th
+// failure (attempt >= 1): an exponential base (1ms doubling, capped at
+// 100ms) jittered by splitmix64 into [base/2, base], so simultaneous
+// retries decorrelate while the whole schedule stays a deterministic
+// function of the run identity.
+func backoff(seed int64, index, attempt int) time.Duration {
+	base := time.Millisecond << min(attempt-1, 7)
+	if base > 100*time.Millisecond {
+		base = 100 * time.Millisecond
+	}
+	x := splitmix64(uint64(seed)<<32 ^ uint64(index)<<16 ^ uint64(attempt))
+	return base/2 + time.Duration(x%uint64(base/2+1))
+}
+
+// sleepBackoff waits out d (or returns early, reporting false, when ctx
+// is cancelled first). The duration is decided by backoff before the
+// timer starts; the clock only passes time, it never chooses anything.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// attemptJob is one attempt at a design job: the fault-injection seam,
+// then the real evaluation, with panics isolated to this design — a
+// panicking generator, corrector or verifier becomes this job's error
+// instead of killing the whole process. A panic value that is itself a
+// transient error keeps its class (so bounded injected panics can be
+// absorbed by retries); every other panic is permanent.
+func attemptJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx, attempt int, opt RunOptions) (jr jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && faults.IsTransient(err) {
+				jr = jobResult{err: fmt.Errorf("eval: design %s (corpus #%d) panicked: %w", d.Name, globalIdx, err)}
+				return
+			}
+			jr = jobResult{err: fmt.Errorf("eval: design %s (corpus #%d) panicked: %v", d.Name, globalIdx, r)}
+		}
+	}()
+	if FaultHook != nil {
+		if err := FaultHook(d.Name, globalIdx, attempt); err != nil {
+			return jobResult{err: fmt.Errorf("eval: design %s (corpus #%d): %w", d.Name, globalIdx, err)}
+		}
+	}
+	return evalDesign(ctx, runCtx, gen, v, icl, d, globalIdx, opt)
+}

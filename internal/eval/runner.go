@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 
 	"assertionbench/internal/bench"
 	"assertionbench/internal/corrector"
+	"assertionbench/internal/faults"
 	"assertionbench/internal/fpv"
 	"assertionbench/internal/llm"
 )
@@ -56,6 +58,27 @@ type indexedResult struct {
 // index, identical to what a sequential walk would hit) is yielded as the
 // final element and ends the stream.
 func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs []bench.Design, base int, opt RunOptions, yield func(DesignOutcome, error) bool) {
+	// Run-manifest plumbing (manifest.go): with an artifact store
+	// attached, decided outcomes are journaled write-behind as they
+	// complete, and with Resume set the outcomes a previous run already
+	// decided are served directly — their designs are never dispatched,
+	// so no generation or verification happens for them. skip holds the
+	// resolved local indices for the dispatchers below.
+	var rec *manifestRecorder
+	var done map[int]DesignOutcome
+	var skip map[int]bool
+	if store := bench.DiskStore(); store != nil {
+		rec = newManifestRecorder(store, manifestKey(gen.Name(), designs, base, opt))
+		if opt.Resume {
+			done = rec.resume()
+		}
+	}
+	if len(done) > 0 {
+		skip = make(map[int]bool, len(done))
+		for g := range done {
+			skip[g-base] = true
+		}
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -73,7 +96,13 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 		}
 		v := opt.NewVerifier()
 		for i := range designs {
-			jr := runJob(ctx, runCtx, gen, v, icl, designs[i], base+i, opt, start)
+			if o, ok := done[base+i]; ok {
+				if !yield(o, nil) {
+					return
+				}
+				continue
+			}
+			jr := runJob(ctx, runCtx, gen, v, icl, designs[i], base+i, opt, start, rec)
 			if jr.err != nil {
 				yield(DesignOutcome{}, jr.err)
 				return
@@ -116,6 +145,15 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 		results <- indexedResult{idx: slot, res: jr}
 	}
 
+	// Resume-resolved designs post their manifest outcomes straight into
+	// the reorder buffer (it is buffered to the full corpus, so this can
+	// never block); the dispatchers below skip their indices entirely.
+	for i := range designs {
+		if o, ok := done[base+i]; ok {
+			post(i, jobResult{outcome: o})
+		}
+	}
+
 	if opt.Dispatch == DispatchFIFO {
 		// Legacy dispatch: a feeder hands out indices in corpus order
 		// over one shared channel; greedy pickup keeps the pool busy
@@ -128,7 +166,7 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 				defer wg.Done()
 				v := opt.NewVerifier()
 				for i := range jobs {
-					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[i], base+i, opt, start)
+					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[i], base+i, opt, start, rec)
 					if jr.err != nil {
 						// Stops the feeder. Jobs are fed in index order,
 						// so every job below the erroring index is already
@@ -150,6 +188,9 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 			defer wg.Done()
 			defer close(jobs)
 			for i := range designs {
+				if skip[i] {
+					continue
+				}
 				if failed.Load() {
 					return
 				}
@@ -167,7 +208,7 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 		// flag: a job above the lowest erroring index is skipped (the
 		// emitter will never consume it), while everything below keeps
 		// running because the emitter needs the complete prefix.
-		sched := newScheduler(poolCtx, designs, workers, opt.Dispatch)
+		sched := newScheduler(poolCtx, designs, workers, opt.Dispatch, skip)
 		var minFailed atomic.Int64
 		minFailed.Store(int64(len(designs)))
 		for w := 0; w < workers; w++ {
@@ -183,7 +224,7 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 					if int64(j.idx) > minFailed.Load() {
 						continue
 					}
-					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[j.idx], base+j.idx, opt, start)
+					jr := runJob(poolCtx, runCtx, gen, v, icl, designs[j.idx], base+j.idx, opt, start, rec)
 					if jr.err != nil {
 						for {
 							cur := minFailed.Load()
@@ -239,12 +280,17 @@ func streamJobs(ctx context.Context, gen Generator, icl []llm.Example, designs [
 	}
 }
 
-// runJob wraps one design evaluation with the anytime-mode and
-// observability concerns that are not the job's own: an exhausted run
-// deadline turns the design into a truncated stub instead of evaluating
-// it, and completed designs are reported to OnDesignDone with their wall
-// and completion-since-start times.
-func runJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions, start time.Time) jobResult {
+// runJob wraps one design evaluation with the concerns that are not the
+// job's own: an exhausted run deadline turns the design into a truncated
+// stub instead of evaluating it; attempts run with panic isolation
+// (attemptJob); a transient failure retries up to opt.Retries times
+// under the deterministic backoff schedule (retry.go); a failure that
+// survives retries either ends the run (ErrorPolicyFail) or becomes an
+// errored outcome at this design's corpus position
+// (ErrorPolicyContinue); decided outcomes are journaled into the run
+// manifest; and completed designs are reported to OnDesignDone with
+// their wall and completion-since-start times.
+func runJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Example, d bench.Design, globalIdx int, opt RunOptions, start time.Time, rec *manifestRecorder) jobResult {
 	if err := ctx.Err(); err != nil {
 		return jobResult{err: err}
 	}
@@ -252,8 +298,29 @@ func runJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Ex
 		return jobResult{outcome: DesignOutcome{Index: globalIdx, Design: d.Name, Truncated: true}}
 	}
 	t0 := time.Now()
-	jr := evalDesign(ctx, runCtx, gen, v, icl, d, globalIdx, opt)
-	if jr.err == nil && opt.OnDesignDone != nil {
+	jr := attemptJob(ctx, runCtx, gen, v, icl, d, globalIdx, 1, opt)
+	for attempt := 1; jr.err != nil && attempt <= opt.Retries && faults.IsTransient(jr.err) && ctx.Err() == nil; attempt++ {
+		if RetryDropHook != nil && RetryDropHook(globalIdx, attempt) {
+			break
+		}
+		if !sleepBackoff(ctx, backoff(opt.Seed, globalIdx, attempt)) {
+			return jobResult{err: ctx.Err()}
+		}
+		if runCtx.Err() != nil {
+			return jobResult{outcome: DesignOutcome{Index: globalIdx, Design: d.Name, Truncated: true}}
+		}
+		jr = attemptJob(ctx, runCtx, gen, v, icl, d, globalIdx, attempt+1, opt)
+	}
+	if jr.err != nil {
+		// Cancellation is never converted to an outcome: a canceled run
+		// must end with ctx.Err() under either policy.
+		if opt.ErrorPolicy == ErrorPolicyContinue && ctx.Err() == nil && !errors.Is(jr.err, context.Canceled) {
+			return jobResult{outcome: DesignOutcome{Index: globalIdx, Design: d.Name, Errored: true, Err: jr.err.Error()}}
+		}
+		return jr
+	}
+	rec.record(jr.outcome)
+	if opt.OnDesignDone != nil {
 		opt.OnDesignDone(globalIdx, time.Since(t0), time.Since(start))
 	}
 	return jr
@@ -278,6 +345,18 @@ func runJob(ctx, runCtx context.Context, gen Generator, v Verifier, icl []llm.Ex
 // budget expiry: finished designs keep their verdicts, interrupted ones
 // carry decided verdicts plus VerdictUnknown with Truncated set, and
 // designs the deadline beat entirely stream as truncated stubs.
+//
+// Fault tolerance rides the same contract. Each design job runs with
+// panic isolation; transient failures retry up to RunOptions.Retries
+// with deterministic backoff; what still fails then either ends the
+// stream (ErrorPolicyFail, the default — byte-identical to the original
+// first-error semantics) or streams as an errored outcome at its corpus
+// position while the run finishes (ErrorPolicyContinue). With an
+// artifact store attached, every decided outcome is journaled into a
+// crash-safe run manifest as it completes, and RunOptions.Resume serves
+// decided outcomes from that manifest instead of re-evaluating them —
+// a killed run resumed this way yields the exact stream of a run that
+// was never interrupted (dverify oracle 11).
 func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus []bench.Design, opt RunOptions) iter.Seq2[DesignOutcome, error] {
 	return func(yield func(DesignOutcome, error) bool) {
 		opt = opt.withDefaults()
@@ -324,11 +403,24 @@ func Stream(ctx context.Context, gen Generator, examples []llm.Example, corpus [
 			yield(DesignOutcome{}, fmt.Errorf("eval: negative DesignBudget %v (0 disables the per-design budget)", opt.DesignBudget))
 			return
 		}
+		if !ValidErrorPolicy(opt.ErrorPolicy) {
+			yield(DesignOutcome{}, fmt.Errorf("eval: unknown error policy %q (want %q or %q)",
+				opt.ErrorPolicy, ErrorPolicyFail, ErrorPolicyContinue))
+			return
+		}
+		if opt.Retries < 0 {
+			yield(DesignOutcome{}, fmt.Errorf("eval: negative Retries %d (0 disables retry)", opt.Retries))
+			return
+		}
 		if opt.CacheDir != "" {
 			if err := bench.SetCacheDir(opt.CacheDir); err != nil {
 				yield(DesignOutcome{}, fmt.Errorf("eval: cache dir: %w", err))
 				return
 			}
+		}
+		if opt.Resume && bench.DiskStore() == nil {
+			yield(DesignOutcome{}, fmt.Errorf("eval: Resume requires an attached artifact store (set CacheDir): the run manifest lives there"))
+			return
 		}
 		designs := corpus
 		if opt.MaxDesigns > 0 && opt.MaxDesigns < len(designs) {

@@ -148,8 +148,10 @@ func (s *scheduler) next(w int) (schedJob, bool) {
 // predicted cost (ties broken by ascending index, so plans are
 // deterministic) and LPT-assigns each to the least-loaded worker;
 // contiguous mode reproduces the balanced contiguous split the shard
-// contract uses, with stealing off.
-func newScheduler(ctx context.Context, designs []bench.Design, workers int, dispatch string) *scheduler {
+// contract uses, with stealing off. Indices in skip — designs a
+// resumed run serves from its manifest — are never planned at all, so
+// a resume does zero work (not even cost prediction) for them.
+func newScheduler(ctx context.Context, designs []bench.Design, workers int, dispatch string, skip map[int]bool) *scheduler {
 	s := &scheduler{queues: make([]*workerDeque, workers)}
 	for w := range s.queues {
 		s.queues[w] = &workerDeque{}
@@ -167,6 +169,9 @@ func newScheduler(ctx context.Context, designs []bench.Design, workers int, disp
 			}
 			q := s.queues[w]
 			for i := start + size - 1; i >= start; i-- {
+				if skip[i] {
+					continue
+				}
 				q.jobs = append(q.jobs, schedJob{idx: i, cost: 1})
 				q.load++
 			}
@@ -177,9 +182,10 @@ func newScheduler(ctx context.Context, designs []bench.Design, workers int, disp
 	s.stealing = true
 	costs := make([]uint64, len(designs))
 	for i := range designs {
-		if ctx.Err() != nil {
+		if skip[i] || ctx.Err() != nil {
 			// A canceled run plans nothing further; workers will see the
-			// cancellation before evaluating whatever is queued.
+			// cancellation before evaluating whatever is queued. Skipped
+			// (resume-resolved) designs are never even predicted.
 			costs[i] = 1
 			continue
 		}
@@ -197,6 +203,9 @@ func newScheduler(ctx context.Context, designs []bench.Design, workers int, disp
 		return ia < ib
 	})
 	for _, i := range order {
+		if skip[i] {
+			continue
+		}
 		w := 0
 		for v := 1; v < workers; v++ {
 			if s.queues[v].load < s.queues[w].load {

@@ -88,7 +88,7 @@ func TestSchedulerPlans(t *testing.T) {
 	designs := e.Corpus
 
 	t.Run("contiguous", func(t *testing.T) {
-		s := newScheduler(context.Background(), designs, 3, DispatchContiguous)
+		s := newScheduler(context.Background(), designs, 3, DispatchContiguous, nil)
 		if s.stealing {
 			t.Error("contiguous plan must not steal")
 		}
@@ -111,7 +111,7 @@ func TestSchedulerPlans(t *testing.T) {
 	})
 
 	t.Run("cost", func(t *testing.T) {
-		s := newScheduler(context.Background(), designs, 3, DispatchCost)
+		s := newScheduler(context.Background(), designs, 3, DispatchCost, nil)
 		if !s.stealing {
 			t.Error("cost plan must steal")
 		}

@@ -1,0 +1,140 @@
+// Package faultinject is the deterministic fault-injection harness for
+// the evaluation runner: reproducible failure plans — panic on design
+// N, transient errors on the first K attempts of a job, slow-design
+// delays — installed through eval.FaultHook, the worker-loop seam in
+// astore.LoadHook's lineage. A plan's decisions are a pure function of
+// (design index, attempt number): no wall clock, no shared RNG, so a
+// run under injected faults is exactly as reproducible as a healthy
+// one. That purity is what lets dverify oracle 11 demand that a
+// faulted run under retries+continue+resume converge field-for-field
+// to the fault-free sequential stream, and what makes a chaos CLI run
+// (`abench -inject "error:2:2"`) repeatable enough to debug.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"assertionbench/internal/eval"
+	"assertionbench/internal/faults"
+)
+
+// Fault modes.
+const (
+	// ModePanic panics the attempt. The panic value is a transient error
+	// (faults.Transient), so a bounded injection (Attempts > 0) is
+	// absorbed by the runner's retries while an unbounded one exhausts
+	// them and surfaces through the error policy.
+	ModePanic = "panic"
+	// ModeError fails the attempt with a transient error return.
+	ModeError = "error"
+	// ModeDelay sleeps before the attempt proceeds — a slow design, not
+	// a failure; it exercises the reorder buffer and backoff paths.
+	ModeDelay = "delay"
+)
+
+// Fault is one injection rule, matched by global corpus index.
+type Fault struct {
+	// Index is the global corpus index of the design the fault targets.
+	Index int
+	// Mode is ModePanic, ModeError or ModeDelay.
+	Mode string
+	// Attempts caps the injection to the first N attempts of the job;
+	// 0 injects on every attempt (a permanent fault).
+	Attempts int
+	// Delay is ModeDelay's sleep (defaults to 1ms when unset).
+	Delay time.Duration
+}
+
+// Plan is an ordered set of injection rules. Rules are evaluated in
+// order per attempt; the first panic/error rule that matches decides
+// the attempt (delay rules always apply).
+type Plan struct {
+	Faults []Fault
+}
+
+// Hook compiles the plan into an eval.FaultHook-compatible function.
+// The returned hook is stateless: whether attempt A of design I faults
+// depends only on (I, A), never on call history, so concurrent workers
+// and resumed runs see identical behavior.
+func (p Plan) Hook() func(design string, index, attempt int) error {
+	return func(design string, index, attempt int) error {
+		for _, f := range p.Faults {
+			if f.Index != index || (f.Attempts > 0 && attempt > f.Attempts) {
+				continue
+			}
+			switch f.Mode {
+			case ModePanic:
+				panic(faults.Transientf("faultinject: panic on design %s (#%d, attempt %d)", design, index, attempt))
+			case ModeError:
+				return faults.Transientf("faultinject: transient error on design %s (#%d, attempt %d)", design, index, attempt)
+			case ModeDelay:
+				time.Sleep(f.Delay)
+			}
+		}
+		return nil
+	}
+}
+
+// Install sets the plan as the process-wide eval.FaultHook and returns
+// a restorer for the previous hook. Installs are not synchronized;
+// tests and the CLI chaos path install one plan at a time.
+func (p Plan) Install() (restore func()) {
+	prev := eval.FaultHook
+	if len(p.Faults) == 0 {
+		eval.FaultHook = nil
+	} else {
+		eval.FaultHook = p.Hook()
+	}
+	return func() { eval.FaultHook = prev }
+}
+
+// ParseSpec parses the CLI fault grammar: a comma-separated list of
+// mode:index[:attempts[:delay]] rules — e.g. "panic:0" (permanent
+// panic on design 0), "error:2:2" (transient error on the first two
+// attempts of design 2), "delay:1:0:5ms" (5ms sleep on every attempt
+// of design 1). An empty spec parses to the empty plan.
+func ParseSpec(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return Plan{}, fmt.Errorf("faultinject: bad fault %q (want mode:index[:attempts[:delay]])", item)
+		}
+		f := Fault{Mode: parts[0]}
+		switch f.Mode {
+		case ModePanic, ModeError, ModeDelay:
+		default:
+			return Plan{}, fmt.Errorf("faultinject: unknown mode %q (want %s, %s or %s)", parts[0], ModePanic, ModeError, ModeDelay)
+		}
+		idx, err := strconv.Atoi(parts[1])
+		if err != nil || idx < 0 {
+			return Plan{}, fmt.Errorf("faultinject: bad design index %q in %q", parts[1], item)
+		}
+		f.Index = idx
+		if len(parts) >= 3 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("faultinject: bad attempt cap %q in %q", parts[2], item)
+			}
+			f.Attempts = n
+		}
+		if len(parts) == 4 {
+			d, err := time.ParseDuration(parts[3])
+			if err != nil || d < 0 {
+				return Plan{}, fmt.Errorf("faultinject: bad delay %q in %q", parts[3], item)
+			}
+			f.Delay = d
+		}
+		if f.Mode == ModeDelay && f.Delay == 0 {
+			f.Delay = time.Millisecond
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"assertionbench/internal/eval"
+	"assertionbench/internal/faults"
+)
+
+func TestHookErrorBoundedByAttempts(t *testing.T) {
+	hook := Plan{Faults: []Fault{{Index: 3, Mode: ModeError, Attempts: 2}}}.Hook()
+	for attempt := 1; attempt <= 4; attempt++ {
+		err := hook("d3", 3, attempt)
+		if attempt <= 2 {
+			if err == nil {
+				t.Fatalf("attempt %d: no injected error", attempt)
+			}
+			if !faults.IsTransient(err) {
+				t.Errorf("attempt %d: injected error not transient: %v", attempt, err)
+			}
+		} else if err != nil {
+			t.Errorf("attempt %d: fault injected past its cap: %v", attempt, err)
+		}
+	}
+	if err := hook("d0", 0, 1); err != nil {
+		t.Errorf("untargeted design faulted: %v", err)
+	}
+}
+
+func TestHookPanicIsTransient(t *testing.T) {
+	hook := Plan{Faults: []Fault{{Index: 0, Mode: ModePanic}}}.Hook()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !faults.IsTransient(err) {
+			t.Errorf("panic value %v is not a transient error", r)
+		}
+	}()
+	hook("d0", 0, 1)
+}
+
+func TestHookDelayIsNotAFailure(t *testing.T) {
+	hook := Plan{Faults: []Fault{{Index: 1, Mode: ModeDelay, Delay: time.Millisecond}}}.Hook()
+	if err := hook("d1", 1, 1); err != nil {
+		t.Errorf("delay rule returned an error: %v", err)
+	}
+}
+
+func TestHookIsStateless(t *testing.T) {
+	hook := Plan{Faults: []Fault{{Index: 2, Mode: ModeError, Attempts: 1}}}.Hook()
+	// The same (index, attempt) must decide the same way regardless of
+	// call history — the determinism oracle depends on it.
+	for i := 0; i < 3; i++ {
+		if hook("d2", 2, 1) == nil {
+			t.Fatalf("call %d: first-attempt fault not re-injected", i)
+		}
+		if hook("d2", 2, 2) != nil {
+			t.Fatalf("call %d: second attempt faulted", i)
+		}
+	}
+}
+
+func TestInstallRestore(t *testing.T) {
+	if eval.FaultHook != nil {
+		t.Fatal("FaultHook already set")
+	}
+	restore := Plan{Faults: []Fault{{Index: 0, Mode: ModeError}}}.Install()
+	if eval.FaultHook == nil {
+		t.Fatal("Install did not set the hook")
+	}
+	restore()
+	if eval.FaultHook != nil {
+		t.Fatal("restore did not clear the hook")
+	}
+	// An empty plan installs no hook at all.
+	restore = Plan{}.Install()
+	if eval.FaultHook != nil {
+		t.Fatal("empty plan installed a hook")
+	}
+	restore()
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("panic:0, error:2:2, delay:1:0:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Index: 0, Mode: ModePanic},
+		{Index: 2, Mode: ModeError, Attempts: 2},
+		{Index: 1, Mode: ModeDelay, Delay: 5 * time.Millisecond},
+	}
+	if len(p.Faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(p.Faults), len(want))
+	}
+	for i, f := range p.Faults {
+		if f != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+	if p, err := ParseSpec("  "); err != nil || len(p.Faults) != 0 {
+		t.Errorf("blank spec: %+v, %v", p, err)
+	}
+	if p, err := ParseSpec("delay:1"); err != nil || p.Faults[0].Delay != time.Millisecond {
+		t.Errorf("default delay: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"panic", "explode:1", "panic:x", "panic:-1", "error:1:x", "error:1:-2", "delay:1:0:xs", "delay:1:0:-1ms", "panic:1:2:3ms:4"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "faultinject:") {
+			t.Errorf("ParseSpec(%q) error %v lacks package prefix", bad, err)
+		}
+	}
+}

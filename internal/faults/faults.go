@@ -1,0 +1,43 @@
+// Package faults is the error taxonomy of the fault-tolerance layer.
+// It classifies failures into two retry classes: transient (worth
+// retrying — artifact-store I/O hiccups, injected faults from
+// internal/faultinject) and permanent (a malformed design, a panicking
+// generator — where retrying cannot change the answer). The class
+// travels inside the error chain, so any layer may wrap with %w and
+// the eval runner's retry loop still sees it through errors.As.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// transient marks an error chain as retryable.
+type transient struct{ err error }
+
+func (t *transient) Error() string { return t.err.Error() }
+func (t *transient) Unwrap() error { return t.err }
+
+// Transient wraps err as a transient (retryable) failure. A nil err
+// stays nil, so call sites can wrap unconditionally.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transient{err: err}
+}
+
+// Transientf builds a new transient failure fmt.Errorf-style (the
+// format verbs support %w like fmt.Errorf).
+func Transientf(format string, args ...any) error {
+	return &transient{err: fmt.Errorf(format, args...)}
+}
+
+// IsTransient reports whether any error in the chain was marked
+// Transient. Everything else — including a bare error that was never
+// classified — is treated as permanent by callers, which keeps "retry"
+// an explicit opt-in per failure site rather than a default.
+func IsTransient(err error) bool {
+	var t *transient
+	return errors.As(err, &t)
+}

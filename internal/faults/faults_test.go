@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+)
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("disk hiccup")
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Error("Transient(err) not classified transient")
+	}
+	if !errors.Is(tr, base) {
+		t.Error("Transient broke the error chain")
+	}
+	if tr.Error() != base.Error() {
+		t.Errorf("Transient changed the message: %q", tr.Error())
+	}
+	if IsTransient(base) {
+		t.Error("unclassified error reported transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil reported transient")
+	}
+}
+
+func TestTransientSurvivesWrapping(t *testing.T) {
+	inner := Transientf("blob %s: %w", "abc", fs.ErrNotExist)
+	wrapped := fmt.Errorf("eval: design d0: %w", inner)
+	if !IsTransient(wrapped) {
+		t.Error("transient class lost through fmt.Errorf %w wrapping")
+	}
+	if !errors.Is(wrapped, fs.ErrNotExist) {
+		t.Error("Transientf %w did not chain the wrapped error")
+	}
+	rewrapped := fmt.Errorf("outer: %w", fmt.Errorf("mid: %w", wrapped))
+	if !IsTransient(rewrapped) {
+		t.Error("transient class lost through two wrapping layers")
+	}
+}

@@ -64,6 +64,11 @@ type Metrics struct {
 	// NUnknown counts verdicts a budgeted (anytime) run left undecided.
 	// Always zero for unbudgeted runs.
 	NUnknown int `json:"n_unknown"`
+	// NErrored counts designs (not assertions) whose job failed and was
+	// converted to an errored outcome by ErrorPolicyContinue. A
+	// design-level overlay like NStatic, not part of Total. Always zero
+	// under the default ErrorPolicyFail.
+	NErrored int `json:"n_errored"`
 }
 
 // MarshalJSON emits counts plus derived fractions for downstream tooling.
@@ -93,6 +98,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.NError += o.NError
 	m.NStatic += o.NStatic
 	m.NUnknown += o.NUnknown
+	m.NErrored += o.NErrored
 }
 
 // Total is the number of classified assertions.
@@ -140,6 +146,14 @@ type DesignOutcome struct {
 	// design the run never reached has no verdicts at all. Always false
 	// in unbudgeted runs.
 	Truncated bool
+	// Errored reports that this design's job failed — a design or
+	// generator error, a recovered panic, transient retries exhausted —
+	// and RunOptions.ErrorPolicy "continue" converted the failure into
+	// an outcome instead of ending the stream. Err holds the failure
+	// message; an errored outcome carries no verdicts. Always false
+	// under the default "fail" policy.
+	Errored bool
+	Err     string
 }
 
 // Metrics folds the outcome's verdicts into counts.
@@ -149,6 +163,9 @@ func (o DesignOutcome) Metrics() Metrics {
 		m.Add(v.internal())
 	}
 	m.NStatic = o.StaticDischarged
+	if o.Errored {
+		m.NErrored = 1
+	}
 	return Metrics(m)
 }
 
@@ -162,6 +179,8 @@ func newDesignOutcome(o eval.DesignOutcome) DesignOutcome {
 		OffTask:          o.OffTask,
 		Grounded:         o.Grounded,
 		Truncated:        o.Truncated,
+		Errored:          o.Errored,
+		Err:              o.Err,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]Verdict, len(o.Verdicts))
@@ -182,6 +201,8 @@ func (o DesignOutcome) internal() eval.DesignOutcome {
 		OffTask:          o.OffTask,
 		Grounded:         o.Grounded,
 		Truncated:        o.Truncated,
+		Errored:          o.Errored,
+		Err:              o.Err,
 	}
 	if o.Verdicts != nil {
 		out.Verdicts = make([]eval.Verdict, len(o.Verdicts))

@@ -89,6 +89,25 @@ type RunOptions struct {
 	// behind to disk, so a fresh process starts warm. Off by default.
 	// The attachment is process-wide and sticky across runs.
 	CacheDir string
+	// ErrorPolicy selects what a failed design job does to the rest of
+	// the run: ErrorPolicyFail (default) ends the stream at the first
+	// per-design error, exactly as a sequential walk would;
+	// ErrorPolicyContinue converts the failure into an errored
+	// DesignOutcome at its corpus position and finishes the run.
+	// Cancellation always ends the stream under either policy.
+	ErrorPolicy string
+	// Retries bounds how many times a design job whose failure is
+	// transient (artifact-store I/O, injected faults) is re-attempted
+	// before ErrorPolicy applies, each retry after a deterministic
+	// seeded backoff. 0 disables retry; negative is an error.
+	Retries int
+	// Resume serves designs that a previous run over the same generator,
+	// corpus, seed and options already decided straight from the run
+	// manifest (journaled through the artifact store as designs
+	// complete) and evaluates only the undecided rest. The resumed
+	// stream is identical to a never-interrupted run. Requires an
+	// attached artifact store (CacheDir or SetCacheDir).
+	Resume bool
 }
 
 // Dispatch modes for RunOptions.Dispatch.
@@ -103,6 +122,16 @@ const (
 	DispatchContiguous = eval.DispatchContiguous
 	// DispatchFIFO feeds a shared queue in corpus order.
 	DispatchFIFO = eval.DispatchFIFO
+)
+
+// Error policies for RunOptions.ErrorPolicy.
+const (
+	// ErrorPolicyFail ends the stream at the first per-design error (the
+	// default, and the original contract).
+	ErrorPolicyFail = eval.ErrorPolicyFail
+	// ErrorPolicyContinue streams a failed design as an errored outcome
+	// and finishes the run.
+	ErrorPolicyContinue = eval.ErrorPolicyContinue
 )
 
 func (o RunOptions) internal() eval.RunOptions {
@@ -120,6 +149,9 @@ func (o RunOptions) internal() eval.RunOptions {
 		ShardIndex:   o.ShardIndex,
 		ShardCount:   o.ShardCount,
 		CacheDir:     o.CacheDir,
+		ErrorPolicy:  o.ErrorPolicy,
+		Retries:      o.Retries,
+		Resume:       o.Resume,
 	}
 	if o.Backend != "" {
 		opt.FPV.Backend = o.Backend

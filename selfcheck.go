@@ -71,6 +71,11 @@ type SelfCheckReport struct {
 	// sequential reference, plus the sharded cost-dispatched
 	// concatenation).
 	SchedChecks int
+	// FaultChecks counts fault-tolerance comparisons (deterministic
+	// injected faults absorbed by retries, the continue policy's errored
+	// stream, and resume convergence with verify-call accounting against
+	// the fault-free sequential reference).
+	FaultChecks int
 	// Disagreements lists every oracle violation, shrunk to a minimal
 	// reproduction. Empty on a healthy build.
 	Disagreements []string
@@ -80,8 +85,8 @@ type SelfCheckReport struct {
 func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 
 // SelfCheck runs the differential verification harness: seeded random
-// well-formed designs and SVA properties are cross-checked through ten
-// oracles — print/parse round-trip netlist identity, agreement between
+// well-formed designs and SVA properties are cross-checked through
+// eleven oracles — print/parse round-trip netlist identity, agreement between
 // the FPV engine, the SVA monitor and the event-driven simulator
 // (including counter-example replay and bounded-vs-exhaustive
 // consistency), byte-identical determinism of sequential, parallel and
@@ -103,7 +108,11 @@ func (r SelfCheckReport) OK() bool { return len(r.Disagreements) == 0 }
 // round-tripped through disk blobs and read back by a cold cache — with
 // the store-free search, and byte-identical agreement of the cost-model
 // work-stealing dispatcher and the contiguous baseline with the
-// sequential evaluation walk, sharded concatenation included.
+// sequential evaluation walk, sharded concatenation included, and
+// convergence of the fault-tolerance layer — retries absorbing bounded
+// injected faults, the continue policy surfacing a permanent failure as
+// one errored outcome, and a resumed run served from the run manifest —
+// to the fault-free sequential stream.
 // The returned error covers harness failures (cancellation, dump I/O)
 // only; oracle violations are reported as data in the report.
 func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, error) {
@@ -138,6 +147,7 @@ func SelfCheck(ctx context.Context, opt SelfCheckOptions) (SelfCheckReport, erro
 		StoreChecks:      rep.StoreChecks,
 		StoreLoads:       rep.StoreLoads,
 		SchedChecks:      rep.SchedChecks,
+		FaultChecks:      rep.FaultChecks,
 	}
 	for _, d := range rep.Disagreements {
 		out.Disagreements = append(out.Disagreements, d.String())
